@@ -1,0 +1,155 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   * alpha threshold sweep (adaptive end-to-end GTEPS vs alpha)
+//   * No-Frontier-Generation on/off
+//   * bottom-up look-ahead on/off
+//   * top-down balancing modes
+//   * warp-centric vs thread-centric bottom-up
+//   * single stream vs three degree-binned streams, per device profile
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/reorder.h"
+
+using namespace xbfs;
+using namespace xbfs::bench;
+
+namespace {
+
+double gteps_of(const sim::DeviceProfile& profile, const graph::Csr& g,
+                const std::vector<graph::vid_t>& sources,
+                const core::XbfsConfig& cfg) {
+  sim::Device dev(profile);
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  core::Xbfs bfs(dev, dg, cfg);
+  double sum = 0;
+  for (graph::vid_t src : sources) sum += bfs.run(src).gteps;
+  return sum / static_cast<double>(sources.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  std::printf("Design-choice ablations on the Rmat25 stand-in, divisor %u\n",
+              opt.scale_divisor);
+
+  LoadedDataset d = load_dataset(graph::DatasetId::R25, opt);
+  const auto sources = pick_sources(d, opt.sources, opt.seed);
+  const auto mi250x = scaled_mi250x(opt);
+  const auto p6000 = scaled_p6000(opt);
+
+  {
+    print_header("alpha sweep (adaptive GTEPS)");
+    for (double alpha : {0.005, 0.02, 0.05, 0.1, 0.2, 0.5, 1.1}) {
+      core::XbfsConfig cfg;
+      cfg.alpha = alpha;
+      std::printf("  alpha %-6.3f -> %8.3f GTEPS%s\n", alpha,
+                  gteps_of(mi250x, d.host, sources, cfg),
+                  alpha > 1.0 ? "  (bottom-up disabled)" : "");
+    }
+  }
+  {
+    print_header("No-Frontier-Generation variant");
+    for (bool nfg : {true, false}) {
+      core::XbfsConfig cfg;
+      cfg.enable_nfg = nfg;
+      std::printf("  NFG %-5s -> %8.3f GTEPS\n", nfg ? "on" : "off",
+                  gteps_of(mi250x, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("bottom-up look-ahead");
+    for (bool la : {true, false}) {
+      core::XbfsConfig cfg;
+      cfg.enable_lookahead = la;
+      std::printf("  look-ahead %-5s -> %8.3f GTEPS\n", la ? "on" : "off",
+                  gteps_of(mi250x, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("top-down workload balancing");
+    const core::Balancing modes[] = {core::Balancing::ThreadCentric,
+                                     core::Balancing::WavefrontCentric,
+                                     core::Balancing::DegreeBinned};
+    const char* names[] = {"thread-centric", "wavefront-centric",
+                           "degree-binned"};
+    for (int i = 0; i < 3; ++i) {
+      core::XbfsConfig cfg;
+      cfg.topdown_balancing = modes[i];
+      std::printf("  %-18s -> %8.3f GTEPS\n", names[i],
+                  gteps_of(mi250x, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("bottom-up gather (paper: warp-centric hurts on AMD)");
+    for (bool wc : {false, true}) {
+      core::XbfsConfig cfg;
+      cfg.bottomup_warp_centric = wc;
+      std::printf("  %-18s -> %8.3f GTEPS\n",
+                  wc ? "wavefront-centric" : "thread-centric",
+                  gteps_of(mi250x, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("stream mode x device profile (Sec. IV-B consolidation)");
+    for (auto mode : {core::StreamMode::Single, core::StreamMode::TripleBinned}) {
+      core::XbfsConfig cfg;
+      cfg.stream_mode = mode;
+      const char* mname =
+          mode == core::StreamMode::Single ? "single stream " : "three streams";
+      std::printf("  %s on MI250X -> %8.3f GTEPS | on P6000 -> %8.3f GTEPS\n",
+                  mname, gteps_of(mi250x, d.host, sources, cfg),
+                  gteps_of(p6000, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("bottom-up bit-status check (1-bit frontier bitmap)");
+    for (bool bm : {false, true}) {
+      core::XbfsConfig cfg;
+      cfg.bottomup_bitmap = bm;
+      std::printf("  bitmap %-5s -> %8.3f GTEPS\n", bm ? "on" : "off",
+                  gteps_of(mi250x, d.host, sources, cfg));
+    }
+  }
+  {
+    print_header("graph layout (neighbor order x vertex relabeling)");
+    core::XbfsConfig cfg;
+    std::printf("  %-34s -> %8.3f GTEPS\n", "builder order (by id)",
+                gteps_of(mi250x, d.host, sources, cfg));
+    const graph::Csr nb_desc =
+        graph::rearrange_neighbors(d.host, graph::NeighborOrder::ByDegreeDesc);
+    std::printf("  %-34s -> %8.3f GTEPS\n", "neighbors by degree desc (paper)",
+                gteps_of(mi250x, nb_desc, sources, cfg));
+    const graph::Csr nb_asc =
+        graph::rearrange_neighbors(d.host, graph::NeighborOrder::ByDegreeAsc);
+    std::printf("  %-34s -> %8.3f GTEPS\n",
+                "neighbors by degree asc (adversarial)",
+                gteps_of(mi250x, nb_asc, sources, cfg));
+    // Whole-graph relabelings need remapped sources.
+    const auto run_relabeled = [&](graph::VertexOrder order,
+                                   const char* name) {
+      const graph::Relabeling rl = graph::relabel_vertices(d.host, order);
+      std::vector<graph::vid_t> remapped;
+      for (graph::vid_t s : sources) remapped.push_back(rl.old_to_new[s]);
+      std::printf("  %-34s -> %8.3f GTEPS\n", name,
+                  gteps_of(mi250x, rl.graph, remapped, cfg));
+    };
+    run_relabeled(graph::VertexOrder::ByDegreeDesc,
+                  "vertices relabeled hubs-first");
+    run_relabeled(graph::VertexOrder::BfsFrom0,
+                  "vertices relabeled in BFS order");
+  }
+  {
+    print_header("register spill factor on bottom-up (compiler effect)");
+    for (double f : {1.0, 1.2, 2.0, 10.0}) {
+      core::XbfsConfig cfg;
+      cfg.bottomup_spill_factor = f;
+      std::printf("  spill x%-5.1f -> %8.3f GTEPS%s\n", f,
+                  gteps_of(mi250x, d.host, sources, cfg),
+                  f == 10.0 ? "  (paper: no -O3 => up to 10x slower)" : "");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared utilities for the table/figure reproduction benches: dataset
+// construction at a configurable scale divisor, device construction,
+// source selection, and fixed-width table printing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/xbfs.h"
+#include "graph/datasets.h"
+#include "graph/device_csr.h"
+#include "graph/reference.h"
+#include "hipsim/hipsim.h"
+
+namespace xbfs::bench {
+
+/// Command-line options shared by the reproduction benches.
+struct BenchOptions {
+  /// Degree-preserving shrink factor on Table II vertex counts (1 = paper
+  /// size).  The default keeps profile-mode simulation in seconds per run.
+  unsigned scale_divisor = 32;
+  unsigned sources = 4;     ///< BFS sources per measurement ("n-to-n" style)
+  std::uint64_t seed = 1;   ///< generator + source-picking seed
+  unsigned seeds = 1;       ///< generator seeds (Fig. 6 boxes)
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      auto num = [&](const char* flag) -> long long {
+        if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0 &&
+            argv[i][std::strlen(flag)] == '=') {
+          return std::atoll(argv[i] + std::strlen(flag) + 1);
+        }
+        return -1;
+      };
+      long long v;
+      if ((v = num("--divisor")) >= 0) o.scale_divisor = static_cast<unsigned>(v);
+      if ((v = num("--sources")) >= 0) o.sources = static_cast<unsigned>(v);
+      if ((v = num("--seed")) >= 0) o.seed = static_cast<std::uint64_t>(v);
+      if ((v = num("--seeds")) >= 0) o.seeds = static_cast<unsigned>(v);
+      if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "options: --divisor=N (Table II shrink, default 32)  "
+            "--sources=N  --seed=N  --seeds=N\n");
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+};
+
+/// MI250X-GCD profile with the L2 capacity scaled down by the dataset's
+/// scale divisor, so the cache-to-working-set ratio matches the paper's
+/// full-size runs (8 MB of L2 against a 134 MB status array).  Without this
+/// a shrunken status array becomes fully L2-resident and every cache-
+/// locality effect the paper measures (notably Table I's re-arrangement
+/// win) vanishes by construction.
+inline sim::DeviceProfile scaled_mi250x(const BenchOptions& opt) {
+  sim::DeviceProfile p = sim::DeviceProfile::mi250x_gcd();
+  p.l2_bytes = std::max<std::uint64_t>(p.l2_bytes / opt.scale_divisor,
+                                       64 * 1024);
+  return p;
+}
+
+inline sim::DeviceProfile scaled_p6000(const BenchOptions& opt) {
+  sim::DeviceProfile p = sim::DeviceProfile::p6000();
+  p.l2_bytes = std::max<std::uint64_t>(p.l2_bytes / opt.scale_divisor,
+                                       64 * 1024);
+  return p;
+}
+
+/// A Table II dataset stand-in resident on a fresh simulated GCD.
+struct LoadedDataset {
+  graph::DatasetMeta meta;
+  graph::Csr host;
+  std::vector<graph::vid_t> giant;  ///< largest-component vertices
+};
+
+inline LoadedDataset load_dataset(graph::DatasetId id,
+                                  const BenchOptions& opt,
+                                  std::uint64_t seed_override = 0) {
+  LoadedDataset d{graph::dataset_meta(id), {}, {}};
+  d.host = graph::make_dataset(id, opt.scale_divisor,
+                               seed_override ? seed_override : opt.seed);
+  d.giant = graph::largest_component_vertices(d.host);
+  return d;
+}
+
+/// Deterministically sample `count` BFS sources from the giant component.
+inline std::vector<graph::vid_t> pick_sources(const LoadedDataset& d,
+                                              unsigned count,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9E3779B9u + 7);
+  std::vector<graph::vid_t> out;
+  out.reserve(count);
+  std::uniform_int_distribution<std::size_t> pick(0, d.giant.size() - 1);
+  for (unsigned i = 0; i < count; ++i) out.push_back(d.giant[pick(rng)]);
+  return out;
+}
+
+/// Pretty horizontal rule + header for bench output.
+inline void print_header(const char* title) {
+  std::printf("\n%s\n", title);
+  for (const char* p = title; *p; ++p) std::putchar('=');
+  std::putchar('\n');
+}
+
+inline const char* short_float(double v, char* buf, std::size_t n) {
+  if (v != 0 && (v < 1e-3 || v >= 1e6)) {
+    std::snprintf(buf, n, "%.2e", v);
+  } else {
+    std::snprintf(buf, n, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace xbfs::bench

@@ -1,0 +1,58 @@
+// Reproduces Fig. 6: the per-level log2 frontier-edge ratio for all six
+// Table II datasets, as a box summary over generator seeds and sources.
+// Expected shape: USpatent needs by far the most levels (long-diameter
+// citation structure), Dblp next; the dense Rmat graphs finish in few
+// levels with a single dominant peak above the alpha threshold.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "graph/stats.h"
+
+using namespace xbfs;
+using namespace xbfs::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  if (opt.seeds < 2) opt.seeds = 8;  // a box needs spread
+  std::printf(
+      "Fig. 6 reproduction: per-level log2(ratio), %u generator seeds x %u "
+      "sources, scale divisor %u\n",
+      opt.seeds, opt.sources, opt.scale_divisor);
+
+  for (const graph::DatasetMeta& meta : graph::all_datasets()) {
+    // Per level: samples of log2(ratio) across seeds and sources.
+    std::map<std::size_t, std::vector<double>> samples;
+    std::size_t max_depth = 0;
+    for (unsigned s = 0; s < opt.seeds; ++s) {
+      LoadedDataset d = load_dataset(meta.id, opt, opt.seed + s);
+      const auto sources = pick_sources(d, opt.sources, opt.seed + s);
+      for (graph::vid_t src : sources) {
+        const std::vector<double> ratio =
+            graph::frontier_edge_ratio(d.host, src);
+        max_depth = std::max(max_depth, ratio.size());
+        for (std::size_t lvl = 0; lvl < ratio.size(); ++lvl) {
+          if (ratio[lvl] > 0) {
+            samples[lvl].push_back(std::log2(ratio[lvl]));
+          }
+        }
+      }
+    }
+
+    print_header((meta.short_name + " (" + meta.paper_name + ")").c_str());
+    std::printf("%-6s %-8s %-8s %-8s %-8s %-8s %-6s\n", "Level", "min", "q1",
+                "median", "q3", "max", "n");
+    for (std::size_t lvl = 0; lvl < max_depth; ++lvl) {
+      auto it = samples.find(lvl);
+      if (it == samples.end()) continue;
+      const graph::BoxSummary b = graph::box_summary(it->second);
+      std::printf("%-6zu %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f %-6zu\n", lvl,
+                  b.min, b.q1, b.median, b.q3, b.max, b.count);
+    }
+    std::printf("max BFS depth observed: %zu levels\n", max_depth);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Related-work comparison (paper Sec. II, qualitative claims made
+// quantitative): XBFS against one representative of each frontier-queue
+// family the paper discusses —
+//   * hierarchical queue (Luo et al. DAC'10): fine at tiny frontiers,
+//     strided/overflowing at large ones;
+//   * edge-frontier filtering (B40C/Gunrock): duplicate frontiers and
+//     O(|E|) space at high-frontier levels;
+//   * status-array scan (Enterprise): O(|V|) scan per level, painful on
+//     long-diameter graphs;
+//   * SSSP-style asynchronous traversal: redundant re-relaxations
+//     (the SIMD-X observation).
+// Reported per dataset: GTEPS for every method plus each family's
+// characteristic pathology counter.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/async_sssp.h"
+#include "baseline/gunrock_like.h"
+#include "baseline/hier_queue.h"
+#include "baseline/simple_scan.h"
+#include "bench/bench_common.h"
+
+using namespace xbfs;
+using namespace xbfs::bench;
+
+namespace {
+
+template <typename MakeBfs>
+double avg_gteps(const graph::Csr& g,
+                 const std::vector<graph::vid_t>& sources,
+                 const sim::DeviceProfile& profile, MakeBfs&& make) {
+  sim::Device dev(profile);
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  auto bfs = make(dev, dg);
+  double sum = 0;
+  for (graph::vid_t src : sources) sum += bfs.run(src).gteps;
+  return sum / static_cast<double>(sources.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  std::printf(
+      "Related-work families vs XBFS (Sec. II), divisor %u, %u sources\n",
+      opt.scale_divisor, opt.sources);
+
+  print_header("GTEPS by method and dataset");
+  std::printf("%-6s %-10s %-10s %-10s %-10s %-10s\n", "Graph", "XBFS",
+              "HierQ", "EdgeFront", "ScanLevel", "AsyncSSSP");
+  for (const graph::DatasetMeta& meta : graph::all_datasets()) {
+    LoadedDataset d = load_dataset(meta.id, opt);
+    const auto sources = pick_sources(d, opt.sources, opt.seed);
+    const auto profile = scaled_mi250x(opt);
+    const double x = avg_gteps(d.host, sources, profile,
+                               [&](sim::Device& dev, graph::DeviceCsr& dg) {
+                                 return core::Xbfs(dev, dg);
+                               });
+    const double hq = avg_gteps(d.host, sources, profile,
+                                [&](sim::Device& dev, graph::DeviceCsr& dg) {
+                                  return baseline::HierQueueBfs(dev, dg);
+                                });
+    const double ef = avg_gteps(d.host, sources, profile,
+                                [&](sim::Device& dev, graph::DeviceCsr& dg) {
+                                  return baseline::GunrockLikeBfs(dev, dg);
+                                });
+    const double sc = avg_gteps(d.host, sources, profile,
+                                [&](sim::Device& dev, graph::DeviceCsr& dg) {
+                                  return baseline::SimpleScanBfs(dev, dg);
+                                });
+    const double ss = avg_gteps(d.host, sources, profile,
+                                [&](sim::Device& dev, graph::DeviceCsr& dg) {
+                                  return baseline::AsyncSsspBfs(dev, dg);
+                                });
+    std::printf("%-6s %-10.3f %-10.3f %-10.3f %-10.3f %-10.3f\n",
+                meta.short_name.c_str(), x, hq, ef, sc, ss);
+  }
+
+  // Pathology counters on the Rmat25 stand-in.
+  {
+    LoadedDataset d = load_dataset(graph::DatasetId::R25, opt);
+    const auto src = pick_sources(d, 1, opt.seed)[0];
+    print_header("characteristic overheads on Rmat25 (single source)");
+
+    {
+      sim::Device dev(scaled_mi250x(opt));
+      dev.warmup();
+      auto dg = graph::DeviceCsr::upload(dev, d.host);
+      baseline::AsyncSsspBfs bfs(dev, dg);
+      const core::BfsResult r = bfs.run(src);
+      std::uint64_t reached_edges = 2 * r.edges_traversed;
+      std::printf(
+          "async-SSSP relaxations: %llu (%.2fx the %llu directed edges "
+          "reached) over %u rounds\n",
+          static_cast<unsigned long long>(bfs.last_relaxations()),
+          static_cast<double>(bfs.last_relaxations()) /
+              static_cast<double>(reached_edges ? reached_edges : 1),
+          static_cast<unsigned long long>(reached_edges), r.depth);
+    }
+    {
+      sim::Device dev(scaled_mi250x(opt));
+      dev.warmup();
+      auto dg = graph::DeviceCsr::upload(dev, d.host);
+      baseline::GunrockLikeBfs bfs(dev, dg);
+      dev.profiler().clear();
+      const core::BfsResult r = bfs.run(src);
+      double advance_entries = 0;
+      for (const auto& rec : dev.profiler().matching("gunrock_advance")) {
+        advance_entries += static_cast<double>(rec.counters.mem_writes);
+      }
+      std::uint64_t reached = 0;
+      for (auto l : r.levels) {
+        if (l >= 0) ++reached;
+      }
+      std::printf(
+          "edge-frontier entries filtered: %.0f (%.2fx the %llu reached "
+          "vertices)\n",
+          advance_entries,
+          advance_entries / static_cast<double>(reached ? reached : 1),
+          static_cast<unsigned long long>(reached));
+    }
+    {
+      sim::Device dev(scaled_mi250x(opt));
+      dev.warmup();
+      auto dg = graph::DeviceCsr::upload(dev, d.host);
+      baseline::SimpleScanBfs bfs(dev, dg);
+      dev.profiler().clear();
+      const core::BfsResult r = bfs.run(src);
+      const double scan_bytes =
+          dev.profiler().total_fetch_kb("scanbfs_scan_expand") * 1024.0;
+      std::printf(
+          "status-scan traffic: %.1f MB over %u levels (>= 4|V| = %.1f MB "
+          "per level)\n",
+          scan_bytes / 1e6, r.depth, 4.0 * d.host.num_vertices() / 1e6);
+    }
+  }
+  return 0;
+}

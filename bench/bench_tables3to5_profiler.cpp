@@ -1,0 +1,61 @@
+// Reproduces Tables III, IV and V: rocprofiler-style per-kernel counters
+// (Runtime, L2CacheHit, MemUnitBusy, FetchSize) for the scan-free,
+// single-scan and bottom-up strategies forced at every level on the Rmat25
+// stand-in.  Expected shapes (paper Sec. V-E):
+//   * scan-free: one kernel per level, FetchSize ~ O(|F|) — tiny at the
+//     shallow/deep levels, huge at the peak-ratio levels;
+//   * single-scan: two kernels, the generation scan pinned at ~4|V| bytes;
+//   * bottom-up: five kernels, k1/k4 pinned at ~4|V| bytes, k5 falling from
+//     O(|E|) at level 0 to almost nothing once most vertices are visited;
+//   * every strategy's level-0 kernel absorbs the ~20 ms HIP warm-up.
+#include <cstdio>
+
+#include "bench/strategy_runs.h"
+
+using namespace xbfs;
+using namespace xbfs::bench;
+
+namespace {
+
+void print_strategy_table(const char* title, const StrategyRun& run) {
+  print_header(title);
+  std::printf("%-10s %-7s %-13s %-9s %-10s %-16s\n", "Ratio", "Level",
+              "Runtime(ms)", "L2(%)", "MBusy(%)", "FS(KB)");
+  for (const StrategyLevelRow& row : run.rows) {
+    for (const sim::LaunchRecord& k : row.kernels) {
+      std::printf("%-10.2e %-7d %-13.3f %-9.3f %-10.3f %-16.3f  %s\n",
+                  row.ratio, row.level, k.runtime_ms(), k.l2_pct(),
+                  k.mbusy_pct(), k.fetch_kb(), k.kernel.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = BenchOptions::parse(argc, argv);
+  std::printf("Tables III-V reproduction: Rmat25 stand-in, scale divisor %u\n",
+              opt.scale_divisor);
+
+  LoadedDataset d = load_dataset(graph::DatasetId::R25, opt);
+  std::printf("|V| = %u, |E| = %llu (directed entries)\n",
+              d.host.num_vertices(),
+              static_cast<unsigned long long>(d.host.num_edges()));
+  const graph::vid_t src = pick_sources(d, 1, opt.seed)[0];
+
+  const StrategyRun sf =
+      run_forced_strategy(d.host, src, core::Strategy::ScanFree, scaled_mi250x(opt));
+  print_strategy_table("Table III: scan-free strategy (rocprofiler view)",
+                       sf);
+
+  const StrategyRun ss =
+      run_forced_strategy(d.host, src, core::Strategy::SingleScan, scaled_mi250x(opt));
+  print_strategy_table("Table IV: single-scan strategy (rocprofiler view)",
+                       ss);
+
+  const StrategyRun bu =
+      run_forced_strategy(d.host, src, core::Strategy::BottomUp, scaled_mi250x(opt));
+  print_strategy_table("Table V: bottom-up strategy (rocprofiler view)", bu);
+
+  return 0;
+}

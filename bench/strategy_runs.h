@@ -1,0 +1,81 @@
+// Shared machinery for the forced-strategy profiling benches
+// (Tables I, III-V, VI and Fig. 7): run XBFS with one strategy pinned for
+// every level on a fresh deterministic device, and collate the profiler's
+// per-kernel rows by level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace xbfs::bench {
+
+/// True when `kernel` belongs to the given strategy's per-level pipeline
+/// (as opposed to setup/reset/readback helpers).
+inline bool is_strategy_kernel(core::Strategy s, const std::string& kernel) {
+  switch (s) {
+    case core::Strategy::ScanFree:
+      return kernel.find("xbfs_scanfree_expand") != std::string::npos ||
+             kernel.find("xbfs_classify_bins") != std::string::npos;
+    case core::Strategy::SingleScan:
+      return kernel.find("xbfs_singlescan_") != std::string::npos;
+    case core::Strategy::BottomUp:
+      return kernel.find("xbfs_bu_") != std::string::npos;
+  }
+  return false;
+}
+
+struct StrategyLevelRow {
+  int level = 0;
+  double ratio = 0.0;
+  std::vector<sim::LaunchRecord> kernels;  ///< the strategy's kernels only
+  double level_ms = 0.0;       ///< modelled level time (incl. syncs)
+  double kernels_ms = 0.0;     ///< sum over the strategy kernels
+  double fetch_kb = 0.0;       ///< sum over the strategy kernels
+};
+
+struct StrategyRun {
+  core::Strategy strategy;
+  std::vector<StrategyLevelRow> rows;
+  core::BfsResult result;
+};
+
+/// Run XBFS on `g` with `strategy` forced at every level; deterministic
+/// single-worker device so the counter tables are bit-reproducible.
+inline StrategyRun run_forced_strategy(const graph::Csr& g, graph::vid_t src,
+                                       core::Strategy strategy,
+                                       const sim::DeviceProfile& profile,
+                                       core::XbfsConfig cfg = {}) {
+  sim::SimOptions so;
+  so.num_workers = 1;
+  sim::Device dev(profile, so);
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  cfg.forced_strategy = static_cast<int>(strategy);
+  core::Xbfs bfs(dev, dg, cfg);
+  dev.profiler().clear();  // keep upload/setup out of the tables
+
+  StrategyRun run;
+  run.strategy = strategy;
+  run.result = bfs.run(src);
+
+  run.rows.resize(run.result.level_stats.size());
+  for (std::size_t i = 0; i < run.rows.size(); ++i) {
+    run.rows[i].level = static_cast<int>(i);
+    run.rows[i].ratio = run.result.level_stats[i].ratio;
+    run.rows[i].level_ms = run.result.level_stats[i].time_ms;
+  }
+  for (const sim::LaunchRecord& r : dev.profiler().records()) {
+    if (r.level < 0 || static_cast<std::size_t>(r.level) >= run.rows.size()) {
+      continue;
+    }
+    if (!is_strategy_kernel(strategy, r.kernel)) continue;
+    StrategyLevelRow& row = run.rows[static_cast<std::size_t>(r.level)];
+    row.kernels.push_back(r);
+    row.kernels_ms += r.runtime_ms();
+    row.fetch_kb += r.fetch_kb();
+  }
+  return run;
+}
+
+}  // namespace xbfs::bench

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction driver: configure, build, test, and regenerate every
+# table/figure, capturing outputs at the repository root (the artifacts
+# EXPERIMENTS.md refers to).
+#
+#   scripts/run_all.sh [--divisor=N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIVISOR_ARG="${1:-}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "### $(basename "$b")"
+    if [ "$(basename "$b")" = "bench_micro_kernels" ]; then
+      "$b" --benchmark_min_time=0.05
+    else
+      "$b" ${DIVISOR_ARG}
+    fi
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,29 @@
+// CPU BFS baselines (real wall-clock, no simulation): a serial queue BFS
+// and a level-synchronous multithreaded BFS.  These anchor the examples and
+// stand in for the CPU-based Graph500 implementation the paper compares
+// per-GCD throughput against (0.4 GTEPS/GCD on Frontier, June 2024 list).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::baseline {
+
+struct CpuBfsResult {
+  std::vector<std::int32_t> levels;
+  double wall_ms = 0.0;
+  std::uint64_t edges_traversed = 0;  ///< undirected edges reached
+  double gteps = 0.0;
+};
+
+/// Serial queue BFS, timed.
+CpuBfsResult cpu_bfs_serial(const graph::Csr& g, graph::vid_t src);
+
+/// Level-synchronous parallel BFS over `num_threads` std::threads with
+/// atomic level claims.  num_threads==0 uses hardware concurrency.
+CpuBfsResult cpu_bfs_parallel(const graph::Csr& g, graph::vid_t src,
+                              unsigned num_threads = 0);
+
+}  // namespace xbfs::baseline

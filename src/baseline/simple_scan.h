@@ -1,0 +1,36 @@
+// Enterprise-style scan BFS baseline: every level scans the full status
+// array for current-level vertices and expands them in place — no frontier
+// queue at all.  O(|V|) per level regardless of frontier size, which is
+// exactly the overhead XBFS's scan-free strategy removes at sparse levels
+// (paper Sec. II, "Scan Approach").
+#pragma once
+
+#include <cstdint>
+
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "hipsim/device.h"
+
+namespace xbfs::baseline {
+
+struct SimpleScanConfig {
+  unsigned block_threads = 256;
+  unsigned grid_blocks = 0;
+};
+
+class SimpleScanBfs {
+ public:
+  SimpleScanBfs(sim::Device& dev, const graph::DeviceCsr& g,
+                SimpleScanConfig cfg = {});
+
+  core::BfsResult run(graph::vid_t src);
+
+ private:
+  sim::Device& dev_;
+  const graph::DeviceCsr& g_;
+  SimpleScanConfig cfg_;
+  sim::DeviceBuffer<std::uint32_t> status_;
+  sim::DeviceBuffer<std::uint32_t> counters_;  // [0] = newly visited
+};
+
+}  // namespace xbfs::baseline

@@ -1,0 +1,126 @@
+#include "core/frontier.h"
+
+#include "core/status.h"
+
+namespace xbfs::core {
+
+BfsBuffers BfsBuffers::allocate(sim::Device& dev, graph::vid_t n,
+                                std::uint32_t segment_size,
+                                std::uint32_t scan_blocks, bool with_parents,
+                                bool with_bins, bool with_bitmaps) {
+  BfsBuffers b;
+  b.status = dev.alloc<std::uint32_t>(n);
+  if (with_parents) b.parent = dev.alloc<graph::vid_t>(n);
+  b.queue_a = dev.alloc<graph::vid_t>(n);
+  b.queue_b = dev.alloc<graph::vid_t>(n);
+  b.pending_a = dev.alloc<graph::vid_t>(n);
+  b.pending_b = dev.alloc<graph::vid_t>(n);
+  b.bu_queue = dev.alloc<graph::vid_t>(n);
+  b.counters = dev.alloc<std::uint32_t>(kNumCounters);
+  b.edge_counters = dev.alloc<std::uint64_t>(kNumEdgeCounters);
+  b.segment_size = segment_size;
+  b.num_segments = (n + segment_size - 1) / segment_size;
+  b.seg_counts = dev.alloc<std::uint32_t>(b.num_segments);
+  b.seg_offsets = dev.alloc<std::uint32_t>(b.num_segments);
+  b.block_sums = dev.alloc<std::uint32_t>(scan_blocks);
+  if (with_bins) {
+    b.bin_small = dev.alloc<graph::vid_t>(n);
+    b.bin_medium = dev.alloc<graph::vid_t>(n);
+    b.bin_large = dev.alloc<graph::vid_t>(n);
+  }
+  if (with_bitmaps) {
+    const std::size_t words = b.bitmap_words(n);
+    for (auto& bm : b.bitmaps) bm = dev.alloc<std::uint64_t>(words);
+  }
+  return b;
+}
+
+void launch_reset_counters(sim::Device& dev, sim::Stream& s, BfsBuffers& b) {
+  auto counters = b.counters.span();
+  auto edges = b.edge_counters.span();
+  sim::LaunchConfig cfg{.grid_blocks = 1, .block_threads = 64};
+  dev.launch(s, "xbfs_reset_counters", cfg, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      if (t < kNumCounters) ctx.store(counters, t, std::uint32_t{0});
+      if (t >= 32 && t - 32 < kNumEdgeCounters) {
+        ctx.store(edges, t - 32, std::uint64_t{0});
+      }
+    });
+  });
+}
+
+void launch_enqueue_source(sim::Device& dev, sim::Stream& s, BfsBuffers& b,
+                           sim::dspan<graph::vid_t> queue, graph::vid_t src,
+                           sim::dspan<std::uint64_t> bitmap0) {
+  auto status = b.status.span();
+  auto counters = b.counters.span();
+  auto parent =
+      b.parent.empty() ? sim::dspan<graph::vid_t>() : b.parent.span();
+  sim::LaunchConfig cfg{.grid_blocks = 1, .block_threads = 64};
+  dev.launch(s, "xbfs_enqueue_source", cfg, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      if (t != 0) return;
+      ctx.store(status, src, std::uint32_t{0});
+      ctx.store(queue, 0, src);
+      ctx.store(counters, kCurTail, std::uint32_t{1});
+      if (!parent.empty()) ctx.store(parent, src, src);
+      if (!bitmap0.empty()) {
+        ctx.store(bitmap0, src / 64, std::uint64_t{1} << (src % 64));
+      }
+    });
+  });
+}
+
+void launch_clear_bitmap(sim::Device& dev, sim::Stream& s,
+                         sim::dspan<std::uint64_t> bitmap,
+                         unsigned block_threads) {
+  sim::LaunchConfig cfg;
+  cfg.block_threads = block_threads;
+  cfg.grid_blocks =
+      auto_grid_blocks(dev.profile(), bitmap.size(), block_threads);
+  dev.launch(s, "xbfs_clear_bitmap", cfg, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.grid_stride(bitmap.size(), [&](std::uint64_t i) {
+      ctx.store(bitmap, i, std::uint64_t{0});
+    });
+  });
+}
+
+void launch_append_queue(sim::Device& dev, sim::Stream& s,
+                         sim::dspan<const graph::vid_t> src_queue,
+                         std::uint32_t count,
+                         sim::dspan<graph::vid_t> dst_queue,
+                         std::uint32_t dst_offset, unsigned block_threads) {
+  if (count == 0) return;
+  sim::LaunchConfig cfg;
+  cfg.block_threads = block_threads;
+  cfg.grid_blocks = auto_grid_blocks(dev.profile(), count, block_threads);
+  dev.launch(s, "xbfs_append_pending", cfg, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.grid_stride(count, [&](std::uint64_t i) {
+      ctx.store(dst_queue, dst_offset + i, ctx.load(src_queue, i));
+    });
+  });
+}
+
+LevelCounters read_counters(sim::Device& dev, sim::Stream& s,
+                            const BfsBuffers& b) {
+  // Models the per-level hipMemcpyDtoH of the counter block — the
+  // host/device interaction that dominates tiny graphs like Dblp.
+  dev.memcpy_d2h(s, kNumCounters * sizeof(std::uint32_t) +
+                        kNumEdgeCounters * sizeof(std::uint64_t));
+  LevelCounters c;
+  const std::uint32_t* cnt = b.counters.host_data();
+  const std::uint64_t* ecnt = b.edge_counters.host_data();
+  c.next_count = cnt[kNextTail];
+  c.pending_count = cnt[kPendingTail];
+  c.new_count = cnt[kNewCount];
+  c.cur_count = cnt[kCurTail];
+  c.next_edges = ecnt[kNextEdges];
+  c.pending_edges = ecnt[kPendingEdges];
+  return c;
+}
+
+}  // namespace xbfs::core

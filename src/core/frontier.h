@@ -1,0 +1,108 @@
+// Frontier queues and level counters: every device buffer one XBFS run
+// needs, plus the small host<->device transfers (modelled) that read the
+// per-level counters back for the adaptive controller.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.h"
+#include "graph/device_csr.h"
+#include "hipsim/device.h"
+
+namespace xbfs::core {
+
+/// Indices into BfsBuffers::counters (uint32 slots).
+enum CounterSlot : std::size_t {
+  kNextTail = 0,     ///< next-level frontier queue tail
+  kPendingTail = 1,  ///< look-ahead (level+2) queue tail
+  kNewCount = 2,     ///< newly visited count (single-scan expand)
+  kCurTail = 3,      ///< current queue tail (generation scans)
+  kBinSmall = 4,     ///< triple-binned small-queue tail
+  kBinMedium = 5,
+  kBinLarge = 6,
+  kNumCounters = 7,
+};
+
+/// Indices into BfsBuffers::edge_counters (uint64 slots).
+enum EdgeCounterSlot : std::size_t {
+  kNextEdges = 0,     ///< sum of degrees of next-level frontier
+  kPendingEdges = 1,  ///< sum of degrees of look-ahead vertices
+  kNumEdgeCounters = 2,
+};
+
+struct BfsBuffers {
+  sim::DeviceBuffer<std::uint32_t> status;   ///< n
+  sim::DeviceBuffer<graph::vid_t> parent;    ///< n (empty unless requested)
+  sim::DeviceBuffer<graph::vid_t> queue_a;   ///< n (current/next, swapped)
+  sim::DeviceBuffer<graph::vid_t> queue_b;   ///< n
+  /// Look-ahead (level+2) vertices, double-buffered: pass k appends the
+  /// previous pass's pending to the next queue while writing its own.
+  sim::DeviceBuffer<graph::vid_t> pending_a;
+  sim::DeviceBuffer<graph::vid_t> pending_b;
+  sim::DeviceBuffer<graph::vid_t> bu_queue;  ///< n (bottom-up candidates)
+  sim::DeviceBuffer<std::uint32_t> counters;       ///< kNumCounters
+  sim::DeviceBuffer<std::uint64_t> edge_counters;  ///< kNumEdgeCounters
+  // Bottom-up double-scan scratch.
+  sim::DeviceBuffer<std::uint32_t> seg_counts;
+  sim::DeviceBuffer<std::uint32_t> seg_offsets;
+  sim::DeviceBuffer<std::uint32_t> block_sums;
+  // Triple-binned queues (allocated only in that stream mode).
+  sim::DeviceBuffer<graph::vid_t> bin_small;
+  sim::DeviceBuffer<graph::vid_t> bin_medium;
+  sim::DeviceBuffer<graph::vid_t> bin_large;
+  /// Frontier bitmaps (1 bit/vertex) for the bottom-up bit-status check,
+  /// rotated cur/next/next-next so look-ahead claims land in the right
+  /// level's map.  Allocated only when XbfsConfig::bottomup_bitmap is set.
+  sim::DeviceBuffer<std::uint64_t> bitmaps[3];
+
+  std::uint32_t num_segments = 0;
+  std::uint32_t segment_size = 0;
+
+  static BfsBuffers allocate(sim::Device& dev, graph::vid_t n,
+                             std::uint32_t segment_size,
+                             std::uint32_t scan_blocks, bool with_parents,
+                             bool with_bins, bool with_bitmaps = false);
+
+  std::size_t bitmap_words(graph::vid_t n) const {
+    return (static_cast<std::size_t>(n) + 63) / 64;
+  }
+};
+
+/// Host-side snapshot of the level counters (one modelled d2h readback).
+struct LevelCounters {
+  std::uint32_t next_count = 0;
+  std::uint32_t pending_count = 0;
+  std::uint32_t new_count = 0;
+  std::uint32_t cur_count = 0;
+  std::uint64_t next_edges = 0;
+  std::uint64_t pending_edges = 0;
+};
+
+/// Kernel: zero the per-level counters.
+void launch_reset_counters(sim::Device& dev, sim::Stream& s, BfsBuffers& b);
+
+/// Kernel: place the source vertex — status[src]=0, queue[0]=src, tail=1,
+/// and its bit in the level-0 frontier bitmap when one is supplied.
+void launch_enqueue_source(sim::Device& dev, sim::Stream& s, BfsBuffers& b,
+                           sim::dspan<graph::vid_t> queue, graph::vid_t src,
+                           sim::dspan<std::uint64_t> bitmap0 = {});
+
+/// Read the counters back to the host (charges the modelled d2h time).
+LevelCounters read_counters(sim::Device& dev, sim::Stream& s,
+                            const BfsBuffers& b);
+
+/// Kernel: clear a frontier bitmap (O(|V|/64) stores).
+void launch_clear_bitmap(sim::Device& dev, sim::Stream& s,
+                         sim::dspan<std::uint64_t> bitmap,
+                         unsigned block_threads);
+
+/// Kernel: append `count` entries of `src_queue` to `dst_queue` starting at
+/// `dst_offset` (used to merge the carried pending queue into the next
+/// frontier).
+void launch_append_queue(sim::Device& dev, sim::Stream& s,
+                         sim::dspan<const graph::vid_t> src_queue,
+                         std::uint32_t count,
+                         sim::dspan<graph::vid_t> dst_queue,
+                         std::uint32_t dst_offset, unsigned block_threads);
+
+}  // namespace xbfs::core

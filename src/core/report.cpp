@@ -1,0 +1,33 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace xbfs::core {
+
+void print_schedule(std::ostream& os, const BfsResult& r) {
+  os << "level  strategy      frontier       ratio      time(ms)\n";
+  for (const LevelStats& st : r.level_stats) {
+    os << std::setw(5) << st.level << "  " << std::left << std::setw(12)
+       << strategy_name(st.strategy) << std::right << std::setw(10)
+       << st.frontier_count << "  " << std::scientific
+       << std::setprecision(2) << std::setw(9) << st.ratio << std::fixed
+       << std::setprecision(4) << std::setw(12) << st.time_ms
+       << (st.skipped_generation ? "  [NFG]" : "") << "\n";
+  }
+  os << std::fixed << std::setprecision(3) << "end-to-end: " << r.total_ms
+     << " ms, " << r.gteps << " GTEPS (" << r.edges_traversed << " edges, "
+     << r.depth << " levels)\n";
+}
+
+void write_schedule_csv(std::ostream& os, const BfsResult& r) {
+  os << "level,strategy,nfg,frontier,edges,ratio,time_ms,fetch_kb\n";
+  for (const LevelStats& st : r.level_stats) {
+    os << st.level << ',' << strategy_name(st.strategy) << ','
+       << (st.skipped_generation ? 1 : 0) << ',' << st.frontier_count << ','
+       << st.frontier_edges << ',' << st.ratio << ',' << st.time_ms << ','
+       << st.fetch_kb << '\n';
+  }
+}
+
+}  // namespace xbfs::core

@@ -1,0 +1,19 @@
+// Human-readable and CSV reporting of BFS results: the per-level strategy
+// schedule table the examples print, factored into the library so every
+// tool renders it the same way.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/xbfs.h"
+
+namespace xbfs::core {
+
+/// Print the per-level schedule (strategy, frontier, ratio, time, NFG tag)
+/// followed by the end-to-end summary line.
+void print_schedule(std::ostream& os, const BfsResult& r);
+
+/// CSV: one row per level (level,strategy,nfg,frontier,edges,ratio,ms,fetch_kb).
+void write_schedule_csv(std::ostream& os, const BfsResult& r);
+
+}  // namespace xbfs::core

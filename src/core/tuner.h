@@ -1,0 +1,51 @@
+// Alpha auto-tuning: the paper's "Performance Profiling" takeaway
+// ("Utilizing rocProfiler ... allowed us to estimate optimal parameters for
+// peak performance across different graph structures and sizes", Sec. I;
+// methodology in Sec. V-D/E).
+//
+// The tuner replays the paper's Fig. 7 experiment programmatically: it runs
+// each strategy forced on probe traversals, collects per-level (ratio,
+// kernel-time) points, finds where bottom-up starts beating the best
+// top-down strategy, and recommends an alpha inside that bracket.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "graph/device_csr.h"
+#include "hipsim/device.h"
+
+namespace xbfs::core {
+
+struct TunerOptions {
+  /// Probe sources; more probes widen the level/ratio coverage.
+  std::vector<graph::vid_t> probe_sources;
+  /// Alpha to fall back to when a bracket cannot be established.
+  double fallback_alpha = 0.1;
+  /// Base configuration the probes run under (forced_strategy is ignored).
+  XbfsConfig base_config = {};
+};
+
+struct TunerReport {
+  double recommended_alpha = 0.1;
+  /// Largest ratio observed where a top-down strategy still won.
+  double bracket_low = 0.0;
+  /// Smallest ratio observed where bottom-up won.
+  double bracket_high = 1.0;
+  bool bracket_found = false;
+  /// One sample per (probe, level): the raw data behind the decision.
+  struct Sample {
+    double ratio = 0.0;
+    double scanfree_ms = 0.0;
+    double singlescan_ms = 0.0;
+    double bottomup_ms = 0.0;
+  };
+  std::vector<Sample> samples;
+};
+
+/// Run the forced-strategy probes on a dedicated deterministic device and
+/// recommend an alpha for this (graph, device-profile) pair.
+TunerReport tune_alpha(const sim::DeviceProfile& profile,
+                       const graph::Csr& g, const TunerOptions& opt);
+
+}  // namespace xbfs::core

@@ -1,0 +1,71 @@
+// Public API of the XBFS reproduction: adaptive BFS on the simulated GPU.
+//
+// Usage:
+//   sim::Device dev(sim::DeviceProfile::mi250x_gcd());
+//   auto g = graph::DeviceCsr::upload(dev, host_csr);
+//   core::Xbfs bfs(dev, g);
+//   core::BfsResult r = bfs.run(source);
+//   // r.levels, r.level_stats, r.gteps ...
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/frontier.h"
+#include "core/policy.h"
+#include "graph/device_csr.h"
+#include "hipsim/device.h"
+
+namespace xbfs::core {
+
+/// Telemetry for one BFS level.
+struct LevelStats {
+  std::uint32_t level = 0;
+  Strategy strategy = Strategy::ScanFree;
+  bool skipped_generation = false;   ///< NFG variant fired
+  std::uint64_t frontier_count = 0;  ///< vertices expanded this level
+  std::uint64_t frontier_edges = 0;  ///< their total degree
+  double ratio = 0.0;                ///< frontier_edges / |E|
+  double time_ms = 0.0;              ///< modelled level time (kernels+syncs)
+  double fetch_kb = 0.0;             ///< HBM fetch traffic this level
+  unsigned kernels = 0;              ///< kernel launches this level
+};
+
+struct BfsResult {
+  std::vector<std::int32_t> levels;  ///< -1 = unreached
+  std::vector<graph::vid_t> parent;  ///< empty unless cfg.build_parents
+  std::vector<LevelStats> level_stats;
+  double total_ms = 0.0;             ///< modelled end-to-end traversal time
+  std::uint64_t edges_traversed = 0; ///< undirected edges in the traversal
+  double gteps = 0.0;                ///< edges_traversed / total_ms
+  std::uint32_t depth = 0;           ///< number of BFS levels run
+};
+
+class Xbfs {
+ public:
+  /// Buffers are sized once for the graph; run() may be called repeatedly
+  /// (the n-to-n evaluation reuses one instance across sources).
+  Xbfs(sim::Device& dev, const graph::DeviceCsr& g, XbfsConfig cfg = {});
+
+  BfsResult run(graph::vid_t src);
+
+  const XbfsConfig& config() const { return cfg_; }
+  XbfsConfig& mutable_config() { return cfg_; }
+
+ private:
+  struct FrontierState;
+  void run_scanfree(const FrontierState& fs, std::uint32_t level);
+  void run_singlescan(const FrontierState& fs, std::uint32_t level,
+                      bool skip_generation, std::uint32_t* generated_count);
+  void run_bottomup(const FrontierState& fs, std::uint32_t level);
+
+  sim::Device& dev_;
+  const graph::DeviceCsr& g_;
+  XbfsConfig cfg_;
+  AdaptivePolicy policy_;
+  BfsBuffers buffers_;
+  sim::Stream* bin_streams_[3] = {nullptr, nullptr, nullptr};
+};
+
+}  // namespace xbfs::core

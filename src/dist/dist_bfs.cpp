@@ -1,0 +1,475 @@
+#include "dist/dist_bfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/status.h"  // kUnvisited, auto_grid_blocks
+#include "hipsim/hipsim.h"
+
+namespace xbfs::dist {
+
+using core::auto_grid_blocks;
+using core::kUnvisited;
+using graph::eid_t;
+using graph::vid_t;
+
+namespace {
+constexpr std::size_t kTail = 0;     ///< counters[0]: frontier queue tail
+constexpr std::size_t kClaimed = 1;  ///< counters[1]: vertices claimed
+}  // namespace
+
+struct DistBfs::Gcd {
+  std::unique_ptr<sim::Device> device;
+  LocalRows rows;
+  sim::DeviceBuffer<eid_t> offsets;
+  sim::DeviceBuffer<vid_t> cols;
+  sim::DeviceBuffer<std::uint32_t> status;  ///< owned vertices, local index
+  sim::DeviceBuffer<std::uint64_t> cur_bm;  ///< global frontier bitmap copy
+  sim::DeviceBuffer<std::uint64_t> next_bm;
+  sim::DeviceBuffer<vid_t> queue;           ///< owned frontier (global ids)
+  sim::DeviceBuffer<std::uint32_t> counters;
+  sim::DeviceBuffer<std::uint64_t> edges;
+};
+
+DistBfs::DistBfs(const graph::Csr& g, DistConfig cfg)
+    : n_(g.num_vertices()), m_(g.num_edges()), cfg_(cfg),
+      part_(g.num_vertices(), cfg.gcds) {
+  assert(cfg_.gcds >= 1);
+  const std::size_t words = (static_cast<std::size_t>(n_) + 63) / 64;
+  gcds_.reserve(cfg_.gcds);
+  for (unsigned p = 0; p < cfg_.gcds; ++p) {
+    auto gcd = std::make_unique<Gcd>();
+    gcd->device = std::make_unique<sim::Device>(
+        sim::DeviceProfile::mi250x_gcd(), cfg_.device_options);
+    gcd->device->warmup();
+    gcd->rows = extract_local_rows(g, part_, p);
+    sim::Device& dev = *gcd->device;
+    gcd->offsets = dev.alloc<eid_t>(gcd->rows.offsets.size());
+    std::copy(gcd->rows.offsets.begin(), gcd->rows.offsets.end(),
+              gcd->offsets.host_data());
+    gcd->cols = dev.alloc<vid_t>(std::max<std::size_t>(1, gcd->rows.cols.size()));
+    std::copy(gcd->rows.cols.begin(), gcd->rows.cols.end(),
+              gcd->cols.host_data());
+    dev.memcpy_h2d(gcd->rows.offsets.size() * sizeof(eid_t) +
+                   gcd->rows.cols.size() * sizeof(vid_t));
+    gcd->status = dev.alloc<std::uint32_t>(
+        std::max<graph::vid_t>(1, gcd->rows.num_rows));
+    gcd->cur_bm = dev.alloc<std::uint64_t>(words);
+    gcd->next_bm = dev.alloc<std::uint64_t>(words);
+    gcd->queue = dev.alloc<vid_t>(std::max<graph::vid_t>(1, gcd->rows.num_rows));
+    gcd->counters = dev.alloc<std::uint32_t>(2);
+    gcd->edges = dev.alloc<std::uint64_t>(1);
+    gcds_.push_back(std::move(gcd));
+  }
+}
+
+DistBfs::~DistBfs() = default;
+
+void DistBfs::reset_for_run(graph::vid_t src) {
+  const unsigned owner = part_.owner(src);
+  for (unsigned p = 0; p < cfg_.gcds; ++p) {
+    Gcd& g = *gcds_[p];
+    sim::Device& dev = *g.device;
+    auto status = g.status.span();
+    auto cur = g.cur_bm.span();
+    auto next = g.next_bm.span();
+    const vid_t rows = g.rows.num_rows;
+    const vid_t first = g.rows.first_vertex;
+    sim::LaunchConfig lc;
+    lc.block_threads = cfg_.block_threads;
+    lc.grid_blocks = auto_grid_blocks(dev.profile(),
+                                      std::max<std::uint64_t>(rows, 1),
+                                      cfg_.block_threads);
+    const bool is_owner = p == owner;
+    dev.launch("dist_init", lc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.grid_stride(rows, [&](std::uint64_t r) {
+        ctx.store(status, r,
+                  is_owner && first + r == src ? 0u : kUnvisited);
+      });
+      blk.grid_stride(cur.size(), [&](std::uint64_t w) {
+        std::uint64_t word = 0;
+        if (src / 64 == w) word = std::uint64_t{1} << (src % 64);
+        ctx.store(cur, w, word);
+        ctx.store(next, w, std::uint64_t{0});
+      });
+    });
+  }
+}
+
+double DistBfs::run_local_topdown(std::uint32_t level) {
+  double slowest = 0;
+  for (auto& gp : gcds_) {
+    Gcd& g = *gp;
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto cur = g.cur_bm.cspan();
+    auto next = g.next_bm.span();
+    auto queue = g.queue.span();
+    auto offsets = g.offsets.cspan();
+    auto cols = g.cols.cspan();
+    const vid_t first = g.rows.first_vertex;
+    const vid_t rows = g.rows.num_rows;
+
+    sim::LaunchConfig rc{.grid_blocks = 1, .block_threads = 64};
+    dev.launch(s, "dist_reset", rc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.threads([&](unsigned t) {
+        if (t < 2) ctx.store(counters, t, std::uint32_t{0});
+        if (t == 2) ctx.store(edges, 0, std::uint64_t{0});
+      });
+    });
+
+    // Extract the owned slice of the frontier bitmap into a queue.
+    const std::uint64_t w_begin = first / 64;
+    const std::uint64_t w_end =
+        (static_cast<std::uint64_t>(first) + rows + 63) / 64;
+    sim::LaunchConfig gc;
+    gc.block_threads = cfg_.block_threads;
+    gc.grid_blocks = auto_grid_blocks(
+        dev.profile(), std::max<std::uint64_t>(w_end - w_begin, 1),
+        cfg_.block_threads);
+    dev.launch(s, "dist_frontier_gen", gc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.grid_stride(w_end - w_begin, [&](std::uint64_t wi) {
+        const std::uint64_t word = ctx.load(cur, w_begin + wi);
+        if (word == 0) return;
+        // Owned bits only (edge words may straddle the boundary).
+        unsigned count = 0;
+        vid_t found[64];
+        for (unsigned b = 0; b < 64; ++b) {
+          if (!(word & (std::uint64_t{1} << b))) continue;
+          const std::uint64_t v = (w_begin + wi) * 64 + b;
+          if (v < first || v >= static_cast<std::uint64_t>(first) + rows) {
+            continue;
+          }
+          found[count++] = static_cast<vid_t>(v);
+        }
+        if (count == 0) return;
+        const std::uint32_t base = ctx.atomic_add(counters, kTail, count);
+        for (unsigned i = 0; i < count; ++i) {
+          ctx.store(queue, base + i, found[i]);
+        }
+        ctx.slots(count, count);
+      });
+    });
+    dev.memcpy_d2h(s, sizeof(std::uint32_t));
+    const std::uint32_t fsize = g.counters.host_data()[kTail];
+
+    if (fsize > 0) {
+      sim::LaunchConfig ec;
+      ec.block_threads = cfg_.block_threads;
+      ec.grid_blocks =
+          auto_grid_blocks(dev.profile(), fsize, cfg_.block_threads);
+      dev.launch(s, "dist_topdown_expand", ec, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(fsize, [&](std::uint64_t i) {
+          const vid_t v = ctx.load(queue, i);
+          const vid_t r = v - first;
+          const eid_t b = ctx.load(offsets, r);
+          const eid_t e = ctx.load(offsets, r + 1);
+          for (eid_t j = b; j < e; ++j) {
+            const vid_t w = ctx.load(cols, j);
+            // Candidate-bit pre-check dedups repeat discoveries locally.
+            const std::uint64_t word = ctx.atomic_load(next, w / 64);
+            const std::uint64_t bit = std::uint64_t{1} << (w % 64);
+            if (!(word & bit)) ctx.atomic_or(next, w / 64, bit);
+          }
+          ctx.slots(2 * (e - b) + 1, 2 * (e - b) + 1);
+        });
+      });
+    }
+    s.synchronize();
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+double DistBfs::run_claim_phase(std::uint32_t level) {
+  const std::uint32_t next_level = level + 1;
+  double slowest = 0;
+  for (auto& gp : gcds_) {
+    Gcd& g = *gp;
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto next = g.next_bm.span();
+    auto status = g.status.span();
+    auto offsets = g.offsets.cspan();
+    const vid_t first = g.rows.first_vertex;
+    const vid_t rows = g.rows.num_rows;
+    const std::uint64_t w_begin = first / 64;
+    const std::uint64_t w_end =
+        (static_cast<std::uint64_t>(first) + rows + 63) / 64;
+    sim::LaunchConfig cc;
+    cc.block_threads = cfg_.block_threads;
+    cc.grid_blocks = auto_grid_blocks(
+        dev.profile(), std::max<std::uint64_t>(w_end - w_begin, 1),
+        cfg_.block_threads);
+    dev.launch(s, "dist_claim", cc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.grid_stride(w_end - w_begin, [&](std::uint64_t wi) {
+        const std::uint64_t word = ctx.load(
+            sim::dspan<const std::uint64_t>(next), w_begin + wi);
+        if (word == 0) return;
+        std::uint64_t cleaned = 0;
+        std::uint32_t claimed = 0;
+        std::uint64_t degree_sum = 0;
+        for (unsigned b = 0; b < 64; ++b) {
+          const std::uint64_t bit = std::uint64_t{1} << b;
+          if (!(word & bit)) continue;
+          const std::uint64_t v = (w_begin + wi) * 64 + b;
+          if (v < first || v >= static_cast<std::uint64_t>(first) + rows) {
+            continue;  // not owned: drop (the owner keeps its own copy)
+          }
+          const vid_t r = static_cast<vid_t>(v - first);
+          if (ctx.load(status, r) == kUnvisited) {
+            ctx.store(status, r, next_level);
+            cleaned |= bit;
+            ++claimed;
+            degree_sum +=
+                ctx.load(offsets, r + 1) - ctx.load(offsets, r);
+          }
+        }
+        if (cleaned != word) ctx.store(next, w_begin + wi, cleaned);
+        if (claimed > 0) {
+          ctx.atomic_add(counters, kClaimed, claimed);
+          ctx.atomic_add(edges, 0, degree_sum);
+        }
+        ctx.slots(64, claimed + 1);
+      });
+    });
+    s.synchronize();
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+double DistBfs::run_local_bottomup(std::uint32_t level) {
+  const std::uint32_t next_level = level + 1;
+  double slowest = 0;
+  for (auto& gp : gcds_) {
+    Gcd& g = *gp;
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto cur = g.cur_bm.cspan();
+    auto next = g.next_bm.span();
+    auto status = g.status.span();
+    auto offsets = g.offsets.cspan();
+    auto cols = g.cols.cspan();
+    const vid_t first = g.rows.first_vertex;
+    const vid_t rows = g.rows.num_rows;
+
+    sim::LaunchConfig rc{.grid_blocks = 1, .block_threads = 64};
+    dev.launch(s, "dist_reset", rc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.threads([&](unsigned t) {
+        if (t < 2) ctx.store(counters, t, std::uint32_t{0});
+        if (t == 2) ctx.store(edges, 0, std::uint64_t{0});
+      });
+    });
+
+    sim::LaunchConfig bc;
+    bc.block_threads = cfg_.block_threads;
+    bc.grid_blocks = auto_grid_blocks(
+        dev.profile(), std::max<graph::vid_t>(rows, 1), cfg_.block_threads);
+    dev.launch(s, "dist_bottomup", bc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.grid_stride(rows, [&](std::uint64_t r) {
+        if (ctx.load(status, r) != kUnvisited) {
+          ctx.slots(1, 1);
+          return;
+        }
+        const eid_t b = ctx.load(offsets, r);
+        const eid_t e = ctx.load(offsets, r + 1);
+        std::uint64_t steps = 0;
+        for (eid_t j = b; j < e; ++j) {
+          const vid_t w = ctx.load(cols, j);
+          ++steps;
+          const std::uint64_t word = ctx.atomic_load(cur, w / 64);
+          if (word & (std::uint64_t{1} << (w % 64))) {
+            const vid_t v = first + static_cast<vid_t>(r);
+            ctx.store(status, r, next_level);
+            ctx.atomic_or(next, v / 64, std::uint64_t{1} << (v % 64));
+            ctx.atomic_add(counters, kClaimed, std::uint32_t{1});
+            ctx.atomic_add(edges, 0, static_cast<std::uint64_t>(e - b));
+            break;
+          }
+        }
+        ctx.slots(2 * steps + 1, 2 * steps + 1);
+      });
+    });
+    s.synchronize();
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+void DistBfs::merge_candidates_to_owners() {
+  // Host-side data movement standing in for the alltoall: owner p's slice
+  // becomes the OR of every device's candidate bits for that slice.
+  const std::size_t words = gcds_[0]->cur_bm.size();
+  for (unsigned p = 0; p < cfg_.gcds; ++p) {
+    Gcd& owner = *gcds_[p];
+    const std::uint64_t w_begin = owner.rows.first_vertex / 64;
+    const std::uint64_t w_end = std::min<std::uint64_t>(
+        words, (static_cast<std::uint64_t>(owner.rows.first_vertex) +
+                owner.rows.num_rows + 63) /
+                   64);
+    for (std::uint64_t w = w_begin; w < w_end; ++w) {
+      std::uint64_t merged = 0;
+      for (auto& gp : gcds_) merged |= gp->next_bm.host_data()[w];
+      owner.next_bm.host_data()[w] = merged;
+    }
+  }
+}
+
+void DistBfs::broadcast_cleaned_slices() {
+  // Host-side allgather: every device receives each owner's cleaned slice.
+  // Boundary words shared by two owners are OR-combined.
+  const std::size_t words = gcds_[0]->cur_bm.size();
+  std::vector<std::uint64_t> global(words, 0);
+  for (auto& gp : gcds_) {
+    const Gcd& g = *gp;
+    const std::uint64_t w_begin = g.rows.first_vertex / 64;
+    const std::uint64_t w_end = std::min<std::uint64_t>(
+        words, (static_cast<std::uint64_t>(g.rows.first_vertex) +
+                g.rows.num_rows + 63) /
+                   64);
+    const std::uint64_t first = g.rows.first_vertex;
+    const std::uint64_t last = first + g.rows.num_rows;  // exclusive
+    for (std::uint64_t w = w_begin; w < w_end; ++w) {
+      std::uint64_t mask = ~std::uint64_t{0};
+      if (w * 64 < first) mask &= ~((std::uint64_t{1} << (first - w * 64)) - 1);
+      if ((w + 1) * 64 > last) {
+        const unsigned keep = static_cast<unsigned>(last - w * 64);
+        mask &= keep >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << keep) - 1);
+      }
+      global[w] |= g.next_bm.host_data()[w] & mask;
+    }
+  }
+  for (auto& gp : gcds_) {
+    std::copy(global.begin(), global.end(), gp->next_bm.host_data());
+  }
+}
+
+DistBfsResult DistBfs::run(vid_t src) {
+  assert(src < n_);
+  DistBfsResult result;
+  reset_for_run(src);
+
+  const std::size_t words = gcds_[0]->cur_bm.size();
+  const std::uint64_t bitmap_bytes = words * sizeof(std::uint64_t);
+  const unsigned G = cfg_.gcds;
+
+  // Level-0 frontier metadata from the owner's local rows.
+  const Gcd& owner = *gcds_[part_.owner(src)];
+  const vid_t r0 = src - owner.rows.first_vertex;
+  std::uint64_t frontier_count = 1;
+  std::uint64_t frontier_edges =
+      owner.rows.offsets[r0 + 1] - owner.rows.offsets[r0];
+
+  double clock_us = 0, comm_total_us = 0;
+  for (std::uint32_t level = 0;; ++level) {
+    const double ratio =
+        static_cast<double>(frontier_edges) / static_cast<double>(m_ ? m_ : 1);
+    const bool bottom_up = ratio > cfg_.alpha;
+
+    DistLevelStats st;
+    st.level = level;
+    st.bottom_up = bottom_up;
+    st.frontier_count = frontier_count;
+    st.frontier_edges = frontier_edges;
+    st.ratio = ratio;
+
+    double local_us = 0, comm_us = 0;
+    if (bottom_up) {
+      local_us = run_local_bottomup(level);
+      // Claimed bits are already owner-clean: one broadcast suffices.
+      comm_us = cfg_.fabric.allgather_us(G, bitmap_bytes);
+      broadcast_cleaned_slices();
+    } else {
+      local_us = run_local_topdown(level);
+      comm_us = cfg_.fabric.allgather_us(G, bitmap_bytes);  // candidates
+      merge_candidates_to_owners();
+      local_us += run_claim_phase(level);
+      comm_us += cfg_.fabric.allgather_us(G, bitmap_bytes);  // cleaned
+      broadcast_cleaned_slices();
+    }
+    comm_us += cfg_.fabric.allreduce_scalar_us(G);
+
+    std::uint64_t next_count = 0, next_edges = 0;
+    for (auto& gp : gcds_) {
+      next_count += gp->counters.host_data()[kClaimed];
+      next_edges += gp->edges.host_data()[0];
+    }
+
+    st.local_ms = local_us / 1000.0;
+    st.comm_ms = comm_us / 1000.0;
+    result.level_stats.push_back(st);
+    clock_us += local_us + comm_us;
+    comm_total_us += comm_us;
+
+    if (next_count == 0) break;
+    frontier_count = next_count;
+    frontier_edges = next_edges;
+
+    // Swap bitmaps and clear the new candidate map on every device.
+    double clear_us = 0;
+    for (auto& gp : gcds_) {
+      std::swap(gp->cur_bm, gp->next_bm);
+      sim::Device& dev = *gp->device;
+      auto next = gp->next_bm.span();
+      sim::LaunchConfig lc;
+      lc.block_threads = cfg_.block_threads;
+      lc.grid_blocks =
+          auto_grid_blocks(dev.profile(), words, cfg_.block_threads);
+      const double t0 = dev.now_us();
+      dev.launch("dist_clear_bitmap", lc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(next.size(), [&](std::uint64_t w) {
+          ctx.store(next, w, std::uint64_t{0});
+        });
+      });
+      clear_us = std::max(clear_us, dev.now_us() - t0);
+    }
+    clock_us += clear_us;
+  }
+
+  // Gather global levels from the owned status slices.
+  result.levels.assign(n_, -1);
+  std::uint64_t reached_degree = 0;
+  for (auto& gp : gcds_) {
+    const Gcd& g = *gp;
+    g.device->memcpy_d2h(g.rows.num_rows * sizeof(std::uint32_t));
+    for (vid_t r = 0; r < g.rows.num_rows; ++r) {
+      const std::uint32_t stv = g.status.host_data()[r];
+      if (stv != kUnvisited) {
+        result.levels[g.rows.first_vertex + r] =
+            static_cast<std::int32_t>(stv);
+        reached_degree += g.rows.offsets[r + 1] - g.rows.offsets[r];
+      }
+    }
+  }
+
+  result.depth = static_cast<std::uint32_t>(result.level_stats.size());
+  result.total_ms = clock_us / 1000.0;
+  result.comm_ms = comm_total_us / 1000.0;
+  result.edges_traversed = reached_degree / 2;
+  result.gteps = result.total_ms > 0
+                     ? static_cast<double>(result.edges_traversed) /
+                           (result.total_ms * 1e6)
+                     : 0.0;
+  return result;
+}
+
+}  // namespace xbfs::dist

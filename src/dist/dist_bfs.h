@@ -1,0 +1,85 @@
+// Distributed direction-optimizing BFS across multiple simulated GCDs —
+// the system the paper positions single-GCD XBFS as the basis for
+// ("we believe this endeavor has established a solid basis for distributed
+// BFS on AMD GPUs", Sec. I, with the Graph500 per-GCD comparison).
+//
+// Design: Graph500-style 1D row partitioning.  Every GCD holds the full
+// adjacency of its owned vertex range plus a *global* frontier bitmap
+// (1 bit/vertex).  Per level:
+//   top-down  — owned frontier vertices expand, marking neighbor candidate
+//               bits; candidates travel to their owners (modelled
+//               alltoall), owners claim unvisited ones and broadcast the
+//               cleaned frontier slice (modelled allgather);
+//   bottom-up — owned unvisited vertices probe the local copy of the global
+//               frontier bitmap with early termination (no candidate
+//               exchange at all — the property that makes bottom-up the
+//               communication winner at the ratio peak).
+// The per-level direction choice reuses the XBFS alpha policy on globally
+// allreduced frontier-edge counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/interconnect.h"
+#include "dist/partition.h"
+#include "graph/csr.h"
+#include "hipsim/device.h"
+
+namespace xbfs::dist {
+
+struct DistConfig {
+  unsigned gcds = 2;
+  double alpha = 0.1;            ///< bottom-up threshold on the global ratio
+  unsigned block_threads = 256;
+  FabricModel fabric = FabricModel::frontier();
+  sim::SimOptions device_options = {};  ///< per simulated GCD
+};
+
+struct DistLevelStats {
+  std::uint32_t level = 0;
+  bool bottom_up = false;
+  std::uint64_t frontier_count = 0;
+  std::uint64_t frontier_edges = 0;
+  double ratio = 0.0;
+  double local_ms = 0.0;  ///< slowest GCD's kernel time this level
+  double comm_ms = 0.0;   ///< modelled collective time this level
+};
+
+struct DistBfsResult {
+  std::vector<std::int32_t> levels;  ///< global, -1 unreached
+  std::vector<DistLevelStats> level_stats;
+  double total_ms = 0.0;
+  double comm_ms = 0.0;              ///< total communication share
+  std::uint64_t edges_traversed = 0;
+  double gteps = 0.0;
+  std::uint32_t depth = 0;
+};
+
+class DistBfs {
+ public:
+  DistBfs(const graph::Csr& g, DistConfig cfg);
+  ~DistBfs();
+
+  DistBfsResult run(graph::vid_t src);
+
+  const Partition1D& partition() const { return part_; }
+
+ private:
+  struct Gcd;  // per-device state
+  void reset_for_run(graph::vid_t src);
+  double run_local_topdown(std::uint32_t level);
+  double run_local_bottomup(std::uint32_t level);
+  double run_claim_phase(std::uint32_t level);
+  void merge_candidates_to_owners();
+  void broadcast_cleaned_slices();
+
+  graph::vid_t n_;
+  std::uint64_t m_;
+  DistConfig cfg_;
+  Partition1D part_;
+  std::vector<std::unique_ptr<Gcd>> gcds_;
+};
+
+}  // namespace xbfs::dist

@@ -1,0 +1,47 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xbfs::dist {
+
+Partition1D::Partition1D(graph::vid_t n, unsigned parts)
+    : n_(n), parts_(parts) {
+  assert(parts >= 1);
+  bounds_.resize(parts_ + 1);
+  for (unsigned p = 0; p <= parts_; ++p) {
+    bounds_[p] = static_cast<graph::vid_t>(
+        static_cast<std::uint64_t>(n_) * p / parts_);
+  }
+}
+
+unsigned Partition1D::owner(graph::vid_t v) const {
+  assert(v < n_);
+  // Near-uniform blocks: jump to the estimate, then correct locally.
+  unsigned p = static_cast<unsigned>(
+      static_cast<std::uint64_t>(v) * parts_ / std::max<graph::vid_t>(n_, 1));
+  if (p >= parts_) p = parts_ - 1;
+  while (v < bounds_[p]) --p;
+  while (v >= bounds_[p + 1]) ++p;
+  return p;
+}
+
+LocalRows extract_local_rows(const graph::Csr& g, const Partition1D& part,
+                             unsigned p) {
+  LocalRows out;
+  out.first_vertex = part.begin(p);
+  out.num_rows = part.owned(p);
+  out.offsets.resize(static_cast<std::size_t>(out.num_rows) + 1);
+  const graph::eid_t base = g.offsets()[out.first_vertex];
+  for (graph::vid_t r = 0; r <= out.num_rows; ++r) {
+    out.offsets[r] = g.offsets()[out.first_vertex + r] - base;
+  }
+  out.cols.assign(
+      g.cols().begin() + static_cast<std::ptrdiff_t>(base),
+      g.cols().begin() +
+          static_cast<std::ptrdiff_t>(g.offsets()[part.end(p)]));
+  out.owned_edges = out.cols.size();
+  return out;
+}
+
+}  // namespace xbfs::dist

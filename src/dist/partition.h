@@ -1,0 +1,46 @@
+// 1D block partitioning of a graph across simulated GCDs, Graph500-style:
+// each part owns a contiguous vertex range and stores the full adjacency of
+// its owned rows (global column ids).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::dist {
+
+class Partition1D {
+ public:
+  Partition1D(graph::vid_t n, unsigned parts);
+
+  unsigned parts() const { return parts_; }
+  graph::vid_t n() const { return n_; }
+
+  graph::vid_t begin(unsigned p) const { return bounds_[p]; }
+  graph::vid_t end(unsigned p) const { return bounds_[p + 1]; }
+  graph::vid_t owned(unsigned p) const { return end(p) - begin(p); }
+
+  /// Owning part of a vertex (O(1): ranges are near-uniform blocks).
+  unsigned owner(graph::vid_t v) const;
+
+ private:
+  graph::vid_t n_;
+  unsigned parts_;
+  std::vector<graph::vid_t> bounds_;  // parts+1
+};
+
+/// The rows of `g` owned by part `p`: offsets are re-based to the local row
+/// index, columns stay global.
+struct LocalRows {
+  graph::vid_t first_vertex = 0;   ///< global id of local row 0
+  graph::vid_t num_rows = 0;
+  std::vector<graph::eid_t> offsets;  ///< num_rows + 1
+  std::vector<graph::vid_t> cols;     ///< global neighbor ids
+  std::uint64_t owned_edges = 0;
+};
+
+LocalRows extract_local_rows(const graph::Csr& g, const Partition1D& part,
+                             unsigned p);
+
+}  // namespace xbfs::dist

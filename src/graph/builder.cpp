@@ -1,0 +1,65 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xbfs::graph {
+
+Csr build_csr(vid_t n, std::vector<Edge> edges, const BuildOptions& opt) {
+  if (opt.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+  }
+  for (const Edge& e : edges) {
+    assert(e.u < n && e.v < n && "edge endpoint out of range");
+    (void)e;
+  }
+  if (opt.symmetrize) {
+    const std::size_t orig = edges.size();
+    edges.reserve(orig * 2);
+    for (std::size_t i = 0; i < orig; ++i) {
+      edges.push_back(Edge{edges[i].v, edges[i].u});
+    }
+  }
+
+  // Counting sort by source vertex, then per-list neighbor sort + dedup.
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.u + 1];
+  for (vid_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<vid_t> cols(edges.size());
+  {
+    std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge& e : edges) cols[cursor[e.u]++] = e.v;
+  }
+
+  if (opt.sort_neighbors || opt.dedup) {
+    std::vector<vid_t> out_cols;
+    out_cols.reserve(cols.size());
+    std::vector<eid_t> out_offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (vid_t v = 0; v < n; ++v) {
+      auto begin = cols.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      auto end = cols.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      std::sort(begin, end);
+      if (opt.dedup) end = std::unique(begin, end);
+      out_cols.insert(out_cols.end(), begin, end);
+      out_offsets[v + 1] = static_cast<eid_t>(out_cols.size());
+    }
+    return Csr(std::move(out_offsets), std::move(out_cols));
+  }
+  return Csr(std::move(offsets), std::move(cols));
+}
+
+Csr reverse_csr(const Csr& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (eid_t e = 0; e < g.num_edges(); ++e) ++offsets[g.cols()[e] + 1];
+  for (vid_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<vid_t> cols(g.num_edges());
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t w : g.neighbors(u)) cols[cursor[w]++] = u;
+  }
+  return Csr(std::move(offsets), std::move(cols));
+}
+
+}  // namespace xbfs::graph

@@ -1,0 +1,32 @@
+// Edge-list -> CSR construction with the clean-up passes every real graph
+// pipeline needs: symmetrization, self-loop removal, deduplication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+struct Edge {
+  vid_t u = 0;
+  vid_t v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+struct BuildOptions {
+  bool symmetrize = true;      ///< add (v,u) for every (u,v): undirected BFS
+  bool remove_self_loops = true;
+  bool dedup = true;           ///< drop parallel edges
+  bool sort_neighbors = true;  ///< ascending neighbor ids per adjacency list
+};
+
+/// Build a CSR over vertices [0, n) from an arbitrary edge list.
+Csr build_csr(vid_t n, std::vector<Edge> edges, const BuildOptions& opt = {});
+
+/// Transpose of a directed CSR: in-edges become out-edges.  Used by the
+/// backward sweeps of directed algorithms (SCC).
+Csr reverse_csr(const Csr& g);
+
+}  // namespace xbfs::graph

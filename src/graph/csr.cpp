@@ -1,0 +1,46 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace xbfs::graph {
+
+Csr::Csr(std::vector<eid_t> offsets, std::vector<vid_t> cols)
+    : offsets_(std::move(offsets)), cols_(std::move(cols)) {
+  assert(!offsets_.empty());
+  n_ = static_cast<vid_t>(offsets_.size() - 1);
+  m_ = static_cast<eid_t>(cols_.size());
+  assert(offsets_.back() == m_);
+}
+
+vid_t Csr::max_degree() const {
+  vid_t best = 0;
+  for (vid_t v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::string Csr::validate() const {
+  if (offsets_.empty()) return "offsets array is empty";
+  if (offsets_.front() != 0) return "offsets[0] != 0";
+  if (offsets_.back() != m_) {
+    return "offsets back does not match edge count";
+  }
+  for (vid_t v = 0; v < n_; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      std::ostringstream os;
+      os << "offsets not monotone at vertex " << v;
+      return os.str();
+    }
+  }
+  for (eid_t e = 0; e < m_; ++e) {
+    if (cols_[e] >= n_) {
+      std::ostringstream os;
+      os << "adjacency entry " << e << " out of range: " << cols_[e];
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace xbfs::graph

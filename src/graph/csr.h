@@ -1,0 +1,63 @@
+// Compressed Sparse Row graph: the storage format XBFS traverses.
+//
+// Matching the paper's memory-efficiency model (Sec. V-F), row offsets are
+// 8-byte edge indices and adjacency entries are 4-byte vertex ids, so a BFS
+// that reads every vertex twice and every edge once moves 16|V| + 4|E| bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xbfs::graph {
+
+using vid_t = std::uint32_t;  ///< vertex id (4 bytes, as in the paper)
+using eid_t = std::uint64_t;  ///< edge index (8 bytes, as in the paper)
+
+class Csr {
+ public:
+  Csr() = default;
+  /// Takes ownership of prebuilt arrays; offsets.size() must be n+1 and
+  /// offsets.back() must equal cols.size().
+  Csr(std::vector<eid_t> offsets, std::vector<vid_t> cols);
+
+  vid_t num_vertices() const { return n_; }
+  eid_t num_edges() const { return m_; }  ///< directed adjacency entries
+  bool empty() const { return n_ == 0; }
+
+  vid_t degree(vid_t v) const {
+    return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {cols_.data() + offsets_[v], degree(v)};
+  }
+  std::span<vid_t> mutable_neighbors(vid_t v) {
+    return {cols_.data() + offsets_[v], degree(v)};
+  }
+
+  const std::vector<eid_t>& offsets() const { return offsets_; }
+  const std::vector<vid_t>& cols() const { return cols_; }
+
+  double avg_degree() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(m_) / n_;
+  }
+  vid_t max_degree() const;
+
+  /// Structural validation: monotone offsets, in-range adjacency entries.
+  /// Returns an empty string when valid, else a diagnostic.
+  std::string validate() const;
+
+  /// Bytes of the CSR payload (the paper's "Data size" column).
+  std::uint64_t payload_bytes() const {
+    return offsets_.size() * sizeof(eid_t) + cols_.size() * sizeof(vid_t);
+  }
+
+ private:
+  vid_t n_ = 0;
+  eid_t m_ = 0;
+  std::vector<eid_t> offsets_;  // n+1
+  std::vector<vid_t> cols_;     // m
+};
+
+}  // namespace xbfs::graph

@@ -1,0 +1,104 @@
+#include "graph/datasets.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/rmat.h"
+
+namespace xbfs::graph {
+
+namespace {
+
+unsigned log2_floor(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+}  // namespace
+
+const std::vector<DatasetMeta>& all_datasets() {
+  static const std::vector<DatasetMeta> kMeta = {
+      {DatasetId::LJ, "LJ", "LiveJournal", 4036538, 69362378,
+       "RMAT (A=.57,B=.19,C=.19) social-skew, edge factor 17"},
+      {DatasetId::UP, "UP", "USpatent", 6009555, 33037896,
+       "layered citation graph, avg out-degree 5, long diameter"},
+      {DatasetId::OR, "OR", "Orkut", 3072627, 234370166,
+       "RMAT social-skew with mild quadrant weights, edge factor 76"},
+      {DatasetId::DB, "DB", "Dblp", 425957, 2099732,
+       "Watts-Strogatz small world (k=10, beta=0.3)"},
+      {DatasetId::R23, "R23", "Rmat23", 838809, 134214744,
+       "Graph500 RMAT, edge factor 160 (dense, few levels)"},
+      {DatasetId::R25, "R25", "Rmat25", 33554432, 536866130,
+       "Graph500 RMAT scale 25, edge factor 16"},
+  };
+  return kMeta;
+}
+
+const DatasetMeta& dataset_meta(DatasetId id) {
+  for (const DatasetMeta& m : all_datasets()) {
+    if (m.id == id) return m;
+  }
+  throw std::logic_error("unknown dataset id");
+}
+
+DatasetId dataset_from_name(const std::string& short_name) {
+  for (const DatasetMeta& m : all_datasets()) {
+    if (m.short_name == short_name) return m.id;
+  }
+  throw std::invalid_argument("unknown dataset: " + short_name);
+}
+
+Csr make_dataset(DatasetId id, unsigned scale_divisor, std::uint64_t seed) {
+  assert(scale_divisor >= 1);
+  const DatasetMeta& meta = dataset_meta(id);
+  const std::uint64_t n64 =
+      std::max<std::uint64_t>(1024, meta.paper_vertices / scale_divisor);
+  const vid_t n = static_cast<vid_t>(n64);
+
+  switch (id) {
+    case DatasetId::LJ: {
+      RmatParams p;
+      p.scale = log2_floor(n64);
+      p.edge_factor = 17;  // 69.4M / 4.04M
+      p.seed = seed;
+      return rmat_csr(p);
+    }
+    case DatasetId::UP:
+      // ~5.5 directed citations per patent; layered recency structure gives
+      // the longest BFS of Table II (cit-Patents' effective diameter is in
+      // the low twenties) without an artificial path-graph depth.
+      return layered_citation(n, /*layers=*/60, /*avg_out=*/5, seed);
+    case DatasetId::OR: {
+      RmatParams p;
+      p.scale = log2_floor(n64);
+      p.edge_factor = 76;  // 234M / 3.07M
+      p.a = 0.45;
+      p.b = 0.22;
+      p.c = 0.22;  // Orkut is less skewed than LJ
+      p.seed = seed;
+      return rmat_csr(p);
+    }
+    case DatasetId::DB:
+      return small_world(n, /*k=*/10, /*beta=*/0.3, seed);
+    case DatasetId::R23: {
+      RmatParams p;
+      // Paper's "Rmat23" row: 838809 vertices, 134.2M edges => effective
+      // edge factor ~160 on ~2^20 vertices after trimming.
+      p.scale = log2_floor(n64);
+      p.edge_factor = 160;
+      p.seed = seed;
+      return rmat_csr(p);
+    }
+    case DatasetId::R25: {
+      RmatParams p;
+      p.scale = log2_floor(n64);
+      p.edge_factor = 16;
+      p.seed = seed;
+      return rmat_csr(p);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace xbfs::graph

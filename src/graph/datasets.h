@@ -1,0 +1,40 @@
+// Stand-ins for the paper's Table II datasets.
+//
+// The SNAP graphs (LiveJournal, USpatent, Orkut, Dblp) are not available
+// offline, so each is substituted with a synthetic generator matched on the
+// properties that govern XBFS's per-level behaviour: vertex count, average
+// degree, degree skew and diameter class.  RMAT datasets are generated
+// exactly as in Graph500.  `scale_divisor` shrinks vertex counts (keeping
+// average degree) so profile-mode simulation stays fast; 1 reproduces paper
+// sizes.  Every substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+enum class DatasetId { LJ, UP, OR, DB, R23, R25 };
+
+struct DatasetMeta {
+  DatasetId id;
+  std::string short_name;     ///< "LJ", "UP", ...
+  std::string paper_name;     ///< "LiveJournal", ...
+  std::uint64_t paper_vertices;
+  std::uint64_t paper_edges;
+  std::string substitution;   ///< generator family used as stand-in
+};
+
+/// Static metadata for all six datasets (Table II).
+const std::vector<DatasetMeta>& all_datasets();
+const DatasetMeta& dataset_meta(DatasetId id);
+DatasetId dataset_from_name(const std::string& short_name);
+
+/// Build the stand-in graph. Degree-preserving scale-down by scale_divisor.
+Csr make_dataset(DatasetId id, unsigned scale_divisor = 16,
+                 std::uint64_t seed = 1);
+
+}  // namespace xbfs::graph

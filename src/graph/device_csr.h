@@ -1,0 +1,46 @@
+// A CSR graph resident in simulated device memory, with the modelled
+// host-to-device upload cost (part of the paper's n-to-n end-to-end time,
+// which dominates on small graphs like Dblp).
+#pragma once
+
+#include <cstring>
+
+#include "graph/csr.h"
+#include "hipsim/buffer.h"
+#include "hipsim/device.h"
+
+namespace xbfs::graph {
+
+struct DeviceCsr {
+  sim::DeviceBuffer<eid_t> offsets;  ///< n+1 row offsets (8-byte)
+  sim::DeviceBuffer<vid_t> cols;     ///< m adjacency entries (4-byte)
+  vid_t n = 0;
+  eid_t m = 0;
+
+  sim::dspan<const eid_t> offsets_span() const { return offsets.cspan(); }
+  sim::dspan<const vid_t> cols_span() const { return cols.cspan(); }
+
+  /// Allocate device buffers, copy the CSR payload and charge the modelled
+  /// h2d transfer time to `stream`.
+  static DeviceCsr upload(sim::Device& dev, sim::Stream& stream,
+                          const Csr& g) {
+    DeviceCsr d;
+    d.n = g.num_vertices();
+    d.m = g.num_edges();
+    d.offsets = dev.alloc<eid_t>(g.offsets().size());
+    d.cols = dev.alloc<vid_t>(g.cols().size());
+    std::memcpy(d.offsets.host_data(), g.offsets().data(),
+                g.offsets().size() * sizeof(eid_t));
+    if (!g.cols().empty()) {
+      std::memcpy(d.cols.host_data(), g.cols().data(),
+                  g.cols().size() * sizeof(vid_t));
+    }
+    dev.memcpy_h2d(stream, g.payload_bytes());
+    return d;
+  }
+  static DeviceCsr upload(sim::Device& dev, const Csr& g) {
+    return upload(dev, dev.stream(0), g);
+  }
+};
+
+}  // namespace xbfs::graph

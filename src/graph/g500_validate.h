@@ -1,0 +1,33 @@
+// Graph500-specification BFS result validation (the five checks of the
+// official benchmark, applied to a parent array):
+//   1. the BFS tree is a tree rooted at the source (each reached vertex has
+//      a parent chain terminating at the root);
+//   2. tree edges connect vertices whose BFS levels differ by exactly one;
+//   3. every edge of the input graph connects vertices whose levels differ
+//      by at most one;
+//   4. the tree spans exactly the source's connected component;
+//   5. the root's parent is itself and no unreached vertex has a parent.
+//
+// Used by examples/graph500_runner and the test suite; complements the
+// level-based validators in graph/reference.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+/// Validate a parent array per the Graph500 rules.  Returns empty on
+/// success, else a diagnostic naming the violated rule.
+std::string validate_graph500(const Csr& g, vid_t src,
+                              const std::vector<vid_t>& parent);
+
+/// Derive levels from a parent tree (root = 0); kUnreached for vertices
+/// outside the tree, or an empty vector if the tree contains a cycle or an
+/// out-of-range parent.
+std::vector<std::int32_t> levels_from_parents(const Csr& g, vid_t src,
+                                              const std::vector<vid_t>& parent);
+
+}  // namespace xbfs::graph

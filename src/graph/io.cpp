@@ -1,0 +1,113 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xbfs::graph {
+
+namespace {
+constexpr std::uint64_t kEdgeMagic = 0x58424653'45444745ull;  // "XBFSEDGE"
+constexpr std::uint64_t kCsrMagic = 0x58424653'43535230ull;   // "XBFSCSR0"
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error(path + ": " + why);
+}
+}  // namespace
+
+std::vector<Edge> read_edge_list_text(const std::string& path, vid_t* out_n) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open");
+  std::vector<Edge> edges;
+  vid_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) fail(path, "malformed line: " + line);
+    edges.push_back(
+        Edge{static_cast<vid_t>(u), static_cast<vid_t>(v)});
+    max_id = std::max({max_id, static_cast<vid_t>(u), static_cast<vid_t>(v)});
+  }
+  if (out_n) *out_n = edges.empty() ? 0 : max_id + 1;
+  return edges;
+}
+
+void write_edge_list_text(const std::string& path,
+                          const std::vector<Edge>& edges) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "# xbfs_frontier edge list: " << edges.size() << " edges\n";
+  for (const Edge& e : edges) out << e.u << ' ' << e.v << '\n';
+  if (!out) fail(path, "write error");
+}
+
+std::vector<Edge> read_edge_list_binary(const std::string& path,
+                                        vid_t* out_n) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::uint64_t magic = 0, m = 0;
+  std::uint32_t n = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kEdgeMagic) fail(path, "bad magic (not an edge file)");
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  std::vector<Edge> edges(m);
+  static_assert(sizeof(Edge) == 2 * sizeof(vid_t));
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!in) fail(path, "truncated edge file");
+  if (out_n) *out_n = n;
+  return edges;
+}
+
+void write_edge_list_binary(const std::string& path, vid_t n,
+                            const std::vector<Edge>& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  const std::uint64_t m = edges.size();
+  out.write(reinterpret_cast<const char*>(&kEdgeMagic), sizeof(kEdgeMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(edges.data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+  if (!out) fail(path, "write error");
+}
+
+void write_csr_binary(const std::string& path, const Csr& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  out.write(reinterpret_cast<const char*>(&kCsrMagic), sizeof(kCsrMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(eid_t)));
+  out.write(reinterpret_cast<const char*>(g.cols().data()),
+            static_cast<std::streamsize>(g.cols().size() * sizeof(vid_t)));
+  if (!out) fail(path, "write error");
+}
+
+Csr read_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open");
+  std::uint64_t magic = 0, n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kCsrMagic) fail(path, "bad magic (not a CSR file)");
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  std::vector<eid_t> offsets(n + 1);
+  std::vector<vid_t> cols(m);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(eid_t)));
+  in.read(reinterpret_cast<char*>(cols.data()),
+          static_cast<std::streamsize>(cols.size() * sizeof(vid_t)));
+  if (!in) fail(path, "truncated CSR file");
+  return Csr(std::move(offsets), std::move(cols));
+}
+
+}  // namespace xbfs::graph

@@ -1,0 +1,31 @@
+// Edge-list I/O: whitespace-separated text ("u v" per line, '#' comments,
+// SNAP style) and a compact binary format for round-tripping generated
+// datasets between tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+/// Parse a SNAP-style text edge list.  Vertex ids are used as-is; `n` is
+/// max id + 1 unless a larger value is forced via min_vertices.
+std::vector<Edge> read_edge_list_text(const std::string& path,
+                                      vid_t* out_n = nullptr);
+void write_edge_list_text(const std::string& path,
+                          const std::vector<Edge>& edges);
+
+/// Binary format: u64 magic, u32 n, u64 m, then m (u32,u32) pairs.
+std::vector<Edge> read_edge_list_binary(const std::string& path,
+                                        vid_t* out_n = nullptr);
+void write_edge_list_binary(const std::string& path, vid_t n,
+                            const std::vector<Edge>& edges);
+
+/// Serialize a whole CSR (offsets + cols) to a binary file and back.
+void write_csr_binary(const std::string& path, const Csr& g);
+Csr read_csr_binary(const std::string& path);
+
+}  // namespace xbfs::graph

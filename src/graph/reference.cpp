@@ -1,0 +1,136 @@
+#include "graph/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace xbfs::graph {
+
+std::vector<std::int32_t> reference_bfs(const Csr& g, vid_t src) {
+  std::vector<std::int32_t> levels(g.num_vertices(), kUnreached);
+  std::deque<vid_t> queue;
+  levels[src] = 0;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const vid_t v = queue.front();
+    queue.pop_front();
+    const std::int32_t next = levels[v] + 1;
+    for (vid_t w : g.neighbors(v)) {
+      if (levels[w] == kUnreached) {
+        levels[w] = next;
+        queue.push_back(w);
+      }
+    }
+  }
+  return levels;
+}
+
+std::vector<vid_t> connected_components(const Csr& g, vid_t* n_components) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> comp(n, static_cast<vid_t>(-1));
+  vid_t next_comp = 0;
+  std::deque<vid_t> queue;
+  for (vid_t s = 0; s < n; ++s) {
+    if (comp[s] != static_cast<vid_t>(-1)) continue;
+    comp[s] = next_comp;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const vid_t v = queue.front();
+      queue.pop_front();
+      for (vid_t w : g.neighbors(v)) {
+        if (comp[w] == static_cast<vid_t>(-1)) {
+          comp[w] = next_comp;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++next_comp;
+  }
+  if (n_components) *n_components = next_comp;
+  return comp;
+}
+
+std::vector<vid_t> largest_component_vertices(const Csr& g) {
+  vid_t n_comp = 0;
+  const std::vector<vid_t> comp = connected_components(g, &n_comp);
+  std::vector<std::uint64_t> sizes(n_comp, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) ++sizes[comp[v]];
+  const vid_t best = static_cast<vid_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<vid_t> out;
+  out.reserve(sizes[best]);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (comp[v] == best) out.push_back(v);
+  }
+  return out;
+}
+
+std::string validate_bfs_levels(const Csr& g, vid_t src,
+                                const std::vector<std::int32_t>& levels) {
+  std::ostringstream os;
+  if (levels.size() != g.num_vertices()) {
+    return "levels array has wrong size";
+  }
+  if (levels[src] != 0) {
+    os << "source level is " << levels[src] << ", expected 0";
+    return os.str();
+  }
+  const std::vector<std::int32_t> ref = reference_bfs(g, src);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if ((levels[v] == kUnreached) != (ref[v] == kUnreached)) {
+      os << "vertex " << v << ": reachability mismatch (got " << levels[v]
+         << ", ref " << ref[v] << ")";
+      return os.str();
+    }
+  }
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == kUnreached) continue;
+    bool has_pred = levels[v] == 0;
+    for (vid_t w : g.neighbors(v)) {
+      if (levels[w] == kUnreached) {
+        os << "edge (" << v << "," << w << "): reached->unreached";
+        return os.str();
+      }
+      if (std::abs(levels[v] - levels[w]) > 1) {
+        os << "edge (" << v << "," << w << ") spans levels " << levels[v]
+           << " and " << levels[w];
+        return os.str();
+      }
+      if (levels[w] == levels[v] - 1) has_pred = true;
+    }
+    if (!has_pred) {
+      os << "vertex " << v << " at level " << levels[v]
+         << " has no level-" << (levels[v] - 1) << " neighbor";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string validate_bfs_parents(const Csr& g, vid_t src,
+                                 const std::vector<std::int32_t>& levels,
+                                 const std::vector<vid_t>& parent) {
+  std::ostringstream os;
+  if (parent.size() != g.num_vertices()) return "parent array has wrong size";
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] == kUnreached || v == src) continue;
+    const vid_t p = parent[v];
+    if (p >= g.num_vertices()) {
+      os << "vertex " << v << " has out-of-range parent " << p;
+      return os.str();
+    }
+    if (levels[p] != levels[v] - 1) {
+      os << "vertex " << v << " (level " << levels[v] << ") has parent " << p
+         << " at level " << levels[p];
+      return os.str();
+    }
+    const auto nb = g.neighbors(v);
+    if (std::find(nb.begin(), nb.end(), p) == nb.end()) {
+      os << "parent " << p << " of vertex " << v << " is not a neighbor";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace xbfs::graph

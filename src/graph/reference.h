@@ -1,0 +1,39 @@
+// Serial reference algorithms: the ground truth every simulated-GPU BFS is
+// validated against, plus connectivity helpers used by benches to pick
+// sources from the giant component (as Graph500 does).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+inline constexpr std::int32_t kUnreached = -1;
+
+/// Serial queue BFS; levels[v] = hops from src, kUnreached if not reachable.
+std::vector<std::int32_t> reference_bfs(const Csr& g, vid_t src);
+
+/// Connected components (undirected view); comp[v] in [0, n_components).
+std::vector<vid_t> connected_components(const Csr& g, vid_t* n_components);
+
+/// Vertices of the largest component, ascending.  Benches sample BFS
+/// sources from this set so every run traverses the bulk of the graph.
+std::vector<vid_t> largest_component_vertices(const Csr& g);
+
+/// Validate a BFS level assignment without referencing any particular
+/// traversal order.  Checks: level[src]==0; reachability matches; every
+/// edge differs by at most one level; every level-k>0 vertex has a level
+/// k-1 neighbor.  Returns empty string if valid, else a diagnostic.
+std::string validate_bfs_levels(const Csr& g, vid_t src,
+                                const std::vector<std::int32_t>& levels);
+
+/// Validate a parent array against a level assignment: parent edges must
+/// exist and span exactly one level.
+std::string validate_bfs_parents(const Csr& g, vid_t src,
+                                 const std::vector<std::int32_t>& levels,
+                                 const std::vector<vid_t>& parent);
+
+}  // namespace xbfs::graph

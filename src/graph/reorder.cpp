@@ -1,0 +1,137 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace xbfs::graph {
+
+namespace {
+
+bool less_for(const Csr& g, NeighborOrder order, vid_t a, vid_t b) {
+  switch (order) {
+    case NeighborOrder::ById:
+      return a < b;
+    case NeighborOrder::ByDegreeDesc: {
+      const vid_t da = g.degree(a), db = g.degree(b);
+      return da != db ? da > db : a < b;
+    }
+    case NeighborOrder::ByDegreeAsc: {
+      const vid_t da = g.degree(a), db = g.degree(b);
+      return da != db ? da < db : a < b;
+    }
+  }
+  return a < b;
+}
+
+}  // namespace
+
+Csr rearrange_neighbors(const Csr& g, NeighborOrder order) {
+  std::vector<eid_t> offsets = g.offsets();
+  std::vector<vid_t> cols = g.cols();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto begin = cols.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+    auto end = cols.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+    std::sort(begin, end,
+              [&](vid_t a, vid_t b) { return less_for(g, order, a, b); });
+  }
+  return Csr(std::move(offsets), std::move(cols));
+}
+
+bool neighbors_ordered(const Csr& g, NeighborOrder order) {
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto nb = g.neighbors(v);
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      if (less_for(g, order, nb[i], nb[i - 1])) return false;
+    }
+  }
+  return true;
+}
+
+double visit_probability(std::uint64_t m, std::uint64_t mk, std::uint64_t d) {
+  if (d >= m || mk >= m) return mk == 0 ? 0.0 : 1.0;
+  if (mk == 0 || d == 0) return 0.0;
+  // log C(m-d, mk) - log C(m, mk) = sum_{i=0..mk-1} log((m-d-i)/(m-i))
+  double log_ratio = 0.0;
+  for (std::uint64_t i = 0; i < mk; ++i) {
+    if (m - d <= i) return 1.0;  // C(m-d, mk) == 0: certain visit
+    log_ratio += std::log(static_cast<double>(m - d - i)) -
+                 std::log(static_cast<double>(m - i));
+    if (log_ratio < -60.0) return 1.0;  // underflow: probability ~= 1
+  }
+  return 1.0 - std::exp(log_ratio);
+}
+
+Relabeling relabel_vertices(const Csr& g, VertexOrder order) {
+  const vid_t n = g.num_vertices();
+  Relabeling out;
+  out.new_to_old.resize(n);
+  std::iota(out.new_to_old.begin(), out.new_to_old.end(), vid_t{0});
+
+  switch (order) {
+    case VertexOrder::ByDegreeDesc:
+      std::stable_sort(out.new_to_old.begin(), out.new_to_old.end(),
+                       [&](vid_t a, vid_t b) {
+                         return g.degree(a) != g.degree(b)
+                                    ? g.degree(a) > g.degree(b)
+                                    : a < b;
+                       });
+      break;
+    case VertexOrder::ByDegreeAsc:
+      std::stable_sort(out.new_to_old.begin(), out.new_to_old.end(),
+                       [&](vid_t a, vid_t b) {
+                         return g.degree(a) != g.degree(b)
+                                    ? g.degree(a) < g.degree(b)
+                                    : a < b;
+                       });
+      break;
+    case VertexOrder::BfsFrom0: {
+      // BFS visit order; unreached vertices keep relative order at the end.
+      std::vector<bool> seen(n, false);
+      std::vector<vid_t> ordered;
+      ordered.reserve(n);
+      for (vid_t s = 0; s < n; ++s) {
+        if (seen[s]) continue;
+        std::deque<vid_t> queue{s};
+        seen[s] = true;
+        while (!queue.empty()) {
+          const vid_t v = queue.front();
+          queue.pop_front();
+          ordered.push_back(v);
+          for (vid_t w : g.neighbors(v)) {
+            if (!seen[w]) {
+              seen[w] = true;
+              queue.push_back(w);
+            }
+          }
+        }
+      }
+      out.new_to_old = std::move(ordered);
+      break;
+    }
+  }
+
+  out.old_to_new.resize(n);
+  for (vid_t nv = 0; nv < n; ++nv) out.old_to_new[out.new_to_old[nv]] = nv;
+
+  std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t nv = 0; nv < n; ++nv) {
+    offsets[nv + 1] = offsets[nv] + g.degree(out.new_to_old[nv]);
+  }
+  std::vector<vid_t> cols;
+  cols.reserve(g.num_edges());
+  for (vid_t nv = 0; nv < n; ++nv) {
+    std::vector<vid_t> nb;
+    nb.reserve(g.degree(out.new_to_old[nv]));
+    for (vid_t w : g.neighbors(out.new_to_old[nv])) {
+      nb.push_back(out.old_to_new[w]);
+    }
+    std::sort(nb.begin(), nb.end());
+    cols.insert(cols.end(), nb.begin(), nb.end());
+  }
+  out.graph = Csr(std::move(offsets), std::move(cols));
+  return out;
+}
+
+}  // namespace xbfs::graph

@@ -1,0 +1,86 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/reference.h"
+
+namespace xbfs::graph {
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+  std::vector<vid_t> degs(n);
+  std::uint64_t total = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    degs[v] = g.degree(v);
+    total += degs[v];
+    if (degs[v] == 0) ++s.isolated;
+  }
+  std::sort(degs.begin(), degs.end());
+  s.min_degree = degs.front();
+  s.max_degree = degs.back();
+  s.mean = static_cast<double>(total) / n;
+  auto pct = [&](double q) {
+    const std::size_t i =
+        std::min<std::size_t>(n - 1, static_cast<std::size_t>(q * n));
+    return static_cast<double>(degs[i]);
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+std::vector<double> frontier_edge_ratio(const Csr& g, vid_t src) {
+  const std::vector<std::int32_t> levels = reference_bfs(g, src);
+  std::int32_t max_level = 0;
+  for (std::int32_t l : levels) max_level = std::max(max_level, l);
+  std::vector<std::uint64_t> edges_at_level(
+      static_cast<std::size_t>(max_level) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] != kUnreached) {
+      edges_at_level[static_cast<std::size_t>(levels[v])] += g.degree(v);
+    }
+  }
+  std::vector<double> ratio(edges_at_level.size());
+  const double m = static_cast<double>(g.num_edges());
+  for (std::size_t k = 0; k < ratio.size(); ++k) {
+    ratio[k] = m == 0 ? 0.0 : static_cast<double>(edges_at_level[k]) / m;
+  }
+  return ratio;
+}
+
+std::vector<std::uint64_t> frontier_sizes(const Csr& g, vid_t src) {
+  const std::vector<std::int32_t> levels = reference_bfs(g, src);
+  std::int32_t max_level = 0;
+  for (std::int32_t l : levels) max_level = std::max(max_level, l);
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(max_level) + 1, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (levels[v] != kUnreached) ++sizes[static_cast<std::size_t>(levels[v])];
+  }
+  return sizes;
+}
+
+BoxSummary box_summary(std::vector<double> samples) {
+  BoxSummary b;
+  if (samples.empty()) return b;
+  std::sort(samples.begin(), samples.end());
+  b.count = samples.size();
+  b.min = samples.front();
+  b.max = samples.back();
+  auto q = [&](double p) {
+    const double idx = p * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  b.q1 = q(0.25);
+  b.median = q(0.5);
+  b.q3 = q(0.75);
+  return b;
+}
+
+}  // namespace xbfs::graph

@@ -1,0 +1,37 @@
+// Graph statistics: degree summaries and the per-level frontier-edge ratio
+// trace that drives XBFS's adaptive strategy choice (and Fig. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::graph {
+
+struct DegreeStats {
+  vid_t min_degree = 0;
+  vid_t max_degree = 0;
+  double mean = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  std::uint64_t isolated = 0;  ///< degree-0 vertices
+};
+
+DegreeStats degree_stats(const Csr& g);
+
+/// The paper's ratio: at each level k, (sum of degrees of level-k frontier
+/// vertices) / |E| — the fraction of the edge set the *next* expansion will
+/// touch.  Computed from a reference BFS so it is strategy-independent.
+std::vector<double> frontier_edge_ratio(const Csr& g, vid_t src);
+
+/// Per-level frontier sizes from the same traversal.
+std::vector<std::uint64_t> frontier_sizes(const Csr& g, vid_t src);
+
+/// Five-number summary used for Fig. 6's per-level box plot over seeds.
+struct BoxSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  std::size_t count = 0;
+};
+BoxSummary box_summary(std::vector<double> samples);
+
+}  // namespace xbfs::graph

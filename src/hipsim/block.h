@@ -1,0 +1,131 @@
+// BlockCtx: one simulated thread block (workgroup).  Wavefronts of a block
+// execute sequentially on the worker that owns the block, so kernels are
+// written phase-structured: any block-wide cooperation happens through the
+// shared-memory arena between explicit phases, mirroring a __syncthreads()
+// boundary.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "hipsim/exec_ctx.h"
+#include "hipsim/wavefront.h"
+
+namespace xbfs::sim {
+
+/// Bump-allocated LDS (shared memory) arena, reset for every block.
+class ShMem {
+ public:
+  explicit ShMem(std::size_t bytes) : storage_(bytes) {}
+
+  template <typename T>
+  T* alloc(std::size_t n) {
+    const std::size_t align = alignof(T);
+    used_ = (used_ + align - 1) / align * align;
+    if (used_ + n * sizeof(T) > storage_.size()) {
+      throw std::runtime_error(
+          "LDS arena exhausted; raise SimOptions::lds_bytes");
+    }
+    T* p = reinterpret_cast<T*>(storage_.data() + used_);
+    used_ += n * sizeof(T);
+    return p;
+  }
+  void reset() { used_ = 0; }
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return storage_.size(); }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t used_ = 0;
+};
+
+class BlockCtx {
+ public:
+  BlockCtx(ExecCtx* ctx, ShMem* shmem, unsigned block_id, unsigned grid_blocks,
+           unsigned block_threads)
+      : ctx_(ctx),
+        shmem_(shmem),
+        block_id_(block_id),
+        grid_blocks_(grid_blocks),
+        block_threads_(block_threads) {}
+
+  unsigned block_id() const { return block_id_; }
+  unsigned grid_blocks() const { return grid_blocks_; }
+  unsigned block_threads() const { return block_threads_; }
+  unsigned grid_threads() const { return grid_blocks_ * block_threads_; }
+  unsigned wavefronts_per_block() const {
+    const unsigned w = ctx_->wavefront_size();
+    return (block_threads_ + w - 1) / w;
+  }
+  ExecCtx& ctx() { return *ctx_; }
+  ShMem& shmem() { return *shmem_; }
+
+  /// Phase: run f(tid) for every thread in the block (tid is block-local).
+  /// Equivalent to a full-block SIMT pass followed by __syncthreads().
+  template <typename F>
+  void threads(F&& f) {
+    for (unsigned t = 0; t < block_threads_; ++t) f(t);
+    const unsigned w = ctx_->wavefront_size();
+    ctx_->slots(std::uint64_t{wavefronts_per_block()} * w, block_threads_);
+  }
+
+  /// Phase: run f(tid) for every thread of the grid owned by this block via
+  /// the canonical grid-stride loop; gtid = block_id*block_threads + tid.
+  /// Sweeps execute outermost (all threads of the block advance together,
+  /// as they do on hardware) so lane-adjacent accesses stay coalesced in
+  /// the memory model.
+  template <typename F>
+  void grid_stride(std::uint64_t n, F&& f) {
+    const std::uint64_t stride = grid_threads();
+    const std::uint64_t base =
+        std::uint64_t{block_id_} * block_threads_;
+    std::uint64_t issued = 0, active = 0;
+    for (std::uint64_t start = base; start < n; start += stride) {
+      const std::uint64_t end =
+          std::min<std::uint64_t>(n, start + block_threads_);
+      for (std::uint64_t i = start; i < end; ++i) {
+        f(i);
+        ++active;
+      }
+    }
+    // Issue accounting: each sweep of the block over a stride window costs a
+    // full block of lane slots even when only some threads have work.
+    const std::uint64_t sweeps =
+        base < n ? (n - base + stride - 1) / stride : 0;
+    const unsigned w = ctx_->wavefront_size();
+    issued = sweeps * wavefronts_per_block() * w;
+    if (issued < active) issued = active;
+    ctx_->slots(issued, active);
+  }
+
+  /// Phase: run f(WavefrontCtx&, wavefront_local_id) for every wavefront in
+  /// the block.  Wavefront ids are grid-global.
+  template <typename F>
+  void wavefronts(F&& f) {
+    const unsigned per_block = wavefronts_per_block();
+    for (unsigned wf = 0; wf < per_block; ++wf) {
+      WavefrontCtx w(ctx_, block_id_ * per_block + wf,
+                     ctx_->wavefront_size());
+      f(w, wf);
+    }
+  }
+
+  /// Marks a __syncthreads() boundary.  Correctness comes from the
+  /// phase-structured style; this only documents intent and counts the
+  /// barrier for the timing model.
+  void sync() { ++barriers_; }
+  unsigned barriers() const { return barriers_; }
+
+ private:
+  ExecCtx* ctx_;
+  ShMem* shmem_;
+  unsigned block_id_;
+  unsigned grid_blocks_;
+  unsigned block_threads_;
+  unsigned barriers_ = 0;
+};
+
+}  // namespace xbfs::sim

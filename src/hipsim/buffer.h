@@ -1,0 +1,100 @@
+// Device memory: RAII allocations plus the dspan view kernels operate on.
+//
+// A DeviceBuffer owns host-side storage standing in for device memory and a
+// *virtual device address* assigned by the Device allocator; the address is
+// what the L2 model keys on, so distinct buffers never alias cache lines.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace xbfs::sim {
+
+class Device;
+
+/// Non-owning view of a device allocation, analogous to a raw device pointer
+/// in HIP.  Copyable into kernels by value.
+template <typename T>
+class dspan {
+ public:
+  dspan() = default;
+  dspan(T* data, std::uint64_t device_addr, std::size_t size)
+      : data_(data), device_addr_(device_addr), size_(size) {}
+
+  /// Implicit conversion dspan<T> -> dspan<const T>.
+  template <typename U = T,
+            typename = std::enable_if_t<std::is_const_v<U>>>
+  dspan(const dspan<std::remove_const_t<U>>& other)  // NOLINT(runtime/explicit)
+      : data_(other.data()),
+        device_addr_(other.device_addr()),
+        size_(other.size()) {}
+
+  T* data() const { return data_; }
+  std::uint64_t device_addr() const { return device_addr_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Device address of element i (for the memory model).
+  std::uint64_t addr_of(std::size_t i) const {
+    return device_addr_ + i * sizeof(T);
+  }
+  /// Raw element reference; memory-model accounting is the caller's job
+  /// (kernel code should go through ExecCtx::load/store instead).
+  T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  dspan subspan(std::size_t offset, std::size_t count) const {
+    assert(offset + count <= size_);
+    return dspan(data_ + offset, device_addr_ + offset * sizeof(T), count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::uint64_t device_addr_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Owning device allocation.  Created via Device::alloc<T>(n).
+template <typename T>
+class DeviceBuffer {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device buffers hold POD data");
+
+  DeviceBuffer() = default;
+  DeviceBuffer(std::uint64_t device_addr, std::size_t size)
+      : data_(size ? std::make_unique<T[]>(size) : nullptr),
+        device_addr_(device_addr),
+        size_(size) {}
+
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint64_t device_addr() const { return device_addr_; }
+
+  dspan<T> span() { return dspan<T>(data_.get(), device_addr_, size_); }
+  dspan<const T> cspan() const {
+    return dspan<const T>(data_.get(), device_addr_, size_);
+  }
+
+  /// Host-visible access for setup/teardown (does not count as traffic;
+  /// modelled copies go through Device::memcpy_*).
+  T* host_data() { return data_.get(); }
+  const T* host_data() const { return data_.get(); }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::uint64_t device_addr_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xbfs::sim

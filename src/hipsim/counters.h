@@ -1,0 +1,64 @@
+// Per-kernel performance counters, mirroring the rocprofiler metrics the
+// paper reports (FetchSize, L2CacheHit, MemUnitBusy) plus the raw event
+// counts the timing model consumes.
+#pragma once
+
+#include <cstdint>
+
+namespace xbfs::sim {
+
+/// Raw events accumulated while a kernel executes.  Workers keep a private
+/// copy and the launcher merges them, so hot paths never touch shared state.
+struct KernelCounters {
+  // Memory events (global/device memory only; LDS is not modelled).
+  std::uint64_t mem_reads = 0;        ///< scalar load operations
+  std::uint64_t mem_writes = 0;       ///< scalar store operations
+  std::uint64_t bytes_read = 0;       ///< payload bytes loaded
+  std::uint64_t bytes_written = 0;    ///< payload bytes stored
+  std::uint64_t l2_hits = 0;          ///< line-granular L2 hits
+  std::uint64_t l2_hit_bytes = 0;     ///< payload bytes served from L2
+  std::uint64_t l2_misses = 0;        ///< line-granular L2 misses
+  std::uint64_t fetch_bytes = 0;      ///< bytes fetched from HBM (miss*line)
+  std::uint64_t writeback_bytes = 0;  ///< dirty line evictions to HBM
+
+  // Execution events.
+  std::uint64_t atomics = 0;          ///< global atomic operations
+  std::uint64_t lane_slots = 0;       ///< SIMT issue slots (idle lanes count)
+  std::uint64_t active_lanes = 0;     ///< lanes that did useful work
+  std::uint64_t wavefront_steps = 0;  ///< wavefront-wide instruction groups
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    mem_reads += o.mem_reads;
+    mem_writes += o.mem_writes;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    l2_hits += o.l2_hits;
+    l2_hit_bytes += o.l2_hit_bytes;
+    l2_misses += o.l2_misses;
+    fetch_bytes += o.fetch_bytes;
+    writeback_bytes += o.writeback_bytes;
+    atomics += o.atomics;
+    lane_slots += o.lane_slots;
+    active_lanes += o.active_lanes;
+    wavefront_steps += o.wavefront_steps;
+    return *this;
+  }
+
+  /// rocprofiler "L2CacheHit" (%): hits over all line-granular probes.
+  double l2_hit_pct() const {
+    const std::uint64_t probes = l2_hits + l2_misses;
+    return probes == 0 ? 0.0 : 100.0 * static_cast<double>(l2_hits) /
+                                   static_cast<double>(probes);
+  }
+  /// rocprofiler "FetchSize" (KB): data fetched from device memory.
+  double fetch_kb() const { return static_cast<double>(fetch_bytes) / 1024.0; }
+
+  /// SIMT efficiency: useful lanes over issued lane slots.
+  double lane_efficiency() const {
+    return lane_slots == 0 ? 1.0
+                           : static_cast<double>(active_lanes) /
+                                 static_cast<double>(lane_slots);
+  }
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,104 @@
+#include "hipsim/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xbfs::sim {
+
+Device::Device(DeviceProfile profile, SimOptions options)
+    : profile_(std::move(profile)), options_(options) {
+  l2_ = std::make_unique<L2Model>(profile_, options_.l2_shards);
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  worker_shmem_.reserve(pool_->size());
+  for (unsigned i = 0; i < pool_->size(); ++i) {
+    worker_shmem_.push_back(std::make_unique<ShMem>(options_.lds_bytes));
+  }
+  streams_.emplace_back(this, "default");
+}
+
+Device::~Device() = default;
+
+std::uint64_t Device::reserve_addr(std::uint64_t bytes) {
+  // Line-align every allocation so buffers never share a cache line.
+  const std::uint64_t line = profile_.l2_line_bytes;
+  const std::uint64_t addr = (next_addr_ + line - 1) / line * line;
+  if (addr + bytes > profile_.device_mem_bytes) {
+    throw std::bad_alloc();  // simulated HBM exhausted (hipErrorOutOfMemory)
+  }
+  next_addr_ = addr + bytes;
+  return addr;
+}
+
+Stream& Device::create_stream(std::string name) {
+  streams_.emplace_back(this, std::move(name));
+  return streams_.back();
+}
+
+double Device::stream_begin(Stream& s) const {
+  return std::max(s.t_end_, t_floor_);
+}
+
+double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
+  const double t = profile_.memcpy_overhead_us +
+                   static_cast<double>(bytes) / profile_.h2d_bytes_per_us;
+  s.t_end_ = stream_begin(s) + t;
+  return t;
+}
+
+double Device::memcpy_d2h(Stream& s, std::uint64_t bytes) {
+  const double t = profile_.memcpy_overhead_us +
+                   static_cast<double>(bytes) / profile_.d2h_bytes_per_us;
+  s.t_end_ = stream_begin(s) + t;
+  return t;
+}
+
+void Device::synchronize() {
+  double max_end = t_floor_;
+  for (const Stream& s : streams_) max_end = std::max(max_end, s.t_end_);
+  t_floor_ = max_end + profile_.device_sync_us;
+  for (Stream& s : streams_) s.t_end_ = t_floor_;
+}
+
+void Device::join_streams(const std::vector<Stream*>& ss) {
+  if (ss.empty()) return;
+  double max_end = t_floor_;
+  for (Stream* s : ss) max_end = std::max(max_end, s->t_end_);
+  const double joined =
+      max_end + profile_.stream_join_us * static_cast<double>(ss.size() - 1);
+  for (Stream* s : ss) s->t_end_ = joined;
+}
+
+void Device::host_work(double us) {
+  // Host work serializes with everything previously submitted.
+  synchronize();
+  t_floor_ += us;
+  for (Stream& s : streams_) s.t_end_ = t_floor_;
+}
+
+double Device::now_us() const {
+  double t = t_floor_;
+  for (const Stream& s : streams_) t = std::max(t, s.t_end_);
+  return t;
+}
+
+void Device::reset_clock() {
+  t_floor_ = 0;
+  for (Stream& s : streams_) s.t_end_ = 0;
+}
+
+void Device::warmup() {
+  first_launch_done_ = true;
+}
+
+void Event::record(const Stream& s) {
+  t_us_ = s.t_end();
+  recorded_ = true;
+}
+
+void Stream::synchronize() {
+  device_->t_floor_ =
+      std::max(device_->t_floor_, t_end_) + device_->profile_.device_sync_us;
+  t_end_ = device_->t_floor_;
+}
+
+}  // namespace xbfs::sim

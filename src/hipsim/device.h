@@ -1,0 +1,133 @@
+// Device: the simulated GPU.  Owns the virtual-address allocator, the L2
+// model, the worker pool that executes kernels, the stream clocks and the
+// profiler.  This is the simulator's public entry point — the "HIP runtime"
+// of this repository.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hipsim/block.h"
+#include "hipsim/buffer.h"
+#include "hipsim/counters.h"
+#include "hipsim/device_profile.h"
+#include "hipsim/mem_model.h"
+#include "hipsim/profiler.h"
+#include "hipsim/stream.h"
+#include "hipsim/thread_pool.h"
+#include "hipsim/timing.h"
+
+namespace xbfs::sim {
+
+struct SimOptions {
+  /// Worker threads executing simulated blocks.  1 gives bit-exact,
+  /// sequential "deterministic profile mode"; 0 = hardware concurrency.
+  unsigned num_workers = 0;
+  /// Address-sharded L2 slices (power of two taken).
+  unsigned l2_shards = 64;
+  /// LDS arena per worker (shared memory per simulated block).
+  std::size_t lds_bytes = 64 * 1024;
+  /// Record per-launch profiler rows.
+  bool profiling = true;
+};
+
+struct LaunchConfig {
+  unsigned grid_blocks = 1;
+  unsigned block_threads = 256;
+  /// Issue-slot cost multiplier for this kernel (register-spill modelling).
+  double lane_work_multiplier = 1.0;
+};
+
+struct LaunchResult {
+  double time_us = 0;
+  KernelCounters counters;
+  TimingBreakdown timing;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProfile profile, SimOptions options = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProfile& profile() const { return profile_; }
+  const SimOptions& options() const { return options_; }
+
+  // --- memory -------------------------------------------------------------
+  template <typename T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    return DeviceBuffer<T>(reserve_addr(n * sizeof(T)), n);
+  }
+  std::uint64_t allocated_bytes() const { return next_addr_; }
+
+  /// Modelled host<->device copies: advance the stream clock by the copy
+  /// time; the data itself already lives host-side so no bytes move.
+  double memcpy_h2d(Stream& s, std::uint64_t bytes);
+  double memcpy_d2h(Stream& s, std::uint64_t bytes);
+  double memcpy_h2d(std::uint64_t bytes) { return memcpy_h2d(stream(0), bytes); }
+  double memcpy_d2h(std::uint64_t bytes) { return memcpy_d2h(stream(0), bytes); }
+
+  // --- execution ----------------------------------------------------------
+  using KernelBody = std::function<void(BlockCtx&)>;
+
+  LaunchResult launch(Stream& s, std::string_view name,
+                      const LaunchConfig& cfg, const KernelBody& body);
+  LaunchResult launch(std::string_view name, const LaunchConfig& cfg,
+                      const KernelBody& body) {
+    return launch(stream(0), name, cfg, body);
+  }
+
+  // --- streams and the modelled clock ---------------------------------------
+  /// Stream 0 always exists; create_stream() adds more.
+  Stream& stream(std::size_t i) { return streams_[i]; }
+  Stream& create_stream(std::string name);
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// hipDeviceSynchronize(): advance the device floor past every stream and
+  /// pay the profile's device-sync cost.
+  void synchronize();
+  /// Join a set of streams with cross-stream event waits: all named streams
+  /// advance to the max of their clocks plus (n-1) joins' cost.
+  void join_streams(const std::vector<Stream*>& ss);
+  /// Model host-side (CPU) work on the critical path.
+  void host_work(double us);
+
+  /// Modelled elapsed time: max over the floor and all stream clocks (us).
+  double now_us() const;
+  /// Reset clocks (not allocations, not cache state).
+  void reset_clock();
+  /// Drop all cached lines (between independent measurements).
+  void invalidate_l2() { l2_->invalidate_all(); }
+
+  Profiler& profiler() { return profiler_; }
+  L2Model& l2() { return *l2_; }
+
+  /// Pay the one-time first-launch (module load) cost now, off the measured
+  /// path; benches that model a warmed-up device call this before timing.
+  void warmup();
+
+ private:
+  friend class Stream;
+  std::uint64_t reserve_addr(std::uint64_t bytes);
+  double stream_begin(Stream& s) const;
+
+  DeviceProfile profile_;
+  SimOptions options_;
+  std::unique_ptr<L2Model> l2_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<ShMem>> worker_shmem_;
+  std::deque<Stream> streams_;
+  Profiler profiler_;
+  std::uint64_t next_addr_ = 0;
+  double t_floor_ = 0.0;
+  bool first_launch_done_ = false;
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,108 @@
+// ExecCtx: the per-worker handle kernel code uses for every modelled
+// global-memory operation and for SIMT issue-slot accounting.
+//
+// All atomics act on the backing host storage through std::atomic_ref, so
+// concurrently executing simulated blocks interact exactly like concurrently
+// executing real thread blocks; the memory model records the traffic on the
+// side.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "hipsim/buffer.h"
+#include "hipsim/device_profile.h"
+#include "hipsim/mem_model.h"
+
+namespace xbfs::sim {
+
+class ExecCtx {
+ public:
+  ExecCtx(MemProbe* probe, const DeviceProfile* profile)
+      : probe_(probe), profile_(profile) {}
+
+  const DeviceProfile& profile() const { return *profile_; }
+  unsigned wavefront_size() const { return profile_->wavefront_size; }
+
+  // --- plain loads/stores --------------------------------------------------
+  template <typename T>
+  T load(dspan<const T> s, std::size_t i) {
+    probe_->read(s.addr_of(i), sizeof(T));
+    return s[i];
+  }
+  template <typename T>
+  T load(dspan<T> s, std::size_t i) {
+    return load(dspan<const T>(s), i);
+  }
+  template <typename T>
+  void store(dspan<T> s, std::size_t i, T v) {
+    probe_->write(s.addr_of(i), sizeof(T));
+    s[i] = v;
+  }
+
+  // --- atomics ---------------------------------------------------------------
+  template <typename T>
+  T atomic_add(dspan<T> s, std::size_t i, T v) {
+    probe_->atomic_rmw(s.addr_of(i), sizeof(T));
+    return std::atomic_ref<T>(s[i]).fetch_add(v, std::memory_order_relaxed);
+  }
+  template <typename T>
+  T atomic_or(dspan<T> s, std::size_t i, T v) {
+    probe_->atomic_rmw(s.addr_of(i), sizeof(T));
+    return std::atomic_ref<T>(s[i]).fetch_or(v, std::memory_order_relaxed);
+  }
+  template <typename T>
+  T atomic_min(dspan<T> s, std::size_t i, T v) {
+    probe_->atomic_rmw(s.addr_of(i), sizeof(T));
+    std::atomic_ref<T> ref(s[i]);
+    T cur = ref.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    return cur;
+  }
+  template <typename T>
+  T atomic_exch(dspan<T> s, std::size_t i, T v) {
+    probe_->atomic_rmw(s.addr_of(i), sizeof(T));
+    return std::atomic_ref<T>(s[i]).exchange(v, std::memory_order_relaxed);
+  }
+  /// atomicCAS semantics: returns the value observed before the operation;
+  /// the swap happened iff the return value equals `expected`.
+  template <typename T>
+  T atomic_cas(dspan<T> s, std::size_t i, T expected, T desired) {
+    probe_->atomic_rmw(s.addr_of(i), sizeof(T));
+    std::atomic_ref<T> ref(s[i]);
+    T cur = expected;
+    ref.compare_exchange_strong(cur, desired, std::memory_order_relaxed);
+    return cur;
+  }
+  /// Volatile-style read that bypasses nothing in the model but documents
+  /// intent where XBFS re-reads a status word another block may have set.
+  template <typename T>
+  T atomic_load(dspan<const T> s, std::size_t i) {
+    probe_->read(s.addr_of(i), sizeof(T));
+    // C++20 atomic_ref requires a non-const referent; the object itself is
+    // writable device memory, the span is merely a read-only view.
+    return std::atomic_ref<T>(const_cast<T&>(s[i]))
+        .load(std::memory_order_relaxed);
+  }
+  template <typename T>
+  T atomic_load(dspan<T> s, std::size_t i) {
+    return atomic_load(dspan<const T>(s), i);
+  }
+
+  // --- SIMT issue accounting -------------------------------------------------
+  /// Record `total` issued lane slots of which `active` did useful work;
+  /// divergence/idle lanes show up as total > active.
+  void slots(std::uint64_t total, std::uint64_t active) {
+    probe_->count_slots(total, active);
+  }
+
+  MemProbe& probe() { return *probe_; }
+
+ private:
+  MemProbe* probe_;
+  const DeviceProfile* profile_;
+};
+
+}  // namespace xbfs::sim

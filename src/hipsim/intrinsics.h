@@ -1,0 +1,34 @@
+// Wavefront-mask helpers mirroring the HIP/AMD intrinsics the port relies
+// on.  The paper's port replaced CUDA's 32-bit masked `__any_sync`/`__popc`
+// with AMD's maskless 64-wide `__any`/`__popcll`; these helpers are the
+// 64-bit-mask vocabulary the simulated kernels use.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace xbfs::sim {
+
+/// __popcll: set bits in a 64-bit wavefront ballot mask.
+inline unsigned popcll(std::uint64_t mask) {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+/// __ffsll semantics: 1-based index of the least significant set bit,
+/// 0 when the mask is empty.
+inline unsigned ffsll(std::uint64_t mask) {
+  return mask == 0 ? 0u : static_cast<unsigned>(std::countr_zero(mask)) + 1u;
+}
+
+/// Mask with the low `n` lanes set (n <= 64).
+inline std::uint64_t lane_mask_lt(unsigned n) {
+  return n >= 64 ? ~0ull : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Number of set bits strictly below `lane` — the classic ballot-based
+/// intra-wavefront rank used for warp-aggregated atomics.
+inline unsigned mask_rank(std::uint64_t mask, unsigned lane) {
+  return popcll(mask & lane_mask_lt(lane));
+}
+
+}  // namespace xbfs::sim

@@ -1,0 +1,58 @@
+// Streams and the modelled device timeline.
+//
+// Simulated kernels execute immediately on the host, but their *modelled*
+// durations are appended to per-stream clocks.  Device-wide synchronization
+// and cross-stream joins add the profile's synchronization costs — the
+// mechanism behind the paper's stream-consolidation optimization: on the
+// MI250X profile, joining three degree-binned streams costs more than the
+// overlap saves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xbfs::sim {
+
+class Device;
+class Stream;
+
+/// hipEvent-style timestamp on the modelled timeline: record() captures the
+/// owning stream's clock; elapsed_ms() between two events measures modelled
+/// device time without host synchronization.
+class Event {
+ public:
+  void record(const Stream& s);
+  bool recorded() const { return recorded_; }
+  double t_us() const { return t_us_; }
+
+  /// Modelled milliseconds from `start` to `stop` (negative if reversed).
+  static double elapsed_ms(const Event& start, const Event& stop) {
+    return (stop.t_us_ - start.t_us_) / 1000.0;
+  }
+
+ private:
+  double t_us_ = 0.0;
+  bool recorded_ = false;
+};
+
+class Stream {
+ public:
+  explicit Stream(Device* device, std::string name)
+      : device_(device), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  /// Modelled completion time of the last operation on this stream (us).
+  double t_end() const { return t_end_; }
+
+  /// Host waits for this stream: advances the device floor to this stream's
+  /// end plus the profile's sync cost.
+  void synchronize();
+
+ private:
+  friend class Device;
+  Device* device_;
+  std::string name_;
+  double t_end_ = 0.0;
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,96 @@
+#include "hipsim/thread_pool.h"
+
+#include <algorithm>
+
+namespace xbfs::sim {
+
+ThreadPool::ThreadPool(unsigned num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread is worker 0; spawn the rest.
+  threads_.reserve(num_workers - 1);
+  for (unsigned i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::drain(unsigned worker_id) {
+  job_.in_flight.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t count = job_.count;
+  const std::uint64_t chunk = job_.chunk;
+  const auto& fn = *job_.fn;
+  std::uint64_t processed = 0;
+  for (;;) {
+    const std::uint64_t begin =
+        job_.cursor.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) break;
+    const std::uint64_t end = std::min(begin + chunk, count);
+    for (std::uint64_t i = begin; i < end; ++i) fn(worker_id, i);
+    processed += end - begin;
+  }
+  if (processed != 0 &&
+      job_.done.fetch_add(processed, std::memory_order_acq_rel) + processed ==
+          count) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_done_.notify_all();
+  }
+  job_.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+    }
+    drain(worker_id);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t count,
+    const std::function<void(unsigned, std::uint64_t)>& fn) {
+  if (count == 0) return;
+  if (size() == 1 || count == 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_.count = count;
+    job_.chunk = std::max<std::uint64_t>(1, count / (8ull * size()));
+    job_.fn = &fn;
+    job_.cursor.store(0, std::memory_order_relaxed);
+    job_.done.store(0, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  drain(/*worker_id=*/0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return job_.done.load(std::memory_order_acquire) == job_.count;
+    });
+  }
+  // A worker that lost the cursor race may still be exiting drain(); it must
+  // not observe the next job's reset state through its stale local copies,
+  // so wait for every drain() to unwind before returning.
+  while (job_.in_flight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace xbfs::sim

@@ -1,0 +1,56 @@
+// A small persistent worker pool used by the kernel launcher.  Work items
+// are dense index ranges (block ids); workers grab chunks via an atomic
+// cursor.  With size()==1 execution is strictly sequential in index order,
+// which is the deterministic profile mode the table benches use.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xbfs::sim {
+
+class ThreadPool {
+ public:
+  /// @param num_workers 0 means "hardware concurrency".
+  explicit ThreadPool(unsigned num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(worker_id, index) for every index in [0, count).  Blocks until
+  /// all indices complete.  worker_id is in [0, size()).  The calling thread
+  /// participates as worker 0.
+  void parallel_for(std::uint64_t count,
+                    const std::function<void(unsigned, std::uint64_t)>& fn);
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+ private:
+  void worker_loop(unsigned worker_id);
+  void drain(unsigned worker_id);
+
+  struct Job {
+    std::uint64_t count = 0;
+    std::uint64_t chunk = 1;
+    const std::function<void(unsigned, std::uint64_t)>* fn = nullptr;
+    std::atomic<std::uint64_t> cursor{0};
+    std::atomic<std::uint64_t> done{0};
+    std::atomic<int> in_flight{0};  ///< workers currently inside drain()
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;  // guarded by mu_; bumped per parallel_for
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,116 @@
+// WavefrontCtx: lockstep-by-construction wavefront execution.
+//
+// Instead of emulating per-thread program counters, kernels express per-lane
+// work through lane-indexed callables and wavefront collectives evaluate all
+// lanes at one call site.  This keeps the simulator deterministic and cheap
+// while preserving exactly the semantics XBFS depends on: 64-wide ballots,
+// maskless __any/__shfl, ballot-rank aggregated atomics, and divergence
+// accounting for early termination.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "hipsim/exec_ctx.h"
+#include "hipsim/intrinsics.h"
+
+namespace xbfs::sim {
+
+class WavefrontCtx {
+ public:
+  WavefrontCtx(ExecCtx* ctx, unsigned wavefront_id, unsigned size)
+      : ctx_(ctx), id_(wavefront_id), size_(size) {}
+
+  unsigned id() const { return id_; }          ///< wavefront id within grid
+  unsigned size() const { return size_; }      ///< lanes per wavefront
+  ExecCtx& ctx() { return *ctx_; }
+
+  /// Execute f(lane) for every lane; a full-width SIMT step.
+  template <typename F>
+  void lanes(F&& f) {
+    for (unsigned l = 0; l < size_; ++l) f(l);
+    ctx_->slots(size_, size_);
+  }
+
+  /// Execute f(lane) for lanes whose bit is set in `mask`; idle lanes still
+  /// consume issue slots (divergence).
+  template <typename F>
+  void lanes_masked(std::uint64_t mask, F&& f) {
+    for (unsigned l = 0; l < size_; ++l) {
+      if (mask & (std::uint64_t{1} << l)) f(l);
+    }
+    ctx_->slots(size_, popcll(mask));
+  }
+
+  /// __ballot: evaluate pred(lane) on every lane, return the 64-bit mask.
+  template <typename P>
+  std::uint64_t ballot(P&& pred) {
+    std::uint64_t mask = 0;
+    for (unsigned l = 0; l < size_; ++l) {
+      if (pred(l)) mask |= std::uint64_t{1} << l;
+    }
+    ctx_->slots(size_, size_);
+    return mask;
+  }
+
+  /// __any (maskless AMD form).
+  template <typename P>
+  bool any(P&& pred) {
+    return ballot(std::forward<P>(pred)) != 0;
+  }
+  /// __all (maskless AMD form).
+  template <typename P>
+  bool all(P&& pred) {
+    return ballot(std::forward<P>(pred)) == lane_mask_lt(size_);
+  }
+
+  /// __shfl: every lane reads the value produced by lane `src`.
+  template <typename V>
+  auto shfl(V&& value_of_lane, unsigned src) {
+    ctx_->slots(size_, size_);
+    return value_of_lane(src % size_);
+  }
+
+  /// Wavefront-wide sum reduction of value_of_lane(l).
+  template <typename T, typename V>
+  T reduce_add(V&& value_of_lane) {
+    T acc{};
+    for (unsigned l = 0; l < size_; ++l) acc += value_of_lane(l);
+    // log2(width) shuffle steps on real hardware.
+    ctx_->slots(std::uint64_t{size_} * 6, std::uint64_t{size_} * 6);
+    return acc;
+  }
+
+  /// Exclusive prefix sum across lanes; out[l] receives the sum of values of
+  /// lanes < l, and the total is returned.
+  template <typename T, typename V>
+  T scan_exclusive(V&& value_of_lane, std::array<T, 64>& out) {
+    T acc{};
+    for (unsigned l = 0; l < size_; ++l) {
+      out[l] = acc;
+      acc += value_of_lane(l);
+    }
+    ctx_->slots(std::uint64_t{size_} * 6, std::uint64_t{size_} * 6);
+    return acc;
+  }
+
+  /// Warp-aggregated atomic enqueue: lanes with their bit set in `mask`
+  /// claim consecutive slots at the tail counter `tail[0]` with a single
+  /// atomic per wavefront — the ballot-rank trick XBFS's scan-free strategy
+  /// uses to cut enqueue atomics by the wavefront width.
+  /// Returns the base offset; lane l's slot is base + mask_rank(mask, l).
+  template <typename T>
+  T aggregated_reserve(dspan<T> tail, std::uint64_t mask) {
+    const unsigned n = popcll(mask);
+    if (n == 0) return T{};
+    return ctx_->atomic_add(tail, 0, static_cast<T>(n));
+  }
+
+ private:
+  ExecCtx* ctx_;
+  unsigned id_;
+  unsigned size_;
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,156 @@
+// Tests for the Graph500-specification validator: accepts real BFS trees
+// (from the reference and from the simulated XBFS) and detects each class
+// of corruption by the rule that covers it.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/xbfs.h"
+#include "graph/builder.h"
+#include "graph/device_csr.h"
+#include "graph/g500_validate.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs::graph {
+namespace {
+
+constexpr vid_t kNoParent = static_cast<vid_t>(-1);
+
+/// Serial BFS building a parent tree.
+std::vector<vid_t> reference_parents(const Csr& g, vid_t src) {
+  std::vector<vid_t> parent(g.num_vertices(), kNoParent);
+  std::deque<vid_t> queue{src};
+  parent[src] = src;
+  while (!queue.empty()) {
+    const vid_t v = queue.front();
+    queue.pop_front();
+    for (vid_t w : g.neighbors(v)) {
+      if (parent[w] == kNoParent) {
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  return parent;
+}
+
+Csr diamond() {
+  // 0-1, 0-2, 1-3, 2-3, 3-4 plus isolated 5.
+  return build_csr(6, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+}
+
+TEST(G500Validate, AcceptsReferenceTree) {
+  const Csr g = diamond();
+  const auto parent = reference_parents(g, 0);
+  EXPECT_TRUE(validate_graph500(g, 0, parent).empty())
+      << validate_graph500(g, 0, parent);
+}
+
+TEST(G500Validate, LevelsFromParentsMatchBfs) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 31;
+  const Csr g = rmat_csr(p);
+  const auto giant = largest_component_vertices(g);
+  const auto parent = reference_parents(g, giant[0]);
+  const auto from_tree = levels_from_parents(g, giant[0], parent);
+  EXPECT_EQ(from_tree, reference_bfs(g, giant[0]));
+}
+
+TEST(G500Validate, Rule5RootMustSelfParent) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  parent[0] = 1;
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_NE(err.find("rule 5"), std::string::npos) << err;
+}
+
+TEST(G500Validate, Rule1CycleDetected) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  // 1 and 3 parent each other: a cycle disconnected from the root.
+  parent[1] = 3;
+  parent[3] = 1;
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_NE(err.find("rule 1"), std::string::npos) << err;
+}
+
+TEST(G500Validate, Rule2NonEdgeParentDetected) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  parent[4] = 0;  // (0,4) is not an edge
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_NE(err.find("rule 2"), std::string::npos) << err;
+}
+
+TEST(G500Validate, Rule2WrongDepthDetected) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  // Parent 4 via 3 is correct, but reparent 3 via 4: tree edge spans -1.
+  parent[3] = 4;
+  parent[4] = 3;
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(G500Validate, Rule4MissingVertexDetected) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  parent[4] = kNoParent;  // reachable vertex left out of the tree
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(G500Validate, Rule4PhantomVertexDetected) {
+  const Csr g = diamond();
+  auto parent = reference_parents(g, 0);
+  parent[5] = 5;  // unreachable vertex claims tree membership
+  const std::string err = validate_graph500(g, 0, parent);
+  EXPECT_NE(err.find("rule"), std::string::npos) << err;
+}
+
+TEST(G500Validate, AcceptsXbfsParentTree) {
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = 33;
+  const Csr g = rmat_csr(p);
+  const auto giant = largest_component_vertices(g);
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 2});
+  dev.warmup();
+  auto dg = DeviceCsr::upload(dev, g);
+  core::XbfsConfig cfg;
+  cfg.build_parents = true;
+  core::Xbfs bfs(dev, dg, cfg);
+  for (vid_t src : {giant.front(), giant[giant.size() / 2]}) {
+    const core::BfsResult r = bfs.run(src);
+    const std::string err = validate_graph500(g, src, r.parent);
+    EXPECT_TRUE(err.empty()) << "src " << src << ": " << err;
+  }
+}
+
+TEST(G500Validate, AcceptsXbfsParentTreeWithLookaheadAndBottomUp) {
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 16;
+  p.seed = 34;
+  const Csr g = rmat_csr(p);
+  const auto giant = largest_component_vertices(g);
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 2});
+  dev.warmup();
+  auto dg = DeviceCsr::upload(dev, g);
+  core::XbfsConfig cfg;
+  cfg.build_parents = true;
+  cfg.alpha = 0.02;  // aggressive bottom-up: exercises look-ahead parents
+  core::Xbfs bfs(dev, dg, cfg);
+  const core::BfsResult r = bfs.run(giant.front());
+  const std::string err = validate_graph500(g, giant.front(), r.parent);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+}  // namespace
+}  // namespace xbfs::graph

@@ -1,0 +1,201 @@
+// Unit tests for the CSR builder, structural validation, I/O round-trips
+// and the graph statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/builder.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace xbfs::graph {
+namespace {
+
+TEST(Builder, SymmetrizesAndSortsNeighbors) {
+  const Csr g = build_csr(4, {{0, 2}, {0, 1}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);  // each edge in both directions
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(3)[0], 0u);
+}
+
+TEST(Builder, RemovesSelfLoopsAndDuplicates) {
+  const Csr g = build_csr(3, {{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  // (0,0) and (2,2) dropped; (0,1) appears once per direction.
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Builder, DirectedModeKeepsOrientation) {
+  BuildOptions opt;
+  opt.symmetrize = false;
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}}, opt);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Builder, KeepDuplicatesWhenRequested) {
+  BuildOptions opt;
+  opt.dedup = false;
+  opt.symmetrize = false;
+  const Csr g = build_csr(2, {{0, 1}, {0, 1}, {0, 1}}, opt);
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Builder, EmptyGraph) {
+  const Csr g = build_csr(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(CsrValidate, AcceptsWellFormed) {
+  const Csr g = build_csr(10, {{0, 1}, {1, 2}, {5, 9}});
+  EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(CsrValidate, RejectsOutOfRangeColumn) {
+  std::vector<eid_t> offsets = {0, 1};
+  std::vector<vid_t> cols = {7};  // vertex 7 does not exist in a 1-vertex graph
+  const Csr g(std::move(offsets), std::move(cols));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(Csr, PayloadBytesMatchesLayout) {
+  const Csr g = build_csr(4, {{0, 1}});
+  EXPECT_EQ(g.payload_bytes(), 5 * sizeof(eid_t) + 2 * sizeof(vid_t));
+}
+
+TEST(Csr, MaxDegreeAndAvgDegree) {
+  const Csr g = build_csr(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 6.0 / 4.0);
+}
+
+class IoRoundTrip : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("xbfs_io_test_") + name))
+        .string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoRoundTrip, TextEdgeList) {
+  const std::string p = path("edges.txt");
+  created_.push_back(p);
+  const std::vector<Edge> edges = {{0, 3}, {2, 1}, {4, 4}};
+  write_edge_list_text(p, edges);
+  vid_t n = 0;
+  const std::vector<Edge> back = read_edge_list_text(p, &n);
+  EXPECT_EQ(back, edges);
+  EXPECT_EQ(n, 5u);
+}
+
+TEST_F(IoRoundTrip, TextParserSkipsComments) {
+  const std::string p = path("comments.txt");
+  created_.push_back(p);
+  {
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    std::fputs("# SNAP-style header\n% matrix-market style\n1 2\n\n3 4\n", f);
+    std::fclose(f);
+  }
+  const std::vector<Edge> back = read_edge_list_text(p);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], (Edge{1, 2}));
+  EXPECT_EQ(back[1], (Edge{3, 4}));
+}
+
+TEST_F(IoRoundTrip, BinaryEdgeList) {
+  const std::string p = path("edges.bin");
+  created_.push_back(p);
+  const std::vector<Edge> edges = {{10, 20}, {30, 40}, {0, 0}};
+  write_edge_list_binary(p, 41, edges);
+  vid_t n = 0;
+  EXPECT_EQ(read_edge_list_binary(p, &n), edges);
+  EXPECT_EQ(n, 41u);
+}
+
+TEST_F(IoRoundTrip, CsrBinary) {
+  const std::string p = path("graph.csr");
+  created_.push_back(p);
+  const Csr g = build_csr(6, {{0, 1}, {1, 2}, {2, 3}, {4, 5}});
+  write_csr_binary(p, g);
+  const Csr back = read_csr_binary(p);
+  EXPECT_EQ(back.offsets(), g.offsets());
+  EXPECT_EQ(back.cols(), g.cols());
+}
+
+TEST_F(IoRoundTrip, BadMagicIsRejected) {
+  const std::string p = path("bad.bin");
+  created_.push_back(p);
+  {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    const char junk[32] = "not a graph";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_edge_list_binary(p), std::runtime_error);
+  EXPECT_THROW(read_csr_binary(p), std::runtime_error);
+}
+
+TEST_F(IoRoundTrip, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_text("/nonexistent/nowhere.txt"),
+               std::runtime_error);
+}
+
+TEST(Stats, DegreeStatsOnStar) {
+  // Star: center degree n-1, leaves degree 1.
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 10; ++v) edges.push_back({0, v});
+  const Csr g = build_csr(10, std::move(edges));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 18.0 / 10.0);
+  EXPECT_EQ(s.isolated, 0u);
+}
+
+TEST(Stats, FrontierRatioSumsToReachedFraction) {
+  const Csr g = build_csr(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});  // path + iso
+  const std::vector<double> r = frontier_edge_ratio(g, 0);
+  double total = 0;
+  for (double x : r) total += x;
+  // Path of 5 vertices: all 8 directed entries belong to reached vertices.
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_EQ(r.size(), 5u);  // levels 0..4
+}
+
+TEST(Stats, FrontierSizesMatchPathStructure) {
+  const Csr g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto sizes = frontier_sizes(g, 0);
+  ASSERT_EQ(sizes.size(), 4u);
+  for (const auto s : sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(Stats, BoxSummaryQuartiles) {
+  BoxSummary b = box_summary({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 3);
+  EXPECT_DOUBLE_EQ(b.max, 5);
+  EXPECT_DOUBLE_EQ(b.q1, 2);
+  EXPECT_DOUBLE_EQ(b.q3, 4);
+  EXPECT_EQ(b.count, 5u);
+  EXPECT_EQ(box_summary({}).count, 0u);
+}
+
+}  // namespace
+}  // namespace xbfs::graph

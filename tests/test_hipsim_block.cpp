@@ -1,0 +1,150 @@
+// Tests for the block-level execution contexts: thread phases, wavefront
+// iteration/ids, barrier accounting, and the remaining ExecCtx atomics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hipsim/hipsim.h"
+
+namespace xbfs::sim {
+namespace {
+
+Device make_device() {
+  return Device(DeviceProfile::test_profile(), SimOptions{.num_workers = 2});
+}
+
+TEST(BlockCtx, ThreadsPhaseRunsEveryThreadOnce) {
+  Device dev = make_device();
+  auto buf = dev.alloc<std::uint32_t>(256);
+  auto s = buf.span();
+  dev.launch("threads", LaunchConfig{1, 256, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      ctx.store(s, t, t * 2 + 1);
+    });
+  });
+  for (unsigned t = 0; t < 256; ++t) {
+    ASSERT_EQ(buf.host_data()[t], t * 2 + 1);
+  }
+}
+
+TEST(BlockCtx, WavefrontIdsAreGridGlobalAndUnique) {
+  Device dev = make_device();
+  auto ids = dev.alloc<std::uint32_t>(64);  // 4 blocks x 4 wavefronts
+  auto s = ids.span();
+  dev.launch("wf_ids", LaunchConfig{4, 256, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    EXPECT_EQ(blk.wavefronts_per_block(), 4u);  // 256 threads / 64 lanes
+    blk.wavefronts([&](WavefrontCtx& wf, unsigned local) {
+      EXPECT_EQ(wf.id() % blk.wavefronts_per_block(), local);
+      ctx.store(s, wf.id(), wf.id());
+    });
+  });
+  std::set<std::uint32_t> seen;
+  for (unsigned i = 0; i < 16; ++i) {
+    seen.insert(ids.host_data()[i]);
+    EXPECT_EQ(ids.host_data()[i], i);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(BlockCtx, GeometryAccessors) {
+  Device dev = make_device();
+  dev.launch("geometry", LaunchConfig{3, 128, 1.0}, [](BlockCtx& blk) {
+    EXPECT_LT(blk.block_id(), 3u);
+    EXPECT_EQ(blk.grid_blocks(), 3u);
+    EXPECT_EQ(blk.block_threads(), 128u);
+    EXPECT_EQ(blk.grid_threads(), 384u);
+  });
+}
+
+TEST(BlockCtx, SyncCountsBarriers) {
+  Device dev = make_device();
+  dev.launch("barriers", LaunchConfig{1, 64, 1.0}, [](BlockCtx& blk) {
+    EXPECT_EQ(blk.barriers(), 0u);
+    blk.sync();
+    blk.sync();
+    EXPECT_EQ(blk.barriers(), 2u);
+  });
+}
+
+TEST(ExecCtxAtomics, AtomicOrAccumulatesBits) {
+  Device dev = make_device();
+  auto buf = dev.alloc<std::uint64_t>(1);
+  buf.host_data()[0] = 0;
+  auto s = buf.span();
+  dev.launch("or", LaunchConfig{4, 64, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      ctx.atomic_or(s, 0, std::uint64_t{1} << (t % 64));
+    });
+  });
+  EXPECT_EQ(buf.host_data()[0], ~std::uint64_t{0});
+}
+
+TEST(ExecCtxAtomics, AtomicMinFindsGlobalMinimum) {
+  Device dev = make_device();
+  auto buf = dev.alloc<std::uint32_t>(1);
+  buf.host_data()[0] = 0xFFFFFFFFu;
+  auto s = buf.span();
+  dev.launch("min", LaunchConfig{8, 64, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      ctx.atomic_min(s, 0, 1000u + blk.block_id() * 64 + t);
+    });
+  });
+  EXPECT_EQ(buf.host_data()[0], 1000u);
+}
+
+TEST(ExecCtxAtomics, AtomicExchReturnsPrevious) {
+  Device dev = make_device();
+  auto buf = dev.alloc<std::uint32_t>(1);
+  buf.host_data()[0] = 7;
+  auto s = buf.span();
+  dev.launch("exch", LaunchConfig{1, 64, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      if (t == 0) {
+        EXPECT_EQ(ctx.atomic_exch(s, 0, 99u), 7u);
+      }
+    });
+  });
+  EXPECT_EQ(buf.host_data()[0], 99u);
+}
+
+TEST(ExecCtxAtomics, AtomicAddOnUint64) {
+  Device dev = make_device();
+  auto buf = dev.alloc<std::uint64_t>(1);
+  buf.host_data()[0] = 0;
+  auto s = buf.span();
+  dev.launch("add64", LaunchConfig{16, 64, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned) {
+      ctx.atomic_add(s, 0, std::uint64_t{3});
+    });
+  });
+  EXPECT_EQ(buf.host_data()[0], 16ull * 64 * 3);
+}
+
+TEST(BlockCtx, GridStrideRaggedTails) {
+  // Sizes around block/grid boundaries must all be covered exactly once.
+  Device dev = make_device();
+  for (std::uint64_t n : {1ull, 63ull, 64ull, 65ull, 255ull, 256ull, 257ull,
+                          1000ull}) {
+    auto buf = dev.alloc<std::uint32_t>(n);
+    std::fill(buf.host_data(), buf.host_data() + n, 0u);
+    auto s = buf.span();
+    dev.launch("ragged", LaunchConfig{2, 64, 1.0}, [=](BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.grid_stride(n, [&](std::uint64_t i) {
+        ctx.store(s, i, ctx.load(s, i) + 1);
+      });
+    });
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf.host_data()[i], 1u) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xbfs::sim

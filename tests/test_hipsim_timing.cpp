@@ -1,0 +1,112 @@
+// Unit tests for the analytic timing model and the device-profile cost
+// relationships the paper's optimizations rely on (expensive AMD syncs,
+// first-launch warm-up, register-spill multiplier, imbalance clamping).
+#include <gtest/gtest.h>
+
+#include "hipsim/hipsim.h"
+
+namespace xbfs::sim {
+namespace {
+
+TEST(TimingModel, EmptyKernelIsLaunchOverheadOnly) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  const TimingBreakdown t = kernel_time(p, KernelCounters{}, 1.0);
+  EXPECT_DOUBLE_EQ(t.total_us, p.kernel_launch_us);
+  EXPECT_DOUBLE_EQ(t.mem_unit_busy_pct(), 0.0);
+}
+
+TEST(TimingModel, BandwidthBoundKernel) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  c.fetch_bytes = static_cast<std::uint64_t>(p.hbm_bytes_per_us * 1000);
+  const TimingBreakdown t = kernel_time(p, c, 1.0);
+  EXPECT_NEAR(t.t_hbm_us, 1000.0, 1e-9);
+  EXPECT_NEAR(t.total_us, p.kernel_launch_us + 1000.0, 1e-9);
+  EXPECT_GT(t.mem_unit_busy_pct(), 95.0);
+}
+
+TEST(TimingModel, WritebackCountsTowardHbmTime) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters fetch_only, with_wb;
+  fetch_only.fetch_bytes = 1 << 20;
+  with_wb.fetch_bytes = 1 << 20;
+  with_wb.writeback_bytes = 1 << 20;
+  EXPECT_GT(kernel_time(p, with_wb, 1.0).t_hbm_us,
+            kernel_time(p, fetch_only, 1.0).t_hbm_us);
+}
+
+TEST(TimingModel, SpillFactorScalesWholeKernelTime) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  c.lane_slots = static_cast<std::uint64_t>(p.lane_slots_per_us * 100);
+  c.fetch_bytes = static_cast<std::uint64_t>(p.hbm_bytes_per_us * 500);
+  const TimingBreakdown base = kernel_time(p, c, 1.0, 1.0);
+  const TimingBreakdown spilled = kernel_time(p, c, 1.0, 10.0);
+  // The knob models measured compiler effects on the whole kernel, so it
+  // must bite even when the kernel is memory-bound.
+  EXPECT_NEAR(spilled.total_us - p.kernel_launch_us,
+              (base.total_us - p.kernel_launch_us) * 10.0, 1e-6);
+}
+
+TEST(TimingModel, AtomicBoundKernel) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  c.atomics = static_cast<std::uint64_t>(p.atomics_per_us * 500);
+  const TimingBreakdown t = kernel_time(p, c, 1.0);
+  EXPECT_NEAR(t.t_atomic_us, 500.0, 1e-9);
+  EXPECT_NEAR(t.bottleneck_us, 500.0, 1e-9);
+}
+
+TEST(TimingModel, LatencyTermDominatesDependentChains) {
+  DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  // Many hits, tiny payload: bandwidth terms are negligible but the
+  // latency-over-MLP term is not.
+  c.l2_hits = 10'000'000;
+  c.l2_hit_bytes = c.l2_hits * 4;
+  const TimingBreakdown t = kernel_time(p, c, 1.0);
+  EXPECT_GT(t.t_latency_us, t.t_l2_us);
+  EXPECT_DOUBLE_EQ(t.bottleneck_us, t.t_latency_us);
+}
+
+TEST(TimingModel, ImbalanceIsClamped) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  c.fetch_bytes = 1 << 20;
+  EXPECT_DOUBLE_EQ(kernel_time(p, c, 0.1).imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(kernel_time(p, c, 100.0).imbalance, 8.0);
+  EXPECT_DOUBLE_EQ(kernel_time(p, c, 3.0).imbalance, 3.0);
+}
+
+TEST(TimingModel, MemUnitBusyNeverExceeds100) {
+  const DeviceProfile p = DeviceProfile::test_profile();
+  KernelCounters c;
+  c.fetch_bytes = 123456789;
+  const TimingBreakdown t = kernel_time(p, c, 1.0);
+  EXPECT_LE(t.mem_unit_busy_pct(), 100.0);
+  EXPECT_GE(t.mem_unit_busy_pct(), 0.0);
+}
+
+TEST(DeviceProfiles, AmdSyncCostExceedsNvidia) {
+  // The premise of the stream-consolidation optimization (Sec. IV-B).
+  EXPECT_GT(DeviceProfile::mi250x_gcd().device_sync_us,
+            DeviceProfile::p6000().device_sync_us);
+  EXPECT_GT(DeviceProfile::mi250x_gcd().stream_join_us,
+            DeviceProfile::p6000().stream_join_us);
+}
+
+TEST(DeviceProfiles, Wavefront64OnAmdAnd32OnNvidia) {
+  EXPECT_EQ(DeviceProfile::mi250x_gcd().wavefront_size, 64u);
+  EXPECT_EQ(DeviceProfile::p6000().wavefront_size, 32u);
+}
+
+TEST(DeviceProfiles, Mi250xMatchesPublishedSpecs) {
+  const DeviceProfile p = DeviceProfile::mi250x_gcd();
+  EXPECT_EQ(p.num_cus, 110u);
+  EXPECT_DOUBLE_EQ(p.hbm_bytes_per_us, 1.6e6);      // 1.6 TB/s per GCD
+  EXPECT_EQ(p.l2_bytes, 8ull * 1024 * 1024);        // 8 MB L2
+  EXPECT_EQ(p.device_mem_bytes, 64ull << 30);       // 64 GB HBM2E per GCD
+}
+
+}  // namespace
+}  // namespace xbfs::sim

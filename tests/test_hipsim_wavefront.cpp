@@ -1,0 +1,147 @@
+// Unit tests for wavefront collectives and intrinsics — the AMD-64-wide
+// semantics the port depends on (maskless __any/__shfl, 64-bit ballots,
+// __popcll, ballot-rank aggregation).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hipsim/hipsim.h"
+
+namespace xbfs::sim {
+namespace {
+
+TEST(Intrinsics, PopcllCountsBits) {
+  EXPECT_EQ(popcll(0), 0u);
+  EXPECT_EQ(popcll(~0ull), 64u);
+  EXPECT_EQ(popcll(0x8000000000000001ull), 2u);
+}
+
+TEST(Intrinsics, FfsllIsOneBased) {
+  EXPECT_EQ(ffsll(0), 0u);
+  EXPECT_EQ(ffsll(1), 1u);
+  EXPECT_EQ(ffsll(0x8000000000000000ull), 64u);
+  EXPECT_EQ(ffsll(0b101000), 4u);
+}
+
+TEST(Intrinsics, LaneMaskLt) {
+  EXPECT_EQ(lane_mask_lt(0), 0ull);
+  EXPECT_EQ(lane_mask_lt(1), 1ull);
+  EXPECT_EQ(lane_mask_lt(64), ~0ull);
+  EXPECT_EQ(lane_mask_lt(8), 0xFFull);
+}
+
+TEST(Intrinsics, MaskRankIsExclusivePopcount) {
+  const std::uint64_t mask = 0b10110010;
+  EXPECT_EQ(mask_rank(mask, 1), 0u);
+  EXPECT_EQ(mask_rank(mask, 4), 1u);
+  EXPECT_EQ(mask_rank(mask, 5), 2u);
+  EXPECT_EQ(mask_rank(mask, 7), 3u);
+}
+
+/// Run `f(wavefront)` inside a 1-block, 64-thread kernel on a fresh device.
+template <typename F>
+void with_wavefront(F&& f) {
+  Device dev(DeviceProfile::test_profile(), SimOptions{.num_workers = 1});
+  dev.launch("wf", LaunchConfig{.grid_blocks = 1, .block_threads = 64},
+             [&](BlockCtx& blk) {
+               blk.wavefronts([&](WavefrontCtx& wf, unsigned) { f(wf); });
+             });
+}
+
+TEST(Wavefront, BallotCollectsPredicateMask) {
+  with_wavefront([](WavefrontCtx& wf) {
+    const std::uint64_t mask = wf.ballot([](unsigned l) { return l % 4 == 0; });
+    EXPECT_EQ(popcll(mask), 16u);
+    EXPECT_TRUE(mask & 1);
+    EXPECT_FALSE(mask & 2);
+  });
+}
+
+TEST(Wavefront, AnyAndAllMasklessForms) {
+  with_wavefront([](WavefrontCtx& wf) {
+    EXPECT_TRUE(wf.any([](unsigned l) { return l == 63; }));
+    EXPECT_FALSE(wf.any([](unsigned) { return false; }));
+    EXPECT_TRUE(wf.all([](unsigned) { return true; }));
+    EXPECT_FALSE(wf.all([](unsigned l) { return l != 13; }));
+  });
+}
+
+TEST(Wavefront, ShflBroadcastsFromSourceLane) {
+  with_wavefront([](WavefrontCtx& wf) {
+    const int v = wf.shfl([](unsigned l) { return static_cast<int>(l * 10); },
+                          /*src=*/7);
+    EXPECT_EQ(v, 70);
+    // Source lane wraps modulo the wavefront width, as on hardware.
+    const int w = wf.shfl([](unsigned l) { return static_cast<int>(l); }, 64);
+    EXPECT_EQ(w, 0);
+  });
+}
+
+TEST(Wavefront, ReduceAddSumsAllLanes) {
+  with_wavefront([](WavefrontCtx& wf) {
+    const std::uint64_t sum = wf.reduce_add<std::uint64_t>(
+        [](unsigned l) { return std::uint64_t{l}; });
+    EXPECT_EQ(sum, 63ull * 64 / 2);
+  });
+}
+
+TEST(Wavefront, ExclusiveScanMatchesPrefixSums) {
+  with_wavefront([](WavefrontCtx& wf) {
+    std::array<std::uint32_t, 64> out{};
+    const std::uint32_t total = wf.scan_exclusive<std::uint32_t>(
+        [](unsigned l) { return l + 1; }, out);
+    EXPECT_EQ(total, 64u * 65 / 2);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 1u);
+    EXPECT_EQ(out[63], 63u * 64 / 2);
+  });
+}
+
+TEST(Wavefront, LanesMaskedAccountsDivergence) {
+  Device dev(DeviceProfile::test_profile(), SimOptions{.num_workers = 1});
+  const LaunchResult r = dev.launch(
+      "div", LaunchConfig{.grid_blocks = 1, .block_threads = 64},
+      [&](BlockCtx& blk) {
+        blk.wavefronts([&](WavefrontCtx& wf, unsigned) {
+          int executed = 0;
+          wf.lanes_masked(0xFFull, [&](unsigned) { ++executed; });
+          EXPECT_EQ(executed, 8);
+        });
+      });
+  // 64 issue slots were consumed but only 8 lanes were active.
+  EXPECT_EQ(r.counters.lane_slots, 64u);
+  EXPECT_EQ(r.counters.active_lanes, 8u);
+  EXPECT_LT(r.counters.lane_efficiency(), 0.2);
+}
+
+TEST(Wavefront, AggregatedReserveHandsOutDisjointRanges) {
+  Device dev(DeviceProfile::test_profile(), SimOptions{.num_workers = 4});
+  auto tail = dev.alloc<std::uint32_t>(1);
+  tail.host_data()[0] = 0;
+  auto ts = tail.span();
+  const LaunchResult r = dev.launch(
+      "reserve", LaunchConfig{.grid_blocks = 16, .block_threads = 256},
+      [=](BlockCtx& blk) {
+        blk.wavefronts([&](WavefrontCtx& wf, unsigned) {
+          const std::uint64_t mask = 0xFFFF;  // 16 lanes enqueue
+          wf.aggregated_reserve(ts, mask);
+        });
+      });
+  // 16 blocks x 4 wavefronts x 16 lanes, one atomic per wavefront.
+  EXPECT_EQ(tail.host_data()[0], 16u * 4 * 16);
+  EXPECT_EQ(r.counters.atomics, 16u * 4);
+}
+
+TEST(Wavefront, P6000ProfileUsesWarp32) {
+  Device dev(DeviceProfile::p6000(), SimOptions{.num_workers = 1});
+  dev.launch("warp", LaunchConfig{.grid_blocks = 1, .block_threads = 64},
+             [&](BlockCtx& blk) {
+               EXPECT_EQ(blk.wavefronts_per_block(), 2u);
+               blk.wavefronts([&](WavefrontCtx& wf, unsigned) {
+                 EXPECT_EQ(wf.size(), 32u);
+               });
+             });
+}
+
+}  // namespace
+}  // namespace xbfs::sim

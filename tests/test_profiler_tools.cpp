@@ -1,0 +1,78 @@
+// Tests for the profiler tooling (aggregation, CSV export) and the
+// hipEvent-style timestamps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hipsim/hipsim.h"
+
+namespace xbfs::sim {
+namespace {
+
+Device make_device() {
+  return Device(DeviceProfile::test_profile(), SimOptions{.num_workers = 1});
+}
+
+void launch_named(Device& dev, const char* name, std::size_t stores) {
+  DeviceBuffer<std::uint32_t> scratch = dev.alloc<std::uint32_t>(stores);
+  auto s = scratch.span();
+  dev.launch(name, LaunchConfig{1, 64, 1.0}, [=](BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.grid_stride(stores, [&](std::uint64_t i) {
+      ctx.store(s, i, static_cast<std::uint32_t>(i));
+    });
+  });
+}
+
+TEST(ProfilerTools, AggregateByKernelSumsLaunches) {
+  Device dev = make_device();
+  launch_named(dev, "alpha", 4096);
+  launch_named(dev, "beta", 64);
+  launch_named(dev, "alpha", 4096);
+  const auto totals = dev.profiler().aggregate_by_kernel();
+  ASSERT_EQ(totals.size(), 2u);
+  // Sorted by descending runtime; alpha ran twice with more work.
+  EXPECT_EQ(totals[0].kernel, "alpha");
+  EXPECT_EQ(totals[0].launches, 2u);
+  EXPECT_EQ(totals[1].kernel, "beta");
+  EXPECT_EQ(totals[1].launches, 1u);
+  EXPECT_GT(totals[0].runtime_ms, totals[1].runtime_ms);
+}
+
+TEST(ProfilerTools, CsvHasHeaderAndOneRowPerLaunch) {
+  Device dev = make_device();
+  dev.profiler().set_context(3, "phase-x");
+  launch_named(dev, "kernel_a", 64);
+  launch_named(dev, "kernel_b", 64);
+  std::ostringstream os;
+  dev.profiler().write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kernel,level,tag,runtime_ms"), std::string::npos);
+  EXPECT_NE(csv.find("kernel_a,3,phase-x,"), std::string::npos);
+  // header + 2 rows
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Events, ElapsedMeasuresModelledStreamTime) {
+  Device dev = make_device();
+  Event start, stop;
+  start.record(dev.stream(0));
+  launch_named(dev, "work", 100000);
+  stop.record(dev.stream(0));
+  EXPECT_TRUE(start.recorded());
+  EXPECT_GT(Event::elapsed_ms(start, stop), 0.0);
+  EXPECT_DOUBLE_EQ(Event::elapsed_ms(stop, start),
+                   -Event::elapsed_ms(start, stop));
+}
+
+TEST(Events, RecordCapturesStreamNotDevice) {
+  Device dev = make_device();
+  Stream& other = dev.create_stream("other");
+  launch_named(dev, "work", 100000);  // advances stream 0 only
+  Event e;
+  e.record(other);
+  EXPECT_DOUBLE_EQ(e.t_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace xbfs::sim

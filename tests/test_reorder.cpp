@@ -1,0 +1,205 @@
+// Tests for Degree-Aware Neighbor Order Re-arrangement: ordering
+// invariants, graph-semantics preservation, and the paper's visit
+// probability model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/reference.h"
+#include "graph/reorder.h"
+#include "graph/rmat.h"
+
+namespace xbfs::graph {
+namespace {
+
+Csr test_graph(std::uint64_t seed = 1) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return rmat_csr(p);
+}
+
+TEST(Reorder, ByDegreeDescIsOrdered) {
+  const Csr g = test_graph();
+  const Csr r = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  EXPECT_TRUE(neighbors_ordered(r, NeighborOrder::ByDegreeDesc));
+  for (vid_t v = 0; v < r.num_vertices(); ++v) {
+    const auto nb = r.neighbors(v);
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      EXPECT_GE(r.degree(nb[i - 1]), r.degree(nb[i]))
+          << "vertex " << v << " position " << i;
+    }
+  }
+}
+
+TEST(Reorder, PreservesAdjacencyMultiset) {
+  const Csr g = test_graph();
+  const Csr r = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  ASSERT_EQ(g.offsets(), r.offsets());  // degrees unchanged
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    auto a = g.neighbors(v);
+    auto b = r.neighbors(v);
+    std::vector<vid_t> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    ASSERT_EQ(sa, sb) << "vertex " << v;
+  }
+}
+
+TEST(Reorder, BfsLevelsAreInvariant) {
+  const Csr g = test_graph(3);
+  const Csr r = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  const auto giant = largest_component_vertices(g);
+  for (vid_t src : {giant[0], giant[giant.size() / 2], giant.back()}) {
+    EXPECT_EQ(reference_bfs(g, src), reference_bfs(r, src));
+  }
+}
+
+TEST(Reorder, ByIdRestoresBuilderOrder) {
+  const Csr g = test_graph();
+  const Csr shuffled = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  const Csr restored = rearrange_neighbors(shuffled, NeighborOrder::ById);
+  EXPECT_EQ(restored.cols(), g.cols());  // builder sorts by id
+}
+
+TEST(Reorder, AscAndDescAreReverses) {
+  const Csr g = test_graph();
+  const Csr asc = rearrange_neighbors(g, NeighborOrder::ByDegreeAsc);
+  const Csr desc = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  EXPECT_TRUE(neighbors_ordered(asc, NeighborOrder::ByDegreeAsc));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto a = asc.neighbors(v);
+    const auto d = desc.neighbors(v);
+    ASSERT_EQ(a.size(), d.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Same degree sequence mirrored (ids may differ on ties).
+      EXPECT_EQ(asc.degree(a[i]), desc.degree(d[d.size() - 1 - i]));
+    }
+  }
+}
+
+TEST(Reorder, IdempotentOnRearrangedGraph) {
+  const Csr g = test_graph();
+  const Csr once = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  const Csr twice = rearrange_neighbors(once, NeighborOrder::ByDegreeDesc);
+  EXPECT_EQ(once.cols(), twice.cols());
+}
+
+TEST(Reorder, DeterministicTieBreaking) {
+  const Csr g = test_graph(5);
+  const Csr a = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  const Csr b = rearrange_neighbors(g, NeighborOrder::ByDegreeDesc);
+  EXPECT_EQ(a.cols(), b.cols());
+}
+
+// --- the paper's probability model: P = 1 - C(m-d, mk)/C(m, mk) ----------
+
+TEST(VisitProbability, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(visit_probability(100, 0, 10), 0.0);   // nothing visited
+  EXPECT_DOUBLE_EQ(visit_probability(100, 100, 10), 1.0); // all visited
+  EXPECT_DOUBLE_EQ(visit_probability(100, 50, 0), 0.0);   // no edges at all
+}
+
+TEST(VisitProbability, IncreasesWithDegree) {
+  // "vertices with larger degrees have a higher likelihood of being visited
+  // earlier" — monotone in d for fixed m, mk.
+  double prev = 0.0;
+  for (std::uint64_t d = 1; d <= 50; d += 7) {
+    const double p = visit_probability(1000, 100, d);
+    EXPECT_GT(p, prev) << "d=" << d;
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(VisitProbability, IncreasesWithVisitedEdges) {
+  double prev = -1.0;
+  for (std::uint64_t mk = 0; mk <= 900; mk += 100) {
+    const double p = visit_probability(1000, mk, 8);
+    EXPECT_GT(p, prev) << "mk=" << mk;
+    prev = p;
+  }
+}
+
+TEST(VisitProbability, MatchesExactSmallCase) {
+  // m=4 edges, mk=2 visited, d=1: P = 1 - C(3,2)/C(4,2) = 1 - 3/6 = 0.5.
+  EXPECT_NEAR(visit_probability(4, 2, 1), 0.5, 1e-12);
+  // d=2: 1 - C(2,2)/C(4,2) = 1 - 1/6.
+  EXPECT_NEAR(visit_probability(4, 2, 2), 1.0 - 1.0 / 6.0, 1e-12);
+}
+
+TEST(VisitProbability, CertainWhenUnvisitedPoolSmallerThanDegree) {
+  // If fewer than d edges remain unvisited, some incident edge was visited.
+  EXPECT_DOUBLE_EQ(visit_probability(100, 95, 10), 1.0);
+}
+
+// --- whole-graph vertex relabeling ----------------------------------------
+
+TEST(Relabel, MappingsAreInverseBijections) {
+  const Csr g = test_graph(9);
+  for (VertexOrder order : {VertexOrder::ByDegreeDesc,
+                            VertexOrder::ByDegreeAsc, VertexOrder::BfsFrom0}) {
+    const Relabeling r = relabel_vertices(g, order);
+    ASSERT_EQ(r.new_to_old.size(), g.num_vertices());
+    for (vid_t nv = 0; nv < g.num_vertices(); ++nv) {
+      ASSERT_EQ(r.old_to_new[r.new_to_old[nv]], nv);
+    }
+  }
+}
+
+TEST(Relabel, ByDegreeDescPutsHubsFirst) {
+  const Csr g = test_graph(10);
+  const Relabeling r = relabel_vertices(g, VertexOrder::ByDegreeDesc);
+  for (vid_t nv = 1; nv < r.graph.num_vertices(); ++nv) {
+    ASSERT_GE(r.graph.degree(nv - 1), r.graph.degree(nv)) << nv;
+  }
+}
+
+TEST(Relabel, GraphIsIsomorphicUnderMapping) {
+  const Csr g = test_graph(11);
+  const Relabeling r = relabel_vertices(g, VertexOrder::BfsFrom0);
+  ASSERT_TRUE(r.graph.validate().empty());
+  ASSERT_EQ(r.graph.num_edges(), g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    // Neighbors of v in the original == mapped-back neighbors of old_to_new[v].
+    std::vector<vid_t> orig(g.neighbors(v).begin(), g.neighbors(v).end());
+    std::vector<vid_t> mapped;
+    for (vid_t w : r.graph.neighbors(r.old_to_new[v])) {
+      mapped.push_back(r.new_to_old[w]);
+    }
+    std::sort(orig.begin(), orig.end());
+    std::sort(mapped.begin(), mapped.end());
+    ASSERT_EQ(orig, mapped) << v;
+  }
+}
+
+TEST(Relabel, BfsOrderGivesMonotoneLevelsFromVertex0) {
+  const Csr g = test_graph(12);
+  const Relabeling r = relabel_vertices(g, VertexOrder::BfsFrom0);
+  // BFS visit order: the level sequence of new ids from the new source
+  // (old vertex 0 -> new id of its component head) is non-decreasing over
+  // each component's id range.
+  const auto levels = reference_bfs(r.graph, r.old_to_new[0]);
+  std::int32_t prev = 0;
+  for (vid_t nv = 0; nv < r.graph.num_vertices(); ++nv) {
+    if (levels[nv] < 0) break;  // left the source's component
+    ASSERT_GE(levels[nv], prev) << nv;
+    prev = levels[nv];
+  }
+}
+
+TEST(Relabel, BfsDistancesAreInvariant) {
+  const Csr g = test_graph(13);
+  const Relabeling r = relabel_vertices(g, VertexOrder::ByDegreeDesc);
+  const auto giant = largest_component_vertices(g);
+  const vid_t src = giant[0];
+  const auto ref = reference_bfs(g, src);
+  const auto rel = reference_bfs(r.graph, r.old_to_new[src]);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(ref[v], rel[r.old_to_new[v]]) << v;
+  }
+}
+
+}  // namespace
+}  // namespace xbfs::graph

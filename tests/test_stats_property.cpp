@@ -1,0 +1,124 @@
+// Property tests for the statistics helpers across generator families and
+// seeds: conservation laws of the frontier traces, quantile ordering of the
+// box summaries and degree-stat consistency.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "graph/stats.h"
+
+namespace xbfs::graph {
+namespace {
+
+using Param = std::tuple<int /*family*/, std::uint64_t /*seed*/>;
+
+Csr make_graph(int family, std::uint64_t seed) {
+  switch (family) {
+    case 0: {
+      RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      p.seed = seed;
+      return rmat_csr(p);
+    }
+    case 1:
+      return erdos_renyi(3000, 20000, seed);
+    case 2:
+      return small_world(3000, 8, 0.2, seed);
+    case 3:
+      return layered_citation(4000, 50, 4, seed);
+    default:
+      return barabasi_albert(3000, 3, seed);
+  }
+}
+
+class StatsProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StatsProperty, FrontierTraceConservation) {
+  const auto [family, seed] = GetParam();
+  const Csr g = make_graph(family, seed);
+  const auto giant = largest_component_vertices(g);
+  const vid_t src = giant.front();
+  const auto ref = reference_bfs(g, src);
+
+  const auto sizes = frontier_sizes(g, src);
+  const auto ratio = frontier_edge_ratio(g, src);
+  ASSERT_EQ(sizes.size(), ratio.size());
+
+  // Sum of frontier sizes == reached vertices.
+  std::uint64_t reached = 0, reached_degree = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (ref[v] >= 0) {
+      ++reached;
+      reached_degree += g.degree(v);
+    }
+  }
+  const std::uint64_t size_sum =
+      std::accumulate(sizes.begin(), sizes.end(), std::uint64_t{0});
+  EXPECT_EQ(size_sum, reached);
+
+  // Sum of per-level edge ratios == reached edge mass / |E|.
+  const double ratio_sum =
+      std::accumulate(ratio.begin(), ratio.end(), 0.0);
+  EXPECT_NEAR(ratio_sum,
+              static_cast<double>(reached_degree) /
+                  static_cast<double>(g.num_edges()),
+              1e-9);
+
+  // Level 0 is exactly the source.
+  EXPECT_EQ(sizes[0], 1u);
+  // No level is empty (BFS stops at the first empty frontier).
+  for (std::size_t lvl = 0; lvl < sizes.size(); ++lvl) {
+    EXPECT_GT(sizes[lvl], 0u) << lvl;
+  }
+}
+
+TEST_P(StatsProperty, DegreeStatsAreConsistent) {
+  const auto [family, seed] = GetParam();
+  const Csr g = make_graph(family, seed);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_LE(s.min_degree, s.max_degree);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(static_cast<double>(s.min_degree), s.mean);
+  EXPECT_GE(static_cast<double>(s.max_degree), s.mean);
+  EXPECT_NEAR(s.mean, g.avg_degree(), 1e-12);
+  // Isolated count consistent with min degree.
+  EXPECT_EQ(s.isolated > 0, s.min_degree == 0);
+}
+
+TEST_P(StatsProperty, BoxSummaryBoundsQuantiles) {
+  const auto [family, seed] = GetParam();
+  const Csr g = make_graph(family, seed);
+  std::vector<double> degs;
+  degs.reserve(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    degs.push_back(static_cast<double>(g.degree(v)));
+  }
+  const BoxSummary b = box_summary(degs);
+  EXPECT_LE(b.min, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.max);
+  EXPECT_EQ(b.count, degs.size());
+}
+
+std::string stats_param_name(const ::testing::TestParamInfo<Param>& info) {
+  static const char* const kNames[] = {"Rmat", "ER", "SmallWorld", "Citation",
+                                       "BA"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_s" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, StatsProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),
+    stats_param_name);
+
+}  // namespace
+}  // namespace xbfs::graph

@@ -1,0 +1,111 @@
+// Concurrency stress: repeated multi-worker runs shaking out races in the
+// simulated-atomics paths (CAS claims, aggregated enqueues, benign stores,
+// look-ahead commits), plus cross-implementation agreement of every BFS in
+// the repository on the same instances.
+#include <gtest/gtest.h>
+
+#include "baseline/async_sssp.h"
+#include "baseline/gunrock_like.h"
+#include "baseline/hier_queue.h"
+#include "baseline/simple_scan.h"
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs {
+namespace {
+
+TEST(StressConcurrency, RepeatedMultiWorkerRunsStayCorrect) {
+  graph::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8;
+  p.seed = 51;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 4});
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  core::XbfsConfig cfg;
+  cfg.alpha = 0.05;  // exercise bottom-up + look-ahead under contention
+  core::Xbfs bfs(dev, dg, cfg);
+
+  const graph::vid_t src = giant.front();
+  const auto ref = graph::reference_bfs(g, src);
+  for (int run = 0; run < 12; ++run) {
+    const core::BfsResult r = bfs.run(src);
+    ASSERT_EQ(r.levels, ref) << "run " << run;
+  }
+}
+
+TEST(StressConcurrency, AlternatingConfigsOnOneDevice) {
+  // Interleave configurations on a single device instance — stale state
+  // from one variant must never leak into the next run.
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = 52;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+  const graph::vid_t src = giant[giant.size() / 3];
+  const auto ref = graph::reference_bfs(g, src);
+
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 4});
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+
+  core::XbfsConfig bitmap_cfg;
+  bitmap_cfg.bottomup_bitmap = true;
+  core::XbfsConfig triple_cfg;
+  triple_cfg.stream_mode = core::StreamMode::TripleBinned;
+  core::Xbfs plain(dev, dg);
+  core::Xbfs bitmap(dev, dg, bitmap_cfg);
+  core::Xbfs triple(dev, dg, triple_cfg);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_EQ(plain.run(src).levels, ref) << round;
+    ASSERT_EQ(bitmap.run(src).levels, ref) << round;
+    ASSERT_EQ(triple.run(src).levels, ref) << round;
+  }
+}
+
+class CrossImplementation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossImplementation, EveryBfsAgreesOnTheSameInstance) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = GetParam();
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+  const graph::vid_t src = giant.front();
+
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 4});
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+
+  core::Xbfs xbfs(dev, dg);
+  baseline::GunrockLikeBfs gunrock(dev, dg);
+  baseline::SimpleScanBfs scan(dev, dg);
+  baseline::HierQueueBfs hier(dev, dg);
+  baseline::AsyncSsspBfs sssp(dev, dg);
+
+  const auto expected = graph::reference_bfs(g, src);
+  EXPECT_EQ(xbfs.run(src).levels, expected);
+  EXPECT_EQ(gunrock.run(src).levels, expected);
+  EXPECT_EQ(scan.run(src).levels, expected);
+  EXPECT_EQ(hier.run(src).levels, expected);
+  EXPECT_EQ(sssp.run(src).levels, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossImplementation,
+                         ::testing::Values<std::uint64_t>(61, 62, 63, 64),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace xbfs

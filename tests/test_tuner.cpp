@@ -1,0 +1,137 @@
+// Tests for the alpha auto-tuner and the result-reporting helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+#include "core/tuner.h"
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs::core {
+namespace {
+
+TEST(AlphaTuner, FindsBracketOnDenseRmat) {
+  // Large enough that kernels escape launch-overhead dominance (below
+  // ~scale 17 bottom-up's five launches can never win and the tuner
+  // rightly reports no bracket — covered by the next test).
+  graph::RmatParams p;
+  p.scale = 17;
+  p.edge_factor = 16;
+  p.seed = 21;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+
+  TunerOptions opt;
+  opt.probe_sources = {giant.front()};
+  const TunerReport rep =
+      tune_alpha(sim::DeviceProfile::mi250x_gcd(), g, opt);
+
+  ASSERT_FALSE(rep.samples.empty());
+  ASSERT_TRUE(rep.bracket_found);
+  EXPECT_GT(rep.recommended_alpha, rep.bracket_low);
+  EXPECT_LT(rep.recommended_alpha, rep.bracket_high);
+  // On a dense RMAT the crossover sits in the broad vicinity the paper's
+  // Fig. 7 bracketed around alpha = 0.1.
+  EXPECT_GT(rep.recommended_alpha, 1e-4);
+  EXPECT_LT(rep.recommended_alpha, 0.7);
+}
+
+TEST(AlphaTuner, ToySizeReportsNoBracketAndDisablesBottomUp) {
+  // At toy scale every kernel is launch-bound, so bottom-up (five kernels)
+  // never wins and the tuner must recommend keeping it off.
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 16;
+  p.seed = 21;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+  TunerOptions opt;
+  opt.probe_sources = {giant.front()};
+  const TunerReport rep =
+      tune_alpha(sim::DeviceProfile::mi250x_gcd(), g, opt);
+  EXPECT_FALSE(rep.bracket_found);
+  EXPECT_GE(rep.recommended_alpha, opt.fallback_alpha);
+  EXPECT_LE(rep.recommended_alpha, 1.1);
+}
+
+TEST(AlphaTuner, RecommendedAlphaYieldsCorrectAndCompetitiveRuns) {
+  graph::RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  p.seed = 22;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+
+  TunerOptions opt;
+  opt.probe_sources = {giant.front()};
+  const TunerReport rep =
+      tune_alpha(sim::DeviceProfile::mi250x_gcd(), g, opt);
+
+  auto run_with_alpha = [&](double alpha) {
+    sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                    sim::SimOptions{.num_workers = 1});
+    dev.warmup();
+    auto dg = graph::DeviceCsr::upload(dev, g);
+    XbfsConfig cfg;
+    cfg.alpha = alpha;
+    Xbfs bfs(dev, dg, cfg);
+    return bfs.run(giant[giant.size() / 3]);
+  };
+  const BfsResult tuned = run_with_alpha(rep.recommended_alpha);
+  EXPECT_TRUE(graph::validate_bfs_levels(g, giant[giant.size() / 3],
+                                         tuned.levels)
+                  .empty());
+  // The tuned alpha must not be worse than disabling bottom-up outright.
+  const BfsResult topdown_only = run_with_alpha(2.0);
+  EXPECT_LT(tuned.total_ms, topdown_only.total_ms * 1.05);
+}
+
+TEST(AlphaTuner, TopDownOnlyGraphGetsConservativeAlpha) {
+  // A long path never reaches high ratios: bottom-up never wins, and the
+  // tuner must not recommend an aggressive threshold.
+  std::vector<graph::Edge> e;
+  for (graph::vid_t v = 0; v + 1 < 3000; ++v) e.push_back({v, v + 1});
+  const graph::Csr g = graph::build_csr(3000, std::move(e));
+  TunerOptions opt;
+  opt.probe_sources = {0};
+  const TunerReport rep =
+      tune_alpha(sim::DeviceProfile::mi250x_gcd(), g, opt);
+  EXPECT_FALSE(rep.bracket_found);
+  EXPECT_GE(rep.recommended_alpha, opt.fallback_alpha);
+}
+
+TEST(Report, ScheduleTableAndCsvContainEveryLevel) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 23;
+  const graph::Csr g = graph::rmat_csr(p);
+  const auto giant = graph::largest_component_vertices(g);
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 1});
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  Xbfs bfs(dev, dg);
+  const BfsResult r = bfs.run(giant.front());
+
+  std::ostringstream table_os, csv_os;
+  print_schedule(table_os, r);
+  write_schedule_csv(csv_os, r);
+  const std::string table = table_os.str();
+  const std::string csv = csv_os.str();
+
+  EXPECT_NE(table.find("end-to-end"), std::string::npos);
+  // CSV: header + one row per level.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(r.level_stats.size()) + 1);
+  for (const LevelStats& st : r.level_stats) {
+    EXPECT_NE(table.find(strategy_name(st.strategy)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xbfs::core

@@ -1,0 +1,217 @@
+// Property-based sweep: every (generator family x seed x configuration)
+// combination must produce BFS levels identical in meaning to the serial
+// reference — same reachability, same distances — regardless of strategy
+// schedule, balancing mode, stream mode, look-ahead or NFG settings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs {
+namespace {
+
+enum class Family { Rmat, RmatDense, ErdosRenyi, SmallWorld, Citation, Ba };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::Rmat: return "Rmat";
+    case Family::RmatDense: return "RmatDense";
+    case Family::ErdosRenyi: return "ER";
+    case Family::SmallWorld: return "SmallWorld";
+    case Family::Citation: return "Citation";
+    case Family::Ba: return "BA";
+  }
+  return "?";
+}
+
+graph::Csr make_family(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::Rmat: {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.edge_factor = 8;
+      p.seed = seed;
+      return graph::rmat_csr(p);
+    }
+    case Family::RmatDense: {
+      graph::RmatParams p;
+      p.scale = 9;
+      p.edge_factor = 64;
+      p.seed = seed;
+      return graph::rmat_csr(p);
+    }
+    case Family::ErdosRenyi:
+      return graph::erdos_renyi(3000, 24000, seed);
+    case Family::SmallWorld:
+      return graph::small_world(4000, 8, 0.15, seed);
+    case Family::Citation:
+      return graph::layered_citation(5000, 80, 4, seed);
+    case Family::Ba:
+      return graph::barabasi_albert(4000, 3, seed);
+  }
+  return graph::Csr{};
+}
+
+struct ConfigVariant {
+  const char* name;
+  core::XbfsConfig cfg;
+};
+
+std::vector<ConfigVariant> config_variants() {
+  std::vector<ConfigVariant> out;
+  out.push_back({"adaptive-default", {}});
+  {
+    core::XbfsConfig c;
+    c.enable_lookahead = false;
+    out.push_back({"no-lookahead", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.enable_nfg = false;
+    out.push_back({"no-nfg", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.topdown_balancing = core::Balancing::ThreadCentric;
+    out.push_back({"thread-centric", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.topdown_balancing = core::Balancing::WavefrontCentric;
+    out.push_back({"wavefront-centric", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.bottomup_warp_centric = true;
+    out.push_back({"bu-warp-centric", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.stream_mode = core::StreamMode::TripleBinned;
+    out.push_back({"triple-binned", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.alpha = 0.02;  // aggressive bottom-up
+    out.push_back({"alpha-0.02", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.alpha = 2.0;  // bottom-up disabled
+    out.push_back({"topdown-only", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.forced_strategy = static_cast<int>(core::Strategy::BottomUp);
+    out.push_back({"forced-bottom-up", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.build_parents = true;
+    out.push_back({"with-parents", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.bottomup_bitmap = true;
+    out.push_back({"bitmap-status", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.bottomup_bitmap = true;
+    c.forced_strategy = static_cast<int>(core::Strategy::BottomUp);
+    out.push_back({"bitmap-forced-bu", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.bottomup_bitmap = true;
+    c.enable_lookahead = false;
+    c.alpha = 0.02;
+    out.push_back({"bitmap-no-lookahead", c});
+  }
+  {
+    core::XbfsConfig c;
+    c.block_threads = 64;
+    c.bu_segment_size = 128;
+    out.push_back({"small-blocks", c});
+  }
+  return out;
+}
+
+using Param = std::tuple<Family, std::uint64_t /*seed*/, std::size_t /*cfg*/>;
+
+class XbfsProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(XbfsProperty, MatchesReferenceBfs) {
+  const auto [family, seed, cfg_idx] = GetParam();
+  const ConfigVariant variant = config_variants()[cfg_idx];
+  const graph::Csr g = make_family(family, seed);
+  ASSERT_TRUE(g.validate().empty());
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_FALSE(giant.empty());
+
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 2});
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  core::Xbfs bfs(dev, dg, variant.cfg);
+
+  // Two sources per instance: a giant-component vertex and (when distinct)
+  // one from the middle of the id range.
+  const graph::vid_t sources[2] = {giant.front(), giant[giant.size() / 2]};
+  for (graph::vid_t src : sources) {
+    const core::BfsResult r = bfs.run(src);
+    const auto ref = graph::reference_bfs(g, src);
+    ASSERT_EQ(r.levels.size(), ref.size());
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(r.levels[v], ref[v])
+          << family_name(family) << " seed=" << seed << " cfg="
+          << variant.name << " src=" << src << " vertex=" << v;
+    }
+    if (variant.cfg.build_parents) {
+      const std::string perr =
+          graph::validate_bfs_parents(g, src, r.levels, r.parent);
+      ASSERT_TRUE(perr.empty()) << perr;
+    }
+    ASSERT_GT(r.total_ms, 0.0);
+    ASSERT_GE(r.depth, 1u);
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [family, seed, cfg_idx] = info.param;
+  std::string name = std::string(family_name(family)) + "_s" +
+                     std::to_string(seed) + "_" +
+                     config_variants()[cfg_idx].name;
+  for (char& c : name) {
+    if (c == '-' || c == '.') c = '_';
+  }
+  return name;
+}
+
+// Full configuration matrix on the canonical RMAT instance...
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, XbfsProperty,
+    ::testing::Combine(::testing::Values(Family::Rmat),
+                       ::testing::Values<std::uint64_t>(1),
+                       ::testing::Range<std::size_t>(0,
+                                                     config_variants().size())),
+    param_name);
+
+// ...and the default + forced-bottom-up configs across families and seeds.
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, XbfsProperty,
+    ::testing::Combine(::testing::Values(Family::Rmat, Family::RmatDense,
+                                         Family::ErdosRenyi,
+                                         Family::SmallWorld, Family::Citation,
+                                         Family::Ba),
+                       ::testing::Values<std::uint64_t>(2, 3),
+                       ::testing::Values<std::size_t>(0, 9)),
+    param_name);
+
+}  // namespace
+}  // namespace xbfs
