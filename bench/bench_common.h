@@ -16,6 +16,8 @@
 #include "graph/device_csr.h"
 #include "graph/reference.h"
 #include "hipsim/hipsim.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace xbfs::bench {
 
@@ -88,6 +90,15 @@ inline LoadedDataset load_dataset(graph::DatasetId id,
   d.host = graph::make_dataset(id, opt.scale_divisor,
                                seed_override ? seed_override : opt.seed);
   d.giant = graph::largest_component_vertices(d.host);
+  // Stamp the dataset onto every run record produced while it is loaded,
+  // so BENCH_*.json trajectories can be grouped without per-bench wiring
+  // (runners add their records from inside run(); they never see the
+  // dataset name).
+  obs::ReportSession& report = obs::ReportSession::global();
+  if (report.enabled()) {
+    report.set_context("dataset", d.meta.short_name);
+    report.set_context("scale_divisor", std::to_string(opt.scale_divisor));
+  }
   return d;
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# CI check for the observability export path: run the quickstart example
+# with XBFS_TRACE / XBFS_RUN_REPORT / XBFS_METRICS active, then validate
+# that both JSON artifacts are well-formed and carry the span tracks and
+# per-level rows the acceptance criteria require.
+#
+#   usage: check_trace.sh <quickstart-binary> [workdir]
+set -euo pipefail
+
+QUICKSTART=${1:?usage: check_trace.sh <quickstart-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+TRACE="$WORKDIR/check_trace.trace.json"
+REPORT="$WORKDIR/check_trace.report.json"
+METRICS="$WORKDIR/check_trace.metrics.txt"
+rm -f "$TRACE" "$REPORT" "$METRICS"
+
+# Toy scale keeps this in CI-seconds; env vars are the only wiring needed.
+XBFS_TRACE="$TRACE" XBFS_RUN_REPORT="$REPORT" XBFS_METRICS="$METRICS" \
+  "$QUICKSTART" 10 4 1 > "$WORKDIR/check_trace.stdout" 2>&1 || {
+    echo "FAIL: quickstart exited non-zero"
+    cat "$WORKDIR/check_trace.stdout"
+    exit 1
+  }
+
+for f in "$TRACE" "$REPORT" "$METRICS"; do
+  [[ -s "$f" ]] || { echo "FAIL: $f was not written"; exit 1; }
+done
+
+python3 - "$TRACE" "$REPORT" <<'EOF'
+import json
+import sys
+
+trace_path, report_path = sys.argv[1], sys.argv[2]
+
+# --- Chrome trace ----------------------------------------------------------
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents empty"
+
+cats = {e.get("cat") for e in events}
+for required in ("kernel", "level", "strategy"):
+    assert required in cats, f"missing '{required}' span track (have {cats})"
+
+for e in events:
+    if e.get("ph") == "X":
+        assert "ts" in e and "dur" in e and e["dur"] >= 0, e
+levels = [e for e in events if e.get("cat") == "level"]
+
+# --- run report ------------------------------------------------------------
+with open(report_path) as f:
+    report = json.load(f)
+assert report["schema"] == "xbfs-run-report", report.get("schema")
+assert report["version"] == 1, report.get("version")
+runs = report["runs"]
+assert runs, "no runs recorded"
+run = next(r for r in runs if r["tool"] == "xbfs")
+assert run["graph"]["n"] > 0 and run["graph"]["m"] > 0
+assert run["depth"] == len(run["levels"])
+assert run["kernels"], "per-kernel aggregates missing"
+for row in run["levels"]:
+    for key in ("level", "strategy", "frontier", "edges", "ratio", "time_ms"):
+        assert key in row, f"level row missing {key}: {row}"
+# The trace's level spans and the report's level rows describe the same run.
+assert len(levels) == len(run["levels"]), (len(levels), len(run["levels"]))
+
+print(f"OK: {len(events)} trace events, "
+      f"{len(run['levels'])} level rows, "
+      f"{len(run['kernels'])} kernel aggregates, "
+      f"gteps={run['gteps']:.4f}")
+EOF
+
+echo "check_trace: PASS"

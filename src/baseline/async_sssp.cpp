@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/report.h"
 #include "core/status.h"
 
 namespace xbfs::baseline {
@@ -22,6 +23,7 @@ AsyncSsspBfs::AsyncSsspBfs(sim::Device& dev, const graph::DeviceCsr& g,
 core::BfsResult AsyncSsspBfs::run(vid_t src) {
   sim::Stream& s = dev_.stream(0);
   const double t0_us = dev_.now_us();
+  const std::size_t prof_start = dev_.profiler().records().size();
   core::BfsResult result;
 
   auto dist = dist_.span();
@@ -118,10 +120,10 @@ core::BfsResult AsyncSsspBfs::run(vid_t src) {
     }
   }
   result.edges_traversed = reached_degree / 2;
-  result.gteps = result.total_ms > 0
-                     ? static_cast<double>(result.edges_traversed) /
-                           (result.total_ms * 1e6)
-                     : 0.0;
+  result.gteps = core::safe_gteps(result.edges_traversed, result.total_ms);
+  core::record_run(result, "async_sssp", g_.n, g_.m,
+                   static_cast<std::int64_t>(src), nullptr,
+                   &dev_.profiler(), prof_start);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <thread>
 
+#include "core/xbfs.h"
 #include "graph/reference.h"
 
 namespace xbfs::baseline {
@@ -24,9 +25,7 @@ CpuBfsResult finalize(const Csr& g, std::vector<std::int32_t> levels,
     if (r.levels[v] >= 0) reached_degree += g.degree(v);
   }
   r.edges_traversed = reached_degree / 2;
-  r.gteps = wall_ms > 0
-                ? static_cast<double>(r.edges_traversed) / (wall_ms * 1e6)
-                : 0.0;
+  r.gteps = core::safe_gteps(r.edges_traversed, wall_ms);
   return r;
 }
 

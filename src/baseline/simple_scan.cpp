@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/report.h"
 #include "core/status.h"
 
 namespace xbfs::baseline {
@@ -20,6 +21,7 @@ SimpleScanBfs::SimpleScanBfs(sim::Device& dev, const graph::DeviceCsr& g,
 core::BfsResult SimpleScanBfs::run(vid_t src) {
   sim::Stream& s = dev_.stream(0);
   const double t0_us = dev_.now_us();
+  const std::size_t prof_start = dev_.profiler().records().size();
   core::BfsResult result;
 
   core::launch_init_status(dev_, s, status_.span(), cfg_.block_threads);
@@ -110,10 +112,10 @@ core::BfsResult SimpleScanBfs::run(vid_t src) {
     }
   }
   result.edges_traversed = reached_degree / 2;
-  result.gteps = result.total_ms > 0
-                     ? static_cast<double>(result.edges_traversed) /
-                           (result.total_ms * 1e6)
-                     : 0.0;
+  result.gteps = core::safe_gteps(result.edges_traversed, result.total_ms);
+  core::record_run(result, "simple_scan", g_.n, g_.m,
+                   static_cast<std::int64_t>(src), nullptr,
+                   &dev_.profiler(), prof_start);
   return result;
 }
 

@@ -1,11 +1,16 @@
-// Human-readable and CSV reporting of BFS results: the per-level strategy
-// schedule table the examples print, factored into the library so every
-// tool renders it the same way.
+// Reporting of BFS results: the per-level strategy schedule table the
+// examples print, the CSV variant, and the bridge into the obs run-report
+// layer — all factored into the library so every tool renders the same way.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "core/xbfs.h"
+#include "hipsim/profiler.h"
+#include "obs/run_report.h"
 
 namespace xbfs::core {
 
@@ -15,5 +20,25 @@ void print_schedule(std::ostream& os, const BfsResult& r);
 
 /// CSV: one row per level (level,strategy,nfg,frontier,edges,ratio,ms,fetch_kb).
 void write_schedule_csv(std::ostream& os, const BfsResult& r);
+
+/// Convert a finished traversal into a run-report record.  Per-level rows
+/// mirror r.level_stats field-for-field.  `prof`, when given, contributes
+/// per-kernel aggregates over records()[first_record..] — pass the records
+/// count observed at run start so a shared profiler only attributes this
+/// run's launches.
+obs::RunRecord to_run_record(const BfsResult& r, std::string tool,
+                             std::uint64_t n, std::uint64_t m,
+                             std::int64_t source,
+                             const XbfsConfig* cfg = nullptr,
+                             const sim::Profiler* prof = nullptr,
+                             std::size_t first_record = 0);
+
+/// Forward the record to the global obs::ReportSession; cheap no-op when
+/// XBFS_RUN_REPORT is not active.  Runners call this at the end of run().
+void record_run(const BfsResult& r, std::string tool, std::uint64_t n,
+                std::uint64_t m, std::int64_t source,
+                const XbfsConfig* cfg = nullptr,
+                const sim::Profiler* prof = nullptr,
+                std::size_t first_record = 0);
 
 }  // namespace xbfs::core

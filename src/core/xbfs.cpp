@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "core/kernels_bottomup.h"
 #include "core/kernels_topdown.h"
+#include "core/report.h"
 #include "core/status.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xbfs::core {
 
@@ -188,10 +193,53 @@ void Xbfs::run_bottomup(const FrontierState& fs, std::uint32_t level) {
   fs.add(launch_bu_expand(dev_, s, a, candidates, cfg_));
 }
 
+namespace {
+
+/// Per-level telemetry fan-out: one "level N" span on the bfs track, one
+/// strategy-decision instant on the policy track, plus decision counters.
+void emit_level_telemetry(sim::Device& dev, const LevelStats& st,
+                          double level_t0_us, double level_end_us) {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    obs::Span sp;
+    sp.name = "level " + std::to_string(st.level);
+    sp.category = "level";
+    sp.track = "bfs";
+    sp.pid = dev.trace_pid();
+    sp.sim_start_us = level_t0_us;
+    sp.sim_dur_us = level_end_us - level_t0_us;
+    sp.attr("strategy", std::string(strategy_name(st.strategy)));
+    sp.attr("nfg", st.skipped_generation);
+    sp.attr("frontier", st.frontier_count);
+    sp.attr("edges", st.frontier_edges);
+    sp.attr("ratio", st.ratio);
+    sp.attr("fetch_kb", st.fetch_kb);
+    sp.attr("kernels", static_cast<std::uint64_t>(st.kernels));
+    tr.complete(std::move(sp));
+
+    std::vector<obs::SpanAttr> attrs;
+    attrs.push_back({"ratio", obs::json_number(st.ratio), true});
+    attrs.push_back({"nfg", st.skipped_generation ? "true" : "false", true});
+    tr.instant(std::string("decide:") + strategy_name(st.strategy),
+               "strategy", "policy", dev.trace_pid(), level_t0_us,
+               std::move(attrs));
+  }
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter(std::string("xbfs.decision.") + strategy_name(st.strategy))
+        .add();
+    if (st.skipped_generation) mx.counter("xbfs.decision.nfg").add();
+    mx.histogram("xbfs.level_ms").observe(st.time_ms);
+  }
+}
+
+}  // namespace
+
 BfsResult Xbfs::run(vid_t src) {
   assert(src < g_.n);
   sim::Stream& s = dev_.stream(0);
   const double t0_us = dev_.now_us();
+  const std::size_t prof_start = dev_.profiler().records().size();
   BfsResult result;
 
   dev_.profiler().set_context(-1, "setup");
@@ -293,6 +341,7 @@ BfsResult Xbfs::run(vid_t src) {
     st.fetch_kb = fs.accum.fetch_kb();
     st.kernels = fs.kernels;
     st.time_ms = (dev_.now_us() - level_t0) / 1000.0;
+    emit_level_telemetry(dev_, st, level_t0, dev_.now_us());
     result.level_stats.push_back(st);
 
     if (next_count == 0 && lc.pending_count == 0) break;
@@ -359,10 +408,25 @@ BfsResult Xbfs::run(vid_t src) {
     }
   }
   result.edges_traversed = reached_degree / 2;
-  result.gteps = result.total_ms > 0
-                     ? static_cast<double>(result.edges_traversed) /
-                           (result.total_ms * 1e6)
-                     : 0.0;
+  result.gteps = safe_gteps(result.edges_traversed, result.total_ms);
+
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    obs::Span sp;
+    sp.name = "xbfs.run";
+    sp.category = "run";
+    sp.track = "bfs";
+    sp.pid = dev_.trace_pid();
+    sp.sim_start_us = t0_us;
+    sp.sim_dur_us = dev_.now_us() - t0_us;
+    sp.attr("source", static_cast<std::int64_t>(src));
+    sp.attr("depth", static_cast<std::uint64_t>(result.depth));
+    sp.attr("gteps", result.gteps);
+    sp.attr("edges_traversed", result.edges_traversed);
+    tr.complete(std::move(sp));
+  }
+  record_run(result, "xbfs", g_.n, g_.m, static_cast<std::int64_t>(src),
+             &cfg_, &dev_.profiler(), prof_start);
   return result;
 }
 

@@ -8,6 +8,7 @@
 //   // r.levels, r.level_stats, r.gteps ...
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct LevelStats {
   double fetch_kb = 0.0;             ///< HBM fetch traffic this level
   unsigned kernels = 0;              ///< kernel launches this level
 };
+
+/// GTEPS = edges traversed / (total_ms * 1e6), guarded so trivial runs
+/// (single-vertex graphs, zero modelled time) report 0 rather than inf/nan.
+/// Every runner — XBFS, baselines, dist — computes throughput through this.
+inline double safe_gteps(std::uint64_t edges_traversed, double total_ms) {
+  if (!std::isfinite(total_ms) || total_ms <= 0.0) return 0.0;
+  return static_cast<double>(edges_traversed) / (total_ms * 1e6);
+}
 
 struct BfsResult {
   std::vector<std::int32_t> levels;  ///< -1 = unreached

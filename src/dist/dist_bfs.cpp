@@ -4,7 +4,11 @@
 #include <cassert>
 
 #include "core/status.h"  // kUnvisited, auto_grid_blocks
+#include "core/xbfs.h"    // safe_gteps
 #include "hipsim/hipsim.h"
+#include "obs/json_writer.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace xbfs::dist {
 
@@ -35,6 +39,7 @@ DistBfs::DistBfs(const graph::Csr& g, DistConfig cfg)
     : n_(g.num_vertices()), m_(g.num_edges()), cfg_(cfg),
       part_(g.num_vertices(), cfg.gcds) {
   assert(cfg_.gcds >= 1);
+  obs::TraceSession::global().set_process_label(0, "dist-coordinator");
   const std::size_t words = (static_cast<std::size_t>(n_) + 63) / 64;
   gcds_.reserve(cfg_.gcds);
   for (unsigned p = 0; p < cfg_.gcds; ++p) {
@@ -42,6 +47,7 @@ DistBfs::DistBfs(const graph::Csr& g, DistConfig cfg)
     gcd->device = std::make_unique<sim::Device>(
         sim::DeviceProfile::mi250x_gcd(), cfg_.device_options);
     gcd->device->warmup();
+    gcd->device->set_trace_label("gcd" + std::to_string(p));
     gcd->rows = extract_local_rows(g, part_, p);
     sim::Device& dev = *gcd->device;
     gcd->offsets = dev.alloc<eid_t>(gcd->rows.offsets.size());
@@ -378,11 +384,15 @@ DistBfsResult DistBfs::run(vid_t src) {
   std::uint64_t frontier_edges =
       owner.rows.offsets[r0 + 1] - owner.rows.offsets[r0];
 
+  obs::TraceSession& tr = obs::TraceSession::global();
+  const bool tracing = tr.enabled();
+
   double clock_us = 0, comm_total_us = 0;
   for (std::uint32_t level = 0;; ++level) {
     const double ratio =
         static_cast<double>(frontier_edges) / static_cast<double>(m_ ? m_ : 1);
     const bool bottom_up = ratio > cfg_.alpha;
+    const double level_t0 = clock_us;
 
     DistLevelStats st;
     st.level = level;
@@ -391,21 +401,52 @@ DistBfsResult DistBfs::run(vid_t src) {
     st.frontier_edges = frontier_edges;
     st.ratio = ratio;
 
+    // Phase spans land on the coordinator lane (pid 0) along the modelled
+    // global clock; per-rank kernel attribution comes from each GCD's own
+    // device lane (one trace pid per GCD).
+    double phase_cursor = clock_us;
+    auto phase = [&](const char* name, const char* category, double dur_us) {
+      if (tracing && dur_us > 0.0) {
+        obs::Span sp;
+        sp.name = name;
+        sp.category = category;
+        sp.track = "dist-phases";
+        sp.pid = 0;
+        sp.sim_start_us = phase_cursor;
+        sp.sim_dur_us = dur_us;
+        sp.attr("level", static_cast<std::uint64_t>(level));
+        sp.attr("gcds", static_cast<std::uint64_t>(G));
+        tr.complete(std::move(sp));
+      }
+      phase_cursor += dur_us;
+    };
+
     double local_us = 0, comm_us = 0;
     if (bottom_up) {
       local_us = run_local_bottomup(level);
+      phase("expand:bottomup", "phase", local_us);
       // Claimed bits are already owner-clean: one broadcast suffices.
       comm_us = cfg_.fabric.allgather_us(G, bitmap_bytes);
+      phase("exchange:frontier-allgather", "comm", comm_us);
       broadcast_cleaned_slices();
     } else {
       local_us = run_local_topdown(level);
-      comm_us = cfg_.fabric.allgather_us(G, bitmap_bytes);  // candidates
+      phase("expand:topdown", "phase", local_us);
+      const double ag_cand = cfg_.fabric.allgather_us(G, bitmap_bytes);
+      comm_us = ag_cand;  // candidates
+      phase("exchange:candidate-allgather", "comm", ag_cand);
       merge_candidates_to_owners();
-      local_us += run_claim_phase(level);
-      comm_us += cfg_.fabric.allgather_us(G, bitmap_bytes);  // cleaned
+      const double claim_us = run_claim_phase(level);
+      local_us += claim_us;
+      phase("expand:claim", "phase", claim_us);
+      const double ag_clean = cfg_.fabric.allgather_us(G, bitmap_bytes);
+      comm_us += ag_clean;  // cleaned
+      phase("exchange:cleaned-allgather", "comm", ag_clean);
       broadcast_cleaned_slices();
     }
-    comm_us += cfg_.fabric.allreduce_scalar_us(G);
+    const double ar_us = cfg_.fabric.allreduce_scalar_us(G);
+    comm_us += ar_us;
+    phase("exchange:allreduce", "comm", ar_us);
 
     std::uint64_t next_count = 0, next_edges = 0;
     for (auto& gp : gcds_) {
@@ -418,6 +459,27 @@ DistBfsResult DistBfs::run(vid_t src) {
     result.level_stats.push_back(st);
     clock_us += local_us + comm_us;
     comm_total_us += comm_us;
+
+    if (tracing) {
+      obs::Span sp;
+      sp.name = "level " + std::to_string(level);
+      sp.category = "level";
+      sp.track = "dist-levels";
+      sp.pid = 0;
+      sp.sim_start_us = level_t0;
+      sp.sim_dur_us = clock_us - level_t0;
+      sp.attr("direction", bottom_up ? "bottom-up" : "top-down");
+      sp.attr("frontier", st.frontier_count);
+      sp.attr("edges", st.frontier_edges);
+      sp.attr("ratio", st.ratio);
+      sp.attr("local_ms", st.local_ms);
+      sp.attr("comm_ms", st.comm_ms);
+      tr.complete(std::move(sp));
+      std::vector<obs::SpanAttr> attrs;
+      attrs.push_back({"ratio", obs::json_number(st.ratio), true});
+      tr.instant(bottom_up ? "decide:bottom-up" : "decide:top-down",
+                 "strategy", "dist-policy", 0, level_t0, std::move(attrs));
+    }
 
     if (next_count == 0) break;
     frontier_count = next_count;
@@ -465,10 +527,53 @@ DistBfsResult DistBfs::run(vid_t src) {
   result.total_ms = clock_us / 1000.0;
   result.comm_ms = comm_total_us / 1000.0;
   result.edges_traversed = reached_degree / 2;
-  result.gteps = result.total_ms > 0
-                     ? static_cast<double>(result.edges_traversed) /
-                           (result.total_ms * 1e6)
-                     : 0.0;
+  result.gteps = core::safe_gteps(result.edges_traversed, result.total_ms);
+
+  if (tracing) {
+    obs::Span sp;
+    sp.name = "dist_bfs.run";
+    sp.category = "run";
+    sp.track = "dist-levels";
+    sp.pid = 0;
+    sp.sim_start_us = 0.0;
+    sp.sim_dur_us = clock_us;
+    sp.attr("source", static_cast<std::int64_t>(src));
+    sp.attr("gcds", static_cast<std::uint64_t>(G));
+    sp.attr("depth", static_cast<std::uint64_t>(result.depth));
+    sp.attr("gteps", result.gteps);
+    sp.attr("comm_ms", result.comm_ms);
+    tr.complete(std::move(sp));
+  }
+
+  obs::ReportSession& report = obs::ReportSession::global();
+  if (report.enabled()) {
+    obs::RunRecord rec;
+    rec.tool = "dist_bfs";
+    rec.n = n_;
+    rec.m = m_;
+    rec.source = static_cast<std::int64_t>(src);
+    rec.depth = result.depth;
+    rec.total_ms = result.total_ms;
+    rec.gteps = result.gteps;
+    rec.edges_traversed = result.edges_traversed;
+    rec.config.emplace_back("gcds", std::to_string(cfg_.gcds));
+    rec.config.emplace_back("alpha", std::to_string(cfg_.alpha));
+    rec.config.emplace_back("comm_ms", std::to_string(result.comm_ms));
+    for (const DistLevelStats& lst : result.level_stats) {
+      obs::ReportLevelRow row;
+      row.level = lst.level;
+      row.strategy = lst.bottom_up ? "bottom-up" : "top-down";
+      row.frontier = lst.frontier_count;
+      row.edges = lst.frontier_edges;
+      row.ratio = lst.ratio;
+      row.time_ms = lst.local_ms + lst.comm_ms;
+      row.has_comm = true;
+      row.local_ms = lst.local_ms;
+      row.comm_ms = lst.comm_ms;
+      rec.levels.push_back(std::move(row));
+    }
+    report.add(std::move(rec));
+  }
   return result;
 }
 

@@ -1,9 +1,18 @@
 #include "hipsim/device.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xbfs::sim {
+
+namespace {
+/// pid 0 is the host/coordinator lane; devices start at 1.
+std::atomic<int> g_next_trace_pid{1};
+}  // namespace
 
 Device::Device(DeviceProfile profile, SimOptions options)
     : profile_(std::move(profile)), options_(options) {
@@ -14,6 +23,14 @@ Device::Device(DeviceProfile profile, SimOptions options)
     worker_shmem_.push_back(std::make_unique<ShMem>(options_.lds_bytes));
   }
   streams_.emplace_back(this, "default");
+  trace_pid_ = g_next_trace_pid.fetch_add(1, std::memory_order_relaxed);
+  set_trace_label(profile_.name + " #" + std::to_string(trace_pid_));
+}
+
+void Device::set_trace_label(const std::string& label) {
+  // Always registered (construction-time cost only), so labels are present
+  // even when tracing is enabled after the device was built.
+  obs::TraceSession::global().set_process_label(trace_pid_, label);
 }
 
 Device::~Device() = default;
@@ -41,15 +58,34 @@ double Device::stream_begin(Stream& s) const {
 double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
   const double t = profile_.memcpy_overhead_us +
                    static_cast<double>(bytes) / profile_.h2d_bytes_per_us;
-  s.t_end_ = stream_begin(s) + t;
+  const double begin = stream_begin(s);
+  s.t_end_ = begin + t;
+  trace_memcpy("memcpy_h2d", s, begin, t, bytes);
   return t;
 }
 
 double Device::memcpy_d2h(Stream& s, std::uint64_t bytes) {
   const double t = profile_.memcpy_overhead_us +
                    static_cast<double>(bytes) / profile_.d2h_bytes_per_us;
-  s.t_end_ = stream_begin(s) + t;
+  const double begin = stream_begin(s);
+  s.t_end_ = begin + t;
+  trace_memcpy("memcpy_d2h", s, begin, t, bytes);
   return t;
+}
+
+void Device::trace_memcpy(const char* name, const Stream& s, double start_us,
+                          double dur_us, std::uint64_t bytes) const {
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (!tr.enabled()) return;
+  obs::Span sp;
+  sp.name = name;
+  sp.category = "mem";
+  sp.track = "stream:" + s.name();
+  sp.pid = trace_pid_;
+  sp.sim_start_us = start_us;
+  sp.sim_dur_us = dur_us;
+  sp.attr("bytes", bytes);
+  tr.complete(std::move(sp));
 }
 
 void Device::synchronize() {

@@ -109,6 +109,13 @@ class Device {
   Profiler& profiler() { return profiler_; }
   L2Model& l2() { return *l2_; }
 
+  /// Trace-lane id of this device: every Device gets a unique pid in the
+  /// obs trace so multi-GCD runs render one process group per device
+  /// (pid 0 is reserved for the host/coordinator).
+  int trace_pid() const { return trace_pid_; }
+  /// Relabel this device's trace lane (dist names its GCDs by rank).
+  void set_trace_label(const std::string& label);
+
   /// Pay the one-time first-launch (module load) cost now, off the measured
   /// path; benches that model a warmed-up device call this before timing.
   void warmup();
@@ -117,6 +124,8 @@ class Device {
   friend class Stream;
   std::uint64_t reserve_addr(std::uint64_t bytes);
   double stream_begin(Stream& s) const;
+  void trace_memcpy(const char* name, const Stream& s, double start_us,
+                    double dur_us, std::uint64_t bytes) const;
 
   DeviceProfile profile_;
   SimOptions options_;
@@ -128,6 +137,7 @@ class Device {
   std::uint64_t next_addr_ = 0;
   double t_floor_ = 0.0;
   bool first_launch_done_ = false;
+  int trace_pid_ = 0;
 };
 
 }  // namespace xbfs::sim

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "hipsim/device.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xbfs::sim {
 
@@ -92,7 +94,8 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
   }
   result.time_us = result.timing.total_us;
 
-  s.t_end_ = stream_begin(s) + result.time_us;
+  const double sim_start_us = stream_begin(s);
+  s.t_end_ = sim_start_us + result.time_us;
 
   if (profiler_.enabled()) {
     LaunchRecord rec;
@@ -102,6 +105,41 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
     rec.counters = result.counters;
     rec.timing = result.timing;
     profiler_.record(std::move(rec));
+  }
+
+  // Every launch is a trace span on its stream's lane, stamped with the
+  // modelled interval and the rocprofiler-style counters — callers get
+  // kernel attribution without remembering to set any context.
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    obs::Span sp;
+    sp.name = std::string(name);
+    sp.category = "kernel";
+    sp.track = "stream:" + s.name();
+    sp.pid = trace_pid_;
+    sp.sim_start_us = sim_start_us;
+    sp.sim_dur_us = result.time_us;
+    sp.attr("grid_blocks", static_cast<std::uint64_t>(cfg.grid_blocks));
+    sp.attr("block_threads", static_cast<std::uint64_t>(cfg.block_threads));
+    sp.attr("fetch_kb", result.counters.fetch_kb());
+    sp.attr("l2_hit_pct", result.counters.l2_hit_pct());
+    sp.attr("mem_unit_busy_pct", result.timing.mem_unit_busy_pct());
+    sp.attr("lane_efficiency", result.counters.lane_efficiency());
+    if (profiler_.level() >= 0) {
+      sp.attr("level", static_cast<std::int64_t>(profiler_.level()));
+    }
+    if (!profiler_.tag().empty()) sp.attr("tag", profiler_.tag());
+    tr.complete(std::move(sp));
+  }
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter("sim.launches").add();
+    mx.counter("sim.fetch_bytes").add(result.counters.fetch_bytes);
+    mx.counter("sim.atomics").add(result.counters.atomics);
+    mx.counter("sim.lane_slots").add(result.counters.lane_slots);
+    mx.counter("sim.active_lanes").add(result.counters.active_lanes);
+    mx.histogram("sim.kernel_us").observe(result.time_us);
   }
   return result;
 }

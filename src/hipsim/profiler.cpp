@@ -69,11 +69,27 @@ std::vector<Profiler::KernelTotal> Profiler::aggregate_by_kernel() const {
   return out;
 }
 
+namespace {
+
+/// Free-form fields (the caller-set tag) must not break the CSV shape:
+/// separators and newlines are folded to spaces so every row always has
+/// exactly as many fields as the header.
+std::string csv_sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == ',' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
 void Profiler::write_csv(std::ostream& os) const {
   os << "kernel,level,tag,runtime_ms,l2_hit_pct,mem_unit_busy_pct,fetch_kb,"
         "mem_reads,mem_writes,atomics,lane_slots,active_lanes\n";
   for (const LaunchRecord& r : records_) {
-    os << r.kernel << ',' << r.level << ',' << r.tag << ',' << r.runtime_ms()
+    os << csv_sanitize(r.kernel) << ',' << r.level << ','
+       << csv_sanitize(r.tag) << ',' << r.runtime_ms()
        << ',' << r.l2_pct() << ',' << r.mbusy_pct() << ',' << r.fetch_kb()
        << ',' << r.counters.mem_reads << ',' << r.counters.mem_writes << ','
        << r.counters.atomics << ',' << r.counters.lane_slots << ','

@@ -43,7 +43,13 @@ class Profiler {
   void record(LaunchRecord r) {
     if (enabled_) records_.push_back(std::move(r));
   }
-  void clear() { records_.clear(); }
+  /// Drop all records AND the launch context, so a fresh run cannot inherit
+  /// the previous run's level/tag.
+  void clear() {
+    records_.clear();
+    level_ = -1;
+    tag_.clear();
+  }
 
   const std::vector<LaunchRecord>& records() const { return records_; }
 

@@ -1,0 +1,148 @@
+// Minimal streaming JSON writer shared by the trace exporter and the run
+// report.  Deliberately tiny: objects/arrays are emitted eagerly to the
+// ostream, the writer only tracks whether a comma is due.  No dependencies
+// beyond the standard library, so obs stays at the bottom of the link graph.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xbfs::obs {
+
+/// Escape a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double as JSON: finite values verbatim, non-finite as null
+/// (JSON has no inf/nan; emitting them silently corrupts the document).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    os_ << '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  /// Object member key; follow with exactly one value (or begin_*).
+  JsonWriter& key(std::string_view k) {
+    comma();
+    os_ << '"' << json_escape(k) << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    os_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    os_ << json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  /// Emit a pre-rendered JSON fragment verbatim (caller guarantees validity).
+  JsonWriter& raw(std::string_view fragment) {
+    comma();
+    os_ << fragment;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      // A key was just written; this token is its value — no comma.
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  ///< per open container: "an element was written"
+  bool pending_value_ = false;
+};
+
+}  // namespace xbfs::obs

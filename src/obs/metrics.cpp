@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/json_writer.h"
+
+namespace xbfs::obs {
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  if (const char* env = std::getenv("XBFS_METRICS"); env && *env) {
+    enable(env);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() { flush(); }
+
+void MetricsRegistry::enable(std::string sink) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sink.empty()) sink_ = std::move(sink);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ".count " << h->count() << '\n'
+       << name << ".sum " << h->sum() << '\n'
+       << name << ".min " << h->min() << '\n'
+       << name << ".max " << h->max() << '\n';
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    w.kv(name + ".count", h->count());
+    w.kv(name + ".sum", h->sum());
+    w.kv(name + ".min", h->min());
+    w.kv(name + ".max", h->max());
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::flush() {
+  std::string sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink.empty()) return;
+  if (sink == "stderr") {
+    write_text(std::cerr);
+  } else if (sink == "stdout") {
+    write_text(std::cout);
+  } else {
+    std::ofstream out(sink);
+    if (out) write_text(out);
+  }
+}
+
+}  // namespace xbfs::obs

@@ -1,0 +1,163 @@
+#include "obs/run_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json_writer.h"
+
+namespace xbfs::obs {
+
+namespace {
+
+void write_record(JsonWriter& w, const RunRecord& r) {
+  w.begin_object();
+  w.kv("tool", r.tool);
+  w.kv("algorithm", r.algorithm);
+  w.key("graph").begin_object();
+  w.kv("n", r.n).kv("m", r.m);
+  w.end_object();
+  w.kv("source", r.source);
+  w.kv("depth", static_cast<std::uint64_t>(r.depth));
+  w.kv("total_ms", r.total_ms);
+  w.kv("gteps", r.gteps);
+  w.kv("edges_traversed", r.edges_traversed);
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : r.config) w.kv(k, v);
+  w.end_object();
+
+  w.key("levels").begin_array();
+  for (const ReportLevelRow& lv : r.levels) {
+    w.begin_object();
+    w.kv("level", lv.level);
+    w.kv("strategy", lv.strategy);
+    w.kv("nfg", lv.nfg);
+    w.kv("frontier", lv.frontier);
+    w.kv("edges", lv.edges);
+    w.kv("ratio", lv.ratio);
+    w.kv("time_ms", lv.time_ms);
+    if (lv.has_comm) {
+      w.kv("local_ms", lv.local_ms);
+      w.kv("comm_ms", lv.comm_ms);
+    } else {
+      w.kv("fetch_kb", lv.fetch_kb);
+      w.kv("kernels", lv.kernels);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("kernels").begin_array();
+  for (const ReportKernelRow& k : r.kernels) {
+    w.begin_object();
+    w.kv("kernel", k.kernel);
+    w.kv("runtime_ms", k.runtime_ms);
+    w.kv("fetch_kb", k.fetch_kb);
+    w.kv("launches", k.launches);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_report_json(std::ostream& os,
+                           const std::vector<RunRecord>& runs) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", kRunReportSchema);
+  w.kv("version", kRunReportVersion);
+  w.key("runs").begin_array();
+  for (const RunRecord& r : runs) write_record(w, r);
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+ReportSession& ReportSession::global() {
+  static ReportSession session;
+  return session;
+}
+
+ReportSession::ReportSession() {
+  if (const char* env = std::getenv("XBFS_RUN_REPORT"); env && *env) {
+    enable(env);
+  }
+}
+
+ReportSession::~ReportSession() { flush(); }
+
+void ReportSession::enable(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!path.empty()) path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void ReportSession::add(RunRecord r) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : context_) {
+    bool present = false;
+    for (const auto& existing : r.config) {
+      if (existing.first == kv.first) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) r.config.push_back(kv);
+  }
+  runs_.push_back(std::move(r));
+}
+
+void ReportSession::set_context(const std::string& key,
+                                const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : context_) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  context_.emplace_back(key, value);
+}
+
+void ReportSession::clear_context() {
+  std::lock_guard<std::mutex> lock(mu_);
+  context_.clear();
+}
+
+std::vector<RunRecord> ReportSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+std::size_t ReportSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+void ReportSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.clear();
+}
+
+void ReportSession::flush() {
+  std::vector<RunRecord> runs;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty() || runs_.empty()) return;
+    runs = runs_;
+    path = path_;
+  }
+  std::ofstream out(path);
+  if (!out) return;
+  write_run_report_json(out, runs);
+}
+
+}  // namespace xbfs::obs

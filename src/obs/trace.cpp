@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json_writer.h"
+#include "obs/trace_export.h"
+
+namespace xbfs::obs {
+
+namespace {
+
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread stack of open span ids, for parent/depth assignment.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+Span& Span::attr(std::string key, double value) {
+  attrs.push_back({std::move(key), json_number(value), true});
+  return *this;
+}
+
+Span& Span::attr(std::string key, std::uint64_t value) {
+  attrs.push_back({std::move(key), std::to_string(value), true});
+  return *this;
+}
+
+Span& Span::attr(std::string key, std::int64_t value) {
+  attrs.push_back({std::move(key), std::to_string(value), true});
+  return *this;
+}
+
+const SpanAttr* Span::find_attr(const std::string& key) const {
+  for (const SpanAttr& a : attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+TraceSession::TraceSession() : wall_epoch_us_(steady_now_us()) {
+  if (const char* env = std::getenv("XBFS_TRACE"); env && *env) {
+    enable(env);
+  }
+}
+
+TraceSession::~TraceSession() { flush(); }
+
+void TraceSession::enable(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!path.empty()) path_ = std::move(path);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+double TraceSession::wall_now_us() const {
+  return steady_now_us() - wall_epoch_us_;
+}
+
+std::uint64_t TraceSession::begin(std::string name, std::string category,
+                                  std::string track) {
+  if (!enabled()) return 0;
+  Span s;
+  s.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  s.parent = t_span_stack.empty() ? 0 : t_span_stack.back();
+  s.depth = static_cast<int>(t_span_stack.size());
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = std::move(track);
+  s.wall_start_us = wall_now_us();
+  const std::uint64_t id = s.id;
+  t_span_stack.push_back(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.emplace(id, std::move(s));
+  return id;
+}
+
+void TraceSession::attr(std::uint64_t id, std::string key, std::string value) {
+  if (id == 0 || !enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = open_.find(id); it != open_.end()) {
+    it->second.attr(std::move(key), std::move(value));
+  }
+}
+
+void TraceSession::attr(std::uint64_t id, std::string key, double value) {
+  if (id == 0 || !enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = open_.find(id); it != open_.end()) {
+    it->second.attr(std::move(key), value);
+  }
+}
+
+void TraceSession::end(std::uint64_t id) {
+  if (id == 0) return;
+  // Pop this id from the thread's stack if it is the innermost open span;
+  // mismatched ends (possible across threads) simply skip the stack fix-up.
+  if (!t_span_stack.empty() && t_span_stack.back() == id) {
+    t_span_stack.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span s = std::move(it->second);
+  open_.erase(it);
+  s.wall_dur_us = wall_now_us() - s.wall_start_us;
+  done_.push_back(std::move(s));
+}
+
+void TraceSession::complete(Span s) {
+  if (!enabled()) return;
+  if (s.id == 0) s.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (s.wall_start_us == 0.0 && s.wall_dur_us == 0.0) {
+    s.wall_start_us = wall_now_us();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  done_.push_back(std::move(s));
+}
+
+void TraceSession::instant(std::string name, std::string category,
+                           std::string track, int pid, double sim_ts_us,
+                           std::vector<SpanAttr> attrs) {
+  if (!enabled()) return;
+  Span s;
+  s.phase = 'i';
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.track = std::move(track);
+  s.pid = pid;
+  s.sim_start_us = sim_ts_us;
+  s.sim_dur_us = 0.0;
+  s.attrs = std::move(attrs);
+  complete(std::move(s));
+}
+
+void TraceSession::set_process_label(int pid, std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pid_labels_[pid] = std::move(label);
+}
+
+std::vector<Span> TraceSession::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+std::map<int, std::string> TraceSession::process_labels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pid_labels_;
+}
+
+std::size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_.size();
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_.clear();
+  open_.clear();
+}
+
+void TraceSession::flush() {
+  std::vector<Span> spans;
+  std::map<int, std::string> labels;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty() || done_.empty()) return;
+    spans = done_;
+    labels = pid_labels_;
+    path = path_;
+  }
+  std::ofstream out(path);
+  if (!out) return;
+  write_chrome_trace(out, spans, labels);
+}
+
+}  // namespace xbfs::obs

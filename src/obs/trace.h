@@ -1,0 +1,172 @@
+// Span-based run tracing.
+//
+// A Span is a named interval with a category, a track (one horizontal lane
+// in the trace viewer), free-form attributes and *dual* timestamps: the
+// wall clock (steady_clock, for host-side phases) and the modelled
+// simulator clock (for kernel launches, BFS levels, comm phases — anything
+// whose duration is an analytic model output rather than elapsed host
+// time).  Spans from different simulated devices are kept apart by a
+// per-device `pid` lane, so a distributed run renders one process group
+// per GCD in Perfetto.
+//
+// Two recording styles:
+//   * begin()/end() (or the ScopedSpan RAII wrapper) — nested host-side
+//     spans; nesting is tracked per thread, and children record their
+//     parent id and depth.
+//   * complete()/instant() — flat events with explicit modelled
+//     timestamps, used by the simulator and the BFS runners.
+//
+// The process-wide session is enabled by the XBFS_TRACE=<path> environment
+// variable (the file is written as Chrome trace-event JSON when the
+// session flushes — at process exit or on an explicit flush()) or
+// programmatically via enable().  Every recording call is a no-op after a
+// single relaxed-atomic load when the session is disabled, so tracing off
+// means tracing free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xbfs::obs {
+
+/// One span attribute.  Values are stored as strings; `numeric` marks
+/// values that should be emitted as JSON numbers rather than quoted.
+struct SpanAttr {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = top-level
+  int depth = 0;             ///< nesting depth at begin() time
+  std::string name;
+  std::string category;      ///< e.g. "kernel", "level", "comm", "phase"
+  std::string track;         ///< viewer lane, e.g. "stream:default", "bfs"
+  int pid = 0;               ///< device lane (0 = host/coordinator)
+  char phase = 'X';          ///< 'X' complete span, 'i' instant event
+
+  // Wall clock, microseconds since session start (steady_clock).
+  double wall_start_us = 0.0;
+  double wall_dur_us = 0.0;
+  // Modelled simulator clock, microseconds; negative = not applicable.
+  double sim_start_us = -1.0;
+  double sim_dur_us = -1.0;
+
+  std::vector<SpanAttr> attrs;
+
+  Span& attr(std::string key, std::string value) {
+    attrs.push_back({std::move(key), std::move(value), false});
+    return *this;
+  }
+  Span& attr(std::string key, double value);
+  Span& attr(std::string key, std::uint64_t value);
+  Span& attr(std::string key, std::int64_t value);
+  Span& attr(std::string key, bool value) {
+    attrs.push_back({std::move(key), value ? "true" : "false", true});
+    return *this;
+  }
+  /// First attribute with `key`, or nullptr.
+  const SpanAttr* find_attr(const std::string& key) const;
+};
+
+class TraceSession {
+ public:
+  /// The process-wide session; reads XBFS_TRACE on first use and flushes
+  /// (writing the Chrome trace file) at process exit.
+  static TraceSession& global();
+
+  /// Constructs a session configured from the environment (tests construct
+  /// their own instead of touching the global one).
+  TraceSession();
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Enable recording; `path` (may be empty) is where flush() writes the
+  /// Chrome trace JSON.
+  void enable(std::string path = "");
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  const std::string& output_path() const { return path_; }
+
+  // --- nested host-side spans ---------------------------------------------
+  /// Open a span on this thread; returns its id (0 when disabled).
+  std::uint64_t begin(std::string name, std::string category,
+                      std::string track = "host");
+  /// Attach an attribute to a still-open span.
+  void attr(std::uint64_t id, std::string key, std::string value);
+  void attr(std::uint64_t id, std::string key, double value);
+  /// Close the span: records wall duration and moves it to the finished
+  /// list.  Unknown / already-closed ids are ignored.
+  void end(std::uint64_t id);
+
+  // --- flat events with explicit modelled timestamps ----------------------
+  /// Record a finished span verbatim (id assigned if 0).
+  void complete(Span s);
+  /// Zero-duration marker (strategy decisions, policy flips).
+  void instant(std::string name, std::string category, std::string track,
+               int pid, double sim_ts_us, std::vector<SpanAttr> attrs = {});
+
+  /// Label a pid lane ("GCD 0", "host") for the exporter's process names.
+  void set_process_label(int pid, std::string label);
+
+  /// Wall-clock microseconds since this session was constructed.
+  double wall_now_us() const;
+
+  /// Copy of all finished spans (tests, exporter).
+  std::vector<Span> snapshot() const;
+  std::map<int, std::string> process_labels() const;
+  std::size_t size() const;
+  /// Drop all recorded spans (between independent measurements).
+  void clear();
+
+  /// Write the Chrome trace JSON to output_path(); no-op without a path or
+  /// without spans having been recorded.  Safe to call repeatedly.
+  void flush();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::string path_;
+  std::atomic<std::uint64_t> next_id_{1};
+  double wall_epoch_us_ = 0.0;  ///< steady_clock at construction
+
+  mutable std::mutex mu_;
+  std::vector<Span> done_;
+  std::map<std::uint64_t, Span> open_;
+  std::map<int, std::string> pid_labels_;
+};
+
+/// RAII wrapper over TraceSession::begin/end.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceSession& session, std::string name, std::string category,
+             std::string track = "host")
+      : session_(session),
+        id_(session.begin(std::move(name), std::move(category),
+                          std::move(track))) {}
+  ~ScopedSpan() { session_.end(id_); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  void attr(std::string key, std::string value) {
+    session_.attr(id_, std::move(key), std::move(value));
+  }
+  void attr(std::string key, double value) {
+    session_.attr(id_, std::move(key), value);
+  }
+
+ private:
+  TraceSession& session_;
+  std::uint64_t id_;
+};
+
+}  // namespace xbfs::obs

@@ -1,0 +1,81 @@
+#include "obs/trace_export.h"
+
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "obs/json_writer.h"
+
+namespace xbfs::obs {
+
+namespace {
+
+void write_args(JsonWriter& w, const Span& s, bool used_sim_clock) {
+  w.key("args").begin_object();
+  for (const SpanAttr& a : s.attrs) {
+    if (a.numeric) {
+      w.key(a.key).raw(a.value);
+    } else {
+      w.kv(a.key, a.value);
+    }
+  }
+  if (used_sim_clock && s.wall_dur_us > 0.0) {
+    w.kv("wall_us", s.wall_dur_us);
+  }
+  if (s.parent != 0) w.kv("parent", static_cast<std::uint64_t>(s.parent));
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const std::map<int, std::string>& pid_labels) {
+  // Assign a stable tid per (pid, track) pair, in first-appearance order.
+  std::map<std::pair<int, std::string>, int> tids;
+  for (const Span& s : spans) {
+    tids.emplace(std::make_pair(s.pid, s.track),
+                 static_cast<int>(tids.size()) + 1);
+  }
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  // Metadata: name the process and thread lanes.
+  for (const auto& [pid, label] : pid_labels) {
+    w.begin_object();
+    w.kv("name", "process_name").kv("ph", "M").kv("pid", pid).kv("tid", 0);
+    w.key("args").begin_object().kv("name", label).end_object();
+    w.end_object();
+  }
+  for (const auto& [key, tid] : tids) {
+    w.begin_object();
+    w.kv("name", "thread_name").kv("ph", "M").kv("pid", key.first)
+        .kv("tid", tid);
+    w.key("args").begin_object().kv("name", key.second).end_object();
+    w.end_object();
+  }
+
+  for (const Span& s : spans) {
+    const bool use_sim = s.sim_start_us >= 0.0;
+    const double ts = use_sim ? s.sim_start_us : s.wall_start_us;
+    const double dur = use_sim ? s.sim_dur_us : s.wall_dur_us;
+    const int tid = tids.at(std::make_pair(s.pid, s.track));
+    w.begin_object();
+    w.kv("name", s.name).kv("cat", s.category);
+    w.kv("ph", std::string(1, s.phase));
+    w.kv("ts", ts);
+    if (s.phase == 'X') w.kv("dur", dur);
+    if (s.phase == 'i') w.kv("s", "t");
+    w.kv("pid", s.pid).kv("tid", tid);
+    write_args(w, s, use_sim);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace xbfs::obs

@@ -1,0 +1,31 @@
+// Chrome trace-event JSON export: renders recorded spans so any run opens
+// directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Mapping:
+//   * span.pid            -> trace "pid" (one process group per simulated
+//                            device; labelled via process_name metadata)
+//   * span.track          -> trace "tid" (one lane per track name, labelled
+//                            via thread_name metadata)
+//   * complete spans      -> ph:"X" with ts/dur in microseconds
+//   * instant events      -> ph:"i", scope "t"
+//   * span attributes     -> "args" (numeric attributes emitted as numbers)
+// Timestamps prefer the modelled simulator clock when the span carries one
+// (sim_start_us >= 0); the wall-clock interval is then preserved in
+// args.wall_us so neither timeline is lost.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace xbfs::obs {
+
+/// Write `spans` as a Chrome trace-event JSON object
+/// ({"traceEvents":[...]}).  `pid_labels` names the process lanes.
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
+                        const std::map<int, std::string>& pid_labels = {});
+
+}  // namespace xbfs::obs

@@ -1,0 +1,209 @@
+// Minimal recursive-descent JSON parser for tests: enough to parse back
+// the documents the obs layer emits (objects, arrays, strings with escapes,
+// numbers, booleans, null) and assert on their structure.  Throws
+// std::runtime_error on malformed input — which is itself the assertion
+// the exporter tests care about.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xbfs::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object } type =
+      Type::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+  const Value& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  const Value& at(std::size_t i) const {
+    if (i >= arr.size()) throw std::runtime_error("index out of range");
+    return *arr[i];
+  }
+  std::size_t size() const {
+    return type == Type::Array ? arr.size() : obj.size();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  ValuePtr parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  ValuePtr parse_object() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      ValuePtr key = parse_string();
+      expect(':');
+      v->obj[key->str] = parse_value();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr parse_array() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v->arr.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  ValuePtr parse_string() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::String;
+    expect('"');
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            const std::string hex = s_.substr(pos_, 4);
+            pos_ += 4;
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            break;
+          }
+          default: throw std::runtime_error("unknown escape");
+        }
+      }
+      v->str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  ValuePtr parse_bool() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v->b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v->b = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  ValuePtr parse_null() {
+    if (s_.compare(pos_, 4, "null") != 0) {
+      throw std::runtime_error("bad literal");
+    }
+    pos_ += 4;
+    return std::make_shared<Value>();
+  }
+
+  ValuePtr parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::Number;
+    v->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace xbfs::testjson

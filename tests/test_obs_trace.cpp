@@ -1,0 +1,268 @@
+// Tests for the obs tracing layer: span nesting, attribute round-trips,
+// env-var activation, Chrome trace-event export (parsed back with the
+// mini JSON parser) and the end-to-end simulator wiring.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/xbfs.h"
+#include "graph/builder.h"
+#include "graph/device_csr.h"
+#include "hipsim/hipsim.h"
+#include "json_mini.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace xbfs {
+namespace {
+
+using obs::Span;
+using obs::TraceSession;
+
+TEST(TraceSpans, NestingRecordsParentAndDepth) {
+  TraceSession tr;
+  tr.enable();
+  const std::uint64_t outer = tr.begin("outer", "phase");
+  const std::uint64_t inner = tr.begin("inner", "phase");
+  tr.end(inner);
+  tr.end(outer);
+
+  const auto spans = tr.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // inner finished first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, outer);
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_GE(spans[1].wall_dur_us, spans[0].wall_dur_us);
+}
+
+TEST(TraceSpans, AttributesRoundTrip) {
+  TraceSession tr;
+  tr.enable();
+  const std::uint64_t id = tr.begin("work", "phase");
+  tr.attr(id, "strategy", std::string("bottom-up"));
+  tr.attr(id, "ratio", 0.25);
+  tr.end(id);
+
+  Span flat;
+  flat.name = "kernel_x";
+  flat.category = "kernel";
+  flat.sim_start_us = 10.0;
+  flat.sim_dur_us = 5.0;
+  flat.attr("fetch_kb", 12.5);
+  flat.attr("launches", std::uint64_t{3});
+  flat.attr("nfg", true);
+  tr.complete(flat);
+
+  const auto spans = tr.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span& s0 = spans[0];
+  ASSERT_NE(s0.find_attr("strategy"), nullptr);
+  EXPECT_EQ(s0.find_attr("strategy")->value, "bottom-up");
+  EXPECT_FALSE(s0.find_attr("strategy")->numeric);
+  ASSERT_NE(s0.find_attr("ratio"), nullptr);
+  EXPECT_TRUE(s0.find_attr("ratio")->numeric);
+  EXPECT_DOUBLE_EQ(std::atof(s0.find_attr("ratio")->value.c_str()), 0.25);
+
+  const Span& s1 = spans[1];
+  EXPECT_EQ(s1.find_attr("launches")->value, "3");
+  EXPECT_EQ(s1.find_attr("nfg")->value, "true");
+  EXPECT_DOUBLE_EQ(s1.sim_start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s1.sim_dur_us, 5.0);
+}
+
+TEST(TraceSpans, DisabledSessionRecordsNothing) {
+  TraceSession tr;  // no XBFS_TRACE in the test environment -> disabled
+  tr.disable();
+  EXPECT_EQ(tr.begin("x", "phase"), 0u);
+  tr.end(0);
+  Span s;
+  s.name = "y";
+  tr.complete(std::move(s));
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(TraceSpans, EnvVarActivatesSession) {
+  ::setenv("XBFS_TRACE", "/tmp/xbfs_trace_env_test.json", 1);
+  TraceSession tr;
+  ::unsetenv("XBFS_TRACE");
+  EXPECT_TRUE(tr.enabled());
+  EXPECT_EQ(tr.output_path(), "/tmp/xbfs_trace_env_test.json");
+
+  TraceSession off;
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(TraceExport, ChromeJsonParsesBackWithTracksAndArgs) {
+  TraceSession tr;
+  tr.enable();
+  tr.set_process_label(1, "gcd0");
+
+  Span k;
+  k.name = "xbfs_scanfree_expand";
+  k.category = "kernel";
+  k.track = "stream:default";
+  k.pid = 1;
+  k.sim_start_us = 100.0;
+  k.sim_dur_us = 42.0;
+  k.attr("fetch_kb", 1.5);
+  k.attr("tag", std::string("level=3 \"quoted\"\n"));
+  tr.complete(k);
+  tr.instant("decide:bottom-up", "strategy", "policy", 1, 100.0);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tr.snapshot(), tr.process_labels());
+
+  const auto doc = testjson::parse(os.str());  // throws on malformed JSON
+  ASSERT_TRUE(doc->is_object());
+  const auto& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  // process_name + 2 thread_name metadata + kernel span + instant.
+  ASSERT_EQ(events.size(), 5u);
+
+  bool saw_kernel = false, saw_instant = false, saw_thread_meta = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events.at(i);
+    const std::string ph = e.at("ph").str;
+    if (ph == "X") {
+      saw_kernel = true;
+      EXPECT_EQ(e.at("name").str, "xbfs_scanfree_expand");
+      EXPECT_EQ(e.at("cat").str, "kernel");
+      EXPECT_DOUBLE_EQ(e.at("ts").num, 100.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").num, 42.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("fetch_kb").num, 1.5);
+      // The nasty tag string survived escaping.
+      EXPECT_EQ(e.at("args").at("tag").str, "level=3 \"quoted\"\n");
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("name").str, "decide:bottom-up");
+    } else if (ph == "M" && e.at("name").str == "thread_name") {
+      saw_thread_meta = true;
+    }
+  }
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_thread_meta);
+}
+
+TEST(Metrics, EnvVarActivatesRegistry) {
+  ::setenv("XBFS_METRICS", "stderr", 1);
+  obs::MetricsRegistry mx;
+  ::unsetenv("XBFS_METRICS");
+  EXPECT_TRUE(mx.enabled());
+
+  obs::MetricsRegistry off;
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(Metrics, InstrumentsAccumulateAndExport) {
+  obs::MetricsRegistry mx;
+  mx.counter("sim.launches").add();
+  mx.counter("sim.launches").add(2);
+  mx.gauge("run.gteps").set(1.5);
+  mx.histogram("sim.kernel_us").observe(10.0);
+  mx.histogram("sim.kernel_us").observe(30.0);
+
+  EXPECT_EQ(mx.counter("sim.launches").value(), 3u);
+  EXPECT_DOUBLE_EQ(mx.gauge("run.gteps").value(), 1.5);
+  EXPECT_EQ(mx.histogram("sim.kernel_us").count(), 2u);
+  EXPECT_DOUBLE_EQ(mx.histogram("sim.kernel_us").mean(), 20.0);
+  EXPECT_DOUBLE_EQ(mx.histogram("sim.kernel_us").min(), 10.0);
+  EXPECT_DOUBLE_EQ(mx.histogram("sim.kernel_us").max(), 30.0);
+
+  std::ostringstream text;
+  mx.write_text(text);
+  EXPECT_NE(text.str().find("sim.launches 3"), std::string::npos);
+  EXPECT_NE(text.str().find("sim.kernel_us.count 2"), std::string::npos);
+
+  std::ostringstream json;
+  mx.write_json(json);
+  const auto doc = testjson::parse(json.str());
+  EXPECT_EQ(doc->at("sim.launches").num, 3.0);
+  EXPECT_EQ(doc->at("run.gteps").num, 1.5);
+
+  mx.reset();
+  EXPECT_EQ(mx.counter("sim.launches").value(), 0u);
+}
+
+TEST(Metrics, LaunchRollupsAndPolicyDecisionsAreAbsorbed) {
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  mx.reset();
+  mx.enable();
+
+  std::vector<graph::Edge> edges;
+  for (graph::vid_t v = 0; v + 1 < 64; ++v) edges.push_back({v, v + 1});
+  const graph::Csr g = graph::build_csr(64, std::move(edges));
+  sim::Device dev(sim::DeviceProfile::test_profile(),
+                  sim::SimOptions{.num_workers = 1});
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  core::Xbfs bfs(dev, dg);
+  const core::BfsResult r = bfs.run(0);
+
+  EXPECT_GT(mx.counter("sim.launches").value(), 0u);
+  EXPECT_EQ(mx.histogram("sim.kernel_us").count(),
+            mx.counter("sim.launches").value());
+  std::uint64_t decisions = 0;
+  for (const core::Strategy s :
+       {core::Strategy::ScanFree, core::Strategy::SingleScan,
+        core::Strategy::BottomUp}) {
+    decisions +=
+        mx.counter(std::string("xbfs.decision.") + core::strategy_name(s))
+            .value();
+  }
+  EXPECT_EQ(decisions, r.depth);
+
+  mx.disable();
+  mx.reset();
+}
+
+/// End-to-end: running adaptive XBFS with the global session enabled must
+/// produce kernel spans (from Device::launch, no caller context needed),
+/// level spans and strategy instants, and the exported document must parse.
+TEST(TraceIntegration, XbfsRunEmitsKernelLevelAndStrategySpans) {
+  TraceSession& tr = TraceSession::global();
+  tr.clear();
+  tr.enable();
+
+  std::vector<graph::Edge> edges;
+  for (graph::vid_t v = 0; v + 1 < 64; ++v) edges.push_back({v, v + 1});
+  const graph::Csr g = graph::build_csr(64, std::move(edges));
+
+  sim::Device dev(sim::DeviceProfile::test_profile(),
+                  sim::SimOptions{.num_workers = 1});
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  core::Xbfs bfs(dev, dg);
+  const core::BfsResult r = bfs.run(0);
+  ASSERT_GT(r.depth, 1u);
+
+  std::size_t kernels = 0, levels = 0, strategies = 0, runs = 0;
+  for (const Span& s : tr.snapshot()) {
+    if (s.category == "kernel") {
+      ++kernels;
+      EXPECT_GE(s.sim_start_us, 0.0);
+      EXPECT_EQ(s.pid, dev.trace_pid());
+    }
+    if (s.category == "level") ++levels;
+    if (s.category == "strategy") ++strategies;
+    if (s.category == "run") ++runs;
+  }
+  EXPECT_GT(kernels, 0u);
+  EXPECT_EQ(levels, r.depth);
+  EXPECT_EQ(strategies, r.depth);
+  EXPECT_EQ(runs, 1u);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, tr.snapshot(), tr.process_labels());
+  EXPECT_NO_THROW(testjson::parse(os.str()));
+
+  tr.disable();
+  tr.clear();
+}
+
+}  // namespace
+}  // namespace xbfs

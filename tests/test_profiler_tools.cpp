@@ -1,13 +1,33 @@
-// Tests for the profiler tooling (aggregation, CSV export) and the
-// hipEvent-style timestamps.
+// Tests for the profiler tooling (aggregation, CSV export), the
+// hipEvent-style timestamps, and the schedule-CSV reporting.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "core/report.h"
+#include "core/xbfs.h"
 #include "hipsim/hipsim.h"
 
 namespace xbfs::sim {
 namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) out.push_back(field);
+  return out;
+}
+
+std::vector<std::string> csv_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string line;
+  std::istringstream is(text);
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
 
 Device make_device() {
   return Device(DeviceProfile::test_profile(), SimOptions{.num_workers = 1});
@@ -51,6 +71,92 @@ TEST(ProfilerTools, CsvHasHeaderAndOneRowPerLaunch) {
   EXPECT_NE(csv.find("kernel_a,3,phase-x,"), std::string::npos);
   // header + 2 rows
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(ProfilerTools, EveryCsvRowHasAsManyFieldsAsTheHeader) {
+  Device dev = make_device();
+  dev.profiler().set_context(1, "tag,with,commas stays one run");
+  launch_named(dev, "kernel_a", 256);
+  launch_named(dev, "kernel_b", 64);
+  std::ostringstream os;
+  dev.profiler().write_csv(os);
+  const auto lines = csv_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);
+  const auto header = split_csv_line(lines[0]);
+  EXPECT_EQ(header.size(), 12u);
+  EXPECT_EQ(header.front(), "kernel");
+  EXPECT_EQ(header.back(), "active_lanes");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(split_csv_line(lines[i]).size(), header.size())
+        << "row " << i << ": " << lines[i];
+  }
+}
+
+TEST(ProfilerTools, ClearResetsRecordsAndContext) {
+  Device dev = make_device();
+  dev.profiler().set_context(7, "stale-tag");
+  launch_named(dev, "kernel_a", 64);
+  ASSERT_EQ(dev.profiler().records().size(), 1u);
+
+  dev.profiler().clear();
+  EXPECT_TRUE(dev.profiler().records().empty());
+  // A fresh run must not inherit the previous run's level/tag.
+  EXPECT_EQ(dev.profiler().level(), -1);
+  EXPECT_TRUE(dev.profiler().tag().empty());
+
+  launch_named(dev, "kernel_b", 64);
+  ASSERT_EQ(dev.profiler().records().size(), 1u);
+  EXPECT_EQ(dev.profiler().records()[0].level, -1);
+  EXPECT_TRUE(dev.profiler().records()[0].tag.empty());
+}
+
+TEST(ScheduleCsv, RowsRoundTripLevelStats) {
+  core::BfsResult r;
+  r.total_ms = 3.5;
+  r.gteps = 0.5;
+  r.edges_traversed = 100;
+  r.depth = 2;
+  core::LevelStats a;
+  a.level = 0;
+  a.strategy = core::Strategy::ScanFree;
+  a.frontier_count = 1;
+  a.frontier_edges = 4;
+  a.ratio = 0.04;
+  a.time_ms = 1.25;
+  a.fetch_kb = 2.5;
+  core::LevelStats b;
+  b.level = 1;
+  b.strategy = core::Strategy::SingleScan;
+  b.skipped_generation = true;
+  b.frontier_count = 4;
+  b.frontier_edges = 16;
+  b.ratio = 0.16;
+  b.time_ms = 2.25;
+  b.fetch_kb = 7.5;
+  r.level_stats = {a, b};
+
+  std::ostringstream os;
+  core::write_schedule_csv(os, r);
+  const auto lines = csv_lines(os.str());
+  ASSERT_EQ(lines.size(), 3u);  // header + one row per level
+  const auto header = split_csv_line(lines[0]);
+  ASSERT_EQ(header.size(), 8u);
+  EXPECT_EQ(lines[0],
+            "level,strategy,nfg,frontier,edges,ratio,time_ms,fetch_kb");
+
+  for (std::size_t i = 0; i < r.level_stats.size(); ++i) {
+    const core::LevelStats& st = r.level_stats[i];
+    const auto row = split_csv_line(lines[i + 1]);
+    ASSERT_EQ(row.size(), header.size());
+    EXPECT_EQ(row[0], std::to_string(st.level));
+    EXPECT_EQ(row[1], core::strategy_name(st.strategy));
+    EXPECT_EQ(row[2], st.skipped_generation ? "1" : "0");
+    EXPECT_EQ(row[3], std::to_string(st.frontier_count));
+    EXPECT_EQ(row[4], std::to_string(st.frontier_edges));
+    EXPECT_DOUBLE_EQ(std::stod(row[5]), st.ratio);
+    EXPECT_DOUBLE_EQ(std::stod(row[6]), st.time_ms);
+    EXPECT_DOUBLE_EQ(std::stod(row[7]), st.fetch_kb);
+  }
 }
 
 TEST(Events, ElapsedMeasuresModelledStreamTime) {
