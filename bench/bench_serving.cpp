@@ -1,0 +1,239 @@
+// Serving-engine load harness: Zipf-skewed query traffic against one graph,
+// comparing the batched+cached serving engine to the naive baseline (one
+// single-source Xbfs::run per query, no sharing, no cache).
+//
+// The serving claim quantified here: on skewed traffic, 64-way bit-parallel
+// batching plus a small result cache multiplies query throughput — the
+// server's summary record (QPS, p50/p95/p99 latency, batch occupancy, cache
+// hit rate) lands in XBFS_RUN_REPORT alongside this bench's comparison
+// record.
+//
+//   bench_serving [--scale=18] [--edge-factor=16] [--queries=512]
+//                 [--zipf=1.0] [--candidates=64] [--clients=8] [--gcds=1]
+//                 [--min-sweep=N] [--naive-queries=N] [--open-qps=Q]
+//                 [--timeout-ms=T] [--seed=1] [--check=MIN_SPEEDUP]
+//
+// --open-qps switches the serving phase from the closed-loop driver to
+// open-loop paced arrivals.  --naive-queries subsamples the (slow) naive
+// baseline; QPS is a rate, so the comparison stays apples-to-apples.
+// --check exits non-zero unless served/naive speedup reaches the bound.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "obs/run_report.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+
+namespace {
+
+struct Options {
+  unsigned scale = 18;
+  unsigned edge_factor = 16;
+  std::size_t queries = 512;
+  double zipf = 1.0;
+  std::size_t candidates = 64;
+  unsigned clients = 8;
+  unsigned gcds = 1;
+  unsigned min_sweep = 0;  ///< 0 = server default
+  std::size_t naive_queries = 0;  ///< 0 = same as queries
+  double open_qps = 0.0;          ///< > 0 switches to open-loop arrivals
+  double timeout_ms = 0.0;
+  std::uint64_t seed = 1;
+  double check = 0.0;  ///< required served/naive speedup; 0 = report only
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto num = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v;
+    if ((v = num("--scale"))) o.scale = std::atoi(v);
+    else if ((v = num("--edge-factor"))) o.edge_factor = std::atoi(v);
+    else if ((v = num("--queries"))) o.queries = std::atoll(v);
+    else if ((v = num("--zipf"))) o.zipf = std::atof(v);
+    else if ((v = num("--candidates"))) o.candidates = std::atoll(v);
+    else if ((v = num("--clients"))) o.clients = std::atoi(v);
+    else if ((v = num("--gcds"))) o.gcds = std::atoi(v);
+    else if ((v = num("--min-sweep"))) o.min_sweep = std::atoi(v);
+    else if ((v = num("--naive-queries"))) o.naive_queries = std::atoll(v);
+    else if ((v = num("--open-qps"))) o.open_qps = std::atof(v);
+    else if ((v = num("--timeout-ms"))) o.timeout_ms = std::atof(v);
+    else if ((v = num("--seed"))) o.seed = std::atoll(v);
+    else if ((v = num("--check"))) o.check = std::atof(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (o.naive_queries == 0) o.naive_queries = o.queries;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xbfs;
+  const Options opt = parse(argc, argv);
+
+  std::printf("bench_serving: RMAT scale=%u ef=%u, %zu queries, Zipf(%.2f) "
+              "over %zu sources, %u clients, %u GCD(s)\n",
+              opt.scale, opt.edge_factor, opt.queries, opt.zipf,
+              opt.candidates, opt.clients, opt.gcds);
+
+  graph::RmatParams rp;
+  rp.scale = opt.scale;
+  rp.edge_factor = opt.edge_factor;
+  rp.seed = opt.seed;
+  const graph::Csr g = graph::rmat_csr(rp);
+  const auto giant = graph::largest_component_vertices(g);
+  std::printf("graph: n=%llu m=%llu giant=%zu\n",
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()), giant.size());
+
+  std::vector<graph::vid_t> candidates;
+  const std::size_t ncand = std::min(opt.candidates, giant.size());
+  for (std::size_t i = 0; i < ncand; ++i) {
+    candidates.push_back(giant[(i * giant.size()) / ncand]);
+  }
+  const auto sources =
+      serve::zipf_sources(candidates, opt.queries, opt.zipf, opt.seed);
+
+  obs::ReportSession& report = obs::ReportSession::global();
+  if (report.enabled()) {
+    report.set_context("bench", "serving");
+    report.set_context("scale", std::to_string(opt.scale));
+    report.set_context("zipf", std::to_string(opt.zipf));
+  }
+
+  // --- naive baseline: one single-source traversal per query ---------------
+  const std::size_t naive_n = std::min(opt.naive_queries, sources.size());
+  double naive_qps = 0.0, naive_wall_ms = 0.0;
+  {
+    sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                    sim::SimOptions{.num_workers = 1, .profiling = false});
+    dev.warmup();
+    auto dg = graph::DeviceCsr::upload(dev, g);
+    core::XbfsConfig xcfg;
+    xcfg.report_runs = false;  // 512 per-query records would bury the summary
+    core::Xbfs xbfs(dev, dg, xcfg);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < naive_n; ++i) {
+      const core::BfsResult r = xbfs.run(sources[i]);
+      if (r.levels[sources[i]] != 0) {
+        std::fprintf(stderr, "naive run produced bad levels\n");
+        return 1;
+      }
+    }
+    naive_wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    naive_qps = naive_n / (naive_wall_ms / 1000.0);
+  }
+  std::printf("naive:  %zu queries in %.1f ms -> %.1f QPS\n", naive_n,
+              naive_wall_ms, naive_qps);
+
+  // --- batched + cached serving engine --------------------------------------
+  serve::ServeConfig scfg;
+  scfg.num_gcds = opt.gcds;
+  scfg.batch_window_ms = 0.5;
+  if (opt.min_sweep > 0) scfg.min_sweep_sources = opt.min_sweep;
+  if (opt.timeout_ms > 0.0) scfg.default_timeout_ms = opt.timeout_ms;
+  serve::Server server(g, scfg);
+
+  serve::LoadOptions lopt;
+  lopt.clients = opt.clients;
+  lopt.arrival_qps = opt.open_qps;
+  const serve::LoadReport lrep =
+      opt.open_qps > 0.0 ? serve::run_open_loop(server, sources, lopt)
+                         : serve::run_closed_loop(server, sources, lopt);
+
+  // Spot-check served correctness against the host reference.
+  {
+    serve::Admission probe = server.submit(sources[0]);
+    if (!probe.accepted) return 1;
+    const serve::QueryResult r = probe.result.get();
+    if (r.status != serve::QueryStatus::Completed ||
+        *r.levels != graph::reference_bfs(g, sources[0])) {
+      std::fprintf(stderr, "served levels diverge from reference\n");
+      return 1;
+    }
+  }
+
+  server.shutdown();  // emits the serving summary into XBFS_RUN_REPORT
+  const serve::ServerStats st = server.stats();
+
+  const double speedup = naive_qps > 0.0 ? lrep.qps / naive_qps : 0.0;
+  std::printf("served: %llu completed (%llu expired, %llu rejected) in "
+              "%.1f ms -> %.1f QPS  [%.2fx naive]\n",
+              static_cast<unsigned long long>(lrep.completed),
+              static_cast<unsigned long long>(lrep.expired),
+              static_cast<unsigned long long>(lrep.rejected), lrep.wall_ms,
+              lrep.qps, speedup);
+  std::printf("        cache hit rate %.1f%%  batch occupancy %.2f  "
+              "sweeps %llu (singleton %llu)  computed %llu/%llu\n",
+              st.cache_hit_rate * 100.0, st.mean_batch_occupancy,
+              static_cast<unsigned long long>(st.sweeps),
+              static_cast<unsigned long long>(st.singleton_sweeps),
+              static_cast<unsigned long long>(st.computed_sources),
+              static_cast<unsigned long long>(st.completed));
+  std::printf("        latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  "
+              "max %.3f  (queue p50 %.3f p99 %.3f)\n",
+              st.latency_p50_ms, st.latency_p95_ms, st.latency_p99_ms,
+              st.latency_mean_ms, st.latency_max_ms, st.queue_p50_ms,
+              st.queue_p99_ms);
+
+  if (report.enabled()) {
+    obs::RunRecord rec;
+    rec.tool = "bench_serving";
+    rec.algorithm = "bfs-serving-comparison";
+    rec.n = g.num_vertices();
+    rec.m = g.num_edges();
+    rec.total_ms = lrep.wall_ms;
+    char buf[32];
+    auto f = [&](double v) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return std::string(buf);
+    };
+    rec.config = {
+        {"queries", std::to_string(opt.queries)},
+        {"clients", std::to_string(opt.clients)},
+        {"gcds", std::to_string(opt.gcds)},
+        {"loop", opt.open_qps > 0.0 ? "open" : "closed"},
+        {"naive_queries", std::to_string(naive_n)},
+        {"naive_qps", f(naive_qps)},
+        {"served_qps", f(lrep.qps)},
+        {"speedup", f(speedup)},
+    };
+    report.add(std::move(rec));
+  }
+
+  if (lrep.completed + lrep.expired + lrep.rejected != opt.queries) {
+    std::fprintf(stderr, "lost queries: %llu+%llu+%llu != %zu\n",
+                 static_cast<unsigned long long>(lrep.completed),
+                 static_cast<unsigned long long>(lrep.expired),
+                 static_cast<unsigned long long>(lrep.rejected), opt.queries);
+    return 1;
+  }
+  if (opt.check > 0.0 && speedup < opt.check) {
+    std::fprintf(stderr, "speedup %.2fx below required %.2fx\n", speedup,
+                 opt.check);
+    return 1;
+  }
+  return 0;
+}

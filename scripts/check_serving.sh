@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# CI smoke for the query-serving engine: run the serving load harness at a
+# toy scale with XBFS_RUN_REPORT / XBFS_METRICS active, then validate that
+# the serving summary record carries the acceptance fields (QPS, latency
+# percentiles, batch occupancy, cache hit rate) and that query accounting
+# balances.
+#
+#   usage: check_serving.sh <bench_serving-binary> [workdir]
+set -euo pipefail
+
+BENCH=${1:?usage: check_serving.sh <bench_serving-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+REPORT="$WORKDIR/check_serving.report.json"
+METRICS="$WORKDIR/check_serving.metrics.txt"
+rm -f "$REPORT" "$METRICS"
+
+# Toy scale keeps this in CI-seconds: 96 Zipf(1.0) queries over 16 hot
+# sources on a scale-10 RMAT graph, naive baseline subsampled to 16.
+XBFS_RUN_REPORT="$REPORT" XBFS_METRICS="$METRICS" \
+  "$BENCH" --scale=10 --edge-factor=8 --queries=96 --candidates=16 \
+           --clients=4 --naive-queries=16 > "$WORKDIR/check_serving.stdout" 2>&1 || {
+    echo "FAIL: bench_serving exited non-zero"
+    cat "$WORKDIR/check_serving.stdout"
+    exit 1
+  }
+
+for f in "$REPORT" "$METRICS"; do
+  [[ -s "$f" ]] || { echo "FAIL: $f was not written"; exit 1; }
+done
+
+grep -q "serve.latency_ms" "$METRICS" || {
+  echo "FAIL: serve.latency_ms missing from metrics dump"; exit 1; }
+
+python3 - "$REPORT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema"] == "xbfs-run-report", report.get("schema")
+runs = report["runs"]
+
+# --- serving summary (emitted by Server::shutdown) -------------------------
+serve = next(r for r in runs if r["tool"] == "serve")
+cfg = serve["config"]
+for key in ("qps", "p50_ms", "p95_ms", "p99_ms", "batch_occupancy",
+            "cache_hit_rate", "completed", "expired", "sweeps",
+            "computed_sources", "queue_p50_ms"):
+    assert key in cfg, f"serving summary missing '{key}'"
+
+completed = int(cfg["completed"])
+accepted = int(cfg["accepted"])
+expired = int(cfg["expired"])
+assert completed > 0, "no queries completed"
+assert completed + expired == accepted, (completed, expired, accepted)
+assert float(cfg["qps"]) > 0.0
+assert 0.0 <= float(cfg["cache_hit_rate"]) <= 1.0
+assert float(cfg["p99_ms"]) >= float(cfg["p50_ms"]) >= 0.0
+assert 0.0 < float(cfg["batch_occupancy"]) <= 1.0
+# Zipf over 16 candidates: sharing means fewer traversals than completions.
+assert int(cfg["computed_sources"]) < completed
+
+# --- naive-vs-served comparison (emitted by bench_serving) ----------------
+bench = next(r for r in runs if r["tool"] == "bench_serving")
+bcfg = bench["config"]
+for key in ("naive_qps", "served_qps", "speedup", "loop"):
+    assert key in bcfg, f"bench record missing '{key}'"
+assert float(bcfg["speedup"]) > 0.0
+
+print(f"OK: qps={float(cfg['qps']):.1f} "
+      f"hit_rate={float(cfg['cache_hit_rate']):.2f} "
+      f"occupancy={float(cfg['batch_occupancy']):.2f} "
+      f"p50={float(cfg['p50_ms']):.3f}ms p99={float(cfg['p99_ms']):.3f}ms "
+      f"speedup={float(bcfg['speedup']):.2f}x")
+EOF
+
+echo "check_serving: PASS"

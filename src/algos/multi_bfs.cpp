@@ -150,10 +150,49 @@ MultiBfsResult multi_source_bfs(sim::Device& dev, const graph::DeviceCsr& g,
   return out;
 }
 
+MultiBfsResult multi_source_bfs_batched(sim::Device& dev,
+                                        const graph::DeviceCsr& g,
+                                        const std::vector<vid_t>& sources,
+                                        const MultiBfsConfig& cfg) {
+  if (sources.empty()) {
+    throw std::invalid_argument("multi_source_bfs_batched takes >= 1 source");
+  }
+  MultiBfsResult out;
+  out.levels.reserve(sources.size());
+  for (std::size_t begin = 0; begin < sources.size();
+       begin += kMaxConcurrentSources) {
+    const std::size_t end =
+        std::min(begin + kMaxConcurrentSources, sources.size());
+    const std::vector<vid_t> chunk(sources.begin() + begin,
+                                   sources.begin() + end);
+    MultiBfsResult sweep = multi_source_bfs(dev, g, chunk, cfg);
+    for (auto& lv : sweep.levels) out.levels.push_back(std::move(lv));
+    out.total_ms += sweep.total_ms;
+    out.depth = std::max(out.depth, sweep.depth);
+  }
+  return out;
+}
+
 std::vector<vid_t> group_sources(const graph::Csr& g,
                                  std::vector<vid_t> sources,
                                  unsigned group_size) {
-  if (sources.size() <= 1 || group_size <= 1) return sources;
+  // Deduplicate, keeping the first occurrence's position: a repeated source
+  // inside one sweep would burn a mask bit recomputing an identical search.
+  {
+    std::vector<vid_t> uniq;
+    uniq.reserve(sources.size());
+    std::vector<bool> seen_flag;
+    for (const vid_t s : sources) {
+      if (s >= seen_flag.size()) seen_flag.resize(s + 1, false);
+      if (!seen_flag[s]) {
+        seen_flag[s] = true;
+        uniq.push_back(s);
+      }
+    }
+    sources = std::move(uniq);
+  }
+  group_size = std::clamp(group_size, 1u, kMaxConcurrentSources);
+  if (sources.size() <= 1 || group_size == 1) return sources;
   // Greedy GroupBy: repeatedly seed a group with the first unplaced source
   // and fill it with the unplaced sources most similar to the seed, where
   // similarity is the overlap between 1-hop neighborhoods (a cheap proxy

@@ -81,6 +81,10 @@ struct XbfsConfig {
   double bottomup_spill_factor = 1.0;
   /// Record a parent tree alongside levels.
   bool build_parents = false;
+  /// Emit one obs run-report record per run() when XBFS_RUN_REPORT is
+  /// active.  High-QPS consumers (the serving engine runs thousands of
+  /// traversals per process) turn this off and report their own summary.
+  bool report_runs = true;
 };
 
 }  // namespace xbfs::core

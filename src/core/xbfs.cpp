@@ -425,8 +425,10 @@ BfsResult Xbfs::run(vid_t src) {
     sp.attr("edges_traversed", result.edges_traversed);
     tr.complete(std::move(sp));
   }
-  record_run(result, "xbfs", g_.n, g_.m, static_cast<std::int64_t>(src),
-             &cfg_, &dev_.profiler(), prof_start);
+  if (cfg_.report_runs) {
+    record_run(result, "xbfs", g_.n, g_.m, static_cast<std::int64_t>(src),
+               &cfg_, &dev_.profiler(), prof_start);
+  }
   return result;
 }
 

@@ -20,6 +20,27 @@ vid_t Csr::max_degree() const {
   return best;
 }
 
+std::uint64_t Csr::fingerprint() const {
+  constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (x & 0xff)) * kFnvPrime;
+      x >>= 8;
+    }
+  };
+  mix(n_);
+  mix(m_);
+  // Offsets pin the whole degree sequence; adjacency entries are sampled
+  // with a bounded stride so fingerprinting stays O(n + 64k) on any size.
+  for (const eid_t off : offsets_) mix(off);
+  const eid_t stride = std::max<eid_t>(1, m_ / 65536);
+  for (eid_t e = 0; e < m_; e += stride) mix(cols_[e]);
+  if (m_ != 0) mix(cols_[m_ - 1]);
+  return h;
+}
+
 std::string Csr::validate() const {
   if (offsets_.empty()) return "offsets array is empty";
   if (offsets_.front() != 0) return "offsets[0] != 0";

@@ -48,6 +48,12 @@ class Csr {
   /// Returns an empty string when valid, else a diagnostic.
   std::string validate() const;
 
+  /// Deterministic 64-bit structural fingerprint (FNV-1a over n, m, the
+  /// offsets array and a bounded sample of adjacency entries).  Used as
+  /// the graph half of serving-cache keys, so results computed against one
+  /// graph are never returned for another.
+  std::uint64_t fingerprint() const;
+
   /// Bytes of the CSR payload (the paper's "Data size" column).
   std::uint64_t payload_bytes() const {
     return offsets_.size() * sizeof(eid_t) + cols_.size() * sizeof(vid_t);

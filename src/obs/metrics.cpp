@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -9,6 +10,33 @@
 #include "obs/json_writer.h"
 
 namespace xbfs::obs {
+
+// Quarter-octave buckets (ratio 2^0.25 between edges) spanning 2^-32 ..
+// 2^32: 4 buckets per power of two over 64 octaves, plus one underflow
+// bucket for v <= 2^-32 (index 0, catches zeros/negatives too).
+namespace {
+constexpr int kBucketsPerOctave = 4;
+constexpr int kMinExp = -32;  // v <= 2^kMinExp lands in bucket 0
+constexpr int kMaxExp = 32;
+constexpr std::size_t kNumBuckets =
+    static_cast<std::size_t>((kMaxExp - kMinExp) * kBucketsPerOctave) + 2;
+}  // namespace
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;
+  const double pos = (std::log2(v) - kMinExp) * kBucketsPerOctave;
+  if (pos <= 0.0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(pos) + 1;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::bucket_mid(std::size_t idx) {
+  if (idx == 0) return 0.0;
+  // Geometric midpoint of the bucket's [lo, lo * 2^0.25) range.
+  const double lo_exp =
+      kMinExp + static_cast<double>(idx - 1) / kBucketsPerOctave;
+  return std::exp2(lo_exp + 0.5 / kBucketsPerOctave);
+}
 
 void Histogram::observe(double v) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -20,6 +48,25 @@ void Histogram::observe(double v) {
   }
   ++count_;
   sum_ += v;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[bucket_of(v)];
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, nearest-rank definition).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_mid(i), min_, max_);
+    }
+  }
+  return max_;
 }
 
 std::uint64_t Histogram::count() const {
@@ -46,6 +93,7 @@ void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
+  buckets_.clear();
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -102,7 +150,10 @@ void MetricsRegistry::write_text(std::ostream& os) const {
     os << name << ".count " << h->count() << '\n'
        << name << ".sum " << h->sum() << '\n'
        << name << ".min " << h->min() << '\n'
-       << name << ".max " << h->max() << '\n';
+       << name << ".max " << h->max() << '\n'
+       << name << ".p50 " << h->percentile(0.50) << '\n'
+       << name << ".p95 " << h->percentile(0.95) << '\n'
+       << name << ".p99 " << h->percentile(0.99) << '\n';
   }
 }
 
@@ -117,6 +168,9 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     w.kv(name + ".sum", h->sum());
     w.kv(name + ".min", h->min());
     w.kv(name + ".max", h->max());
+    w.kv(name + ".p50", h->percentile(0.50));
+    w.kv(name + ".p95", h->percentile(0.95));
+    w.kv(name + ".p99", h->percentile(0.99));
   }
   w.end_object();
   os << '\n';

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace xbfs::obs {
 
@@ -42,8 +43,10 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
-/// Streaming summary histogram: count/sum/min/max (enough to derive means
-/// and spot outliers without committing to a bucket layout).
+/// Streaming summary histogram: exact count/sum/min/max plus a bounded
+/// log-bucketed distribution (quarter-octave buckets, ~9% relative error)
+/// so long-running consumers — notably the serving engine's latency
+/// tracking — can report p50/p95/p99 without storing every sample.
 class Histogram {
  public:
   void observe(double v);
@@ -52,14 +55,21 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
+  /// Approximate quantile (q in [0,1]) from the log-bucketed counts,
+  /// clamped to the exact observed [min, max].  0.0 when empty.
+  double percentile(double q) const;
   void reset();
 
  private:
+  static std::size_t bucket_of(double v);
+  static double bucket_mid(std::size_t idx);
+
   mutable std::mutex mu_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_;  ///< allocated on first observe()
 };
 
 class MetricsRegistry {

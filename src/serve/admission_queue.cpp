@@ -1,0 +1,71 @@
+#include "serve/admission_queue.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xbfs::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+RejectReason AdmissionQueue::try_push(PendingQuery&& q) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return RejectReason::ShuttingDown;
+    if (q_.size() >= capacity_) return RejectReason::QueueFull;
+    q_.push_back(std::move(q));
+  }
+  cv_.notify_all();
+  return RejectReason::None;
+}
+
+std::size_t AdmissionQueue::pop_batch(std::vector<PendingQuery>& out,
+                                      std::size_t max_items,
+                                      double window_us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+  if (window_us > 0.0 && q_.size() < max_items && !closed_) {
+    // Batching window: give concurrent submitters a beat to fill the sweep.
+    cv_.wait_for(lk, std::chrono::duration<double, std::micro>(window_us),
+                 [&] { return closed_ || q_.size() >= max_items; });
+  }
+  std::size_t popped = 0;
+  while (!q_.empty() && popped < max_items) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+std::size_t AdmissionQueue::try_pop_batch(std::vector<PendingQuery>& out,
+                                          std::size_t max_items) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t popped = 0;
+  while (!q_.empty() && popped < max_items) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return q_.size();
+}
+
+}  // namespace xbfs::serve

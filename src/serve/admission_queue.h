@@ -1,0 +1,66 @@
+// Bounded thread-safe admission queue: the front door of the serving
+// engine.  Producers (client threads) try_push and are rejected with a
+// reason when the queue is at capacity (backpressure) or closed; the
+// scheduler thread pops everything pending in one go, optionally waiting a
+// short batching window so concurrent submitters can fill a sweep.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/query.h"
+
+namespace xbfs::serve {
+
+/// One accepted-but-not-yet-dispatched query.
+struct PendingQuery {
+  QueryId id = 0;
+  graph::vid_t source = 0;
+  bool bypass_cache = false;
+  double enqueue_us = 0.0;   ///< server wall clock at submit
+  double deadline_us = -1.0; ///< absolute server wall clock; negative = none
+  std::promise<QueryResult> promise;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admit q, or return the rejection reason (QueueFull / ShuttingDown)
+  /// without consuming it.
+  RejectReason try_push(PendingQuery&& q);
+
+  /// Move up to `max_items` pending queries into `out` (appended).  Blocks
+  /// until at least one item is available or the queue is closed; after the
+  /// first item arrives, waits up to `window_us` more for the backlog to
+  /// reach `max_items` before returning what is there.  Returns the number
+  /// of items popped (0 only when closed and empty).
+  std::size_t pop_batch(std::vector<PendingQuery>& out, std::size_t max_items,
+                        double window_us);
+
+  /// Non-blocking variant: pop whatever is pending right now.
+  std::size_t try_pop_batch(std::vector<PendingQuery>& out,
+                            std::size_t max_items);
+
+  /// Stop admitting; pending items remain poppable.  Idempotent.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingQuery> q_;
+  bool closed_ = false;
+};
+
+}  // namespace xbfs::serve

@@ -1,0 +1,83 @@
+// Query-serving vocabulary types: what a client submits, what it gets
+// back, and why a submission may be turned away at the door.
+//
+// A query is one BFS request ("levels from source s on the loaded graph").
+// Admission is synchronous — submit() either hands back a future for the
+// result or rejects with a reason (backpressure, shutdown, bad source).
+// Accepted queries always resolve: completed, or expired past their
+// deadline (expired queries are *reported* through the same future and the
+// serving counters, never dropped silently).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::serve {
+
+using QueryId = std::uint64_t;
+
+/// Shared immutable BFS levels (-1 = unreached).  Cache hits hand out the
+/// same underlying object the cold run produced, so a hit costs one
+/// refcount bump, not a copy.
+using Levels = std::shared_ptr<const std::vector<std::int32_t>>;
+
+/// What the result cache stores per (graph, source): the shared levels
+/// plus the traversal depth (so hits never rescan the levels array).
+struct CachedResult {
+  Levels levels;  ///< null = cache miss sentinel
+  std::uint32_t depth = 0;
+  explicit operator bool() const { return static_cast<bool>(levels); }
+};
+
+enum class QueryStatus {
+  Completed,  ///< levels are valid
+  Expired,    ///< deadline passed while queued; no traversal was run
+};
+
+enum class RejectReason {
+  None,
+  QueueFull,      ///< admission queue at capacity (backpressure)
+  ShuttingDown,   ///< server no longer accepts work
+  InvalidSource,  ///< source id >= |V|
+};
+
+const char* query_status_name(QueryStatus s);
+const char* reject_reason_name(RejectReason r);
+
+struct QueryOptions {
+  /// Deadline budget from enqueue, in wall milliseconds.  0 inherits the
+  /// server default; negative = no deadline.
+  double timeout_ms = 0.0;
+  /// Skip the result cache for this query (forces a fresh traversal and
+  /// does not publish the result into the cache).
+  bool bypass_cache = false;
+};
+
+/// Delivered through the future of an accepted query.
+struct QueryResult {
+  QueryId id = 0;
+  graph::vid_t source = 0;
+  QueryStatus status = QueryStatus::Completed;
+  Levels levels;             ///< null when status != Completed
+  std::uint32_t depth = 0;   ///< max BFS level of the traversal
+  bool cache_hit = false;
+  unsigned batch_size = 0;   ///< distinct sources sharing the sweep (1 = singleton Xbfs path; 0 = no traversal)
+  unsigned gcd = 0;          ///< worker/device that served it
+  double queue_ms = 0.0;     ///< enqueue -> dispatch (wall)
+  double service_ms = 0.0;   ///< dispatch -> complete (wall)
+  double total_ms = 0.0;     ///< enqueue -> complete (wall)
+};
+
+/// Outcome of Server::submit().
+struct Admission {
+  bool accepted = false;
+  RejectReason reason = RejectReason::None;
+  QueryId id = 0;
+  std::future<QueryResult> result;  ///< valid only when accepted
+};
+
+}  // namespace xbfs::serve

@@ -1,0 +1,84 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+namespace xbfs::serve {
+
+ResultCache::ResultCache(std::size_t capacity, unsigned shards) {
+  shards = std::max(1u, shards);
+  if (capacity != 0) {
+    // Ceil-divide so the aggregate capacity is never below the request.
+    shard_capacity_ = (capacity + shards - 1) / shards;
+  }
+  shards_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CachedResult ResultCache::get(std::uint64_t graph_fp, graph::vid_t source) {
+  const Key k{graph_fp, source};
+  Shard& s = shard_of(k);
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.map.find(k);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return {};
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // bump to MRU
+  return it->second->second;
+}
+
+void ResultCache::put(std::uint64_t graph_fp, graph::vid_t source,
+                      CachedResult v) {
+  if (!enabled() || !v) return;
+  const Key k{graph_fp, source};
+  Shard& s = shard_of(k);
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (const auto it = s.map.find(k); it != s.map.end()) {
+    it->second->second = std::move(v);
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  if (s.lru.size() >= shard_capacity_) {
+    s.map.erase(s.lru.back().first);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+  s.lru.emplace_front(k, std::move(v));
+  s.map[k] = s.lru.begin();
+  ++s.inserts;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    out.hits += sp->hits;
+    out.misses += sp->misses;
+    out.evictions += sp->evictions;
+    out.inserts += sp->inserts;
+    out.entries += sp->lru.size();
+  }
+  return out;
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    n += sp->lru.size();
+  }
+  return n;
+}
+
+void ResultCache::clear() {
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    sp->lru.clear();
+    sp->map.clear();
+  }
+}
+
+}  // namespace xbfs::serve

@@ -1,0 +1,95 @@
+// Sharded LRU result cache keyed by (graph fingerprint, source).
+//
+// Serving workloads are Zipf-skewed — a few hot sources absorb most
+// queries — so a small cache of immutable levels vectors turns the hot
+// tail into refcount bumps.  Keys carry the graph's structural fingerprint
+// (graph::Csr::fingerprint) so a cache shared across graph reloads can
+// never serve a stale topology's result.  Shards (each its own mutex +
+// LRU list) keep submit-path lookups from serializing behind one lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/query.h"
+
+namespace xbfs::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+    std::size_t entries = 0;
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `capacity` total entries split evenly across `shards` (each shard gets
+  /// at least one slot).  capacity == 0 constructs a disabled cache: every
+  /// get() misses, put() is a no-op.
+  explicit ResultCache(std::size_t capacity, unsigned shards = 8);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  bool enabled() const { return shard_capacity_ != 0; }
+
+  /// Lookup; bumps the entry to most-recently-used and counts hit/miss.
+  /// A returned value with null levels is a miss.
+  CachedResult get(std::uint64_t graph_fp, graph::vid_t source);
+  /// Insert/overwrite; evicts the shard's least-recently-used entry when
+  /// the shard is full.
+  void put(std::uint64_t graph_fp, graph::vid_t source, CachedResult v);
+
+  Stats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t fp;
+    graph::vid_t src;
+    bool operator==(const Key& o) const { return fp == o.fp && src == o.src; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.fp ^ (static_cast<std::uint64_t>(k.src) *
+                                0x9E3779B97F4A7C15ull);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<Key, CachedResult>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, CachedResult>>::iterator,
+                       KeyHash>
+        map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  Shard& shard_of(const Key& k) {
+    return *shards_[KeyHash{}(k) % shards_.size()];
+  }
+
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xbfs::serve

@@ -1,0 +1,509 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "algos/multi_bfs.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace xbfs::serve {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* query_status_name(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::Completed: return "completed";
+    case QueryStatus::Expired: return "expired";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue-full";
+    case RejectReason::ShuttingDown: return "shutting-down";
+    case RejectReason::InvalidSource: return "invalid-source";
+  }
+  return "?";
+}
+
+Server::Server(const graph::Csr& g, ServeConfig cfg)
+    : host_g_(g),
+      cfg_(std::move(cfg)),
+      graph_fp_(g.fingerprint()),
+      queue_(cfg_.queue_capacity),
+      cache_(cfg_.cache_capacity, cfg_.cache_shards),
+      epoch_(std::chrono::steady_clock::now()) {
+  cfg_.num_gcds = std::max(1u, cfg_.num_gcds);
+  cfg_.max_batch =
+      std::clamp(cfg_.max_batch, 1u, algos::kMaxConcurrentSources);
+  cfg_.device_workers = std::max(1u, cfg_.device_workers);
+  // The server reports one serving summary; per-query run records would
+  // swamp XBFS_RUN_REPORT under load.
+  cfg_.xbfs.report_runs = false;
+
+  gcds_.reserve(cfg_.num_gcds);
+  for (unsigned i = 0; i < cfg_.num_gcds; ++i) {
+    auto gcd = std::make_unique<Gcd>();
+    gcd->dev = std::make_unique<sim::Device>(
+        cfg_.profile,
+        sim::SimOptions{.num_workers = cfg_.device_workers,
+                        .profiling = cfg_.device_profiling});
+    gcd->dev->set_trace_label("serve-gcd" + std::to_string(i));
+    gcd->dev->warmup();
+    gcd->dg = graph::DeviceCsr::upload(*gcd->dev, host_g_);
+    gcd->xbfs = std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs);
+    gcds_.push_back(std::move(gcd));
+  }
+  // One pool lane per GCD (the scheduler thread participates as lane 0),
+  // reusing the simulator's chunked-cursor worker pool.
+  pool_ = std::make_unique<sim::ThreadPool>(cfg_.num_gcds);
+
+  if (!cfg_.manual_dispatch) {
+    scheduler_ = std::thread([this] { scheduler_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+double Server::wall_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Admission Server::submit(graph::vid_t source, QueryOptions opt) {
+  Admission a;
+  a.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (shut_down_.load(std::memory_order_acquire)) {
+    a.reason = RejectReason::ShuttingDown;
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  if (source >= host_g_.num_vertices()) {
+    a.reason = RejectReason::InvalidSource;
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+
+  const double now = wall_us();
+
+  // Cache fast path: resolve without ever touching the queue.
+  if (cache_.enabled() && !opt.bypass_cache) {
+    if (CachedResult hit = cache_.get(graph_fp_, source)) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<QueryResult> pr;
+      a.result = pr.get_future();
+      a.accepted = true;
+      QueryResult r;
+      r.id = a.id;
+      r.source = source;
+      r.status = QueryStatus::Completed;
+      r.levels = std::move(hit.levels);
+      r.depth = hit.depth;
+      r.cache_hit = true;
+      r.total_ms = (wall_us() - now) / 1000.0;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(r);
+      pr.set_value(std::move(r));
+      retire_one();
+      return a;
+    }
+  }
+
+  PendingQuery p;
+  p.id = a.id;
+  p.source = source;
+  p.bypass_cache = opt.bypass_cache;
+  p.enqueue_us = now;
+  const double timeout_ms =
+      opt.timeout_ms != 0.0 ? opt.timeout_ms : cfg_.default_timeout_ms;
+  p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
+  std::future<QueryResult> fut = p.promise.get_future();
+
+  const RejectReason reason = queue_.try_push(std::move(p));
+  if (reason != RejectReason::None) {
+    a.reason = reason;
+    if (reason == RejectReason::QueueFull) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return a;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  a.accepted = true;
+  a.result = std::move(fut);
+  return a;
+}
+
+void Server::scheduler_loop() {
+  std::vector<PendingQuery> pending;
+  const std::size_t target =
+      static_cast<std::size_t>(cfg_.max_batch) * gcds_.size();
+  for (;;) {
+    pending.clear();
+    const std::size_t got =
+        queue_.pop_batch(pending, target, cfg_.batch_window_ms * 1000.0);
+    if (got == 0) {
+      if (queue_.closed()) return;
+      continue;
+    }
+    process_cycle(pending);
+  }
+}
+
+std::size_t Server::dispatch_once() {
+  std::vector<PendingQuery> pending;
+  const std::size_t target =
+      static_cast<std::size_t>(cfg_.max_batch) * gcds_.size();
+  if (queue_.try_pop_batch(pending, target) == 0) return 0;
+  return process_cycle(pending);
+}
+
+std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
+  std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+  obs::TraceSession& tr = obs::TraceSession::global();
+  const std::uint64_t span = tr.begin("serve.cycle", "serve", "serve");
+  dispatch_cycles_.fetch_add(1, std::memory_order_relaxed);
+  const double dispatch_us = wall_us();
+  const std::size_t cycle_queries = pending.size();
+
+  // Triage: expire past-deadline queries (reported, never dropped) and
+  // serve queries whose source landed in the cache while they queued.
+  std::vector<PendingQuery> work;
+  work.reserve(pending.size());
+  for (PendingQuery& p : pending) {
+    if (p.deadline_us >= 0.0 && dispatch_us > p.deadline_us) {
+      complete_expired(std::move(p), dispatch_us);
+      continue;
+    }
+    if (cache_.enabled() && !p.bypass_cache) {
+      if (CachedResult hit = cache_.get(graph_fp_, p.source)) {
+        complete_from_cache(std::move(p), std::move(hit), dispatch_us);
+        continue;
+      }
+    }
+    work.push_back(std::move(p));
+  }
+  pending.clear();
+
+  if (!work.empty()) {
+    // Deduplicate: all queries for one source share one traversal.
+    SourceMap by_src;
+    std::vector<graph::vid_t> uniq;
+    for (PendingQuery& p : work) {
+      auto& waiters = by_src[p.source];
+      if (waiters.empty()) uniq.push_back(p.source);
+      waiters.push_back(std::move(p));
+    }
+
+    std::vector<std::vector<graph::vid_t>> batches;
+    if (cfg_.batching) {
+      if (cfg_.group_by_neighborhood && uniq.size() > 1) {
+        uniq = algos::group_sources(host_g_, std::move(uniq), cfg_.max_batch);
+      }
+      for (std::size_t b = 0; b < uniq.size(); b += cfg_.max_batch) {
+        const std::size_t e = std::min(b + cfg_.max_batch, uniq.size());
+        if (e - b < cfg_.min_sweep_sources) {
+          // Too narrow to amortize a sweep's fixed full-vertex-scan cost:
+          // per-source adaptive runs, spread across the GCD lanes.
+          for (std::size_t i = b; i < e; ++i) batches.push_back({uniq[i]});
+        } else {
+          batches.emplace_back(uniq.begin() + b, uniq.begin() + e);
+        }
+      }
+    } else {
+      // Naive serving mode: one traversal per distinct source.
+      for (const graph::vid_t s : uniq) batches.push_back({s});
+    }
+
+    pool_->parallel_for(batches.size(),
+                        [&](unsigned worker, std::uint64_t bi) {
+                          run_batch(worker, batches[bi], by_src, dispatch_us);
+                        });
+  }
+
+  if (span != 0) {
+    tr.attr(span, "queries", static_cast<double>(cycle_queries));
+    tr.end(span);
+  }
+  return cycle_queries;
+}
+
+void Server::run_batch(unsigned worker,
+                       const std::vector<graph::vid_t>& batch,
+                       SourceMap& by_src, double dispatch_us) {
+  Gcd& gcd = *gcds_[worker];
+  std::vector<CachedResult> results(batch.size());
+  double modelled_ms = 0.0;
+
+  if (batch.size() == 1) {
+    // Singleton batches skip the 64-bit mask machinery: the adaptive
+    // single-source runner is strictly faster for one source.
+    core::BfsResult r = gcd.xbfs->run(batch[0]);
+    results[0].levels =
+        std::make_shared<const std::vector<std::int32_t>>(std::move(r.levels));
+    results[0].depth = r.depth;
+    modelled_ms = r.total_ms;
+    singleton_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    algos::MultiBfsResult r =
+        algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::uint32_t depth = 0;
+      for (const std::int32_t lv : r.levels[i]) {
+        depth = std::max(depth, static_cast<std::uint32_t>(std::max(lv, 0)));
+      }
+      results[i].levels = std::make_shared<const std::vector<std::int32_t>>(
+          std::move(r.levels[i]));
+      results[i].depth = depth;
+    }
+    modelled_ms = r.total_ms;
+  }
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  computed_sources_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  const double complete_us = wall_us();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto waiters = by_src.find(batch[i]);
+    // Publish before resolving waiters so a submit racing with completion
+    // can already hit.
+    bool publish = false;
+    for (const PendingQuery& p : waiters->second) {
+      publish |= !p.bypass_cache;
+    }
+    if (publish) cache_.put(graph_fp_, batch[i], results[i]);
+
+    for (PendingQuery& p : waiters->second) {
+      QueryResult r;
+      r.id = p.id;
+      r.source = p.source;
+      r.status = QueryStatus::Completed;
+      r.levels = results[i].levels;
+      r.depth = results[i].depth;
+      r.cache_hit = false;
+      r.batch_size = static_cast<unsigned>(batch.size());
+      r.gcd = worker;
+      r.queue_ms = (dispatch_us - p.enqueue_us) / 1000.0;
+      r.service_ms = (complete_us - dispatch_us) / 1000.0;
+      r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(r);
+      finish_query(std::move(p), std::move(r));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    occupancy_sum_ += static_cast<double>(batch.size()) / cfg_.max_batch;
+    sources_per_sweep_sum_ += static_cast<double>(batch.size());
+    modelled_busy_ms_ += modelled_ms;
+  }
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.histogram("serve.batch_occupancy")
+        .observe(static_cast<double>(batch.size()) / cfg_.max_batch);
+    mx.counter("serve.sweeps").add();
+  }
+}
+
+void Server::complete_expired(PendingQuery&& p, double now_us) {
+  QueryResult r;
+  r.id = p.id;
+  r.source = p.source;
+  r.status = QueryStatus::Expired;
+  r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
+  r.total_ms = r.queue_ms;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("serve.expired").add();
+  finish_query(std::move(p), std::move(r));
+}
+
+void Server::complete_from_cache(PendingQuery&& p, CachedResult hit,
+                                 double now_us) {
+  QueryResult r;
+  r.id = p.id;
+  r.source = p.source;
+  r.status = QueryStatus::Completed;
+  r.levels = std::move(hit.levels);
+  r.depth = hit.depth;
+  r.cache_hit = true;
+  r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
+  r.total_ms = r.queue_ms;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  record_latency(r);
+  finish_query(std::move(p), std::move(r));
+}
+
+void Server::finish_query(PendingQuery&& p, QueryResult&& r) {
+  p.promise.set_value(std::move(r));
+  retire_one();
+}
+
+void Server::retire_one() {
+  // The empty critical section orders the increment against drain()'s
+  // predicate check, so the final retirement can't slip between a
+  // drainer's check and its wait (lost wakeup).
+  retired_.fetch_add(1, std::memory_order_release);
+  { std::lock_guard<std::mutex> lk(drain_mu_); }
+  drain_cv_.notify_all();
+}
+
+void Server::record_latency(const QueryResult& r) {
+  latency_ms_.observe(r.total_ms);
+  queue_ms_.observe(r.queue_ms);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.histogram("serve.latency_ms").observe(r.total_ms);
+    mx.histogram("serve.queue_ms").observe(r.queue_ms);
+    mx.counter("serve.completed").add();
+    if (r.cache_hit) mx.counter("serve.cache_hits").add();
+  }
+}
+
+void Server::drain() {
+  if (cfg_.manual_dispatch) {
+    while (retired_.load(std::memory_order_acquire) <
+           accepted_.load(std::memory_order_acquire)) {
+      if (dispatch_once() == 0) std::this_thread::yield();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [&] {
+    return retired_.load(std::memory_order_acquire) >=
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+void Server::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_.close();
+  if (scheduler_.joinable()) {
+    scheduler_.join();
+  } else {
+    // Manual mode: retire whatever is still queued.
+    while (dispatch_once() != 0) {
+    }
+  }
+  emit_summary();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.dispatch_cycles = dispatch_cycles_.load(std::memory_order_relaxed);
+  s.sweeps = sweeps_.load(std::memory_order_relaxed);
+  s.singleton_sweeps = singleton_sweeps_.load(std::memory_order_relaxed);
+  s.computed_sources = computed_sources_.load(std::memory_order_relaxed);
+
+  const ResultCache::Stats cs = cache_.stats();
+  s.cache_evictions = cs.evictions;
+  s.cache_entries = cs.entries;
+  s.cache_hit_rate =
+      s.completed == 0
+          ? 0.0
+          : static_cast<double>(s.cache_hits) / static_cast<double>(s.completed);
+
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    s.mean_batch_occupancy = s.sweeps == 0 ? 0.0 : occupancy_sum_ / s.sweeps;
+    s.mean_sources_per_sweep =
+        s.sweeps == 0 ? 0.0 : sources_per_sweep_sum_ / s.sweeps;
+    s.modelled_busy_ms = modelled_busy_ms_;
+  }
+
+  s.wall_elapsed_ms = wall_us() / 1000.0;
+  s.qps = s.wall_elapsed_ms <= 0.0
+              ? 0.0
+              : static_cast<double>(s.completed) / (s.wall_elapsed_ms / 1000.0);
+
+  s.latency_p50_ms = latency_ms_.percentile(0.50);
+  s.latency_p95_ms = latency_ms_.percentile(0.95);
+  s.latency_p99_ms = latency_ms_.percentile(0.99);
+  s.latency_mean_ms = latency_ms_.mean();
+  s.latency_max_ms = latency_ms_.max();
+  s.queue_p50_ms = queue_ms_.percentile(0.50);
+  s.queue_p99_ms = queue_ms_.percentile(0.99);
+  return s;
+}
+
+void Server::emit_summary() {
+  const ServerStats st = stats();
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.gauge("serve.qps").set(st.qps);
+    mx.gauge("serve.cache_hit_rate").set(st.cache_hit_rate);
+    mx.gauge("serve.batch_occupancy").set(st.mean_batch_occupancy);
+  }
+
+  obs::ReportSession& rs = obs::ReportSession::global();
+  if (!rs.enabled()) return;
+  obs::RunRecord r;
+  r.tool = "serve";
+  r.algorithm = "bfs-serving";
+  r.n = host_g_.num_vertices();
+  r.m = host_g_.num_edges();
+  r.source = -1;
+  r.total_ms = st.wall_elapsed_ms;
+  r.config = {
+      {"num_gcds", std::to_string(cfg_.num_gcds)},
+      {"max_batch", std::to_string(cfg_.max_batch)},
+      {"queue_capacity", std::to_string(cfg_.queue_capacity)},
+      {"cache_capacity", std::to_string(cfg_.cache_capacity)},
+      {"batching", cfg_.batching ? "1" : "0"},
+      {"submitted", std::to_string(st.submitted)},
+      {"accepted", std::to_string(st.accepted)},
+      {"completed", std::to_string(st.completed)},
+      {"expired", std::to_string(st.expired)},
+      {"rejected_full", std::to_string(st.rejected_full)},
+      {"rejected_invalid", std::to_string(st.rejected_invalid)},
+      {"rejected_shutdown", std::to_string(st.rejected_shutdown)},
+      {"cache_hits", std::to_string(st.cache_hits)},
+      {"cache_hit_rate", fmt_double(st.cache_hit_rate)},
+      {"cache_evictions", std::to_string(st.cache_evictions)},
+      {"sweeps", std::to_string(st.sweeps)},
+      {"singleton_sweeps", std::to_string(st.singleton_sweeps)},
+      {"computed_sources", std::to_string(st.computed_sources)},
+      {"batch_occupancy", fmt_double(st.mean_batch_occupancy)},
+      {"sources_per_sweep", fmt_double(st.mean_sources_per_sweep)},
+      {"qps", fmt_double(st.qps)},
+      {"p50_ms", fmt_double(st.latency_p50_ms)},
+      {"p95_ms", fmt_double(st.latency_p95_ms)},
+      {"p99_ms", fmt_double(st.latency_p99_ms)},
+      {"mean_ms", fmt_double(st.latency_mean_ms)},
+      {"max_ms", fmt_double(st.latency_max_ms)},
+      {"queue_p50_ms", fmt_double(st.queue_p50_ms)},
+      {"queue_p99_ms", fmt_double(st.queue_p99_ms)},
+      {"modelled_busy_ms", fmt_double(st.modelled_busy_ms)},
+      {"wall_elapsed_ms", fmt_double(st.wall_elapsed_ms)},
+  };
+  rs.add(std::move(r));
+}
+
+}  // namespace xbfs::serve

@@ -1,0 +1,229 @@
+// The query-serving engine: turns the offline XBFS reproduction into a
+// traffic-handling system.
+//
+//   clients --submit()--> AdmissionQueue --(scheduler thread)--> batches
+//                              |                                    |
+//                        backpressure                    sim::ThreadPool, one
+//                       (reject w/ reason)               simulated GCD/worker
+//                                                                   |
+//                  ResultCache <--publish-- multi_source_bfs (<=64-way sweep)
+//                       |                   or core::Xbfs (singleton batch)
+//                  hits resolve
+//                  at submit()
+//
+// The scheduler drains the queue, expires queries past their deadline
+// (reported through their futures, never dropped), deduplicates repeated
+// sources, orders the rest with algos::group_sources so one 64-bit sweep
+// shares as much traversal as possible, and dispatches batches across the
+// GCD worker pool (reusing sim::ThreadPool, the same pool machinery that
+// executes simulated blocks).  Every query's end-to-end latency
+// (enqueue -> dispatch -> complete) feeds p50/p95/p99 histograms exposed
+// through XBFS_METRICS, and shutdown() emits one summary record (QPS,
+// batch occupancy, cache hit rate, latency percentiles) into
+// XBFS_RUN_REPORT.
+//
+// Served levels are bit-identical to a fresh single-source core::Xbfs::run:
+// both the multi-source sweep and the singleton fallback compute canonical
+// BFS hop distances, and cache hits alias the very vector a cold run
+// produced.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "hipsim/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/admission_queue.h"
+#include "serve/query.h"
+#include "serve/result_cache.h"
+
+namespace xbfs::serve {
+
+struct ServeConfig {
+  /// Admission-queue capacity; submissions beyond it are rejected with
+  /// RejectReason::QueueFull (backpressure).
+  std::size_t queue_capacity = 4096;
+  /// Simulated GCDs served concurrently (one worker thread drives each).
+  unsigned num_gcds = 1;
+  /// Simulator worker threads inside each GCD (1 = deterministic profile
+  /// mode; serving parallelism comes from num_gcds).
+  unsigned device_workers = 1;
+  /// Sources per bit-parallel sweep; clamped to [1, 64].
+  unsigned max_batch = 64;
+  /// Cost-aware dispatch: batches narrower than this run as per-source
+  /// adaptive core::Xbfs traversals (spread across the GCD lanes) instead
+  /// of one bit-parallel sweep.  The sweep pays a large fixed cost — it
+  /// scans the full vertex set every level with none of XBFS's adaptive
+  /// strategies — so it only beats per-source runs once enough searches
+  /// share it (measured crossover ~16 on scale-18 RMAT).  1 = always
+  /// sweep.
+  unsigned min_sweep_sources = 16;
+  /// Result-cache entries across all shards; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  unsigned cache_shards = 8;
+  /// Deadline applied to queries that don't set their own (ms from
+  /// enqueue); negative = none.
+  double default_timeout_ms = -1.0;
+  /// How long the scheduler waits for the backlog to fill a full cycle
+  /// before dispatching what is there (0 = dispatch immediately).
+  double batch_window_ms = 1.0;
+  /// false = naive mode: one core::Xbfs::run per query, no sharing (the
+  /// serving bench's baseline).
+  bool batching = true;
+  /// Order each cycle's distinct sources with algos::group_sources.
+  bool group_by_neighborhood = true;
+  /// Tests: no scheduler thread; call dispatch_once() explicitly.
+  bool manual_dispatch = false;
+  /// Per-launch profiler rows on the worker devices (off: a long-running
+  /// server would grow the row list without bound).
+  bool device_profiling = false;
+  /// Per-worker traversal configuration.  report_runs is forced off — the
+  /// server emits one summary record instead of one record per query.
+  core::XbfsConfig xbfs;
+  sim::DeviceProfile profile = sim::DeviceProfile::mi250x_gcd();
+};
+
+/// Monotonic counters + latency snapshot; see docs/serving.md for the
+/// glossary.
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;   ///< entered the queue or hit the cache
+  std::uint64_t completed = 0;  ///< futures resolved with levels
+  std::uint64_t expired = 0;    ///< futures resolved past-deadline
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+
+  std::uint64_t cache_hits = 0;    ///< queries served from cache
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  double cache_hit_rate = 0.0;     ///< cache_hits / completed
+
+  std::uint64_t dispatch_cycles = 0;
+  std::uint64_t sweeps = 0;            ///< multi-source + singleton dispatches
+  std::uint64_t singleton_sweeps = 0;  ///< served by the core::Xbfs fallback
+  std::uint64_t computed_sources = 0;  ///< distinct traversals actually run
+  double mean_sources_per_sweep = 0.0;
+  double mean_batch_occupancy = 0.0;   ///< mean(batch size / max_batch)
+
+  double wall_elapsed_ms = 0.0;
+  double qps = 0.0;                 ///< completed / wall_elapsed
+  double modelled_busy_ms = 0.0;    ///< summed modelled device time
+
+  double latency_p50_ms = 0.0;      ///< enqueue -> complete
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double queue_p50_ms = 0.0;        ///< enqueue -> dispatch
+  double queue_p99_ms = 0.0;
+};
+
+class Server {
+ public:
+  /// `g` must outlive the server (it backs group_sources ordering and the
+  /// per-GCD device uploads).
+  explicit Server(const graph::Csr& g, ServeConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit a query.  Cache hits resolve immediately; otherwise the query
+  /// enters the admission queue, or is rejected with a reason when the
+  /// queue is full / the server is shutting down / the source is invalid.
+  Admission submit(graph::vid_t source, QueryOptions opt = {});
+
+  /// One scheduler cycle over whatever is pending right now (manual mode,
+  /// but safe in threaded mode too for tests that want to force progress).
+  /// Returns the number of queries retired this cycle.
+  std::size_t dispatch_once();
+
+  /// Block until every accepted query has been retired.
+  void drain();
+
+  /// Stop accepting, finish pending work, stop the scheduler, and emit the
+  /// summary run-report record + final metrics.  Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+  const ServeConfig& config() const { return cfg_; }
+  std::uint64_t graph_fingerprint() const { return graph_fp_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  struct Gcd {
+    std::unique_ptr<sim::Device> dev;
+    graph::DeviceCsr dg;
+    std::unique_ptr<core::Xbfs> xbfs;
+  };
+  using SourceMap =
+      std::unordered_map<graph::vid_t, std::vector<PendingQuery>>;
+
+  double wall_us() const;
+  void scheduler_loop();
+  std::size_t process_cycle(std::vector<PendingQuery>& pending);
+  void run_batch(unsigned worker, const std::vector<graph::vid_t>& batch,
+                 SourceMap& by_src, double dispatch_us);
+  void complete_expired(PendingQuery&& p, double now_us);
+  void complete_from_cache(PendingQuery&& p, CachedResult hit, double now_us);
+  void finish_query(PendingQuery&& p, QueryResult&& r);
+  void retire_one();
+  void record_latency(const QueryResult& r);
+  void emit_summary();
+
+  const graph::Csr& host_g_;
+  ServeConfig cfg_;
+  std::uint64_t graph_fp_ = 0;
+
+  AdmissionQueue queue_;
+  ResultCache cache_;
+  std::vector<std::unique_ptr<Gcd>> gcds_;
+  std::unique_ptr<sim::ThreadPool> pool_;  ///< one lane per GCD
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<QueryId> next_id_{0};
+
+  // Monotonic counters (relaxed; exact totals are read under drain_mu_).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> retired_{0};  ///< completed + expired
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> dispatch_cycles_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> singleton_sweeps_{0};
+  std::atomic<std::uint64_t> computed_sources_{0};
+
+  std::mutex cycle_mu_;  ///< one dispatch cycle at a time (pool_ is shared)
+
+  mutable std::mutex agg_mu_;  ///< guards the non-atomic aggregates below
+  double occupancy_sum_ = 0.0;
+  double sources_per_sweep_sum_ = 0.0;
+  double modelled_busy_ms_ = 0.0;
+
+  obs::Histogram latency_ms_;  ///< enqueue -> complete
+  obs::Histogram queue_ms_;    ///< enqueue -> dispatch
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::thread scheduler_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace xbfs::serve

@@ -1,0 +1,151 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "hipsim/thread_pool.h"
+
+namespace xbfs::serve {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s, std::uint64_t seed)
+    : state_(seed ^ 0xD1B54A32D192ED03ull) {
+  n = std::max<std::size_t>(1, n);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfGenerator::next() {
+  const double u = uniform01(state_);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                   : it - cdf_.begin());
+}
+
+std::vector<graph::vid_t> zipf_sources(
+    const std::vector<graph::vid_t>& candidates, std::size_t count, double s,
+    std::uint64_t seed) {
+  std::vector<graph::vid_t> out;
+  if (candidates.empty()) return out;
+  out.reserve(count);
+  ZipfGenerator zipf(candidates.size(), s, seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(candidates[zipf.next()]);
+  }
+  return out;
+}
+
+LoadReport run_closed_loop(Server& server,
+                           const std::vector<graph::vid_t>& sources,
+                           const LoadOptions& opt) {
+  LoadReport rep;
+  if (sources.empty()) return rep;
+
+  std::atomic<std::uint64_t> accepted{0}, rejected{0}, completed{0},
+      expired{0};
+  QueryOptions qopt;
+  qopt.timeout_ms = opt.timeout_ms;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    sim::ThreadPool clients(std::max(1u, opt.clients));
+    clients.parallel_for(sources.size(), [&](unsigned, std::uint64_t i) {
+      Admission a = server.submit(sources[i], qopt);
+      if (!a.accepted) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      const QueryResult r = a.result.get();
+      if (r.status == QueryStatus::Expired) {
+        expired.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  rep.attempted = sources.size();
+  rep.accepted = accepted.load();
+  rep.rejected = rejected.load();
+  rep.completed = completed.load();
+  rep.expired = expired.load();
+  rep.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  rep.qps = rep.wall_ms <= 0.0 ? 0.0 : rep.completed / (rep.wall_ms / 1000.0);
+  return rep;
+}
+
+LoadReport run_open_loop(Server& server,
+                         const std::vector<graph::vid_t>& sources,
+                         const LoadOptions& opt) {
+  LoadReport rep;
+  if (sources.empty()) return rep;
+
+  QueryOptions qopt;
+  qopt.timeout_ms = opt.timeout_ms;
+  const double gap_us =
+      opt.arrival_qps > 0.0 ? 1.0e6 / opt.arrival_qps : 0.0;
+
+  std::vector<std::future<QueryResult>> inflight;
+  inflight.reserve(sources.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (gap_us > 0.0) {
+      // Pace against the schedule, not the previous submit, so a slow
+      // submit doesn't shift every later arrival.
+      const auto due =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::micro>(gap_us * i));
+      std::this_thread::sleep_until(due);
+    }
+    Admission a = server.submit(sources[i], qopt);
+    if (a.accepted) {
+      inflight.push_back(std::move(a.result));
+    } else {
+      ++rep.rejected;
+    }
+  }
+  rep.accepted = inflight.size();
+  for (std::future<QueryResult>& f : inflight) {
+    const QueryResult r = f.get();
+    if (r.status == QueryStatus::Expired) {
+      ++rep.expired;
+    } else {
+      ++rep.completed;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  rep.attempted = sources.size();
+  rep.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  rep.qps = rep.wall_ms <= 0.0 ? 0.0 : rep.completed / (rep.wall_ms / 1000.0);
+  return rep;
+}
+
+}  // namespace xbfs::serve

@@ -1,0 +1,74 @@
+// Load generation for the serving engine: Zipf-skewed source sampling plus
+// closed-loop (fixed client concurrency, submit -> wait -> repeat) and
+// open-loop (paced arrivals, independent of completion) drivers.
+//
+// Serving traffic against a social/web graph is heavily skewed — a handful
+// of hot sources absorb most queries — which is exactly what makes the
+// result cache and the 64-way batch sharing pay off.  Zipf(s) over a
+// candidate list reproduces that skew deterministically (seeded), so bench
+// runs are repeatable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace xbfs::serve {
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) proportional to 1/(k+1)^s.
+/// s == 0 degenerates to uniform.  Deterministic for a given seed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double s, std::uint64_t seed);
+
+  /// Next rank in [0, n).
+  std::size_t next();
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative, cdf_.back() == 1.0
+  std::uint64_t state_;      ///< splitmix64 state
+};
+
+/// Draw `count` sources from `candidates` with Zipf(s) skew over the
+/// candidate order (candidates[0] is the hottest).
+std::vector<graph::vid_t> zipf_sources(
+    const std::vector<graph::vid_t>& candidates, std::size_t count, double s,
+    std::uint64_t seed);
+
+struct LoadOptions {
+  /// Closed loop: concurrent client threads, each submit -> wait -> repeat.
+  unsigned clients = 8;
+  /// Open loop: target arrival rate; <= 0 submits as fast as possible.
+  double arrival_qps = 0.0;
+  /// Per-query deadline passed through QueryOptions (0 = server default).
+  double timeout_ms = 0.0;
+};
+
+/// What the driver observed from the client side (the server keeps its own
+/// counters; both appear in the bench's run report).
+struct LoadReport {
+  std::uint64_t attempted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;  ///< completed / wall
+};
+
+/// Closed-loop load: `opt.clients` threads round-robin the source sequence,
+/// each waiting for its query's future before submitting the next.  Returns
+/// after every submitted query resolved.
+LoadReport run_closed_loop(Server& server,
+                           const std::vector<graph::vid_t>& sources,
+                           const LoadOptions& opt = {});
+
+/// Open-loop load: one thread paces submissions at opt.arrival_qps
+/// (independent of completions — the queue absorbs or rejects bursts),
+/// then waits for all outstanding futures.
+LoadReport run_open_loop(Server& server,
+                         const std::vector<graph::vid_t>& sources,
+                         const LoadOptions& opt = {});
+
+}  // namespace xbfs::serve

@@ -76,19 +76,23 @@ TEST(MultiBfs, SixtyFourSourcesAreAccepted) {
   }
 }
 
-TEST(MultiBfs, GroupSourcesIsAPermutation) {
+TEST(MultiBfs, GroupSourcesIsAPermutationOfDistinctSources) {
   const graph::Csr g = undirected_rmat(10, 9);
   const auto giant = graph::largest_component_vertices(g);
   std::vector<graph::vid_t> sources;
   for (std::size_t i = 0; i < 24; ++i) {
     sources.push_back(giant[(i * 997) % giant.size()]);
   }
+  // group_sources deduplicates, so compare against the distinct set.
+  auto distinct = sources;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
   const auto grouped = group_sources(g, sources, 8);
-  ASSERT_EQ(grouped.size(), sources.size());
-  auto a = sources, b = grouped;
-  std::sort(a.begin(), a.end());
+  ASSERT_EQ(grouped.size(), distinct.size());
+  auto b = grouped;
   std::sort(b.begin(), b.end());
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, distinct);
 }
 
 TEST(MultiBfs, GroupSourcesClustersNeighborhoods) {

@@ -1,0 +1,220 @@
+// Batched multi-source BFS: splitting arbitrary source lists into <=64-way
+// sweeps, the dedup/clamp contract of group_sources, and byte-identical
+// agreement between the batched path, the single-source XBFS runner and the
+// host reference — the invariant the serving engine's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "algos/multi_bfs.h"
+#include "core/xbfs.h"
+#include "graph/builder.h"
+#include "graph/device_csr.h"
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs::algos {
+namespace {
+
+sim::Device make_device() {
+  return sim::Device(sim::DeviceProfile::mi250x_gcd(),
+                     sim::SimOptions{.num_workers = 2});
+}
+
+graph::Csr undirected_rmat(unsigned scale, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return graph::rmat_csr(p);
+}
+
+graph::Csr chain(graph::vid_t n) {
+  std::vector<graph::Edge> e;
+  for (graph::vid_t v = 0; v + 1 < n; ++v) e.push_back({v, v + 1});
+  return graph::build_csr(n, std::move(e));
+}
+
+// --- multi_source_bfs_batched ----------------------------------------------
+
+TEST(MultiBfsBatched, SplitsMoreThan64SourcesIntoMultipleSweeps) {
+  const graph::Csr g = undirected_rmat(10, 21);
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  const auto giant = graph::largest_component_vertices(g);
+
+  std::vector<graph::vid_t> sources;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    sources.push_back(giant[rng() % giant.size()]);
+  }
+  // 100 sources exceed one sweep's hard 64-bit width; the direct API
+  // rejects them while the batched API splits into ceil(100/64) sweeps.
+  EXPECT_THROW(multi_source_bfs(dev, dg, sources), std::invalid_argument);
+  const MultiBfsResult r = multi_source_bfs_batched(dev, dg, sources);
+  ASSERT_EQ(r.levels.size(), sources.size());
+  // Spot-check across the sweep boundary (indices 63, 64) and the ends.
+  for (std::size_t si : {0ul, 63ul, 64ul, 99ul}) {
+    EXPECT_EQ(r.levels[si], graph::reference_bfs(g, sources[si]))
+        << "source index " << si;
+  }
+  EXPECT_GT(r.total_ms, 0.0);
+}
+
+TEST(MultiBfsBatched, ExactMultiplesOf64) {
+  const graph::Csr g = undirected_rmat(9, 22);
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  const auto giant = graph::largest_component_vertices(g);
+  std::vector<graph::vid_t> sources;
+  for (int i = 0; i < 128; ++i) {
+    sources.push_back(giant[(i * 131) % giant.size()]);
+  }
+  const MultiBfsResult r = multi_source_bfs_batched(dev, dg, sources);
+  ASSERT_EQ(r.levels.size(), 128u);
+  for (std::size_t si : {0ul, 64ul, 127ul}) {
+    EXPECT_EQ(r.levels[si], graph::reference_bfs(g, sources[si]));
+  }
+}
+
+TEST(MultiBfsBatched, RejectsEmptyInput) {
+  const graph::Csr g = chain(8);
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  EXPECT_THROW(multi_source_bfs_batched(dev, dg, {}), std::invalid_argument);
+}
+
+TEST(MultiBfsBatched, UnreachableSourcesStayIsolated) {
+  // Two disconnected chains: a BFS from one never reaches the other.
+  std::vector<graph::Edge> e;
+  for (graph::vid_t v = 0; v + 1 < 10; ++v) e.push_back({v, v + 1});
+  for (graph::vid_t v = 10; v + 1 < 20; ++v) e.push_back({v, v + 1});
+  const graph::Csr g = graph::build_csr(20, std::move(e));
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+
+  const std::vector<graph::vid_t> sources = {0, 15};
+  const MultiBfsResult r = multi_source_bfs_batched(dev, dg, sources);
+  ASSERT_EQ(r.levels.size(), 2u);
+  for (graph::vid_t v = 0; v < 10; ++v) {
+    EXPECT_GE(r.levels[0][v], 0) << v;
+    EXPECT_EQ(r.levels[1][v], -1) << v;
+  }
+  for (graph::vid_t v = 10; v < 20; ++v) {
+    EXPECT_EQ(r.levels[0][v], -1) << v;
+    EXPECT_GE(r.levels[1][v], 0) << v;
+  }
+  EXPECT_EQ(r.levels[0], graph::reference_bfs(g, 0));
+  EXPECT_EQ(r.levels[1], graph::reference_bfs(g, 15));
+}
+
+TEST(MultiBfsBatched, DuplicateSourcesEachGetTheirOwnLevels) {
+  const graph::Csr g = undirected_rmat(9, 23);
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  const auto giant = graph::largest_component_vertices(g);
+  const graph::vid_t hot = giant[0];
+  const std::vector<graph::vid_t> sources = {hot, giant[1], hot, hot,
+                                             giant[2], giant[1]};
+  const MultiBfsResult r = multi_source_bfs_batched(dev, dg, sources);
+  ASSERT_EQ(r.levels.size(), sources.size());
+  const auto ref_hot = graph::reference_bfs(g, hot);
+  EXPECT_EQ(r.levels[0], ref_hot);
+  EXPECT_EQ(r.levels[2], ref_hot);
+  EXPECT_EQ(r.levels[3], ref_hot);
+  EXPECT_EQ(r.levels[1], r.levels[5]);
+  EXPECT_EQ(r.levels[4], graph::reference_bfs(g, giant[2]));
+}
+
+// --- agreement with the single-source runner --------------------------------
+
+TEST(MultiBfsBatched, ByteIdenticalToXbfsOnRmat) {
+  const graph::Csr g = undirected_rmat(11, 24);
+  sim::Device dev = make_device();
+  dev.warmup();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  const auto giant = graph::largest_component_vertices(g);
+
+  std::vector<graph::vid_t> sources;
+  for (int i = 0; i < 70; ++i) {
+    sources.push_back(giant[(i * 613) % giant.size()]);
+  }
+  const MultiBfsResult batched = multi_source_bfs_batched(dev, dg, sources);
+
+  core::Xbfs xbfs(dev, dg);
+  for (std::size_t si : {0ul, 1ul, 33ul, 64ul, 69ul}) {
+    const core::BfsResult single = xbfs.run(sources[si]);
+    ASSERT_EQ(batched.levels[si], single.levels) << "source " << sources[si];
+  }
+}
+
+TEST(MultiBfsBatched, ByteIdenticalToXbfsOnChain) {
+  // A deep, pencil-thin graph: the worst case for frontier heuristics and
+  // a stress test for level-at-a-time agreement.
+  const graph::Csr g = chain(512);
+  sim::Device dev = make_device();
+  auto dg = graph::DeviceCsr::upload(dev, g);
+
+  const std::vector<graph::vid_t> sources = {0, 255, 511, 0, 100};
+  const MultiBfsResult batched = multi_source_bfs_batched(dev, dg, sources);
+
+  core::Xbfs xbfs(dev, dg);
+  for (std::size_t si = 0; si < sources.size(); ++si) {
+    const core::BfsResult single = xbfs.run(sources[si]);
+    ASSERT_EQ(batched.levels[si], single.levels) << "source " << sources[si];
+    ASSERT_EQ(batched.levels[si], graph::reference_bfs(g, sources[si]));
+  }
+}
+
+// --- group_sources contract --------------------------------------------------
+
+TEST(GroupSources, DeduplicatesRepeatedSources) {
+  const graph::Csr g = chain(64);
+  const std::vector<graph::vid_t> sources = {5, 9, 5, 5, 40, 9, 5};
+  const auto grouped = group_sources(g, sources, 4);
+  std::vector<graph::vid_t> sorted = grouped;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<graph::vid_t>{5, 9, 40}));
+}
+
+TEST(GroupSources, AllDuplicatesCollapseToOne) {
+  const graph::Csr g = chain(16);
+  const auto grouped = group_sources(g, {3, 3, 3, 3, 3}, 64);
+  EXPECT_EQ(grouped, (std::vector<graph::vid_t>{3}));
+}
+
+TEST(GroupSources, ClampsOversizedGroupSize) {
+  // group_size > 64 can never be dispatched in one sweep; the call must
+  // clamp rather than build impossible groups (and must not crash).
+  const graph::Csr g = undirected_rmat(9, 25);
+  const auto giant = graph::largest_component_vertices(g);
+  std::vector<graph::vid_t> sources;
+  for (std::size_t i = 0; i < 96 && i < giant.size(); ++i) {
+    sources.push_back(giant[i]);
+  }
+  auto distinct = sources;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+
+  for (unsigned gs : {1000u, 65u, 0u}) {
+    const auto grouped = group_sources(g, sources, gs);
+    ASSERT_EQ(grouped.size(), distinct.size()) << "group_size " << gs;
+    auto sorted = grouped;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, distinct) << "group_size " << gs;
+  }
+}
+
+TEST(GroupSources, PreservesFirstOccurrenceOrderWhenTrivial) {
+  // group_size == 1 (after clamp) keeps the deduped input order: there is
+  // nothing to group.
+  const graph::Csr g = chain(32);
+  const auto grouped = group_sources(g, {20, 4, 20, 8, 4}, 1);
+  EXPECT_EQ(grouped, (std::vector<graph::vid_t>{20, 4, 8}));
+}
+
+}  // namespace
+}  // namespace xbfs::algos
