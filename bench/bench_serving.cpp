@@ -12,11 +12,18 @@
 //                 [--zipf=1.0] [--candidates=64] [--clients=8] [--gcds=1]
 //                 [--min-sweep=N] [--naive-queries=N] [--open-qps=Q]
 //                 [--timeout-ms=T] [--seed=1] [--check=MIN_SPEEDUP]
+//                 [--chaos] [--fault-kernel=R] [--fault-memcpy=R]
+//                 [--fault-stall=R] [--fault-seed=S] [--chaos-check=MAX_RATIO]
 //
 // --open-qps switches the serving phase from the closed-loop driver to
 // open-loop paced arrivals.  --naive-queries subsamples the (slow) naive
 // baseline; QPS is a rate, so the comparison stays apples-to-apples.
 // --check exits non-zero unless served/naive speedup reaches the bound.
+//
+// --chaos reruns the same load against a second server with the fault
+// injector on (defaults: 5% kernel faults, 2% memcpy corruption).  The run
+// fails if any admitted query resolves Failed, and --chaos-check bounds the
+// p99 latency inflation (chaos p99 / fault-free p99).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include "graph/device_csr.h"
 #include "graph/reference.h"
 #include "graph/rmat.h"
+#include "hipsim/fault.h"
 #include "obs/run_report.h"
 #include "serve/server.h"
 #include "serve/workload.h"
@@ -49,6 +57,13 @@ struct Options {
   double timeout_ms = 0.0;
   std::uint64_t seed = 1;
   double check = 0.0;  ///< required served/naive speedup; 0 = report only
+
+  bool chaos = false;  ///< rerun the load with fault injection on
+  double fault_kernel = 0.05;
+  double fault_memcpy = 0.02;
+  double fault_stall = 0.0;
+  std::uint64_t fault_seed = 42;
+  double chaos_check = 0.0;  ///< max chaos/clean p99 ratio; 0 = report only
 };
 
 Options parse(int argc, char** argv) {
@@ -75,6 +90,12 @@ Options parse(int argc, char** argv) {
     else if ((v = num("--timeout-ms"))) o.timeout_ms = std::atof(v);
     else if ((v = num("--seed"))) o.seed = std::atoll(v);
     else if ((v = num("--check"))) o.check = std::atof(v);
+    else if (std::strcmp(argv[i], "--chaos") == 0) o.chaos = true;
+    else if ((v = num("--fault-kernel"))) o.fault_kernel = std::atof(v);
+    else if ((v = num("--fault-memcpy"))) o.fault_memcpy = std::atof(v);
+    else if ((v = num("--fault-stall"))) o.fault_stall = std::atof(v);
+    else if ((v = num("--fault-seed"))) o.fault_seed = std::atoll(v);
+    else if ((v = num("--chaos-check"))) o.chaos_check = std::atof(v);
     else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::exit(2);
@@ -89,6 +110,12 @@ Options parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace xbfs;
   const Options opt = parse(argc, argv);
+
+  // The bench owns the fault injector: the naive baseline and the clean
+  // serving phase have no retry layer / must stay fault-free for an honest
+  // p99 baseline, so ambient XBFS_FAULTS is cleared here and chaos is
+  // opted into with --chaos.
+  sim::FaultInjector::global().disable();
 
   std::printf("bench_serving: RMAT scale=%u ef=%u, %zu queries, Zipf(%.2f) "
               "over %zu sources, %u clients, %u GCD(s)\n",
@@ -198,6 +225,74 @@ int main(int argc, char** argv) {
               st.latency_mean_ms, st.latency_max_ms, st.queue_p50_ms,
               st.queue_p99_ms);
 
+  // --- chaos phase: the same load with the fault injector on ----------------
+  serve::LoadReport crep;
+  serve::ServerStats cst;
+  double p99_ratio = 0.0;
+  std::uint64_t injected = 0;
+  if (opt.chaos) {
+    sim::FaultConfig fc;
+    fc.kernel_fault_rate = opt.fault_kernel;
+    fc.memcpy_corruption_rate = opt.fault_memcpy;
+    fc.worker_stall_rate = opt.fault_stall;
+    fc.seed = opt.fault_seed;
+    sim::FaultInjector::global().configure(fc);
+    std::printf("chaos:  kernel=%.3f memcpy=%.3f stall=%.3f seed=%llu\n",
+                fc.kernel_fault_rate, fc.memcpy_corruption_rate,
+                fc.worker_stall_rate,
+                static_cast<unsigned long long>(fc.seed));
+
+    serve::Server chaos_server(g, scfg);
+    crep = opt.open_qps > 0.0
+               ? serve::run_open_loop(chaos_server, sources, lopt)
+               : serve::run_closed_loop(chaos_server, sources, lopt);
+
+    // Under faults the served levels must still match the host reference.
+    {
+      serve::Admission probe = chaos_server.submit(sources[0]);
+      if (!probe.accepted) return 1;
+      const serve::QueryResult r = probe.result.get();
+      if (r.status != serve::QueryStatus::Completed ||
+          *r.levels != graph::reference_bfs(g, sources[0])) {
+        std::fprintf(stderr, "chaos levels diverge from reference\n");
+        return 1;
+      }
+    }
+
+    chaos_server.shutdown();
+    cst = chaos_server.stats();
+    injected = sim::FaultInjector::global().total_injected();
+    sim::FaultInjector::global().disable();
+
+    p99_ratio = st.latency_p99_ms > 0.0 ? cst.latency_p99_ms / st.latency_p99_ms
+                                        : 0.0;
+    std::printf("chaos:  %llu completed (%llu expired, %llu rejected, %llu "
+                "failed) in %.1f ms -> %.1f QPS\n",
+                static_cast<unsigned long long>(crep.completed),
+                static_cast<unsigned long long>(crep.expired),
+                static_cast<unsigned long long>(crep.rejected),
+                static_cast<unsigned long long>(cst.failed), crep.wall_ms,
+                crep.qps);
+    std::printf("        injected %llu  seen %llu  retries %llu  validation "
+                "fail/pass %llu/%llu\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(cst.faults_seen),
+                static_cast<unsigned long long>(cst.retries),
+                static_cast<unsigned long long>(cst.validation_failures),
+                static_cast<unsigned long long>(cst.validated_results));
+    std::printf("        degraded %llu  host fallbacks %llu  rerouted %llu  "
+                "timeouts %llu  breaker open/half/close %llu/%llu/%llu\n",
+                static_cast<unsigned long long>(cst.degraded_queries),
+                static_cast<unsigned long long>(cst.host_fallbacks),
+                static_cast<unsigned long long>(cst.rerouted),
+                static_cast<unsigned long long>(cst.dispatch_timeouts),
+                static_cast<unsigned long long>(cst.breaker_opens),
+                static_cast<unsigned long long>(cst.breaker_half_opens),
+                static_cast<unsigned long long>(cst.breaker_closes));
+    std::printf("        latency p99 %.3f ms vs clean %.3f ms -> %.2fx\n",
+                cst.latency_p99_ms, st.latency_p99_ms, p99_ratio);
+  }
+
   if (report.enabled()) {
     obs::RunRecord rec;
     rec.tool = "bench_serving";
@@ -222,6 +317,40 @@ int main(int argc, char** argv) {
     };
     report.add(std::move(rec));
   }
+  if (report.enabled() && opt.chaos) {
+    obs::RunRecord rec;
+    rec.tool = "bench_serving-chaos";
+    rec.algorithm = "bfs-serving-chaos";
+    rec.n = g.num_vertices();
+    rec.m = g.num_edges();
+    rec.total_ms = crep.wall_ms;
+    char buf[32];
+    auto f = [&](double v) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return std::string(buf);
+    };
+    rec.config = {
+        {"queries", std::to_string(opt.queries)},
+        {"fault_kernel", f(opt.fault_kernel)},
+        {"fault_memcpy", f(opt.fault_memcpy)},
+        {"fault_stall", f(opt.fault_stall)},
+        {"fault_seed", std::to_string(opt.fault_seed)},
+        {"injected", std::to_string(injected)},
+        {"completed", std::to_string(cst.completed)},
+        {"failed", std::to_string(cst.failed)},
+        {"faults_seen", std::to_string(cst.faults_seen)},
+        {"retries", std::to_string(cst.retries)},
+        {"validation_failures", std::to_string(cst.validation_failures)},
+        {"validated_results", std::to_string(cst.validated_results)},
+        {"degraded_queries", std::to_string(cst.degraded_queries)},
+        {"host_fallbacks", std::to_string(cst.host_fallbacks)},
+        {"breaker_opens", std::to_string(cst.breaker_opens)},
+        {"p99_clean_ms", f(st.latency_p99_ms)},
+        {"p99_chaos_ms", f(cst.latency_p99_ms)},
+        {"p99_ratio", f(p99_ratio)},
+    };
+    report.add(std::move(rec));
+  }
 
   if (lrep.completed + lrep.expired + lrep.rejected != opt.queries) {
     std::fprintf(stderr, "lost queries: %llu+%llu+%llu != %zu\n",
@@ -234,6 +363,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "speedup %.2fx below required %.2fx\n", speedup,
                  opt.check);
     return 1;
+  }
+  if (opt.chaos) {
+    if (crep.completed + crep.expired + crep.rejected != opt.queries) {
+      std::fprintf(stderr, "chaos lost queries: %llu+%llu+%llu != %zu\n",
+                   static_cast<unsigned long long>(crep.completed),
+                   static_cast<unsigned long long>(crep.expired),
+                   static_cast<unsigned long long>(crep.rejected),
+                   opt.queries);
+      return 1;
+    }
+    if (cst.failed != 0) {
+      std::fprintf(stderr, "chaos: %llu queries resolved Failed\n",
+                   static_cast<unsigned long long>(cst.failed));
+      return 1;
+    }
+    if (opt.chaos_check > 0.0 && p99_ratio > opt.chaos_check) {
+      std::fprintf(stderr, "chaos p99 inflation %.2fx above allowed %.2fx\n",
+                   p99_ratio, opt.chaos_check);
+      return 1;
+    }
   }
   return 0;
 }

@@ -97,4 +97,19 @@ CpuBfsResult cpu_bfs_parallel(const Csr& g, vid_t src, unsigned num_threads) {
   return finalize(g, std::move(out), ms);
 }
 
+core::BfsResult CpuBfsEngine::run(vid_t src) {
+  CpuBfsResult host = mode_ == Mode::Serial
+                          ? cpu_bfs_serial(g_, src)
+                          : cpu_bfs_parallel(g_, src, num_threads_);
+  core::BfsResult r;
+  std::int32_t max_level = -1;
+  for (std::int32_t l : host.levels) max_level = std::max(max_level, l);
+  r.depth = static_cast<std::uint32_t>(max_level + 1);
+  r.levels = std::move(host.levels);
+  r.total_ms = host.wall_ms;
+  r.edges_traversed = host.edges_traversed;
+  r.gteps = host.gteps;
+  return r;
+}
+
 }  // namespace xbfs::baseline

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/traversal_engine.h"
 #include "graph/csr.h"
 
 namespace xbfs::baseline {
@@ -25,5 +26,32 @@ CpuBfsResult cpu_bfs_serial(const graph::Csr& g, graph::vid_t src);
 /// atomic level claims.  num_threads==0 uses hardware concurrency.
 CpuBfsResult cpu_bfs_parallel(const graph::Csr& g, graph::vid_t src,
                               unsigned num_threads = 0);
+
+/// TraversalEngine adapter over the host BFS implementations.  Runs on real
+/// CPU threads, never on the simulated device — which makes it immune to
+/// injected device faults and the terminal rung of the serving engine's
+/// degradation ladder.
+class CpuBfsEngine final : public core::TraversalEngine {
+ public:
+  enum class Mode { Serial, Parallel };
+
+  explicit CpuBfsEngine(const graph::Csr& g, Mode mode = Mode::Parallel,
+                        unsigned num_threads = 0)
+      : g_(g), mode_(mode), num_threads_(num_threads) {}
+
+  core::BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override {
+    return mode_ == Mode::Serial ? "cpu-serial" : "cpu-parallel";
+  }
+  core::EngineCapabilities capabilities() const override {
+    return {};  // host-side: not on_device, not adaptive, no parents
+  }
+
+ private:
+  const graph::Csr& g_;
+  Mode mode_;
+  unsigned num_threads_;
+};
 
 }  // namespace xbfs::baseline

@@ -22,14 +22,19 @@ struct GunrockConfig {
   unsigned grid_blocks = 0;  ///< 0 = auto
 };
 
-class GunrockLikeBfs {
+class GunrockLikeBfs final : public core::TraversalEngine {
  public:
   /// Allocates the O(|E|) edge-frontier buffers up front (the space cost
   /// the paper calls out).
   GunrockLikeBfs(sim::Device& dev, const graph::DeviceCsr& g,
                  GunrockConfig cfg = {});
 
-  core::BfsResult run(graph::vid_t src);
+  core::BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override { return "gunrock-like"; }
+  core::EngineCapabilities capabilities() const override {
+    return {.on_device = true};
+  }
 
  private:
   sim::Device& dev_;

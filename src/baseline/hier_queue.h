@@ -20,12 +20,17 @@ struct HierQueueConfig {
   unsigned block_queue_capacity = 1024;  ///< LDS entries per block
 };
 
-class HierQueueBfs {
+class HierQueueBfs final : public core::TraversalEngine {
  public:
   HierQueueBfs(sim::Device& dev, const graph::DeviceCsr& g,
                HierQueueConfig cfg = {});
 
-  core::BfsResult run(graph::vid_t src);
+  core::BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override { return "hier-queue"; }
+  core::EngineCapabilities capabilities() const override {
+    return {.on_device = true};
+  }
 
  private:
   sim::Device& dev_;

@@ -18,12 +18,17 @@ struct SimpleScanConfig {
   unsigned grid_blocks = 0;
 };
 
-class SimpleScanBfs {
+class SimpleScanBfs final : public core::TraversalEngine {
  public:
   SimpleScanBfs(sim::Device& dev, const graph::DeviceCsr& g,
                 SimpleScanConfig cfg = {});
 
-  core::BfsResult run(graph::vid_t src);
+  core::BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override { return "simple-scan"; }
+  core::EngineCapabilities capabilities() const override {
+    return {.on_device = true};
+  }
 
  private:
   sim::Device& dev_;

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "core/status_code.h"
+
 namespace xbfs::core {
 
 /// Frontier-queue generation strategy (paper Sec. III).
@@ -85,6 +87,14 @@ struct XbfsConfig {
   /// active.  High-QPS consumers (the serving engine runs thousands of
   /// traversals per process) turn this off and report their own summary.
   bool report_runs = true;
+
+  /// Reject nonsense configurations with a diagnostic instead of letting
+  /// them silently misbehave.  Checked: alpha > 0 and finite (the adaptive
+  /// range is (0,1); values above 1 are the documented "disable bottom-up"
+  /// idiom and stay valid), growth_threshold > 0 and finite,
+  /// block_threads >= 1, TripleBinned bin edges ordered.  Called by the
+  /// Xbfs constructor and serve::Server startup.
+  Status validate() const;
 };
 
 }  // namespace xbfs::core

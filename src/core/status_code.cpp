@@ -1,0 +1,30 @@
+#include "core/status_code.h"
+
+namespace xbfs {
+
+const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::InvalidArgument: return "invalid-argument";
+    case StatusCode::QueueFull: return "queue-full";
+    case StatusCode::ShuttingDown: return "shutting-down";
+    case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::Unavailable: return "unavailable";
+    case StatusCode::DataCorruption: return "data-corruption";
+    case StatusCode::FaultInjected: return "fault-injected";
+    case StatusCode::ResourceExhausted: return "resource-exhausted";
+    case StatusCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  std::string s = status_code_name(code_);
+  if (!detail_.empty()) {
+    s += ": ";
+    s += detail_;
+  }
+  return s;
+}
+
+}  // namespace xbfs

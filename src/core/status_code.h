@@ -1,0 +1,88 @@
+// Unified operation status for the public API: a code plus a free-form
+// detail string.  Replaces the ad-hoc bool returns and per-subsystem
+// rejection enums (serve::RejectReason is now a deprecated projection of
+// this type).  Statuses are cheap values — Ok carries no allocation — and
+// every failure names what went wrong, so callers never have to guess why
+// an operation was turned away.
+//
+// Lives in namespace xbfs (not xbfs::core): the whole stack — config
+// validation, admission control, the resilient serving path — speaks it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xbfs {
+
+enum class StatusCode : std::uint8_t {
+  Ok = 0,
+  InvalidArgument,    ///< caller error: bad config value, out-of-range source
+  QueueFull,          ///< admission backpressure: retry later
+  ShuttingDown,       ///< component no longer accepts work
+  DeadlineExceeded,   ///< deadline passed before the work ran
+  Unavailable,        ///< no healthy executor (all circuit breakers open)
+  DataCorruption,     ///< result failed validation (corrupted transfer)
+  FaultInjected,      ///< a simulated fault aborted the operation
+  ResourceExhausted,  ///< out of memory / retry budget spent
+  Internal,           ///< unexpected failure; detail carries the exception
+};
+
+/// Stable lowercase-kebab name ("ok", "queue-full", ...).
+const char* status_code_name(StatusCode c);
+
+class Status {
+ public:
+  /// Default-constructed status is success.
+  Status() = default;
+  Status(StatusCode code, std::string detail)
+      : code_(code), detail_(std::move(detail)) {}
+
+  // Factories, so call sites read as the outcome they report.
+  static Status Ok() { return {}; }
+  static Status Invalid(std::string d) {
+    return {StatusCode::InvalidArgument, std::move(d)};
+  }
+  static Status QueueFull(std::string d) {
+    return {StatusCode::QueueFull, std::move(d)};
+  }
+  static Status ShuttingDown(std::string d) {
+    return {StatusCode::ShuttingDown, std::move(d)};
+  }
+  static Status DeadlineExceeded(std::string d) {
+    return {StatusCode::DeadlineExceeded, std::move(d)};
+  }
+  static Status Unavailable(std::string d) {
+    return {StatusCode::Unavailable, std::move(d)};
+  }
+  static Status Corruption(std::string d) {
+    return {StatusCode::DataCorruption, std::move(d)};
+  }
+  static Status Fault(std::string d) {
+    return {StatusCode::FaultInjected, std::move(d)};
+  }
+  static Status Exhausted(std::string d) {
+    return {StatusCode::ResourceExhausted, std::move(d)};
+  }
+  static Status Internal(std::string d) {
+    return {StatusCode::Internal, std::move(d)};
+  }
+
+  bool ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+  /// "queue-full: admission queue at capacity (4096)" / "ok".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& s, StatusCode c) {
+    return s.code_ == c;
+  }
+  friend bool operator==(StatusCode c, const Status& s) {
+    return s.code_ == c;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string detail_;
+};
+
+}  // namespace xbfs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <string>
 
 #include "core/kernels_bottomup.h"
@@ -18,6 +19,14 @@ using graph::eid_t;
 using graph::vid_t;
 
 namespace {
+
+/// Fail construction loudly on a nonsense configuration instead of
+/// clamping it into something the caller never asked for.
+void check_config(const XbfsConfig& cfg) {
+  if (const Status s = cfg.validate(); !s.ok()) {
+    throw std::invalid_argument("XbfsConfig: " + s.to_string());
+  }
+}
 
 std::uint32_t pick_segment_size(const sim::DeviceProfile& profile,
                                 const XbfsConfig& cfg) {
@@ -54,7 +63,7 @@ struct Xbfs::FrontierState {
 Xbfs::Xbfs(sim::Device& dev, const graph::DeviceCsr& g, XbfsConfig cfg)
     : dev_(dev),
       g_(g),
-      cfg_(cfg),
+      cfg_((check_config(cfg), cfg)),
       policy_(cfg),
       buffers_(BfsBuffers::allocate(
           dev, g.n, pick_segment_size(dev.profile(), cfg),

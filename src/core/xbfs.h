@@ -15,49 +15,27 @@
 #include "core/config.h"
 #include "core/frontier.h"
 #include "core/policy.h"
+#include "core/traversal_engine.h"  // BfsResult/LevelStats/safe_gteps live here
 #include "graph/device_csr.h"
 #include "hipsim/device.h"
 
 namespace xbfs::core {
 
-/// Telemetry for one BFS level.
-struct LevelStats {
-  std::uint32_t level = 0;
-  Strategy strategy = Strategy::ScanFree;
-  bool skipped_generation = false;   ///< NFG variant fired
-  std::uint64_t frontier_count = 0;  ///< vertices expanded this level
-  std::uint64_t frontier_edges = 0;  ///< their total degree
-  double ratio = 0.0;                ///< frontier_edges / |E|
-  double time_ms = 0.0;              ///< modelled level time (kernels+syncs)
-  double fetch_kb = 0.0;             ///< HBM fetch traffic this level
-  unsigned kernels = 0;              ///< kernel launches this level
-};
-
-/// GTEPS = edges traversed / (total_ms * 1e6), guarded so trivial runs
-/// (single-vertex graphs, zero modelled time) report 0 rather than inf/nan.
-/// Every runner — XBFS, baselines, dist — computes throughput through this.
-inline double safe_gteps(std::uint64_t edges_traversed, double total_ms) {
-  if (!std::isfinite(total_ms) || total_ms <= 0.0) return 0.0;
-  return static_cast<double>(edges_traversed) / (total_ms * 1e6);
-}
-
-struct BfsResult {
-  std::vector<std::int32_t> levels;  ///< -1 = unreached
-  std::vector<graph::vid_t> parent;  ///< empty unless cfg.build_parents
-  std::vector<LevelStats> level_stats;
-  double total_ms = 0.0;             ///< modelled end-to-end traversal time
-  std::uint64_t edges_traversed = 0; ///< undirected edges in the traversal
-  double gteps = 0.0;                ///< edges_traversed / total_ms
-  std::uint32_t depth = 0;           ///< number of BFS levels run
-};
-
-class Xbfs {
+class Xbfs final : public TraversalEngine {
  public:
   /// Buffers are sized once for the graph; run() may be called repeatedly
   /// (the n-to-n evaluation reuses one instance across sources).
+  /// Throws std::invalid_argument when cfg.validate() fails.
   Xbfs(sim::Device& dev, const graph::DeviceCsr& g, XbfsConfig cfg = {});
 
-  BfsResult run(graph::vid_t src);
+  BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override { return "xbfs"; }
+  EngineCapabilities capabilities() const override {
+    return {.on_device = true,
+            .adaptive = cfg_.forced_strategy < 0,
+            .builds_parents = cfg_.build_parents};
+  }
 
   const XbfsConfig& config() const { return cfg_; }
   XbfsConfig& mutable_config() { return cfg_; }

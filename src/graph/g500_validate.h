@@ -30,4 +30,26 @@ std::string validate_graph500(const Csr& g, vid_t src,
 std::vector<std::int32_t> levels_from_parents(const Csr& g, vid_t src,
                                               const std::vector<vid_t>& parent);
 
+/// Graph500-style validation of a *levels* array, without running a
+/// reference traversal: O(|V| + |E|) and no allocation proportional to the
+/// frontier.  Returns empty on success, else a diagnostic.
+///
+/// The four rules are a complete oracle — they hold iff `levels` equals the
+/// exact hop distances from `src`:
+///   1. levels[src] == 0 and no other vertex claims level 0 (and every
+///      entry is kUnreached or in [0, |V|));
+///   2. no edge joins a reached and an unreached vertex;
+///   3. every edge between reached vertices spans at most one level;
+///   4. every reached vertex at level k > 0 has a neighbor at level k-1.
+/// (<=: distances satisfy all four.  =>: rules 1+4 give an edge path of
+/// length k to any level-k vertex so dist <= level; rule 3 gives
+/// level(v) <= level(u)+1 along any path from src, so by induction
+/// level <= dist; rule 2 forces exactly the source's component reached.)
+///
+/// The serving engine uses this as its cheap corruption detector on the
+/// retry path: any single corrupted entry violates one of the rules because
+/// exact-distance labelings are unique.
+std::string validate_levels_graph500(const Csr& g, vid_t src,
+                                     const std::vector<std::int32_t>& levels);
+
 }  // namespace xbfs::graph

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "hipsim/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,12 +56,28 @@ double Device::stream_begin(Stream& s) const {
   return std::max(s.t_end_, t_floor_);
 }
 
+void Device::maybe_corrupt_copy(const char* name) {
+  FaultInjector& faults = FaultInjector::global();
+  if (!faults.enabled()) return;
+  if (!faults.should_inject(FaultKind::MemcpyCorruption)) return;
+  pending_corruption_ = true;
+  ++corrupted_copies_;
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("sim.faults.memcpy").add();
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    tr.instant(std::string("fault.") + name, "fault", "stream:default",
+               trace_pid_, now_us());
+  }
+}
+
 double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
   const double t = profile_.memcpy_overhead_us +
                    static_cast<double>(bytes) / profile_.h2d_bytes_per_us;
   const double begin = stream_begin(s);
   s.t_end_ = begin + t;
   trace_memcpy("memcpy_h2d", s, begin, t, bytes);
+  maybe_corrupt_copy("memcpy_h2d");
   return t;
 }
 
@@ -70,6 +87,7 @@ double Device::memcpy_d2h(Stream& s, std::uint64_t bytes) {
   const double begin = stream_begin(s);
   s.t_end_ = begin + t;
   trace_memcpy("memcpy_d2h", s, begin, t, bytes);
+  maybe_corrupt_copy("memcpy_d2h");
   return t;
 }
 

@@ -74,6 +74,18 @@ class Device {
   double memcpy_h2d(std::uint64_t bytes) { return memcpy_h2d(stream(0), bytes); }
   double memcpy_d2h(std::uint64_t bytes) { return memcpy_d2h(stream(0), bytes); }
 
+  /// Injected memcpy corruption (see hipsim/fault.h).  Because modelled
+  /// copies move no real bytes, a corrupted transfer raises this flag
+  /// instead; the consumer that owns the destination data (e.g. the serving
+  /// engine reading back BFS levels) polls the flag after its copies and
+  /// poisons its own data so validators see real corruption.
+  bool take_pending_corruption() {
+    const bool p = pending_corruption_;
+    pending_corruption_ = false;
+    return p;
+  }
+  std::uint64_t corrupted_copies() const { return corrupted_copies_; }
+
   // --- execution ----------------------------------------------------------
   using KernelBody = std::function<void(BlockCtx&)>;
 
@@ -124,6 +136,7 @@ class Device {
   friend class Stream;
   std::uint64_t reserve_addr(std::uint64_t bytes);
   double stream_begin(Stream& s) const;
+  void maybe_corrupt_copy(const char* name);
   void trace_memcpy(const char* name, const Stream& s, double start_us,
                     double dur_us, std::uint64_t bytes) const;
 
@@ -137,6 +150,8 @@ class Device {
   std::uint64_t next_addr_ = 0;
   double t_floor_ = 0.0;
   bool first_launch_done_ = false;
+  bool pending_corruption_ = false;
+  std::uint64_t corrupted_copies_ = 0;
   int trace_pid_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "hipsim/device.h"
+#include "hipsim/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -41,6 +42,29 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
     throw std::invalid_argument(
         "invalid launch configuration for kernel '" + std::string(name) +
         "' (hipErrorInvalidConfiguration)");
+  }
+
+  FaultInjector& faults = FaultInjector::global();
+  double spike_us = 0.0;
+  if (faults.enabled()) {
+    if (faults.should_inject(FaultKind::KernelFault)) {
+      obs::MetricsRegistry& fmx = obs::MetricsRegistry::global();
+      if (fmx.enabled()) fmx.counter("sim.faults.kernel").add();
+      obs::TraceSession& ftr = obs::TraceSession::global();
+      if (ftr.enabled()) {
+        ftr.instant("fault.kernel", "fault", "stream:" + s.name(),
+                    trace_pid_, stream_begin(s));
+      }
+      throw FaultInjected(
+          FaultKind::KernelFault,
+          "injected kernel fault in '" + std::string(name) +
+              "' (hipErrorUnknown)");
+    }
+    if (faults.should_inject(FaultKind::LatencySpike)) {
+      spike_us = faults.latency_spike_us();
+      obs::MetricsRegistry& fmx = obs::MetricsRegistry::global();
+      if (fmx.enabled()) fmx.counter("sim.faults.spike").add();
+    }
   }
 
   const unsigned n_workers = pool_->size();
@@ -92,6 +116,9 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
     result.timing.total_us += profile_.first_launch_us;
     first_launch_done_ = true;
   }
+  // An injected latency spike lands on the modelled clock like a real SERR
+  // retrain or preemption blip would: the kernel simply takes longer.
+  result.timing.total_us += spike_us;
   result.time_us = result.timing.total_us;
 
   const double sim_start_us = stream_begin(s);

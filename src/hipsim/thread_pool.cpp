@@ -1,6 +1,9 @@
 #include "hipsim/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "hipsim/fault.h"
 
 namespace xbfs::sim {
 
@@ -25,6 +28,20 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(unsigned worker_id) {
+  // Injected worker faults (hipsim/fault.h).  A "dead" worker skips this
+  // job entirely — safe because the shared cursor lets the surviving
+  // workers (worker 0, the caller, never dies) steal its chunks; a
+  // "stalled" worker sleeps first, turning itself into a straggler the
+  // serving layer's dispatch timeout must detect.  Both hooks run before
+  // in_flight is taken so an early return leaves no accounting behind.
+  FaultInjector& faults = FaultInjector::global();
+  if (faults.enabled() && worker_id != 0) {
+    if (faults.should_inject(FaultKind::WorkerDeath)) return;
+    if (faults.should_inject(FaultKind::WorkerStall)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(faults.stall_ms()));
+    }
+  }
   job_.in_flight.fetch_add(1, std::memory_order_acq_rel);
   const std::uint64_t count = job_.count;
   const std::uint64_t chunk = job_.chunk;

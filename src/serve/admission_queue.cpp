@@ -8,15 +8,20 @@ namespace xbfs::serve {
 AdmissionQueue::AdmissionQueue(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-RejectReason AdmissionQueue::try_push(PendingQuery&& q) {
+xbfs::Status AdmissionQueue::try_push(PendingQuery&& q) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (closed_) return RejectReason::ShuttingDown;
-    if (q_.size() >= capacity_) return RejectReason::QueueFull;
+    if (closed_) {
+      return xbfs::Status::ShuttingDown("admission queue closed");
+    }
+    if (q_.size() >= capacity_) {
+      return xbfs::Status::QueueFull(
+          "admission queue at capacity (" + std::to_string(capacity_) + ")");
+    }
     q_.push_back(std::move(q));
   }
   cv_.notify_all();
-  return RejectReason::None;
+  return xbfs::Status::Ok();
 }
 
 std::size_t AdmissionQueue::pop_batch(std::vector<PendingQuery>& out,

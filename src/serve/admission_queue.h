@@ -32,9 +32,9 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Admit q, or return the rejection reason (QueueFull / ShuttingDown)
-  /// without consuming it.
-  RejectReason try_push(PendingQuery&& q);
+  /// Admit q (Status::Ok), or reject without consuming it: QueueFull at
+  /// capacity (backpressure), ShuttingDown after close().
+  xbfs::Status try_push(PendingQuery&& q);
 
   /// Move up to `max_items` pending queries into `out` (appended).  Blocks
   /// until at least one item is available or the queue is closed; after the

@@ -12,8 +12,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/status_code.h"
 #include "graph/csr.h"
 
 namespace xbfs::serve {
@@ -36,8 +38,12 @@ struct CachedResult {
 enum class QueryStatus {
   Completed,  ///< levels are valid
   Expired,    ///< deadline passed while queued; no traversal was run
+  Failed,     ///< every rung of the resilience ladder failed; see error
 };
 
+/// Deprecated: admission outcomes are now xbfs::Status (Admission::status).
+/// Kept as a shim so existing callers keep compiling; derived from Status
+/// via reject_reason_from_status.
 enum class RejectReason {
   None,
   QueueFull,      ///< admission queue at capacity (backpressure)
@@ -46,7 +52,10 @@ enum class RejectReason {
 };
 
 const char* query_status_name(QueryStatus s);
+/// Deprecated alias for xbfs::status_code_name on the admission subset.
 const char* reject_reason_name(RejectReason r);
+/// Shim mapping for callers still switching on RejectReason.
+RejectReason reject_reason_from_status(const xbfs::Status& s);
 
 struct QueryOptions {
   /// Deadline budget from enqueue, in wall milliseconds.  0 inherits the
@@ -70,12 +79,22 @@ struct QueryResult {
   double queue_ms = 0.0;     ///< enqueue -> dispatch (wall)
   double service_ms = 0.0;   ///< dispatch -> complete (wall)
   double total_ms = 0.0;     ///< enqueue -> complete (wall)
+
+  // --- resilience annotations ---------------------------------------------
+  std::string engine;        ///< TraversalEngine::name that produced levels
+                             ///< ("sweep" for the 64-way path; empty = cache)
+  unsigned attempts = 0;     ///< dispatch attempts consumed (1 = clean)
+  bool degraded = false;     ///< served below the preferred rung (fallback)
+  bool validated = false;    ///< levels passed validate_levels_graph500
+  xbfs::Status error;        ///< terminal failure detail when status==Failed
 };
 
 /// Outcome of Server::submit().
 struct Admission {
   bool accepted = false;
+  /// Deprecated mirror of `status` (reject_reason_from_status).
   RejectReason reason = RejectReason::None;
+  xbfs::Status status;              ///< Ok iff accepted
   QueryId id = 0;
   std::future<QueryResult> result;  ///< valid only when accepted
 };

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 #include "algos/multi_bfs.h"
+#include "baseline/cpu_bfs.h"
+#include "baseline/simple_scan.h"
+#include "graph/g500_validate.h"
+#include "hipsim/fault.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -18,12 +23,22 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Comma-trick helper: runs in the constructor's member-init list so an
+/// invalid config throws before any device is built.
+const ServeConfig& checked(const ServeConfig& cfg) {
+  if (const xbfs::Status s = cfg.validate(); !s.ok()) {
+    throw std::invalid_argument("ServeConfig: " + s.to_string());
+  }
+  return cfg;
+}
+
 }  // namespace
 
 const char* query_status_name(QueryStatus s) {
   switch (s) {
     case QueryStatus::Completed: return "completed";
     case QueryStatus::Expired: return "expired";
+    case QueryStatus::Failed: return "failed";
   }
   return "?";
 }
@@ -38,17 +53,67 @@ const char* reject_reason_name(RejectReason r) {
   return "?";
 }
 
+RejectReason reject_reason_from_status(const xbfs::Status& s) {
+  switch (s.code()) {
+    case xbfs::StatusCode::Ok: return RejectReason::None;
+    case xbfs::StatusCode::QueueFull: return RejectReason::QueueFull;
+    case xbfs::StatusCode::InvalidArgument: return RejectReason::InvalidSource;
+    default: return RejectReason::ShuttingDown;
+  }
+}
+
+xbfs::Status ServeConfig::validate() const {
+  if (queue_capacity < 1) {
+    return xbfs::Status::Invalid("queue_capacity must be >= 1");
+  }
+  if (num_gcds < 1) return xbfs::Status::Invalid("num_gcds must be >= 1");
+  if (device_workers < 1) {
+    return xbfs::Status::Invalid("device_workers must be >= 1");
+  }
+  if (max_batch < 1 || max_batch > algos::kMaxConcurrentSources) {
+    return xbfs::Status::Invalid(
+        "max_batch must be in [1, " +
+        std::to_string(algos::kMaxConcurrentSources) + "], got " +
+        std::to_string(max_batch));
+  }
+  if (min_sweep_sources < 1 ||
+      min_sweep_sources > algos::kMaxConcurrentSources) {
+    return xbfs::Status::Invalid(
+        "min_sweep_sources must be in [1, " +
+        std::to_string(algos::kMaxConcurrentSources) + "], got " +
+        std::to_string(min_sweep_sources));
+  }
+  if (cache_shards < 1) {
+    return xbfs::Status::Invalid("cache_shards must be >= 1");
+  }
+  if (batch_window_ms < 0.0) {
+    return xbfs::Status::Invalid("batch_window_ms must be >= 0");
+  }
+  if (max_attempts < 1) {
+    return xbfs::Status::Invalid("max_attempts must be >= 1");
+  }
+  if (retry_backoff_ms < 0.0 || retry_backoff_max_ms < 0.0) {
+    return xbfs::Status::Invalid("retry backoffs must be >= 0");
+  }
+  if (breaker_failure_threshold < 1) {
+    return xbfs::Status::Invalid("breaker_failure_threshold must be >= 1");
+  }
+  if (breaker_cooldown_ms < 0.0) {
+    return xbfs::Status::Invalid("breaker_cooldown_ms must be >= 0");
+  }
+  return xbfs.validate();
+}
+
 Server::Server(const graph::Csr& g, ServeConfig cfg)
     : host_g_(g),
-      cfg_(std::move(cfg)),
+      cfg_((checked(cfg), std::move(cfg))),
       graph_fp_(g.fingerprint()),
       queue_(cfg_.queue_capacity),
       cache_(cfg_.cache_capacity, cfg_.cache_shards),
+      health_(cfg_.num_gcds,
+              BreakerConfig{cfg_.breaker_failure_threshold,
+                            cfg_.breaker_cooldown_ms}),
       epoch_(std::chrono::steady_clock::now()) {
-  cfg_.num_gcds = std::max(1u, cfg_.num_gcds);
-  cfg_.max_batch =
-      std::clamp(cfg_.max_batch, 1u, algos::kMaxConcurrentSources);
-  cfg_.device_workers = std::max(1u, cfg_.device_workers);
   // The server reports one serving summary; per-query run records would
   // swamp XBFS_RUN_REPORT under load.
   cfg_.xbfs.report_runs = false;
@@ -63,9 +128,18 @@ Server::Server(const graph::Csr& g, ServeConfig cfg)
     gcd->dev->set_trace_label("serve-gcd" + std::to_string(i));
     gcd->dev->warmup();
     gcd->dg = graph::DeviceCsr::upload(*gcd->dev, host_g_);
-    gcd->xbfs = std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs);
+    // Degradation ladder, fastest first.  The simple-scan baseline is the
+    // second rung: far fewer kernel launches per traversal than adaptive
+    // XBFS, so under a high kernel-fault rate it has fewer chances to draw
+    // a fault while still running on the device.
+    gcd->ladder.push_back(
+        std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs));
+    gcd->ladder.push_back(
+        std::make_unique<baseline::SimpleScanBfs>(*gcd->dev, gcd->dg));
     gcds_.push_back(std::move(gcd));
   }
+  host_engine_ = std::make_unique<baseline::CpuBfsEngine>(
+      host_g_, baseline::CpuBfsEngine::Mode::Serial);
   // One pool lane per GCD (the scheduler thread participates as lane 0),
   // reusing the simulator's chunked-cursor worker pool.
   pool_ = std::make_unique<sim::ThreadPool>(cfg_.num_gcds);
@@ -89,12 +163,16 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   if (shut_down_.load(std::memory_order_acquire)) {
-    a.reason = RejectReason::ShuttingDown;
+    a.status = xbfs::Status::ShuttingDown("server is shutting down");
+    a.reason = reject_reason_from_status(a.status);
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
   if (source >= host_g_.num_vertices()) {
-    a.reason = RejectReason::InvalidSource;
+    a.status = xbfs::Status::Invalid(
+        "source " + std::to_string(source) + " >= |V| = " +
+        std::to_string(host_g_.num_vertices()));
+    a.reason = reject_reason_from_status(a.status);
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
@@ -135,14 +213,15 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
   p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
   std::future<QueryResult> fut = p.promise.get_future();
 
-  const RejectReason reason = queue_.try_push(std::move(p));
-  if (reason != RejectReason::None) {
-    a.reason = reason;
-    if (reason == RejectReason::QueueFull) {
+  xbfs::Status st = queue_.try_push(std::move(p));
+  if (!st.ok()) {
+    if (st == xbfs::StatusCode::QueueFull) {
       rejected_full_.fetch_add(1, std::memory_order_relaxed);
     } else {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     }
+    a.status = std::move(st);
+    a.reason = reject_reason_from_status(a.status);
     return a;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -245,67 +324,312 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
   return cycle_queries;
 }
 
+bool Server::validation_active() const {
+  switch (cfg_.validate_results) {
+    case ValidateResults::Always: return true;
+    case ValidateResults::Never: return false;
+    case ValidateResults::Auto: return sim::FaultInjector::global().enabled();
+  }
+  return false;
+}
+
+void Server::backoff(unsigned attempt) {
+  if (cfg_.retry_backoff_ms <= 0.0) return;
+  double ms = cfg_.retry_backoff_ms;
+  for (unsigned i = 1; i < attempt && ms < cfg_.retry_backoff_max_ms; ++i) {
+    ms *= 2.0;
+  }
+  ms = std::min(ms, cfg_.retry_backoff_max_ms);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+xbfs::Status Server::note_attempt_failure(unsigned gcd,
+                                          const xbfs::Status& why) {
+  if (why == xbfs::StatusCode::FaultInjected) {
+    faults_seen_.fetch_add(1, std::memory_order_relaxed);
+  } else if (why == xbfs::StatusCode::DataCorruption) {
+    faults_seen_.fetch_add(1, std::memory_order_relaxed);
+    validation_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  health_.record_failure(gcd, wall_us());
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter("serve.faults").add();
+    if (why == xbfs::StatusCode::DataCorruption) {
+      mx.counter("serve.validation_failures").add();
+    }
+  }
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    tr.instant("serve.fault", "serve", "serve", 0, wall_us(),
+               {{"gcd", std::to_string(gcd), true},
+                {"status", xbfs::status_code_name(why.code()), false}});
+  }
+  return why;
+}
+
+void Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
+  if (cfg_.dispatch_timeout_ms < 0.0) return;
+  const double elapsed_ms = (wall_us() - dispatch_us) / 1000.0;
+  if (elapsed_ms <= cfg_.dispatch_timeout_ms) return;
+  // Straggler: the work itself completed (the result is still used), but
+  // the device blew its budget — report it unhealthy so the next dispatch
+  // routes elsewhere while its breaker cools down.
+  dispatch_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  health_.record_failure(gcd, wall_us());
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("serve.dispatch_timeouts").add();
+}
+
+Server::Resolution Server::resolve_single(unsigned preferred,
+                                          graph::vid_t src,
+                                          unsigned attempts_so_far,
+                                          double dispatch_us) {
+  Resolution out;
+  out.attempts = attempts_so_far;
+  out.gcd = preferred;
+  const bool validate = validation_active();
+  xbfs::Status last = xbfs::Status::Unavailable("no device attempt made");
+  unsigned budget = cfg_.max_attempts;
+  const std::size_t rungs = gcds_[0]->ladder.size();
+
+  for (std::size_t rung = 0; rung < rungs && budget > 0; ++rung) {
+    while (budget > 0) {
+      const unsigned g = health_.pick(preferred, wall_us());
+      if (g == HealthTracker::kNone) {
+        last = xbfs::Status::Unavailable("all GCD circuit breakers open");
+        budget = 0;
+        break;
+      }
+      if (g != preferred) rerouted_.fetch_add(1, std::memory_order_relaxed);
+      if (out.attempts > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+      ++out.attempts;
+      --budget;
+      Gcd& gcd = *gcds_[g];
+      try {
+        core::BfsResult br;
+        bool corrupted = false;
+        {
+          std::lock_guard<std::mutex> lk(gcd.mu);
+          br = gcd.ladder[rung]->run(src);
+          corrupted = gcd.dev->take_pending_corruption();
+        }
+        if (corrupted) sim::FaultInjector::global().corrupt_levels(br.levels);
+        if (validate) {
+          const std::string verr =
+              graph::validate_levels_graph500(host_g_, src, br.levels);
+          if (!verr.empty()) {
+            last = note_attempt_failure(g, xbfs::Status::Corruption(verr));
+            backoff(out.attempts);
+            continue;
+          }
+          validated_results_.fetch_add(1, std::memory_order_relaxed);
+        }
+        note_dispatch_time(g, dispatch_us);
+        health_.record_success(g);
+        out.res.levels = std::make_shared<const std::vector<std::int32_t>>(
+            std::move(br.levels));
+        out.res.depth = br.depth;
+        out.modelled_ms = br.total_ms;
+        out.engine = gcd.ladder[rung]->name();
+        out.gcd = g;
+        // Degraded: a failed sweep preceded this, or we are below rung 0.
+        out.degraded = attempts_so_far > 0 || rung > 0;
+        out.validated = validate;
+        out.status = xbfs::Status::Ok();
+        return out;
+      } catch (const sim::FaultInjected& e) {
+        last = note_attempt_failure(g, xbfs::Status::Fault(e.what()));
+        backoff(out.attempts);
+      } catch (const std::exception& e) {
+        last = note_attempt_failure(g, xbfs::Status::Internal(e.what()));
+        backoff(out.attempts);
+      }
+    }
+  }
+
+  if (cfg_.host_fallback) {
+    // Terminal rung: the host CPU engine never touches the simulated
+    // device, so no injected fault can reach it.
+    core::BfsResult br = host_engine_->run(src);
+    host_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+    if (mx.enabled()) mx.counter("serve.host_fallbacks").add();
+    if (validate) {
+      const std::string verr =
+          graph::validate_levels_graph500(host_g_, src, br.levels);
+      if (!verr.empty()) {
+        // Cannot happen short of a bug in the host engine itself; report
+        // rather than serve a wrong answer.
+        out.status = xbfs::Status::Internal("host fallback failed validation: " + verr);
+        return out;
+      }
+      validated_results_.fetch_add(1, std::memory_order_relaxed);
+    }
+    out.res.levels = std::make_shared<const std::vector<std::int32_t>>(
+        std::move(br.levels));
+    out.res.depth = br.depth;
+    out.engine = host_engine_->name();
+    out.degraded = true;
+    out.validated = validate;
+    out.status = xbfs::Status::Ok();
+    return out;
+  }
+
+  out.status = last;
+  return out;
+}
+
+void Server::deliver_source(graph::vid_t src, const Resolution& res,
+                            SourceMap& by_src, double dispatch_us,
+                            unsigned batch_size) {
+  auto waiters = by_src.find(src);
+  if (waiters == by_src.end()) return;
+  const double complete_us = wall_us();
+
+  if (res.res) {
+    computed_sources_.fetch_add(1, std::memory_order_relaxed);
+    // Publish before resolving waiters so a submit racing with completion
+    // can already hit.  When validation is active only validated results
+    // are cacheable — a corrupted entry must never outlive its query.
+    bool publish = !validation_active() || res.validated;
+    bool wanted = false;
+    for (const PendingQuery& p : waiters->second) wanted |= !p.bypass_cache;
+    if (publish && wanted) cache_.put(graph_fp_, src, res.res);
+  }
+
+  for (PendingQuery& p : waiters->second) {
+    QueryResult r;
+    r.id = p.id;
+    r.source = p.source;
+    r.batch_size = batch_size;
+    r.gcd = res.gcd;
+    r.engine = res.engine;
+    r.attempts = res.attempts;
+    r.degraded = res.degraded;
+    r.validated = res.validated;
+    r.queue_ms = (dispatch_us - p.enqueue_us) / 1000.0;
+    r.service_ms = (complete_us - dispatch_us) / 1000.0;
+    r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
+    if (res.res) {
+      r.status = QueryStatus::Completed;
+      r.levels = res.res.levels;
+      r.depth = res.res.depth;
+      if (res.degraded) {
+        degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(r);
+    } else {
+      r.status = QueryStatus::Failed;
+      r.error = res.status;
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("serve.failed").add();
+    }
+    finish_query(std::move(p), std::move(r));
+  }
+}
+
 void Server::run_batch(unsigned worker,
                        const std::vector<graph::vid_t>& batch,
                        SourceMap& by_src, double dispatch_us) {
-  Gcd& gcd = *gcds_[worker];
-  std::vector<CachedResult> results(batch.size());
-  double modelled_ms = 0.0;
-
-  if (batch.size() == 1) {
-    // Singleton batches skip the 64-bit mask machinery: the adaptive
-    // single-source runner is strictly faster for one source.
-    core::BfsResult r = gcd.xbfs->run(batch[0]);
-    results[0].levels =
-        std::make_shared<const std::vector<std::int32_t>>(std::move(r.levels));
-    results[0].depth = r.depth;
-    modelled_ms = r.total_ms;
-    singleton_sweeps_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    algos::MultiBfsResult r =
-        algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      std::uint32_t depth = 0;
-      for (const std::int32_t lv : r.levels[i]) {
-        depth = std::max(depth, static_cast<std::uint32_t>(std::max(lv, 0)));
-      }
-      results[i].levels = std::make_shared<const std::vector<std::int32_t>>(
-          std::move(r.levels[i]));
-      results[i].depth = depth;
-    }
-    modelled_ms = r.total_ms;
-  }
+  const bool singleton = batch.size() == 1;
   sweeps_.fetch_add(1, std::memory_order_relaxed);
-  computed_sources_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (singleton) singleton_sweeps_.fetch_add(1, std::memory_order_relaxed);
 
-  const double complete_us = wall_us();
+  const bool validate = validation_active();
+  std::vector<Resolution> outcomes(batch.size());
+  double modelled_ms = 0.0;
+  bool solved = false;
+  unsigned sweep_attempts = 0;
+
+  if (!singleton) {
+    // Stage 1: the shared 64-way sweep, retried across healthy GCDs.  One
+    // corrupted or faulted attempt fails the whole unit; per-source
+    // resolution below is the degradation path.
+    while (sweep_attempts < cfg_.max_attempts) {
+      const unsigned g = health_.pick(worker, wall_us());
+      if (g == HealthTracker::kNone) break;
+      if (g != worker) rerouted_.fetch_add(1, std::memory_order_relaxed);
+      if (sweep_attempts > 0) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++sweep_attempts;
+      Gcd& gcd = *gcds_[g];
+      try {
+        algos::MultiBfsResult r;
+        bool corrupted = false;
+        {
+          std::lock_guard<std::mutex> lk(gcd.mu);
+          r = algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
+          corrupted = gcd.dev->take_pending_corruption();
+        }
+        if (corrupted) {
+          // The modelled copy moved no real bytes; realize the corruption
+          // on one deterministic source's levels so validation sees it.
+          sim::FaultInjector::global().corrupt_levels(
+              r.levels[gcd.dev->corrupted_copies() % batch.size()]);
+        }
+        if (validate) {
+          std::string verr;
+          for (std::size_t i = 0; i < batch.size() && verr.empty(); ++i) {
+            verr = graph::validate_levels_graph500(host_g_, batch[i],
+                                                   r.levels[i]);
+          }
+          if (!verr.empty()) {
+            note_attempt_failure(g, xbfs::Status::Corruption(verr));
+            backoff(sweep_attempts);
+            continue;
+          }
+          validated_results_.fetch_add(batch.size(),
+                                       std::memory_order_relaxed);
+        }
+        note_dispatch_time(g, dispatch_us);
+        health_.record_success(g);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          std::uint32_t depth = 0;
+          for (const std::int32_t lv : r.levels[i]) {
+            depth =
+                std::max(depth, static_cast<std::uint32_t>(std::max(lv, 0)));
+          }
+          Resolution& o = outcomes[i];
+          o.res.levels = std::make_shared<const std::vector<std::int32_t>>(
+              std::move(r.levels[i]));
+          o.res.depth = depth;
+          o.engine = "sweep";
+          o.attempts = sweep_attempts;
+          o.gcd = g;
+          o.validated = validate;
+          o.status = xbfs::Status::Ok();
+        }
+        modelled_ms += r.total_ms;
+        solved = true;
+        break;
+      } catch (const sim::FaultInjected& e) {
+        note_attempt_failure(g, xbfs::Status::Fault(e.what()));
+        backoff(sweep_attempts);
+      } catch (const std::exception& e) {
+        note_attempt_failure(g, xbfs::Status::Internal(e.what()));
+        backoff(sweep_attempts);
+      }
+    }
+  }
+
+  if (!solved) {
+    // Stage 2: per-source resolution through the engine ladder (also the
+    // normal path for singleton batches, where ladder[0] is exactly the
+    // pre-resilience adaptive Xbfs run).
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      outcomes[i] = resolve_single(worker, batch[i], sweep_attempts,
+                                   dispatch_us);
+      modelled_ms += outcomes[i].modelled_ms;
+    }
+  }
+
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    auto waiters = by_src.find(batch[i]);
-    // Publish before resolving waiters so a submit racing with completion
-    // can already hit.
-    bool publish = false;
-    for (const PendingQuery& p : waiters->second) {
-      publish |= !p.bypass_cache;
-    }
-    if (publish) cache_.put(graph_fp_, batch[i], results[i]);
-
-    for (PendingQuery& p : waiters->second) {
-      QueryResult r;
-      r.id = p.id;
-      r.source = p.source;
-      r.status = QueryStatus::Completed;
-      r.levels = results[i].levels;
-      r.depth = results[i].depth;
-      r.cache_hit = false;
-      r.batch_size = static_cast<unsigned>(batch.size());
-      r.gcd = worker;
-      r.queue_ms = (dispatch_us - p.enqueue_us) / 1000.0;
-      r.service_ms = (complete_us - dispatch_us) / 1000.0;
-      r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      record_latency(r);
-      finish_query(std::move(p), std::move(r));
-    }
+    deliver_source(batch[i], outcomes[i], by_src, dispatch_us,
+                   static_cast<unsigned>(batch.size()));
   }
 
   {
@@ -421,6 +745,21 @@ ServerStats Server::stats() const {
   s.singleton_sweeps = singleton_sweeps_.load(std::memory_order_relaxed);
   s.computed_sources = computed_sources_.load(std::memory_order_relaxed);
 
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.faults_seen = faults_seen_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.validation_failures =
+      validation_failures_.load(std::memory_order_relaxed);
+  s.validated_results = validated_results_.load(std::memory_order_relaxed);
+  s.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  s.host_fallbacks = host_fallbacks_.load(std::memory_order_relaxed);
+  s.dispatch_timeouts = dispatch_timeouts_.load(std::memory_order_relaxed);
+  s.rerouted = rerouted_.load(std::memory_order_relaxed);
+  const HealthTracker::Counters hc = health_.counters();
+  s.breaker_opens = hc.opens;
+  s.breaker_half_opens = hc.half_opens;
+  s.breaker_closes = hc.closes;
+
   const ResultCache::Stats cs = cache_.stats();
   s.cache_evictions = cs.evictions;
   s.cache_entries = cs.entries;
@@ -460,6 +799,8 @@ void Server::emit_summary() {
     mx.gauge("serve.qps").set(st.qps);
     mx.gauge("serve.cache_hit_rate").set(st.cache_hit_rate);
     mx.gauge("serve.batch_occupancy").set(st.mean_batch_occupancy);
+    mx.gauge("serve.breaker_opens").set(static_cast<double>(st.breaker_opens));
+    mx.gauge("serve.retries").set(static_cast<double>(st.retries));
   }
 
   obs::ReportSession& rs = obs::ReportSession::global();
@@ -502,6 +843,20 @@ void Server::emit_summary() {
       {"queue_p99_ms", fmt_double(st.queue_p99_ms)},
       {"modelled_busy_ms", fmt_double(st.modelled_busy_ms)},
       {"wall_elapsed_ms", fmt_double(st.wall_elapsed_ms)},
+      {"failed", std::to_string(st.failed)},
+      {"faults_seen", std::to_string(st.faults_seen)},
+      {"retries", std::to_string(st.retries)},
+      {"validation_failures", std::to_string(st.validation_failures)},
+      {"validated_results", std::to_string(st.validated_results)},
+      {"degraded_queries", std::to_string(st.degraded_queries)},
+      {"host_fallbacks", std::to_string(st.host_fallbacks)},
+      {"dispatch_timeouts", std::to_string(st.dispatch_timeouts)},
+      {"rerouted", std::to_string(st.rerouted)},
+      {"breaker_opens", std::to_string(st.breaker_opens)},
+      {"breaker_half_opens", std::to_string(st.breaker_half_opens)},
+      {"breaker_closes", std::to_string(st.breaker_closes)},
+      {"max_attempts", std::to_string(cfg_.max_attempts)},
+      {"host_fallback", cfg_.host_fallback ? "1" : "0"},
   };
   rs.add(std::move(r));
 }

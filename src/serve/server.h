@@ -38,15 +38,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/traversal_engine.h"
 #include "core/xbfs.h"
 #include "graph/device_csr.h"
 #include "hipsim/thread_pool.h"
 #include "obs/metrics.h"
 #include "serve/admission_queue.h"
+#include "serve/health.h"
 #include "serve/query.h"
 #include "serve/result_cache.h"
 
 namespace xbfs::serve {
+
+/// When the serving engine re-validates computed levels (Graph500 level
+/// rules, graph::validate_levels_graph500) before delivering/caching them.
+enum class ValidateResults {
+  Auto,    ///< validate iff fault injection is active (sim::FaultInjector)
+  Always,
+  Never,
+};
 
 struct ServeConfig {
   /// Admission-queue capacity; submissions beyond it are rejected with
@@ -90,6 +100,32 @@ struct ServeConfig {
   /// server emits one summary record instead of one record per query.
   core::XbfsConfig xbfs;
   sim::DeviceProfile profile = sim::DeviceProfile::mi250x_gcd();
+
+  // --- resilience ----------------------------------------------------------
+  /// Device attempts per dispatch unit (sweep or per-source run) before
+  /// degrading down the engine ladder / to the host.  1 = no retry.
+  unsigned max_attempts = 3;
+  /// Exponential backoff between retries: base * 2^(attempt-1), capped.
+  double retry_backoff_ms = 0.2;
+  double retry_backoff_max_ms = 5.0;
+  /// Straggler budget per dispatch (wall ms): a device that exceeds it is
+  /// reported to the health tracker so later work routes around it;
+  /// negative = none.
+  double dispatch_timeout_ms = -1.0;
+  /// Consecutive failures that open a GCD's circuit breaker, and how long
+  /// the breaker rejects work before probing (serve/health.h).
+  unsigned breaker_failure_threshold = 3;
+  double breaker_cooldown_ms = 25.0;
+  /// Result validation on the serving path (corruption detector).
+  ValidateResults validate_results = ValidateResults::Auto;
+  /// Terminal ladder rung: serve from the host CPU engine when every
+  /// device attempt failed.  false = such queries resolve as Failed.
+  bool host_fallback = true;
+
+  /// Reject nonsense configurations (counts >= 1, batch widths within the
+  /// 64-bit sweep mask, non-negative windows/backoffs, xbfs.validate()).
+  /// Checked by the Server constructor, which throws std::invalid_argument.
+  xbfs::Status validate() const;
 };
 
 /// Monotonic counters + latency snapshot; see docs/serving.md for the
@@ -114,6 +150,20 @@ struct ServerStats {
   std::uint64_t computed_sources = 0;  ///< distinct traversals actually run
   double mean_sources_per_sweep = 0.0;
   double mean_batch_occupancy = 0.0;   ///< mean(batch size / max_batch)
+
+  // --- resilience ----------------------------------------------------------
+  std::uint64_t failed = 0;               ///< futures resolved Failed
+  std::uint64_t faults_seen = 0;          ///< injected faults caught
+  std::uint64_t retries = 0;              ///< re-dispatches after a failure
+  std::uint64_t validation_failures = 0;  ///< results rejected by validation
+  std::uint64_t validated_results = 0;    ///< results that passed validation
+  std::uint64_t degraded_queries = 0;     ///< served below the preferred rung
+  std::uint64_t host_fallbacks = 0;       ///< sources served by the host CPU
+  std::uint64_t dispatch_timeouts = 0;    ///< straggler budget exceeded
+  std::uint64_t rerouted = 0;             ///< attempts on a non-home GCD
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
 
   double wall_elapsed_ms = 0.0;
   double qps = 0.0;                 ///< completed / wall_elapsed
@@ -165,16 +215,48 @@ class Server {
   struct Gcd {
     std::unique_ptr<sim::Device> dev;
     graph::DeviceCsr dg;
-    std::unique_ptr<core::Xbfs> xbfs;
+    /// Degradation ladder, fastest first: [0] the adaptive core::Xbfs,
+    /// [1] the simple-scan baseline (fewer kernels, fewer fault draws).
+    std::vector<std::unique_ptr<core::TraversalEngine>> ladder;
+    /// With rerouting, lanes other than this GCD's home lane may dispatch
+    /// here; the device's modelled clocks are not thread-safe.
+    std::mutex mu;
   };
   using SourceMap =
       std::unordered_map<graph::vid_t, std::vector<PendingQuery>>;
 
+  /// Outcome of resolving one dispatch unit through the resilience ladder.
+  struct Resolution {
+    CachedResult res;           ///< null levels = failed
+    xbfs::Status status;        ///< terminal failure when res is null
+    std::string engine;         ///< engine (or "sweep") that produced res
+    unsigned attempts = 0;
+    unsigned gcd = 0;
+    bool degraded = false;
+    bool validated = false;
+    double modelled_ms = 0.0;   ///< modelled device time consumed (0 = host)
+  };
+
   double wall_us() const;
+  bool validation_active() const;
   void scheduler_loop();
   std::size_t process_cycle(std::vector<PendingQuery>& pending);
   void run_batch(unsigned worker, const std::vector<graph::vid_t>& batch,
                  SourceMap& by_src, double dispatch_us);
+  /// One device attempt bookkeeping: fault/validation counters, health
+  /// report, trace instant.  Returns the Status recorded for the failure.
+  xbfs::Status note_attempt_failure(unsigned gcd, const xbfs::Status& why);
+  /// Straggler check: report + penalize when the dispatch ran past budget.
+  void note_dispatch_time(unsigned gcd, double dispatch_us);
+  /// Resolve one source through the per-GCD engine ladder, then the host
+  /// fallback.  `attempts_so_far` carries sweep attempts already burned
+  /// (reporting only; the ladder gets its own max_attempts budget).
+  Resolution resolve_single(unsigned preferred, graph::vid_t src,
+                            unsigned attempts_so_far, double dispatch_us);
+  void deliver_source(graph::vid_t src, const Resolution& r,
+                      SourceMap& by_src, double dispatch_us,
+                      unsigned batch_size);
+  void backoff(unsigned attempt);
   void complete_expired(PendingQuery&& p, double now_us);
   void complete_from_cache(PendingQuery&& p, CachedResult hit, double now_us);
   void finish_query(PendingQuery&& p, QueryResult&& r);
@@ -190,6 +272,9 @@ class Server {
   ResultCache cache_;
   std::vector<std::unique_ptr<Gcd>> gcds_;
   std::unique_ptr<sim::ThreadPool> pool_;  ///< one lane per GCD
+  HealthTracker health_;
+  /// Terminal rung: host CPU BFS, immune to simulated-device faults.
+  std::unique_ptr<core::TraversalEngine> host_engine_;
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<QueryId> next_id_{0};
@@ -208,6 +293,15 @@ class Server {
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> singleton_sweeps_{0};
   std::atomic<std::uint64_t> computed_sources_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> faults_seen_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> validation_failures_{0};
+  std::atomic<std::uint64_t> validated_results_{0};
+  std::atomic<std::uint64_t> degraded_queries_{0};
+  std::atomic<std::uint64_t> host_fallbacks_{0};
+  std::atomic<std::uint64_t> dispatch_timeouts_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
 
   std::mutex cycle_mu_;  ///< one dispatch cycle at a time (pool_ is shared)
 

@@ -1,0 +1,152 @@
+// TraversalEngine conformance suite: every engine in the repository —
+// the adaptive XBFS runner, the three device baselines, the host CPU
+// engines — is exercised through the base-class interface and must produce
+// levels bit-identical to the host reference.  This interchangeability is
+// what the serving engine's degradation ladder relies on: any rung can
+// stand in for any other without clients noticing anything but latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_bfs.h"
+#include "baseline/gunrock_like.h"
+#include "baseline/hier_queue.h"
+#include "baseline/simple_scan.h"
+#include "core/xbfs.h"
+#include "graph/device_csr.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs {
+namespace {
+
+graph::Csr toy_graph(unsigned scale, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return graph::rmat_csr(p);
+}
+
+/// Everything needed to build the full engine roster against one graph.
+struct EngineRig {
+  graph::Csr g;
+  sim::Device dev;
+  graph::DeviceCsr dg;
+  std::vector<std::unique_ptr<core::TraversalEngine>> engines;
+
+  explicit EngineRig(unsigned scale, std::uint64_t seed)
+      : g(toy_graph(scale, seed)),
+        dev(sim::DeviceProfile::mi250x_gcd(),
+            sim::SimOptions{.num_workers = 1, .profiling = false}),
+        dg(graph::DeviceCsr::upload(dev, g)) {
+    dev.warmup();
+    engines.push_back(std::make_unique<core::Xbfs>(dev, dg));
+    engines.push_back(std::make_unique<baseline::SimpleScanBfs>(dev, dg));
+    engines.push_back(std::make_unique<baseline::HierQueueBfs>(dev, dg));
+    engines.push_back(std::make_unique<baseline::GunrockLikeBfs>(dev, dg));
+    engines.push_back(std::make_unique<baseline::CpuBfsEngine>(
+        g, baseline::CpuBfsEngine::Mode::Serial));
+    engines.push_back(std::make_unique<baseline::CpuBfsEngine>(
+        g, baseline::CpuBfsEngine::Mode::Parallel, 2));
+  }
+};
+
+TEST(TraversalEngine, EveryEngineMatchesTheHostReference) {
+  EngineRig rig(/*scale=*/9, /*seed=*/101);
+  const auto giant = graph::largest_component_vertices(rig.g);
+  ASSERT_FALSE(giant.empty());
+  const graph::vid_t sources[] = {giant.front(), giant[giant.size() / 2], 0};
+
+  for (const graph::vid_t src : sources) {
+    const std::vector<std::int32_t> want = graph::reference_bfs(rig.g, src);
+    for (const auto& e : rig.engines) {
+      const core::BfsResult r = e->run(src);
+      EXPECT_EQ(r.levels, want) << e->name() << " diverges from reference"
+                                << " at source " << src;
+    }
+  }
+}
+
+TEST(TraversalEngine, RepeatedRunsReuseBuffersCorrectly) {
+  EngineRig rig(/*scale=*/8, /*seed=*/102);
+  const auto giant = graph::largest_component_vertices(rig.g);
+  ASSERT_GE(giant.size(), 2u);
+  // Back-to-back runs from different sources through the same engine
+  // object: no state may leak from the first traversal into the second.
+  for (const auto& e : rig.engines) {
+    const core::BfsResult a = e->run(giant[0]);
+    const core::BfsResult b = e->run(giant[1]);
+    EXPECT_EQ(a.levels, graph::reference_bfs(rig.g, giant[0])) << e->name();
+    EXPECT_EQ(b.levels, graph::reference_bfs(rig.g, giant[1])) << e->name();
+  }
+}
+
+TEST(TraversalEngine, NamesAreStableAndDistinct) {
+  EngineRig rig(/*scale=*/8, /*seed=*/103);
+  std::vector<std::string> names;
+  for (const auto& e : rig.engines) names.emplace_back(e->name());
+  const std::vector<std::string> want = {"xbfs",       "simple-scan",
+                                         "hier-queue", "gunrock-like",
+                                         "cpu-serial", "cpu-parallel"};
+  EXPECT_EQ(names, want);
+}
+
+TEST(TraversalEngine, CapabilitiesReflectWhereAndHowTheEngineRuns) {
+  EngineRig rig(/*scale=*/8, /*seed=*/104);
+  // Device engines are faultable; host engines are not.  Only the adaptive
+  // runner picks strategies per level.
+  const core::EngineCapabilities xbfs_caps = rig.engines[0]->capabilities();
+  EXPECT_TRUE(xbfs_caps.on_device);
+  EXPECT_TRUE(xbfs_caps.adaptive);
+  EXPECT_FALSE(xbfs_caps.builds_parents);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const core::EngineCapabilities c = rig.engines[i]->capabilities();
+    EXPECT_TRUE(c.on_device) << rig.engines[i]->name();
+    EXPECT_FALSE(c.adaptive) << rig.engines[i]->name();
+  }
+  for (std::size_t i = 4; i < rig.engines.size(); ++i) {
+    EXPECT_FALSE(rig.engines[i]->capabilities().on_device)
+        << rig.engines[i]->name();
+  }
+}
+
+TEST(TraversalEngine, ForcedStrategyAndParentsShowUpInCapabilities) {
+  const graph::Csr g = toy_graph(8, 105);
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 1, .profiling = false});
+  dev.warmup();
+  const auto dg = graph::DeviceCsr::upload(dev, g);
+
+  core::XbfsConfig cfg;
+  cfg.forced_strategy = static_cast<int>(core::Strategy::SingleScan);
+  cfg.build_parents = true;
+  core::Xbfs forced(dev, dg, cfg);
+  const core::EngineCapabilities caps = forced.capabilities();
+  EXPECT_FALSE(caps.adaptive);
+  EXPECT_TRUE(caps.builds_parents);
+
+  const auto giant = graph::largest_component_vertices(g);
+  const core::BfsResult r = forced.run(giant[0]);
+  EXPECT_EQ(r.levels, graph::reference_bfs(g, giant[0]));
+  ASSERT_EQ(r.parent.size(), g.num_vertices());
+}
+
+TEST(TraversalEngine, HostEngineResultCarriesDepthAndThroughputFields) {
+  const graph::Csr g = toy_graph(9, 106);
+  const auto giant = graph::largest_component_vertices(g);
+  baseline::CpuBfsEngine cpu(g, baseline::CpuBfsEngine::Mode::Serial);
+  const core::BfsResult r = cpu.run(giant[0]);
+
+  std::int32_t max_level = 0;
+  for (const std::int32_t lv : r.levels) max_level = std::max(max_level, lv);
+  EXPECT_EQ(r.depth, static_cast<std::uint32_t>(max_level) + 1);
+  EXPECT_GT(r.edges_traversed, 0u);
+  EXPECT_GE(r.gteps, 0.0);
+}
+
+}  // namespace
+}  // namespace xbfs
