@@ -28,21 +28,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(unsigned worker_id) {
-  // Injected worker faults (hipsim/fault.h).  A "dead" worker skips this
-  // job entirely — safe because the shared cursor lets the surviving
-  // workers (worker 0, the caller, never dies) steal its chunks; a
-  // "stalled" worker sleeps first, turning itself into a straggler the
-  // serving layer's dispatch timeout must detect.  Both hooks run before
-  // in_flight is taken so an early return leaves no accounting behind.
+  // The caller registered this drain in job_.in_flight under mu_ before
+  // entering, so job_ cannot be reset while this body reads it.  The
+  // injected worker faults (hipsim/fault.h) therefore run while
+  // registered: a "dead" worker deregisters and skips the job — safe
+  // because the shared cursor lets the surviving workers (worker 0, the
+  // caller, never dies) steal its chunks; a "stalled" worker sleeps while
+  // registered, turning itself into a straggler the serving layer's
+  // dispatch timeout must detect.
   FaultInjector& faults = FaultInjector::global();
   if (faults.enabled() && worker_id != 0) {
-    if (faults.should_inject(FaultKind::WorkerDeath)) return;
+    if (faults.should_inject(FaultKind::WorkerDeath)) {
+      job_.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+      return;
+    }
     if (faults.should_inject(FaultKind::WorkerStall)) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(faults.stall_ms()));
     }
   }
-  job_.in_flight.fetch_add(1, std::memory_order_acq_rel);
   const std::uint64_t count = job_.count;
   const std::uint64_t chunk = job_.chunk;
   const auto& fn = *job_.fn;
@@ -72,6 +76,11 @@ void ThreadPool::worker_loop(unsigned worker_id) {
       cv_start_.wait(lk, [&] { return stopping_ || epoch_ != seen_epoch; });
       if (stopping_) return;
       seen_epoch = epoch_;
+      // Register under mu_: parallel_for resets job_ under the same lock
+      // only while in_flight is zero, so a registered drain always reads
+      // one coherent job even if it was woken for an epoch that has
+      // already completed.
+      job_.in_flight.fetch_add(1, std::memory_order_acq_rel);
     }
     drain(worker_id);
   }
@@ -86,13 +95,26 @@ void ThreadPool::parallel_for(
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk(mu_);
+    // A worker woken late for a *previous* epoch may have registered just
+    // before this call locked mu_ (its drain exits immediately — that
+    // job's cursor is spent — but it still reads job_'s fields).  Let it
+    // unwind before resetting job_ under the same lock that guards
+    // registration; afterwards no drain can start until the new epoch is
+    // published.
+    while (job_.in_flight.load(std::memory_order_acquire) != 0) {
+      lk.unlock();
+      std::this_thread::yield();
+      lk.lock();
+    }
     job_.count = count;
     job_.chunk = std::max<std::uint64_t>(1, count / (8ull * size()));
     job_.fn = &fn;
     job_.cursor.store(0, std::memory_order_relaxed);
     job_.done.store(0, std::memory_order_relaxed);
     ++epoch_;
+    // The calling thread registers its own drain here, like worker_loop.
+    job_.in_flight.fetch_add(1, std::memory_order_acq_rel);
   }
   cv_start_.notify_all();
   drain(/*worker_id=*/0);
@@ -102,9 +124,9 @@ void ThreadPool::parallel_for(
       return job_.done.load(std::memory_order_acquire) == job_.count;
     });
   }
-  // A worker that lost the cursor race may still be exiting drain(); it must
-  // not observe the next job's reset state through its stale local copies,
-  // so wait for every drain() to unwind before returning.
+  // A worker that lost the cursor race — or is serving an injected stall —
+  // may still be inside drain(); the caller's fn must outlive every
+  // registered drain, so wait for all of them to unwind before returning.
   while (job_.in_flight.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }

@@ -41,7 +41,7 @@ class ThreadPool {
     const std::function<void(unsigned, std::uint64_t)>* fn = nullptr;
     std::atomic<std::uint64_t> cursor{0};
     std::atomic<std::uint64_t> done{0};
-    std::atomic<int> in_flight{0};  ///< workers currently inside drain()
+    std::atomic<int> in_flight{0};  ///< registered drain()s (taken under mu_)
   };
 
   std::mutex mu_;

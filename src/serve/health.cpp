@@ -83,6 +83,8 @@ void HealthTracker::record_failure(unsigned slot, double now_us) {
 }
 
 BreakerState HealthTracker::state(unsigned slot) const {
+  // Out-of-range slots answer Open — never routable — mirroring allow().
+  if (slot >= slots_.size()) return BreakerState::Open;
   const Slot& s = slots_[slot];
   std::lock_guard<std::mutex> lk(s.mu);
   return s.state;

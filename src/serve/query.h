@@ -72,7 +72,7 @@ struct QueryResult {
   graph::vid_t source = 0;
   QueryStatus status = QueryStatus::Completed;
   Levels levels;             ///< null when status != Completed
-  std::uint32_t depth = 0;   ///< max BFS level of the traversal
+  std::uint32_t depth = 0;   ///< BFS levels run (deepest level + 1), as BfsResult::depth
   bool cache_hit = false;
   unsigned batch_size = 0;   ///< distinct sources sharing the sweep (1 = singleton Xbfs path; 0 = no traversal)
   unsigned gcd = 0;          ///< worker/device that served it

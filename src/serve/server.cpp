@@ -368,10 +368,10 @@ xbfs::Status Server::note_attempt_failure(unsigned gcd,
   return why;
 }
 
-void Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
-  if (cfg_.dispatch_timeout_ms < 0.0) return;
+bool Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
+  if (cfg_.dispatch_timeout_ms < 0.0) return false;
   const double elapsed_ms = (wall_us() - dispatch_us) / 1000.0;
-  if (elapsed_ms <= cfg_.dispatch_timeout_ms) return;
+  if (elapsed_ms <= cfg_.dispatch_timeout_ms) return false;
   // Straggler: the work itself completed (the result is still used), but
   // the device blew its budget — report it unhealthy so the next dispatch
   // routes elsewhere while its breaker cools down.
@@ -379,6 +379,7 @@ void Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
   health_.record_failure(gcd, wall_us());
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
   if (mx.enabled()) mx.counter("serve.dispatch_timeouts").add();
+  return true;
 }
 
 Server::Resolution Server::resolve_single(unsigned preferred,
@@ -425,8 +426,9 @@ Server::Resolution Server::resolve_single(unsigned preferred,
           }
           validated_results_.fetch_add(1, std::memory_order_relaxed);
         }
-        note_dispatch_time(g, dispatch_us);
-        health_.record_success(g);
+        // A straggler keeps its result but eats a breaker failure instead
+        // of a success (which would reset the failure streak).
+        if (!note_dispatch_time(g, dispatch_us)) health_.record_success(g);
         out.res.levels = std::make_shared<const std::vector<std::int32_t>>(
             std::move(br.levels));
         out.res.depth = br.depth;
@@ -560,16 +562,20 @@ void Server::run_batch(unsigned worker,
       try {
         algos::MultiBfsResult r;
         bool corrupted = false;
+        std::uint64_t corrupt_pick = 0;
         {
           std::lock_guard<std::mutex> lk(gcd.mu);
           r = algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
           corrupted = gcd.dev->take_pending_corruption();
+          // The device counters are plain fields; read them only while
+          // holding the device (rerouted lanes mutate them concurrently).
+          if (corrupted) corrupt_pick = gcd.dev->corrupted_copies();
         }
         if (corrupted) {
           // The modelled copy moved no real bytes; realize the corruption
           // on one deterministic source's levels so validation sees it.
           sim::FaultInjector::global().corrupt_levels(
-              r.levels[gcd.dev->corrupted_copies() % batch.size()]);
+              r.levels[corrupt_pick % batch.size()]);
         }
         if (validate) {
           std::string verr;
@@ -585,18 +591,20 @@ void Server::run_batch(unsigned worker,
           validated_results_.fetch_add(batch.size(),
                                        std::memory_order_relaxed);
         }
-        note_dispatch_time(g, dispatch_us);
-        health_.record_success(g);
+        // A straggler keeps its result but eats a breaker failure instead
+        // of a success (which would reset the failure streak).
+        if (!note_dispatch_time(g, dispatch_us)) health_.record_success(g);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-          std::uint32_t depth = 0;
+          std::int32_t max_level = 0;
           for (const std::int32_t lv : r.levels[i]) {
-            depth =
-                std::max(depth, static_cast<std::uint32_t>(std::max(lv, 0)));
+            max_level = std::max(max_level, lv);
           }
           Resolution& o = outcomes[i];
           o.res.levels = std::make_shared<const std::vector<std::int32_t>>(
               std::move(r.levels[i]));
-          o.res.depth = depth;
+          // Same convention as every TraversalEngine: number of BFS levels
+          // run, i.e. deepest reached level + 1.
+          o.res.depth = static_cast<std::uint32_t>(max_level) + 1;
           o.engine = "sweep";
           o.attempts = sweep_attempts;
           o.gcd = g;

@@ -247,7 +247,10 @@ class Server {
   /// report, trace instant.  Returns the Status recorded for the failure.
   xbfs::Status note_attempt_failure(unsigned gcd, const xbfs::Status& why);
   /// Straggler check: report + penalize when the dispatch ran past budget.
-  void note_dispatch_time(unsigned gcd, double dispatch_us);
+  /// Returns true when a failure was recorded — the caller must then skip
+  /// its record_success, which would reset the breaker's failure streak
+  /// and erase the penalty.
+  bool note_dispatch_time(unsigned gcd, double dispatch_us);
   /// Resolve one source through the per-GCD engine ladder, then the host
   /// fallback.  `attempts_so_far` carries sweep attempts already burned
   /// (reporting only; the ladder gets its own max_attempts budget).

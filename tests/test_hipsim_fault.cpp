@@ -191,6 +191,34 @@ TEST_F(HipsimFault, StalledAndDeadWorkersNeverLoseWork) {
   }
 }
 
+TEST_F(HipsimFault, BackToBackJobsSurviveStragglersWithoutCrossTalk) {
+  // Regression: a stalled worker used to sleep *before* registering in
+  // the pool's in_flight count, so parallel_for could return — letting
+  // the caller destroy its fn and the next call reset the job — while
+  // the sleeper woke into stale state (dangling fn, torn count/cursor,
+  // double-processed indices).  Tiny jobs dispatched back-to-back under
+  // a high stall/death rate make that window fire reliably.
+  FaultConfig cfg;
+  cfg.worker_stall_rate = 0.5;
+  cfg.stall_ms = 0.2;
+  cfg.worker_death_rate = 0.1;
+  cfg.seed = 11;
+  FaultInjector::global().configure(cfg);
+
+  ThreadPool pool(4);
+  for (int job = 0; job < 200; ++job) {
+    const std::uint64_t items = 1 + static_cast<std::uint64_t>(job % 7);
+    std::vector<std::atomic<int>> hits(items);
+    pool.parallel_for(items, [&](unsigned, std::uint64_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint64_t i = 0; i < items; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "job " << job << " item " << i;
+    }
+  }
+  FaultInjector::global().disable();
+}
+
 TEST_F(HipsimFault, CorruptLevelsAlwaysProducesADetectableCorruption) {
   graph::RmatParams p;
   p.scale = 9;

@@ -4,6 +4,7 @@
 // cache-hit paths, and race-freedom under concurrent submit + drain.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -159,7 +160,14 @@ TEST(Serving, ServedLevelsAreBitIdenticalAcrossAllPaths) {
     ASSERT_TRUE(admitted[i].accepted) << i;
     const QueryResult r = admitted[i].result.get();
     ASSERT_EQ(r.status, QueryStatus::Completed) << i;
-    EXPECT_EQ(*r.levels, graph::reference_bfs(g, sources[i]))
+    const std::vector<std::int32_t> want =
+        graph::reference_bfs(g, sources[i]);
+    EXPECT_EQ(*r.levels, want) << "source " << sources[i];
+    // The sweep path reports the same depth convention as every
+    // TraversalEngine rung: levels run = deepest reached level + 1.
+    std::int32_t max_level = 0;
+    for (const std::int32_t lv : want) max_level = std::max(max_level, lv);
+    EXPECT_EQ(r.depth, static_cast<std::uint32_t>(max_level) + 1)
         << "source " << sources[i];
   }
   // Duplicates shared traversals: only 10 distinct sources were computed.

@@ -92,6 +92,41 @@ TEST_F(ServingChaos, ModerateFaultsEveryQueryCompletesCorrect) {
   server.shutdown();
 }
 
+TEST_F(ServingChaos, StragglerPenaltiesAccumulateAndTripTheBreaker) {
+  const graph::Csr g = toy_graph(8, 47);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_GE(giant.size(), 6u);
+
+  ServeConfig cfg = chaos_config();
+  // Zero straggler budget: every completed device dispatch blows it.
+  // Regression: the success report that follows a kept straggler result
+  // used to reset the breaker's failure streak (0 -> 1 -> 0 each time),
+  // so dispatch timeouts could never trip the default threshold of 3.
+  cfg.dispatch_timeout_ms = 0.0;
+  Server server(g, cfg);
+
+  std::vector<Admission> pending;
+  for (std::size_t i = 0; i < 6; ++i) {
+    QueryOptions qo;
+    qo.bypass_cache = true;  // force a fresh device dispatch per cycle
+    Admission a = server.submit(giant[i], qo);
+    ASSERT_TRUE(a.accepted);
+    pending.push_back(std::move(a));
+    server.dispatch_once();
+  }
+  for (auto& a : pending) {
+    const QueryResult r = a.result.get();
+    // Stragglers keep their results; only the health tracker is penalized.
+    ASSERT_EQ(r.status, QueryStatus::Completed) << r.error.to_string();
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+  }
+
+  const ServerStats st = server.stats();
+  EXPECT_GE(st.dispatch_timeouts, 3u);
+  EXPECT_GE(st.breaker_opens, 1u);
+  server.shutdown();
+}
+
 TEST_F(ServingChaos, CertainCorruptionIsDetectedAndServedViaTheHost) {
   const graph::Csr g = toy_graph(9, 42);
   const auto giant = graph::largest_component_vertices(g);

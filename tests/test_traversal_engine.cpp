@@ -63,10 +63,16 @@ TEST(TraversalEngine, EveryEngineMatchesTheHostReference) {
 
   for (const graph::vid_t src : sources) {
     const std::vector<std::int32_t> want = graph::reference_bfs(rig.g, src);
+    std::int32_t max_level = 0;
+    for (const std::int32_t lv : want) max_level = std::max(max_level, lv);
     for (const auto& e : rig.engines) {
       const core::BfsResult r = e->run(src);
       EXPECT_EQ(r.levels, want) << e->name() << " diverges from reference"
                                 << " at source " << src;
+      // One depth convention across every engine (and the serving sweep
+      // path): number of BFS levels run = deepest reached level + 1.
+      EXPECT_EQ(r.depth, static_cast<std::uint32_t>(max_level) + 1)
+          << e->name() << " depth convention diverges at source " << src;
     }
   }
 }
