@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for SimSan, the hipsim device sanitizer (docs/sanitizer.md): run
+# the full traversal sweep (every XBFS strategy, every baseline, the algos
+# and the distributed layer) with XBFS_SANITIZE=all and require
+#   - zero unannotated findings (out-of-bounds / use-after-free / uninit /
+#     stale host reads / undocumented cross-block races), and
+#   - at least one allowlisted benign-race finding (the paper's bottom-up
+#     look-ahead race must stay detected-and-annotated, not invisible).
+# The binary already enforces both and prints PASS/FAIL; this wrapper pins
+# the env contract and keeps the output for triage.
+#
+#   usage: check_sanitize.sh <sanitize_sweep-binary> [workdir]
+set -euo pipefail
+
+SWEEP=${1:?usage: check_sanitize.sh <sanitize_sweep-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+OUT="$WORKDIR/check_sanitize.stdout"
+
+if ! XBFS_SANITIZE=all "$SWEEP" 10 8 1 > "$OUT" 2>&1; then
+  echo "FAIL: sanitize_sweep exited non-zero"
+  cat "$OUT"
+  exit 1
+fi
+
+grep -q "sanitize_sweep: PASS" "$OUT" || {
+  echo "FAIL: PASS line missing from sanitize_sweep output"
+  cat "$OUT"
+  exit 1
+}
+
+# Surface the sanitizer's own summary line(s) for the CI log.
+grep -E "SimSan|sanitize_sweep: PASS" "$OUT" || true
+echo "check_sanitize: PASS"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "core/status.h"  // kUnvisited, auto_grid_blocks
 
@@ -19,11 +20,11 @@ BcResult betweenness_centrality(sim::Device& dev, const graph::DeviceCsr& g,
   sim::Stream& s = dev.stream(0);
   const double t0 = dev.now_us();
 
-  auto level_buf = dev.alloc<std::uint32_t>(n);
-  auto sigma_buf = dev.alloc<double>(n);
-  auto delta_buf = dev.alloc<double>(n);
-  auto bc_buf = dev.alloc<double>(n);
-  auto active_buf = dev.alloc<std::uint32_t>(1);
+  auto level_buf = dev.alloc<std::uint32_t>(n, "bc.level");
+  auto sigma_buf = dev.alloc<double>(n, "bc.sigma");
+  auto delta_buf = dev.alloc<double>(n, "bc.delta");
+  auto bc_buf = dev.alloc<double>(n, "bc.centrality");
+  auto active_buf = dev.alloc<std::uint32_t>(1, "bc.active");
 
   auto level = level_buf.span();
   auto sigma = sigma_buf.span();
@@ -82,15 +83,24 @@ BcResult betweenness_centrality(sim::Device& dev, const graph::DeviceCsr& g,
           }
           ctx.slots(2 * (e - b) + 1, 2 * (e - b) + 1);
           if (paths > 0.0) {
-            ctx.store(level, v, cur + 1);
+            {
+              // Races with other blocks' atomic_load(level, v) probes: a
+              // probe sees kUnvisited or cur+1, and neither equals cur, so
+              // the sigma sum for this pull step is unaffected.
+              sim::racy_ok allow(ctx,
+                                 "bc pull: plain level commit vs same-pass "
+                                 "atomic level probes; joiners are never "
+                                 "read as the current level");
+              ctx.store(level, v, cur + 1);
+            }
             ctx.store(sigma, v, paths);
             ctx.atomic_add(active, 0, std::uint32_t{1});
           }
         });
       });
       s.synchronize();
-      dev.memcpy_d2h(s, sizeof(std::uint32_t));
-      if (active_buf.host_data()[0] == 0) break;
+      dev.memcpy_d2h(s, active_buf);
+      if (active_buf.h_read(0) == 0) break;
       depth = cur + 1;
     }
 
@@ -132,9 +142,10 @@ BcResult betweenness_centrality(sim::Device& dev, const graph::DeviceCsr& g,
     });
   }
 
-  dev.memcpy_d2h(s, static_cast<std::uint64_t>(n) * sizeof(double));
+  dev.memcpy_d2h(s, bc_buf);
   BcResult out;
-  out.centrality.assign(bc_buf.host_data(), bc_buf.host_data() + n);
+  const double* bc_host = std::as_const(bc_buf).host_data();
+  out.centrality.assign(bc_host, bc_host + n);
   out.total_ms = (dev.now_us() - t0) / 1000.0;
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "core/status.h"  // auto_grid_blocks
 #include "graph/csr.h"
@@ -26,12 +27,13 @@ MultiBfsResult multi_source_bfs(sim::Device& dev, const graph::DeviceCsr& g,
 
   // Per-vertex state: which searches have visited it, which reached it
   // this level, and which reach it next level.
-  auto visited = dev.alloc<std::uint64_t>(n);
-  auto frontier = dev.alloc<std::uint64_t>(n);
-  auto next = dev.alloc<std::uint64_t>(n);
-  auto active = dev.alloc<std::uint32_t>(1);  // vertices with new bits
+  auto visited = dev.alloc<std::uint64_t>(n, "mbfs.visited");
+  auto frontier = dev.alloc<std::uint64_t>(n, "mbfs.frontier");
+  auto next = dev.alloc<std::uint64_t>(n, "mbfs.next");
+  auto active = dev.alloc<std::uint32_t>(1, "mbfs.active");
   // Discovery levels, packed per source on the host afterwards.
-  auto levels = dev.alloc<std::int32_t>(static_cast<std::size_t>(n) * S);
+  auto levels = dev.alloc<std::int32_t>(static_cast<std::size_t>(n) * S,
+                                        "mbfs.levels");
 
   auto visited_s = visited.span();
   auto frontier_s = frontier.span();
@@ -59,9 +61,9 @@ MultiBfsResult multi_source_bfs(sim::Device& dev, const graph::DeviceCsr& g,
   });
   // Seed each search's source bit (host-prepared tiny kernel).
   {
-    auto srcs = dev.alloc<vid_t>(S);
-    std::copy(sources.begin(), sources.end(), srcs.host_data());
-    dev.memcpy_h2d(s, S * sizeof(vid_t));
+    auto srcs = dev.alloc<vid_t>(S, "mbfs.sources");
+    srcs.h_copy_from(sources.data(), S);
+    dev.memcpy_h2d(s, srcs);
     auto srcs_s = srcs.cspan();
     sim::LaunchConfig seed{.grid_blocks = 1, .block_threads = 64};
     dev.launch(s, "mbfs_seed", seed, [=](sim::BlockCtx& blk) {
@@ -122,8 +124,8 @@ MultiBfsResult multi_source_bfs(sim::Device& dev, const graph::DeviceCsr& g,
       });
     });
     s.synchronize();
-    dev.memcpy_d2h(s, sizeof(std::uint32_t));
-    const std::uint32_t found = active.host_data()[0];
+    dev.memcpy_d2h(s, active);
+    const std::uint32_t found = active.h_read(0);
     if (found == 0) break;
     depth = static_cast<std::uint32_t>(level);
 
@@ -137,12 +139,13 @@ MultiBfsResult multi_source_bfs(sim::Device& dev, const graph::DeviceCsr& g,
     });
   }
 
-  dev.memcpy_d2h(s, static_cast<std::uint64_t>(n) * S * sizeof(std::int32_t));
+  dev.memcpy_d2h(s, levels);
   MultiBfsResult out;
   out.levels.assign(S, std::vector<std::int32_t>(n, -1));
+  const std::int32_t* levels_host = std::as_const(levels).host_data();
   for (vid_t v = 0; v < n; ++v) {
     for (unsigned b = 0; b < S; ++b) {
-      out.levels[b][v] = levels.host_data()[static_cast<std::size_t>(v) * S + b];
+      out.levels[b][v] = levels_host[static_cast<std::size_t>(v) * S + b];
     }
   }
   out.depth = depth;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <utility>
 
 #include "core/status.h"  // auto_grid_blocks
 
@@ -41,10 +42,16 @@ void reachability(sim::Device& dev, const graph::DeviceCsr& g,
   lc.block_threads = cfg.block_threads;
   lc.grid_blocks = auto_grid_blocks(dev.profile(), n, cfg.block_threads);
   for (;;) {
-    st.changed.host_data()[0] = 0;  // host reset; re-uploaded below
-    dev.memcpy_h2d(s, sizeof(std::uint32_t));
+    st.changed.h_write(0, 0);  // host reset; re-uploaded below
+    dev.memcpy_h2d(s, st.changed);
     dev.launch(s, kernel_name, lc, [=](sim::BlockCtx& blk) {
       auto& ctx = blk.ctx();
+      // Mark propagation is monotonic 0->1 with no synchronization: plain
+      // reads race with other blocks' plain same-value stores, and a stale
+      // read only defers the mark to the next fixed-point sweep.
+      sim::racy_ok allow(ctx,
+                         "scc sweep: monotonic reachability marks; stale "
+                         "reads retry on the next sweep iteration");
       blk.grid_stride(n, [&](std::uint64_t v) {
         if (!ctx.load(mark, v) || ctx.load(color, v) != color_id ||
             ctx.load(scc, v) != kUnassigned) {
@@ -66,8 +73,8 @@ void reachability(sim::Device& dev, const graph::DeviceCsr& g,
       });
     });
     s.synchronize();
-    dev.memcpy_d2h(s, sizeof(std::uint32_t));
-    if (st.changed.host_data()[0] == 0) break;
+    dev.memcpy_d2h(s, st.changed);
+    if (st.changed.h_read(0) == 0) break;
   }
 }
 
@@ -80,11 +87,11 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
   const double t0 = dev.now_us();
 
   SccState st;
-  st.color = dev.alloc<vid_t>(n);
-  st.scc = dev.alloc<vid_t>(n);
-  st.fw = dev.alloc<std::uint8_t>(n);
-  st.bw = dev.alloc<std::uint8_t>(n);
-  st.changed = dev.alloc<std::uint32_t>(1);
+  st.color = dev.alloc<vid_t>(n, "scc.color");
+  st.scc = dev.alloc<vid_t>(n, "scc.component");
+  st.fw = dev.alloc<std::uint8_t>(n, "scc.fw_mark");
+  st.bw = dev.alloc<std::uint8_t>(n, "scc.bw_mark");
+  st.changed = dev.alloc<std::uint32_t>(1, "scc.changed");
 
   auto color = st.color.span();
   auto scc = st.scc.span();
@@ -115,8 +122,8 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
   // --- trim-1: vertices with no unassigned in- or out-neighbor in their
   // partition are singleton SCCs; iterate to a fixed point.
   for (;;) {
-    st.changed.host_data()[0] = 0;
-    dev.memcpy_h2d(s, sizeof(std::uint32_t));
+    st.changed.h_write(0, 0);
+    dev.memcpy_h2d(s, st.changed);
     const vid_t scc_base = next_scc;
     dev.launch(s, "scc_trim", lc, [=](sim::BlockCtx& blk) {
       auto& ctx = blk.ctx();
@@ -140,7 +147,13 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
           return false;
         };
         if (!live(out_offsets, out_cols) || !live(in_offsets, in_cols)) {
-          // Singleton SCC; the id is finalized host-side afterwards.
+          // Singleton SCC; the id is finalized host-side afterwards.  The
+          // plain commit races with other blocks' atomic liveness probes:
+          // a probe that still sees kUnassigned only defers that vertex's
+          // trim to the next fixed-point round.
+          sim::racy_ok allow(ctx,
+                             "scc trim: plain singleton commit vs same-pass "
+                             "atomic liveness probes");
           ctx.store(scc, v, scc_base + static_cast<vid_t>(
                                 ctx.atomic_add(changed, 0, std::uint32_t{1})));
         }
@@ -148,8 +161,8 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
       });
     });
     s.synchronize();
-    dev.memcpy_d2h(s, sizeof(std::uint32_t));
-    const std::uint32_t trimmed_now = st.changed.host_data()[0];
+    dev.memcpy_d2h(s, st.changed);
+    const std::uint32_t trimmed_now = st.changed.h_read(0);
     if (trimmed_now == 0) break;
     next_scc += trimmed_now;
     result.trimmed += trimmed_now;
@@ -162,12 +175,15 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
     worklist.pop_front();
 
     // Pivot: first unassigned vertex of this partition (host scan of the
-    // host-resident state; the d2h cost is modelled).
+    // host-resident state; the partial d2h cost is modelled).
     dev.memcpy_d2h(s, n * (sizeof(vid_t) + sizeof(vid_t)) / 8);
+    st.color.mark_host_synced();
+    st.scc.mark_host_synced();
+    const vid_t* color_host = std::as_const(st.color).host_data();
+    const vid_t* scc_host = std::as_const(st.scc).host_data();
     vid_t pivot = kUnassigned;
     for (vid_t v = 0; v < n; ++v) {
-      if (st.color.host_data()[v] == part &&
-          st.scc.host_data()[v] == kUnassigned) {
+      if (color_host[v] == part && scc_host[v] == kUnassigned) {
         pivot = v;
         break;
       }
@@ -219,8 +235,9 @@ SccResult scc_fw_bw(sim::Device& dev, const graph::DeviceCsr& fwd,
   }
 
   // Compact component ids (trim assigned provisional ids already unique).
-  dev.memcpy_d2h(s, n * sizeof(vid_t));
-  result.component.assign(st.scc.host_data(), st.scc.host_data() + n);
+  dev.memcpy_d2h(s, st.scc);
+  const vid_t* final_scc = std::as_const(st.scc).host_data();
+  result.component.assign(final_scc, final_scc + n);
   result.num_components = next_scc;
   result.total_ms = (dev.now_us() - t0) / 1000.0;
   return result;

@@ -1,6 +1,7 @@
 #include "baseline/async_sssp.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/report.h"
 #include "core/status.h"
@@ -15,9 +16,9 @@ using graph::vid_t;
 AsyncSsspBfs::AsyncSsspBfs(sim::Device& dev, const graph::DeviceCsr& g,
                            AsyncSsspConfig cfg)
     : dev_(dev), g_(g), cfg_(cfg) {
-  dist_ = dev.alloc<std::uint32_t>(g.n);
-  dirty_ = dev.alloc<std::uint8_t>(g.n);
-  counters_ = dev.alloc<std::uint32_t>(2);
+  dist_ = dev.alloc<std::uint32_t>(g.n, "sssp.dist");
+  dirty_ = dev.alloc<std::uint8_t>(g.n, "sssp.dirty");
+  counters_ = dev.alloc<std::uint32_t>(2, "sssp.counters");
 }
 
 core::BfsResult AsyncSsspBfs::run(vid_t src) {
@@ -62,6 +63,12 @@ core::BfsResult AsyncSsspBfs::run(vid_t src) {
     // frontier queue — and therefore repeated improvement cascades.
     dev_.launch(s, "sssp_relax", lc, [=](sim::BlockCtx& blk) {
       auto& ctx = blk.ctx();
+      // The dirty flags are deliberately unsynchronized (distances are the
+      // atomics): a lost set re-marks next round via atomicMin's return, a
+      // lost clear only re-relaxes an already-settled vertex.
+      sim::racy_ok allow(ctx,
+                         "async-sssp: unsynchronized dirty-flag set/clear; "
+                         "convergence is driven by atomicMin on dist");
       blk.grid_stride(n, [&](std::uint64_t v) {
         if (!ctx.load(dirty, v)) {
           ctx.slots(1, 1);
@@ -87,8 +94,8 @@ core::BfsResult AsyncSsspBfs::run(vid_t src) {
       });
     });
     s.synchronize();
-    dev_.memcpy_d2h(s, 2 * sizeof(std::uint32_t));
-    relaxations += counters_.host_data()[1];
+    dev_.memcpy_d2h(s, counters_);
+    relaxations += counters_.h_read(1);
 
     core::LevelStats st;
     st.level = rounds;
@@ -96,13 +103,13 @@ core::BfsResult AsyncSsspBfs::run(vid_t src) {
     st.time_ms = (dev_.now_us() - round_t0) / 1000.0;
     st.kernels = 2;
     result.level_stats.push_back(st);
-    if (counters_.host_data()[0] == 0) break;
+    if (counters_.h_read(0) == 0) break;
   }
   last_relaxations_ = relaxations;
 
-  dev_.memcpy_d2h(s, n * sizeof(std::uint32_t));
+  dev_.memcpy_d2h(s, dist_);
   result.levels.resize(n);
-  const std::uint32_t* dist_host = dist_.host_data();
+  const std::uint32_t* dist_host = std::as_const(dist_).host_data();
   const eid_t* offsets_host = g_.offsets.host_data();
   for (std::uint64_t v = 0; v < n; ++v) {
     result.levels[v] = dist_host[v] == kUnvisited

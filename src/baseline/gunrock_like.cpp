@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <utility>
 
 #include "core/report.h"
 #include "core/status.h"
@@ -24,13 +25,15 @@ constexpr std::size_t kVertexTail = 1;
 GunrockLikeBfs::GunrockLikeBfs(sim::Device& dev, const graph::DeviceCsr& g,
                                GunrockConfig cfg)
     : dev_(dev), g_(g), cfg_(cfg) {
-  status_ = dev.alloc<std::uint32_t>(g.n);
-  vertex_frontier_a_ = dev.alloc<vid_t>(g.n);
+  status_ = dev.alloc<std::uint32_t>(g.n, "gunrock.status");
+  vertex_frontier_a_ = dev.alloc<vid_t>(g.n, "gunrock.frontier_a");
   // Duplicates can push the compacted frontier past |V|; Gunrock sizes
   // these O(|E|) — the space cost the paper criticizes.
-  vertex_frontier_b_ = dev.alloc<vid_t>(std::max<std::uint64_t>(g.m, g.n));
-  edge_frontier_ = dev.alloc<vid_t>(std::max<std::uint64_t>(g.m, g.n));
-  counters_ = dev.alloc<std::uint32_t>(2);
+  vertex_frontier_b_ = dev.alloc<vid_t>(std::max<std::uint64_t>(g.m, g.n),
+                                        "gunrock.frontier_b");
+  edge_frontier_ = dev.alloc<vid_t>(std::max<std::uint64_t>(g.m, g.n),
+                                    "gunrock.edge_frontier");
+  counters_ = dev.alloc<std::uint32_t>(2, "gunrock.counters");
 }
 
 core::BfsResult GunrockLikeBfs::run(vid_t src) {
@@ -121,9 +124,11 @@ core::BfsResult GunrockLikeBfs::run(vid_t src) {
       });
     });
 
-    // Host reads the edge-frontier length for the filter launch.
+    // Host reads the edge-frontier length for the filter launch (partial
+    // copy: one of the two counter words).
     dev_.memcpy_d2h(s, sizeof(std::uint32_t));
-    const std::uint32_t edge_count = counters_.host_data()[kEdgeTail];
+    counters_.mark_host_synced();
+    const std::uint32_t edge_count = counters_.h_read(kEdgeTail);
 
     // --- filter: claim unvisited entries, compact into the vertex frontier.
     const std::uint32_t next_level = level + 1;
@@ -152,7 +157,12 @@ core::BfsResult GunrockLikeBfs::run(vid_t src) {
             ++active;
             w[l] = ctx.load(edge_qc, i);
             // Gunrock's filter is not atomic: concurrent duplicates of the
-            // same vertex can all pass.
+            // same vertex can all pass.  The check-then-store races with
+            // other blocks filtering the same vertex; losers only emit a
+            // duplicate frontier entry with the same level.
+            sim::racy_ok allow(ctx,
+                               "gunrock filter: non-atomic claim admits "
+                               "duplicates, all storing the same level");
             if (ctx.load(status, w[l]) == kUnvisited) {
               ctx.store(status, w[l], next_level);
               keep |= std::uint64_t{1} << l;
@@ -173,8 +183,8 @@ core::BfsResult GunrockLikeBfs::run(vid_t src) {
     });
 
     s.synchronize();
-    dev_.memcpy_d2h(s, 2 * sizeof(std::uint32_t));
-    frontier_size = counters_.host_data()[kVertexTail];
+    dev_.memcpy_d2h(s, counters_);
+    frontier_size = counters_.h_read(kVertexTail);
     use_a = !use_a;
 
     core::LevelStats st;
@@ -188,9 +198,9 @@ core::BfsResult GunrockLikeBfs::run(vid_t src) {
 
   // Read back levels.
   const std::uint64_t n = g_.n;
-  dev_.memcpy_d2h(s, n * sizeof(std::uint32_t));
+  dev_.memcpy_d2h(s, status_);
   result.levels.resize(n);
-  const std::uint32_t* status_host = status_.host_data();
+  const std::uint32_t* status_host = std::as_const(status_).host_data();
   for (std::uint64_t v = 0; v < n; ++v) {
     result.levels[v] = status_host[v] == kUnvisited
                            ? std::int32_t{-1}

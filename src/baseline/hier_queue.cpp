@@ -1,6 +1,7 @@
 #include "baseline/hier_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/report.h"
 #include "core/status.h"
@@ -15,10 +16,10 @@ using graph::vid_t;
 HierQueueBfs::HierQueueBfs(sim::Device& dev, const graph::DeviceCsr& g,
                            HierQueueConfig cfg)
     : dev_(dev), g_(g), cfg_(cfg) {
-  status_ = dev.alloc<std::uint32_t>(g.n);
-  frontier_a_ = dev.alloc<vid_t>(g.n);
-  frontier_b_ = dev.alloc<vid_t>(g.n);
-  counters_ = dev.alloc<std::uint32_t>(1);
+  status_ = dev.alloc<std::uint32_t>(g.n, "hq.status");
+  frontier_a_ = dev.alloc<vid_t>(g.n, "hq.frontier_a");
+  frontier_b_ = dev.alloc<vid_t>(g.n, "hq.frontier_b");
+  counters_ = dev.alloc<std::uint32_t>(1, "hq.counters");
 }
 
 core::BfsResult HierQueueBfs::run(vid_t src) {
@@ -84,7 +85,16 @@ core::BfsResult HierQueueBfs::run(vid_t src) {
         const eid_t e = ctx.load(offsets, v + 1);
         for (eid_t j = b; j < e; ++j) {
           const vid_t w = ctx.load(cols, j);
-          if (ctx.load(status, w) != kUnvisited) continue;
+          std::uint32_t seen;
+          {
+            // Cheap pre-check races with other blocks' CAS claims; a stale
+            // read only falls through to the CAS, which decides atomically.
+            sim::racy_ok allow(ctx,
+                               "hier-queue: plain status pre-check before "
+                               "the authoritative CAS claim");
+            seen = ctx.load(status, w);
+          }
+          if (seen != kUnvisited) continue;
           const std::uint32_t old =
               ctx.atomic_cas(status, w, kUnvisited, next_level);
           if (old != kUnvisited) continue;
@@ -112,8 +122,8 @@ core::BfsResult HierQueueBfs::run(vid_t src) {
     });
 
     s.synchronize();
-    dev_.memcpy_d2h(s, sizeof(std::uint32_t));
-    frontier_size = counters_.host_data()[0];
+    dev_.memcpy_d2h(s, counters_);
+    frontier_size = counters_.h_read(0);
     use_a = !use_a;
 
     core::LevelStats st;
@@ -126,9 +136,9 @@ core::BfsResult HierQueueBfs::run(vid_t src) {
   }
 
   const std::uint64_t n = g_.n;
-  dev_.memcpy_d2h(s, n * sizeof(std::uint32_t));
+  dev_.memcpy_d2h(s, status_);
   result.levels.resize(n);
-  const std::uint32_t* status_host = status_.host_data();
+  const std::uint32_t* status_host = std::as_const(status_).host_data();
   for (std::uint64_t v = 0; v < n; ++v) {
     result.levels[v] = status_host[v] == kUnvisited
                            ? std::int32_t{-1}

@@ -1,6 +1,7 @@
 #include "baseline/simple_scan.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/report.h"
 #include "core/status.h"
@@ -14,8 +15,8 @@ using graph::vid_t;
 SimpleScanBfs::SimpleScanBfs(sim::Device& dev, const graph::DeviceCsr& g,
                              SimpleScanConfig cfg)
     : dev_(dev), g_(g), cfg_(cfg) {
-  status_ = dev.alloc<std::uint32_t>(g.n);
-  counters_ = dev.alloc<std::uint32_t>(1);
+  status_ = dev.alloc<std::uint32_t>(g.n, "scan.status");
+  counters_ = dev.alloc<std::uint32_t>(1, "scan.counters");
 }
 
 core::BfsResult SimpleScanBfs::run(vid_t src) {
@@ -62,6 +63,12 @@ core::BfsResult SimpleScanBfs::run(vid_t src) {
                                                   cfg_.block_threads);
     dev_.launch(s, "scanbfs_scan_expand", lc, [=](sim::BlockCtx& blk) {
       auto& ctx = blk.ctx();
+      // The whole scan races on status by design: pre-check loads vs the
+      // plain next_level stores of other blocks.  Every interleaving either
+      // stores the same value or defers the vertex to a rescan.
+      sim::racy_ok allow(ctx,
+                         "simple-scan: unsynchronized status pre-check and "
+                         "same-value next_level store");
       blk.grid_stride(n, [&](std::uint64_t v) {
         if (ctx.load(status, v) != level) return;
         const eid_t b = ctx.load(offsets, v);
@@ -80,8 +87,8 @@ core::BfsResult SimpleScanBfs::run(vid_t src) {
     });
 
     s.synchronize();
-    dev_.memcpy_d2h(s, sizeof(std::uint32_t));
-    const std::uint32_t newly = counters_.host_data()[0];
+    dev_.memcpy_d2h(s, counters_);
+    const std::uint32_t newly = counters_.h_read(0);
 
     core::LevelStats st;
     st.level = level;
@@ -92,9 +99,9 @@ core::BfsResult SimpleScanBfs::run(vid_t src) {
     if (newly == 0) break;
   }
 
-  dev_.memcpy_d2h(s, n * sizeof(std::uint32_t));
+  dev_.memcpy_d2h(s, status_);
   result.levels.resize(n);
-  const std::uint32_t* status_host = status_.host_data();
+  const std::uint32_t* status_host = std::as_const(status_).host_data();
   const eid_t* offsets_host = g_.offsets.host_data();
   for (std::uint64_t v = 0; v < n; ++v) {
     result.levels[v] = status_host[v] == kUnvisited

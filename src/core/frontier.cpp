@@ -9,28 +9,31 @@ BfsBuffers BfsBuffers::allocate(sim::Device& dev, graph::vid_t n,
                                 std::uint32_t scan_blocks, bool with_parents,
                                 bool with_bins, bool with_bitmaps) {
   BfsBuffers b;
-  b.status = dev.alloc<std::uint32_t>(n);
-  if (with_parents) b.parent = dev.alloc<graph::vid_t>(n);
-  b.queue_a = dev.alloc<graph::vid_t>(n);
-  b.queue_b = dev.alloc<graph::vid_t>(n);
-  b.pending_a = dev.alloc<graph::vid_t>(n);
-  b.pending_b = dev.alloc<graph::vid_t>(n);
-  b.bu_queue = dev.alloc<graph::vid_t>(n);
-  b.counters = dev.alloc<std::uint32_t>(kNumCounters);
-  b.edge_counters = dev.alloc<std::uint64_t>(kNumEdgeCounters);
+  b.status = dev.alloc<std::uint32_t>(n, "bfs.status");
+  if (with_parents) b.parent = dev.alloc<graph::vid_t>(n, "bfs.parent");
+  b.queue_a = dev.alloc<graph::vid_t>(n, "bfs.queue_a");
+  b.queue_b = dev.alloc<graph::vid_t>(n, "bfs.queue_b");
+  b.pending_a = dev.alloc<graph::vid_t>(n, "bfs.pending_a");
+  b.pending_b = dev.alloc<graph::vid_t>(n, "bfs.pending_b");
+  b.bu_queue = dev.alloc<graph::vid_t>(n, "bfs.bu_queue");
+  b.counters = dev.alloc<std::uint32_t>(kNumCounters, "bfs.counters");
+  b.edge_counters =
+      dev.alloc<std::uint64_t>(kNumEdgeCounters, "bfs.edge_counters");
   b.segment_size = segment_size;
   b.num_segments = (n + segment_size - 1) / segment_size;
-  b.seg_counts = dev.alloc<std::uint32_t>(b.num_segments);
-  b.seg_offsets = dev.alloc<std::uint32_t>(b.num_segments);
-  b.block_sums = dev.alloc<std::uint32_t>(scan_blocks);
+  b.seg_counts = dev.alloc<std::uint32_t>(b.num_segments, "bfs.seg_counts");
+  b.seg_offsets = dev.alloc<std::uint32_t>(b.num_segments, "bfs.seg_offsets");
+  b.block_sums = dev.alloc<std::uint32_t>(scan_blocks, "bfs.block_sums");
   if (with_bins) {
-    b.bin_small = dev.alloc<graph::vid_t>(n);
-    b.bin_medium = dev.alloc<graph::vid_t>(n);
-    b.bin_large = dev.alloc<graph::vid_t>(n);
+    b.bin_small = dev.alloc<graph::vid_t>(n, "bfs.bin_small");
+    b.bin_medium = dev.alloc<graph::vid_t>(n, "bfs.bin_medium");
+    b.bin_large = dev.alloc<graph::vid_t>(n, "bfs.bin_large");
   }
   if (with_bitmaps) {
     const std::size_t words = b.bitmap_words(n);
-    for (auto& bm : b.bitmaps) bm = dev.alloc<std::uint64_t>(words);
+    for (auto& bm : b.bitmaps) {
+      bm = dev.alloc<std::uint64_t>(words, "bfs.bitmap");
+    }
   }
   return b;
 }
@@ -108,18 +111,17 @@ void launch_append_queue(sim::Device& dev, sim::Stream& s,
 LevelCounters read_counters(sim::Device& dev, sim::Stream& s,
                             const BfsBuffers& b) {
   // Models the per-level hipMemcpyDtoH of the counter block — the
-  // host/device interaction that dominates tiny graphs like Dblp.
-  dev.memcpy_d2h(s, kNumCounters * sizeof(std::uint32_t) +
-                        kNumEdgeCounters * sizeof(std::uint64_t));
+  // host/device interaction that dominates tiny graphs like Dblp.  One
+  // typed transfer covers both counter buffers (byte count identical to
+  // the old untyped call) and marks them host-synced for SimSan.
+  dev.memcpy_d2h(s, b.counters, b.edge_counters);
   LevelCounters c;
-  const std::uint32_t* cnt = b.counters.host_data();
-  const std::uint64_t* ecnt = b.edge_counters.host_data();
-  c.next_count = cnt[kNextTail];
-  c.pending_count = cnt[kPendingTail];
-  c.new_count = cnt[kNewCount];
-  c.cur_count = cnt[kCurTail];
-  c.next_edges = ecnt[kNextEdges];
-  c.pending_edges = ecnt[kPendingEdges];
+  c.next_count = b.counters.h_read(kNextTail);
+  c.pending_count = b.counters.h_read(kPendingTail);
+  c.new_count = b.counters.h_read(kNewCount);
+  c.cur_count = b.counters.h_read(kCurTail);
+  c.next_edges = b.edge_counters.h_read(kNextEdges);
+  c.pending_edges = b.edge_counters.h_read(kPendingEdges);
   return c;
 }
 

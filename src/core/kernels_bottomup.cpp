@@ -326,7 +326,18 @@ sim::LaunchResult launch_bu_expand(sim::Device& dev, sim::Stream& s,
           std::uint64_t degree_sum = 0;
           for (unsigned l = 0; l < W; ++l) {
             if (!(mask & (std::uint64_t{1} << l))) continue;
-            ctx.store(a.status, u[l], level);
+            {
+              // The paper's intentional look-ahead race (HPDC'19 v7->v8):
+              // this plain commit store runs while other blocks' scans still
+              // probe status atomically in the same pass.  A probe observing
+              // the pre-commit value merely defers its vertex to the pending
+              // queue; no traversal result changes.
+              sim::racy_ok allow(ctx,
+                                 "bottom-up look-ahead: plain status commit "
+                                 "vs same-pass neighbor probes (HPDC'19 "
+                                 "v7->v8); stale probes only defer work");
+              ctx.store(a.status, u[l], level);
+            }
             if (!out_bitmap.empty()) {
               ctx.atomic_or(out_bitmap, u[l] / 64,
                             std::uint64_t{1} << (u[l] % 64));

@@ -60,25 +60,35 @@ void visit_targets(sim::ExecCtx& ctx, const TopDownArgs& a,
   const std::uint32_t next_level = a.cur_level + 1;
   std::uint64_t won = 0;
   std::uint64_t atomics_done = 0;
-  for (unsigned l = 0; l < W; ++l) {
-    if (!(act & (std::uint64_t{1} << l))) continue;
-    const vid_t w = targets[l];
-    // Cheap pre-check before the atomic, as XBFS does.
-    const std::uint32_t st = ctx.load(a.status, w);
-    if (st != kUnvisited) continue;
-    if constexpr (kCas) {
-      const std::uint32_t old =
-          ctx.atomic_cas(a.status, w, kUnvisited, next_level);
-      ++atomics_done;
-      if (old != kUnvisited) continue;  // lost the race
-    } else {
-      // Benign race: all writers store the same level value.
-      ctx.store(a.status, w, next_level);
-    }
-    won |= std::uint64_t{1} << l;
-    if (!a.parent.empty()) ctx.store(a.parent, w, par[l]);
-    if (!a.bitmap_next.empty()) {
-      ctx.atomic_or(a.bitmap_next, w / 64, std::uint64_t{1} << (w % 64));
+  {
+    // The claim loop tolerates cross-block races by design (HPDC'19): the
+    // status pre-check may read a word another block claims concurrently (a
+    // stale value only costs a redundant atomic), the non-CAS claim stores
+    // the same level from every discoverer, and in that mode the parent
+    // store is last-writer-wins among equally valid parents.
+    sim::racy_ok allow(ctx,
+                       "top-down claim: status pre-check / benign same-value "
+                       "store; any discovering parent is valid");
+    for (unsigned l = 0; l < W; ++l) {
+      if (!(act & (std::uint64_t{1} << l))) continue;
+      const vid_t w = targets[l];
+      // Cheap pre-check before the atomic, as XBFS does.
+      const std::uint32_t st = ctx.load(a.status, w);
+      if (st != kUnvisited) continue;
+      if constexpr (kCas) {
+        const std::uint32_t old =
+            ctx.atomic_cas(a.status, w, kUnvisited, next_level);
+        ++atomics_done;
+        if (old != kUnvisited) continue;  // lost the race
+      } else {
+        // Benign race: all writers store the same level value.
+        ctx.store(a.status, w, next_level);
+      }
+      won |= std::uint64_t{1} << l;
+      if (!a.parent.empty()) ctx.store(a.parent, w, par[l]);
+      if (!a.bitmap_next.empty()) {
+        ctx.atomic_or(a.bitmap_next, w / 64, std::uint64_t{1} << (w % 64));
+      }
     }
   }
   ctx.slots(W, popcll(act) + atomics_done);

@@ -1,7 +1,6 @@
 // Unified operation status for the public API: a code plus a free-form
 // detail string.  Replaces the ad-hoc bool returns and per-subsystem
-// rejection enums (serve::RejectReason is now a deprecated projection of
-// this type).  Statuses are cheap values — Ok carries no allocation — and
+// rejection enums.  Statuses are cheap values — Ok carries no allocation — and
 // every failure names what went wrong, so callers never have to guess why
 // an operation was turned away.
 //

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/kernels_bottomup.h"
 #include "core/kernels_topdown.h"
@@ -108,12 +109,13 @@ void Xbfs::run_scanfree(const FrontierState& fs, std::uint32_t level) {
   fs.add(launch_classify_bins(dev_, s, a, buffers_.bin_small.span(),
                               buffers_.bin_medium.span(),
                               buffers_.bin_large.span(), cfg_));
-  // Host reads the three bin sizes to size the launches.
+  // Host reads the three bin sizes to size the launches (a partial copy,
+  // so the modelled byte count stays 3 words; the sync mark is manual).
   dev_.memcpy_d2h(s, 3 * sizeof(std::uint32_t));
-  const std::uint32_t* cnt = buffers_.counters.host_data();
-  const std::uint32_t n_small = cnt[kBinSmall];
-  const std::uint32_t n_medium = cnt[kBinMedium];
-  const std::uint32_t n_large = cnt[kBinLarge];
+  buffers_.counters.mark_host_synced();
+  const std::uint32_t n_small = buffers_.counters.h_read(kBinSmall);
+  const std::uint32_t n_medium = buffers_.counters.h_read(kBinMedium);
+  const std::uint32_t n_large = buffers_.counters.h_read(kBinLarge);
 
   std::vector<sim::Stream*> all = {&s, bin_streams_[0], bin_streams_[1],
                                    bin_streams_[2]};
@@ -150,7 +152,8 @@ void Xbfs::run_singlescan(const FrontierState& fs, std::uint32_t level,
                                       buffers_.counters.span(), level, cfg_));
     // The host needs the generated queue size to shape the expansion launch.
     dev_.memcpy_d2h(s, sizeof(std::uint32_t));
-    queue_size = buffers_.counters.host_data()[kCurTail];
+    buffers_.counters.mark_host_synced();
+    queue_size = buffers_.counters.h_read(kCurTail);
   }
   *generated_count = queue_size;
 
@@ -197,7 +200,8 @@ void Xbfs::run_bottomup(const FrontierState& fs, std::uint32_t level) {
   fs.add(launch_bu_scan_final(dev_, s, a, cfg_));
   // Host reads the candidate total to shape the expansion launch.
   dev_.memcpy_d2h(s, sizeof(std::uint32_t));
-  const std::uint32_t candidates = buffers_.counters.host_data()[kCurTail];
+  buffers_.counters.mark_host_synced();
+  const std::uint32_t candidates = buffers_.counters.h_read(kCurTail);
   fs.add(launch_bu_queue_gen(dev_, s, a, cfg_));
   fs.add(launch_bu_expand(dev_, s, a, candidates, cfg_));
 }
@@ -391,20 +395,20 @@ BfsResult Xbfs::run(vid_t src) {
     decision = next_decision;
   }
 
-  // Read the status (and parent) arrays back to the host.
+  // Read the status (and parent) arrays back to the host; the typed copies
+  // charge the same n-word transfers and mark the buffers host-synced.
   const std::uint64_t n = g_.n;
-  dev_.memcpy_d2h(s, n * sizeof(std::uint32_t));
+  dev_.memcpy_d2h(s, buffers_.status);
   result.levels.resize(n);
-  const std::uint32_t* status_host = buffers_.status.host_data();
   for (std::uint64_t v = 0; v < n; ++v) {
-    result.levels[v] = status_host[v] == kUnvisited
-                           ? std::int32_t{-1}
-                           : static_cast<std::int32_t>(status_host[v]);
+    const std::uint32_t st = buffers_.status.h_read(v);
+    result.levels[v] = st == kUnvisited ? std::int32_t{-1}
+                                        : static_cast<std::int32_t>(st);
   }
   if (!buffers_.parent.empty()) {
-    dev_.memcpy_d2h(s, n * sizeof(vid_t));
-    result.parent.assign(buffers_.parent.host_data(),
-                         buffers_.parent.host_data() + n);
+    dev_.memcpy_d2h(s, buffers_.parent);
+    const graph::vid_t* parent_host = std::as_const(buffers_.parent).host_data();
+    result.parent.assign(parent_host, parent_host + n);
   }
   s.synchronize();
 

@@ -50,21 +50,28 @@ DistBfs::DistBfs(const graph::Csr& g, DistConfig cfg)
     gcd->device->set_trace_label("gcd" + std::to_string(p));
     gcd->rows = extract_local_rows(g, part_, p);
     sim::Device& dev = *gcd->device;
-    gcd->offsets = dev.alloc<eid_t>(gcd->rows.offsets.size());
-    std::copy(gcd->rows.offsets.begin(), gcd->rows.offsets.end(),
-              gcd->offsets.host_data());
-    gcd->cols = dev.alloc<vid_t>(std::max<std::size_t>(1, gcd->rows.cols.size()));
-    std::copy(gcd->rows.cols.begin(), gcd->rows.cols.end(),
-              gcd->cols.host_data());
+    gcd->offsets = dev.alloc<eid_t>(gcd->rows.offsets.size(), "dist.offsets");
+    gcd->offsets.h_copy_from(gcd->rows.offsets.data(),
+                             gcd->rows.offsets.size());
+    gcd->cols = dev.alloc<vid_t>(std::max<std::size_t>(1, gcd->rows.cols.size()),
+                                 "dist.cols");
+    if (!gcd->rows.cols.empty()) {
+      gcd->cols.h_copy_from(gcd->rows.cols.data(), gcd->rows.cols.size());
+    }
+    // Modelled upload charges the local slice's own byte count (the cols
+    // buffer is padded to at least one element).
     dev.memcpy_h2d(gcd->rows.offsets.size() * sizeof(eid_t) +
                    gcd->rows.cols.size() * sizeof(vid_t));
+    gcd->offsets.mark_device_synced();
+    gcd->cols.mark_device_synced();
     gcd->status = dev.alloc<std::uint32_t>(
-        std::max<graph::vid_t>(1, gcd->rows.num_rows));
-    gcd->cur_bm = dev.alloc<std::uint64_t>(words);
-    gcd->next_bm = dev.alloc<std::uint64_t>(words);
-    gcd->queue = dev.alloc<vid_t>(std::max<graph::vid_t>(1, gcd->rows.num_rows));
-    gcd->counters = dev.alloc<std::uint32_t>(2);
-    gcd->edges = dev.alloc<std::uint64_t>(1);
+        std::max<graph::vid_t>(1, gcd->rows.num_rows), "dist.status");
+    gcd->cur_bm = dev.alloc<std::uint64_t>(words, "dist.cur_bm");
+    gcd->next_bm = dev.alloc<std::uint64_t>(words, "dist.next_bm");
+    gcd->queue = dev.alloc<vid_t>(std::max<graph::vid_t>(1, gcd->rows.num_rows),
+                                  "dist.queue");
+    gcd->counters = dev.alloc<std::uint32_t>(2, "dist.counters");
+    gcd->edges = dev.alloc<std::uint64_t>(1, "dist.edges");
     gcds_.push_back(std::move(gcd));
   }
 }
@@ -103,7 +110,7 @@ void DistBfs::reset_for_run(graph::vid_t src) {
   }
 }
 
-double DistBfs::run_local_topdown(std::uint32_t level) {
+double DistBfs::run_local_topdown(std::uint32_t /*level*/) {
   double slowest = 0;
   for (auto& gp : gcds_) {
     Gcd& g = *gp;
@@ -163,7 +170,8 @@ double DistBfs::run_local_topdown(std::uint32_t level) {
       });
     });
     dev.memcpy_d2h(s, sizeof(std::uint32_t));
-    const std::uint32_t fsize = g.counters.host_data()[kTail];
+    g.counters.mark_host_synced();
+    const std::uint32_t fsize = g.counters.h_read(kTail);
 
     if (fsize > 0) {
       sim::LaunchConfig ec;
@@ -321,7 +329,10 @@ double DistBfs::run_local_bottomup(std::uint32_t level) {
 
 void DistBfs::merge_candidates_to_owners() {
   // Host-side data movement standing in for the alltoall: owner p's slice
-  // becomes the OR of every device's candidate bits for that slice.
+  // becomes the OR of every device's candidate bits for that slice.  The
+  // transfer itself is charged to the modelled fabric (allgather_us), so
+  // the host view is declared synced here rather than via memcpy_d2h.
+  for (auto& gp : gcds_) gp->next_bm.mark_host_synced();
   const std::size_t words = gcds_[0]->cur_bm.size();
   for (unsigned p = 0; p < cfg_.gcds; ++p) {
     Gcd& owner = *gcds_[p];
@@ -340,7 +351,9 @@ void DistBfs::merge_candidates_to_owners() {
 
 void DistBfs::broadcast_cleaned_slices() {
   // Host-side allgather: every device receives each owner's cleaned slice.
-  // Boundary words shared by two owners are OR-combined.
+  // Boundary words shared by two owners are OR-combined.  As in the merge,
+  // the wire time is charged to the modelled fabric by the caller.
+  for (auto& gp : gcds_) gp->next_bm.mark_host_synced();
   const std::size_t words = gcds_[0]->cur_bm.size();
   std::vector<std::uint64_t> global(words, 0);
   for (auto& gp : gcds_) {
@@ -365,6 +378,7 @@ void DistBfs::broadcast_cleaned_slices() {
   }
   for (auto& gp : gcds_) {
     std::copy(global.begin(), global.end(), gp->next_bm.host_data());
+    gp->next_bm.mark_device_synced();
   }
 }
 
@@ -448,10 +462,13 @@ DistBfsResult DistBfs::run(vid_t src) {
     comm_us += ar_us;
     phase("exchange:allreduce", "comm", ar_us);
 
+    // Claim totals travel in the modelled allreduce just charged above.
     std::uint64_t next_count = 0, next_edges = 0;
     for (auto& gp : gcds_) {
-      next_count += gp->counters.host_data()[kClaimed];
-      next_edges += gp->edges.host_data()[0];
+      gp->counters.mark_host_synced();
+      gp->edges.mark_host_synced();
+      next_count += gp->counters.h_read(kClaimed);
+      next_edges += gp->edges.h_read(0);
     }
 
     st.local_ms = local_us / 1000.0;
@@ -513,8 +530,9 @@ DistBfsResult DistBfs::run(vid_t src) {
   for (auto& gp : gcds_) {
     const Gcd& g = *gp;
     g.device->memcpy_d2h(g.rows.num_rows * sizeof(std::uint32_t));
+    g.status.mark_host_synced();
     for (vid_t r = 0; r < g.rows.num_rows; ++r) {
-      const std::uint32_t stv = g.status.host_data()[r];
+      const std::uint32_t stv = g.status.h_read(r);
       if (stv != kUnvisited) {
         result.levels[g.rows.first_vertex + r] =
             static_cast<std::int32_t>(stv);

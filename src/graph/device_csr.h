@@ -27,15 +27,17 @@ struct DeviceCsr {
     DeviceCsr d;
     d.n = g.num_vertices();
     d.m = g.num_edges();
-    d.offsets = dev.alloc<eid_t>(g.offsets().size());
-    d.cols = dev.alloc<vid_t>(g.cols().size());
-    std::memcpy(d.offsets.host_data(), g.offsets().data(),
-                g.offsets().size() * sizeof(eid_t));
+    d.offsets = dev.alloc<eid_t>(g.offsets().size(), "csr.offsets");
+    d.cols = dev.alloc<vid_t>(g.cols().size(), "csr.cols");
+    d.offsets.h_copy_from(g.offsets().data(), g.offsets().size());
     if (!g.cols().empty()) {
-      std::memcpy(d.cols.host_data(), g.cols().data(),
-                  g.cols().size() * sizeof(vid_t));
+      d.cols.h_copy_from(g.cols().data(), g.cols().size());
     }
+    // Modelled transfer of the packed payload (offsets may be padded, so
+    // charge the graph's own byte count); mark both device-synced.
     dev.memcpy_h2d(stream, g.payload_bytes());
+    d.offsets.mark_device_synced();
+    d.cols.mark_device_synced();
     return d;
   }
   static DeviceCsr upload(sim::Device& dev, const Csr& g) {

@@ -67,8 +67,22 @@ class BlockCtx {
   /// Equivalent to a full-block SIMT pass followed by __syncthreads().
   template <typename F>
   void threads(F&& f) {
-    for (unsigned t = 0; t < block_threads_; ++t) f(t);
     const unsigned w = ctx_->wavefront_size();
+    if (ctx_->san_active()) {
+      // Stamp each simulated thread's wavefront/lane so the sanitizer's
+      // access log attributes accesses; skipped entirely when SimSan is off.
+      unsigned lane = 0, wf = block_id_ * wavefronts_per_block();
+      for (unsigned t = 0; t < block_threads_; ++t) {
+        ctx_->set_sim_lane(wf, lane);
+        f(t);
+        if (++lane == w) {
+          lane = 0;
+          ++wf;
+        }
+      }
+    } else {
+      for (unsigned t = 0; t < block_threads_; ++t) f(t);
+    }
     ctx_->slots(std::uint64_t{wavefronts_per_block()} * w, block_threads_);
   }
 
@@ -83,10 +97,17 @@ class BlockCtx {
     const std::uint64_t base =
         std::uint64_t{block_id_} * block_threads_;
     std::uint64_t issued = 0, active = 0;
+    const bool san = ctx_->san_active();
+    const unsigned wsize = ctx_->wavefront_size();
+    const unsigned wf_base = block_id_ * wavefronts_per_block();
     for (std::uint64_t start = base; start < n; start += stride) {
       const std::uint64_t end =
           std::min<std::uint64_t>(n, start + block_threads_);
       for (std::uint64_t i = start; i < end; ++i) {
+        if (san) {
+          const unsigned t = static_cast<unsigned>(i - start);
+          ctx_->set_sim_lane(wf_base + t / wsize, t % wsize);
+        }
         f(i);
         ++active;
       }

@@ -3,13 +3,23 @@
 // A DeviceBuffer owns host-side storage standing in for device memory and a
 // *virtual device address* assigned by the Device allocator; the address is
 // what the L2 model keys on, so distinct buffers never alias cache lines.
+//
+// When SimSan is enabled (hipsim/sanitizer.h) every allocation also carries
+// a BufferShadow; spans propagate a raw pointer to it so ExecCtx can
+// bounds/lifetime/init-check each simulated access, and the h_* host
+// accessors below catch host reads of stale or never-written device data.
+// With the sanitizer off, shadow_ is null and nothing here costs anything.
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <type_traits>
+#include <utility>
+
+#include "hipsim/shadow.h"
 
 namespace xbfs::sim {
 
@@ -21,8 +31,9 @@ template <typename T>
 class dspan {
  public:
   dspan() = default;
-  dspan(T* data, std::uint64_t device_addr, std::size_t size)
-      : data_(data), device_addr_(device_addr), size_(size) {}
+  dspan(T* data, std::uint64_t device_addr, std::size_t size,
+        const BufferShadow* shadow = nullptr)
+      : data_(data), device_addr_(device_addr), size_(size), shadow_(shadow) {}
 
   /// Implicit conversion dspan<T> -> dspan<const T>.
   template <typename U = T,
@@ -30,12 +41,14 @@ class dspan {
   dspan(const dspan<std::remove_const_t<U>>& other)  // NOLINT(runtime/explicit)
       : data_(other.data()),
         device_addr_(other.device_addr()),
-        size_(other.size()) {}
+        size_(other.size()),
+        shadow_(other.shadow()) {}
 
   T* data() const { return data_; }
   std::uint64_t device_addr() const { return device_addr_; }
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  const BufferShadow* shadow() const { return shadow_; }
 
   /// Device address of element i (for the memory model).
   std::uint64_t addr_of(std::size_t i) const {
@@ -44,19 +57,22 @@ class dspan {
   /// Raw element reference; memory-model accounting is the caller's job
   /// (kernel code should go through ExecCtx::load/store instead).
   T& operator[](std::size_t i) const {
-    assert(i < size_);
+    assert(data_ != nullptr && i < size_);
     return data_[i];
   }
 
   dspan subspan(std::size_t offset, std::size_t count) const {
-    assert(offset + count <= size_);
-    return dspan(data_ + offset, device_addr_ + offset * sizeof(T), count);
+    // Overflow-safe form of offset + count <= size_.
+    assert(offset <= size_ && count <= size_ - offset);
+    return dspan(data_ + offset, device_addr_ + offset * sizeof(T), count,
+                 shadow_);
   }
 
  private:
   T* data_ = nullptr;
   std::uint64_t device_addr_ = 0;
   std::size_t size_ = 0;
+  const BufferShadow* shadow_ = nullptr;
 };
 
 /// Owning device allocation.  Created via Device::alloc<T>(n).
@@ -67,32 +83,121 @@ class DeviceBuffer {
                 "device buffers hold POD data");
 
   DeviceBuffer() = default;
-  DeviceBuffer(std::uint64_t device_addr, std::size_t size)
+  DeviceBuffer(std::uint64_t device_addr, std::size_t size,
+               std::string name = {})
       : data_(size ? std::make_unique<T[]>(size) : nullptr),
+        shadow_(sanitizer_make_shadow(device_addr, size * sizeof(T),
+                                      std::move(name))),
         device_addr_(device_addr),
         size_(size) {}
 
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : data_(std::move(other.data_)),
+        shadow_(std::move(other.shadow_)),
+        device_addr_(std::exchange(other.device_addr_, 0)),
+        size_(std::exchange(other.size_, 0)) {}
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::move(other.data_);
+      shadow_ = std::move(other.shadow_);
+      device_addr_ = std::exchange(other.device_addr_, 0);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   std::uint64_t device_addr() const { return device_addr_; }
+  const BufferShadow* shadow() const { return shadow_.get(); }
 
-  dspan<T> span() { return dspan<T>(data_.get(), device_addr_, size_); }
+  dspan<T> span() {
+    return dspan<T>(data_.get(), device_addr_, size_, shadow_.get());
+  }
   dspan<const T> cspan() const {
-    return dspan<const T>(data_.get(), device_addr_, size_);
+    return dspan<const T>(data_.get(), device_addr_, size_, shadow_.get());
   }
 
-  /// Host-visible access for setup/teardown (does not count as traffic;
-  /// modelled copies go through Device::memcpy_*).
-  T* host_data() { return data_.get(); }
+  // --- checked host accessors ----------------------------------------------
+  // Setup/teardown access with sanitizer coverage: reads are validated
+  // against the shadow (stale device data, never-written words); writes and
+  // fills keep the init map coherent.  None of this counts as modelled
+  // traffic — modelled copies still go through Device::memcpy_*.
+
+  /// Host read of element i; flags stale-device and uninitialized reads.
+  T h_read(std::size_t i) const {
+    assert(data_ != nullptr && i < size_);
+    if (shadow_) {
+      const std::uint64_t off = i * sizeof(T);
+      if (sanitizer_checks_stale() && shadow_->device_dirty()) {
+        sanitizer_report_host(
+            DefectKind::StaleHostRead, shadow_.get(), off,
+            "host read before the device->host copy of kernel writes");
+      }
+      if (sanitizer_checks_init() && !shadow_->is_init(off, sizeof(T))) {
+        sanitizer_report_host(DefectKind::UninitRead, shadow_.get(), off,
+                              "host read of a never-written element");
+      }
+    }
+    return data_[i];
+  }
+  /// Host write of element i (marks the word initialized).
+  void h_write(std::size_t i, T v) {
+    assert(data_ != nullptr && i < size_);
+    data_[i] = v;
+    if (shadow_) shadow_->mark_init(i * sizeof(T), sizeof(T));
+  }
+  /// Fill the whole buffer host-side (marks everything initialized).
+  void h_fill(T v) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+    if (shadow_) shadow_->mark_all_init();
+  }
+  /// Copy `count` elements from host memory into [offset, offset+count).
+  void h_copy_from(const T* src, std::size_t count, std::size_t offset = 0) {
+    assert(offset <= size_ && count <= size_ - offset);
+    if (count == 0) return;
+    std::memcpy(data_.get() + offset, src, count * sizeof(T));
+    if (shadow_) shadow_->mark_init(offset * sizeof(T), count * sizeof(T));
+  }
+
+  /// Record that a device->host copy of this buffer completed: host reads
+  /// are in sync again.  Device::memcpy_d2h's typed overloads call this;
+  /// call it manually after untyped/partial copies.
+  void mark_host_synced() const {
+    if (shadow_) shadow_->clear_device_dirty();
+  }
+  /// Record that a host->device copy of this buffer completed: the device
+  /// sees fully initialized, host-authored content.
+  void mark_device_synced() const {
+    if (shadow_) {
+      shadow_->mark_all_init();
+      shadow_->clear_device_dirty();
+    }
+  }
+
+  /// Raw host pointers.  The mutable overload is the escape hatch for bulk
+  /// setup code; because the sanitizer cannot see what the caller writes,
+  /// it conservatively marks the whole buffer initialized.
+  T* host_data() {
+    if (shadow_) shadow_->mark_all_init();
+    return data_.get();
+  }
   const T* host_data() const { return data_.get(); }
 
  private:
+  void release() {
+    if (shadow_) shadow_->mark_freed();
+    shadow_.reset();
+    data_.reset();
+  }
+
   std::unique_ptr<T[]> data_;
+  std::shared_ptr<BufferShadow> shadow_;
   std::uint64_t device_addr_ = 0;
   std::size_t size_ = 0;
 };

@@ -61,9 +61,11 @@ class Device {
   const SimOptions& options() const { return options_; }
 
   // --- memory -------------------------------------------------------------
+  /// The optional name labels the allocation in SimSan findings
+  /// (hipsim/sanitizer.h); it costs nothing when the sanitizer is off.
   template <typename T>
-  DeviceBuffer<T> alloc(std::size_t n) {
-    return DeviceBuffer<T>(reserve_addr(n * sizeof(T)), n);
+  DeviceBuffer<T> alloc(std::size_t n, std::string name = {}) {
+    return DeviceBuffer<T>(reserve_addr(n * sizeof(T)), n, std::move(name));
   }
   std::uint64_t allocated_bytes() const { return next_addr_; }
 
@@ -73,6 +75,35 @@ class Device {
   double memcpy_d2h(Stream& s, std::uint64_t bytes);
   double memcpy_h2d(std::uint64_t bytes) { return memcpy_h2d(stream(0), bytes); }
   double memcpy_d2h(std::uint64_t bytes) { return memcpy_d2h(stream(0), bytes); }
+
+  /// Typed copies: one modelled transfer covering every listed buffer in
+  /// full (byte counts sum, so batching N buffers still costs exactly one
+  /// copy of their total size) plus the sanitizer bookkeeping — d2h marks
+  /// host reads in sync, h2d marks device content host-authored.  For
+  /// *partial* copies keep the byte-count overloads and call
+  /// mark_host_synced()/mark_device_synced() on the buffer yourself.
+  template <typename T, typename... Ts>
+  double memcpy_d2h(Stream& s, const DeviceBuffer<T>& b,
+                    const DeviceBuffer<Ts>&... rest) {
+    const std::uint64_t bytes =
+        b.size() * sizeof(T) +
+        (std::uint64_t{0} + ... + (rest.size() * sizeof(Ts)));
+    const double t = memcpy_d2h(s, bytes);
+    b.mark_host_synced();
+    (rest.mark_host_synced(), ...);
+    return t;
+  }
+  template <typename T, typename... Ts>
+  double memcpy_h2d(Stream& s, const DeviceBuffer<T>& b,
+                    const DeviceBuffer<Ts>&... rest) {
+    const std::uint64_t bytes =
+        b.size() * sizeof(T) +
+        (std::uint64_t{0} + ... + (rest.size() * sizeof(Ts)));
+    const double t = memcpy_h2d(s, bytes);
+    b.mark_device_synced();
+    (rest.mark_device_synced(), ...);
+    return t;
+  }
 
   /// Injected memcpy corruption (see hipsim/fault.h).  Because modelled
   /// copies move no real bytes, a corrupted transfer raises this flag

@@ -8,6 +8,7 @@
 
 #include "hipsim/device.h"
 #include "hipsim/fault.h"
+#include "hipsim/sanitizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -75,13 +76,25 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
     probes.emplace_back(l2_.get(), &worker_counters[w]);
   }
 
+  // SimSan: when enabled, each worker gets a recorder so every simulated
+  // access is checked and (in race mode) logged for post-launch analysis.
+  Sanitizer& san = Sanitizer::global();
+  const bool sanitize = san.enabled();
+  std::vector<SanRecorder> san_recs;
+  if (sanitize) {
+    san_recs.resize(n_workers);
+    for (SanRecorder& r : san_recs) san.init_recorder(r, name);
+  }
+
   const unsigned n_vcus = profile_.num_cus;
   std::vector<std::atomic<double>> vcu_busy(n_vcus);
   for (auto& v : vcu_busy) v.store(0.0, std::memory_order_relaxed);
 
   pool_->parallel_for(
       cfg.grid_blocks, [&](unsigned worker, std::uint64_t block_id) {
-        ExecCtx ctx(&probes[worker], &profile_);
+        ExecCtx ctx(&probes[worker], &profile_,
+                    sanitize ? &san_recs[worker] : nullptr,
+                    static_cast<unsigned>(block_id));
         ShMem& shmem = *worker_shmem_[worker];
         shmem.reset();
         const KernelCounters before = worker_counters[worker];
@@ -92,6 +105,8 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
             block_micro_time(profile_, before, worker_counters[worker]);
         vcu_busy[block_id % n_vcus].fetch_add(dt, std::memory_order_relaxed);
       });
+
+  if (sanitize) san.analyze_launch(name, san_recs);
 
   LaunchResult result;
   for (const KernelCounters& wc : worker_counters) result.counters += wc;

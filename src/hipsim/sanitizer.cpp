@@ -1,0 +1,367 @@
+// SimSan implementation: config parsing, the findings store, the per-access
+// check hook and the post-launch cross-block race analyzer.
+#include "hipsim/sanitizer.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace xbfs::sim {
+
+const char* defect_kind_name(DefectKind k) {
+  switch (k) {
+    case DefectKind::OutOfBounds: return "out-of-bounds";
+    case DefectKind::UseAfterFree: return "use-after-free";
+    case DefectKind::UninitRead: return "uninit-read";
+    case DefectKind::StaleHostRead: return "stale-host-read";
+    case DefectKind::DataRace: return "data-race";
+    case DefectKind::DataRaceAllowlisted: return "data-race-allowlisted";
+  }
+  return "?";
+}
+
+SanitizeConfig SanitizeConfig::from_env_string(const std::string& spec) {
+  SanitizeConfig cfg;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    // Trim surrounding spaces.
+    const auto b = tok.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    tok = tok.substr(b, tok.find_last_not_of(" \t") - b + 1);
+    if (tok == "all" || tok == "on" || tok == "1") {
+      cfg = all_on();
+    } else if (tok == "bounds") {
+      cfg.bounds = true;
+    } else if (tok == "init") {
+      cfg.init = true;
+    } else if (tok == "stale") {
+      cfg.stale = true;
+    } else if (tok == "free") {
+      cfg.free = true;
+    } else if (tok == "races") {
+      cfg.races = true;
+    } else {
+      std::cerr << "XBFS_SANITIZE: unknown token '" << tok << "' ignored\n";
+    }
+  }
+  return cfg;
+}
+
+Sanitizer& Sanitizer::global() {
+  static Sanitizer* g = [] {
+    auto* s = new Sanitizer();
+    if (const char* env = std::getenv("XBFS_SANITIZE")) {
+      const SanitizeConfig cfg = SanitizeConfig::from_env_string(env);
+      if (cfg.any()) s->configure(cfg);
+    }
+    return s;
+  }();
+  return *g;
+}
+
+void Sanitizer::configure(const SanitizeConfig& cfg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  cfg_ = cfg;
+  chk_stale_.store(cfg.stale, std::memory_order_relaxed);
+  chk_init_.store(cfg.init, std::memory_order_relaxed);
+  enabled_.store(cfg.any(), std::memory_order_relaxed);
+}
+
+void Sanitizer::disable() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cfg_ = SanitizeConfig{};
+  chk_stale_.store(false, std::memory_order_relaxed);
+  chk_init_.store(false, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Sanitizer::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  registry_.clear();
+  findings_.clear();
+  finding_index_.clear();
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+SanitizeConfig Sanitizer::config() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cfg_;
+}
+
+std::shared_ptr<BufferShadow> Sanitizer::make_shadow(std::uint64_t base_addr,
+                                                     std::size_t bytes,
+                                                     std::string name) {
+  if (!enabled()) return nullptr;
+  auto shadow =
+      std::make_shared<BufferShadow>(base_addr, bytes, std::move(name));
+  std::lock_guard<std::mutex> lk(mu_);
+  registry_.push_back(shadow);
+  return shadow;
+}
+
+void Sanitizer::init_recorder(SanRecorder& rec, std::string_view kernel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rec.san = this;
+  rec.kernel = kernel;
+  rec.chk_bounds = cfg_.bounds;
+  rec.chk_init = cfg_.init;
+  rec.chk_free = cfg_.free;
+  rec.log_races = cfg_.races;
+  rec.log.clear();
+}
+
+void Sanitizer::report(DefectKind kind, std::string_view kernel,
+                       const BufferShadow* shadow, std::uint64_t byte_off,
+                       const char* detail) {
+  const char* bname =
+      shadow && !shadow->name().empty() ? shadow->name().c_str() : "<unnamed>";
+  std::string key = std::string(defect_kind_name(kind)) + '|' +
+                    std::string(kernel) + '|' + bname;
+  counts_[static_cast<unsigned>(kind)].fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, fresh] = finding_index_.try_emplace(std::move(key), 0);
+    if (fresh) {
+      it->second = findings_.size();
+      Finding f;
+      f.kind = kind;
+      f.kernel = std::string(kernel);
+      f.buffer = bname;
+      f.count = 1;
+      f.example_off = byte_off;
+      f.detail = detail ? detail : "";
+      findings_.push_back(std::move(f));
+    } else {
+      ++findings_[it->second].count;
+    }
+  }
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter(kind == DefectKind::DataRaceAllowlisted
+                   ? "sim.san.allowlisted"
+                   : "sim.san.findings")
+        .add();
+  }
+}
+
+bool san_check(SanRecorder& rec, const BufferShadow* shadow,
+               std::uint64_t addr, std::size_t index, std::size_t span_size,
+               std::size_t elem_size, AccKind kind, std::uint32_t block,
+               std::uint32_t wavefront, std::uint16_t lane,
+               const char* racy_why) {
+  const bool is_write = kind == AccKind::Write || kind == AccKind::AtomicRmw;
+  if (index >= span_size) {
+    // Unsafe either way: never perform the raw access.  Only *report* when
+    // bounds checking is on, so single-mode runs stay focused.
+    if (rec.chk_bounds) {
+      rec.san->report(DefectKind::OutOfBounds, rec.kernel, shadow,
+                      index * elem_size,
+                      is_write ? "store past the end of the span"
+                               : "load past the end of the span");
+    }
+    return false;
+  }
+  if (shadow != nullptr) {
+    const std::uint64_t off = addr - shadow->base_addr();
+    if (shadow->freed()) {
+      if (rec.chk_free) {
+        rec.san->report(DefectKind::UseAfterFree, rec.kernel, shadow, off,
+                        is_write ? "store to a freed allocation"
+                                 : "load from a freed allocation");
+      }
+      return false;
+    }
+    switch (kind) {
+      case AccKind::Write:
+        shadow->mark_init(off, elem_size);
+        shadow->set_device_dirty();
+        break;
+      case AccKind::AtomicRmw:
+        if (rec.chk_init && !shadow->is_init(off, elem_size)) {
+          rec.san->report(DefectKind::UninitRead, rec.kernel, shadow, off,
+                          "atomic RMW reads a never-written word");
+        }
+        shadow->mark_init(off, elem_size);
+        shadow->set_device_dirty();
+        break;
+      case AccKind::Read:
+      case AccKind::AtomicRead:
+        if (rec.chk_init && !shadow->is_init(off, elem_size)) {
+          rec.san->report(DefectKind::UninitRead, rec.kernel, shadow, off,
+                          "load of a never-written word");
+        }
+        break;
+    }
+    if (rec.log_races) {
+      const bool is_atomic =
+          kind == AccKind::AtomicRead || kind == AccKind::AtomicRmw;
+      AccessRecord ar;
+      ar.shadow = shadow;
+      ar.addr = addr;
+      ar.block = block;
+      ar.wavefront = wavefront;
+      ar.lane = lane;
+      ar.flags = static_cast<std::uint8_t>((is_write ? kAccWrite : 0) |
+                                           (is_atomic ? kAccAtomic : 0) |
+                                           (racy_why ? kAccRacyOk : 0));
+      ar.why = racy_why;
+      rec.log.push_back(ar);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Access categories of the race analyzer.  "Na" = non-atomic; "Ok" = made
+// under a sim::racy_ok annotation.
+enum Cat : int { kNaRead = 0, kNaReadOk, kNaWrite, kNaWriteOk, kARead, kAWrite };
+inline constexpr int kNumCats = 6;
+
+int cat_of(std::uint8_t flags) {
+  if (flags & kAccAtomic) return (flags & kAccWrite) ? kAWrite : kARead;
+  if (flags & kAccWrite) return (flags & kAccRacyOk) ? kNaWriteOk : kNaWrite;
+  return (flags & kAccRacyOk) ? kNaReadOk : kNaRead;
+}
+
+struct CatState {
+  bool seen = false;
+  bool multi = false;  ///< seen from more than one block
+  std::uint32_t first_block = 0;
+  const AccessRecord* ex = nullptr;
+};
+
+struct AddrState {
+  CatState cat[kNumCats];
+};
+
+/// A conflicting category pair: at least one write, at least one non-atomic
+/// participant.  `harmful` when some non-atomic participant is unannotated;
+/// `ex` picks which side to show in the report (the culprit for harmful
+/// pairs, the annotated access — whose `why` we quote — for allowlisted).
+struct PairRule {
+  int a, b;
+  bool harmful;
+  int ex;
+};
+constexpr PairRule kPairRules[] = {
+    {kNaWrite, kNaWrite, true, kNaWrite},
+    {kNaWrite, kNaWriteOk, true, kNaWrite},
+    {kNaWrite, kNaRead, true, kNaWrite},
+    {kNaWrite, kNaReadOk, true, kNaWrite},
+    {kNaWrite, kARead, true, kNaWrite},
+    {kNaWrite, kAWrite, true, kNaWrite},
+    {kNaWriteOk, kNaRead, true, kNaRead},
+    {kAWrite, kNaRead, true, kNaRead},
+    {kNaWriteOk, kNaWriteOk, false, kNaWriteOk},
+    {kNaWriteOk, kNaReadOk, false, kNaWriteOk},
+    {kNaWriteOk, kARead, false, kNaWriteOk},
+    {kNaWriteOk, kAWrite, false, kNaWriteOk},
+    {kAWrite, kNaReadOk, false, kNaReadOk},
+};
+
+}  // namespace
+
+void Sanitizer::analyze_launch(std::string_view kernel,
+                               std::vector<SanRecorder>& recs) {
+  std::unordered_map<std::uint64_t, AddrState> addrs;
+  std::size_t total = 0;
+  for (const SanRecorder& r : recs) total += r.log.size();
+  if (total == 0) return;
+  addrs.reserve(total / 2);
+
+  for (const SanRecorder& r : recs) {
+    for (const AccessRecord& ar : r.log) {
+      CatState& cs = addrs[ar.addr].cat[cat_of(ar.flags)];
+      if (!cs.seen) {
+        cs.seen = true;
+        cs.first_block = ar.block;
+        cs.ex = &ar;
+      } else if (cs.first_block != ar.block) {
+        cs.multi = true;
+      }
+    }
+  }
+
+  for (const auto& [addr, st] : addrs) {
+    (void)addr;
+    const AccessRecord* bad = nullptr;
+    const AccessRecord* ok = nullptr;
+    for (const PairRule& pr : kPairRules) {
+      const CatState& a = st.cat[pr.a];
+      const CatState& b = st.cat[pr.b];
+      if (!a.seen || !b.seen) continue;
+      const bool distinct = pr.a == pr.b
+                                ? a.multi
+                                : (a.multi || b.multi ||
+                                   a.first_block != b.first_block);
+      if (!distinct) continue;
+      const AccessRecord* ex = pr.ex == pr.a ? a.ex : b.ex;
+      if (pr.harmful) {
+        if (bad == nullptr) bad = ex;
+      } else {
+        if (ok == nullptr) ok = ex;
+      }
+    }
+    if (bad != nullptr) {
+      report(DefectKind::DataRace, kernel, bad->shadow,
+             bad->addr - bad->shadow->base_addr(),
+             "non-atomic access conflicts with another block's access to "
+             "the same word");
+    } else if (ok != nullptr) {
+      report(DefectKind::DataRaceAllowlisted, kernel, ok->shadow,
+             ok->addr - ok->shadow->base_addr(), ok->why);
+    }
+  }
+  for (SanRecorder& r : recs) r.log.clear();
+}
+
+std::vector<Finding> Sanitizer::findings() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return findings_;
+}
+
+std::uint64_t Sanitizer::unannotated_count() const {
+  std::uint64_t n = 0;
+  for (unsigned k = 0; k < kNumDefectKinds; ++k) {
+    if (static_cast<DefectKind>(k) == DefectKind::DataRaceAllowlisted) continue;
+    n += counts_[k].load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Sanitizer::summary(std::ostream& os) const {
+  std::vector<Finding> fs = findings();
+  os << "SimSan: " << fs.size() << " aggregated finding(s), "
+     << unannotated_count() << " unannotated occurrence(s), "
+     << allowlisted_count() << " allowlisted occurrence(s)\n";
+  for (const Finding& f : fs) {
+    os << "  [" << defect_kind_name(f.kind) << "] "
+       << (f.kernel.empty() ? "<host>" : f.kernel) << " buffer=" << f.buffer
+       << " count=" << f.count << " first@+" << f.example_off;
+    if (!f.detail.empty()) os << " : " << f.detail;
+    os << '\n';
+  }
+}
+
+// --- buffer.h hooks ---------------------------------------------------------
+std::shared_ptr<BufferShadow> sanitizer_make_shadow(std::uint64_t base_addr,
+                                                    std::size_t bytes,
+                                                    std::string name) {
+  return Sanitizer::global().make_shadow(base_addr, bytes, std::move(name));
+}
+
+void sanitizer_report_host(DefectKind kind, const BufferShadow* shadow,
+                           std::uint64_t byte_off, const char* detail) {
+  Sanitizer::global().report(kind, {}, shadow, byte_off, detail);
+}
+
+bool sanitizer_checks_init() { return Sanitizer::global().check_init(); }
+bool sanitizer_checks_stale() { return Sanitizer::global().check_stale(); }
+
+}  // namespace xbfs::sim

@@ -1,0 +1,188 @@
+// SimSan: the opt-in analysis layer of the simulated GPU.
+//
+// XBFS's correctness hinges on access disciplines no compiler checks: the
+// scan-free enqueue is safe only because status updates go through atomics,
+// the bottom-up look-ahead (HPDC'19 v7->v8) *deliberately* tolerates a
+// same-pass race, and host code must not read result buffers before the
+// modelled device->host copy.  SimSan makes those disciplines machine
+// checked:
+//
+//   * every ExecCtx global-memory access is bounds-checked against its span
+//     and validated against the buffer's shadow (use-after-free, reads of
+//     never-initialized words);
+//   * DeviceBuffer's host accessors (h_read/h_write/...) catch host reads
+//     of stale device data — kernels wrote, nobody memcpy'd back;
+//   * Device::launch records, per simulated thread, every global access as
+//     (address, read/write, atomic?, block, wavefront, lane) and a
+//     post-launch analyzer flags conflicting non-atomic same-address
+//     accesses from *different blocks* as intra-kernel data races.
+//     Accesses inside a sim::racy_ok scope (see exec_ctx.h) are allowlisted
+//     with their documented reason, so intentional races are annotated in
+//     code rather than silenced globally.
+//
+// Enabled the same way fault injection is (hipsim/fault.h):
+//
+//   XBFS_SANITIZE="races,bounds,init,stale,free"     # or "all" / "1" / "on"
+//
+// or programmatically via Sanitizer::global().configure(...).  Everything
+// is off by default; the hot-path cost when disabled is one relaxed atomic
+// load per launch and a null-pointer test per access.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hipsim/shadow.h"
+
+namespace xbfs::sim {
+
+struct SanitizeConfig {
+  bool bounds = false;  ///< out-of-bounds span indexing
+  bool init = false;    ///< reads of never-written words
+  bool stale = false;   ///< host reads of un-copied device data
+  bool free = false;    ///< use-after-free through stale spans
+  bool races = false;   ///< per-launch access log + cross-block race analysis
+
+  bool any() const { return bounds || init || stale || free || races; }
+  static SanitizeConfig all_on() {
+    SanitizeConfig c;
+    c.bounds = c.init = c.stale = c.free = c.races = true;
+    return c;
+  }
+  /// Parse the XBFS_SANITIZE spec: a comma list of the field names above,
+  /// or "all"/"on"/"1" for everything.  Unknown tokens warn to stderr and
+  /// are ignored; an empty spec leaves everything off.
+  static SanitizeConfig from_env_string(const std::string& spec);
+};
+
+/// An aggregated defect: findings are keyed by (kind, kernel, buffer) so a
+/// racy sweep over a million-vertex status array is one row with a count,
+/// not a million rows.
+struct Finding {
+  DefectKind kind = DefectKind::OutOfBounds;
+  std::string kernel;  ///< empty for host-side findings
+  std::string buffer;  ///< allocation name ("<unnamed>" when not given)
+  std::uint64_t count = 0;      ///< distinct occurrences (addresses/events)
+  std::uint64_t example_off = 0;  ///< byte offset in the buffer, first hit
+  std::string detail;  ///< defect description, or the racy_ok reason
+};
+
+/// One logged global-memory access (race mode).  `why` points at the
+/// static racy_ok reason string when the access was annotated.
+struct AccessRecord {
+  const BufferShadow* shadow = nullptr;
+  std::uint64_t addr = 0;
+  std::uint32_t block = 0;
+  std::uint32_t wavefront = 0;
+  std::uint16_t lane = 0;
+  std::uint8_t flags = 0;
+  const char* why = nullptr;
+};
+inline constexpr std::uint8_t kAccWrite = 1;
+inline constexpr std::uint8_t kAccAtomic = 2;
+inline constexpr std::uint8_t kAccRacyOk = 4;
+
+enum class AccKind : std::uint8_t { Read, Write, AtomicRead, AtomicRmw };
+
+class Sanitizer;
+
+/// Per-worker sanitizer state for one launch, wired into ExecCtx by
+/// Device::launch.  The config flags are snapshotted here so the per-access
+/// hot path never touches the global Sanitizer.
+struct SanRecorder {
+  Sanitizer* san = nullptr;
+  std::string_view kernel;  ///< outlives the launch (owned by the caller)
+  bool chk_bounds = false;
+  bool chk_init = false;
+  bool chk_free = false;
+  bool log_races = false;
+  std::vector<AccessRecord> log;
+};
+
+/// Per-access check + log hook, called by ExecCtx only when a recorder is
+/// attached.  Returns false when the access must be skipped (out of bounds
+/// or use-after-free) — the simulator never performs an unsafe access even
+/// when the corresponding report category is off.
+bool san_check(SanRecorder& rec, const BufferShadow* shadow,
+               std::uint64_t addr, std::size_t index, std::size_t span_size,
+               std::size_t elem_size, AccKind kind, std::uint32_t block,
+               std::uint32_t wavefront, std::uint16_t lane,
+               const char* racy_why);
+
+class Sanitizer {
+ public:
+  /// Process-wide instance.  First use reads XBFS_SANITIZE from the
+  /// environment (if set) so any binary can be checked unmodified.
+  static Sanitizer& global();
+
+  Sanitizer() = default;
+  Sanitizer(const Sanitizer&) = delete;
+  Sanitizer& operator=(const Sanitizer&) = delete;
+
+  void configure(const SanitizeConfig& cfg);
+  void disable();
+  /// Drop accumulated findings and the shadow registry (config stays).
+  /// Only legal while no spans of dead buffers are outstanding.
+  void reset();
+
+  /// Hot-path gate: one relaxed atomic load when the sanitizer is off.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  SanitizeConfig config() const;
+  bool check_stale() const {
+    return chk_stale_.load(std::memory_order_relaxed);
+  }
+  bool check_init() const { return chk_init_.load(std::memory_order_relaxed); }
+
+  /// Shadow factory: null when disabled.  The registry keeps shadows alive
+  /// past their buffer so dangling spans stay diagnosable.
+  std::shared_ptr<BufferShadow> make_shadow(std::uint64_t base_addr,
+                                            std::size_t bytes,
+                                            std::string name);
+
+  /// Prepare a per-worker recorder for a launch of `kernel`.
+  void init_recorder(SanRecorder& rec, std::string_view kernel);
+
+  /// Record one finding occurrence (aggregated by kind/kernel/buffer).
+  void report(DefectKind kind, std::string_view kernel,
+              const BufferShadow* shadow, std::uint64_t byte_off,
+              const char* detail);
+
+  /// Post-launch race analysis over every worker's access log.  Two
+  /// accesses to the same address conflict when they come from different
+  /// blocks, at least one is a write, and at least one is non-atomic;
+  /// the conflict is allowlisted iff every non-atomic participant was made
+  /// under a sim::racy_ok annotation.
+  void analyze_launch(std::string_view kernel,
+                      std::vector<SanRecorder>& recs);
+
+  std::vector<Finding> findings() const;
+  std::uint64_t finding_count(DefectKind k) const {
+    return counts_[static_cast<unsigned>(k)].load(std::memory_order_relaxed);
+  }
+  /// Everything that demands action: every kind except allowlisted races.
+  std::uint64_t unannotated_count() const;
+  std::uint64_t allowlisted_count() const {
+    return finding_count(DefectKind::DataRaceAllowlisted);
+  }
+  /// Human-readable triage table (one line per aggregated finding).
+  void summary(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  SanitizeConfig cfg_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> chk_stale_{false};
+  std::atomic<bool> chk_init_{false};
+  std::vector<std::shared_ptr<BufferShadow>> registry_;
+  std::vector<Finding> findings_;
+  std::map<std::string, std::size_t> finding_index_;
+  std::atomic<std::uint64_t> counts_[kNumDefectKinds] = {};
+};
+
+}  // namespace xbfs::sim

@@ -1,0 +1,111 @@
+// Per-buffer shadow state for SimSan (see hipsim/sanitizer.h).
+//
+// Every DeviceBuffer allocated while the sanitizer is enabled carries a
+// BufferShadow: the allocation's identity (name, virtual base address,
+// extent), a freed flag that outlives the buffer itself, a device-dirty
+// flag tracking whether kernels have written since the last modelled
+// device->host copy, and a per-byte initialization bitmap.  Shadows are
+// owned jointly by the buffer and the Sanitizer's registry, so a dangling
+// dspan still reaches valid shadow state and use-after-free is reported
+// instead of dereferencing freed storage.
+//
+// This header is deliberately small: buffer.h includes it without pulling
+// in the full sanitizer surface.  The three hook functions at the bottom
+// are implemented in sanitizer.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace xbfs::sim {
+
+enum class DefectKind : unsigned {
+  OutOfBounds = 0,      ///< index past the end of the span/buffer
+  UseAfterFree,         ///< access through a span of a destroyed buffer
+  UninitRead,           ///< read of a word no kernel or host write touched
+  StaleHostRead,        ///< host read while device writes were never copied back
+  DataRace,             ///< conflicting non-atomic cross-block access, unannotated
+  DataRaceAllowlisted,  ///< same, but every non-atomic party is sim::racy_ok
+};
+inline constexpr unsigned kNumDefectKinds = 6;
+
+const char* defect_kind_name(DefectKind k);
+
+/// Shadow state of one device allocation.  Device-side marks go through
+/// per-byte relaxed atomics (simulated blocks run on real threads); the
+/// bulk host-side operations (fill, full-buffer sync) are only legal while
+/// no kernel is in flight, which the phase-structured simulator guarantees.
+class BufferShadow {
+ public:
+  BufferShadow(std::uint64_t base_addr, std::size_t bytes, std::string name)
+      : name_(std::move(name)),
+        base_addr_(base_addr),
+        bytes_(bytes),
+        init_(bytes ? std::make_unique<std::atomic<std::uint8_t>[]>(bytes)
+                    : nullptr) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t base_addr() const { return base_addr_; }
+  std::size_t bytes() const { return bytes_; }
+
+  bool freed() const { return freed_.load(std::memory_order_relaxed); }
+  void mark_freed() const { freed_.store(true, std::memory_order_relaxed); }
+
+  bool device_dirty() const {
+    return device_dirty_.load(std::memory_order_relaxed);
+  }
+  void set_device_dirty() const {
+    if (!device_dirty()) device_dirty_.store(true, std::memory_order_relaxed);
+  }
+  void clear_device_dirty() const {
+    device_dirty_.store(false, std::memory_order_relaxed);
+  }
+
+  void mark_init(std::size_t off, std::size_t n) const {
+    if (all_init_.load(std::memory_order_relaxed)) return;
+    for (std::size_t b = off; b < off + n && b < bytes_; ++b) {
+      init_[b].store(1, std::memory_order_relaxed);
+    }
+  }
+  bool is_init(std::size_t off, std::size_t n) const {
+    if (all_init_.load(std::memory_order_relaxed)) return true;
+    for (std::size_t b = off; b < off + n; ++b) {
+      if (b >= bytes_ || init_[b].load(std::memory_order_relaxed) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  /// Bulk "everything is initialized" (host fill, full upload, or the
+  /// mutable host_data() escape hatch).  One flag, so repeated calls are
+  /// free.
+  void mark_all_init() const { all_init_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::uint64_t base_addr_ = 0;
+  std::size_t bytes_ = 0;
+  // Shadow state is synchronization metadata, updated through const views
+  // (dspan carries const BufferShadow*); all mutation is relaxed-atomic.
+  mutable std::atomic<bool> freed_{false};
+  mutable std::atomic<bool> device_dirty_{false};
+  mutable std::atomic<bool> all_init_{false};
+  std::unique_ptr<std::atomic<std::uint8_t>[]> init_;
+};
+
+// --- hooks for buffer.h (implemented in sanitizer.cpp) ----------------------
+/// Create (and register) a shadow for a fresh allocation; null when the
+/// sanitizer is disabled, so buffers pay nothing by default.
+std::shared_ptr<BufferShadow> sanitizer_make_shadow(std::uint64_t base_addr,
+                                                    std::size_t bytes,
+                                                    std::string name);
+/// Report a host-side finding (kernel attribution is empty).
+void sanitizer_report_host(DefectKind kind, const BufferShadow* shadow,
+                           std::uint64_t byte_off, const char* detail);
+bool sanitizer_checks_init();
+bool sanitizer_checks_stale();
+
+}  // namespace xbfs::sim

@@ -20,7 +20,9 @@ namespace xbfs::sim {
 class WavefrontCtx {
  public:
   WavefrontCtx(ExecCtx* ctx, unsigned wavefront_id, unsigned size)
-      : ctx_(ctx), id_(wavefront_id), size_(size) {}
+      : ctx_(ctx), id_(wavefront_id), size_(size) {
+    ctx_->set_wavefront(id_);
+  }
 
   unsigned id() const { return id_; }          ///< wavefront id within grid
   unsigned size() const { return size_; }      ///< lanes per wavefront
@@ -29,7 +31,10 @@ class WavefrontCtx {
   /// Execute f(lane) for every lane; a full-width SIMT step.
   template <typename F>
   void lanes(F&& f) {
-    for (unsigned l = 0; l < size_; ++l) f(l);
+    for (unsigned l = 0; l < size_; ++l) {
+      ctx_->set_lane(l);
+      f(l);
+    }
     ctx_->slots(size_, size_);
   }
 
@@ -38,7 +43,10 @@ class WavefrontCtx {
   template <typename F>
   void lanes_masked(std::uint64_t mask, F&& f) {
     for (unsigned l = 0; l < size_; ++l) {
-      if (mask & (std::uint64_t{1} << l)) f(l);
+      if (mask & (std::uint64_t{1} << l)) {
+        ctx_->set_lane(l);
+        f(l);
+      }
     }
     ctx_->slots(size_, popcll(mask));
   }
@@ -48,6 +56,7 @@ class WavefrontCtx {
   std::uint64_t ballot(P&& pred) {
     std::uint64_t mask = 0;
     for (unsigned l = 0; l < size_; ++l) {
+      ctx_->set_lane(l);
       if (pred(l)) mask |= std::uint64_t{1} << l;
     }
     ctx_->slots(size_, size_);

@@ -41,21 +41,7 @@ enum class QueryStatus {
   Failed,     ///< every rung of the resilience ladder failed; see error
 };
 
-/// Deprecated: admission outcomes are now xbfs::Status (Admission::status).
-/// Kept as a shim so existing callers keep compiling; derived from Status
-/// via reject_reason_from_status.
-enum class RejectReason {
-  None,
-  QueueFull,      ///< admission queue at capacity (backpressure)
-  ShuttingDown,   ///< server no longer accepts work
-  InvalidSource,  ///< source id >= |V|
-};
-
 const char* query_status_name(QueryStatus s);
-/// Deprecated alias for xbfs::status_code_name on the admission subset.
-const char* reject_reason_name(RejectReason r);
-/// Shim mapping for callers still switching on RejectReason.
-RejectReason reject_reason_from_status(const xbfs::Status& s);
 
 struct QueryOptions {
   /// Deadline budget from enqueue, in wall milliseconds.  0 inherits the
@@ -92,8 +78,6 @@ struct QueryResult {
 /// Outcome of Server::submit().
 struct Admission {
   bool accepted = false;
-  /// Deprecated mirror of `status` (reject_reason_from_status).
-  RejectReason reason = RejectReason::None;
   xbfs::Status status;              ///< Ok iff accepted
   QueryId id = 0;
   std::future<QueryResult> result;  ///< valid only when accepted

@@ -43,25 +43,6 @@ const char* query_status_name(QueryStatus s) {
   return "?";
 }
 
-const char* reject_reason_name(RejectReason r) {
-  switch (r) {
-    case RejectReason::None: return "none";
-    case RejectReason::QueueFull: return "queue-full";
-    case RejectReason::ShuttingDown: return "shutting-down";
-    case RejectReason::InvalidSource: return "invalid-source";
-  }
-  return "?";
-}
-
-RejectReason reject_reason_from_status(const xbfs::Status& s) {
-  switch (s.code()) {
-    case xbfs::StatusCode::Ok: return RejectReason::None;
-    case xbfs::StatusCode::QueueFull: return RejectReason::QueueFull;
-    case xbfs::StatusCode::InvalidArgument: return RejectReason::InvalidSource;
-    default: return RejectReason::ShuttingDown;
-  }
-}
-
 xbfs::Status ServeConfig::validate() const {
   if (queue_capacity < 1) {
     return xbfs::Status::Invalid("queue_capacity must be >= 1");
@@ -164,7 +145,6 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
 
   if (shut_down_.load(std::memory_order_acquire)) {
     a.status = xbfs::Status::ShuttingDown("server is shutting down");
-    a.reason = reject_reason_from_status(a.status);
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
@@ -172,7 +152,6 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
     a.status = xbfs::Status::Invalid(
         "source " + std::to_string(source) + " >= |V| = " +
         std::to_string(host_g_.num_vertices()));
-    a.reason = reject_reason_from_status(a.status);
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
@@ -221,7 +200,6 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     }
     a.status = std::move(st);
-    a.reason = reject_reason_from_status(a.status);
     return a;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);

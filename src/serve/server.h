@@ -60,7 +60,7 @@ enum class ValidateResults {
 
 struct ServeConfig {
   /// Admission-queue capacity; submissions beyond it are rejected with
-  /// RejectReason::QueueFull (backpressure).
+  /// StatusCode::QueueFull (backpressure).
   std::size_t queue_capacity = 4096;
   /// Simulated GCDs served concurrently (one worker thread drives each).
   unsigned num_gcds = 1;

@@ -190,8 +190,8 @@ TEST(Serving, BackpressureRejectsWhenTheQueueIsFull) {
   }
   Admission overflow = server.submit(4);
   EXPECT_FALSE(overflow.accepted);
-  EXPECT_EQ(overflow.reason, RejectReason::QueueFull);
-  EXPECT_STREQ(reject_reason_name(overflow.reason), "queue-full");
+  EXPECT_EQ(overflow.status.code(), xbfs::StatusCode::QueueFull);
+  EXPECT_STREQ(xbfs::status_code_name(overflow.status.code()), "queue-full");
   EXPECT_EQ(server.stats().rejected_full, 1u);
 
   // Draining frees capacity; admission works again.
@@ -211,12 +211,12 @@ TEST(Serving, InvalidSourceAndShutdownAreRejectedWithReasons) {
 
   Admission bad = server.submit(g.num_vertices() + 100);
   EXPECT_FALSE(bad.accepted);
-  EXPECT_EQ(bad.reason, RejectReason::InvalidSource);
+  EXPECT_EQ(bad.status.code(), xbfs::StatusCode::InvalidArgument);
 
   server.shutdown();
   Admission late = server.submit(0);
   EXPECT_FALSE(late.accepted);
-  EXPECT_EQ(late.reason, RejectReason::ShuttingDown);
+  EXPECT_EQ(late.status.code(), xbfs::StatusCode::ShuttingDown);
 
   const ServerStats st = server.stats();
   EXPECT_EQ(st.rejected_invalid, 1u);

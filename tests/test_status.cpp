@@ -1,5 +1,5 @@
-// Unified-status API tests: xbfs::Status semantics, the deprecated
-// RejectReason shim, and the validate-don't-clamp contract — nonsense
+// Unified-status API tests: xbfs::Status semantics, admission outcomes
+// as Status, and the validate-don't-clamp contract — nonsense
 // configurations are rejected with std::invalid_argument by the Xbfs and
 // Server constructors instead of being silently repaired.
 #include <gtest/gtest.h>
@@ -159,19 +159,7 @@ TEST(StatusApi, AdmissionQueueReportsWhyAPushWasTurnedAway) {
   EXPECT_EQ(closed.code(), StatusCode::ShuttingDown);
 }
 
-TEST(StatusApi, RejectReasonShimProjectsStatusCodes) {
-  using serve::RejectReason;
-  EXPECT_EQ(serve::reject_reason_from_status(Status::Ok()),
-            RejectReason::None);
-  EXPECT_EQ(serve::reject_reason_from_status(Status::QueueFull("q")),
-            RejectReason::QueueFull);
-  EXPECT_EQ(serve::reject_reason_from_status(Status::Invalid("src")),
-            RejectReason::InvalidSource);
-  EXPECT_EQ(serve::reject_reason_from_status(Status::ShuttingDown("bye")),
-            RejectReason::ShuttingDown);
-}
-
-TEST(StatusApi, SubmitCarriesBothStatusAndDeprecatedReason) {
+TEST(StatusApi, SubmitReportsAdmissionOutcomesAsStatus) {
   graph::RmatParams p;
   p.scale = 8;
   p.edge_factor = 8;
@@ -182,16 +170,14 @@ TEST(StatusApi, SubmitCarriesBothStatusAndDeprecatedReason) {
   cfg.batch_window_ms = 0.0;
   serve::Server server(g, cfg);
 
-  // Invalid source: status and the mirrored legacy reason must agree.
   serve::Admission bad = server.submit(g.num_vertices() + 1);
   EXPECT_FALSE(bad.accepted);
   EXPECT_EQ(bad.status.code(), StatusCode::InvalidArgument);
-  EXPECT_EQ(bad.reason, serve::RejectReason::InvalidSource);
+  EXPECT_NE(bad.status.detail().find("|V|"), std::string::npos);
 
   serve::Admission ok = server.submit(0);
   EXPECT_TRUE(ok.accepted);
   EXPECT_TRUE(ok.status.ok());
-  EXPECT_EQ(ok.reason, serve::RejectReason::None);
   server.dispatch_once();
   (void)ok.result.get();
 }
