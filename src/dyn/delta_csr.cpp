@@ -1,0 +1,196 @@
+#include "dyn/delta_csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace xbfs::dyn {
+
+using graph::eid_t;
+using graph::vid_t;
+
+DeltaCsr::DeltaCsr(std::shared_ptr<const graph::Csr> base)
+    : base_(std::move(base)) {
+  if (!base_) throw std::invalid_argument("DeltaCsr: null base");
+  // Membership checks and device tombstone indices binary-search the base
+  // adjacency, so it must be strictly increasing (sorted + deduped — the
+  // graph::build_csr defaults).
+  for (vid_t v = 0; v < base_->num_vertices(); ++v) {
+    const auto nb = base_->neighbors(v);
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      if (nb[i - 1] >= nb[i]) {
+        throw std::invalid_argument(
+            "DeltaCsr: base adjacency of vertex " + std::to_string(v) +
+            " is not sorted+deduplicated");
+      }
+    }
+  }
+}
+
+bool DeltaCsr::contains(const Overlay& o, vid_t v, vid_t w) {
+  const std::vector<vid_t>* vec = find(o, v);
+  return vec && std::binary_search(vec->begin(), vec->end(), w);
+}
+
+bool DeltaCsr::sorted_insert(Overlay& o, vid_t v, vid_t w) {
+  std::vector<vid_t>& vec = o[v];
+  const auto it = std::lower_bound(vec.begin(), vec.end(), w);
+  if (it != vec.end() && *it == w) return false;
+  vec.insert(it, w);
+  return true;
+}
+
+bool DeltaCsr::sorted_erase(Overlay& o, vid_t v, vid_t w) {
+  const auto mit = o.find(v);
+  if (mit == o.end()) return false;
+  std::vector<vid_t>& vec = mit->second;
+  const auto it = std::lower_bound(vec.begin(), vec.end(), w);
+  if (it == vec.end() || *it != w) return false;
+  vec.erase(it);
+  if (vec.empty()) o.erase(mit);
+  return true;
+}
+
+bool DeltaCsr::base_has(vid_t u, vid_t v) const {
+  const auto nb = base_->neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+eid_t DeltaCsr::base_edge_index(vid_t u, vid_t v) const {
+  const auto nb = base_->neighbors(u);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), v);
+  return base_->offsets()[u] + static_cast<eid_t>(it - nb.begin());
+}
+
+bool DeltaCsr::has_edge(vid_t u, vid_t v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  if (contains(extras_, u, v)) return true;
+  return base_has(u, v) && !is_tombstoned(u, v);
+}
+
+vid_t DeltaCsr::degree(vid_t v) const {
+  vid_t d = base_->degree(v);
+  if (const std::vector<vid_t>* t = find(tombstones_, v)) {
+    d -= static_cast<vid_t>(t->size());
+  }
+  if (const std::vector<vid_t>* ex = find(extras_, v)) {
+    d += static_cast<vid_t>(ex->size());
+  }
+  return d;
+}
+
+bool DeltaCsr::directed_insert(vid_t u, vid_t v) {
+  if (base_has(u, v)) {
+    // Live already, or tombstoned and revived by un-deleting it.
+    if (!sorted_erase(tombstones_, u, v)) return false;
+    --tomb_entries_;
+    return true;
+  }
+  if (!sorted_insert(extras_, u, v)) return false;
+  ++extra_entries_;
+  return true;
+}
+
+bool DeltaCsr::directed_erase(vid_t u, vid_t v) {
+  if (sorted_erase(extras_, u, v)) {
+    --extra_entries_;
+    return true;
+  }
+  if (!base_has(u, v) || is_tombstoned(u, v)) return false;
+  sorted_insert(tombstones_, u, v);
+  ++tomb_entries_;
+  return true;
+}
+
+ApplyStats DeltaCsr::apply(const EdgeBatch& batch) {
+  ApplyStats st;
+  for (const EdgeOp& op : batch.ops) {
+    if (op.u == op.v || op.u >= num_vertices() || op.v >= num_vertices()) {
+      ++st.noops;  // self loop or out-of-range endpoint
+      continue;
+    }
+    bool changed;
+    if (op.insert) {
+      changed = directed_insert(op.u, op.v);
+      directed_insert(op.v, op.u);
+      if (changed) ++st.inserts_applied;
+    } else {
+      changed = directed_erase(op.u, op.v);
+      directed_erase(op.v, op.u);
+      if (changed) ++st.deletes_applied;
+    }
+    if (!changed) ++st.noops;
+  }
+  // Every apply bumps the epoch — even an all-no-op batch — so the
+  // fingerprint (and with it every serving-cache key) always moves.
+  ++epoch_;
+  return st;
+}
+
+std::vector<vid_t> DeltaCsr::neighbors_sorted(vid_t v) const {
+  std::vector<vid_t> out;
+  out.reserve(degree(v));
+  for_each_neighbor(v, [&](vid_t w) { out.push_back(w); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double DeltaCsr::overlay_density() const {
+  const double base_m = static_cast<double>(std::max<eid_t>(1, base_->num_edges()));
+  return static_cast<double>(extra_entries_ + tomb_entries_) / base_m;
+}
+
+graph::Csr DeltaCsr::materialize() const {
+  const vid_t n = num_vertices();
+  std::vector<eid_t> offsets(n + 1, 0);
+  for (vid_t v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degree(v);
+  std::vector<vid_t> cols(offsets[n]);
+  for (vid_t v = 0; v < n; ++v) {
+    eid_t at = offsets[v];
+    for_each_neighbor(v, [&](vid_t w) { cols[at++] = w; });
+    std::sort(cols.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              cols.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  return graph::Csr(std::move(offsets), std::move(cols));
+}
+
+void DeltaCsr::compact() {
+  base_ = std::make_shared<const graph::Csr>(materialize());
+  extras_.clear();
+  tombstones_.clear();
+  extra_entries_ = 0;
+  tomb_entries_ = 0;
+  ++base_version_;
+}
+
+std::uint64_t DeltaCsr::fingerprint() const {
+  // Same FNV-1a scheme as Csr::fingerprint, folded over the overlay
+  // content in deterministic (vertex-sorted) order, with the epoch mixed
+  // last — the epoch-mixing contract of docs/dynamic.md.
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  std::uint64_t h = base_->fingerprint(0);
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (x & 0xff)) * kFnvPrime;
+      x >>= 8;
+    }
+  };
+  const auto mix_overlay = [&](const Overlay& o) {
+    std::vector<vid_t> keys;
+    keys.reserve(o.size());
+    for (const auto& [v, _] : o) keys.push_back(v);
+    std::sort(keys.begin(), keys.end());
+    mix(keys.size());
+    for (const vid_t v : keys) {
+      mix(v);
+      for (const vid_t w : o.at(v)) mix(w);
+    }
+  };
+  mix_overlay(extras_);
+  mix_overlay(tombstones_);
+  mix(epoch_);
+  return h;
+}
+
+}  // namespace xbfs::dyn

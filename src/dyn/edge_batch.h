@@ -1,0 +1,51 @@
+// Edge update batches: the write-side vocabulary of the dynamic-graph
+// subsystem (docs/dynamic.md).
+//
+// A batch is an ordered list of undirected insert/delete operations.  The
+// graph stays an undirected symmetric CSR, so every op touches both
+// directed adjacency entries; ops that would not change the graph (self
+// loops, inserting a live edge, deleting an absent one) are counted as
+// no-ops rather than errors — streaming feeds routinely replay updates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace xbfs::dyn {
+
+struct EdgeOp {
+  graph::vid_t u = 0;
+  graph::vid_t v = 0;
+  bool insert = true;  ///< false = delete
+};
+
+struct EdgeBatch {
+  std::vector<EdgeOp> ops;
+
+  void insert(graph::vid_t u, graph::vid_t v) { ops.push_back({u, v, true}); }
+  void erase(graph::vid_t u, graph::vid_t v) { ops.push_back({u, v, false}); }
+  void append(const EdgeBatch& other) {
+    ops.insert(ops.end(), other.ops.begin(), other.ops.end());
+  }
+  std::size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+};
+
+/// What DeltaCsr::apply actually did with a batch (undirected op counts).
+struct ApplyStats {
+  std::uint64_t inserts_applied = 0;
+  std::uint64_t deletes_applied = 0;
+  std::uint64_t noops = 0;  ///< self loops, duplicate inserts, absent deletes
+
+  ApplyStats& operator+=(const ApplyStats& o) {
+    inserts_applied += o.inserts_applied;
+    deletes_applied += o.deletes_applied;
+    noops += o.noops;
+    return *this;
+  }
+};
+
+}  // namespace xbfs::dyn

@@ -1,0 +1,83 @@
+#include "dyn/graph_store.h"
+
+#include <stdexcept>
+
+namespace xbfs::dyn {
+
+GraphStore::GraphStore(graph::Csr base, core::XbfsConfig cfg,
+                       std::size_t log_capacity)
+    : cfg_(cfg), log_capacity_(log_capacity) {
+  if (const xbfs::Status s = cfg_.validate(); !s.ok()) {
+    throw std::invalid_argument("GraphStore: " + s.to_string());
+  }
+  current_ = std::make_shared<const DeltaCsr>(std::move(base));
+}
+
+Snapshot GraphStore::snapshot() const {
+  std::shared_ptr<const DeltaCsr> g;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    g = current_;
+  }
+  return Snapshot{g, g->epoch(), g->fingerprint()};
+}
+
+std::uint64_t GraphStore::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->epoch();
+}
+
+std::uint64_t GraphStore::fingerprint() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->fingerprint();
+}
+
+ApplyStats GraphStore::apply(const EdgeBatch& batch) {
+  // One writer at a time; the copy-on-write build happens outside mu_ so
+  // snapshot() readers only ever wait for a pointer copy.
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  auto next = std::make_shared<DeltaCsr>(*current_);  // clones overlays only
+  const ApplyStats st = next->apply(batch);
+  bool compacted = false;
+  if (next->overlay_density() > cfg_.dyn_compact_threshold) {
+    next->compact();
+    compacted = true;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    current_ = std::move(next);
+    log_.emplace_back(current_->epoch(), batch);
+    while (log_.size() > log_capacity_) log_.pop_front();
+    stats_.batches_applied += 1;
+    stats_.inserts_applied += st.inserts_applied;
+    stats_.deletes_applied += st.deletes_applied;
+    stats_.noops += st.noops;
+    if (compacted) stats_.compactions += 1;
+  }
+  return st;
+}
+
+std::optional<EdgeBatch> GraphStore::ops_between(std::uint64_t from_epoch,
+                                                std::uint64_t to_epoch) const {
+  if (from_epoch > to_epoch) return std::nullopt;
+  EdgeBatch out;
+  if (from_epoch == to_epoch) return out;
+  std::lock_guard<std::mutex> lk(mu_);
+  // Epochs in the log are contiguous; the gap is covered iff the oldest
+  // retained entry is at or before from_epoch + 1.
+  if (log_.empty() || log_.front().first > from_epoch + 1 ||
+      log_.back().first < to_epoch) {
+    return std::nullopt;
+  }
+  for (const auto& [epoch, batch] : log_) {
+    if (epoch > from_epoch && epoch <= to_epoch) out.append(batch);
+  }
+  return out;
+}
+
+StoreStats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace xbfs::dyn

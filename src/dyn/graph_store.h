@@ -1,0 +1,88 @@
+// GraphStore: epoch/snapshot versioning over a DeltaCsr (docs/dynamic.md).
+//
+// The store owns "the current graph" as an immutable shared_ptr<DeltaCsr>.
+// Readers call snapshot() and get a refcounted Snapshot{graph, epoch,
+// fingerprint}; the graph a snapshot points at is never mutated, so a BFS
+// that is mid-flight when a writer lands keeps traversing a consistent
+// topology.  Writers go through apply(): copy-on-write (clone the overlay,
+// never the shared base), apply the batch, auto-compact past the
+// XbfsConfig::dyn_compact_threshold overlay density, and atomically
+// publish the new version.  Writes are serialized per store; reads are
+// never blocked (snapshot() only takes the publish mutex for a pointer
+// copy).
+//
+// The store also keeps a bounded log of applied batches so IncrementalBfs
+// can replay "what changed between my prior epoch and now" and seed a
+// repair; when the gap has fallen off the log, ops_between returns nullopt
+// and the engine recomputes from scratch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/config.h"
+#include "dyn/delta_csr.h"
+#include "dyn/edge_batch.h"
+
+namespace xbfs::dyn {
+
+/// A consistent, refcounted view of the graph at one epoch.  Cheap to
+/// copy; holding one pins the underlying DeltaCsr (and its base) alive.
+struct Snapshot {
+  std::shared_ptr<const DeltaCsr> graph;
+  std::uint64_t epoch = 0;
+  std::uint64_t fingerprint = 0;
+  explicit operator bool() const { return static_cast<bool>(graph); }
+};
+
+struct StoreStats {
+  std::uint64_t batches_applied = 0;
+  std::uint64_t inserts_applied = 0;
+  std::uint64_t deletes_applied = 0;
+  std::uint64_t noops = 0;
+  std::uint64_t compactions = 0;
+};
+
+class GraphStore {
+ public:
+  /// The base must satisfy DeltaCsr's sorted+deduped precondition.  Only
+  /// the dyn_* knobs of `cfg` are read.  `log_capacity` bounds the replay
+  /// log (batches); older gaps force engines into full recompute.
+  explicit GraphStore(graph::Csr base, core::XbfsConfig cfg = {},
+                      std::size_t log_capacity = 256);
+
+  GraphStore(const GraphStore&) = delete;
+  GraphStore& operator=(const GraphStore&) = delete;
+
+  Snapshot snapshot() const;
+  std::uint64_t epoch() const;
+  std::uint64_t fingerprint() const;
+
+  /// Serialized writer lane: COW-apply the batch, maybe compact, publish.
+  ApplyStats apply(const EdgeBatch& batch);
+
+  /// Concatenated ops of the batches that moved the graph from
+  /// `from_epoch` to `to_epoch` (exclusive/inclusive).  nullopt when the
+  /// bounded log no longer covers the gap.
+  std::optional<EdgeBatch> ops_between(std::uint64_t from_epoch,
+                                       std::uint64_t to_epoch) const;
+
+  StoreStats stats() const;
+
+ private:
+  const core::XbfsConfig cfg_;
+  const std::size_t log_capacity_;
+
+  std::mutex writer_mu_;  ///< serializes apply() (writes per graph)
+  mutable std::mutex mu_;  ///< guards current_, log_, stats_ (pointer swap)
+  std::shared_ptr<const DeltaCsr> current_;
+  /// (epoch the batch produced, the batch); epochs are contiguous.
+  std::deque<std::pair<std::uint64_t, EdgeBatch>> log_;
+  StoreStats stats_;
+};
+
+}  // namespace xbfs::dyn

@@ -1,0 +1,198 @@
+// IncrementalBfs: BFS over a dynamic graph with incremental repair
+// (docs/dynamic.md), the dynamic-graph TraversalEngine.
+//
+// The engine keeps, per source, the level array of its last run and the
+// epoch it was computed at.  On the next run for that source it replays
+// the update batches between the two epochs (GraphStore::ops_between) and
+// repairs instead of recomputing:
+//
+//   1. Invalidation (host, Ramalingam/Reps-style): deleted edges seed
+//      "suspect" vertices whose old level might have depended on the lost
+//      edge; suspects are processed in ascending old-level order — a
+//      suspect with a surviving level-1 neighbor outside the dirty set is
+//      still supported, anything else joins the dirty set D and cascades
+//      to its old level+1 neighbors.  Levels outside D remain valid upper
+//      bounds on the new graph.
+//   2. Repair frontier: the settled boundary of D plus the still-settled
+//      endpoints of inserted edges that can actually improve their partner.
+//      D resets to unvisited; the frontier is injected at once and an
+//      asynchronous decrease-only fixpoint (device atomic_min, enqueue on
+//      every improvement) runs until quiescent.  Rounds scale with the
+//      dirty-region diameter, not the graph depth — that locality is where
+//      repair beats recompute.  The adaptive policy is the paper's
+//      r-vs-alpha bound applied to the subproblem: when the boundary
+//      frontier's edges stay under alpha times the dirty region's incident
+//      edges, repair pushes top-down from the boundary; past it (hub-heavy
+//      boundaries) repair flips bottom-up — every round pulls 1+min over
+//      neighbors into the dirty list only, so hub adjacencies are never
+//      walked, while filtered insert endpoints still push so improvements
+//      outside D propagate.
+//   3. Policy: when (|D| + seeds) / |V| exceeds
+//      XbfsConfig::dyn_repair_ratio — the dynamic analogue of the paper's
+//      r-vs-alpha bound — repair would touch too much of the graph and the
+//      engine falls back to a full recompute: the classic level-synchronous
+//      bucket machinery seeded with {src@0}, everything dirty, bottom-up
+//      passes chosen per level by the same alpha ratio.
+//
+// Device state is a mirror of the DeltaCsr: the flat base CSR uploaded
+// once per base_version (re-uploaded after compact()), deletions patched
+// in place as kTombstone sentinels in the cols array (revived by writing
+// the original vertex id back), and the insert overlay as a small sorted
+// (vertex, offset, cols) triple rebuilt per epoch sync.  All kernel memory
+// traffic goes through the SimSan-checked ExecCtx accessors; the
+// intentional status races carry sim::racy_ok annotations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/traversal_engine.h"
+#include "dyn/graph_store.h"
+#include "hipsim/device.h"
+
+namespace xbfs::dyn {
+
+/// Monotonic engine counters (relaxed atomics — stats() may be read while
+/// another thread is inside run()).
+struct DynEngineStats {
+  std::uint64_t runs = 0;
+  std::uint64_t repairs = 0;            ///< served by incremental repair
+  std::uint64_t recomputes = 0;         ///< full recomputes (incl. fallbacks)
+  std::uint64_t fallbacks_ratio = 0;    ///< repair exceeded dyn_repair_ratio
+  std::uint64_t fallbacks_log = 0;      ///< epoch gap fell off the store log
+  std::uint64_t dirty_vertices = 0;     ///< summed |D| across repairs
+  std::uint64_t repair_seeds = 0;       ///< summed seed-frontier sizes
+  std::uint64_t device_syncs = 0;       ///< incremental epoch syncs
+  std::uint64_t full_uploads = 0;       ///< base re-uploads (first/compact)
+  std::uint64_t patched_entries = 0;    ///< in-place tombstone/revive writes
+  double repair_ms = 0.0;               ///< modelled, summed over repairs
+  double recompute_ms = 0.0;            ///< modelled, summed over recomputes
+};
+
+class IncrementalBfs final : public core::TraversalEngine {
+ public:
+  /// Only the dyn_* knobs, alpha, block_threads/grid_blocks and
+  /// report_runs of `cfg` are read.  Throws std::invalid_argument on an
+  /// invalid config.
+  IncrementalBfs(sim::Device& dev, GraphStore& store,
+                 core::XbfsConfig cfg = {});
+
+  /// Canonical hop distances from `src` on the store's current snapshot.
+  /// Not reentrant (device buffers are reused) — callers serialize runs
+  /// per engine, as the serving ladder does.
+  core::BfsResult run(graph::vid_t src) override;
+
+  const char* name() const override { return "incremental"; }
+  core::EngineCapabilities capabilities() const override {
+    return {.on_device = true, .adaptive = true, .builds_parents = false};
+  }
+
+  DynEngineStats stats() const;
+  /// The snapshot the last run() traversed (valid under the same
+  /// serialization as run(); the serving path reads it while still holding
+  /// the per-GCD lock).
+  const Snapshot& served() const { return snap_; }
+  /// Drop all prior-level history: every subsequent run() recomputes.
+  void clear_history();
+
+ private:
+  /// What a repair run must touch, derived on the host from the prior
+  /// levels and the replayed ops.
+  struct RepairPlan {
+    bool feasible = true;
+    bool delete_only = true;
+    std::vector<graph::vid_t> dirty;  ///< D: reset to unvisited
+    /// Settled boundary of D (pushed only in top-down repairs) and the
+    /// filtered inserted-edge endpoints (always pushed).  The two lists
+    /// may overlap; push relaxation is idempotent.
+    std::vector<graph::vid_t> boundary;
+    std::vector<graph::vid_t> insert_seeds;
+    std::uint64_t boundary_edges = 0;  ///< Σ degree over `boundary`
+    std::size_t seed_count = 0;
+  };
+
+  void sync_device(const Snapshot& snap);
+  RepairPlan plan_repair(const DeltaCsr& g,
+                         const std::vector<std::int32_t>& old_levels,
+                         const EdgeBatch& ops, graph::vid_t src) const;
+  /// Full-recompute path: the level-synchronous push/pull pass loop over
+  /// whatever status_host_ was seeded with (per-level seed buckets,
+  /// bottom-up scans over the full vertex range past alpha).
+  void run_passes(const Snapshot& snap,
+                  const std::map<std::uint32_t,
+                                 std::vector<graph::vid_t>>& seeds,
+                  bool allow_pull, core::BfsResult& result);
+  /// Repair path: asynchronous decrease-only fixpoint from `seeds` (all
+  /// injected up front).  In `pull_mode` every round additionally scans
+  /// the dirty list (d_dirty_, `dirty_count` entries) bottom-up, so hub
+  /// boundaries never have to be pushed; rounds run until no label
+  /// improves.  Returns false on queue overflow (caller falls back to
+  /// recompute).
+  bool run_fixpoint(const Snapshot& snap,
+                    const std::vector<graph::vid_t>& seeds, bool pull_mode,
+                    std::uint32_t dirty_count, core::BfsResult& result);
+  void remember(graph::vid_t src, const std::vector<std::int32_t>& levels,
+                std::uint64_t epoch);
+
+  sim::Device& dev_;
+  GraphStore& store_;
+  core::XbfsConfig cfg_;
+  Snapshot snap_;  ///< last synced/served snapshot
+
+  // Device mirror of the DeltaCsr.
+  sim::DeviceBuffer<graph::eid_t> d_offsets_;
+  sim::DeviceBuffer<graph::vid_t> d_cols_;
+  sim::DeviceBuffer<graph::vid_t> d_ov_vid_;   ///< touched vertices, sorted
+  sim::DeviceBuffer<graph::eid_t> d_ov_off_;   ///< ov_count_+1 offsets
+  sim::DeviceBuffer<graph::vid_t> d_ov_cols_;  ///< inserted neighbors
+  std::uint32_t ov_count_ = 0;
+  sim::DeviceBuffer<graph::eid_t> d_patch_idx_;
+  sim::DeviceBuffer<graph::vid_t> d_patch_val_;
+  /// Base-cols indices currently holding the kTombstone sentinel on the
+  /// device (diffed against the snapshot's tombstones per sync).
+  std::unordered_set<graph::eid_t> device_tombs_;
+  std::uint64_t synced_base_version_ = 0;
+  std::uint64_t synced_epoch_ = 0;
+  bool synced_once_ = false;
+
+  // Traversal state.
+  sim::DeviceBuffer<std::uint32_t> d_status_;
+  sim::DeviceBuffer<graph::vid_t> d_queue_a_;
+  sim::DeviceBuffer<graph::vid_t> d_queue_b_;
+  sim::DeviceBuffer<graph::vid_t> d_dirty_;
+  sim::DeviceBuffer<graph::vid_t> d_seeds_;
+  sim::DeviceBuffer<std::uint32_t> d_counters_;      ///< [0] next-queue tail
+  sim::DeviceBuffer<std::uint64_t> d_edge_counter_;  ///< [0] claimed degree
+  std::vector<std::uint32_t> status_host_;
+
+  // Per-source prior levels (FIFO-bounded by cfg_.dyn_history_sources).
+  struct Prior {
+    std::vector<std::int32_t> levels;
+    std::uint64_t epoch = 0;
+  };
+  std::unordered_map<graph::vid_t, Prior> history_;
+  std::deque<graph::vid_t> history_order_;
+
+  // Counters (relaxed; modelled times kept as integer microseconds so the
+  // whole stats block stays lock-free).
+  std::atomic<std::uint64_t> runs_{0};
+  std::atomic<std::uint64_t> repairs_{0};
+  std::atomic<std::uint64_t> recomputes_{0};
+  std::atomic<std::uint64_t> fallbacks_ratio_{0};
+  std::atomic<std::uint64_t> fallbacks_log_{0};
+  std::atomic<std::uint64_t> dirty_vertices_{0};
+  std::atomic<std::uint64_t> repair_seeds_{0};
+  std::atomic<std::uint64_t> device_syncs_{0};
+  std::atomic<std::uint64_t> full_uploads_{0};
+  std::atomic<std::uint64_t> patched_entries_{0};
+  std::atomic<std::uint64_t> repair_us_{0};
+  std::atomic<std::uint64_t> recompute_us_{0};
+};
+
+}  // namespace xbfs::dyn

@@ -20,7 +20,7 @@ vid_t Csr::max_degree() const {
   return best;
 }
 
-std::uint64_t Csr::fingerprint() const {
+std::uint64_t Csr::fingerprint(std::uint64_t epoch) const {
   constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
   constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
   std::uint64_t h = kFnvOffset;
@@ -38,6 +38,10 @@ std::uint64_t Csr::fingerprint() const {
   const eid_t stride = std::max<eid_t>(1, m_ / 65536);
   for (eid_t e = 0; e < m_; e += stride) mix(cols_[e]);
   if (m_ != 0) mix(cols_[m_ - 1]);
+  // Epoch last, mixed unconditionally: a bumped epoch perturbs the final
+  // hash even when the sampled structural walk is identical, which is what
+  // lets serving-cache keys invalidate on every applied update batch.
+  mix(epoch);
   return h;
 }
 

@@ -49,10 +49,19 @@ class Csr {
   std::string validate() const;
 
   /// Deterministic 64-bit structural fingerprint (FNV-1a over n, m, the
-  /// offsets array and a bounded sample of adjacency entries).  Used as
-  /// the graph half of serving-cache keys, so results computed against one
-  /// graph are never returned for another.
-  std::uint64_t fingerprint() const;
+  /// offsets array and a bounded sample of adjacency entries), with the
+  /// graph's dynamic `epoch` mixed into the hash.  Used as the graph half
+  /// of serving-cache keys, so results computed against one graph are
+  /// never returned for another.
+  ///
+  /// Epoch-mixing contract (docs/dynamic.md):
+  ///   - equal structure + equal epoch  => equal fingerprint;
+  ///   - any applied `dyn::EdgeBatch` bumps the owning store's epoch, so
+  ///     the fingerprint changes even when the sampled adjacency entries
+  ///     happen to miss the touched edges — serving-cache keys invalidate
+  ///     on *every* update, not just structurally visible ones.
+  /// Static graphs use the default epoch 0 and keep their old values.
+  std::uint64_t fingerprint(std::uint64_t epoch = 0) const;
 
   /// Bytes of the CSR payload (the paper's "Data size" column).
   std::uint64_t payload_bytes() const {

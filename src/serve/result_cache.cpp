@@ -23,6 +23,31 @@ CachedResult ResultCache::get(std::uint64_t graph_fp, graph::vid_t source) {
   const auto it = s.map.find(k);
   if (it == s.map.end()) {
     ++s.misses;
+    // Lazy reap: a miss for the live fingerprint whose prior-epoch twin is
+    // still resident means a fingerprint-less cache would have returned
+    // that stale entry.  Drop it and count the avoided stale hit.
+    if (primed_.load(std::memory_order_acquire) &&
+        graph_fp == current_fp_.load(std::memory_order_relaxed)) {
+      const std::uint64_t prev = prev_fp_.load(std::memory_order_relaxed);
+      if (prev != graph_fp) {
+        const Key stale{prev, source};
+        Shard& ss = shard_of(stale);
+        // Same shard ⇒ the lock is already held; reap inline.
+        auto reap = [&](Shard& sh) {
+          if (const auto sit = sh.map.find(stale); sit != sh.map.end()) {
+            sh.lru.erase(sit->second);
+            sh.map.erase(sit);
+            stale_hits_avoided_.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        if (&ss == &s) {
+          reap(s);
+        } else {
+          std::lock_guard<std::mutex> slk(ss.mu);
+          reap(ss);
+        }
+      }
+    }
     return {};
   }
   ++s.hits;
@@ -51,6 +76,35 @@ void ResultCache::put(std::uint64_t graph_fp, graph::vid_t source,
   ++s.inserts;
 }
 
+void ResultCache::prime(std::uint64_t graph_fp) {
+  current_fp_.store(graph_fp, std::memory_order_relaxed);
+  prev_fp_.store(graph_fp, std::memory_order_relaxed);
+  primed_.store(true, std::memory_order_release);
+}
+
+std::size_t ResultCache::epoch_bump(std::uint64_t new_fp) {
+  prev_fp_.store(current_fp_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  current_fp_.store(new_fp, std::memory_order_relaxed);
+  primed_.store(true, std::memory_order_release);
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t purged = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    for (auto it = sp->lru.begin(); it != sp->lru.end();) {
+      if (it->first.fp != new_fp) {
+        sp->map.erase(it->first);
+        it = sp->lru.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  purged_stale_.fetch_add(purged, std::memory_order_relaxed);
+  return purged;
+}
+
 ResultCache::Stats ResultCache::stats() const {
   Stats out;
   for (const auto& sp : shards_) {
@@ -61,6 +115,10 @@ ResultCache::Stats ResultCache::stats() const {
     out.inserts += sp->inserts;
     out.entries += sp->lru.size();
   }
+  out.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
+  out.purged_stale = purged_stale_.load(std::memory_order_relaxed);
+  out.stale_hits_avoided =
+      stale_hits_avoided_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -6,8 +6,15 @@
 // (graph::Csr::fingerprint) so a cache shared across graph reloads can
 // never serve a stale topology's result.  Shards (each its own mutex +
 // LRU list) keep submit-path lookups from serializing behind one lock.
+// Dynamic graphs (src/dyn) add epoch awareness: each update batch bumps
+// the graph fingerprint (Csr::fingerprint mixes the epoch), so entries
+// keyed under the previous fingerprint become unreachable garbage rather
+// than stale hits.  epoch_bump() sweeps them eagerly and counts the purge;
+// get() additionally reaps the prior epoch's twin of each missed key so a
+// churning hot set can't pin dead entries until LRU pressure finds them.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -28,6 +35,13 @@ class ResultCache {
     std::uint64_t evictions = 0;
     std::uint64_t inserts = 0;
     std::size_t entries = 0;
+    /// Dynamic-graph invalidation (zero on static graphs): epoch_bump()
+    /// calls, entries purged by those sweeps, and prior-epoch twins reaped
+    /// lazily by get() misses — each one a stale hit that a fingerprint-less
+    /// cache would have served.
+    std::uint64_t epoch_bumps = 0;
+    std::uint64_t purged_stale = 0;
+    std::uint64_t stale_hits_avoided = 0;
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -50,6 +64,16 @@ class ResultCache {
   /// Insert/overwrite; evicts the shard's least-recently-used entry when
   /// the shard is full.
   void put(std::uint64_t graph_fp, graph::vid_t source, CachedResult v);
+
+  /// Register the serving fingerprint without counting a bump — called once
+  /// at dynamic-server startup so the first epoch_bump() has a "previous"
+  /// epoch to retire.  No-op sweep-wise.
+  void prime(std::uint64_t graph_fp);
+  /// The graph moved to a new epoch/fingerprint: sweep every entry keyed
+  /// under any other fingerprint (their topology can no longer be served)
+  /// and remember the retired fingerprint for lazy reaping in get().
+  /// Returns the number of entries purged.
+  std::size_t epoch_bump(std::uint64_t new_fp);
 
   Stats stats() const;
   std::size_t size() const;
@@ -90,6 +114,14 @@ class ResultCache {
 
   std::size_t shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Epoch bookkeeping (dynamic graphs only; untouched on static servers).
+  std::atomic<bool> primed_{false};
+  std::atomic<std::uint64_t> current_fp_{0};
+  std::atomic<std::uint64_t> prev_fp_{0};
+  std::atomic<std::uint64_t> epoch_bumps_{0};
+  std::atomic<std::uint64_t> purged_stale_{0};
+  std::atomic<std::uint64_t> stale_hits_avoided_{0};
 };
 
 }  // namespace xbfs::serve

@@ -8,6 +8,8 @@
 #include "algos/multi_bfs.h"
 #include "baseline/cpu_bfs.h"
 #include "baseline/simple_scan.h"
+#include "dyn/delta_ref.h"
+#include "dyn/incremental_bfs.h"
 #include "graph/g500_validate.h"
 #include "hipsim/fault.h"
 #include "obs/run_report.h"
@@ -86,9 +88,15 @@ xbfs::Status ServeConfig::validate() const {
 }
 
 Server::Server(const graph::Csr& g, ServeConfig cfg)
+    : Server(&g, nullptr, std::move(cfg)) {}
+
+Server::Server(dyn::GraphStore& store, ServeConfig cfg)
+    : Server(nullptr, &store, std::move(cfg)) {}
+
+Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
     : host_g_(g),
+      store_(store),
       cfg_((checked(cfg), std::move(cfg))),
-      graph_fp_(g.fingerprint()),
       queue_(cfg_.queue_capacity),
       cache_(cfg_.cache_capacity, cfg_.cache_shards),
       health_(cfg_.num_gcds,
@@ -99,6 +107,18 @@ Server::Server(const graph::Csr& g, ServeConfig cfg)
   // swamp XBFS_RUN_REPORT under load.
   cfg_.xbfs.report_runs = false;
 
+  if (store_) {
+    const dyn::Snapshot snap = store_->snapshot();
+    n_vertices_ = snap.graph->num_vertices();
+    graph_fp_.store(snap.fingerprint, std::memory_order_release);
+    // Registers the serving fingerprint so the first epoch bump already
+    // has a previous epoch to retire lazily.
+    cache_.prime(snap.fingerprint);
+  } else {
+    n_vertices_ = host_g_->num_vertices();
+    graph_fp_.store(host_g_->fingerprint(), std::memory_order_release);
+  }
+
   gcds_.reserve(cfg_.num_gcds);
   for (unsigned i = 0; i < cfg_.num_gcds; ++i) {
     auto gcd = std::make_unique<Gcd>();
@@ -108,19 +128,34 @@ Server::Server(const graph::Csr& g, ServeConfig cfg)
                         .profiling = cfg_.device_profiling});
     gcd->dev->set_trace_label("serve-gcd" + std::to_string(i));
     gcd->dev->warmup();
-    gcd->dg = graph::DeviceCsr::upload(*gcd->dev, host_g_);
-    // Degradation ladder, fastest first.  The simple-scan baseline is the
-    // second rung: far fewer kernel launches per traversal than adaptive
-    // XBFS, so under a high kernel-fault rate it has fewer chances to draw
-    // a fault while still running on the device.
-    gcd->ladder.push_back(
-        std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs));
-    gcd->ladder.push_back(
-        std::make_unique<baseline::SimpleScanBfs>(*gcd->dev, gcd->dg));
+    if (store_) {
+      // Dynamic ladder: one rung, the incremental-repair engine (it owns
+      // its own delta-aware device mirror; no static DeviceCsr upload).
+      auto inc =
+          std::make_unique<dyn::IncrementalBfs>(*gcd->dev, *store_, cfg_.xbfs);
+      gcd->inc = inc.get();
+      gcd->ladder.push_back(std::move(inc));
+    } else {
+      gcd->dg = graph::DeviceCsr::upload(*gcd->dev, *host_g_);
+      // Degradation ladder, fastest first.  The simple-scan baseline is the
+      // second rung: far fewer kernel launches per traversal than adaptive
+      // XBFS, so under a high kernel-fault rate it has fewer chances to
+      // draw a fault while still running on the device.
+      gcd->ladder.push_back(
+          std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs));
+      gcd->ladder.push_back(
+          std::make_unique<baseline::SimpleScanBfs>(*gcd->dev, gcd->dg));
+    }
     gcds_.push_back(std::move(gcd));
   }
-  host_engine_ = std::make_unique<baseline::CpuBfsEngine>(
-      host_g_, baseline::CpuBfsEngine::Mode::Serial);
+  if (store_) {
+    auto host = std::make_unique<dyn::HostDeltaBfs>(*store_);
+    host_dyn_ = host.get();
+    host_engine_ = std::move(host);
+  } else {
+    host_engine_ = std::make_unique<baseline::CpuBfsEngine>(
+        *host_g_, baseline::CpuBfsEngine::Mode::Serial);
+  }
   // One pool lane per GCD (the scheduler thread participates as lane 0),
   // reusing the simulator's chunked-cursor worker pool.
   pool_ = std::make_unique<sim::ThreadPool>(cfg_.num_gcds);
@@ -148,10 +183,10 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
-  if (source >= host_g_.num_vertices()) {
+  if (source >= n_vertices_) {
     a.status = xbfs::Status::Invalid(
         "source " + std::to_string(source) + " >= |V| = " +
-        std::to_string(host_g_.num_vertices()));
+        std::to_string(n_vertices_));
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
@@ -160,7 +195,8 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
 
   // Cache fast path: resolve without ever touching the queue.
   if (cache_.enabled() && !opt.bypass_cache) {
-    if (CachedResult hit = cache_.get(graph_fp_, source)) {
+    if (CachedResult hit =
+            cache_.get(graph_fp_.load(std::memory_order_acquire), source)) {
       accepted_.fetch_add(1, std::memory_order_relaxed);
       std::promise<QueryResult> pr;
       a.result = pr.get_future();
@@ -208,6 +244,51 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
   return a;
 }
 
+UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch) {
+  UpdateAdmission a;
+  updates_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!store_) {
+    a.status = xbfs::Status::Invalid(
+        "static server: graph updates need the GraphStore constructor");
+    return a;
+  }
+  if (shut_down_.load(std::memory_order_acquire)) {
+    a.status = xbfs::Status::ShuttingDown("server is shutting down");
+    return a;
+  }
+
+  // Writes serialized per graph; reads are never blocked — the store
+  // publishes a new snapshot while in-flight queries keep theirs, and the
+  // fingerprint/cache flip below makes new submissions see the new epoch.
+  std::lock_guard<std::mutex> lk(update_mu_);
+  a.applied = store_->apply(batch);
+  const dyn::Snapshot snap = store_->snapshot();
+  a.epoch = snap.epoch;
+  a.fingerprint = snap.fingerprint;
+  graph_fp_.store(snap.fingerprint, std::memory_order_release);
+  a.cache_purged = cache_.epoch_bump(snap.fingerprint);
+  a.accepted = true;
+
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  update_edges_applied_.fetch_add(
+      a.applied.inserts_applied + a.applied.deletes_applied,
+      std::memory_order_relaxed);
+  update_noops_.fetch_add(a.applied.noops, std::memory_order_relaxed);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.counter("serve.updates").add();
+    mx.counter("serve.cache_purged")
+        .add(static_cast<std::uint64_t>(a.cache_purged));
+  }
+  obs::TraceSession& tr = obs::TraceSession::global();
+  if (tr.enabled()) {
+    tr.instant("serve.update", "serve", "serve", 0, wall_us(),
+               {{"epoch", std::to_string(a.epoch), true},
+                {"purged", std::to_string(a.cache_purged), true}});
+  }
+  return a;
+}
+
 void Server::scheduler_loop() {
   std::vector<PendingQuery> pending;
   const std::size_t target =
@@ -250,7 +331,8 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
       continue;
     }
     if (cache_.enabled() && !p.bypass_cache) {
-      if (CachedResult hit = cache_.get(graph_fp_, p.source)) {
+      if (CachedResult hit = cache_.get(
+              graph_fp_.load(std::memory_order_acquire), p.source)) {
         complete_from_cache(std::move(p), std::move(hit), dispatch_us);
         continue;
       }
@@ -270,9 +352,9 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
     }
 
     std::vector<std::vector<graph::vid_t>> batches;
-    if (cfg_.batching) {
+    if (cfg_.batching && !dynamic()) {
       if (cfg_.group_by_neighborhood && uniq.size() > 1) {
-        uniq = algos::group_sources(host_g_, std::move(uniq), cfg_.max_batch);
+        uniq = algos::group_sources(*host_g_, std::move(uniq), cfg_.max_batch);
       }
       for (std::size_t b = 0; b < uniq.size(); b += cfg_.max_batch) {
         const std::size_t e = std::min(b + cfg_.max_batch, uniq.size());
@@ -285,7 +367,9 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
         }
       }
     } else {
-      // Naive serving mode: one traversal per distinct source.
+      // Naive serving mode, and every dynamic cycle: one traversal per
+      // distinct source (the bit-parallel sweep and neighborhood grouping
+      // both need the static CSR).
       for (const graph::vid_t s : uniq) batches.push_back({s});
     }
 
@@ -388,15 +472,23 @@ Server::Resolution Server::resolve_single(unsigned preferred,
       try {
         core::BfsResult br;
         bool corrupted = false;
+        dyn::Snapshot dsnap;
         {
           std::lock_guard<std::mutex> lk(gcd.mu);
           br = gcd.ladder[rung]->run(src);
           corrupted = gcd.dev->take_pending_corruption();
+          // Dynamic: pin the exact snapshot this run traversed (still under
+          // the GCD lock — served() follows run()'s serialization) so
+          // validation and the cache key match the graph that was served,
+          // not whatever epoch the store is on by now.
+          if (gcd.inc) dsnap = gcd.inc->served();
         }
         if (corrupted) sim::FaultInjector::global().corrupt_levels(br.levels);
         if (validate) {
           const std::string verr =
-              graph::validate_levels_graph500(host_g_, src, br.levels);
+              dsnap ? dyn::validate_levels(*dsnap.graph, src, br.levels)
+                    : graph::validate_levels_graph500(*host_g_, src,
+                                                      br.levels);
           if (!verr.empty()) {
             last = note_attempt_failure(g, xbfs::Status::Corruption(verr));
             backoff(out.attempts);
@@ -413,6 +505,8 @@ Server::Resolution Server::resolve_single(unsigned preferred,
         out.modelled_ms = br.total_ms;
         out.engine = gcd.ladder[rung]->name();
         out.gcd = g;
+        out.fp = dsnap ? dsnap.fingerprint
+                       : graph_fp_.load(std::memory_order_acquire);
         // Degraded: a failed sweep preceded this, or we are below rung 0.
         out.degraded = attempts_so_far > 0 || rung > 0;
         out.validated = validate;
@@ -430,14 +524,24 @@ Server::Resolution Server::resolve_single(unsigned preferred,
 
   if (cfg_.host_fallback) {
     // Terminal rung: the host CPU engine never touches the simulated
-    // device, so no injected fault can reach it.
-    core::BfsResult br = host_engine_->run(src);
+    // device, so no injected fault can reach it.  Dynamic servers pin one
+    // snapshot so the traversal, validation and cache key agree even if an
+    // update lands mid-run.
+    dyn::Snapshot hsnap;
+    core::BfsResult br;
+    if (host_dyn_) {
+      hsnap = store_->snapshot();
+      br = host_dyn_->run_on(hsnap, src);
+    } else {
+      br = host_engine_->run(src);
+    }
     host_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
     if (mx.enabled()) mx.counter("serve.host_fallbacks").add();
     if (validate) {
       const std::string verr =
-          graph::validate_levels_graph500(host_g_, src, br.levels);
+          hsnap ? dyn::validate_levels(*hsnap.graph, src, br.levels)
+                : graph::validate_levels_graph500(*host_g_, src, br.levels);
       if (!verr.empty()) {
         // Cannot happen short of a bug in the host engine itself; report
         // rather than serve a wrong answer.
@@ -453,6 +557,8 @@ Server::Resolution Server::resolve_single(unsigned preferred,
     out.degraded = true;
     out.validated = validate;
     out.status = xbfs::Status::Ok();
+    out.fp = hsnap ? hsnap.fingerprint
+                   : graph_fp_.load(std::memory_order_acquire);
     return out;
   }
 
@@ -475,7 +581,11 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
     bool publish = !validation_active() || res.validated;
     bool wanted = false;
     for (const PendingQuery& p : waiters->second) wanted |= !p.bypass_cache;
-    if (publish && wanted) cache_.put(graph_fp_, src, res.res);
+    // Keyed under the fingerprint of the graph that actually produced the
+    // result; on a dynamic server that may trail the live fingerprint, in
+    // which case the entry is unreachable (and purged on the next bump)
+    // rather than served stale.
+    if (publish && wanted) cache_.put(res.fp, src, res.res);
   }
 
   for (PendingQuery& p : waiters->second) {
@@ -558,7 +668,7 @@ void Server::run_batch(unsigned worker,
         if (validate) {
           std::string verr;
           for (std::size_t i = 0; i < batch.size() && verr.empty(); ++i) {
-            verr = graph::validate_levels_graph500(host_g_, batch[i],
+            verr = graph::validate_levels_graph500(*host_g_, batch[i],
                                                    r.levels[i]);
           }
           if (!verr.empty()) {
@@ -588,6 +698,7 @@ void Server::run_batch(unsigned worker,
           o.gcd = g;
           o.validated = validate;
           o.status = xbfs::Status::Ok();
+          o.fp = graph_fp_.load(std::memory_order_acquire);
         }
         modelled_ms += r.total_ms;
         solved = true;
@@ -746,9 +857,29 @@ ServerStats Server::stats() const {
   s.breaker_half_opens = hc.half_opens;
   s.breaker_closes = hc.closes;
 
+  s.updates_submitted = updates_submitted_.load(std::memory_order_relaxed);
+  s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.update_edges_applied =
+      update_edges_applied_.load(std::memory_order_relaxed);
+  s.update_noops = update_noops_.load(std::memory_order_relaxed);
+  if (store_) {
+    s.graph_epoch = store_->epoch();
+    s.compactions = store_->stats().compactions;
+    for (const auto& gp : gcds_) {
+      if (!gp->inc) continue;
+      const dyn::DynEngineStats es = gp->inc->stats();
+      s.repairs += es.repairs;
+      s.recomputes += es.recomputes;
+      s.repair_fallbacks += es.fallbacks_ratio + es.fallbacks_log;
+    }
+  }
+
   const ResultCache::Stats cs = cache_.stats();
   s.cache_evictions = cs.evictions;
   s.cache_entries = cs.entries;
+  s.cache_epoch_bumps = cs.epoch_bumps;
+  s.cache_purged_stale = cs.purged_stale;
+  s.cache_stale_hits_avoided = cs.stale_hits_avoided;
   s.cache_hit_rate =
       s.completed == 0
           ? 0.0
@@ -794,8 +925,14 @@ void Server::emit_summary() {
   obs::RunRecord r;
   r.tool = "serve";
   r.algorithm = "bfs-serving";
-  r.n = host_g_.num_vertices();
-  r.m = host_g_.num_edges();
+  if (store_) {
+    const dyn::Snapshot snap = store_->snapshot();
+    r.n = snap.graph->num_vertices();
+    r.m = snap.graph->num_edges();
+  } else {
+    r.n = host_g_->num_vertices();
+    r.m = host_g_->num_edges();
+  }
   r.source = -1;
   r.total_ms = st.wall_elapsed_ms;
   r.config = {
@@ -843,6 +980,19 @@ void Server::emit_summary() {
       {"breaker_closes", std::to_string(st.breaker_closes)},
       {"max_attempts", std::to_string(cfg_.max_attempts)},
       {"host_fallback", cfg_.host_fallback ? "1" : "0"},
+      {"dynamic", dynamic() ? "1" : "0"},
+      {"updates_applied", std::to_string(st.updates_applied)},
+      {"update_edges_applied", std::to_string(st.update_edges_applied)},
+      {"update_noops", std::to_string(st.update_noops)},
+      {"graph_epoch", std::to_string(st.graph_epoch)},
+      {"compactions", std::to_string(st.compactions)},
+      {"cache_epoch_bumps", std::to_string(st.cache_epoch_bumps)},
+      {"cache_purged_stale", std::to_string(st.cache_purged_stale)},
+      {"cache_stale_hits_avoided",
+       std::to_string(st.cache_stale_hits_avoided)},
+      {"repairs", std::to_string(st.repairs)},
+      {"recomputes", std::to_string(st.recomputes)},
+      {"repair_fallbacks", std::to_string(st.repair_fallbacks)},
   };
   rs.add(std::move(r));
 }

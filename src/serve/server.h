@@ -40,6 +40,7 @@
 
 #include "core/traversal_engine.h"
 #include "core/xbfs.h"
+#include "dyn/graph_store.h"
 #include "graph/device_csr.h"
 #include "hipsim/thread_pool.h"
 #include "obs/metrics.h"
@@ -47,6 +48,11 @@
 #include "serve/health.h"
 #include "serve/query.h"
 #include "serve/result_cache.h"
+
+namespace xbfs::dyn {
+class HostDeltaBfs;
+class IncrementalBfs;
+}  // namespace xbfs::dyn
 
 namespace xbfs::serve {
 
@@ -165,6 +171,20 @@ struct ServerStats {
   std::uint64_t breaker_half_opens = 0;
   std::uint64_t breaker_closes = 0;
 
+  // --- dynamic graph (all zero on a static server; docs/dynamic.md) --------
+  std::uint64_t updates_submitted = 0;
+  std::uint64_t updates_applied = 0;       ///< batches through the store
+  std::uint64_t update_edges_applied = 0;  ///< undirected insert+delete ops
+  std::uint64_t update_noops = 0;          ///< ops the graph already satisfied
+  std::uint64_t graph_epoch = 0;           ///< store epoch at stats() time
+  std::uint64_t compactions = 0;           ///< delta-CSR overlay folds
+  std::uint64_t cache_epoch_bumps = 0;     ///< per-epoch cache purges run
+  std::uint64_t cache_purged_stale = 0;    ///< entries swept by those purges
+  std::uint64_t cache_stale_hits_avoided = 0;
+  std::uint64_t repairs = 0;               ///< runs served by incremental repair
+  std::uint64_t recomputes = 0;            ///< full recomputes (incl. fallbacks)
+  std::uint64_t repair_fallbacks = 0;      ///< ratio-bound + log-gap fallbacks
+
   double wall_elapsed_ms = 0.0;
   double qps = 0.0;                 ///< completed / wall_elapsed
   double modelled_busy_ms = 0.0;    ///< summed modelled device time
@@ -178,11 +198,29 @@ struct ServerStats {
   double queue_p99_ms = 0.0;
 };
 
+/// Outcome of submit_update(): whether the batch was applied, the epoch and
+/// fingerprint the graph moved to, per-op apply accounting, and how many
+/// cache entries the epoch bump purged.
+struct UpdateAdmission {
+  bool accepted = false;
+  xbfs::Status status;
+  std::uint64_t epoch = 0;
+  std::uint64_t fingerprint = 0;
+  dyn::ApplyStats applied;
+  std::size_t cache_purged = 0;
+};
+
 class Server {
  public:
-  /// `g` must outlive the server (it backs group_sources ordering and the
-  /// per-GCD device uploads).
+  /// Static serving: `g` must outlive the server (it backs group_sources
+  /// ordering and the per-GCD device uploads).  submit_update() rejects.
   explicit Server(const graph::Csr& g, ServeConfig cfg = {});
+  /// Dynamic serving over a mutable graph store: queries run on
+  /// dyn::IncrementalBfs engines against refcounted snapshots, updates
+  /// enter through submit_update().  The store must outlive the server.
+  /// Batched sweeps and neighborhood grouping need the static CSR, so
+  /// dynamic dispatch is always per-source.
+  explicit Server(dyn::GraphStore& store, ServeConfig cfg = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -192,6 +230,16 @@ class Server {
   /// enters the admission queue, or is rejected with a reason when the
   /// queue is full / the server is shutting down / the source is invalid.
   Admission submit(graph::vid_t source, QueryOptions opt = {});
+
+  /// The update-admission lane (dynamic servers only): apply one edge batch
+  /// to the graph store, advance the serving fingerprint, and purge cache
+  /// entries keyed under retired epochs.  Writes are serialized per graph;
+  /// readers are never blocked — in-flight queries finish on the snapshot
+  /// they started with.  Rejected with InvalidArgument on a static server
+  /// and ShuttingDown after shutdown() began.
+  UpdateAdmission submit_update(const dyn::EdgeBatch& batch);
+
+  bool dynamic() const { return store_ != nullptr; }
 
   /// One scheduler cycle over whatever is pending right now (manual mode,
   /// but safe in threaded mode too for tests that want to force progress).
@@ -208,16 +256,24 @@ class Server {
 
   ServerStats stats() const;
   const ServeConfig& config() const { return cfg_; }
-  std::uint64_t graph_fingerprint() const { return graph_fp_; }
+  /// The fingerprint queries are currently cached under; moves with every
+  /// applied update batch on a dynamic server.
+  std::uint64_t graph_fingerprint() const {
+    return graph_fp_.load(std::memory_order_acquire);
+  }
   const ResultCache& cache() const { return cache_; }
 
  private:
   struct Gcd {
     std::unique_ptr<sim::Device> dev;
-    graph::DeviceCsr dg;
-    /// Degradation ladder, fastest first: [0] the adaptive core::Xbfs,
-    /// [1] the simple-scan baseline (fewer kernels, fewer fault draws).
+    graph::DeviceCsr dg;  ///< static servers only (dynamic mirrors DeltaCsr)
+    /// Degradation ladder, fastest first.  Static: [0] the adaptive
+    /// core::Xbfs, [1] the simple-scan baseline (fewer kernels, fewer fault
+    /// draws).  Dynamic: [0] dyn::IncrementalBfs.
     std::vector<std::unique_ptr<core::TraversalEngine>> ladder;
+    /// Non-owning view of ladder[0] on a dynamic server (for stats() and
+    /// served-snapshot reads); null on static servers.
+    dyn::IncrementalBfs* inc = nullptr;
     /// With rerouting, lanes other than this GCD's home lane may dispatch
     /// here; the device's modelled clocks are not thread-safe.
     std::mutex mu;
@@ -235,7 +291,16 @@ class Server {
     bool degraded = false;
     bool validated = false;
     double modelled_ms = 0.0;   ///< modelled device time consumed (0 = host)
+    /// Fingerprint of the exact graph that produced res (cache key).  On a
+    /// dynamic server this is the engine's served snapshot, which may trail
+    /// graph_fp_ if an update landed mid-flight — caching under it keeps
+    /// the entry unreachable rather than wrong.
+    std::uint64_t fp = 0;
   };
+
+  /// Common constructor body behind the two public constructors; exactly
+  /// one of g / store is non-null.
+  Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg);
 
   double wall_us() const;
   bool validation_active() const;
@@ -267,9 +332,12 @@ class Server {
   void record_latency(const QueryResult& r);
   void emit_summary();
 
-  const graph::Csr& host_g_;
+  /// Exactly one of host_g_ / store_ is set (static vs dynamic serving).
+  const graph::Csr* host_g_ = nullptr;
+  dyn::GraphStore* store_ = nullptr;
+  graph::vid_t n_vertices_ = 0;
   ServeConfig cfg_;
-  std::uint64_t graph_fp_ = 0;
+  std::atomic<std::uint64_t> graph_fp_{0};
 
   AdmissionQueue queue_;
   ResultCache cache_;
@@ -278,6 +346,9 @@ class Server {
   HealthTracker health_;
   /// Terminal rung: host CPU BFS, immune to simulated-device faults.
   std::unique_ptr<core::TraversalEngine> host_engine_;
+  /// Non-owning view of host_engine_ on a dynamic server (run_on pins the
+  /// validated snapshot); null on static servers.
+  dyn::HostDeltaBfs* host_dyn_ = nullptr;
 
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<QueryId> next_id_{0};
@@ -305,6 +376,12 @@ class Server {
   std::atomic<std::uint64_t> host_fallbacks_{0};
   std::atomic<std::uint64_t> dispatch_timeouts_{0};
   std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> updates_submitted_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> update_edges_applied_{0};
+  std::atomic<std::uint64_t> update_noops_{0};
+
+  std::mutex update_mu_;  ///< writes serialized per graph (update lane)
 
   std::mutex cycle_mu_;  ///< one dispatch cycle at a time (pool_ is shared)
 

@@ -1,0 +1,460 @@
+// Dynamic-graph subsystem tests: DeltaCsr overlay semantics, GraphStore
+// snapshot versioning / update-log replay, and the property that
+// dyn::IncrementalBfs levels always match a fresh reference BFS on the
+// updated graph — whether a run was served by incremental repair or by a
+// full recompute.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dyn/delta_ref.h"
+#include "dyn/graph_store.h"
+#include "dyn/incremental_bfs.h"
+#include "graph/builder.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+
+namespace xbfs::dyn {
+namespace {
+
+using graph::vid_t;
+
+graph::Csr path5() {
+  return graph::build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+}
+
+// --- DeltaCsr overlay semantics -------------------------------------------
+
+TEST(DeltaCsr, InsertDeleteRevive) {
+  DeltaCsr g(path5());
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+
+  EdgeBatch b;
+  b.insert(0, 3);
+  b.erase(1, 2);
+  const ApplyStats st = g.apply(b);
+  EXPECT_EQ(st.inserts_applied, 1u);
+  EXPECT_EQ(st.deletes_applied, 1u);
+  EXPECT_EQ(st.noops, 0u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_EQ(g.num_edges(), path5().num_edges());  // -2 tomb +2 extra
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(0), 2u);
+
+  // Re-inserting a tombstoned base edge revives it in place.
+  EdgeBatch revive;
+  revive.insert(1, 2);
+  const ApplyStats rst = g.apply(revive);
+  EXPECT_EQ(rst.inserts_applied, 1u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_EQ(g.tombstone_entries(), 0u);
+}
+
+TEST(DeltaCsr, NoopsAreCountedNotApplied) {
+  DeltaCsr g(path5());
+  EdgeBatch b;
+  b.insert(0, 1);   // already present
+  b.erase(0, 4);    // not present
+  b.insert(2, 2);   // self-loop
+  b.erase(9, 1);    // out of range
+  const ApplyStats st = g.apply(b);
+  EXPECT_EQ(st.inserts_applied, 0u);
+  EXPECT_EQ(st.deletes_applied, 0u);
+  EXPECT_EQ(st.noops, 4u);
+  EXPECT_EQ(g.num_edges(), path5().num_edges());
+}
+
+TEST(DeltaCsr, EveryBatchBumpsTheEpoch) {
+  DeltaCsr g(path5());
+  EXPECT_EQ(g.epoch(), 0u);
+  EdgeBatch noop;
+  noop.insert(0, 1);
+  g.apply(noop);
+  EXPECT_EQ(g.epoch(), 1u);  // even an all-noop batch is a new epoch
+  EdgeBatch real;
+  real.insert(0, 3);
+  g.apply(real);
+  EXPECT_EQ(g.epoch(), 2u);
+}
+
+TEST(DeltaCsr, FingerprintChangesOnApplyAndMixesEpoch) {
+  DeltaCsr g(path5());
+  const std::uint64_t fp0 = g.fingerprint();
+  EdgeBatch b;
+  b.insert(0, 3);
+  g.apply(b);
+  const std::uint64_t fp1 = g.fingerprint();
+  EXPECT_NE(fp0, fp1);
+  // Undo the structural change; the epoch still advanced, so the
+  // fingerprint must not return to fp0 (cache keys never alias epochs).
+  EdgeBatch undo;
+  undo.erase(0, 3);
+  g.apply(undo);
+  EXPECT_NE(g.fingerprint(), fp0);
+  EXPECT_NE(g.fingerprint(), fp1);
+}
+
+TEST(DeltaCsr, CompactPreservesGraphAndEpoch) {
+  DeltaCsr g(path5());
+  EdgeBatch b;
+  b.insert(0, 3);
+  b.insert(1, 4);
+  b.erase(2, 3);
+  g.apply(b);
+  const auto before = reference_bfs(g, 0);
+  const std::uint64_t epoch = g.epoch();
+  EXPECT_GT(g.overlay_density(), 0.0);
+
+  g.compact();
+  EXPECT_EQ(g.overlay_density(), 0.0);
+  EXPECT_EQ(g.epoch(), epoch);
+  EXPECT_EQ(g.base_version(), 1u);
+  EXPECT_EQ(reference_bfs(g, 0), before);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(DeltaCsr, MaterializeMatchesBuilder) {
+  DeltaCsr g(path5());
+  EdgeBatch b;
+  b.insert(0, 4);
+  b.erase(1, 2);
+  g.apply(b);
+  const graph::Csr m = g.materialize();
+  const graph::Csr expect =
+      graph::build_csr(5, {{0, 1}, {2, 3}, {3, 4}, {0, 4}});
+  EXPECT_EQ(m.offsets(), expect.offsets());
+  EXPECT_EQ(m.cols(), expect.cols());
+}
+
+TEST(DeltaCsr, RejectsUnsortedBaseAdjacency) {
+  // Binary-search membership needs strictly increasing neighbor lists.
+  const graph::Csr bad({0, 2, 4}, {1, 1, 0, 0});  // duplicate neighbors
+  EXPECT_THROW(DeltaCsr{bad}, std::invalid_argument);
+}
+
+// --- GraphStore snapshots + update log ------------------------------------
+
+TEST(GraphStore, SnapshotsAreImmutableUnderWrites) {
+  GraphStore store(path5());
+  const Snapshot s0 = store.snapshot();
+  EXPECT_EQ(s0.epoch, 0u);
+
+  EdgeBatch b;
+  b.erase(0, 1);
+  store.apply(b);
+  const Snapshot s1 = store.snapshot();
+
+  // The old snapshot still sees the pre-update graph.
+  EXPECT_TRUE(s0.graph->has_edge(0, 1));
+  EXPECT_FALSE(s1.graph->has_edge(0, 1));
+  EXPECT_EQ(s1.epoch, 1u);
+  EXPECT_NE(s0.fingerprint, s1.fingerprint);
+}
+
+TEST(GraphStore, OpsBetweenReplaysTheGap) {
+  GraphStore store(path5());
+  EdgeBatch b1, b2;
+  b1.insert(0, 3);
+  b2.erase(3, 4);
+  store.apply(b1);
+  store.apply(b2);
+
+  const auto gap = store.ops_between(0, 2);
+  ASSERT_TRUE(gap.has_value());
+  ASSERT_EQ(gap->size(), 2u);
+  EXPECT_TRUE(gap->ops[0].insert);
+  EXPECT_FALSE(gap->ops[1].insert);
+
+  const auto tail = store.ops_between(1, 2);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 1u);
+
+  const auto empty = store.ops_between(2, 2);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(store.ops_between(3, 2).has_value());  // backwards
+}
+
+TEST(GraphStore, TrimmedLogRefusesToReplay) {
+  GraphStore store(path5(), {}, /*log_capacity=*/2);
+  for (int i = 0; i < 4; ++i) {
+    EdgeBatch b;
+    b.insert(0, 3);  // alternates noop/insert; epoch bumps regardless
+    b.erase(0, 3);
+    store.apply(b);
+  }
+  // Epochs 1..2 fell off the two-entry log.
+  EXPECT_FALSE(store.ops_between(0, 4).has_value());
+  EXPECT_TRUE(store.ops_between(2, 4).has_value());
+}
+
+TEST(GraphStore, CompactsPastDensityThreshold) {
+  core::XbfsConfig cfg;
+  cfg.dyn_compact_threshold = 0.25;
+  GraphStore store(path5(), cfg);
+  EdgeBatch big;
+  big.insert(0, 2);
+  big.insert(0, 3);
+  big.insert(1, 3);
+  store.apply(big);  // 6 directed overlay entries vs 8 base: density 0.75
+  EXPECT_EQ(store.stats().compactions, 1u);
+  const Snapshot s = store.snapshot();
+  EXPECT_EQ(s.graph->overlay_density(), 0.0);
+  EXPECT_EQ(s.graph->base_version(), 1u);
+  EXPECT_TRUE(s.graph->has_edge(1, 3));
+}
+
+// --- IncrementalBfs -------------------------------------------------------
+
+struct EngineFixture {
+  sim::Device dev{sim::DeviceProfile::mi250x_gcd(),
+                  sim::SimOptions{.num_workers = 2}};
+};
+
+void expect_matches_reference(const GraphStore& store, IncrementalBfs& eng,
+                              vid_t src, const char* tag) {
+  const Snapshot snap = store.snapshot();
+  const core::BfsResult got = eng.run(src);
+  const std::vector<std::int32_t> want = reference_bfs(*snap.graph, src);
+  ASSERT_EQ(got.levels, want) << tag << " (epoch " << snap.epoch << ")";
+  EXPECT_TRUE(validate_levels(*snap.graph, src, got.levels).empty()) << tag;
+}
+
+TEST(DynIncremental, RepairMatchesReferenceOnRandomChurn) {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 42;
+  const graph::Csr base = graph::rmat_csr(p);
+  const vid_t n = base.num_vertices();
+
+  EngineFixture fx;
+  GraphStore store(base);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<vid_t> pick(0, n - 1);
+  const vid_t src = 1;
+
+  expect_matches_reference(store, eng, src, "cold");
+
+  for (int round = 0; round < 6; ++round) {
+    EdgeBatch b;
+    // ~20 random ops: delete existing edges, insert missing ones.
+    const Snapshot cur = store.snapshot();
+    for (int i = 0; i < 20; ++i) {
+      const vid_t u = pick(rng);
+      const vid_t v = pick(rng);
+      if (u == v) continue;
+      if (cur.graph->has_edge(u, v)) {
+        b.erase(u, v);
+      } else {
+        b.insert(u, v);
+      }
+    }
+    store.apply(b);
+    expect_matches_reference(store, eng, src, "churn round");
+  }
+
+  const DynEngineStats st = eng.stats();
+  EXPECT_EQ(st.runs, 7u);
+  EXPECT_GT(st.repairs, 0u) << "property run never exercised repair";
+  EXPECT_GT(st.recomputes, 0u) << "cold run must recompute";
+}
+
+TEST(DynIncremental, DeleteOnlyRepairMatchesReference) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  p.seed = 11;
+  const graph::Csr base = graph::rmat_csr(p);
+
+  EngineFixture fx;
+  GraphStore store(base);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+  const vid_t src = 0;
+  eng.run(src);
+
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<vid_t> pick(0, base.num_vertices() - 1);
+  for (int round = 0; round < 4; ++round) {
+    EdgeBatch b;
+    const Snapshot cur = store.snapshot();
+    int found = 0;
+    while (found < 8) {
+      const vid_t u = pick(rng);
+      if (cur.graph->degree(u) == 0) continue;
+      std::vector<vid_t> nb;
+      cur.graph->for_each_neighbor(u, [&](vid_t w) { nb.push_back(w); });
+      b.erase(u, nb[found % nb.size()]);
+      ++found;
+    }
+    store.apply(b);
+    expect_matches_reference(store, eng, src, "delete-only round");
+  }
+  EXPECT_GT(eng.stats().repairs, 0u);
+}
+
+TEST(DynIncremental, BridgeDeletionDisconnectsComponent) {
+  // 0-1-2  3-4-5 joined by bridge 2-3: deleting it must drop 3,4,5 to -1.
+  const graph::Csr g =
+      graph::build_csr(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  EngineFixture fx;
+  GraphStore store(g);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  cfg.dyn_repair_ratio = 1.0;  // keep the repair path even when D is large
+  IncrementalBfs eng(fx.dev, store, cfg);
+  eng.run(0);
+
+  EdgeBatch b;
+  b.erase(2, 3);
+  store.apply(b);
+  const core::BfsResult r = eng.run(0);
+  EXPECT_EQ(r.levels, (std::vector<std::int32_t>{0, 1, 2, -1, -1, -1}));
+  EXPECT_GT(eng.stats().repairs, 0u);
+}
+
+TEST(DynIncremental, InsertReachesTheUnreached) {
+  // Component {0,1} + isolated {2,3}: inserting 1-2 pulls both in.
+  const graph::Csr g = graph::build_csr(4, {{0, 1}, {2, 3}});
+  EngineFixture fx;
+  GraphStore store(g);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+  const core::BfsResult cold = eng.run(0);
+  EXPECT_EQ(cold.levels, (std::vector<std::int32_t>{0, 1, -1, -1}));
+
+  EdgeBatch b;
+  b.insert(1, 2);
+  store.apply(b);
+  const core::BfsResult warm = eng.run(0);
+  EXPECT_EQ(warm.levels, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  EXPECT_GT(eng.stats().repairs, 0u);
+}
+
+TEST(DynIncremental, RatioBoundFallsBackToRecompute) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  p.seed = 5;
+  EngineFixture fx;
+  GraphStore store(graph::rmat_csr(p));
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  cfg.dyn_repair_ratio = 1e-9;  // any non-empty footprint exceeds this
+  IncrementalBfs eng(fx.dev, store, cfg);
+  eng.run(0);
+
+  EdgeBatch b;
+  const Snapshot cur = store.snapshot();
+  for (vid_t u = 0; u < cur.graph->num_vertices(); ++u) {
+    if (cur.graph->degree(u) == 0) continue;
+    cur.graph->for_each_neighbor(u, [&](vid_t w) {
+      if (b.empty()) b.erase(u, w);
+    });
+    if (!b.empty()) break;
+  }
+  ASSERT_FALSE(b.empty());
+  store.apply(b);
+  expect_matches_reference(store, eng, 0, "ratio fallback");
+  const DynEngineStats st = eng.stats();
+  EXPECT_EQ(st.repairs, 0u);
+  EXPECT_GT(st.fallbacks_ratio + st.recomputes, 1u);
+}
+
+TEST(DynIncremental, HistoryGapFallsBackToRecompute) {
+  EngineFixture fx;
+  GraphStore store(path5(), {}, /*log_capacity=*/1);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+  eng.run(0);
+  for (int i = 0; i < 3; ++i) {
+    EdgeBatch b;
+    b.insert(0, 3);
+    b.erase(0, 3);
+    store.apply(b);
+  }
+  expect_matches_reference(store, eng, 0, "log gap");
+  EXPECT_GT(eng.stats().fallbacks_log, 0u);
+  EXPECT_EQ(eng.stats().repairs, 0u);
+}
+
+TEST(DynIncremental, SmallBatchRepairBeatsRecompute) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 9;
+  const graph::Csr base = graph::rmat_csr(p);
+
+  EngineFixture fx;
+  GraphStore store(base);
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+  const vid_t src = 0;
+  eng.run(src);  // cold recompute, seeds the history
+
+  // A small batch: well under 1% of |E|.
+  EdgeBatch b;
+  const Snapshot cur = store.snapshot();
+  int deleted = 0;
+  for (vid_t u = 0; u < cur.graph->num_vertices() && deleted < 4; ++u) {
+    if (cur.graph->degree(u) < 3) continue;
+    vid_t first = static_cast<vid_t>(-1);
+    cur.graph->for_each_neighbor(u, [&](vid_t w) {
+      if (first == static_cast<vid_t>(-1)) first = w;
+    });
+    b.erase(u, first);
+    ++deleted;
+  }
+  store.apply(b);
+
+  expect_matches_reference(store, eng, src, "repair leg");
+  DynEngineStats st = eng.stats();
+  ASSERT_EQ(st.repairs, 1u);
+  const double repair_ms = st.repair_ms;
+
+  // Force the recompute leg on the same epoch: identical final levels,
+  // modelled on the same deterministic simulator.
+  eng.clear_history();
+  expect_matches_reference(store, eng, src, "recompute leg");
+  st = eng.stats();
+  ASSERT_EQ(st.recomputes, 2u);
+  const double recompute_ms = st.recompute_ms / 2.0;  // mean of two runs
+
+  EXPECT_LT(repair_ms, recompute_ms)
+      << "incremental repair should beat full recompute on a small batch";
+}
+
+TEST(DynIncremental, StatsReadableWhileRunning) {
+  EngineFixture fx;
+  GraphStore store(path5());
+  core::XbfsConfig cfg;
+  cfg.report_runs = false;
+  IncrementalBfs eng(fx.dev, store, cfg);
+  std::thread reader([&] {
+    for (int i = 0; i < 50; ++i) (void)eng.stats();
+  });
+  for (int i = 0; i < 5; ++i) eng.run(0);
+  reader.join();
+  EXPECT_EQ(eng.stats().runs, 5u);
+}
+
+}  // namespace
+}  // namespace xbfs::dyn

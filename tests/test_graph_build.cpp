@@ -81,6 +81,23 @@ TEST(Csr, MaxDegreeAndAvgDegree) {
   EXPECT_DOUBLE_EQ(g.avg_degree(), 6.0 / 4.0);
 }
 
+// The epoch-mixing contract (docs/dynamic.md): equal structure at an equal
+// epoch hashes equal; the same structure at a different epoch must not,
+// so serve::ResultCache keys can never alias across update batches.
+TEST(Csr, FingerprintEpochMixing) {
+  const Csr a = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const Csr b = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(7), b.fingerprint(7));
+  // Static callers keep their historical hash: default epoch is 0.
+  EXPECT_EQ(a.fingerprint(), a.fingerprint(0));
+  EXPECT_NE(a.fingerprint(0), a.fingerprint(1));
+  EXPECT_NE(a.fingerprint(1), a.fingerprint(2));
+  // Structure still dominates: different graphs differ at the same epoch.
+  const Csr c = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_NE(a.fingerprint(3), c.fingerprint(3));
+}
+
 class IoRoundTrip : public ::testing::Test {
  protected:
   std::string path(const char* name) {
