@@ -43,7 +43,9 @@
 #include "graph/rmat.h"
 #include "hipsim/hipsim.h"
 #include "hipsim/sanitizer.h"
+#include "obs/query_trace.h"
 #include "obs/run_report.h"
+#include "obs/slo.h"
 #include "serve/server.h"
 #include "serve/workload.h"
 
@@ -153,6 +155,12 @@ int main(int argc, char** argv) {
     report.set_context("scale", std::to_string(opt.scale));
   }
 
+  // Surface an error-budget readout for the churn phase even when XBFS_SLO
+  // didn't configure one (availability-only: epoch churn must not burn).
+  if (!obs::SloEngine::global().enabled()) {
+    obs::SloEngine::global().configure("availability=0.99");
+  }
+
   // --- phase 1: repair vs recompute on identical snapshots ------------------
   dyn::GraphStore store(g);
   sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
@@ -214,6 +222,7 @@ int main(int argc, char** argv) {
   serve::ServeConfig scfg;
   scfg.num_gcds = opt.gcds;
   scfg.batch_window_ms = 0.5;
+  scfg.slo_scope = "serve-dynamic";
   scfg.xbfs.report_runs = false;
   serve::Server server(serve_store, scfg);
 
@@ -250,8 +259,19 @@ int main(int argc, char** argv) {
   }
   server.drain();
   std::size_t completed = 0;
+  // Exemplar under churn: the first completed query whose trace crossed an
+  // epoch bump on the read lane (repair or recompute event with the write
+  // lane's epoch/dirty footprint) goes into the run record verbatim.
+  std::string repair_trace;
   for (auto& f : futs) {
-    if (f.get().status == serve::QueryStatus::Completed) ++completed;
+    const serve::QueryResult r = f.get();
+    if (r.status == serve::QueryStatus::Completed) ++completed;
+    if (repair_trace.empty() && r.status == serve::QueryStatus::Completed &&
+        r.trace != nullptr &&
+        (r.trace->find_event("repair") >= 0 ||
+         r.trace->find_event("recompute") >= 0)) {
+      repair_trace = r.trace->to_json("completed");
+    }
   }
   server.shutdown();  // emits the serving summary into XBFS_RUN_REPORT
   const serve::ServerStats st = server.stats();
@@ -303,7 +323,17 @@ int main(int argc, char** argv) {
         {"repairs", std::to_string(st.repairs)},
         {"recomputes", std::to_string(st.recomputes)},
         {"repair_fallbacks", std::to_string(st.repair_fallbacks)},
+        {"traced_queries", std::to_string(st.traced_queries)},
+        // One churn-crossing query's trace ("xbfs-query-trace" JSON, the
+        // read lane observing the write lane's epoch); escaped, so it
+        // round-trips through json.loads.
+        {"repair_trace", repair_trace},
     };
+    if (st.slo.active) {
+      rec.config.emplace_back("slo_bad", std::to_string(st.slo.total_bad));
+      rec.config.emplace_back("slo_burn", f(st.slo.window.burn_rate));
+      rec.config.emplace_back("slo_budget", f(st.slo.budget_remaining));
+    }
     report.add(std::move(rec));
   }
 

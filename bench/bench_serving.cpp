@@ -24,6 +24,17 @@
 // injector on (defaults: 5% kernel faults, 2% memcpy corruption).  The run
 // fails if any admitted query resolves Failed, and --chaos-check bounds the
 // p99 latency inflation (chaos p99 / fault-free p99).
+//
+// The phases record into separate SLO scopes ("serve-clean" vs
+// "serve-chaos"; obs::SloEngine, activated here with an availability
+// objective when XBFS_SLO didn't set one), so the chaos record can show
+// zero error-budget burn fault-free next to non-zero burn under injection.
+// --chaos additionally runs an *escalation probe*: a deliberately brittle
+// server (no host fallback, thin retry budget, raised fault rate, breakers
+// effectively disabled) whose queries exhaust the resilience ladder — the
+// resulting Failed query's full trace, and a degraded exemplar from the
+// resilient chaos server, are embedded in the chaos run record
+// (failed_trace / degraded_trace, "xbfs-query-trace" JSON).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -37,7 +48,10 @@
 #include "graph/reference.h"
 #include "graph/rmat.h"
 #include "hipsim/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_trace.h"
 #include "obs/run_report.h"
+#include "obs/slo.h"
 #include "serve/server.h"
 #include "serve/workload.h"
 
@@ -117,6 +131,15 @@ int main(int argc, char** argv) {
   // opted into with --chaos.
   sim::FaultInjector::global().disable();
 
+  // Always produce an error-budget comparison: activate the SLO engine
+  // with an availability-only objective when XBFS_SLO didn't configure one.
+  if (!obs::SloEngine::global().enabled()) {
+    obs::SloEngine::global().configure("availability=0.99");
+  }
+  // Arm the flight recorder (and its signal flush) before the naive phase,
+  // so a kill during any phase still leaves a post-mortem behind.
+  (void)obs::FlightRecorder::global().enabled();
+
   std::printf("bench_serving: RMAT scale=%u ef=%u, %zu queries, Zipf(%.2f) "
               "over %zu sources, %u clients, %u GCD(s)\n",
               opt.scale, opt.edge_factor, opt.queries, opt.zipf,
@@ -179,6 +202,7 @@ int main(int argc, char** argv) {
   serve::ServeConfig scfg;
   scfg.num_gcds = opt.gcds;
   scfg.batch_window_ms = 0.5;
+  scfg.slo_scope = "serve-clean";
   if (opt.min_sweep > 0) scfg.min_sweep_sources = opt.min_sweep;
   if (opt.timeout_ms > 0.0) scfg.default_timeout_ms = opt.timeout_ms;
   serve::Server server(g, scfg);
@@ -230,6 +254,9 @@ int main(int argc, char** argv) {
   serve::ServerStats cst;
   double p99_ratio = 0.0;
   std::uint64_t injected = 0;
+  std::string degraded_trace;  ///< a retried/degraded Completed query's trace
+  std::string failed_trace;    ///< an escalation-probe Failed query's trace
+  std::uint64_t probe_submitted = 0, probe_failed = 0;
   if (opt.chaos) {
     sim::FaultConfig fc;
     fc.kernel_fault_rate = opt.fault_kernel;
@@ -242,7 +269,9 @@ int main(int argc, char** argv) {
                 fc.worker_stall_rate,
                 static_cast<unsigned long long>(fc.seed));
 
-    serve::Server chaos_server(g, scfg);
+    serve::ServeConfig ccfg = scfg;
+    ccfg.slo_scope = "serve-chaos";
+    serve::Server chaos_server(g, ccfg);
     crep = opt.open_qps > 0.0
                ? serve::run_open_loop(chaos_server, sources, lopt)
                : serve::run_closed_loop(chaos_server, sources, lopt);
@@ -259,8 +288,64 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Degraded exemplar: keep submitting cache-bypassing singletons until
+    // one survives a fault (retried or rung-degraded) — its trace shows
+    // admission -> fault -> retry -> validated with per-rung attribution.
+    // Prefer one that actually ran on a device (non-zero launch counters)
+    // over a pure host fallback.
+    bool degraded_on_device = false;
+    for (unsigned i = 0; i < 64 && !degraded_on_device; ++i) {
+      serve::QueryOptions qo;
+      qo.bypass_cache = true;
+      serve::Admission a =
+          chaos_server.submit(sources[i % sources.size()], qo);
+      if (!a.accepted) continue;
+      const serve::QueryResult r = a.result.get();
+      if (r.status == serve::QueryStatus::Completed && r.degraded &&
+          r.trace != nullptr) {
+        for (const obs::RungAttribution& ra : r.trace->rungs()) {
+          if (ra.launches > 0) degraded_on_device = true;
+        }
+        if (degraded_on_device || degraded_trace.empty()) {
+          degraded_trace = r.trace->to_json("completed");
+        }
+      }
+    }
+
     chaos_server.shutdown();
     cst = chaos_server.stats();
+
+    // Escalation probe: a brittle server (no host fallback, two attempts,
+    // no cache, breakers held closed) under a raised fault rate, so the
+    // retry budget genuinely exhausts and a query resolves Failed with its
+    // full rung history on record.
+    {
+      sim::FaultConfig pfc = fc;
+      pfc.kernel_fault_rate = std::max(opt.fault_kernel, 0.3);
+      sim::FaultInjector::global().configure(pfc);
+
+      serve::ServeConfig pcfg = scfg;
+      pcfg.slo_scope = "serve-chaos";
+      pcfg.host_fallback = false;
+      pcfg.max_attempts = 2;
+      pcfg.cache_capacity = 0;
+      pcfg.breaker_failure_threshold = 1000;
+      pcfg.retry_backoff_ms = 0.0;
+      serve::Server probe_server(g, pcfg);
+      for (unsigned i = 0; i < 64 && failed_trace.empty(); ++i) {
+        serve::Admission a = probe_server.submit(sources[i % sources.size()]);
+        if (!a.accepted) continue;
+        ++probe_submitted;
+        const serve::QueryResult r = a.result.get();
+        if (r.status == serve::QueryStatus::Failed) {
+          ++probe_failed;
+          if (r.trace != nullptr) failed_trace = r.trace->to_json("failed");
+        }
+      }
+      probe_server.shutdown();
+      sim::FaultInjector::global().configure(fc);
+    }
+
     injected = sim::FaultInjector::global().total_injected();
     sim::FaultInjector::global().disable();
 
@@ -291,6 +376,41 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cst.breaker_closes));
     std::printf("        latency p99 %.3f ms vs clean %.3f ms -> %.2fx\n",
                 cst.latency_p99_ms, st.latency_p99_ms, p99_ratio);
+    std::printf("        probe: %llu submitted, %llu failed; exemplars "
+                "degraded=%s failed=%s\n",
+                static_cast<unsigned long long>(probe_submitted),
+                static_cast<unsigned long long>(probe_failed),
+                degraded_trace.empty() ? "missing" : "captured",
+                failed_trace.empty() ? "missing" : "captured");
+  }
+
+  // Error-budget comparison across the two SLO scopes: the fault-free
+  // phase must show zero burn, the chaos phase non-zero burn.
+  obs::SloSnapshot slo_clean, slo_chaos;
+  {
+    const double now = obs::slo_now_ms();
+    if (auto* s = obs::SloEngine::global().find("serve-clean")) {
+      slo_clean = s->snapshot(now);
+    }
+    if (auto* s = obs::SloEngine::global().find("serve-chaos")) {
+      slo_chaos = s->snapshot(now);
+    }
+    if (slo_clean.active) {
+      std::printf("slo:    clean  good=%llu bad=%llu slow=%llu burn=%.3f "
+                  "budget=%.3f\n",
+                  static_cast<unsigned long long>(slo_clean.total_good),
+                  static_cast<unsigned long long>(slo_clean.total_bad),
+                  static_cast<unsigned long long>(slo_clean.total_slow),
+                  slo_clean.window.burn_rate, slo_clean.budget_remaining);
+    }
+    if (slo_chaos.active) {
+      std::printf("slo:    chaos  good=%llu bad=%llu slow=%llu burn=%.3f "
+                  "budget=%.3f\n",
+                  static_cast<unsigned long long>(slo_chaos.total_good),
+                  static_cast<unsigned long long>(slo_chaos.total_bad),
+                  static_cast<unsigned long long>(slo_chaos.total_slow),
+                  slo_chaos.window.burn_rate, slo_chaos.budget_remaining);
+    }
   }
 
   if (report.enabled()) {
@@ -348,6 +468,18 @@ int main(int argc, char** argv) {
         {"p99_clean_ms", f(st.latency_p99_ms)},
         {"p99_chaos_ms", f(cst.latency_p99_ms)},
         {"p99_ratio", f(p99_ratio)},
+        {"probe_submitted", std::to_string(probe_submitted)},
+        {"probe_failed", std::to_string(probe_failed)},
+        // Exemplar per-query traces ("xbfs-query-trace" JSON); RunRecord
+        // values are escaped, so these round-trip through json.loads.
+        {"degraded_trace", degraded_trace},
+        {"failed_trace", failed_trace},
+        {"slo_clean_bad", std::to_string(slo_clean.total_bad)},
+        {"slo_clean_burn", f(slo_clean.window.burn_rate)},
+        {"slo_clean_budget", f(slo_clean.budget_remaining)},
+        {"slo_chaos_bad", std::to_string(slo_chaos.total_bad)},
+        {"slo_chaos_burn", f(slo_chaos.window.burn_rate)},
+        {"slo_chaos_budget", f(slo_chaos.budget_remaining)},
     };
     report.add(std::move(rec));
   }
@@ -381,6 +513,13 @@ int main(int argc, char** argv) {
     if (opt.chaos_check > 0.0 && p99_ratio > opt.chaos_check) {
       std::fprintf(stderr, "chaos p99 inflation %.2fx above allowed %.2fx\n",
                    p99_ratio, opt.chaos_check);
+      return 1;
+    }
+    // The exemplar hunt is deterministic given --fault-seed; an empty
+    // exemplar means the tracing or ladder plumbing regressed.
+    if (degraded_trace.empty() || failed_trace.empty()) {
+      std::fprintf(stderr, "chaos: missing %s exemplar trace\n",
+                   degraded_trace.empty() ? "degraded" : "failed");
       return 1;
     }
   }

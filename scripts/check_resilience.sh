@@ -59,14 +59,24 @@ assert int(cfg["injected"]) > 0, "no faults injected — chaos phase inert"
 assert int(cfg["faults_seen"]) > 0, "server saw no faults"
 assert int(cfg["validated_results"]) > 0, "no results were validated"
 
-# --- chaos server summary (second 'serve' record) --------------------------
+# --- chaos server summary ---------------------------------------------------
+# The bench emits three serve summaries: clean, chaos, and the escalation
+# probe (host fallback off, so its queries are *expected* to fail — it
+# exists to produce a failed-query exemplar trace).  Select the chaos one
+# structurally: faults flowed through it AND the host-fallback rung was on.
 serves = [r for r in runs if r["tool"] == "serve"]
-assert len(serves) == 2, f"expected clean+chaos serve summaries, got {len(serves)}"
-scfg = serves[1]["config"]
+assert len(serves) == 3, f"expected clean+chaos+probe serve summaries, got {len(serves)}"
+scfg = next(s["config"] for s in serves
+            if int(s["config"]["faults_seen"]) > 0
+            and s["config"]["host_fallback"] == "1")
 for key in ("failed", "faults_seen", "retries", "validation_failures",
             "host_fallbacks", "breaker_opens"):
     assert key in scfg, f"serve summary missing resilience counter '{key}'"
 assert int(scfg["failed"]) == 0
+
+# The escalation probe must have actually failed queries (that is its job).
+probe = next(s["config"] for s in serves if s["config"]["host_fallback"] == "0")
+assert int(probe["failed"]) > 0, "escalation probe produced no failed queries"
 
 print(f"OK: injected={cfg['injected']} seen={cfg['faults_seen']} "
       f"retries={cfg['retries']} "

@@ -44,9 +44,45 @@ cats = {e.get("cat") for e in events}
 for required in ("kernel", "level", "strategy"):
     assert required in cats, f"missing '{required}' span track (have {cats})"
 
+# --- trace schema ----------------------------------------------------------
+# Every event carries the Chrome-trace required keys, phases come from the
+# set the exporter can emit, duration ("X") spans are well-formed, and any
+# explicit begin/end pairs balance per lane.
+ALLOWED_PH = {"X", "i", "M", "B", "E"}
+open_spans = {}
 for e in events:
-    if e.get("ph") == "X":
-        assert "ts" in e and "dur" in e and e["dur"] >= 0, e
+    ph = e.get("ph")
+    assert ph in ALLOWED_PH, f"unexpected phase {ph!r}: {e}"
+    for key in ("name", "ph", "pid", "tid"):
+        assert key in e, f"event missing {key}: {e}"
+    if ph != "M":
+        assert "ts" in e, f"non-metadata event missing ts: {e}"
+    if ph == "X":
+        assert "dur" in e and e["dur"] >= 0, e
+    if ph == "B":
+        open_spans.setdefault((e["pid"], e["tid"]), []).append(e["name"])
+    if ph == "E":
+        stack = open_spans.get((e["pid"], e["tid"]))
+        assert stack, f"E without matching B: {e}"
+        stack.pop()
+assert not any(v for v in open_spans.values()), \
+    f"unclosed B spans: {open_spans}"
+
+# Every pid that emits spans must be labeled (process_name metadata), and
+# every (pid, tid) lane must carry a thread_name — Perfetto lanes render
+# with real names ("host", "GCD 0", ...), never bare numbers.
+span_pids = {e["pid"] for e in events if e["ph"] != "M"}
+span_lanes = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+proc_names = {e["pid"]: e["args"]["name"] for e in events
+              if e["ph"] == "M" and e["name"] == "process_name"}
+thread_names = {(e["pid"], e["tid"]) for e in events
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+for pid in span_pids:
+    assert pid in proc_names, f"pid {pid} has no process_name label"
+    assert proc_names[pid], f"pid {pid} label is empty"
+for lane in span_lanes:
+    assert lane in thread_names, f"lane {lane} has no thread_name"
+
 levels = [e for e in events if e.get("cat") == "level"]
 
 # --- run report ------------------------------------------------------------
@@ -67,6 +103,7 @@ for row in run["levels"]:
 assert len(levels) == len(run["levels"]), (len(levels), len(run["levels"]))
 
 print(f"OK: {len(events)} trace events, "
+      f"{len(span_pids)} labeled pids, "
       f"{len(run['levels'])} level rows, "
       f"{len(run['kernels'])} kernel aggregates, "
       f"gteps={run['gteps']:.4f}")

@@ -746,18 +746,26 @@ core::BfsResult IncrementalBfs::run(vid_t src) {
   // Decide: repair from the prior level array, or full recompute.
   bool repair = false;
   RepairPlan plan;
+  LastRun lr;
+  lr.epoch = snap.epoch;
+  lr.fallback = "no-history";
   const auto hit = history_.find(src);
   if (hit != history_.end()) {
     const std::optional<EdgeBatch> ops =
         store_.ops_between(hit->second.epoch, snap.epoch);
     if (!ops) {
       fallbacks_log_.fetch_add(1, std::memory_order_relaxed);
+      lr.fallback = "log-gap";
     } else {
       plan = plan_repair(g, hit->second.levels, *ops, src);
+      lr.dirty = plan.dirty.size();
+      lr.seeds = plan.seed_count;
       if (plan.feasible) {
         repair = true;
+        lr.fallback = "";
       } else {
         fallbacks_ratio_.fetch_add(1, std::memory_order_relaxed);
+        lr.fallback = "ratio";
       }
     }
   }
@@ -807,6 +815,7 @@ core::BfsResult IncrementalBfs::run(vid_t src) {
       // was wrong in the same direction the ratio bound guards against.
       repair = false;
       fallbacks_ratio_.fetch_add(1, std::memory_order_relaxed);
+      lr.fallback = "overflow";
       result.level_stats.clear();
     }
   }
@@ -850,6 +859,9 @@ core::BfsResult IncrementalBfs::run(vid_t src) {
     recomputes_.fetch_add(1, std::memory_order_relaxed);
     recompute_us_.fetch_add(spent_us, std::memory_order_relaxed);
   }
+  lr.valid = true;
+  lr.repair = repair;
+  last_run_ = lr;
   if (cfg_.report_runs) {
     core::record_run(result, "incremental_bfs", n, g.num_edges(),
                      static_cast<std::int64_t>(src), &cfg_,

@@ -98,6 +98,23 @@ class IncrementalBfs final : public core::TraversalEngine {
   /// serialization as run(); the serving path reads it while still holding
   /// the per-GCD lock).
   const Snapshot& served() const { return snap_; }
+
+  /// Why the last run() took the path it did: repair vs recompute, the
+  /// fallback reason, and the dirty-region footprint.  Valid under the
+  /// same serialization as run()/served(); the serving path copies it
+  /// while still holding the per-GCD lock and threads it into the query
+  /// trace (read-lane causality for the write lane's epoch).
+  struct LastRun {
+    bool valid = false;
+    bool repair = false;
+    /// Recompute reason: "" (repaired or cold), "no-history", "log-gap",
+    /// "ratio", "overflow".
+    const char* fallback = "";
+    std::uint64_t epoch = 0;  ///< snapshot epoch traversed
+    std::uint64_t dirty = 0;  ///< |D| of the attempted repair plan
+    std::uint64_t seeds = 0;  ///< repair seed-frontier size
+  };
+  const LastRun& last_run() const { return last_run_; }
   /// Drop all prior-level history: every subsequent run() recomputes.
   void clear_history();
 
@@ -178,6 +195,7 @@ class IncrementalBfs final : public core::TraversalEngine {
   };
   std::unordered_map<graph::vid_t, Prior> history_;
   std::deque<graph::vid_t> history_order_;
+  LastRun last_run_;
 
   // Counters (relaxed; modelled times kept as integer microseconds so the
   // whole stats block stays lock-free).

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "hipsim/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,6 +70,9 @@ void Device::maybe_corrupt_copy(const char* name) {
     tr.instant(std::string("fault.") + name, "fault", "stream:default",
                trace_pid_, now_us());
   }
+  obs::FlightRecorder::global().record(
+      "sim", "memcpy_corrupt", name, 0,
+      static_cast<std::uint64_t>(trace_pid_));
 }
 
 double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
@@ -76,6 +80,10 @@ double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
                    static_cast<double>(bytes) / profile_.h2d_bytes_per_us;
   const double begin = stream_begin(s);
   s.t_end_ = begin + t;
+  if (attr_sink_ != nullptr) {
+    attr_sink_->memcpys += 1;
+    attr_sink_->modelled_us += t;
+  }
   trace_memcpy("memcpy_h2d", s, begin, t, bytes);
   maybe_corrupt_copy("memcpy_h2d");
   return t;
@@ -86,6 +94,10 @@ double Device::memcpy_d2h(Stream& s, std::uint64_t bytes) {
                    static_cast<double>(bytes) / profile_.d2h_bytes_per_us;
   const double begin = stream_begin(s);
   s.t_end_ = begin + t;
+  if (attr_sink_ != nullptr) {
+    attr_sink_->memcpys += 1;
+    attr_sink_->modelled_us += t;
+  }
   trace_memcpy("memcpy_d2h", s, begin, t, bytes);
   maybe_corrupt_copy("memcpy_d2h");
   return t;

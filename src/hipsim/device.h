@@ -49,6 +49,20 @@ struct LaunchResult {
   TimingBreakdown timing;
 };
 
+/// Per-consumer counter-attribution sink (obs tentpole: per-query cost
+/// slicing).  While attached, every launch and modelled copy adds its
+/// KernelCounters rollup, launch/copy counts and modelled time here, so
+/// the serving engine can bill device work to the exact query (or sweep
+/// batch) that consumed it.  Not internally synchronised: attach/detach
+/// and all device work must share the caller's serialisation — in
+/// serving, the per-GCD lock that already guards every device call.
+struct AttributionSink {
+  KernelCounters counters;
+  std::uint64_t launches = 0;
+  std::uint64_t memcpys = 0;
+  double modelled_us = 0.0;  ///< kernel + copy time attributed
+};
+
 class Device {
  public:
   explicit Device(DeviceProfile profile, SimOptions options = {});
@@ -163,6 +177,12 @@ class Device {
   /// path; benches that model a warmed-up device call this before timing.
   void warmup();
 
+  /// Attach (or detach with nullptr) the counter-attribution sink; see
+  /// AttributionSink for the synchronisation contract.  A launch that
+  /// faults before executing attributes nothing.
+  void attach_attribution(AttributionSink* sink) { attr_sink_ = sink; }
+  AttributionSink* attribution() const { return attr_sink_; }
+
  private:
   friend class Stream;
   std::uint64_t reserve_addr(std::uint64_t bytes);
@@ -184,6 +204,22 @@ class Device {
   bool pending_corruption_ = false;
   std::uint64_t corrupted_copies_ = 0;
   int trace_pid_ = 0;
+  AttributionSink* attr_sink_ = nullptr;
+};
+
+/// RAII attach/detach for AttributionSink around one attributed scope.
+class ScopedAttribution {
+ public:
+  ScopedAttribution(Device& dev, AttributionSink& sink) : dev_(dev) {
+    dev_.attach_attribution(&sink);
+  }
+  ~ScopedAttribution() { dev_.attach_attribution(nullptr); }
+
+  ScopedAttribution(const ScopedAttribution&) = delete;
+  ScopedAttribution& operator=(const ScopedAttribution&) = delete;
+
+ private:
+  Device& dev_;
 };
 
 }  // namespace xbfs::sim

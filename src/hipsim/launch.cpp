@@ -9,6 +9,7 @@
 #include "hipsim/device.h"
 #include "hipsim/fault.h"
 #include "hipsim/sanitizer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,6 +57,9 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
         ftr.instant("fault.kernel", "fault", "stream:" + s.name(),
                     trace_pid_, stream_begin(s));
       }
+      obs::FlightRecorder::global().record(
+          "sim", "kernel_fault", name, 0,
+          static_cast<std::uint64_t>(trace_pid_));
       throw FaultInjected(
           FaultKind::KernelFault,
           "injected kernel fault in '" + std::string(name) +
@@ -138,6 +142,14 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
 
   const double sim_start_us = stream_begin(s);
   s.t_end_ = sim_start_us + result.time_us;
+
+  // Bill the launch to whoever is being served right now (per-query
+  // attribution); a faulted launch threw above and attributes nothing.
+  if (attr_sink_ != nullptr) {
+    attr_sink_->counters += result.counters;
+    attr_sink_->launches += 1;
+    attr_sink_->modelled_us += result.time_us;
+  }
 
   if (profiler_.enabled()) {
     LaunchRecord rec;

@@ -8,6 +8,7 @@
 #include <ostream>
 
 #include "obs/json_writer.h"
+#include "obs/signal_flush.h"
 
 namespace xbfs::obs {
 
@@ -115,6 +116,9 @@ void MetricsRegistry::enable(std::string sink) {
     if (!sink.empty()) sink_ = std::move(sink);
   }
   enabled_.store(true, std::memory_order_relaxed);
+  // A killed run must not lose the whole table (satellite: SIGINT/SIGTERM
+  // flush, not only atexit).
+  install_signal_flush();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

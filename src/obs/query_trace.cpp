@@ -1,0 +1,162 @@
+#include "obs/query_trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+
+namespace xbfs::obs {
+
+void QueryTrace::event(double wall_us, std::string kind, std::string detail) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back({next_seq_++, wall_us, std::move(kind), std::move(detail)});
+}
+
+void QueryTrace::rung(RungAttribution a) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rungs_.push_back(std::move(a));
+}
+
+void QueryTrace::absorb(const QueryTrace& other) {
+  // Copy out under the source lock first: absorb() may merge the same
+  // scratch trace into many waiters, and lock order must stay one-at-a-time.
+  std::vector<QueryTraceEvent> ev;
+  std::vector<RungAttribution> rg;
+  {
+    std::lock_guard<std::mutex> lk(other.mu_);
+    ev = other.events_;
+    rg = other.rungs_;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : ev) {
+    e.seq = next_seq_++;
+    events_.push_back(std::move(e));
+  }
+  for (auto& r : rg) rungs_.push_back(std::move(r));
+}
+
+std::vector<QueryTraceEvent> QueryTrace::events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_;
+}
+
+std::vector<RungAttribution> QueryTrace::rungs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rungs_;
+}
+
+int QueryTrace::find_event(const std::string& kind) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < events_.size(); ++i)
+    if (events_[i].kind == kind) return static_cast<int>(i);
+  return -1;
+}
+
+void QueryTrace::write_json(std::ostream& os, const std::string& status) const {
+  std::vector<QueryTraceEvent> ev;
+  std::vector<RungAttribution> rg;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ev = events_;
+    rg = rungs_;
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "xbfs-query-trace");
+  w.kv("version", std::uint64_t{1});
+  w.kv("id", id_);
+  w.kv("source", source_);
+  if (!status.empty()) w.kv("status", status);
+  w.key("events").begin_array();
+  for (const auto& e : ev) {
+    w.begin_object();
+    w.kv("seq", e.seq);
+    w.kv("wall_us", e.wall_us);
+    w.kv("kind", e.kind);
+    if (!e.detail.empty()) w.kv("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rungs").begin_array();
+  for (const auto& r : rg) {
+    w.begin_object();
+    w.kv("engine", r.engine);
+    w.kv("outcome", r.outcome);
+    w.kv("gcd", r.gcd);
+    w.kv("attempt", r.attempt);
+    w.kv("rung", r.rung);
+    w.kv("shared_members", r.shared_members);
+    w.kv("launches", r.launches);
+    w.kv("memcpys", r.memcpys);
+    w.kv("fetch_bytes", r.fetch_bytes);
+    w.kv("bytes_read", r.bytes_read);
+    w.kv("atomics", r.atomics);
+    w.kv("l2_hit_pct", r.l2_hit_pct);
+    w.kv("modelled_us", r.modelled_us);
+    w.kv("wall_start_us", r.wall_start_us);
+    w.kv("wall_dur_us", r.wall_dur_us);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string QueryTrace::to_json(const std::string& status) const {
+  std::ostringstream os;
+  write_json(os, status);
+  return os.str();
+}
+
+void emit_query_spans(TraceSession& session, const QueryTrace& trace,
+                      const std::string& status) {
+  if (!session.enabled()) return;
+  const auto ev = trace.events();
+  if (ev.empty()) return;
+  const auto rg = trace.rungs();
+
+  double start = ev.front().wall_us, stop = ev.front().wall_us;
+  for (const auto& e : ev) {
+    start = std::min(start, e.wall_us);
+    stop = std::max(stop, e.wall_us);
+  }
+
+  Span parent;
+  parent.name = "query " + std::to_string(trace.id());
+  parent.category = "query";
+  parent.track = "query";
+  parent.pid = 0;
+  parent.wall_start_us = start;
+  parent.wall_dur_us = stop - start;
+  parent.attr("trace_id", std::uint64_t{trace.id()});
+  parent.attr("source", std::uint64_t{trace.source()});
+  if (!status.empty()) parent.attr("status", status);
+  parent.attr("events", static_cast<std::uint64_t>(ev.size()));
+  parent.attr("rungs", static_cast<std::uint64_t>(rg.size()));
+  session.complete(std::move(parent));
+
+  for (const auto& r : rg) {
+    Span child;
+    child.name = r.engine + (r.outcome == "ok" ? "" : " [" + r.outcome + "]");
+    child.category = "query-rung";
+    child.track = "query";
+    child.pid = 0;
+    child.wall_start_us = r.wall_start_us;
+    child.wall_dur_us = r.wall_dur_us;
+    child.attr("trace_id", std::uint64_t{trace.id()});
+    child.attr("attempt", std::uint64_t{r.attempt});
+    child.attr("rung", std::uint64_t{r.rung});
+    child.attr("gcd", std::uint64_t{r.gcd});
+    child.attr("outcome", r.outcome);
+    child.attr("shared_members", std::uint64_t{r.shared_members});
+    child.attr("launches", r.launches);
+    child.attr("fetch_kb", static_cast<double>(r.fetch_bytes) / 1024.0);
+    child.attr("atomics", r.atomics);
+    child.attr("l2_hit_pct", r.l2_hit_pct);
+    child.attr("modelled_us", r.modelled_us);
+    session.complete(std::move(child));
+  }
+}
+
+}  // namespace xbfs::obs

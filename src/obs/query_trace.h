@@ -1,0 +1,117 @@
+// Query-scoped trace contexts: the causal record of one serving request.
+//
+// A QueryTrace is allocated at admission, rides the PendingQuery through
+// the admission queue, scheduler batching and dispatch, and is returned on
+// the QueryResult.  It accumulates two kinds of data:
+//
+//   * events — causally ordered (seq, wall_us, kind, detail) markers for
+//     every decision the serving stack makes on the query's behalf:
+//     admission, batching, each dispatch attempt, injected faults,
+//     retries, degradation-rung changes, validation, cache publish and
+//     the terminal status.
+//   * rungs — per-attempt kernel-counter attribution (RungAttribution):
+//     the hipsim KernelCounters rollup (launches, fetched bytes, atomics,
+//     modelled time, L2-hit proxy) sliced to exactly the device work this
+//     query consumed, including the shared-sweep case where one 64-way
+//     traversal serves many queries (shared_members > 1).
+//
+// Batched execution shares one traversal among many waiters, so the
+// server records batch-level work into a scratch QueryTrace and absorb()s
+// it into every waiter's trace at delivery; wall timestamps keep the
+// merged record ordered.
+//
+// The record serialises to a stable JSON schema ("xbfs-query-trace", see
+// docs/observability.md) and can be emitted into the Chrome trace as one
+// parent query span with per-rung child spans (emit_query_spans).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xbfs::obs {
+
+class TraceSession;
+
+/// One causally-ordered event in a query's life.  `seq` orders events
+/// recorded into the same trace; after absorb() the wall clock orders the
+/// merged record.
+struct QueryTraceEvent {
+  std::uint64_t seq = 0;
+  double wall_us = 0.0;  ///< caller-supplied wall clock (server epoch)
+  std::string kind;      ///< "admitted", "attempt", "fault", "retry", ...
+  std::string detail;    ///< free-form context ("engine=xbfs gcd=0", ...)
+};
+
+/// Kernel-counter attribution for one dispatch attempt (one degradation
+/// rung, one sweep stage, or one host-fallback run).
+struct RungAttribution {
+  std::string engine;           ///< TraversalEngine::name / "sweep" / host
+  std::string outcome = "ok";   ///< "ok" | "fault" | "corrupt" | "error"
+  unsigned gcd = 0;             ///< device lane that ran it
+  unsigned attempt = 0;         ///< 1-based attempt number within the query
+  unsigned rung = 0;            ///< degradation-ladder index (0 = preferred)
+  unsigned shared_members = 1;  ///< queries sharing this work (sweep > 1)
+  std::uint64_t launches = 0;   ///< kernel launches attributed
+  std::uint64_t memcpys = 0;    ///< device copies attributed
+  std::uint64_t fetch_bytes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t atomics = 0;
+  double l2_hit_pct = 0.0;      ///< modelled L2 hit proxy over the attempt
+  double modelled_us = 0.0;     ///< modelled device time consumed
+  double wall_start_us = 0.0;   ///< attempt start, server wall clock
+  double wall_dur_us = 0.0;     ///< attempt wall duration
+};
+
+/// The per-query record.  Thread-safe: the scheduler, worker pool and
+/// delivering thread may append concurrently.
+class QueryTrace {
+ public:
+  QueryTrace(std::uint64_t id, std::uint64_t source)
+      : id_(id), source_(source) {}
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  std::uint64_t source() const { return source_; }
+
+  /// Append a causal event.
+  void event(double wall_us, std::string kind, std::string detail = {});
+  /// Append one attempt's counter attribution.
+  void rung(RungAttribution a);
+  /// Merge another record (batch-level scratch trace, per-source
+  /// resolution log) into this one, re-sequencing its events after ours.
+  void absorb(const QueryTrace& other);
+
+  std::vector<QueryTraceEvent> events() const;
+  std::vector<RungAttribution> rungs() const;
+  /// First event of `kind`, or nullptr (copy-free convenience for tests
+  /// is not possible under the mutex, so this returns an index; -1 = none).
+  int find_event(const std::string& kind) const;
+
+  /// Serialise as one "xbfs-query-trace" JSON object.
+  void write_json(std::ostream& os, const std::string& status = {}) const;
+  std::string to_json(const std::string& status = {}) const;
+
+ private:
+  const std::uint64_t id_;
+  const std::uint64_t source_;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<QueryTraceEvent> events_;
+  std::vector<RungAttribution> rungs_;
+};
+
+using QueryTracePtr = std::shared_ptr<QueryTrace>;
+
+/// Emit the query into `session` as a parent 'X' span on the host lane
+/// (track "query") covering first..last event, with one child span per
+/// rung carrying the counter attribution as span attributes.
+void emit_query_spans(TraceSession& session, const QueryTrace& trace,
+                      const std::string& status);
+
+}  // namespace xbfs::obs

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "obs/json_writer.h"
+#include "obs/signal_flush.h"
 
 namespace xbfs::obs {
 
@@ -96,6 +97,7 @@ void ReportSession::enable(std::string path) {
     if (!path.empty()) path_ = std::move(path);
   }
   enabled_.store(true, std::memory_order_relaxed);
+  install_signal_flush();
 }
 
 void ReportSession::add(RunRecord r) {

@@ -1,0 +1,41 @@
+#include "obs/signal_flush.h"
+
+#include <atomic>
+#include <csignal>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace xbfs::obs {
+
+namespace {
+
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_flushed{false};
+
+void flush_all_once() {
+  if (g_flushed.exchange(true)) return;
+  MetricsRegistry::global().flush();
+  TraceSession::global().flush();
+  ReportSession::global().flush();
+  FlightRecorder::global().trigger("signal");
+}
+
+void on_signal(int sig) {
+  flush_all_once();
+  // Die with the original signal status so callers still see the kill.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void install_signal_flush() {
+  if (g_installed.exchange(true)) return;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+}
+
+}  // namespace xbfs::obs

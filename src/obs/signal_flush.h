@@ -1,0 +1,22 @@
+// Flush observability sinks on SIGINT / SIGTERM.
+//
+// The metrics table, Chrome trace, run report and flight recorder all
+// flush at process exit — which a fatal signal skips entirely, so a
+// killed serving run used to lose its whole observability output.
+// install_signal_flush() chains a handler that flushes every enabled
+// sink once, then restores the default disposition and re-raises so the
+// process still dies with the original signal status.
+//
+// Each sink's enable() path installs this automatically; calling it
+// repeatedly is a no-op.  The handler calls non-async-signal-safe code
+// (the flushes allocate and lock) — a deliberate trade-off for a
+// diagnostics path whose alternative is losing the data; the one-shot
+// guard at least prevents re-entrant flushing.
+#pragma once
+
+namespace xbfs::obs {
+
+/// Install the SIGINT/SIGTERM flush handler (idempotent, thread-safe).
+void install_signal_flush();
+
+}  // namespace xbfs::obs

@@ -1,0 +1,210 @@
+#include "obs/slo.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+namespace xbfs::obs {
+
+namespace {
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const double g_slo_epoch_ms = steady_ms();
+
+}  // namespace
+
+double slo_now_ms() { return steady_ms() - g_slo_epoch_ms; }
+
+SloConfig SloConfig::parse(const std::string& spec) {
+  SloConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = item.substr(0, eq);
+    const double val = std::atof(item.c_str() + eq + 1);
+    if (key == "availability" && val > 0.0 && val < 1.0) {
+      cfg.availability = val;
+    } else if (key == "latency_ms" && val >= 0.0) {
+      cfg.latency_ms = val;
+    } else if (key == "window_ms" && val > 0.0) {
+      cfg.window_ms = val;
+    } else if (key == "buckets" && val >= 1.0) {
+      cfg.buckets = static_cast<unsigned>(val);
+    } else if (key == "burn_fast" && val > 0.0) {
+      cfg.burn_fast = val;
+    }
+  }
+  return cfg;
+}
+
+SloScope::SloScope(std::string name, SloConfig cfg, unsigned num_gcds)
+    : name_(std::move(name)), cfg_(cfg) {
+  all_.buckets.resize(cfg_.buckets);
+  gcds_.reserve(num_gcds);
+  for (unsigned i = 0; i < num_gcds; ++i) {
+    gcds_.push_back(std::make_unique<Lane>());
+    gcds_.back()->buckets.resize(cfg_.buckets);
+  }
+}
+
+void SloScope::ensure_gcds(unsigned num_gcds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (gcds_.size() < num_gcds) {
+    gcds_.push_back(std::make_unique<Lane>());
+    gcds_.back()->buckets.resize(cfg_.buckets);
+  }
+}
+
+void SloScope::record_lane(Lane& lane, bool ok, bool slow,
+                           std::int64_t epoch) {
+  Bucket& b = lane.buckets[static_cast<std::size_t>(epoch) %
+                           lane.buckets.size()];
+  if (b.epoch != epoch) {
+    b.epoch = epoch;
+    b.good = b.bad = b.slow = 0;
+  }
+  if (!ok) {
+    ++b.bad;
+    ++lane.total_bad;
+  } else if (slow) {
+    ++b.slow;
+    ++lane.total_slow;
+  } else {
+    ++b.good;
+    ++lane.total_good;
+  }
+}
+
+void SloScope::record(unsigned gcd, bool ok, double latency_ms,
+                      double now_ms) {
+  const bool slow =
+      ok && cfg_.latency_ms > 0.0 && latency_ms > cfg_.latency_ms;
+  const auto epoch = static_cast<std::int64_t>(now_ms / bucket_ms());
+  std::lock_guard<std::mutex> lk(mu_);
+  record_lane(all_, ok, slow, epoch);
+  if (gcd < gcds_.size()) record_lane(*gcds_[gcd], ok, slow, epoch);
+}
+
+SloWindow SloScope::window_of(const Lane& lane, std::int64_t epoch) const {
+  SloWindow w;
+  const std::int64_t lo = epoch - static_cast<std::int64_t>(cfg_.buckets) + 1;
+  for (const Bucket& b : lane.buckets) {
+    if (b.epoch < lo || b.epoch > epoch) continue;  // stale or future slot
+    w.good += b.good;
+    w.bad += b.bad;
+    w.slow += b.slow;
+  }
+  const std::uint64_t total = w.good + w.bad + w.slow;
+  const std::uint64_t violations = w.bad + w.slow;
+  w.availability =
+      total == 0 ? 1.0
+                 : 1.0 - static_cast<double>(violations) /
+                             static_cast<double>(total);
+  const double allowed = 1.0 - cfg_.availability;
+  w.burn_rate = total == 0 || allowed <= 0.0
+                    ? 0.0
+                    : (static_cast<double>(violations) /
+                       static_cast<double>(total)) /
+                          allowed;
+  return w;
+}
+
+SloSnapshot SloScope::snapshot(double now_ms) const {
+  const auto epoch = static_cast<std::int64_t>(now_ms / bucket_ms());
+  SloSnapshot s;
+  s.active = true;
+  s.cfg = cfg_;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.total_good = all_.total_good;
+  s.total_bad = all_.total_bad;
+  s.total_slow = all_.total_slow;
+  const std::uint64_t total = s.total_good + s.total_bad + s.total_slow;
+  const std::uint64_t violations = s.total_bad + s.total_slow;
+  const double allowed = 1.0 - cfg_.availability;
+  // Lifetime budget: the objective allows `allowed * total` violations;
+  // remaining = 1 - consumed fraction.  With zero traffic nothing is
+  // spent.
+  s.budget_remaining =
+      total == 0 || allowed <= 0.0
+          ? 1.0
+          : 1.0 - static_cast<double>(violations) /
+                      (allowed * static_cast<double>(total));
+  s.budget_exhausted = total != 0 && s.budget_remaining <= 0.0;
+  s.window = window_of(all_, epoch);
+  s.per_gcd.reserve(gcds_.size());
+  for (const auto& lane : gcds_) s.per_gcd.push_back(window_of(*lane, epoch));
+  return s;
+}
+
+bool SloScope::prefer_cheap(double now_ms) const {
+  const SloSnapshot s = snapshot(now_ms);
+  return s.budget_exhausted || s.window.burn_rate >= cfg_.burn_fast;
+}
+
+SloEngine& SloEngine::global() {
+  static SloEngine g;
+  return g;
+}
+
+SloEngine::SloEngine() {
+  if (const char* env = std::getenv("XBFS_SLO"); env && *env)
+    configure(std::string(env));
+}
+
+void SloEngine::configure(const SloConfig& cfg) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_ = cfg;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+SloConfig SloEngine::config() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cfg_;
+}
+
+SloScope& SloEngine::scope(const std::string& name, unsigned num_gcds) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = scopes_.find(name);
+  if (it == scopes_.end()) {
+    it = scopes_
+             .emplace(name,
+                      std::make_unique<SloScope>(name, cfg_, num_gcds))
+             .first;
+    return *it->second;
+  }
+  SloScope& s = *it->second;
+  lk.unlock();
+  s.ensure_gcds(num_gcds);
+  return s;
+}
+
+std::vector<std::string> SloEngine::scope_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(scopes_.size());
+  for (const auto& [k, v] : scopes_) {
+    (void)v;
+    out.push_back(k);
+  }
+  return out;
+}
+
+SloScope* SloEngine::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = scopes_.find(name);
+  return it == scopes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace xbfs::obs

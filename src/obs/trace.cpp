@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "obs/json_writer.h"
+#include "obs/signal_flush.h"
 #include "obs/trace_export.h"
 
 namespace xbfs::obs {
@@ -63,6 +64,7 @@ void TraceSession::enable(std::string path) {
     if (!path.empty()) path_ = std::move(path);
   }
   enabled_.store(true, std::memory_order_relaxed);
+  install_signal_flush();
 }
 
 double TraceSession::wall_now_us() const {

@@ -42,8 +42,19 @@ void write_chrome_trace(std::ostream& os, const std::vector<Span>& spans,
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
 
-  // Metadata: name the process and thread lanes.
-  for (const auto& [pid, label] : pid_labels) {
+  // Metadata: name the process and thread lanes.  Every pid that appears
+  // in the trace gets a process_name so Perfetto never renders a bare
+  // number: registered labels ("GCD 0", ...) win, pid 0 defaults to
+  // "host", and anything else falls back to "device <pid>".
+  std::map<int, std::string> labels = pid_labels;
+  for (const auto& [key, tid] : tids) {
+    (void)tid;
+    const int pid = key.first;
+    if (labels.count(pid)) continue;
+    labels.emplace(pid,
+                   pid == 0 ? "host" : "device " + std::to_string(pid));
+  }
+  for (const auto& [pid, label] : labels) {
     w.begin_object();
     w.kv("name", "process_name").kv("ph", "M").kv("pid", pid).kv("tid", 0);
     w.key("args").begin_object().kv("name", label).end_object();

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/query_trace.h"
 #include "serve/query.h"
 
 namespace xbfs::serve {
@@ -22,6 +23,9 @@ struct PendingQuery {
   bool bypass_cache = false;
   double enqueue_us = 0.0;   ///< server wall clock at submit
   double deadline_us = -1.0; ///< absolute server wall clock; negative = none
+  /// Query-scoped trace context (null when ServeConfig::query_tracing is
+  /// off); allocated at admission and handed to the result at terminal.
+  obs::QueryTracePtr trace;
   std::promise<QueryResult> promise;
 };
 

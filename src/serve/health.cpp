@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace xbfs::serve {
 
 const char* breaker_state_name(BreakerState s) {
@@ -29,6 +31,8 @@ bool HealthTracker::allow(unsigned slot, double now_us) {
       if (now_us - s.opened_at_us >= cfg_.cooldown_ms * 1000.0) {
         s.state = BreakerState::HalfOpen;
         s.probe_outstanding = true;
+        obs::FlightRecorder::global().record("serve", "breaker_half_open", {},
+                                             0, slot);
         std::lock_guard<std::mutex> clk(counters_mu_);
         ++counters_.half_opens;
         return true;
@@ -56,6 +60,10 @@ void HealthTracker::record_success(unsigned slot) {
       closed = true;
     }
   }
+  if (closed) {
+    obs::FlightRecorder::global().record("serve", "breaker_close", {}, 0,
+                                         slot);
+  }
   std::lock_guard<std::mutex> clk(counters_mu_);
   ++counters_.successes;
   if (closed) ++counters_.closes;
@@ -76,6 +84,10 @@ void HealthTracker::record_failure(unsigned slot, double now_us) {
       s.opened_at_us = now_us;
       opened = true;
     }
+  }
+  if (opened) {
+    obs::FlightRecorder::global().record("serve", "breaker_open", {}, 0,
+                                         slot);
   }
   std::lock_guard<std::mutex> clk(counters_mu_);
   ++counters_.failures;

@@ -17,6 +17,7 @@
 
 #include "core/status_code.h"
 #include "graph/csr.h"
+#include "obs/query_trace.h"
 
 namespace xbfs::serve {
 
@@ -73,6 +74,11 @@ struct QueryResult {
   bool degraded = false;     ///< served below the preferred rung (fallback)
   bool validated = false;    ///< levels passed validate_levels_graph500
   xbfs::Status error;        ///< terminal failure detail when status==Failed
+
+  /// Query-scoped trace: the causal event record (admission -> every
+  /// retry/rung -> terminal) plus per-rung kernel-counter attribution.
+  /// Null when ServeConfig::query_tracing is off.
+  obs::QueryTracePtr trace;
 };
 
 /// Outcome of Server::submit().

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -11,7 +12,10 @@
 #include "dyn/delta_ref.h"
 #include "dyn/incremental_bfs.h"
 #include "graph/g500_validate.h"
+#include "hipsim/device.h"
 #include "hipsim/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/json_writer.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -32,6 +36,36 @@ const ServeConfig& checked(const ServeConfig& cfg) {
     throw std::invalid_argument("ServeConfig: " + s.to_string());
   }
   return cfg;
+}
+
+/// Fold one attempt's AttributionSink into a per-query rung record.
+obs::RungAttribution make_rung(const sim::AttributionSink& sink,
+                               std::string engine, const char* outcome,
+                               unsigned gcd, unsigned attempt, unsigned rung,
+                               unsigned shared, double start_us,
+                               double end_us) {
+  obs::RungAttribution a;
+  a.engine = std::move(engine);
+  a.outcome = outcome;
+  a.gcd = gcd;
+  a.attempt = attempt;
+  a.rung = rung;
+  a.shared_members = shared;
+  a.launches = sink.launches;
+  a.memcpys = sink.memcpys;
+  a.fetch_bytes = sink.counters.fetch_bytes;
+  a.bytes_read = sink.counters.bytes_read;
+  a.atomics = sink.counters.atomics;
+  const std::uint64_t accesses = sink.counters.l2_hits + sink.counters.l2_misses;
+  a.l2_hit_pct =
+      accesses == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(sink.counters.l2_hits) /
+                static_cast<double>(accesses);
+  a.modelled_us = sink.modelled_us;
+  a.wall_start_us = start_us;
+  a.wall_dur_us = end_us - start_us;
+  return a;
 }
 
 }  // namespace
@@ -126,7 +160,7 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
         cfg_.profile,
         sim::SimOptions{.num_workers = cfg_.device_workers,
                         .profiling = cfg_.device_profiling});
-    gcd->dev->set_trace_label("serve-gcd" + std::to_string(i));
+    gcd->dev->set_trace_label("GCD " + std::to_string(i));
     gcd->dev->warmup();
     if (store_) {
       // Dynamic ladder: one rung, the incremental-repair engine (it owns
@@ -159,6 +193,14 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
   // One pool lane per GCD (the scheduler thread participates as lane 0),
   // reusing the simulator's chunked-cursor worker pool.
   pool_ = std::make_unique<sim::ThreadPool>(cfg_.num_gcds);
+
+  obs::SloEngine& slo_eng = obs::SloEngine::global();
+  if (slo_eng.enabled()) {
+    slo_ = &slo_eng.scope(cfg_.slo_scope, cfg_.num_gcds);
+  }
+  flight_ctx_ = obs::FlightRecorder::global().register_context(
+      "server[" + cfg_.slo_scope + "]",
+      [this] { return flight_context_json(); });
 
   if (!cfg_.manual_dispatch) {
     scheduler_ = std::thread([this] { scheduler_loop(); });
@@ -209,9 +251,16 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
       r.depth = hit.depth;
       r.cache_hit = true;
       r.total_ms = (wall_us() - now) / 1000.0;
+      if (cfg_.query_tracing) {
+        r.trace = std::make_shared<obs::QueryTrace>(a.id, source);
+        r.trace->event(now, "admitted", "source=" + std::to_string(source));
+        r.trace->event(wall_us(), "cache_hit",
+                       "depth=" + std::to_string(r.depth));
+      }
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
       record_latency(r);
+      note_terminal(r);
       pr.set_value(std::move(r));
       retire_one();
       return a;
@@ -226,6 +275,14 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
   const double timeout_ms =
       opt.timeout_ms != 0.0 ? opt.timeout_ms : cfg_.default_timeout_ms;
   p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
+  if (cfg_.query_tracing) {
+    p.trace = std::make_shared<obs::QueryTrace>(a.id, source);
+    std::string detail = "source=" + std::to_string(source);
+    if (p.deadline_us >= 0.0) {
+      detail += " deadline_ms=" + fmt_double(timeout_ms);
+    }
+    p.trace->event(now, "admitted", std::move(detail));
+  }
   std::future<QueryResult> fut = p.promise.get_future();
 
   xbfs::Status st = queue_.try_push(std::move(p));
@@ -239,6 +296,10 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
     return a;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    inflight_.insert(a.id);
+  }
   a.accepted = true;
   a.result = std::move(fut);
   return a;
@@ -261,6 +322,11 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch) {
   // publishes a new snapshot while in-flight queries keep theirs, and the
   // fingerprint/cache flip below makes new submissions see the new epoch.
   std::lock_guard<std::mutex> lk(update_mu_);
+  if (cfg_.query_tracing) {
+    a.trace = std::make_shared<obs::QueryTrace>(0, 0);
+    a.trace->event(wall_us(), "update_submitted",
+                   "ops=" + std::to_string(batch.size()));
+  }
   a.applied = store_->apply(batch);
   const dyn::Snapshot snap = store_->snapshot();
   a.epoch = snap.epoch;
@@ -268,6 +334,18 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch) {
   graph_fp_.store(snap.fingerprint, std::memory_order_release);
   a.cache_purged = cache_.epoch_bump(snap.fingerprint);
   a.accepted = true;
+  if (a.trace) {
+    a.trace->event(
+        wall_us(), "update_applied",
+        "epoch=" + std::to_string(a.epoch) + " applied=" +
+            std::to_string(a.applied.inserts_applied +
+                           a.applied.deletes_applied) +
+            " noops=" + std::to_string(a.applied.noops) +
+            " purged=" + std::to_string(a.cache_purged));
+  }
+  obs::FlightRecorder::global().record(
+      "dyn", "update", {}, 0, a.epoch,
+      a.applied.inserts_applied + a.applied.deletes_applied);
 
   updates_applied_.fetch_add(1, std::memory_order_relaxed);
   update_edges_applied_.fetch_add(
@@ -317,7 +395,8 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
   std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
   obs::TraceSession& tr = obs::TraceSession::global();
   const std::uint64_t span = tr.begin("serve.cycle", "serve", "serve");
-  dispatch_cycles_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cycle =
+      dispatch_cycles_.fetch_add(1, std::memory_order_relaxed) + 1;
   const double dispatch_us = wall_us();
   const std::size_t cycle_queries = pending.size();
 
@@ -336,6 +415,10 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
         complete_from_cache(std::move(p), std::move(hit), dispatch_us);
         continue;
       }
+    }
+    if (p.trace) {
+      p.trace->event(dispatch_us, "dispatched",
+                     "cycle=" + std::to_string(cycle));
     }
     work.push_back(std::move(p));
   }
@@ -406,7 +489,11 @@ void Server::backoff(unsigned attempt) {
 }
 
 xbfs::Status Server::note_attempt_failure(unsigned gcd,
-                                          const xbfs::Status& why) {
+                                          const xbfs::Status& why,
+                                          QueryId primary) {
+  obs::FlightRecorder::global().record("serve", "attempt_failed",
+                                       xbfs::status_code_name(why.code()),
+                                       primary, gcd);
   if (why == xbfs::StatusCode::FaultInjected) {
     faults_seen_.fetch_add(1, std::memory_order_relaxed);
   } else if (why == xbfs::StatusCode::DataCorruption) {
@@ -447,20 +534,38 @@ bool Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
 Server::Resolution Server::resolve_single(unsigned preferred,
                                           graph::vid_t src,
                                           unsigned attempts_so_far,
-                                          double dispatch_us) {
+                                          double dispatch_us,
+                                          QueryId primary) {
   Resolution out;
   out.attempts = attempts_so_far;
   out.gcd = preferred;
+  if (cfg_.query_tracing) {
+    out.log = std::make_shared<obs::QueryTrace>(primary, src);
+  }
+  obs::QueryTrace* log = out.log.get();
   const bool validate = validation_active();
   xbfs::Status last = xbfs::Status::Unavailable("no device attempt made");
   unsigned budget = cfg_.max_attempts;
   const std::size_t rungs = gcds_[0]->ladder.size();
 
-  for (std::size_t rung = 0; rung < rungs && budget > 0; ++rung) {
+  // SLO-aware proactive degrade: when the error budget is exhausted (or
+  // the window burn runs past burn_fast), start on the cheaper rung
+  // instead of spending device attempts the objective can't afford.
+  std::size_t start_rung = 0;
+  if (slo_ != nullptr && rungs > 1 && slo_->prefer_cheap(obs::slo_now_ms())) {
+    start_rung = 1;
+    slo_proactive_degrades_.fetch_add(1, std::memory_order_relaxed);
+    if (log) log->event(wall_us(), "slo_degrade", "start_rung=1");
+    obs::FlightRecorder::global().record("serve", "slo_degrade", {}, primary,
+                                         preferred);
+  }
+
+  for (std::size_t rung = start_rung; rung < rungs && budget > 0; ++rung) {
     while (budget > 0) {
       const unsigned g = health_.pick(preferred, wall_us());
       if (g == HealthTracker::kNone) {
         last = xbfs::Status::Unavailable("all GCD circuit breakers open");
+        if (log) log->event(wall_us(), "unavailable", "all breakers open");
         budget = 0;
         break;
       }
@@ -469,19 +574,45 @@ Server::Resolution Server::resolve_single(unsigned preferred,
       ++out.attempts;
       --budget;
       Gcd& gcd = *gcds_[g];
+      const double attempt_us = wall_us();
+      if (log) {
+        log->event(attempt_us, "attempt",
+                   "engine=" + std::string(gcd.ladder[rung]->name()) +
+                       " gcd=" + std::to_string(g) + " rung=" +
+                       std::to_string(rung) + " attempt=" +
+                       std::to_string(out.attempts));
+      }
+      // Declared outside the try: a faulted run keeps the partial counters
+      // it accumulated before the fault (the faulted launch itself
+      // attributes nothing — hipsim throws before executing it).
+      sim::AttributionSink sink;
       try {
         core::BfsResult br;
         bool corrupted = false;
         dyn::Snapshot dsnap;
+        dyn::IncrementalBfs::LastRun dlr;
         {
           std::lock_guard<std::mutex> lk(gcd.mu);
+          sim::ScopedAttribution attr(*gcd.dev, sink);
           br = gcd.ladder[rung]->run(src);
           corrupted = gcd.dev->take_pending_corruption();
           // Dynamic: pin the exact snapshot this run traversed (still under
           // the GCD lock — served() follows run()'s serialization) so
           // validation and the cache key match the graph that was served,
           // not whatever epoch the store is on by now.
-          if (gcd.inc) dsnap = gcd.inc->served();
+          if (gcd.inc) {
+            dsnap = gcd.inc->served();
+            dlr = gcd.inc->last_run();
+          }
+        }
+        if (log && dlr.valid) {
+          log->event(wall_us(), dlr.repair ? "repair" : "recompute",
+                     "epoch=" + std::to_string(dlr.epoch) + " dirty=" +
+                         std::to_string(dlr.dirty) + " seeds=" +
+                         std::to_string(dlr.seeds) +
+                         (dlr.fallback[0] != '\0'
+                              ? std::string(" fallback=") + dlr.fallback
+                              : std::string()));
         }
         if (corrupted) sim::FaultInjector::global().corrupt_levels(br.levels);
         if (validate) {
@@ -490,11 +621,21 @@ Server::Resolution Server::resolve_single(unsigned preferred,
                     : graph::validate_levels_graph500(*host_g_, src,
                                                       br.levels);
           if (!verr.empty()) {
-            last = note_attempt_failure(g, xbfs::Status::Corruption(verr));
+            last = note_attempt_failure(g, xbfs::Status::Corruption(verr),
+                                        primary);
+            if (log) {
+              log->event(wall_us(), "validation_failed", verr);
+              log->rung(make_rung(sink, gcd.ladder[rung]->name(), "corrupt",
+                                  g, out.attempts,
+                                  static_cast<unsigned>(rung), 1, attempt_us,
+                                  wall_us()));
+            }
+            obs::FlightRecorder::global().trigger("validation_failure");
             backoff(out.attempts);
             continue;
           }
           validated_results_.fetch_add(1, std::memory_order_relaxed);
+          if (log) log->event(wall_us(), "validated");
         }
         // A straggler keeps its result but eats a breaker failure instead
         // of a success (which would reset the failure streak).
@@ -511,12 +652,33 @@ Server::Resolution Server::resolve_single(unsigned preferred,
         out.degraded = attempts_so_far > 0 || rung > 0;
         out.validated = validate;
         out.status = xbfs::Status::Ok();
+        if (log) {
+          log->rung(make_rung(sink, out.engine, "ok", g, out.attempts,
+                              static_cast<unsigned>(rung), 1, attempt_us,
+                              wall_us()));
+          log->event(wall_us(), "resolved",
+                     "engine=" + out.engine + " gcd=" + std::to_string(g));
+        }
         return out;
       } catch (const sim::FaultInjected& e) {
-        last = note_attempt_failure(g, xbfs::Status::Fault(e.what()));
+        last = note_attempt_failure(g, xbfs::Status::Fault(e.what()),
+                                    primary);
+        if (log) {
+          log->event(wall_us(), "fault", e.what());
+          log->rung(make_rung(sink, gcd.ladder[rung]->name(), "fault", g,
+                              out.attempts, static_cast<unsigned>(rung), 1,
+                              attempt_us, wall_us()));
+        }
         backoff(out.attempts);
       } catch (const std::exception& e) {
-        last = note_attempt_failure(g, xbfs::Status::Internal(e.what()));
+        last = note_attempt_failure(g, xbfs::Status::Internal(e.what()),
+                                    primary);
+        if (log) {
+          log->event(wall_us(), "error", e.what());
+          log->rung(make_rung(sink, gcd.ladder[rung]->name(), "error", g,
+                              out.attempts, static_cast<unsigned>(rung), 1,
+                              attempt_us, wall_us()));
+        }
         backoff(out.attempts);
       }
     }
@@ -527,6 +689,11 @@ Server::Resolution Server::resolve_single(unsigned preferred,
     // device, so no injected fault can reach it.  Dynamic servers pin one
     // snapshot so the traversal, validation and cache key agree even if an
     // update lands mid-run.
+    const double host_us = wall_us();
+    if (log) {
+      log->event(host_us, "host_fallback",
+                 "engine=" + std::string(host_engine_->name()));
+    }
     dyn::Snapshot hsnap;
     core::BfsResult br;
     if (host_dyn_) {
@@ -546,6 +713,7 @@ Server::Resolution Server::resolve_single(unsigned preferred,
         // Cannot happen short of a bug in the host engine itself; report
         // rather than serve a wrong answer.
         out.status = xbfs::Status::Internal("host fallback failed validation: " + verr);
+        if (log) log->event(wall_us(), "validation_failed", verr);
         return out;
       }
       validated_results_.fetch_add(1, std::memory_order_relaxed);
@@ -559,20 +727,39 @@ Server::Resolution Server::resolve_single(unsigned preferred,
     out.status = xbfs::Status::Ok();
     out.fp = hsnap ? hsnap.fingerprint
                    : graph_fp_.load(std::memory_order_acquire);
+    if (log) {
+      // The host rung runs no simulated device work, so its attribution
+      // record is all-zero counters — rung index one past the ladder.
+      obs::RungAttribution ha;
+      ha.engine = out.engine;
+      ha.gcd = out.gcd;
+      ha.attempt = out.attempts;
+      ha.rung = static_cast<unsigned>(rungs);
+      ha.wall_start_us = host_us;
+      ha.wall_dur_us = wall_us() - host_us;
+      log->rung(std::move(ha));
+      log->event(wall_us(), "resolved", "engine=" + out.engine);
+    }
     return out;
   }
 
   out.status = last;
+  if (log) log->event(wall_us(), "exhausted", last.to_string());
+  obs::FlightRecorder::global().record("serve", "budget_exhausted",
+                                       xbfs::status_code_name(last.code()),
+                                       primary, preferred);
   return out;
 }
 
 void Server::deliver_source(graph::vid_t src, const Resolution& res,
                             SourceMap& by_src, double dispatch_us,
-                            unsigned batch_size) {
+                            unsigned batch_size,
+                            const obs::QueryTrace* batch_log) {
   auto waiters = by_src.find(src);
   if (waiters == by_src.end()) return;
   const double complete_us = wall_us();
 
+  bool published = false;
   if (res.res) {
     computed_sources_.fetch_add(1, std::memory_order_relaxed);
     // Publish before resolving waiters so a submit racing with completion
@@ -585,10 +772,23 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
     // result; on a dynamic server that may trail the live fingerprint, in
     // which case the entry is unreachable (and purged on the next bump)
     // rather than served stale.
-    if (publish && wanted) cache_.put(res.fp, src, res.res);
+    if (publish && wanted) {
+      cache_.put(res.fp, src, res.res);
+      published = true;
+    }
   }
 
   for (PendingQuery& p : waiters->second) {
+    if (p.trace) {
+      // Batch-shared work first (sweep attempts), then this source's own
+      // resolution log; wall clocks keep the merged record ordered.
+      if (batch_log != nullptr) p.trace->absorb(*batch_log);
+      if (res.log != nullptr) p.trace->absorb(*res.log);
+      if (published) {
+        p.trace->event(complete_us, "cache_publish",
+                       "fp=" + std::to_string(res.fp));
+      }
+    }
     QueryResult r;
     r.id = p.id;
     r.source = p.source;
@@ -634,6 +834,14 @@ void Server::run_batch(unsigned worker,
   bool solved = false;
   unsigned sweep_attempts = 0;
 
+  // Batch-shared scratch trace: sweep-stage events and attribution,
+  // absorbed into every member's QueryTrace at delivery (shared_members
+  // marks work amortized across the whole batch).
+  obs::QueryTracePtr batch_log;
+  if (cfg_.query_tracing && !singleton) {
+    batch_log = std::make_shared<obs::QueryTrace>(0, batch[0]);
+  }
+
   if (!singleton) {
     // Stage 1: the shared 64-way sweep, retried across healthy GCDs.  One
     // corrupted or faulted attempt fails the whole unit; per-source
@@ -647,12 +855,21 @@ void Server::run_batch(unsigned worker,
       }
       ++sweep_attempts;
       Gcd& gcd = *gcds_[g];
+      const double attempt_us = wall_us();
+      if (batch_log) {
+        batch_log->event(attempt_us, "attempt",
+                         "engine=sweep gcd=" + std::to_string(g) +
+                             " members=" + std::to_string(batch.size()) +
+                             " attempt=" + std::to_string(sweep_attempts));
+      }
+      sim::AttributionSink sink;
       try {
         algos::MultiBfsResult r;
         bool corrupted = false;
         std::uint64_t corrupt_pick = 0;
         {
           std::lock_guard<std::mutex> lk(gcd.mu);
+          sim::ScopedAttribution attr(*gcd.dev, sink);
           r = algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
           corrupted = gcd.dev->take_pending_corruption();
           // The device counters are plain fields; read them only while
@@ -673,11 +890,20 @@ void Server::run_batch(unsigned worker,
           }
           if (!verr.empty()) {
             note_attempt_failure(g, xbfs::Status::Corruption(verr));
+            if (batch_log) {
+              batch_log->event(wall_us(), "validation_failed", verr);
+              batch_log->rung(make_rung(
+                  sink, "sweep", "corrupt", g, sweep_attempts, 0,
+                  static_cast<unsigned>(batch.size()), attempt_us,
+                  wall_us()));
+            }
+            obs::FlightRecorder::global().trigger("validation_failure");
             backoff(sweep_attempts);
             continue;
           }
           validated_results_.fetch_add(batch.size(),
                                        std::memory_order_relaxed);
+          if (batch_log) batch_log->event(wall_us(), "validated");
         }
         // A straggler keeps its result but eats a breaker failure instead
         // of a success (which would reset the failure streak).
@@ -702,12 +928,33 @@ void Server::run_batch(unsigned worker,
         }
         modelled_ms += r.total_ms;
         solved = true;
+        if (batch_log) {
+          batch_log->rung(make_rung(sink, "sweep", "ok", g, sweep_attempts,
+                                    0, static_cast<unsigned>(batch.size()),
+                                    attempt_us, wall_us()));
+          batch_log->event(wall_us(), "resolved",
+                           "engine=sweep gcd=" + std::to_string(g));
+        }
         break;
       } catch (const sim::FaultInjected& e) {
         note_attempt_failure(g, xbfs::Status::Fault(e.what()));
+        if (batch_log) {
+          batch_log->event(wall_us(), "fault", e.what());
+          batch_log->rung(make_rung(sink, "sweep", "fault", g,
+                                    sweep_attempts, 0,
+                                    static_cast<unsigned>(batch.size()),
+                                    attempt_us, wall_us()));
+        }
         backoff(sweep_attempts);
       } catch (const std::exception& e) {
         note_attempt_failure(g, xbfs::Status::Internal(e.what()));
+        if (batch_log) {
+          batch_log->event(wall_us(), "error", e.what());
+          batch_log->rung(make_rung(sink, "sweep", "error", g,
+                                    sweep_attempts, 0,
+                                    static_cast<unsigned>(batch.size()),
+                                    attempt_us, wall_us()));
+        }
         backoff(sweep_attempts);
       }
     }
@@ -718,15 +965,19 @@ void Server::run_batch(unsigned worker,
     // normal path for singleton batches, where ladder[0] is exactly the
     // pre-resilience adaptive Xbfs run).
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto w = by_src.find(batch[i]);
+      const QueryId primary =
+          (w != by_src.end() && !w->second.empty()) ? w->second.front().id
+                                                    : 0;
       outcomes[i] = resolve_single(worker, batch[i], sweep_attempts,
-                                   dispatch_us);
+                                   dispatch_us, primary);
       modelled_ms += outcomes[i].modelled_ms;
     }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
     deliver_source(batch[i], outcomes[i], by_src, dispatch_us,
-                   static_cast<unsigned>(batch.size()));
+                   static_cast<unsigned>(batch.size()), batch_log.get());
   }
 
   {
@@ -767,6 +1018,9 @@ void Server::complete_from_cache(PendingQuery&& p, CachedResult hit,
   r.cache_hit = true;
   r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
   r.total_ms = r.queue_ms;
+  if (p.trace) {
+    p.trace->event(now_us, "cache_hit", "depth=" + std::to_string(r.depth));
+  }
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   record_latency(r);
@@ -774,8 +1028,77 @@ void Server::complete_from_cache(PendingQuery&& p, CachedResult hit,
 }
 
 void Server::finish_query(PendingQuery&& p, QueryResult&& r) {
+  if (p.trace != nullptr) r.trace = p.trace;
+  note_terminal(r);
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    inflight_.erase(p.id);
+  }
   p.promise.set_value(std::move(r));
   retire_one();
+}
+
+void Server::note_terminal(QueryResult& r) {
+  const bool ok = r.status == QueryStatus::Completed;
+  if (slo_ != nullptr) {
+    // Cache hits and expiries never touched a device lane: r.batch_size is
+    // 0 exactly when no traversal ran, and an out-of-range lane attributes
+    // to the scope aggregate only.
+    const unsigned lane = r.batch_size > 0 ? r.gcd : cfg_.num_gcds;
+    slo_->record(lane, ok, r.total_ms, obs::slo_now_ms());
+  }
+  const char* status = query_status_name(r.status);
+  if (r.trace != nullptr) {
+    traced_.fetch_add(1, std::memory_order_relaxed);
+    std::string detail = "total_ms=" + fmt_double(r.total_ms);
+    if (!r.engine.empty()) detail += " engine=" + r.engine;
+    if (r.cache_hit) detail += " cache_hit=1";
+    if (!ok && !r.error.ok()) detail += " error=" + r.error.to_string();
+    r.trace->event(wall_us(), status, std::move(detail));
+    obs::TraceSession& tr = obs::TraceSession::global();
+    if (tr.enabled()) obs::emit_query_spans(tr, *r.trace, status);
+  }
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  if (fr.enabled()) {
+    fr.record("serve",
+              ok ? "query_completed"
+                 : r.status == QueryStatus::Expired ? "query_expired"
+                                                    : "query_failed",
+              r.engine, r.id, r.gcd);
+    // Post-mortem dumps on the escalations worth a snapshot: a query that
+    // exhausted its resilience budget, and a deadline miss.
+    if (r.status == QueryStatus::Failed) fr.trigger("query_failed");
+    if (r.status == QueryStatus::Expired) fr.trigger("deadline_miss");
+  }
+}
+
+std::string Server::flight_context_json() const {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("scope", cfg_.slo_scope);
+  w.kv("queue_depth", static_cast<std::uint64_t>(queue_.size()));
+  w.kv("queue_capacity", static_cast<std::uint64_t>(queue_.capacity()));
+  w.kv("accepted", accepted_.load(std::memory_order_relaxed));
+  w.kv("retired", retired_.load(std::memory_order_relaxed));
+  w.kv("graph_fp", graph_fp_.load(std::memory_order_acquire));
+  w.key("breakers").begin_array();
+  for (unsigned i = 0; i < cfg_.num_gcds; ++i) {
+    w.value(breaker_state_name(health_.state(i)));
+  }
+  w.end_array();
+  w.key("inflight").begin_array();
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    std::size_t emitted = 0;
+    for (const QueryId id : inflight_) {
+      if (++emitted > 64) break;  // cap the dump; the depth is above
+      w.value(static_cast<std::uint64_t>(id));
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
 }
 
 void Server::retire_one() {
@@ -823,6 +1146,12 @@ void Server::shutdown() {
     // Manual mode: retire whatever is still queued.
     while (dispatch_once() != 0) {
     }
+  }
+  // The context provider captures `this`; drop it before the members it
+  // samples go away.
+  if (flight_ctx_ != 0) {
+    obs::FlightRecorder::global().unregister_context(flight_ctx_);
+    flight_ctx_ = 0;
   }
   emit_summary();
 }
@@ -893,6 +1222,11 @@ ServerStats Server::stats() const {
     s.modelled_busy_ms = modelled_busy_ms_;
   }
 
+  s.traced_queries = traced_.load(std::memory_order_relaxed);
+  s.slo_proactive_degrades =
+      slo_proactive_degrades_.load(std::memory_order_relaxed);
+  if (slo_ != nullptr) s.slo = slo_->snapshot(obs::slo_now_ms());
+
   s.wall_elapsed_ms = wall_us() / 1000.0;
   s.qps = s.wall_elapsed_ms <= 0.0
               ? 0.0
@@ -910,6 +1244,11 @@ ServerStats Server::stats() const {
 
 void Server::emit_summary() {
   const ServerStats st = stats();
+  std::string slo_gcd_burns;
+  for (const obs::SloWindow& wnd : st.slo.per_gcd) {
+    if (!slo_gcd_burns.empty()) slo_gcd_burns += ",";
+    slo_gcd_burns += fmt_double(wnd.burn_rate);
+  }
 
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
   if (mx.enabled()) {
@@ -993,6 +1332,21 @@ void Server::emit_summary() {
       {"repairs", std::to_string(st.repairs)},
       {"recomputes", std::to_string(st.recomputes)},
       {"repair_fallbacks", std::to_string(st.repair_fallbacks)},
+      {"query_tracing", cfg_.query_tracing ? "1" : "0"},
+      {"traced_queries", std::to_string(st.traced_queries)},
+      {"slo_scope", cfg_.slo_scope},
+      {"slo_active", st.slo.active ? "1" : "0"},
+      {"slo_good", std::to_string(st.slo.total_good)},
+      {"slo_bad", std::to_string(st.slo.total_bad)},
+      {"slo_slow", std::to_string(st.slo.total_slow)},
+      {"slo_budget_remaining", fmt_double(st.slo.budget_remaining)},
+      {"slo_budget_exhausted", st.slo.budget_exhausted ? "1" : "0"},
+      {"slo_window_burn", fmt_double(st.slo.window.burn_rate)},
+      {"slo_gcd_burns", slo_gcd_burns},
+      {"slo_proactive_degrades",
+       std::to_string(st.slo_proactive_degrades)},
+      {"flight_dumps",
+       std::to_string(obs::FlightRecorder::global().dumps())},
   };
   rs.add(std::move(r));
 }

@@ -36,6 +36,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/traversal_engine.h"
@@ -44,6 +45,7 @@
 #include "graph/device_csr.h"
 #include "hipsim/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "serve/admission_queue.h"
 #include "serve/health.h"
 #include "serve/query.h"
@@ -128,6 +130,15 @@ struct ServeConfig {
   /// device attempt failed.  false = such queries resolve as Failed.
   bool host_fallback = true;
 
+  // --- observability --------------------------------------------------------
+  /// Allocate a QueryTrace per admitted query: the causal event record
+  /// plus per-rung kernel-counter attribution returned on QueryResult.
+  bool query_tracing = true;
+  /// SLO scope this server records outcomes into (obs::SloEngine; active
+  /// only when XBFS_SLO / configure() enabled the engine).  Distinct
+  /// servers may share a scope name to aggregate, or use their own.
+  std::string slo_scope = "serve";
+
   /// Reject nonsense configurations (counts >= 1, batch widths within the
   /// 64-bit sweep mask, non-negative windows/backoffs, xbfs.validate()).
   /// Checked by the Server constructor, which throws std::invalid_argument.
@@ -185,6 +196,12 @@ struct ServerStats {
   std::uint64_t recomputes = 0;            ///< full recomputes (incl. fallbacks)
   std::uint64_t repair_fallbacks = 0;      ///< ratio-bound + log-gap fallbacks
 
+  // --- observability --------------------------------------------------------
+  std::uint64_t traced_queries = 0;         ///< terminals carrying a trace
+  std::uint64_t slo_proactive_degrades = 0; ///< queries started below rung 0
+  obs::SloSnapshot slo;                     ///< this server's scope; inactive
+                                            ///< when the SLO engine is off
+
   double wall_elapsed_ms = 0.0;
   double qps = 0.0;                 ///< completed / wall_elapsed
   double modelled_busy_ms = 0.0;    ///< summed modelled device time
@@ -208,6 +225,9 @@ struct UpdateAdmission {
   std::uint64_t fingerprint = 0;
   dyn::ApplyStats applied;
   std::size_t cache_purged = 0;
+  /// Write-lane trace (submit -> apply -> epoch bump -> cache purge); null
+  /// when ServeConfig::query_tracing is off or the batch was rejected.
+  obs::QueryTracePtr trace;
 };
 
 class Server {
@@ -291,6 +311,10 @@ class Server {
     bool degraded = false;
     bool validated = false;
     double modelled_ms = 0.0;   ///< modelled device time consumed (0 = host)
+    /// Per-resolution scratch trace: attempt events + rung attribution,
+    /// absorbed into every waiter's QueryTrace at delivery.  Null when
+    /// query_tracing is off.
+    obs::QueryTracePtr log;
     /// Fingerprint of the exact graph that produced res (cache key).  On a
     /// dynamic server this is the engine's served snapshot, which may trail
     /// graph_fp_ if an update landed mid-flight — caching under it keeps
@@ -309,8 +333,10 @@ class Server {
   void run_batch(unsigned worker, const std::vector<graph::vid_t>& batch,
                  SourceMap& by_src, double dispatch_us);
   /// One device attempt bookkeeping: fault/validation counters, health
-  /// report, trace instant.  Returns the Status recorded for the failure.
-  xbfs::Status note_attempt_failure(unsigned gcd, const xbfs::Status& why);
+  /// report, trace instant, flight-recorder event (`primary` tags it with
+  /// the query/trace id when known).  Returns the recorded Status.
+  xbfs::Status note_attempt_failure(unsigned gcd, const xbfs::Status& why,
+                                    QueryId primary = 0);
   /// Straggler check: report + penalize when the dispatch ran past budget.
   /// Returns true when a failure was recorded — the caller must then skip
   /// its record_success, which would reset the breaker's failure streak
@@ -320,16 +346,24 @@ class Server {
   /// fallback.  `attempts_so_far` carries sweep attempts already burned
   /// (reporting only; the ladder gets its own max_attempts budget).
   Resolution resolve_single(unsigned preferred, graph::vid_t src,
-                            unsigned attempts_so_far, double dispatch_us);
+                            unsigned attempts_so_far, double dispatch_us,
+                            QueryId primary);
   void deliver_source(graph::vid_t src, const Resolution& r,
                       SourceMap& by_src, double dispatch_us,
-                      unsigned batch_size);
+                      unsigned batch_size, const obs::QueryTrace* batch_log);
   void backoff(unsigned attempt);
   void complete_expired(PendingQuery&& p, double now_us);
   void complete_from_cache(PendingQuery&& p, CachedResult hit, double now_us);
   void finish_query(PendingQuery&& p, QueryResult&& r);
   void retire_one();
   void record_latency(const QueryResult& r);
+  /// Terminal bookkeeping common to every resolution path: SLO outcome,
+  /// trace terminal event + Chrome-trace emission, flight-recorder event
+  /// (and dump trigger on Failed / Expired terminals).
+  void note_terminal(QueryResult& r);
+  /// Live-state JSON fragment sampled by the flight recorder at dump time
+  /// (queue depth, breaker states, in-flight trace ids).
+  std::string flight_context_json() const;
   void emit_summary();
 
   /// Exactly one of host_g_ / store_ is set (static vs dynamic serving).
@@ -380,6 +414,18 @@ class Server {
   std::atomic<std::uint64_t> updates_applied_{0};
   std::atomic<std::uint64_t> update_edges_applied_{0};
   std::atomic<std::uint64_t> update_noops_{0};
+  std::atomic<std::uint64_t> traced_{0};
+  std::atomic<std::uint64_t> slo_proactive_degrades_{0};
+
+  /// This server's SLO scope (stable SloEngine reference); null when the
+  /// engine is disabled at construction.
+  obs::SloScope* slo_ = nullptr;
+  /// Flight-recorder context-provider token (0 = none registered).
+  std::uint64_t flight_ctx_ = 0;
+  /// Queries admitted to the queue and not yet terminal, for the flight
+  /// recorder's dump context.
+  mutable std::mutex inflight_mu_;
+  std::unordered_set<QueryId> inflight_;
 
   std::mutex update_mu_;  ///< writes serialized per graph (update lane)
 

@@ -1,0 +1,205 @@
+// Flight-recorder tests: seqlock ring semantics (ordering, wrap,
+// truncation, torn-slot discard under concurrent writers), dump schema,
+// trigger rate-limiting and context providers.  Local recorder instances
+// throughout — the process-global one belongs to the serving stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_mini.h"
+#include "obs/flight_recorder.h"
+
+namespace xbfs {
+namespace {
+
+using obs::FlightEvent;
+using obs::FlightRecorder;
+
+std::string dump_to_string(const FlightRecorder& fr, const char* reason) {
+  std::ostringstream os;
+  fr.dump(os, reason);
+  return os.str();
+}
+
+TEST(FlightRecorder, DisabledRecordIsANoop) {
+  FlightRecorder fr;
+  fr.record("serve", "attempt_failed", "detail", 1, 2, 3);
+  EXPECT_EQ(fr.recorded(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(FlightRecorder, RecordsInCausalOrderWithPayload) {
+  FlightRecorder fr;
+  fr.enable();
+  fr.record("serve", "admitted", "source=7", 1, 0);
+  fr.record("sim", "kernel_fault", {}, 1, 2);
+  fr.record("dyn", "update", {}, 0, 9, 64);
+
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_STREQ(events[0].cat, "serve");
+  EXPECT_STREQ(events[0].name, "admitted");
+  EXPECT_STREQ(events[0].detail, "source=7");
+  EXPECT_EQ(events[1].a, 1u);
+  EXPECT_EQ(events[1].b, 2u);
+  EXPECT_EQ(events[2].c, 64u);
+  EXPECT_LE(events[0].wall_us, events[2].wall_us);
+}
+
+TEST(FlightRecorder, LongStringsTruncateInsteadOfAllocating) {
+  FlightRecorder fr;
+  fr.enable();
+  const std::string big(512, 'x');
+  fr.record(big.c_str(), big.c_str(), big);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // Fixed-size char arrays, always NUL-terminated.
+  EXPECT_LT(std::string(events[0].cat).size(), sizeof(FlightEvent{}.cat));
+  EXPECT_LT(std::string(events[0].name).size(), sizeof(FlightEvent{}.name));
+  EXPECT_LT(std::string(events[0].detail).size(),
+            sizeof(FlightEvent{}.detail));
+  EXPECT_EQ(std::string(events[0].name).find_first_not_of('x'),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestEvents) {
+  FlightRecorder fr;
+  fr.enable("", /*capacity=*/8);
+  ASSERT_EQ(fr.capacity(), 8u);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    fr.record("t", "e", {}, i);
+  }
+  EXPECT_EQ(fr.recorded(), 20u);
+  EXPECT_EQ(fr.dropped(), 12u);
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the 8 newest, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_EQ(events[i].a, 13 + i);
+  }
+}
+
+TEST(FlightRecorder, ConcurrentWritersNeverProduceTornSlots) {
+  FlightRecorder fr;
+  fr.enable("", /*capacity=*/64);  // small ring: writers lap constantly
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fr, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        fr.record("serve", "spin", {}, static_cast<std::uint64_t>(t),
+                  static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  // Readers race the writers: every snapshot must be internally consistent.
+  for (int i = 0; i < 50; ++i) {
+    const auto events = fr.snapshot();
+    std::uint64_t prev = 0;
+    for (const auto& e : events) {
+      EXPECT_GT(e.seq, prev);  // strictly increasing, no duplicates
+      prev = e.seq;
+      EXPECT_STREQ(e.cat, "serve");  // payload matches its seq claim
+      EXPECT_STREQ(e.name, "spin");
+      EXPECT_LT(e.a, static_cast<std::uint64_t>(kThreads));
+    }
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fr.recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(FlightRecorder, DumpEmitsSchemaEventsAndContext) {
+  FlightRecorder fr;
+  fr.enable();
+  fr.record("serve", "attempt_failed", "FaultInjected", 42, 1);
+  const std::uint64_t tok =
+      fr.register_context("server", [] { return std::string("{\"q\":3}"); });
+  fr.register_context("broken", []() -> std::string {
+    throw std::runtime_error("provider died");
+  });
+
+  const auto doc = testjson::parse(dump_to_string(fr, "unit-test"));
+  EXPECT_EQ(doc->at("schema").str, "xbfs-flight");
+  EXPECT_EQ(doc->at("reason").str, "unit-test");
+  const auto& events = doc->at("events");
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events.at(0).at("name").str, "attempt_failed");
+  EXPECT_EQ(events.at(0).at("a").num, 42.0);
+  // Provider output is embedded raw; a throwing provider degrades to null
+  // instead of poisoning the dump.
+  EXPECT_EQ(doc->at("context").at("server").at("q").num, 3.0);
+  EXPECT_EQ(doc->at("context").at("broken").type,
+            testjson::Value::Type::Null);
+
+  fr.unregister_context(tok);
+  const auto doc2 = testjson::parse(dump_to_string(fr, "again"));
+  EXPECT_FALSE(doc2->at("context").has("server"));
+}
+
+TEST(FlightRecorder, TriggerRateLimitsAndWritesTheFile) {
+  const std::string path =
+      ::testing::TempDir() + "/xbfs_flight_trigger_test.json";
+  std::remove(path.c_str());
+
+  FlightRecorder fr;
+  fr.enable(path, 64);
+  fr.record("serve", "budget_exhausted", {}, 7);
+
+  EXPECT_TRUE(fr.trigger("first"));  // the first trigger always fires
+  EXPECT_FALSE(fr.trigger("storm"));  // inside the 200 ms gap: suppressed
+  EXPECT_EQ(fr.dumps(), 1u);
+
+  fr.set_min_dump_gap_ms(0.0);
+  EXPECT_TRUE(fr.trigger("second"));
+  EXPECT_EQ(fr.dumps(), 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = testjson::parse(ss.str());
+  EXPECT_EQ(doc->at("schema").str, "xbfs-flight");
+  EXPECT_EQ(doc->at("reason").str, "second");  // latest dump wins the path
+  // The dump records itself in the ring: flight/dump events for both.
+  std::size_t dump_events = 0;
+  for (const auto& e : doc->at("events").arr) {
+    if (e->at("cat").str == "flight" && e->at("name").str == "dump")
+      ++dump_events;
+  }
+  EXPECT_EQ(dump_events, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TriggerWithoutPathReportsNothingWritten) {
+  FlightRecorder fr;
+  fr.enable();  // recording on, no dump path
+  fr.record("serve", "x");
+  EXPECT_FALSE(fr.trigger("nowhere"));
+  EXPECT_EQ(fr.dumps(), 0u);
+}
+
+TEST(FlightRecorder, ClearForgetsEventsAndDumpPacing) {
+  FlightRecorder fr;
+  fr.enable("", 16);
+  for (int i = 0; i < 10; ++i) fr.record("t", "e");
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+  fr.record("t", "after");
+  const auto events = fr.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+}  // namespace
+}  // namespace xbfs

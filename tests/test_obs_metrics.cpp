@@ -1,0 +1,93 @@
+// Histogram quantile tests: the serving stack's latency percentiles
+// (p50/p95/p99 in ServerStats and the SLO latency objective) all come out
+// of obs::Histogram::percentile, so its edge cases — empty, single
+// sample, clamping to the observed range, quantile monotonicity — get
+// their own coverage here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xbfs {
+namespace {
+
+using obs::Histogram;
+
+TEST(HistogramPercentile, EmptyReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(HistogramPercentile, SingleSampleEveryQuantileIsThatSample) {
+  Histogram h;
+  h.observe(3.25);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentile, QuantilesAreMonotone) {
+  Histogram h;
+  // Heavily skewed latencies: a fat head and a long tail, like a cache-hit
+  // distribution with occasional slow traversals.
+  for (int i = 0; i < 900; ++i) h.observe(0.01 + 0.0001 * i);
+  for (int i = 0; i < 90; ++i) h.observe(5.0 + i);
+  for (int i = 0; i < 10; ++i) h.observe(500.0 + 10.0 * i);
+
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // The skew has to be visible through the log buckets.
+  EXPECT_LT(p50, 1.0);
+  EXPECT_GT(p99, 5.0);
+}
+
+TEST(HistogramPercentile, ClampedToObservedRange) {
+  Histogram h;
+  h.observe(2.0);
+  h.observe(7.0);
+  h.observe(11.0);
+  // Estimates are bucket midpoints clamped into the observed range: never
+  // below the true min or above the true max, whatever the quantile.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(q), h.min()) << "q=" << q;
+    EXPECT_LE(h.percentile(q), h.max()) << "q=" << q;
+  }
+  EXPECT_LE(h.percentile(0.0), h.percentile(1.0));
+}
+
+TEST(HistogramPercentile, ApproximationStaysWithinBucketResolution) {
+  Histogram h;
+  // Quarter-octave buckets: any estimate must land within one bucket
+  // (~19%) of the exact order statistic for a uniform spread.
+  std::vector<double> samples;
+  for (int i = 1; i <= 1000; ++i) {
+    samples.push_back(static_cast<double>(i));
+    h.observe(static_cast<double>(i));
+  }
+  for (double q : {0.25, 0.5, 0.75, 0.9}) {
+    const double exact = samples[static_cast<std::size_t>(q * 999)];
+    const double est = h.percentile(q);
+    EXPECT_NEAR(est / exact, 1.0, 0.25) << "q=" << q;
+  }
+}
+
+TEST(HistogramPercentile, ResetForgetsEverything) {
+  Histogram h;
+  h.observe(1.0);
+  h.observe(100.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 42.0);
+}
+
+}  // namespace
+}  // namespace xbfs

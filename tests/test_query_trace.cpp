@@ -1,0 +1,287 @@
+// Query-trace tests: the QueryTrace record itself (causal sequencing,
+// absorb re-sequencing, JSON schema) and the serving integration — every
+// terminal outcome carries a complete admission->terminal event chain with
+// per-rung kernel-counter attribution, including failed queries, sweep
+// members sharing a batch, and the SLO engine proactively degrading the
+// starting rung.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/fault.h"
+#include "json_mini.h"
+#include "obs/slo.h"
+#include "serve/server.h"
+
+namespace xbfs::serve {
+namespace {
+
+graph::Csr toy_graph(unsigned scale, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return graph::rmat_csr(p);
+}
+
+ServeConfig manual_config() {
+  ServeConfig cfg;
+  cfg.manual_dispatch = true;
+  cfg.batch_window_ms = 0.0;
+  cfg.retry_backoff_ms = 0.0;
+  cfg.breaker_cooldown_ms = 0.1;
+  return cfg;
+}
+
+std::vector<std::string> kinds_of(const obs::QueryTrace& t) {
+  std::vector<std::string> out;
+  for (const auto& e : t.events()) out.push_back(e.kind);
+  return out;
+}
+
+class QueryTracing : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::FaultInjector::global().disable(); }
+  void TearDown() override { sim::FaultInjector::global().disable(); }
+};
+
+// --- the record itself -----------------------------------------------------
+
+TEST(QueryTraceRecord, EventsAreCausallySequenced) {
+  obs::QueryTrace t(7, 42);
+  t.event(1.0, "admitted", "source=42");
+  t.event(2.0, "dispatched");
+  t.event(3.0, "resolved");
+  const auto events = t.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);  // 0-based causal order
+  }
+  EXPECT_EQ(t.find_event("dispatched"), 1);
+  EXPECT_EQ(t.find_event("missing"), -1);
+}
+
+TEST(QueryTraceRecord, AbsorbResequencesAfterOwnEvents) {
+  obs::QueryTrace mine(1, 10);
+  mine.event(1.0, "admitted");
+  obs::QueryTrace batch(0, 10);
+  batch.event(5.0, "attempt", "engine=sweep");
+  obs::RungAttribution ra;
+  ra.engine = "sweep";
+  ra.outcome = "ok";
+  ra.launches = 3;
+  batch.rung(ra);
+
+  mine.absorb(batch);
+  const auto events = mine.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, "admitted");
+  EXPECT_EQ(events[1].kind, "attempt");
+  EXPECT_EQ(events[1].seq, 1u);  // re-sequenced after ours
+  ASSERT_EQ(mine.rungs().size(), 1u);
+  EXPECT_EQ(mine.rungs()[0].launches, 3u);
+}
+
+TEST(QueryTraceRecord, JsonCarriesSchemaEventsAndRungs) {
+  obs::QueryTrace t(9, 77);
+  t.event(1.0, "admitted", "source=77");
+  obs::RungAttribution ra;
+  ra.engine = "xbfs";
+  ra.outcome = "fault";
+  ra.launches = 4;
+  ra.fetch_bytes = 1024;
+  t.rung(ra);
+
+  const auto doc = testjson::parse(t.to_json("failed"));
+  EXPECT_EQ(doc->at("schema").str, "xbfs-query-trace");
+  EXPECT_EQ(doc->at("id").num, 9.0);
+  EXPECT_EQ(doc->at("source").num, 77.0);
+  EXPECT_EQ(doc->at("status").str, "failed");
+  ASSERT_EQ(doc->at("events").size(), 1u);
+  EXPECT_EQ(doc->at("events").at(0).at("kind").str, "admitted");
+  ASSERT_EQ(doc->at("rungs").size(), 1u);
+  EXPECT_EQ(doc->at("rungs").at(0).at("engine").str, "xbfs");
+  EXPECT_EQ(doc->at("rungs").at(0).at("outcome").str, "fault");
+  EXPECT_EQ(doc->at("rungs").at(0).at("launches").num, 4.0);
+}
+
+// --- serving integration ---------------------------------------------------
+
+TEST_F(QueryTracing, CompletedQueryHasFullChainAndAttribution) {
+  const graph::Csr g = toy_graph(9, 3);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_FALSE(giant.empty());
+
+  Server server(g, manual_config());
+  Admission a = server.submit(giant[0]);
+  ASSERT_TRUE(a.accepted);
+  server.dispatch_once();
+  const QueryResult r = a.result.get();
+  ASSERT_EQ(r.status, QueryStatus::Completed);
+  ASSERT_NE(r.trace, nullptr);
+
+  const auto kinds = kinds_of(*r.trace);
+  ASSERT_GE(kinds.size(), 4u);
+  EXPECT_EQ(kinds.front(), "admitted");
+  EXPECT_NE(r.trace->find_event("dispatched"), -1);
+  EXPECT_NE(r.trace->find_event("resolved"), -1);
+  EXPECT_EQ(kinds.back(), "completed");
+
+  const auto rungs = r.trace->rungs();
+  ASSERT_GE(rungs.size(), 1u);
+  EXPECT_EQ(rungs[0].outcome, "ok");
+  EXPECT_GT(rungs[0].launches, 0u);       // the traversal ran on the device
+  EXPECT_GT(rungs[0].fetch_bytes, 0u);    // and moved modelled memory
+  EXPECT_GT(rungs[0].modelled_us, 0.0);
+
+  // Cache hits get a trace too, with zero device attribution.
+  Admission hit = server.submit(giant[0]);
+  ASSERT_TRUE(hit.accepted);
+  const QueryResult rh = hit.result.get();
+  ASSERT_EQ(rh.status, QueryStatus::Completed);
+  ASSERT_NE(rh.trace, nullptr);
+  EXPECT_NE(rh.trace->find_event("cache_hit"), -1);
+  EXPECT_TRUE(rh.trace->rungs().empty());
+  server.shutdown();
+}
+
+TEST_F(QueryTracing, FailedQueryKeepsEveryRetryAndFaultedRung) {
+  const graph::Csr g = toy_graph(9, 5);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_FALSE(giant.empty());
+
+  sim::FaultConfig fc;
+  fc.kernel_fault_rate = 1.0;  // every device attempt faults
+  fc.seed = 3;
+  sim::FaultInjector::global().configure(fc);
+
+  ServeConfig cfg = manual_config();
+  cfg.host_fallback = false;  // no terminal rescue: the query must fail
+  cfg.max_attempts = 3;
+  Server server(g, cfg);
+  Admission a = server.submit(giant[0]);
+  ASSERT_TRUE(a.accepted);
+  server.dispatch_once();
+  const QueryResult r = a.result.get();
+  ASSERT_EQ(r.status, QueryStatus::Failed);
+  ASSERT_NE(r.trace, nullptr);
+
+  const auto kinds = kinds_of(*r.trace);
+  EXPECT_EQ(kinds.front(), "admitted");
+  EXPECT_EQ(kinds.back(), "failed");
+  std::size_t attempts = 0, faults = 0;
+  for (const auto& k : kinds) {
+    attempts += k == "attempt";
+    faults += k == "fault";
+  }
+  EXPECT_EQ(attempts, 3u);  // the whole budget, on record
+  EXPECT_EQ(faults, 3u);
+  EXPECT_NE(r.trace->find_event("exhausted"), -1);
+
+  const auto rungs = r.trace->rungs();
+  ASSERT_EQ(rungs.size(), 3u);
+  for (const auto& ra : rungs) EXPECT_EQ(ra.outcome, "fault");
+  server.shutdown();
+}
+
+TEST_F(QueryTracing, SweepMembersShareBatchAttribution) {
+  const graph::Csr g = toy_graph(9, 7);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_GE(giant.size(), 4u);
+
+  ServeConfig cfg = manual_config();
+  cfg.min_sweep_sources = 2;  // force the 64-way sweep path
+  Server server(g, cfg);
+  std::vector<Admission> pending;
+  for (std::size_t i = 0; i < 4; ++i) {
+    pending.push_back(server.submit(giant[i]));
+    ASSERT_TRUE(pending.back().accepted);
+  }
+  server.dispatch_once();
+
+  for (auto& p : pending) {
+    const QueryResult r = p.result.get();
+    ASSERT_EQ(r.status, QueryStatus::Completed);
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+    // The sweep's shared attempt was absorbed into each member's trace,
+    // annotated with how many queries shared the cost.
+    const auto rungs = r.trace->rungs();
+    ASSERT_GE(rungs.size(), 1u);
+    bool swept = false;
+    for (const auto& ra : rungs) {
+      if (ra.engine == "sweep") {
+        swept = true;
+        EXPECT_EQ(ra.shared_members, 4u);
+        EXPECT_GT(ra.launches, 0u);
+      }
+    }
+    EXPECT_TRUE(swept);
+  }
+  server.shutdown();
+}
+
+TEST_F(QueryTracing, SloBudgetExhaustionDegradesTheStartingRung) {
+  const graph::Csr g = toy_graph(9, 11);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_FALSE(giant.empty());
+
+  obs::SloEngine& eng = obs::SloEngine::global();
+  eng.configure("availability=0.999,window_ms=60000");
+  ServeConfig cfg = manual_config();
+  cfg.slo_scope = "trace-proactive-test";
+
+  // Exhaust the scope's error budget before the server sees any traffic:
+  // the ladder must start on the cheaper rung proactively.
+  obs::SloScope& scope = eng.scope(cfg.slo_scope, cfg.num_gcds);
+  for (int i = 0; i < 50; ++i) {
+    scope.record(0, false, 0.0, obs::slo_now_ms());
+  }
+  ASSERT_TRUE(scope.prefer_cheap(obs::slo_now_ms()));
+
+  Server server(g, cfg);
+  QueryOptions qo;
+  qo.bypass_cache = true;
+  Admission a = server.submit(giant[0], qo);
+  ASSERT_TRUE(a.accepted);
+  server.dispatch_once();
+  const QueryResult r = a.result.get();
+  ASSERT_EQ(r.status, QueryStatus::Completed);
+  EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_NE(r.trace->find_event("slo_degrade"), -1);
+  EXPECT_EQ(r.engine, "simple-scan");  // rung 1, not the adaptive rung 0
+  EXPECT_TRUE(r.degraded);
+
+  const ServerStats st = server.stats();
+  EXPECT_GE(st.slo_proactive_degrades, 1u);
+  EXPECT_TRUE(st.slo.active);
+  EXPECT_TRUE(st.slo.budget_exhausted);
+  server.shutdown();
+  eng.disable();
+}
+
+TEST_F(QueryTracing, TracingCanBeDisabledPerServer) {
+  const graph::Csr g = toy_graph(9, 13);
+  const auto giant = graph::largest_component_vertices(g);
+  ASSERT_FALSE(giant.empty());
+
+  ServeConfig cfg = manual_config();
+  cfg.query_tracing = false;
+  Server server(g, cfg);
+  Admission a = server.submit(giant[0]);
+  ASSERT_TRUE(a.accepted);
+  server.dispatch_once();
+  const QueryResult r = a.result.get();
+  ASSERT_EQ(r.status, QueryStatus::Completed);
+  EXPECT_EQ(r.trace, nullptr);
+  EXPECT_EQ(server.stats().traced_queries, 0u);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace xbfs::serve

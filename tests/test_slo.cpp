@@ -1,0 +1,162 @@
+// SLO / error-budget engine tests: spec parsing, sliding-window burn-rate
+// arithmetic, lifetime budget accounting, per-GCD lane attribution, window
+// expiry and the prefer_cheap() signal the degradation ladder consults.
+// All clocks are explicit (record/snapshot take now_ms), so every assertion
+// is deterministic.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slo.h"
+
+namespace xbfs {
+namespace {
+
+using obs::SloConfig;
+using obs::SloScope;
+using obs::SloSnapshot;
+
+SloConfig tight_config() {
+  SloConfig cfg;
+  cfg.availability = 0.9;  // allows 10% violations: easy burn arithmetic
+  cfg.latency_ms = 0.0;
+  cfg.window_ms = 1000.0;
+  cfg.buckets = 10;  // 100 ms buckets
+  cfg.burn_fast = 2.0;
+  return cfg;
+}
+
+TEST(SloConfig, ParsesSpecAndIgnoresGarbage) {
+  const SloConfig cfg = SloConfig::parse(
+      "availability=0.95,latency_ms=50,window_ms=5000,buckets=4,"
+      "burn_fast=3,unknown=1,malformed");
+  EXPECT_DOUBLE_EQ(cfg.availability, 0.95);
+  EXPECT_DOUBLE_EQ(cfg.latency_ms, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.window_ms, 5000.0);
+  EXPECT_EQ(cfg.buckets, 4u);
+  EXPECT_DOUBLE_EQ(cfg.burn_fast, 3.0);
+
+  // Out-of-domain values keep the defaults.
+  const SloConfig bad =
+      SloConfig::parse("availability=1.5,window_ms=-1,buckets=0");
+  EXPECT_DOUBLE_EQ(bad.availability, SloConfig{}.availability);
+  EXPECT_DOUBLE_EQ(bad.window_ms, SloConfig{}.window_ms);
+  EXPECT_EQ(bad.buckets, SloConfig{}.buckets);
+}
+
+TEST(SloScope, AllGoodTrafficBurnsNothing) {
+  SloScope s("t", tight_config(), 2);
+  for (int i = 0; i < 100; ++i) s.record(i % 2, true, 1.0, 10.0 * i);
+  const SloSnapshot snap = s.snapshot(1000.0);
+  EXPECT_EQ(snap.total_good, 100u);
+  EXPECT_EQ(snap.total_bad, 0u);
+  EXPECT_DOUBLE_EQ(snap.window.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(snap.budget_remaining, 1.0);
+  EXPECT_FALSE(snap.budget_exhausted);
+  EXPECT_FALSE(s.prefer_cheap(1000.0));
+}
+
+TEST(SloScope, BurnRateIsViolationFractionOverAllowance) {
+  SloScope s("t", tight_config(), 1);
+  // 10 outcomes in the window, 1 bad: violation fraction 0.1, allowance
+  // 0.1 -> burn exactly 1.0 (spending the budget exactly at the line).
+  for (int i = 0; i < 9; ++i) s.record(0, true, 1.0, 50.0);
+  s.record(0, false, 0.0, 50.0);
+  const SloSnapshot snap = s.snapshot(100.0);
+  EXPECT_NEAR(snap.window.burn_rate, 1.0, 1e-9);
+  EXPECT_NEAR(snap.window.availability, 0.9, 1e-9);
+  // Lifetime: allowed violations = 0.1 * 10 = 1, spent 1 -> budget gone.
+  EXPECT_NEAR(snap.budget_remaining, 0.0, 1e-9);
+  EXPECT_TRUE(snap.budget_exhausted);
+}
+
+TEST(SloScope, LatencyObjectiveCountsSlowCompletionsAgainstBudget) {
+  SloConfig cfg = tight_config();
+  cfg.latency_ms = 10.0;
+  SloScope s("t", cfg, 1);
+  for (int i = 0; i < 8; ++i) s.record(0, true, 1.0, 50.0);
+  s.record(0, true, 50.0, 50.0);  // completed but over the objective
+  s.record(0, true, 10.0, 50.0);  // exactly at the objective: not slow
+  const SloSnapshot snap = s.snapshot(100.0);
+  EXPECT_EQ(snap.total_slow, 1u);
+  EXPECT_EQ(snap.total_good, 9u);
+  EXPECT_NEAR(snap.window.burn_rate, 1.0, 1e-9);  // 1 of 10 over allowance .1
+}
+
+TEST(SloScope, WindowForgetsButLifetimeRemembers) {
+  SloScope s("t", tight_config(), 1);
+  for (int i = 0; i < 5; ++i) s.record(0, false, 0.0, 50.0);
+  // Inside the window the incident is visible...
+  EXPECT_GT(s.snapshot(500.0).window.burn_rate, 1.0);
+  // ...two windows later the sliding window is clean but the lifetime
+  // budget stays spent.
+  const SloSnapshot later = s.snapshot(3000.0);
+  EXPECT_DOUBLE_EQ(later.window.burn_rate, 0.0);
+  EXPECT_EQ(later.total_bad, 5u);
+  EXPECT_TRUE(later.budget_exhausted);
+}
+
+TEST(SloScope, PerGcdLanesAttributeSeparately) {
+  SloScope s("t", tight_config(), 2);
+  for (int i = 0; i < 10; ++i) s.record(0, true, 1.0, 50.0);
+  for (int i = 0; i < 10; ++i) s.record(1, i != 0, 1.0, 50.0);  // 1 bad
+  // Lane >= num_gcds: aggregate only (cache hits, expiries).
+  s.record(7, true, 0.0, 50.0);
+
+  const SloSnapshot snap = s.snapshot(100.0);
+  ASSERT_EQ(snap.per_gcd.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.per_gcd[0].burn_rate, 0.0);
+  EXPECT_GT(snap.per_gcd[1].burn_rate, 0.0);
+  EXPECT_EQ(snap.per_gcd[0].good + snap.per_gcd[1].good +
+                snap.per_gcd[1].bad,
+            20u);
+  EXPECT_EQ(snap.window.good + snap.window.bad, 21u);  // aggregate saw all
+}
+
+TEST(SloScope, EnsureGcdsGrowsLanesInPlace) {
+  SloScope s("t", tight_config(), 1);
+  s.record(0, true, 1.0, 50.0);
+  s.ensure_gcds(3);
+  s.record(2, false, 0.0, 50.0);
+  const SloSnapshot snap = s.snapshot(100.0);
+  ASSERT_EQ(snap.per_gcd.size(), 3u);
+  EXPECT_EQ(snap.per_gcd[0].good, 1u);
+  EXPECT_EQ(snap.per_gcd[2].bad, 1u);
+}
+
+TEST(SloScope, PreferCheapOnFastBurnOrExhaustedBudget) {
+  SloScope s("t", tight_config(), 1);  // burn_fast = 2.0
+  // 3 bad of 10 -> burn 3.0 >= 2.0: the ladder should start cheap.
+  for (int i = 0; i < 7; ++i) s.record(0, true, 1.0, 50.0);
+  for (int i = 0; i < 3; ++i) s.record(0, false, 0.0, 50.0);
+  EXPECT_TRUE(s.prefer_cheap(100.0));
+  // After the window slides past the incident the burn signal clears, but
+  // the lifetime budget (allowed 1 of 10, spent 3) stays exhausted.
+  EXPECT_TRUE(s.prefer_cheap(5000.0));
+  // A scope with a forgiving history does not prefer cheap.
+  SloScope calm("calm", tight_config(), 1);
+  for (int i = 0; i < 100; ++i) calm.record(0, true, 1.0, 50.0);
+  EXPECT_FALSE(calm.prefer_cheap(100.0));
+}
+
+TEST(SloEngine, ScopesAreCreateOrGetAndFindable) {
+  obs::SloEngine eng;
+  EXPECT_FALSE(eng.enabled());
+  eng.configure("availability=0.95,window_ms=2000");
+  EXPECT_TRUE(eng.enabled());
+  EXPECT_EQ(eng.find("serve"), nullptr);
+
+  SloScope& a = eng.scope("serve", 1);
+  SloScope& b = eng.scope("serve", 4);  // same scope, lanes grown
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(eng.find("serve"), &a);
+  EXPECT_DOUBLE_EQ(a.config().availability, 0.95);
+  ASSERT_EQ(a.snapshot(0.0).per_gcd.size(), 4u);
+
+  const auto names = eng.scope_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "serve");
+}
+
+}  // namespace
+}  // namespace xbfs
