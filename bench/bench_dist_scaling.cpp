@@ -6,18 +6,272 @@
 // GTEPS, parallel efficiency and the communication share — then puts the
 // per-GCD number next to the paper's Graph500 comparison (CPU-based
 // Frontier submission: 0.4 GTEPS/GCD; XBFS on one GCD: 43 GTEPS).
+//
+// --serve switches to the sharded-serving study (docs/sharding.md): a graph
+// deliberately too large for one budget-capped GCD is partitioned across a
+// shard fleet and served through shard::ShardRouter, sweeping the shard
+// count to show the modelled p99 staying sublinear in shard count.
+// --chaos adds a resilience sub-phase (killed replica + fault injection:
+// queries reroute, validate Graph500-clean, and none fail), and under
+// XBFS_SANITIZE the serving run doubles as a SimSan gate for the shard
+// kernels.  Extra flags: --serve-scale=N --queries=N --check-p99=RATIO.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 
 #include "bench/bench_common.h"
 #include "dist/dist_bfs.h"
+#include "graph/g500_validate.h"
 #include "graph/rmat.h"
+#include "hipsim/fault.h"
+#include "hipsim/sanitizer.h"
+#include "shard/router.h"
+#include "shard/sharded_store.h"
 
 using namespace xbfs;
 using namespace xbfs::bench;
 
+namespace {
+
+struct ServeOptions {
+  bool serve = false;
+  bool chaos = false;
+  unsigned scale = 14;        ///< RMAT scale of the served graph
+  unsigned edge_factor = 16;
+  std::size_t queries = 32;   ///< distinct sources per shard count
+  double check_p99 = 0.0;     ///< max p99(8 shards)/p99(4 shards); 0 = report
+};
+
+ServeOptions parse_serve(int argc, char** argv) {
+  ServeOptions o;
+  for (int i = 1; i < argc; ++i) {
+    auto num = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v;
+    if (std::strcmp(argv[i], "--serve") == 0) o.serve = true;
+    else if (std::strcmp(argv[i], "--chaos") == 0) o.chaos = true;
+    else if ((v = num("--serve-scale"))) o.scale = std::atoi(v);
+    else if ((v = num("--edge-factor"))) o.edge_factor = std::atoi(v);
+    else if ((v = num("--queries"))) o.queries = std::atoll(v);
+    else if ((v = num("--check-p99"))) o.check_p99 = std::atof(v);
+  }
+  return o;
+}
+
+/// Run `queries` distinct-source queries through a router over `store` and
+/// return the stats after drain (the router keeps running for callers that
+/// want to submit more before shutdown).
+shard::RouterStats drive_queries(shard::ShardRouter& router,
+                                 const std::vector<graph::vid_t>& giant,
+                                 std::size_t queries) {
+  for (std::size_t i = 0; i < queries; ++i) {
+    const graph::vid_t src = giant[(i * giant.size()) / queries];
+    serve::Admission a = router.submit(src);
+    if (!a.accepted) {
+      std::fprintf(stderr, "submit rejected: %s\n", a.status.to_string().c_str());
+      std::exit(1);
+    }
+  }
+  router.drain();
+  return router.stats();
+}
+
+int run_serving_study(const ServeOptions& opt, std::uint64_t seed) {
+  sim::FaultInjector::global().disable();  // the clean sweep must stay clean
+
+  graph::RmatParams rp;
+  rp.scale = opt.scale;
+  rp.edge_factor = opt.edge_factor;
+  rp.seed = seed;
+  const graph::Csr g = graph::rmat_csr(rp);
+  const auto giant = graph::largest_component_vertices(g);
+  std::printf("sharded serving study: RMAT scale=%u ef=%u  n=%u  m=%llu\n",
+              opt.scale, opt.edge_factor, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // Budget a GCD at 1.25x the 4-way shard slice: the whole graph then
+  // oversubscribes one device >= 2x, so serving it *requires* the fleet.
+  const std::uint64_t budget =
+      shard::ShardedStore::estimate_replica_bytes(g, 4) * 5 / 4;
+
+  obs::ReportSession& report = obs::ReportSession::global();
+  char fbuf[32];
+  auto f = [&](double v) {
+    std::snprintf(fbuf, sizeof(fbuf), "%.6g", v);
+    return std::string(fbuf);
+  };
+
+  print_header("modelled p99 vs shard count (budget-capped GCDs)");
+  std::printf("%-7s %-10s %-12s %-12s %-12s %-12s %-10s\n", "shards",
+              "oversub", "p50 ms", "p99 ms", "comp ratio", "2phase lvls",
+              "rerouted");
+  double p99_4 = 0.0, p99_8 = 0.0, oversub = 0.0;
+  std::uint64_t wire_4 = 0, raw_4 = 0;
+  for (unsigned shards : {4u, 8u}) {
+    shard::ShardStoreConfig scfg;
+    scfg.shards = shards;
+    scfg.device_budget_bytes = budget;
+    shard::ShardedStore store(g, scfg);
+    const shard::ShardMemoryReport mem = store.memory_report();
+    if (shards == 4) oversub = mem.oversubscription;
+
+    shard::RouterConfig rcfg;
+    rcfg.workers = 2;
+    shard::ShardRouter router(store, rcfg);
+    const shard::RouterStats st = drive_queries(router, giant, opt.queries);
+    router.shutdown();
+    if (st.failed != 0 || st.completed != opt.queries) {
+      std::fprintf(stderr, "serving sweep lost queries (%llu/%zu, %llu failed)\n",
+                   static_cast<unsigned long long>(st.completed), opt.queries,
+                   static_cast<unsigned long long>(st.failed));
+      return 1;
+    }
+    if (shards == 4) { p99_4 = st.modelled_p99_ms; wire_4 = st.exchange_wire_bytes; raw_4 = st.exchange_raw_bytes; }
+    if (shards == 8) p99_8 = st.modelled_p99_ms;
+    char ob[16];
+    std::snprintf(ob, sizeof(ob), "%.2fx", mem.oversubscription);
+    std::printf("%-7u %-10s %-12.3f %-12.3f %-12.2f %-12llu %-10llu\n",
+                shards, ob, st.modelled_p50_ms,
+                st.modelled_p99_ms, st.compression_ratio,
+                static_cast<unsigned long long>(st.two_phase_levels),
+                static_cast<unsigned long long>(st.rerouted));
+  }
+  const double p99_ratio = p99_4 > 0.0 ? p99_8 / p99_4 : 0.0;
+  std::printf("doubling the fleet 4 -> 8 shards scales p99 by %.2fx "
+              "(sublinear < 2.00x)\n", p99_ratio);
+
+  // --- chaos sub-phase: kill a replica, inject faults, keep serving --------
+  shard::RouterStats cst;
+  bool chaos_valid = false;
+  if (opt.chaos) {
+    print_header("chaos: killed replica + fault injection (4 shards x 2)");
+    sim::FaultConfig fc;
+    fc.kernel_fault_rate = 0.002;
+    fc.memcpy_corruption_rate = 0.002;
+    fc.seed = seed * 31 + 7;
+    sim::FaultInjector::global().configure(fc);
+
+    shard::ShardStoreConfig scfg;
+    scfg.shards = 4;
+    scfg.replicas = 2;
+    scfg.device_budget_bytes = budget;
+    shard::ShardedStore store(g, scfg);
+    store.kill_replica(1, 0);  // a dead primary: its queries must reroute
+
+    shard::RouterConfig rcfg;
+    rcfg.workers = 2;
+    rcfg.max_attempts = 6;
+    rcfg.slo_scope = "shard-chaos";
+    shard::ShardRouter router(store, rcfg);
+    cst = drive_queries(router, giant, opt.queries);
+
+    // Served-correctness probe under injection: Graph500-clean levels.
+    serve::Admission probe = router.submit(giant.front());
+    if (probe.accepted) {
+      const serve::QueryResult r = probe.result.get();
+      chaos_valid = r.status == serve::QueryStatus::Completed && !r.partial &&
+                    graph::validate_levels_graph500(g, r.source, *r.levels)
+                        .empty();
+    }
+    router.shutdown();
+    cst = router.stats();
+    sim::FaultInjector::global().disable();
+
+    std::printf("completed %llu  failed %llu  rerouted %llu  retries %llu  "
+                "faults seen %llu  partial %llu\n",
+                static_cast<unsigned long long>(cst.completed),
+                static_cast<unsigned long long>(cst.failed),
+                static_cast<unsigned long long>(cst.rerouted),
+                static_cast<unsigned long long>(cst.retries),
+                static_cast<unsigned long long>(cst.faults_seen),
+                static_cast<unsigned long long>(cst.partial_queries));
+    std::printf("probe under injection: %s\n",
+                chaos_valid ? "Graph500-clean" : "INVALID");
+  }
+
+  if (report.enabled()) {
+    obs::RunRecord rec;
+    rec.tool = "bench_shard_serving";
+    rec.algorithm = "sharded-bfs-serving";
+    rec.n = g.num_vertices();
+    rec.m = g.num_edges();
+    rec.total_ms = p99_4 + p99_8;
+    rec.config = {
+        {"queries", std::to_string(opt.queries)},
+        {"budget_bytes", std::to_string(budget)},
+        {"oversubscription", f(oversub)},
+        {"p99_4_shards_ms", f(p99_4)},
+        {"p99_8_shards_ms", f(p99_8)},
+        {"p99_ratio", f(p99_ratio)},
+        {"exchange_raw_bytes", std::to_string(raw_4)},
+        {"exchange_wire_bytes", std::to_string(wire_4)},
+        {"chaos", opt.chaos ? "1" : "0"},
+        {"chaos_completed", std::to_string(cst.completed)},
+        {"chaos_failed", std::to_string(cst.failed)},
+        {"chaos_rerouted", std::to_string(cst.rerouted)},
+        {"chaos_faults_seen", std::to_string(cst.faults_seen)},
+        {"chaos_partial", std::to_string(cst.partial_queries)},
+        {"chaos_probe_valid", chaos_valid ? "1" : "0"},
+    };
+    report.add(std::move(rec));
+  }
+
+  int rc = 0;
+  if (oversub < 2.0) {
+    std::fprintf(stderr, "oversubscription %.2fx below the 2x bar\n", oversub);
+    rc = 1;
+  }
+  if (opt.check_p99 > 0.0 && p99_ratio >= opt.check_p99) {
+    std::fprintf(stderr, "p99 ratio %.2fx not below required %.2fx\n",
+                 p99_ratio, opt.check_p99);
+    rc = 1;
+  }
+  if (opt.chaos) {
+    if (cst.failed != 0) {
+      std::fprintf(stderr, "chaos: %llu queries resolved Failed\n",
+                   static_cast<unsigned long long>(cst.failed));
+      rc = 1;
+    }
+    if (cst.rerouted == 0) {
+      std::fprintf(stderr, "chaos: killed replica never forced a reroute\n");
+      rc = 1;
+    }
+    if (!chaos_valid) {
+      std::fprintf(stderr, "chaos: probe result failed Graph500 validation\n");
+      rc = 1;
+    }
+  }
+
+  // Under XBFS_SANITIZE the serving run doubles as a SimSan gate for the
+  // shard kernels: every sweep above went through checked accessors.
+  auto& san = sim::Sanitizer::global();
+  if (san.enabled()) {
+    san.summary(std::cout);
+    if (san.unannotated_count() > 0) {
+      std::printf("bench_dist_scaling: FAIL — %llu unannotated sanitizer "
+                  "finding(s)\n",
+                  static_cast<unsigned long long>(san.unannotated_count()));
+      rc = 1;
+    } else {
+      std::printf("bench_dist_scaling: sanitizer clean (%llu allowlisted)\n",
+                  static_cast<unsigned long long>(san.allowlisted_count()));
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   BenchOptions opt = BenchOptions::parse(argc, argv);
+  const ServeOptions sopt = parse_serve(argc, argv);
+  if (sopt.serve) return run_serving_study(sopt, opt.seed);
   std::printf(
       "Distributed BFS scaling on the Rmat25 stand-in, divisor %u, "
       "%u sources\n",

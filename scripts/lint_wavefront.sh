@@ -23,7 +23,7 @@
 set -euo pipefail
 
 ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
-DIRS=(src/hipsim src/core src/baseline src/algos src/dist src/serve src/dyn)
+DIRS=(src/hipsim src/core src/baseline src/algos src/dist src/serve src/dyn src/shard)
 
 fail=0
 report() {  # file:line:text, tagged with the rule that fired

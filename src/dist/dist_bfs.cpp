@@ -7,6 +7,7 @@
 #include "core/xbfs.h"    // safe_gteps
 #include "hipsim/hipsim.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
@@ -473,6 +474,14 @@ DistBfsResult DistBfs::run(vid_t src) {
 
     st.local_ms = local_us / 1000.0;
     st.comm_ms = comm_us / 1000.0;
+    // Export the per-level split through the metrics registry the same way
+    // kernel time is: comm share regressions become visible in XBFS_METRICS
+    // dumps, not just in per-run level tables.
+    {
+      obs::MetricsRegistry& mr = obs::MetricsRegistry::global();
+      mr.histogram("dist_local_ms").observe(st.local_ms);
+      mr.histogram("dist_comm_ms").observe(st.comm_ms);
+    }
     result.level_stats.push_back(st);
     clock_us += local_us + comm_us;
     comm_total_us += comm_us;
@@ -577,6 +586,8 @@ DistBfsResult DistBfs::run(vid_t src) {
     rec.config.emplace_back("gcds", std::to_string(cfg_.gcds));
     rec.config.emplace_back("alpha", std::to_string(cfg_.alpha));
     rec.config.emplace_back("comm_ms", std::to_string(result.comm_ms));
+    rec.config.emplace_back(
+        "local_ms", std::to_string(result.total_ms - result.comm_ms));
     for (const DistLevelStats& lst : result.level_stats) {
       obs::ReportLevelRow row;
       row.level = lst.level;

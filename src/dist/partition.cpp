@@ -26,6 +26,24 @@ unsigned Partition1D::owner(graph::vid_t v) const {
   return p;
 }
 
+std::uint64_t Partition1D::layout_hash() const {
+  // Same FNV-1a byte-mix as graph::Csr::fingerprint so the two halves of a
+  // sharded cache key share one hashing idiom.
+  constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  std::uint64_t h = kFnvOffset;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (x & 0xff)) * kFnvPrime;
+      x >>= 8;
+    }
+  };
+  mix(parts_);
+  mix(n_);
+  for (const graph::vid_t b : bounds_) mix(b);
+  return h;
+}
+
 LocalRows extract_local_rows(const graph::Csr& g, const Partition1D& part,
                              unsigned p) {
   LocalRows out;

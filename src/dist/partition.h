@@ -24,6 +24,13 @@ class Partition1D {
   /// Owning part of a vertex (O(1): ranges are near-uniform blocks).
   unsigned owner(graph::vid_t v) const;
 
+  /// Deterministic 64-bit hash of the layout itself (part count + every
+  /// range boundary).  Mixed into graph-fingerprint-derived cache keys
+  /// (graph::mix_fingerprint) so results computed under one sharding are
+  /// never served after a re-shard: same graph, different bounds => a
+  /// different key, and the stale entries age out as unreachable garbage.
+  std::uint64_t layout_hash() const;
+
  private:
   graph::vid_t n_;
   unsigned parts_;

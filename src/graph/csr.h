@@ -75,4 +75,20 @@ class Csr {
   std::vector<vid_t> cols_;     // m
 };
 
+/// Continue a Csr::fingerprint-style FNV-1a hash with an extra salt.  The
+/// sharded serving tier mixes the partition layout hash
+/// (dist::Partition1D::layout_hash) into cache keys this way, giving the
+/// same self-invalidation contract for re-shards that epoch mixing gives
+/// for update batches: equal fp + equal salt => equal key; any salt change
+/// perturbs the key even when the structural fingerprint is unchanged.
+inline std::uint64_t mix_fingerprint(std::uint64_t fp, std::uint64_t salt) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  std::uint64_t h = fp;
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (salt & 0xff)) * kFnvPrime;
+    salt >>= 8;
+  }
+  return h;
+}
+
 }  // namespace xbfs::graph

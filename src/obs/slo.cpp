@@ -65,6 +65,16 @@ void SloScope::ensure_gcds(unsigned num_gcds) {
   }
 }
 
+void SloScope::label_lane(unsigned lane, std::string label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (gcds_.size() <= lane) {
+    gcds_.push_back(std::make_unique<Lane>());
+    gcds_.back()->buckets.resize(cfg_.buckets);
+  }
+  if (lane_labels_.size() <= lane) lane_labels_.resize(lane + 1);
+  lane_labels_[lane] = std::move(label);
+}
+
 void SloScope::record_lane(Lane& lane, bool ok, bool slow,
                            std::int64_t epoch) {
   Bucket& b = lane.buckets[static_cast<std::size_t>(epoch) %
@@ -143,6 +153,8 @@ SloSnapshot SloScope::snapshot(double now_ms) const {
   s.window = window_of(all_, epoch);
   s.per_gcd.reserve(gcds_.size());
   for (const auto& lane : gcds_) s.per_gcd.push_back(window_of(*lane, epoch));
+  s.lane_labels = lane_labels_;
+  s.lane_labels.resize(s.per_gcd.size());
   return s;
 }
 

@@ -70,6 +70,11 @@ struct SloSnapshot {
   bool budget_exhausted = false;
   SloWindow window;               ///< all lanes combined
   std::vector<SloWindow> per_gcd;
+  /// Human-readable lane names (same indexing as per_gcd; empty string for
+  /// unlabeled lanes).  The sharded router labels its per-shard-replica
+  /// lanes "s<shard>r<replica>" so burn-rate dashboards name the replica,
+  /// not a flat slot index.
+  std::vector<std::string> lane_labels;
 };
 
 /// One named objective scope (e.g. "serve", "serve-chaos") with per-GCD
@@ -97,6 +102,10 @@ class SloScope {
   /// Grow the per-GCD lane count (scopes are shared across servers).
   void ensure_gcds(unsigned num_gcds);
 
+  /// Name a lane (grows the lane list if needed); names ride along in
+  /// SloSnapshot::lane_labels.
+  void label_lane(unsigned lane, std::string label);
+
  private:
   struct Bucket {
     std::int64_t epoch = -1;  ///< bucket index this slot currently holds
@@ -116,6 +125,7 @@ class SloScope {
   mutable std::mutex mu_;
   Lane all_;
   std::vector<std::unique_ptr<Lane>> gcds_;
+  std::vector<std::string> lane_labels_;  ///< sparse; sized on label_lane()
 };
 
 class SloEngine {

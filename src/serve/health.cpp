@@ -112,6 +112,25 @@ unsigned HealthTracker::pick(unsigned preferred, double now_us) {
   return kNone;
 }
 
+unsigned HealthTracker::pick_in(const std::vector<unsigned>& group,
+                                unsigned preferred, double now_us) {
+  const unsigned n = num_slots();
+  // Membership gate first: allow() may hand out a HalfOpen probe token, so
+  // it must never be asked about a slot this pick cannot return.
+  bool preferred_in_group = false;
+  for (const unsigned slot : group) {
+    if (slot == preferred) preferred_in_group = true;
+  }
+  if (preferred_in_group && preferred < n && allow(preferred, now_us)) {
+    return preferred;
+  }
+  for (const unsigned slot : group) {
+    if (slot == preferred) continue;
+    if (slot < n && allow(slot, now_us)) return slot;
+  }
+  return kNone;
+}
+
 HealthTracker::Counters HealthTracker::counters() const {
   std::lock_guard<std::mutex> lk(counters_mu_);
   return counters_;

@@ -54,6 +54,14 @@ class HealthTracker {
   /// is open (callers then degrade to the host ladder).
   unsigned pick(unsigned preferred, double now_us);
 
+  /// pick() restricted to a replica group: the first allowed slot among
+  /// `group`, preferring `preferred` (a slot id, not a group index).  The
+  /// sharded router keeps one tracker across shards x replicas and routes
+  /// each shard's work within its own group; kNone means the shard has no
+  /// healthy replica and the query degrades to a partial result.
+  unsigned pick_in(const std::vector<unsigned>& group, unsigned preferred,
+                   double now_us);
+
   unsigned num_slots() const { return static_cast<unsigned>(slots_.size()); }
 
   struct Counters {

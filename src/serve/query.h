@@ -75,6 +75,15 @@ struct QueryResult {
   bool validated = false;    ///< levels passed validate_levels_graph500
   xbfs::Status error;        ///< terminal failure detail when status==Failed
 
+  // --- sharded serving (shard::ShardRouter; zero on single-graph servers) --
+  unsigned shards = 0;       ///< shard owners fanned out to (0 = unsharded)
+  unsigned shards_lost = 0;  ///< owners with no healthy replica this query
+  /// Some shard had no healthy replica: levels are complete for the live
+  /// shards' vertex ranges and -1 in the lost ranges (status stays
+  /// Completed, degraded is set, and `error` carries the Unavailable
+  /// detail).  Partial results are never cached or validated.
+  bool partial = false;
+
   /// Query-scoped trace: the causal event record (admission -> every
   /// retry/rung -> terminal) plus per-rung kernel-counter attribution.
   /// Null when ServeConfig::query_tracing is off.

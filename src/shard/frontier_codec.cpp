@@ -1,0 +1,124 @@
+#include "shard/frontier_codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace xbfs::shard {
+
+const char* frontier_format_name(FrontierFormat f) {
+  switch (f) {
+    case FrontierFormat::Bitmap: return "bitmap";
+    case FrontierFormat::DeltaVarint: return "delta-varint";
+  }
+  return "?";
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+const std::uint8_t* get_varint(const std::uint8_t* p,
+                               const std::uint8_t* end, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (p < end) {
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      *out = v;
+      return p;
+    }
+    shift += 7;
+    if (shift >= 64) return nullptr;  // overlong encoding
+  }
+  return nullptr;  // truncated
+}
+
+EncodedFrontier encode_frontier(const std::uint64_t* words,
+                                std::uint64_t word_begin,
+                                std::uint64_t word_count) {
+  EncodedFrontier enc;
+  enc.word_begin = word_begin;
+  enc.word_count = word_count;
+
+  // First pass: count bits so the sparse path can bail out before paying
+  // for an encoding it will throw away.  A varint delta costs >= 1 byte per
+  // set bit, so the sparse form can only win below one bit per 8 raw bytes.
+  std::uint64_t set = 0;
+  for (std::uint64_t w = 0; w < word_count; ++w) {
+    set += static_cast<std::uint64_t>(std::popcount(words[word_begin + w]));
+  }
+  enc.set_bits = static_cast<std::uint32_t>(set);
+
+  const std::uint64_t raw = word_count * sizeof(std::uint64_t);
+  if (set == 0) {
+    // Empty slice: ship just the header.  Frequent in high-locality
+    // graphs, where most sender/owner pairs exchange nothing at a level.
+    enc.format = FrontierFormat::DeltaVarint;
+    return enc;
+  }
+  if (set < raw) {
+    std::vector<std::uint8_t> sparse;
+    sparse.reserve(set * 2);
+    const std::uint64_t base = word_begin * 64;
+    std::uint64_t prev = base;
+    for (std::uint64_t w = 0; w < word_count && sparse.size() < raw; ++w) {
+      std::uint64_t word = words[word_begin + w];
+      while (word != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+        word &= word - 1;
+        const std::uint64_t pos = (word_begin + w) * 64 + b;
+        put_varint(sparse, pos - prev);
+        prev = pos;
+      }
+    }
+    if (sparse.size() < raw) {
+      enc.format = FrontierFormat::DeltaVarint;
+      enc.payload = std::move(sparse);
+      return enc;
+    }
+  }
+
+  enc.format = FrontierFormat::Bitmap;
+  enc.payload.resize(raw);
+  if (raw != 0) {
+    std::memcpy(enc.payload.data(), words + word_begin, raw);
+  }
+  return enc;
+}
+
+std::uint32_t decode_frontier_or(const EncodedFrontier& enc,
+                                 std::uint64_t* words) {
+  if (enc.format == FrontierFormat::Bitmap) {
+    std::uint32_t applied = 0;
+    const auto* src =
+        reinterpret_cast<const std::uint64_t*>(enc.payload.data());
+    for (std::uint64_t w = 0; w < enc.word_count; ++w) {
+      std::uint64_t word;
+      std::memcpy(&word, src + w, sizeof(word));
+      words[enc.word_begin + w] |= word;
+      applied += static_cast<std::uint32_t>(std::popcount(word));
+    }
+    return applied;
+  }
+
+  const std::uint8_t* p = enc.payload.data();
+  const std::uint8_t* end = p + enc.payload.size();
+  std::uint64_t pos = enc.word_begin * 64;
+  std::uint32_t applied = 0;
+  for (std::uint32_t i = 0; i < enc.set_bits; ++i) {
+    std::uint64_t delta = 0;
+    p = get_varint(p, end, &delta);
+    if (p == nullptr) break;  // truncated payload: apply what decoded
+    pos += delta;
+    words[pos / 64] |= std::uint64_t{1} << (pos % 64);
+    ++applied;
+  }
+  return applied;
+}
+
+}  // namespace xbfs::shard

@@ -1,0 +1,21 @@
+#include "shard/layout.h"
+
+namespace xbfs::shard {
+
+ShardLayout::ShardLayout(graph::vid_t n, unsigned shards)
+    : part_(n, shards) {
+  // Largest divisor <= sqrt(shards) gives the near-square grid.
+  for (unsigned c = 1; c * c <= shards; ++c) {
+    if (shards % c == 0) grid_cols_ = c;
+  }
+  grid_rows_ = shards / grid_cols_;
+}
+
+std::uint64_t ShardLayout::layout_hash() const {
+  std::uint64_t h = part_.layout_hash();
+  h = graph::mix_fingerprint(h, grid_rows_);
+  h = graph::mix_fingerprint(h, grid_cols_);
+  return h;
+}
+
+}  // namespace xbfs::shard

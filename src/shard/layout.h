@@ -1,0 +1,58 @@
+// Shard layout: how one CSR is cut across a group of simulated GCDs.
+//
+// Rows are partitioned 1D Graph500-style (dist::Partition1D): shard s owns
+// the contiguous vertex range [begin(s), end(s)) and the full adjacency of
+// those rows.  On top of the 1D cut the layout carries a near-square
+// grid_rows x grid_cols factorization of the shard count — the shape the
+// exchange promotes toward for communication-heavy levels: a 2D edge
+// partition (Buluc/Beamer) runs its collectives over sqrt(p)-sized row and
+// column groups instead of all p shards, and the sweep's cost model charges
+// the cheaper of the flat and two-phase exchanges per level
+// (shard/shard_bfs.h).
+//
+// layout_hash() feeds the cache-key contract: sharded results are cached
+// under graph::mix_fingerprint(csr_fp, layout_hash()), so a re-shard (new
+// shard count or new bounds) self-invalidates serve::ResultCache exactly
+// like an epoch bump does for graph updates.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/partition.h"
+#include "graph/csr.h"
+
+namespace xbfs::shard {
+
+class ShardLayout {
+ public:
+  ShardLayout(graph::vid_t n, unsigned shards);
+
+  unsigned shards() const { return part_.parts(); }
+  graph::vid_t n() const { return part_.n(); }
+
+  const dist::Partition1D& partition() const { return part_; }
+  graph::vid_t begin(unsigned s) const { return part_.begin(s); }
+  graph::vid_t end(unsigned s) const { return part_.end(s); }
+  graph::vid_t owned(unsigned s) const { return part_.owned(s); }
+  unsigned owner(graph::vid_t v) const { return part_.owner(v); }
+
+  /// Near-square factorization of the shard count (rows >= cols, both >= 1,
+  /// rows * cols == shards): the 2D promotion shape for exchange-heavy
+  /// levels.  A prime shard count degenerates to shards x 1, which makes
+  /// the two-phase exchange cost equal the flat one — promotion simply
+  /// never wins there.
+  unsigned grid_rows() const { return grid_rows_; }
+  unsigned grid_cols() const { return grid_cols_; }
+
+  /// Layout identity for cache keys: the partition's bounds hash mixed with
+  /// the promotion grid, so any re-shard — even one that keeps the bounds
+  /// but regroups the exchange — yields a different key salt.
+  std::uint64_t layout_hash() const;
+
+ private:
+  dist::Partition1D part_;
+  unsigned grid_rows_ = 1;
+  unsigned grid_cols_ = 1;
+};
+
+}  // namespace xbfs::shard

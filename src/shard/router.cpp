@@ -1,0 +1,762 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/g500_validate.h"
+#include "hipsim/fault.h"
+#include "obs/flight_recorder.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace xbfs::shard {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Comma-trick helper: runs in the constructor's member-init list so an
+/// invalid config throws before any breaker/queue is built.
+const RouterConfig& checked(const RouterConfig& cfg) {
+  if (const xbfs::Status s = cfg.validate(); !s.ok()) {
+    throw std::invalid_argument("RouterConfig: " + s.to_string());
+  }
+  return cfg;
+}
+
+}  // namespace
+
+xbfs::Status RouterConfig::validate() const {
+  if (queue_capacity < 1) {
+    return xbfs::Status::Invalid("queue_capacity must be >= 1");
+  }
+  if (workers < 1) return xbfs::Status::Invalid("workers must be >= 1");
+  if (cache_shards < 1) {
+    return xbfs::Status::Invalid("cache_shards must be >= 1");
+  }
+  if (max_attempts < 1) {
+    return xbfs::Status::Invalid("max_attempts must be >= 1");
+  }
+  if (retry_backoff_ms < 0.0 || retry_backoff_max_ms < 0.0) {
+    return xbfs::Status::Invalid("retry backoffs must be >= 0");
+  }
+  if (breaker_failure_threshold < 1) {
+    return xbfs::Status::Invalid("breaker_failure_threshold must be >= 1");
+  }
+  if (breaker_cooldown_ms < 0.0) {
+    return xbfs::Status::Invalid("breaker_cooldown_ms must be >= 0");
+  }
+  return xbfs::Status::Ok();
+}
+
+ShardRouter::ShardRouter(ShardedStore& store, RouterConfig cfg)
+    : store_(store),
+      cfg_((checked(cfg), std::move(cfg))),
+      fp_(graph::mix_fingerprint(store.graph().fingerprint(),
+                                 store.fingerprint_salt())),
+      queue_(cfg_.queue_capacity),
+      cache_(cfg_.cache_capacity, cfg_.cache_shards),
+      health_(store.num_slots(),
+              serve::BreakerConfig{cfg_.breaker_failure_threshold,
+                                   cfg_.breaker_cooldown_ms}),
+      sweep_(store, cfg_.sweep),
+      epoch_(std::chrono::steady_clock::now()) {
+  obs::SloEngine& slo_eng = obs::SloEngine::global();
+  if (slo_eng.enabled()) {
+    slo_ = &slo_eng.scope(cfg_.slo_scope, store_.num_slots());
+    for (unsigned s = 0; s < store_.shards(); ++s) {
+      for (unsigned r = 0; r < store_.replicas(); ++r) {
+        slo_->label_lane(store_.slot(s, r),
+                         "s" + std::to_string(s) + "r" + std::to_string(r));
+      }
+    }
+  }
+  if (!cfg_.manual_dispatch) {
+    workers_.reserve(cfg_.workers);
+    for (unsigned w = 0; w < cfg_.workers; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+double ShardRouter::wall_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool ShardRouter::validation_active() const {
+  switch (cfg_.validate_results) {
+    case serve::ValidateResults::Always: return true;
+    case serve::ValidateResults::Never: return false;
+    case serve::ValidateResults::Auto:
+      return sim::FaultInjector::global().enabled();
+  }
+  return false;
+}
+
+serve::Admission ShardRouter::submit(graph::vid_t source,
+                                     serve::QueryOptions opt) {
+  serve::Admission a;
+  a.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (shut_down_.load(std::memory_order_acquire)) {
+    a.status = xbfs::Status::ShuttingDown("router is shutting down");
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  const graph::vid_t n = store_.graph().num_vertices();
+  if (source >= n) {
+    a.status = xbfs::Status::Invalid("source " + std::to_string(source) +
+                                     " >= |V| = " + std::to_string(n));
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+
+  const double now = wall_us();
+
+  // Cache fast path: resolve without ever touching the queue.
+  if (cache_.enabled() && !opt.bypass_cache) {
+    if (serve::CachedResult hit = cache_.get(fp_, source)) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      std::promise<serve::QueryResult> pr;
+      a.result = pr.get_future();
+      a.accepted = true;
+      serve::QueryResult r;
+      r.id = a.id;
+      r.source = source;
+      r.status = serve::QueryStatus::Completed;
+      r.levels = std::move(hit.levels);
+      r.depth = hit.depth;
+      r.cache_hit = true;
+      r.shards = store_.shards();
+      r.total_ms = (wall_us() - now) / 1000.0;
+      if (cfg_.query_tracing) {
+        r.trace = std::make_shared<obs::QueryTrace>(a.id, source);
+        r.trace->event(now, "admitted", "source=" + std::to_string(source));
+        r.trace->event(wall_us(), "cache_hit",
+                       "depth=" + std::to_string(r.depth));
+      }
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(r);
+      note_terminal(r, store_.num_slots());  // aggregate lane: no device ran
+      pr.set_value(std::move(r));
+      retire_one();
+      return a;
+    }
+  }
+
+  serve::PendingQuery p;
+  p.id = a.id;
+  p.source = source;
+  p.bypass_cache = opt.bypass_cache;
+  p.enqueue_us = now;
+  const double timeout_ms =
+      opt.timeout_ms != 0.0 ? opt.timeout_ms : cfg_.default_timeout_ms;
+  p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
+  if (cfg_.query_tracing) {
+    p.trace = std::make_shared<obs::QueryTrace>(a.id, source);
+    p.trace->event(now, "admitted", "source=" + std::to_string(source));
+  }
+  std::future<serve::QueryResult> fut = p.promise.get_future();
+
+  xbfs::Status st = queue_.try_push(std::move(p));
+  if (!st.ok()) {
+    if (st == xbfs::StatusCode::QueueFull) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+    a.status = std::move(st);
+    return a;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  a.accepted = true;
+  a.result = std::move(fut);
+  return a;
+}
+
+void ShardRouter::worker_loop() {
+  std::vector<serve::PendingQuery> batch;
+  for (;;) {
+    batch.clear();
+    if (queue_.pop_batch(batch, 1, 0.0) == 0) {
+      if (queue_.closed()) return;
+      continue;
+    }
+    for (serve::PendingQuery& p : batch) process_query(std::move(p));
+  }
+}
+
+std::size_t ShardRouter::dispatch_once() {
+  std::vector<serve::PendingQuery> batch;
+  const std::size_t got = queue_.try_pop_batch(batch, queue_.capacity());
+  for (serve::PendingQuery& p : batch) process_query(std::move(p));
+  return got;
+}
+
+void ShardRouter::backoff(unsigned attempt) {
+  if (cfg_.retry_backoff_ms <= 0.0) return;
+  double ms = cfg_.retry_backoff_ms;
+  for (unsigned i = 1; i < attempt && ms < cfg_.retry_backoff_max_ms; ++i) {
+    ms *= 2.0;
+  }
+  ms = std::min(ms, cfg_.retry_backoff_max_ms);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+unsigned ShardRouter::build_plan(serve::QueryId id, unsigned attempt,
+                                 const std::vector<char>& excluded,
+                                 std::vector<int>& plan,
+                                 obs::QueryTrace* log) {
+  const unsigned S = store_.shards();
+  const unsigned R = store_.replicas();
+  plan.assign(S, ShardSweep::kLost);
+  unsigned lost = 0;
+  std::vector<unsigned> group;
+  for (unsigned s = 0; s < S; ++s) {
+    group.clear();
+    for (unsigned r = 0; r < R; ++r) {
+      const unsigned sl = store_.slot(s, r);
+      if (store_.alive(s, r) && !excluded[sl]) group.push_back(sl);
+    }
+    if (group.empty()) {
+      // Exclusion is a soft preference: when this query has already seen a
+      // fault on every live replica of the shard, retrying one (faults are
+      // transient) beats degrading the whole shard to lost.
+      for (unsigned r = 0; r < R; ++r) {
+        if (store_.alive(s, r)) group.push_back(store_.slot(s, r));
+      }
+    }
+    // Spread load across the replica row by query id; retries rotate the
+    // preference so a re-plan naturally lands elsewhere first.
+    const unsigned pref = store_.slot(s, static_cast<unsigned>(
+                                             (id + attempt) % R));
+    const unsigned got = health_.pick_in(group, pref, wall_us());
+    if (got == serve::HealthTracker::kNone) {
+      ++lost;
+      if (log) log->event(wall_us(), "shard_lost", "shard=" + std::to_string(s));
+      continue;
+    }
+    if (got != pref) {
+      rerouted_.fetch_add(1, std::memory_order_relaxed);
+      if (log) {
+        log->event(wall_us(), "rerouted",
+                   "shard=" + std::to_string(s) + " slot=" +
+                       std::to_string(got));
+      }
+    }
+    plan[s] = static_cast<int>(got - store_.slot(s, 0));
+  }
+  return lost;
+}
+
+void ShardRouter::process_query(serve::PendingQuery&& p) {
+  const double dispatch_us = wall_us();
+  if (p.deadline_us >= 0.0 && dispatch_us > p.deadline_us) {
+    complete_expired(std::move(p), dispatch_us);
+    return;
+  }
+  if (cache_.enabled() && !p.bypass_cache) {
+    if (serve::CachedResult hit = cache_.get(fp_, p.source)) {
+      complete_from_cache(std::move(p), std::move(hit), dispatch_us);
+      return;
+    }
+  }
+  obs::QueryTrace* log = p.trace.get();
+  if (log) log->event(dispatch_us, "dispatched", {});
+
+  const unsigned S = store_.shards();
+  const unsigned owner = store_.layout().owner(p.source);
+  const bool validate = validation_active();
+  std::vector<char> excluded(store_.num_slots(), 0);
+  xbfs::Status last = xbfs::Status::Unavailable("no sweep attempt made");
+  std::vector<int> plan;
+
+  for (unsigned attempt = 0; attempt < cfg_.max_attempts; ++attempt) {
+    const unsigned lost = build_plan(p.id, attempt, excluded, plan, log);
+    if (plan[owner] == ShardSweep::kLost) {
+      last = xbfs::Status::Unavailable(
+          "source shard " + std::to_string(owner) +
+          " has no healthy replica");
+      unavailable_failures_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (lost > 0 && !cfg_.allow_partial) {
+      last = xbfs::Status::Unavailable(
+          std::to_string(lost) + " shard(s) have no healthy replica and "
+          "partial results are disabled");
+      unavailable_failures_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    const unsigned primary = store_.slot(owner,
+                                         static_cast<unsigned>(plan[owner]));
+    if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+
+    // Chosen replicas locked in ascending slot order (plans are iterated
+    // by shard, and slots grow with shard) — overlapping plans from
+    // concurrent workers serialize instead of deadlocking.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(S);
+    for (unsigned s = 0; s < S; ++s) {
+      if (plan[s] == ShardSweep::kLost) continue;
+      locks.emplace_back(
+          store_.replica(s, static_cast<unsigned>(plan[s])).mu);
+    }
+
+    const double attempt_us = wall_us();
+    if (log) {
+      log->event(attempt_us, "attempt",
+                 "engine=shard-sweep live=" + std::to_string(S - lost) +
+                     " lost=" + std::to_string(lost) + " attempt=" +
+                     std::to_string(attempt + 1));
+    }
+    try {
+      ShardSweepResult sw = sweep_.run(p.source, plan);
+      bool corrupted = false;
+      unsigned corrupt_slot = primary;
+      for (unsigned s = 0; s < S; ++s) {
+        if (plan[s] == ShardSweep::kLost) continue;
+        if (store_.replica(s, static_cast<unsigned>(plan[s]))
+                .device->take_pending_corruption()) {
+          corrupted = true;
+          corrupt_slot = store_.slot(s, static_cast<unsigned>(plan[s]));
+        }
+      }
+      locks.clear();
+      if (corrupted) {
+        // The modelled copy moved no real bytes; realize the corruption so
+        // validation can see it.
+        sim::FaultInjector::global().corrupt_levels(sw.levels);
+      }
+      if (validate && !sw.partial) {
+        const std::string verr = graph::validate_levels_graph500(
+            store_.graph(), p.source, sw.levels);
+        if (!verr.empty()) {
+          validation_failures_.fetch_add(1, std::memory_order_relaxed);
+          if (corrupted) {
+            faults_seen_.fetch_add(1, std::memory_order_relaxed);
+          }
+          health_.record_failure(corrupt_slot, wall_us());
+          excluded[corrupt_slot] = 1;
+          last = xbfs::Status::Corruption(verr);
+          if (log) log->event(wall_us(), "validation_failed", verr);
+          obs::FlightRecorder::global().record(
+              "shard", "validation_failed", {}, p.id, corrupt_slot);
+          backoff(attempt + 1);
+          continue;
+        }
+        validated_results_.fetch_add(1, std::memory_order_relaxed);
+        if (log) log->event(wall_us(), "validated");
+      }
+      for (unsigned s = 0; s < S; ++s) {
+        if (plan[s] == ShardSweep::kLost) continue;
+        health_.record_success(
+            store_.slot(s, static_cast<unsigned>(plan[s])));
+      }
+
+      // --- exchange + timing accounting -----------------------------------
+      levels_swept_.fetch_add(sw.level_stats.size(),
+                              std::memory_order_relaxed);
+      std::uint64_t two = 0;
+      for (const ShardLevelStats& st : sw.level_stats) two += st.two_phase;
+      two_phase_levels_.fetch_add(two, std::memory_order_relaxed);
+      exchange_raw_bytes_.fetch_add(sw.raw_bytes, std::memory_order_relaxed);
+      exchange_wire_bytes_.fetch_add(sw.wire_bytes,
+                                     std::memory_order_relaxed);
+      lost_shard_events_.fetch_add(sw.shards_lost,
+                                   std::memory_order_relaxed);
+      modelled_ms_.observe(sw.total_ms);
+      {
+        std::lock_guard<std::mutex> lk(agg_mu_);
+        modelled_total_ms_ += sw.total_ms;
+      }
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) {
+        mx.histogram("shard.sweep_modelled_ms").observe(sw.total_ms);
+        mx.histogram("shard.sweep_comm_ms").observe(sw.comm_ms);
+      }
+
+      const double complete_us = wall_us();
+      serve::QueryResult r;
+      r.id = p.id;
+      r.source = p.source;
+      r.status = serve::QueryStatus::Completed;
+      r.depth = sw.depth;
+      r.batch_size = 1;
+      r.gcd = primary;
+      r.engine = "shard-sweep";
+      r.attempts = attempt + 1;
+      r.validated = validate && !sw.partial;
+      r.shards = S;
+      r.shards_lost = sw.shards_lost;
+      r.partial = sw.partial;
+      r.degraded = sw.partial || attempt > 0;
+      r.queue_ms = (dispatch_us - p.enqueue_us) / 1000.0;
+      r.service_ms = (complete_us - dispatch_us) / 1000.0;
+      r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
+      if (sw.partial) {
+        r.error = xbfs::Status::Unavailable(
+            std::to_string(sw.shards_lost) +
+            " shard(s) had no healthy replica; their vertex ranges report "
+            "-1");
+        partial_queries_.fetch_add(1, std::memory_order_relaxed);
+        if (log) {
+          log->event(complete_us, "partial",
+                     "lost=" + std::to_string(sw.shards_lost));
+        }
+      }
+      const bool publish = !sw.partial && !p.bypass_cache &&
+                           (!validate || r.validated);
+      auto levels = std::make_shared<const std::vector<std::int32_t>>(
+          std::move(sw.levels));
+      if (publish && cache_.enabled()) {
+        cache_.put(fp_, p.source, serve::CachedResult{levels, sw.depth});
+        if (log) {
+          log->event(complete_us, "cache_publish",
+                     "fp=" + std::to_string(fp_));
+        }
+      }
+      r.levels = std::move(levels);
+      if (r.degraded) {
+        degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      record_latency(r);
+      if (log) {
+        log->event(complete_us, "resolved",
+                   "engine=shard-sweep slot=" + std::to_string(primary) +
+                       " depth=" + std::to_string(r.depth));
+      }
+      finish_query(std::move(p), std::move(r));
+      return;
+    } catch (const ShardSweepFault& f) {
+      const unsigned slot = store_.slot(f.shard(), f.replica());
+      faults_seen_.fetch_add(1, std::memory_order_relaxed);
+      health_.record_failure(slot, wall_us());
+      excluded[slot] = 1;
+      last = xbfs::Status::Fault(f.what());
+      if (log) {
+        log->event(wall_us(), "fault",
+                   "slot=s" + std::to_string(f.shard()) + "r" +
+                       std::to_string(f.replica()) + " " + f.what());
+      }
+      obs::FlightRecorder::global().record("shard", "sweep_fault", {}, p.id,
+                                           slot);
+      obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+      if (mx.enabled()) mx.counter("shard.faults").add();
+      locks.clear();
+      backoff(attempt + 1);
+    } catch (const std::exception& e) {
+      last = xbfs::Status::Internal(e.what());
+      if (log) log->event(wall_us(), "error", e.what());
+      locks.clear();
+      backoff(attempt + 1);
+    }
+  }
+
+  // Every attempt burned (or the source shard is gone): terminal failure.
+  const double complete_us = wall_us();
+  serve::QueryResult r;
+  r.id = p.id;
+  r.source = p.source;
+  r.status = serve::QueryStatus::Failed;
+  r.error = last;
+  r.shards = S;
+  r.queue_ms = (dispatch_us - p.enqueue_us) / 1000.0;
+  r.service_ms = (complete_us - dispatch_us) / 1000.0;
+  r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("shard.failed").add();
+  obs::FlightRecorder::global().record("shard", "query_failed",
+                                       last.to_string(), p.id);
+  if (log) log->event(complete_us, "exhausted", last.to_string());
+  finish_query(std::move(p), std::move(r));
+}
+
+void ShardRouter::complete_expired(serve::PendingQuery&& p, double now_us) {
+  serve::QueryResult r;
+  r.id = p.id;
+  r.source = p.source;
+  r.status = serve::QueryStatus::Expired;
+  r.shards = store_.shards();
+  r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
+  r.total_ms = r.queue_ms;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  finish_query(std::move(p), std::move(r));
+}
+
+void ShardRouter::complete_from_cache(serve::PendingQuery&& p,
+                                      serve::CachedResult hit,
+                                      double now_us) {
+  serve::QueryResult r;
+  r.id = p.id;
+  r.source = p.source;
+  r.status = serve::QueryStatus::Completed;
+  r.levels = std::move(hit.levels);
+  r.depth = hit.depth;
+  r.cache_hit = true;
+  r.shards = store_.shards();
+  r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
+  r.total_ms = r.queue_ms;
+  if (p.trace) {
+    p.trace->event(now_us, "cache_hit", "depth=" + std::to_string(r.depth));
+  }
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  record_latency(r);
+  finish_query(std::move(p), std::move(r));
+}
+
+void ShardRouter::finish_query(serve::PendingQuery&& p,
+                               serve::QueryResult&& r) {
+  if (p.trace != nullptr) r.trace = p.trace;
+  // Cache hits and expiries never touched a replica: attribute them to the
+  // scope aggregate lane instead of a device lane.
+  const unsigned lane = r.batch_size > 0 ? r.gcd : store_.num_slots();
+  note_terminal(r, lane);
+  p.promise.set_value(std::move(r));
+  retire_one();
+}
+
+void ShardRouter::note_terminal(serve::QueryResult& r, unsigned lane) {
+  const bool ok = r.status == serve::QueryStatus::Completed;
+  if (slo_ != nullptr) slo_->record(lane, ok, r.total_ms, obs::slo_now_ms());
+  if (r.trace != nullptr) {
+    traced_.fetch_add(1, std::memory_order_relaxed);
+    std::string detail = "total_ms=" + fmt_double(r.total_ms);
+    if (r.shards_lost > 0) {
+      detail += " shards_lost=" + std::to_string(r.shards_lost);
+    }
+    if (!ok && !r.error.ok()) detail += " error=" + r.error.to_string();
+    r.trace->event(wall_us(), serve::query_status_name(r.status),
+                   std::move(detail));
+    obs::TraceSession& tr = obs::TraceSession::global();
+    if (tr.enabled()) {
+      obs::emit_query_spans(tr, *r.trace,
+                            serve::query_status_name(r.status));
+    }
+  }
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  if (fr.enabled() && r.status == serve::QueryStatus::Failed) {
+    fr.trigger("query_failed");
+  }
+}
+
+void ShardRouter::record_latency(const serve::QueryResult& r) {
+  latency_ms_.observe(r.total_ms);
+  queue_ms_.observe(r.queue_ms);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.histogram("shard.latency_ms").observe(r.total_ms);
+    mx.counter("shard.completed").add();
+    if (r.cache_hit) mx.counter("shard.cache_hits").add();
+    if (r.partial) mx.counter("shard.partial").add();
+  }
+}
+
+void ShardRouter::retire_one() {
+  // The empty critical section orders the increment against drain()'s
+  // predicate check (lost-wakeup guard, as in serve::Server).
+  retired_.fetch_add(1, std::memory_order_release);
+  { std::lock_guard<std::mutex> lk(drain_mu_); }
+  drain_cv_.notify_all();
+}
+
+void ShardRouter::drain() {
+  if (cfg_.manual_dispatch) {
+    while (retired_.load(std::memory_order_acquire) <
+           accepted_.load(std::memory_order_acquire)) {
+      if (dispatch_once() == 0) std::this_thread::yield();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [&] {
+    return retired_.load(std::memory_order_acquire) >=
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+void ShardRouter::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  queue_.close();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Manual mode (and a safety net for races with close): retire leftovers.
+  while (dispatch_once() != 0) {
+  }
+  emit_summary();
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.sweeps = sweeps_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.faults_seen = faults_seen_.load(std::memory_order_relaxed);
+  s.rerouted = rerouted_.load(std::memory_order_relaxed);
+  s.validated_results = validated_results_.load(std::memory_order_relaxed);
+  s.validation_failures =
+      validation_failures_.load(std::memory_order_relaxed);
+  s.degraded_queries = degraded_queries_.load(std::memory_order_relaxed);
+  s.partial_queries = partial_queries_.load(std::memory_order_relaxed);
+  s.lost_shard_events = lost_shard_events_.load(std::memory_order_relaxed);
+  s.unavailable_failures =
+      unavailable_failures_.load(std::memory_order_relaxed);
+  s.levels_swept = levels_swept_.load(std::memory_order_relaxed);
+  s.two_phase_levels = two_phase_levels_.load(std::memory_order_relaxed);
+  s.exchange_raw_bytes =
+      exchange_raw_bytes_.load(std::memory_order_relaxed);
+  s.exchange_wire_bytes =
+      exchange_wire_bytes_.load(std::memory_order_relaxed);
+  s.compression_ratio =
+      s.exchange_wire_bytes == 0
+          ? 0.0
+          : static_cast<double>(s.exchange_raw_bytes) /
+                static_cast<double>(s.exchange_wire_bytes);
+
+  const serve::HealthTracker::Counters hc = health_.counters();
+  s.breaker_opens = hc.opens;
+  s.breaker_half_opens = hc.half_opens;
+  s.breaker_closes = hc.closes;
+
+  const serve::ResultCache::Stats cs = cache_.stats();
+  s.cache_entries = cs.entries;
+  s.cache_hit_rate =
+      s.completed == 0 ? 0.0
+                       : static_cast<double>(s.cache_hits) /
+                             static_cast<double>(s.completed);
+
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    s.modelled_total_ms = modelled_total_ms_;
+  }
+  s.modelled_p50_ms = modelled_ms_.percentile(0.50);
+  s.modelled_p99_ms = modelled_ms_.percentile(0.99);
+  s.latency_p50_ms = latency_ms_.percentile(0.50);
+  s.latency_p95_ms = latency_ms_.percentile(0.95);
+  s.latency_p99_ms = latency_ms_.percentile(0.99);
+  s.latency_mean_ms = latency_ms_.mean();
+  s.latency_max_ms = latency_ms_.max();
+  s.queue_p50_ms = queue_ms_.percentile(0.50);
+  s.queue_p99_ms = queue_ms_.percentile(0.99);
+
+  s.traced_queries = traced_.load(std::memory_order_relaxed);
+  if (slo_ != nullptr) s.slo = slo_->snapshot(obs::slo_now_ms());
+
+  s.wall_elapsed_ms = wall_us() / 1000.0;
+  s.qps = s.wall_elapsed_ms <= 0.0
+              ? 0.0
+              : static_cast<double>(s.completed) /
+                    (s.wall_elapsed_ms / 1000.0);
+  return s;
+}
+
+void ShardRouter::emit_summary() {
+  const RouterStats st = stats();
+  const ShardMemoryReport mem = store_.memory_report();
+
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) {
+    mx.gauge("shard.qps").set(st.qps);
+    mx.gauge("shard.cache_hit_rate").set(st.cache_hit_rate);
+    mx.gauge("shard.compression_ratio").set(st.compression_ratio);
+    mx.gauge("shard.breaker_opens")
+        .set(static_cast<double>(st.breaker_opens));
+  }
+
+  obs::ReportSession& rs = obs::ReportSession::global();
+  if (!rs.enabled()) return;
+  obs::RunRecord r;
+  r.tool = "shard_router";
+  r.algorithm = "sharded-bfs-serving";
+  r.n = store_.graph().num_vertices();
+  r.m = store_.graph().num_edges();
+  r.source = -1;
+  r.total_ms = st.wall_elapsed_ms;
+  r.config = {
+      {"shards", std::to_string(store_.shards())},
+      {"replicas", std::to_string(store_.replicas())},
+      {"grid_rows", std::to_string(store_.layout().grid_rows())},
+      {"grid_cols", std::to_string(store_.layout().grid_cols())},
+      {"budget_bytes", std::to_string(mem.budget_bytes)},
+      {"single_device_bytes", std::to_string(mem.single_device_bytes)},
+      {"max_shard_bytes", std::to_string(mem.max_shard_bytes)},
+      {"oversubscription", fmt_double(mem.oversubscription)},
+      {"serving_fingerprint", std::to_string(fp_)},
+      {"submitted", std::to_string(st.submitted)},
+      {"accepted", std::to_string(st.accepted)},
+      {"completed", std::to_string(st.completed)},
+      {"expired", std::to_string(st.expired)},
+      {"failed", std::to_string(st.failed)},
+      {"rejected_full", std::to_string(st.rejected_full)},
+      {"rejected_invalid", std::to_string(st.rejected_invalid)},
+      {"cache_hits", std::to_string(st.cache_hits)},
+      {"cache_hit_rate", fmt_double(st.cache_hit_rate)},
+      {"sweeps", std::to_string(st.sweeps)},
+      {"retries", std::to_string(st.retries)},
+      {"faults_seen", std::to_string(st.faults_seen)},
+      {"rerouted", std::to_string(st.rerouted)},
+      {"validated_results", std::to_string(st.validated_results)},
+      {"validation_failures", std::to_string(st.validation_failures)},
+      {"degraded_queries", std::to_string(st.degraded_queries)},
+      {"partial_queries", std::to_string(st.partial_queries)},
+      {"lost_shard_events", std::to_string(st.lost_shard_events)},
+      {"unavailable_failures", std::to_string(st.unavailable_failures)},
+      {"breaker_opens", std::to_string(st.breaker_opens)},
+      {"breaker_half_opens", std::to_string(st.breaker_half_opens)},
+      {"breaker_closes", std::to_string(st.breaker_closes)},
+      {"levels_swept", std::to_string(st.levels_swept)},
+      {"two_phase_levels", std::to_string(st.two_phase_levels)},
+      {"exchange_raw_bytes", std::to_string(st.exchange_raw_bytes)},
+      {"exchange_wire_bytes", std::to_string(st.exchange_wire_bytes)},
+      {"compression_ratio", fmt_double(st.compression_ratio)},
+      {"modelled_total_ms", fmt_double(st.modelled_total_ms)},
+      {"modelled_p50_ms", fmt_double(st.modelled_p50_ms)},
+      {"modelled_p99_ms", fmt_double(st.modelled_p99_ms)},
+      {"qps", fmt_double(st.qps)},
+      {"p50_ms", fmt_double(st.latency_p50_ms)},
+      {"p95_ms", fmt_double(st.latency_p95_ms)},
+      {"p99_ms", fmt_double(st.latency_p99_ms)},
+      {"mean_ms", fmt_double(st.latency_mean_ms)},
+      {"max_ms", fmt_double(st.latency_max_ms)},
+      {"queue_p50_ms", fmt_double(st.queue_p50_ms)},
+      {"queue_p99_ms", fmt_double(st.queue_p99_ms)},
+      {"max_attempts", std::to_string(cfg_.max_attempts)},
+      {"allow_partial", cfg_.allow_partial ? "1" : "0"},
+      {"workers", std::to_string(cfg_.workers)},
+      {"query_tracing", cfg_.query_tracing ? "1" : "0"},
+      {"traced_queries", std::to_string(st.traced_queries)},
+      {"slo_scope", cfg_.slo_scope},
+      {"slo_active", st.slo.active ? "1" : "0"},
+      {"slo_good", std::to_string(st.slo.total_good)},
+      {"slo_bad", std::to_string(st.slo.total_bad)},
+      {"slo_budget_remaining", fmt_double(st.slo.budget_remaining)},
+  };
+  rs.add(std::move(r));
+}
+
+}  // namespace xbfs::shard

@@ -1,0 +1,265 @@
+// ShardRouter: the scatter-gather front door of the sharded serving tier.
+//
+//   clients --submit()--> AdmissionQueue --(router workers)--> plan + sweep
+//                              |                                    |
+//                        backpressure                  ShardSweep over the
+//                       (reject w/ reason)             planned replicas
+//                              |                                    |
+//                  ResultCache <---- merged global levels <---------+
+//
+// Each query fans out to every shard owner: the router picks one healthy
+// replica per shard (serve::HealthTracker with one breaker per
+// shard-replica slot, routed within the shard's replica group via
+// pick_in), locks the chosen replicas in slot order, and runs the
+// distributed direction-optimizing sweep (shard/shard_bfs.h).  The merged
+// per-shard level slices come back as one QueryResult, cached under the
+// graph fingerprint mixed with the partition layout hash — a re-shard
+// self-invalidates every cached entry.
+//
+// Resilience is per shard-replica, not per query: an injected fault opens
+// that slot's breaker and the query retries on a sibling replica
+// (rerouted, not failed).  A shard whose whole replica group is down
+// degrades the query instead — the sweep runs without that shard, the
+// lost vertex range reports -1, and the result carries partial=true plus
+// an Unavailable detail in `error` while status stays Completed.  Only
+// the source's own shard is unroutable-around: with no healthy replica
+// there, the query fails Unavailable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/admission_queue.h"
+#include "serve/health.h"
+#include "serve/query.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"  // serve::ValidateResults
+#include "shard/shard_bfs.h"
+#include "shard/sharded_store.h"
+
+namespace xbfs::shard {
+
+struct RouterConfig {
+  /// Admission-queue capacity; submissions beyond it are rejected with
+  /// StatusCode::QueueFull (backpressure).
+  std::size_t queue_capacity = 1024;
+  /// Router worker threads.  Each runs whole distributed sweeps; workers
+  /// parallelize across queries only when their plans pick disjoint
+  /// replicas (replica locks serialize overlapping plans).
+  unsigned workers = 2;
+  /// Result-cache entries across all cache shards; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  unsigned cache_shards = 8;
+  /// Deadline applied to queries that don't set their own (ms from
+  /// enqueue); negative = none.
+  double default_timeout_ms = -1.0;
+  /// Sweep attempts per query before failing it (each retry replans
+  /// around the slot that faulted).  1 = no retry.
+  unsigned max_attempts = 3;
+  /// Exponential backoff between retries: base * 2^(attempt-1), capped.
+  double retry_backoff_ms = 0.2;
+  double retry_backoff_max_ms = 5.0;
+  /// Consecutive failures that open a shard-replica's circuit breaker and
+  /// how long it rejects work before probing (serve/health.h).
+  unsigned breaker_failure_threshold = 3;
+  double breaker_cooldown_ms = 25.0;
+  /// Result validation on the serving path (Graph500 level rules); Auto =
+  /// validate iff fault injection is active.  Partial results are never
+  /// validated — edges into a lost range legitimately break the rules.
+  serve::ValidateResults validate_results = serve::ValidateResults::Auto;
+  /// Serve queries with lost shards as partial results.  false = such
+  /// queries fail with Unavailable instead.
+  bool allow_partial = true;
+  /// Tests: no worker threads; call dispatch_once() explicitly.
+  bool manual_dispatch = false;
+  /// Allocate a QueryTrace per admitted query.
+  bool query_tracing = true;
+  /// SLO scope (obs::SloEngine) with one lane per shard-replica slot,
+  /// labelled "s<shard>r<replica>".
+  std::string slo_scope = "shard-serve";
+  ShardSweepConfig sweep;
+
+  xbfs::Status validate() const;
+};
+
+/// Monotonic counters + latency snapshot for the sharded tier; the fields
+/// shared with serve::ServerStats keep its glossary (docs/serving.md).
+struct RouterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_shutdown = 0;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_entries = 0;
+  double cache_hit_rate = 0.0;
+
+  std::uint64_t sweeps = 0;        ///< distributed sweeps run (incl. retries)
+  std::uint64_t retries = 0;       ///< sweep re-plans after a failure
+  std::uint64_t faults_seen = 0;   ///< injected faults caught
+  std::uint64_t rerouted = 0;      ///< shard routed off its preferred replica
+  std::uint64_t validated_results = 0;
+  std::uint64_t validation_failures = 0;
+  std::uint64_t degraded_queries = 0;      ///< partial or post-retry results
+  std::uint64_t partial_queries = 0;       ///< served with >= 1 lost shard
+  std::uint64_t lost_shard_events = 0;     ///< lost shards summed over sweeps
+  std::uint64_t unavailable_failures = 0;  ///< source shard had no replica
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+
+  // --- exchange accounting --------------------------------------------------
+  std::uint64_t levels_swept = 0;      ///< BFS levels run across all sweeps
+  std::uint64_t two_phase_levels = 0;  ///< levels where 2D promotion won
+  std::uint64_t exchange_raw_bytes = 0;
+  std::uint64_t exchange_wire_bytes = 0;
+  /// raw/wire across all exchanges (>= 1; 1.0 = no compression win).
+  double compression_ratio = 0.0;
+
+  // --- latency --------------------------------------------------------------
+  double wall_elapsed_ms = 0.0;
+  double qps = 0.0;
+  /// Modelled device+fabric time per sweep — the simulator's scaling
+  /// instrument (bench_dist_scaling's sublinearity record reads the p99).
+  double modelled_p50_ms = 0.0;
+  double modelled_p99_ms = 0.0;
+  double modelled_total_ms = 0.0;
+  double latency_p50_ms = 0.0;  ///< enqueue -> complete (wall)
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double queue_p50_ms = 0.0;
+  double queue_p99_ms = 0.0;
+
+  std::uint64_t traced_queries = 0;
+  obs::SloSnapshot slo;
+};
+
+class ShardRouter {
+ public:
+  /// The store must outlive the router (it owns every replica device the
+  /// router plans onto).
+  ShardRouter(ShardedStore& store, RouterConfig cfg = {});
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Admit a query.  Cache hits resolve immediately; otherwise the query
+  /// enters the admission queue, or is rejected with a reason when the
+  /// queue is full / the router is shutting down / the source is invalid.
+  serve::Admission submit(graph::vid_t source, serve::QueryOptions opt = {});
+
+  /// Process everything pending right now on the caller's thread (manual
+  /// mode, but safe in threaded mode too).  Returns queries retired.
+  std::size_t dispatch_once();
+
+  /// Block until every accepted query has been retired.
+  void drain();
+
+  /// Stop accepting, finish pending work, stop the workers, and emit the
+  /// summary run-report record.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  RouterStats stats() const;
+  const RouterConfig& config() const { return cfg_; }
+  const ShardedStore& store() const { return store_; }
+  /// The cache key every result is published under: the CSR fingerprint
+  /// mixed with the partition layout hash (re-shard => new key space).
+  std::uint64_t serving_fingerprint() const { return fp_; }
+  const serve::ResultCache& cache() const { return cache_; }
+  serve::BreakerState breaker_state(unsigned shard, unsigned replica) const {
+    return health_.state(store_.slot(shard, replica));
+  }
+
+ private:
+  double wall_us() const;
+  bool validation_active() const;
+  void worker_loop();
+  void backoff(unsigned attempt);
+  /// One replica index per shard (ShardSweep::kLost = none healthy);
+  /// `excluded` marks slots this query already saw fault.  Returns the
+  /// number of lost shards.
+  unsigned build_plan(serve::QueryId id, unsigned attempt,
+                      const std::vector<char>& excluded,
+                      std::vector<int>& plan, obs::QueryTrace* log);
+  void process_query(serve::PendingQuery&& p);
+  void complete_expired(serve::PendingQuery&& p, double now_us);
+  void complete_from_cache(serve::PendingQuery&& p, serve::CachedResult hit,
+                           double now_us);
+  void finish_query(serve::PendingQuery&& p, serve::QueryResult&& r);
+  void note_terminal(serve::QueryResult& r, unsigned lane);
+  void record_latency(const serve::QueryResult& r);
+  void retire_one();
+  void emit_summary();
+
+  ShardedStore& store_;
+  RouterConfig cfg_;
+  std::uint64_t fp_;  ///< graph fingerprint mixed with the layout hash
+
+  serve::AdmissionQueue queue_;
+  serve::ResultCache cache_;
+  serve::HealthTracker health_;
+  /// Stateless between runs; concurrent workers may share it because every
+  /// mutable buffer a run touches lives in the replicas its plan locked.
+  ShardSweep sweep_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<serve::QueryId> next_id_{0};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> faults_seen_{0};
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::atomic<std::uint64_t> validated_results_{0};
+  std::atomic<std::uint64_t> validation_failures_{0};
+  std::atomic<std::uint64_t> degraded_queries_{0};
+  std::atomic<std::uint64_t> partial_queries_{0};
+  std::atomic<std::uint64_t> lost_shard_events_{0};
+  std::atomic<std::uint64_t> unavailable_failures_{0};
+  std::atomic<std::uint64_t> levels_swept_{0};
+  std::atomic<std::uint64_t> two_phase_levels_{0};
+  std::atomic<std::uint64_t> exchange_raw_bytes_{0};
+  std::atomic<std::uint64_t> exchange_wire_bytes_{0};
+  std::atomic<std::uint64_t> traced_{0};
+
+  obs::SloScope* slo_ = nullptr;
+
+  mutable std::mutex agg_mu_;  ///< guards modelled_total_ms_
+  double modelled_total_ms_ = 0.0;
+
+  obs::Histogram latency_ms_;   ///< enqueue -> complete (wall)
+  obs::Histogram queue_ms_;     ///< enqueue -> dispatch (wall)
+  obs::Histogram modelled_ms_;  ///< per-sweep modelled time
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace xbfs::shard

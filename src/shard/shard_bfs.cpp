@@ -1,0 +1,551 @@
+#include "shard/shard_bfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/status.h"  // kUnvisited, auto_grid_blocks
+#include "core/xbfs.h"    // safe_gteps
+#include "hipsim/fault.h"
+#include "shard/frontier_codec.h"
+
+namespace xbfs::shard {
+
+using core::auto_grid_blocks;
+using core::kUnvisited;
+using graph::eid_t;
+using graph::vid_t;
+
+namespace {
+constexpr std::size_t kTail = 0;     ///< counters[0]: frontier queue tail
+constexpr std::size_t kClaimed = 1;  ///< counters[1]: vertices claimed
+}  // namespace
+
+ShardSweep::ShardSweep(ShardedStore& store, ShardSweepConfig cfg)
+    : store_(store), cfg_(cfg),
+      words_((static_cast<std::size_t>(store.graph().num_vertices()) + 63) /
+             64) {}
+
+void ShardSweep::reset_for_run(vid_t src, const std::vector<int>& plan) {
+  const unsigned owner = store_.layout().owner(src);
+  for (unsigned s = 0; s < store_.shards(); ++s) {
+    if (plan[s] == kLost) continue;
+    ShardedStore::Replica& g = rep(s, plan);
+    sim::Device& dev = *g.device;
+    auto status = g.status.span();
+    auto cur = g.cur_bm.span();
+    auto next = g.next_bm.span();
+    const vid_t rows = g.rows->num_rows;
+    const vid_t first = g.rows->first_vertex;
+    sim::LaunchConfig lc;
+    lc.block_threads = store_.config().block_threads;
+    lc.grid_blocks = auto_grid_blocks(dev.profile(),
+                                      std::max<std::uint64_t>(rows, 1),
+                                      lc.block_threads);
+    const bool is_owner = s == owner;
+    try {
+      dev.launch("shard_init", lc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(rows, [&](std::uint64_t r) {
+          ctx.store(status, r,
+                    is_owner && first + r == src ? 0u : kUnvisited);
+        });
+        blk.grid_stride(cur.size(), [&](std::uint64_t w) {
+          std::uint64_t word = 0;
+          if (src / 64 == w) word = std::uint64_t{1} << (src % 64);
+          ctx.store(cur, w, word);
+          ctx.store(next, w, std::uint64_t{0});
+        });
+      });
+    } catch (const sim::FaultInjected& f) {
+      throw ShardSweepFault(s, static_cast<unsigned>(plan[s]), f.what());
+    }
+  }
+}
+
+double ShardSweep::run_local_topdown(const std::vector<int>& plan) {
+  double slowest = 0;
+  for (unsigned sh = 0; sh < store_.shards(); ++sh) {
+    if (plan[sh] == kLost) continue;
+    ShardedStore::Replica& g = rep(sh, plan);
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto cur = g.cur_bm.cspan();
+    auto next = g.next_bm.span();
+    auto queue = g.queue.span();
+    auto offsets = g.offsets.cspan();
+    auto cols = g.cols.cspan();
+    const vid_t first = g.rows->first_vertex;
+    const vid_t rows = g.rows->num_rows;
+    const unsigned block_threads = store_.config().block_threads;
+
+    try {
+      sim::LaunchConfig rc{.grid_blocks = 1, .block_threads = 64};
+      dev.launch(s, "shard_reset", rc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.threads([&](unsigned t) {
+          if (t < 2) ctx.store(counters, t, std::uint32_t{0});
+          if (t == 2) ctx.store(edges, 0, std::uint64_t{0});
+        });
+      });
+
+      // Extract the owned slice of the frontier bitmap into a queue.
+      const std::uint64_t w_begin = first / 64;
+      const std::uint64_t w_end =
+          (static_cast<std::uint64_t>(first) + rows + 63) / 64;
+      sim::LaunchConfig gc;
+      gc.block_threads = block_threads;
+      gc.grid_blocks = auto_grid_blocks(
+          dev.profile(), std::max<std::uint64_t>(w_end - w_begin, 1),
+          block_threads);
+      dev.launch(s, "shard_frontier_gen", gc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(w_end - w_begin, [&](std::uint64_t wi) {
+          const std::uint64_t word = ctx.load(cur, w_begin + wi);
+          if (word == 0) return;
+          unsigned count = 0;
+          vid_t found[64];
+          for (unsigned b = 0; b < 64; ++b) {
+            if (!(word & (std::uint64_t{1} << b))) continue;
+            const std::uint64_t v = (w_begin + wi) * 64 + b;
+            if (v < first || v >= static_cast<std::uint64_t>(first) + rows) {
+              continue;  // edge words straddle the shard boundary
+            }
+            found[count++] = static_cast<vid_t>(v);
+          }
+          if (count == 0) return;
+          const std::uint32_t base = ctx.atomic_add(counters, kTail, count);
+          for (unsigned i = 0; i < count; ++i) {
+            ctx.store(queue, base + i, found[i]);
+          }
+          ctx.slots(count, count);
+        });
+      });
+      dev.memcpy_d2h(s, sizeof(std::uint32_t));
+      g.counters.mark_host_synced();
+      const std::uint32_t fsize = g.counters.h_read(kTail);
+
+      if (fsize > 0) {
+        sim::LaunchConfig ec;
+        ec.block_threads = block_threads;
+        ec.grid_blocks =
+            auto_grid_blocks(dev.profile(), fsize, block_threads);
+        dev.launch(s, "shard_topdown_expand", ec, [=](sim::BlockCtx& blk) {
+          auto& ctx = blk.ctx();
+          blk.grid_stride(fsize, [&](std::uint64_t i) {
+            const vid_t v = ctx.load(queue, i);
+            const vid_t r = v - first;
+            const eid_t b = ctx.load(offsets, r);
+            const eid_t e = ctx.load(offsets, r + 1);
+            for (eid_t j = b; j < e; ++j) {
+              const vid_t w = ctx.load(cols, j);
+              // Candidate-bit pre-check dedups repeat discoveries locally.
+              const std::uint64_t word = ctx.atomic_load(next, w / 64);
+              const std::uint64_t bit = std::uint64_t{1} << (w % 64);
+              if (!(word & bit)) ctx.atomic_or(next, w / 64, bit);
+            }
+            ctx.slots(2 * (e - b) + 1, 2 * (e - b) + 1);
+          });
+        });
+      }
+      s.synchronize();
+    } catch (const sim::FaultInjected& f) {
+      throw ShardSweepFault(sh, static_cast<unsigned>(plan[sh]), f.what());
+    }
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+double ShardSweep::run_claim_phase(std::uint32_t level,
+                                   const std::vector<int>& plan) {
+  const std::uint32_t next_level = level + 1;
+  double slowest = 0;
+  for (unsigned sh = 0; sh < store_.shards(); ++sh) {
+    if (plan[sh] == kLost) continue;
+    ShardedStore::Replica& g = rep(sh, plan);
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto next = g.next_bm.span();
+    auto status = g.status.span();
+    auto offsets = g.offsets.cspan();
+    const vid_t first = g.rows->first_vertex;
+    const vid_t rows = g.rows->num_rows;
+    const std::uint64_t w_begin = first / 64;
+    const std::uint64_t w_end =
+        (static_cast<std::uint64_t>(first) + rows + 63) / 64;
+    sim::LaunchConfig cc;
+    cc.block_threads = store_.config().block_threads;
+    cc.grid_blocks = auto_grid_blocks(
+        dev.profile(), std::max<std::uint64_t>(w_end - w_begin, 1),
+        cc.block_threads);
+    try {
+      dev.launch(s, "shard_claim", cc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(w_end - w_begin, [&](std::uint64_t wi) {
+          const std::uint64_t word = ctx.load(
+              sim::dspan<const std::uint64_t>(next), w_begin + wi);
+          if (word == 0) return;
+          std::uint64_t cleaned = 0;
+          std::uint32_t claimed = 0;
+          std::uint64_t degree_sum = 0;
+          for (unsigned b = 0; b < 64; ++b) {
+            const std::uint64_t bit = std::uint64_t{1} << b;
+            if (!(word & bit)) continue;
+            const std::uint64_t v = (w_begin + wi) * 64 + b;
+            if (v < first || v >= static_cast<std::uint64_t>(first) + rows) {
+              continue;  // not owned: drop (the owner keeps its own copy)
+            }
+            const vid_t r = static_cast<vid_t>(v - first);
+            if (ctx.load(status, r) == kUnvisited) {
+              ctx.store(status, r, next_level);
+              cleaned |= bit;
+              ++claimed;
+              degree_sum +=
+                  ctx.load(offsets, r + 1) - ctx.load(offsets, r);
+            }
+          }
+          if (cleaned != word) ctx.store(next, w_begin + wi, cleaned);
+          if (claimed > 0) {
+            ctx.atomic_add(counters, kClaimed, claimed);
+            ctx.atomic_add(edges, 0, degree_sum);
+          }
+          ctx.slots(64, claimed + 1);
+        });
+      });
+      s.synchronize();
+    } catch (const sim::FaultInjected& f) {
+      throw ShardSweepFault(sh, static_cast<unsigned>(plan[sh]), f.what());
+    }
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+double ShardSweep::run_local_bottomup(std::uint32_t level,
+                                      const std::vector<int>& plan) {
+  const std::uint32_t next_level = level + 1;
+  double slowest = 0;
+  for (unsigned sh = 0; sh < store_.shards(); ++sh) {
+    if (plan[sh] == kLost) continue;
+    ShardedStore::Replica& g = rep(sh, plan);
+    sim::Device& dev = *g.device;
+    sim::Stream& s = dev.stream(0);
+    const double t0 = dev.now_us();
+    auto counters = g.counters.span();
+    auto edges = g.edges.span();
+    auto cur = g.cur_bm.cspan();
+    auto next = g.next_bm.span();
+    auto status = g.status.span();
+    auto offsets = g.offsets.cspan();
+    auto cols = g.cols.cspan();
+    const vid_t first = g.rows->first_vertex;
+    const vid_t rows = g.rows->num_rows;
+
+    try {
+      sim::LaunchConfig rc{.grid_blocks = 1, .block_threads = 64};
+      dev.launch(s, "shard_reset", rc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.threads([&](unsigned t) {
+          if (t < 2) ctx.store(counters, t, std::uint32_t{0});
+          if (t == 2) ctx.store(edges, 0, std::uint64_t{0});
+        });
+      });
+
+      sim::LaunchConfig bc;
+      bc.block_threads = store_.config().block_threads;
+      bc.grid_blocks = auto_grid_blocks(
+          dev.profile(), std::max<vid_t>(rows, 1), bc.block_threads);
+      dev.launch(s, "shard_bottomup", bc, [=](sim::BlockCtx& blk) {
+        auto& ctx = blk.ctx();
+        blk.grid_stride(rows, [&](std::uint64_t r) {
+          if (ctx.load(status, r) != kUnvisited) {
+            ctx.slots(1, 1);
+            return;
+          }
+          const eid_t b = ctx.load(offsets, r);
+          const eid_t e = ctx.load(offsets, r + 1);
+          std::uint64_t steps = 0;
+          for (eid_t j = b; j < e; ++j) {
+            const vid_t w = ctx.load(cols, j);
+            ++steps;
+            const std::uint64_t word = ctx.atomic_load(cur, w / 64);
+            if (word & (std::uint64_t{1} << (w % 64))) {
+              const vid_t v = first + static_cast<vid_t>(r);
+              ctx.store(status, r, next_level);
+              ctx.atomic_or(next, v / 64, std::uint64_t{1} << (v % 64));
+              ctx.atomic_add(counters, kClaimed, std::uint32_t{1});
+              ctx.atomic_add(edges, 0, static_cast<std::uint64_t>(e - b));
+              break;
+            }
+          }
+          ctx.slots(2 * steps + 1, 2 * steps + 1);
+        });
+      });
+      s.synchronize();
+    } catch (const sim::FaultInjected& f) {
+      throw ShardSweepFault(sh, static_cast<unsigned>(plan[sh]), f.what());
+    }
+    slowest = std::max(slowest, dev.now_us() - t0);
+  }
+  return slowest;
+}
+
+ShardSweep::Exchange ShardSweep::merge_candidates(
+    const std::vector<int>& plan) {
+  // Owner-side OR standing in for the alltoall: every live sender's
+  // candidate bits for owner o's word range travel encoded and are OR-
+  // decoded into o's copy.  The wire time is charged by the caller from
+  // the Exchange totals; host views are declared synced here because the
+  // modelled fabric, not a memcpy, carries the bytes.
+  Exchange ex;
+  for (unsigned s = 0; s < store_.shards(); ++s) {
+    if (plan[s] == kLost) continue;
+    rep(s, plan).next_bm.mark_host_synced();
+  }
+  for (unsigned o = 0; o < store_.shards(); ++o) {
+    if (plan[o] == kLost) continue;
+    ShardedStore::Replica& owner = rep(o, plan);
+    const std::uint64_t w_begin = owner.rows->first_vertex / 64;
+    const std::uint64_t w_end = std::min<std::uint64_t>(
+        words_, (static_cast<std::uint64_t>(owner.rows->first_vertex) +
+                 owner.rows->num_rows + 63) /
+                    64);
+    for (unsigned s = 0; s < store_.shards(); ++s) {
+      if (plan[s] == kLost || s == o) continue;
+      const EncodedFrontier enc = encode_frontier(
+          rep(s, plan).next_bm.host_data(), w_begin, w_end - w_begin);
+      ex.raw += enc.raw_bytes();
+      ex.wire += enc.wire_bytes();
+      if (enc.set_bits != 0) {
+        decode_frontier_or(enc, owner.next_bm.host_data());
+      }
+    }
+  }
+  return ex;
+}
+
+ShardSweep::Exchange ShardSweep::broadcast_cleaned(
+    const std::vector<int>& plan) {
+  // Each live owner encodes its cleaned, boundary-masked slice; every live
+  // replica decodes the full set into its frontier copy.
+  Exchange ex;
+  for (unsigned s = 0; s < store_.shards(); ++s) {
+    if (plan[s] == kLost) continue;
+    rep(s, plan).next_bm.mark_host_synced();
+  }
+  std::vector<std::uint64_t> global(words_, 0);
+  std::vector<std::uint64_t> slice;
+  for (unsigned o = 0; o < store_.shards(); ++o) {
+    if (plan[o] == kLost) continue;
+    const ShardedStore::Replica& g = rep(o, plan);
+    const std::uint64_t w_begin = g.rows->first_vertex / 64;
+    const std::uint64_t w_end = std::min<std::uint64_t>(
+        words_, (static_cast<std::uint64_t>(g.rows->first_vertex) +
+                 g.rows->num_rows + 63) /
+                    64);
+    const std::uint64_t first = g.rows->first_vertex;
+    const std::uint64_t last = first + g.rows->num_rows;  // exclusive
+    slice.assign(w_end - w_begin, 0);
+    for (std::uint64_t w = w_begin; w < w_end; ++w) {
+      std::uint64_t mask = ~std::uint64_t{0};
+      if (w * 64 < first) {
+        mask &= ~((std::uint64_t{1} << (first - w * 64)) - 1);
+      }
+      if ((w + 1) * 64 > last) {
+        const unsigned keep = static_cast<unsigned>(last - w * 64);
+        mask &= keep >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << keep) - 1);
+      }
+      slice[w - w_begin] = g.next_bm.host_data()[w] & mask;
+    }
+    EncodedFrontier enc = encode_frontier(slice.data(), 0, slice.size());
+    // Re-anchor the slice at its global word range: payload positions are
+    // relative to the slice start in both formats, so only the base moves.
+    enc.word_begin = w_begin;
+    ex.raw += enc.raw_bytes();
+    ex.wire += enc.wire_bytes();
+    decode_frontier_or(enc, global.data());
+  }
+  for (unsigned s = 0; s < store_.shards(); ++s) {
+    if (plan[s] == kLost) continue;
+    ShardedStore::Replica& g = rep(s, plan);
+    std::copy(global.begin(), global.end(), g.next_bm.host_data());
+    g.next_bm.mark_device_synced();
+  }
+  return ex;
+}
+
+ShardSweepResult ShardSweep::run(vid_t src, const std::vector<int>& plan) {
+  const graph::Csr& host_g = store_.graph();
+  const unsigned S = store_.shards();
+  if (plan.size() != S) {
+    throw std::invalid_argument("ShardSweep: plan size " +
+                                std::to_string(plan.size()) + " != shards " +
+                                std::to_string(S));
+  }
+  assert(src < host_g.num_vertices());
+  unsigned live = 0;
+  for (unsigned s = 0; s < S; ++s) {
+    if (plan[s] == kLost) continue;
+    if (plan[s] < 0 || static_cast<unsigned>(plan[s]) >= store_.replicas()) {
+      throw std::invalid_argument("ShardSweep: bad replica index in plan");
+    }
+    ++live;
+  }
+  const unsigned src_owner = store_.layout().owner(src);
+  if (plan[src_owner] == kLost) {
+    throw std::invalid_argument(
+        "ShardSweep: source shard " + std::to_string(src_owner) +
+        " is lost — no meaningful result exists");
+  }
+
+  ShardSweepResult result;
+  result.shards_live = live;
+  result.shards_lost = S - live;
+  result.partial = result.shards_lost > 0;
+  reset_for_run(src, plan);
+
+  const dist::FabricModel& fabric = store_.config().fabric;
+  const unsigned grid_rows = store_.layout().grid_rows();
+  const unsigned grid_cols = store_.layout().grid_cols();
+  const bool promotable = live >= 4 && grid_cols > 1;
+
+  // Level-0 frontier metadata from the owner's local rows.
+  const ShardedStore::Replica& owner_rep =
+      store_.replica(src_owner, static_cast<unsigned>(plan[src_owner]));
+  const vid_t r0 = src - owner_rep.rows->first_vertex;
+  std::uint64_t frontier_count = 1;
+  std::uint64_t frontier_edges =
+      owner_rep.rows->offsets[r0 + 1] - owner_rep.rows->offsets[r0];
+  const std::uint64_t m = host_g.num_edges();
+
+  double clock_us = 0, comm_total_us = 0;
+  for (std::uint32_t level = 0;; ++level) {
+    const double ratio =
+        static_cast<double>(frontier_edges) / static_cast<double>(m ? m : 1);
+    const bool bottom_up = ratio > cfg_.alpha;
+
+    ShardLevelStats st;
+    st.level = level;
+    st.bottom_up = bottom_up;
+    st.frontier_count = frontier_count;
+    st.frontier_edges = frontier_edges;
+    st.ratio = ratio;
+
+    double local_us = 0, comm_us = 0;
+    if (bottom_up) {
+      local_us = run_local_bottomup(level, plan);
+      // Claimed bits are already owner-clean: one encoded broadcast.
+      const Exchange bx = broadcast_cleaned(plan);
+      st.raw_bytes += bx.raw;
+      st.wire_bytes += bx.wire;
+      comm_us = fabric.allgather_us(live, bx.wire);
+    } else {
+      local_us = run_local_topdown(plan);
+      const Exchange cx = merge_candidates(plan);
+      local_us += run_claim_phase(level, plan);
+      const Exchange bx = broadcast_cleaned(plan);
+      st.raw_bytes += cx.raw + bx.raw;
+      st.wire_bytes += cx.wire + bx.wire;
+      // Flat: both collectives span every live shard.  Two-phase (the 2D
+      // promotion): candidates move within grid-column groups, the cleaned
+      // frontier broadcasts along grid rows — each collective runs over a
+      // factor-of-p-sized group instead of all p.
+      const double flat = fabric.allgather_us(live, cx.wire) +
+                          fabric.allgather_us(live, bx.wire);
+      if (promotable) {
+        const double two = fabric.allgather_us(grid_rows, cx.wire) +
+                           fabric.allgather_us(grid_cols, bx.wire);
+        st.two_phase = two < flat;
+        comm_us = std::min(two, flat);
+      } else {
+        comm_us = flat;
+      }
+    }
+    comm_us += fabric.allreduce_scalar_us(live);
+
+    // Claim totals travel in the scalar allreduce just charged.
+    std::uint64_t next_count = 0, next_edges = 0;
+    for (unsigned s = 0; s < S; ++s) {
+      if (plan[s] == kLost) continue;
+      ShardedStore::Replica& g = rep(s, plan);
+      g.counters.mark_host_synced();
+      g.edges.mark_host_synced();
+      next_count += g.counters.h_read(kClaimed);
+      next_edges += g.edges.h_read(0);
+    }
+
+    st.local_ms = local_us / 1000.0;
+    st.comm_ms = comm_us / 1000.0;
+    result.level_stats.push_back(st);
+    result.raw_bytes += st.raw_bytes;
+    result.wire_bytes += st.wire_bytes;
+    clock_us += local_us + comm_us;
+    comm_total_us += comm_us;
+
+    if (next_count == 0) break;
+    frontier_count = next_count;
+    frontier_edges = next_edges;
+
+    // Swap bitmaps and clear the new candidate map on every live replica.
+    double clear_us = 0;
+    for (unsigned sh = 0; sh < S; ++sh) {
+      if (plan[sh] == kLost) continue;
+      ShardedStore::Replica& g = rep(sh, plan);
+      std::swap(g.cur_bm, g.next_bm);
+      sim::Device& dev = *g.device;
+      auto next = g.next_bm.span();
+      sim::LaunchConfig lc;
+      lc.block_threads = store_.config().block_threads;
+      lc.grid_blocks =
+          auto_grid_blocks(dev.profile(), words_, lc.block_threads);
+      const double t0 = dev.now_us();
+      try {
+        dev.launch("shard_clear_bitmap", lc, [=](sim::BlockCtx& blk) {
+          auto& ctx = blk.ctx();
+          blk.grid_stride(next.size(), [&](std::uint64_t w) {
+            ctx.store(next, w, std::uint64_t{0});
+          });
+        });
+      } catch (const sim::FaultInjected& f) {
+        throw ShardSweepFault(sh, static_cast<unsigned>(plan[sh]), f.what());
+      }
+      clear_us = std::max(clear_us, dev.now_us() - t0);
+    }
+    clock_us += clear_us;
+  }
+
+  // Gather global levels from the live owned status slices; lost shards'
+  // ranges stay -1 (the partial contract).
+  result.levels.assign(host_g.num_vertices(), -1);
+  std::uint64_t reached_degree = 0;
+  for (unsigned s = 0; s < S; ++s) {
+    if (plan[s] == kLost) continue;
+    const ShardedStore::Replica& g = rep(s, plan);
+    g.device->memcpy_d2h(g.rows->num_rows * sizeof(std::uint32_t));
+    g.status.mark_host_synced();
+    for (vid_t r = 0; r < g.rows->num_rows; ++r) {
+      const std::uint32_t stv = g.status.h_read(r);
+      if (stv != kUnvisited) {
+        result.levels[g.rows->first_vertex + r] =
+            static_cast<std::int32_t>(stv);
+        reached_degree += g.rows->offsets[r + 1] - g.rows->offsets[r];
+      }
+    }
+  }
+
+  result.depth = static_cast<std::uint32_t>(result.level_stats.size());
+  result.total_ms = clock_us / 1000.0;
+  result.comm_ms = comm_total_us / 1000.0;
+  result.edges_traversed = reached_degree / 2;
+  result.gteps = core::safe_gteps(result.edges_traversed, result.total_ms);
+  return result;
+}
+
+}  // namespace xbfs::shard

@@ -42,6 +42,59 @@ TEST(Partition1D, SinglePartOwnsEverything) {
   EXPECT_EQ(part.owner(99), 0u);
 }
 
+TEST(Partition1D, PartsExceedingVerticesYieldEmptyRanges) {
+  // More parts than vertices: ranges stay contiguous and sorted, the extra
+  // parts own nothing, and owner() still agrees with the ranges.
+  const Partition1D part(3, 8);
+  graph::vid_t covered = 0;
+  for (unsigned p = 0; p < 8; ++p) {
+    EXPECT_EQ(part.begin(p), covered);
+    covered = part.end(p);
+    EXPECT_LE(part.owned(p), 1u);
+  }
+  EXPECT_EQ(covered, 3u);
+  for (graph::vid_t v = 0; v < 3; ++v) {
+    const unsigned p = part.owner(v);
+    EXPECT_GE(v, part.begin(p));
+    EXPECT_LT(v, part.end(p));
+  }
+}
+
+TEST(Partition1D, EmptyGraphHasOnlyEmptyRanges) {
+  const Partition1D part(0, 4);
+  for (unsigned p = 0; p < 4; ++p) {
+    EXPECT_EQ(part.begin(p), 0u);
+    EXPECT_EQ(part.owned(p), 0u);
+  }
+}
+
+TEST(Partition1D, SingleVertexPartsOwnExactlyTheirIndex) {
+  const Partition1D part(5, 5);
+  for (graph::vid_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(part.owned(v), 1u);
+    EXPECT_EQ(part.owner(v), v);
+  }
+}
+
+TEST(Partition1D, OwnerAgreesWithRangesAcrossUnevenBoundaries) {
+  // 10001 over 7 parts: every boundary is uneven, so the owner() jump
+  // estimate must correct in both directions.  Check every vertex.
+  const Partition1D part(10001, 7);
+  unsigned expected = 0;
+  for (graph::vid_t v = 0; v < 10001; ++v) {
+    while (v >= part.end(expected)) ++expected;
+    ASSERT_EQ(part.owner(v), expected) << "v=" << v;
+  }
+  EXPECT_EQ(expected, 6u);
+}
+
+TEST(Partition1D, LayoutHashIsStableAndSeparatesLayouts) {
+  const Partition1D a(10000, 4);
+  EXPECT_EQ(a.layout_hash(), Partition1D(10000, 4).layout_hash());
+  EXPECT_NE(a.layout_hash(), Partition1D(10000, 8).layout_hash());
+  EXPECT_NE(a.layout_hash(), Partition1D(10001, 4).layout_hash());
+}
+
 TEST(ExtractLocalRows, RebasedOffsetsAndGlobalColumns) {
   const graph::Csr g = graph::build_csr(6, {{0, 5}, {2, 3}, {4, 5}, {1, 4}});
   const Partition1D part(6, 2);  // [0,3) and [3,6)

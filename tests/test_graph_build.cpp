@@ -98,6 +98,27 @@ TEST(Csr, FingerprintEpochMixing) {
   EXPECT_NE(a.fingerprint(3), c.fingerprint(3));
 }
 
+// The salt-mixing contract (docs/sharding.md), the epoch contract's twin:
+// the sharded tier keys its result cache on mix_fingerprint(fp, layout
+// hash), so results computed under one partition layout are never served
+// after a re-shard of the same graph.
+TEST(Csr, FingerprintSaltMixing) {
+  const Csr a = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::uint64_t fp = a.fingerprint();
+  // Mixing is deterministic and separates salts (and the unsalted key).
+  EXPECT_EQ(mix_fingerprint(fp, 4), mix_fingerprint(fp, 4));
+  EXPECT_NE(mix_fingerprint(fp, 4), mix_fingerprint(fp, 8));
+  EXPECT_NE(mix_fingerprint(fp, 4), fp);
+  // Zero is a real salt, not an identity: even salt 0 moves the key.
+  EXPECT_NE(mix_fingerprint(fp, 0), fp);
+  // Structure still dominates: different graphs differ under the same salt.
+  const Csr c = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_NE(mix_fingerprint(fp, 4), mix_fingerprint(c.fingerprint(), 4));
+  // Salt and epoch mixing compose without aliasing each other.
+  EXPECT_NE(mix_fingerprint(a.fingerprint(1), 4),
+            mix_fingerprint(a.fingerprint(2), 4));
+}
+
 class IoRoundTrip : public ::testing::Test {
  protected:
   std::string path(const char* name) {

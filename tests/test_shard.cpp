@@ -1,0 +1,408 @@
+// Tests for the sharded serving tier's storage and sweep layers: the
+// frontier wire codec, the shard layout (1D partition + 2D grid), the
+// budget-checked ShardedStore, and the plan-driven distributed sweep.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <queue>
+
+#include "graph/generators.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "shard/frontier_codec.h"
+#include "shard/layout.h"
+#include "shard/shard_bfs.h"
+#include "shard/sharded_store.h"
+
+namespace xbfs::shard {
+namespace {
+
+// --- frontier codec ---------------------------------------------------------
+
+TEST(FrontierCodec, VarintRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t values[] = {0,   1,    127,        128,
+                                  129, 4000, 1ull << 40, ~0ull};
+  for (const std::uint64_t v : values) put_varint(buf, v);
+  const std::uint8_t* p = buf.data();
+  const std::uint8_t* end = p + buf.size();
+  for (const std::uint64_t v : values) {
+    std::uint64_t out = 0;
+    p = get_varint(p, end, &out);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(p, end);
+}
+
+TEST(FrontierCodec, VarintRejectsTruncatedAndOverlong) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1ull << 40);
+  std::uint64_t out = 0;
+  // Truncated: stop one byte short of the terminator.
+  EXPECT_EQ(get_varint(buf.data(), buf.data() + buf.size() - 1, &out),
+            nullptr);
+  // Overlong: eleven continuation bytes never terminate within 64 bits.
+  const std::vector<std::uint8_t> overlong(11, 0x80);
+  EXPECT_EQ(get_varint(overlong.data(), overlong.data() + overlong.size(),
+                       &out),
+            nullptr);
+}
+
+TEST(FrontierCodec, SparseFrontierUsesDeltaVarintAndRoundTrips) {
+  std::vector<std::uint64_t> words(64, 0);
+  const std::uint64_t positions[] = {3, 64, 777, 2048, 4095};
+  for (const std::uint64_t pos : positions) {
+    words[pos / 64] |= std::uint64_t{1} << (pos % 64);
+  }
+  const EncodedFrontier enc = encode_frontier(words.data(), 0, words.size());
+  EXPECT_EQ(enc.format, FrontierFormat::DeltaVarint);
+  EXPECT_EQ(enc.set_bits, 5u);
+  EXPECT_LT(enc.wire_bytes(), enc.raw_bytes());
+
+  std::vector<std::uint64_t> out(64, 0);
+  EXPECT_EQ(decode_frontier_or(enc, out.data()), 5u);
+  EXPECT_EQ(out, words);
+}
+
+TEST(FrontierCodec, DenseFrontierFallsBackToBitmap) {
+  std::vector<std::uint64_t> words(8, ~std::uint64_t{0});
+  const EncodedFrontier enc = encode_frontier(words.data(), 0, words.size());
+  EXPECT_EQ(enc.format, FrontierFormat::Bitmap);
+  EXPECT_EQ(enc.set_bits, 8u * 64u);
+  std::vector<std::uint64_t> out(8, 0);
+  EXPECT_EQ(decode_frontier_or(enc, out.data()), 8u * 64u);
+  EXPECT_EQ(out, words);
+}
+
+TEST(FrontierCodec, EmptyFrontierEncodesAndAppliesNothing) {
+  std::vector<std::uint64_t> words(4, 0);
+  const EncodedFrontier enc = encode_frontier(words.data(), 0, words.size());
+  EXPECT_EQ(enc.set_bits, 0u);
+  std::vector<std::uint64_t> out(4, 0xdeadbeefull);
+  EXPECT_EQ(decode_frontier_or(enc, out.data()), 0u);
+  EXPECT_EQ(out[0], 0xdeadbeefull);
+}
+
+TEST(FrontierCodec, WordRangeSlicesLandAtGlobalPositions) {
+  std::vector<std::uint64_t> words(16, 0);
+  words[5] = 0b1011;
+  words[7] = std::uint64_t{1} << 63;
+  const EncodedFrontier enc = encode_frontier(words.data(), 5, 3);
+  std::vector<std::uint64_t> out(16, 0);
+  decode_frontier_or(enc, out.data());
+  EXPECT_EQ(out[5], 0b1011ull);
+  EXPECT_EQ(out[7], std::uint64_t{1} << 63);
+  EXPECT_EQ(out[6], 0ull);
+}
+
+TEST(FrontierCodec, ReanchoredSliceDecodesAtNewBase) {
+  // The broadcast path encodes a rebased slice (word_begin = 0) and then
+  // re-anchors it by patching word_begin: payload positions are
+  // slice-relative in both formats, so only the base moves.
+  std::vector<std::uint64_t> slice(3, 0);
+  slice[0] = 0b101;
+  slice[2] = 0b10;
+  for (const bool dense : {false, true}) {
+    std::vector<std::uint64_t> s = slice;
+    if (dense) s[1] = ~std::uint64_t{0};  // force the bitmap format
+    EncodedFrontier enc = encode_frontier(s.data(), 0, s.size());
+    enc.word_begin = 9;
+    std::vector<std::uint64_t> out(16, 0);
+    decode_frontier_or(enc, out.data());
+    EXPECT_EQ(out[9], s[0]);
+    EXPECT_EQ(out[10], s[1]);
+    EXPECT_EQ(out[11], s[2]);
+  }
+}
+
+TEST(FrontierCodec, DecodeOrsIntoExistingBits) {
+  std::vector<std::uint64_t> words(2, 0);
+  words[0] = 0b100;
+  const EncodedFrontier enc = encode_frontier(words.data(), 0, 2);
+  std::vector<std::uint64_t> out(2, 0);
+  out[0] = 0b001;
+  decode_frontier_or(enc, out.data());
+  EXPECT_EQ(out[0], 0b101ull);
+}
+
+// --- layout -----------------------------------------------------------------
+
+TEST(ShardLayout, GridIsNearSquareFactorization) {
+  for (const unsigned shards : {1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u, 17u}) {
+    const ShardLayout lay(10000, shards);
+    EXPECT_EQ(lay.grid_rows() * lay.grid_cols(), shards);
+    EXPECT_GE(lay.grid_rows(), lay.grid_cols());
+    // cols is the largest divisor <= sqrt(shards).
+    EXPECT_LE(lay.grid_cols() * lay.grid_cols(), shards);
+  }
+  EXPECT_EQ(ShardLayout(100, 4).grid_cols(), 2u);
+  EXPECT_EQ(ShardLayout(100, 17).grid_cols(), 1u);  // prime: flat row
+}
+
+TEST(ShardLayout, LayoutHashSeparatesShardCounts) {
+  const std::uint64_t h4 = ShardLayout(10000, 4).layout_hash();
+  const std::uint64_t h8 = ShardLayout(10000, 8).layout_hash();
+  const std::uint64_t h4b = ShardLayout(10000, 4).layout_hash();
+  EXPECT_NE(h4, h8);
+  EXPECT_EQ(h4, h4b);
+  EXPECT_NE(ShardLayout(10001, 4).layout_hash(), h4);
+}
+
+// --- sharded store ----------------------------------------------------------
+
+ShardStoreConfig small_cfg(unsigned shards, unsigned replicas = 1) {
+  ShardStoreConfig cfg;
+  cfg.shards = shards;
+  cfg.replicas = replicas;
+  cfg.device_options.num_workers = 1;
+  return cfg;
+}
+
+TEST(ShardedStore, BudgetRejectionNamesMinimumShardCount) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 3;
+  const graph::Csr g = graph::rmat_csr(p);
+  ShardStoreConfig cfg = small_cfg(2);
+  // A budget below the 2-way worst slice but above the 8-way one.
+  cfg.device_budget_bytes = ShardedStore::estimate_replica_bytes(g, 8);
+  ASSERT_LT(cfg.device_budget_bytes, ShardedStore::estimate_replica_bytes(g, 2));
+  try {
+    ShardedStore store(g, cfg);
+    FAIL() << "expected budget rejection";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("re-shard to >= "),
+              std::string::npos);
+  }
+}
+
+TEST(ShardedStore, MemoryReportShowsOversubscription) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = 5;
+  const graph::Csr g = graph::rmat_csr(p);
+  ShardStoreConfig cfg = small_cfg(4);
+  cfg.device_budget_bytes =
+      ShardedStore::estimate_replica_bytes(g, 4) * 5 / 4;
+  const ShardedStore store(g, cfg);
+  const ShardMemoryReport rep = store.memory_report();
+  EXPECT_TRUE(rep.fits);
+  // The whole graph would not fit one budget-sized device: that is the
+  // point of sharding it.
+  EXPECT_GT(rep.oversubscription, 2.0);
+  EXPECT_GT(rep.single_device_bytes, rep.budget_bytes);
+  EXPECT_LE(rep.max_shard_bytes, rep.budget_bytes);
+  EXPECT_GT(rep.min_shards, 1u);
+}
+
+TEST(ShardedStore, KillAndReviveTrackHealthyReplicas) {
+  const graph::Csr g = graph::build_csr(64, {{0, 1}, {1, 2}, {2, 3}});
+  const ShardStoreConfig cfg = small_cfg(2, 2);
+  ShardedStore store(g, cfg);
+  EXPECT_EQ(store.num_slots(), 4u);
+  EXPECT_EQ(store.healthy_replicas(0), 2u);
+  store.kill_replica(0, 1);
+  EXPECT_FALSE(store.alive(0, 1));
+  EXPECT_EQ(store.healthy_replicas(0), 1u);
+  EXPECT_EQ(store.healthy_replicas(1), 2u);
+  store.revive_replica(0, 1);
+  EXPECT_EQ(store.healthy_replicas(0), 2u);
+}
+
+TEST(ShardedStore, FingerprintSaltChangesOnReshard) {
+  const graph::Csr g = graph::build_csr(256, {{0, 1}, {100, 200}});
+  const ShardedStore s4(g, small_cfg(4));
+  const ShardedStore s8(g, small_cfg(8));
+  EXPECT_NE(s4.fingerprint_salt(), s8.fingerprint_salt());
+  // Same layout, same salt: a rebuilt store keeps its cache keys.
+  const ShardedStore s4b(g, small_cfg(4));
+  EXPECT_EQ(s4.fingerprint_salt(), s4b.fingerprint_salt());
+}
+
+TEST(ShardedStore, ConfigValidationRejectsNonsense) {
+  const graph::Csr g = graph::build_csr(8, {{0, 1}});
+  ShardStoreConfig cfg = small_cfg(0);
+  EXPECT_THROW(ShardedStore(g, cfg), std::invalid_argument);
+  cfg = small_cfg(2);
+  cfg.replicas = 0;
+  EXPECT_THROW(ShardedStore(g, cfg), std::invalid_argument);
+}
+
+// --- the sweep --------------------------------------------------------------
+
+std::vector<int> full_plan(const ShardedStore& store) {
+  return std::vector<int>(store.shards(), 0);
+}
+
+/// Reference BFS over the subgraph induced by dropping every vertex whose
+/// owner shard is lost — the contract ShardSweep::run documents.
+std::vector<std::int32_t> reference_bfs_without(
+    const graph::Csr& g, graph::vid_t src, const ShardLayout& lay,
+    const std::vector<int>& plan) {
+  std::vector<std::int32_t> levels(g.num_vertices(), -1);
+  if (plan[lay.owner(src)] == ShardSweep::kLost) return levels;
+  std::queue<graph::vid_t> q;
+  levels[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const graph::vid_t v = q.front();
+    q.pop();
+    for (graph::eid_t e = g.offsets()[v]; e < g.offsets()[v + 1]; ++e) {
+      const graph::vid_t w = g.cols()[e];
+      if (levels[w] != -1) continue;
+      if (plan[lay.owner(w)] == ShardSweep::kLost) continue;
+      levels[w] = levels[v] + 1;
+      q.push(w);
+    }
+  }
+  return levels;
+}
+
+void expect_sweep_matches_reference(const graph::Csr& g, unsigned shards,
+                                    double alpha = 0.1) {
+  ShardStoreConfig cfg = small_cfg(shards);
+  ShardedStore store(g, cfg);
+  ShardSweepConfig scfg;
+  scfg.alpha = alpha;
+  ShardSweep sweep(store, scfg);
+  const auto giant = graph::largest_component_vertices(g);
+  for (graph::vid_t src : {giant.front(), giant[giant.size() / 2]}) {
+    const ShardSweepResult r = sweep.run(src, full_plan(store));
+    const auto ref = graph::reference_bfs(g, src);
+    ASSERT_EQ(r.levels.size(), ref.size());
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(r.levels[v], ref[v])
+          << "shards=" << shards << " src=" << src << " v=" << v;
+    }
+    EXPECT_FALSE(r.partial);
+    EXPECT_EQ(r.shards_live, shards);
+    EXPECT_GT(r.total_ms, 0.0);
+    if (shards > 1) {
+      EXPECT_GT(r.comm_ms, 0.0);
+      EXPECT_GT(r.wire_bytes, 0u);
+      EXPECT_GE(r.raw_bytes, r.wire_bytes / 4);  // wire has per-msg headers
+    }
+  }
+}
+
+class ShardSweepParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardSweepParam, MatchesReferenceOnRmat) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = 7;
+  expect_sweep_matches_reference(graph::rmat_csr(p), GetParam());
+}
+
+TEST_P(ShardSweepParam, MatchesReferenceOnLongDiameter) {
+  expect_sweep_matches_reference(graph::layered_citation(4000, 50, 4, 3),
+                                 GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardSweepParam,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+TEST(ShardSweep, LostShardEqualsVertexDeletedSubgraph) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 11;
+  const graph::Csr g = graph::rmat_csr(p);
+  ShardedStore store(g, small_cfg(4));
+  ShardSweep sweep(store, {});
+  const auto giant = graph::largest_component_vertices(g);
+  const graph::vid_t src = giant.front();
+  const unsigned owner = store.layout().owner(src);
+
+  std::vector<int> plan = full_plan(store);
+  const unsigned lost = owner == 3 ? 0 : 3;
+  plan[lost] = ShardSweep::kLost;
+
+  const ShardSweepResult r = sweep.run(src, plan);
+  EXPECT_TRUE(r.partial);
+  EXPECT_EQ(r.shards_lost, 1u);
+  EXPECT_EQ(r.shards_live, 3u);
+  const auto ref = reference_bfs_without(g, src, store.layout(), plan);
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.levels[v], ref[v]) << "v=" << v;
+  }
+  // The lost range really is all unreached.
+  for (graph::vid_t v = store.layout().begin(lost);
+       v < store.layout().end(lost); ++v) {
+    ASSERT_EQ(r.levels[v], -1);
+  }
+}
+
+TEST(ShardSweep, LostSourceShardThrows) {
+  const graph::Csr g = graph::build_csr(64, {{0, 1}, {1, 2}});
+  ShardedStore store(g, small_cfg(4));
+  ShardSweep sweep(store, {});
+  std::vector<int> plan = full_plan(store);
+  plan[store.layout().owner(0)] = ShardSweep::kLost;
+  EXPECT_THROW(sweep.run(0, plan), std::invalid_argument);
+}
+
+TEST(ShardSweep, MalformedPlanThrows) {
+  const graph::Csr g = graph::build_csr(64, {{0, 1}});
+  ShardedStore store(g, small_cfg(2));
+  ShardSweep sweep(store, {});
+  EXPECT_THROW(sweep.run(0, {0}), std::invalid_argument);       // wrong size
+  EXPECT_THROW(sweep.run(0, {0, 7}), std::invalid_argument);    // bad replica
+}
+
+TEST(ShardSweep, RunsOnNonZeroReplicas) {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 13;
+  const graph::Csr g = graph::rmat_csr(p);
+  ShardedStore store(g, small_cfg(2, 2));
+  ShardSweep sweep(store, {});
+  const auto giant = graph::largest_component_vertices(g);
+  const std::vector<int> plan = {1, 0};  // mixed replica row
+  const ShardSweepResult r = sweep.run(giant.front(), plan);
+  const auto ref = graph::reference_bfs(g, giant.front());
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(r.levels[v], ref[v]);
+  }
+}
+
+TEST(ShardSweep, TwoPhasePromotionOnlyOnTopDownLevels) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 8;
+  p.seed = 17;
+  const graph::Csr g = graph::rmat_csr(p);
+  ShardedStore store(g, small_cfg(4));  // grid 2x2: promotion is on the table
+  EXPECT_EQ(store.layout().grid_cols(), 2u);
+  ShardSweep sweep(store, {});
+  const auto giant = graph::largest_component_vertices(g);
+  const ShardSweepResult r = sweep.run(giant.front(), full_plan(store));
+  for (const ShardLevelStats& st : r.level_stats) {
+    if (st.bottom_up) EXPECT_FALSE(st.two_phase);
+  }
+}
+
+TEST(ShardSweep, CompressedExchangeBeatsRawBitmapsOnSparseLevels) {
+  // Deep, narrow frontiers: nearly every exchanged slice is sparse, so the
+  // delta-varint wire total must come in far below the raw bitmap total.
+  const graph::Csr g = graph::layered_citation(6000, 60, 4, 3);
+  ShardedStore store(g, small_cfg(4));
+  ShardSweepConfig cfg;
+  cfg.alpha = 2.0;  // top-down only: both exchange kinds every level
+  ShardSweep sweep(store, cfg);
+  const auto giant = graph::largest_component_vertices(g);
+  const ShardSweepResult r = sweep.run(giant.front(), full_plan(store));
+  EXPECT_GT(r.raw_bytes, 0u);
+  EXPECT_LT(r.wire_bytes, r.raw_bytes / 2);
+}
+
+}  // namespace
+}  // namespace xbfs::shard

@@ -1,0 +1,428 @@
+// ShardRouter tests: scatter-gather serving over a partitioned store —
+// admission/caching/backpressure mirrored from the single-graph server,
+// plus the behaviours only a sharded tier has: re-shard cache
+// invalidation, reroute-around-dead-replica, and partial degradation when
+// a whole replica group is lost.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/g500_validate.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/fault.h"
+#include "shard/router.h"
+#include "shard/sharded_store.h"
+
+namespace xbfs::shard {
+namespace {
+
+graph::Csr toy_graph(unsigned scale, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return graph::rmat_csr(p);
+}
+
+ShardStoreConfig store_cfg(unsigned shards, unsigned replicas = 1) {
+  ShardStoreConfig cfg;
+  cfg.shards = shards;
+  cfg.replicas = replicas;
+  cfg.device_options.num_workers = 1;
+  return cfg;
+}
+
+/// Manual dispatch + zero backoff: tests drive cycles explicitly and run
+/// in milliseconds even when every attempt fails.
+RouterConfig manual_cfg() {
+  RouterConfig cfg;
+  cfg.manual_dispatch = true;
+  cfg.retry_backoff_ms = 0.0;
+  cfg.breaker_cooldown_ms = 0.1;
+  return cfg;
+}
+
+serve::QueryResult run_one(ShardRouter& router, graph::vid_t src,
+                           serve::QueryOptions qo = {}) {
+  serve::Admission a = router.submit(src, qo);
+  EXPECT_TRUE(a.accepted) << a.status.to_string();
+  router.dispatch_once();
+  return a.result.get();
+}
+
+/// Tests own the process-wide injector and always hand it back disabled.
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::FaultInjector::global().disable(); }
+  void TearDown() override { sim::FaultInjector::global().disable(); }
+};
+
+TEST_F(ShardRouterTest, ServesReferenceCorrectLevels) {
+  const graph::Csr g = toy_graph(10, 21);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(4));
+  ShardRouter router(store, manual_cfg());
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const serve::QueryResult r = run_one(router, giant[i]);
+    ASSERT_EQ(r.status, serve::QueryStatus::Completed) << r.error.to_string();
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, giant[i]));
+    EXPECT_EQ(r.shards, 4u);
+    EXPECT_EQ(r.shards_lost, 0u);
+    EXPECT_FALSE(r.partial);
+    EXPECT_EQ(r.engine, "shard-sweep");
+    EXPECT_EQ(r.attempts, 1u);
+  }
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.completed, 4u);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.levels_swept, 0u);
+  EXPECT_GT(st.exchange_wire_bytes, 0u);
+  EXPECT_GE(st.compression_ratio, 0.5);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, ThreadedWorkersDrainEverything) {
+  const graph::Csr g = toy_graph(9, 22);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2, 2));
+  RouterConfig cfg;
+  cfg.workers = 2;
+  ShardRouter router(store, cfg);
+
+  std::vector<serve::Admission> pending;
+  for (std::size_t i = 0; i < 12; ++i) {
+    serve::QueryOptions qo;
+    qo.bypass_cache = (i % 2 == 0);
+    serve::Admission a = router.submit(giant[i % giant.size()], qo);
+    ASSERT_TRUE(a.accepted);
+    pending.push_back(std::move(a));
+  }
+  router.drain();
+  for (auto& a : pending) {
+    const serve::QueryResult r = a.result.get();
+    ASSERT_EQ(r.status, serve::QueryStatus::Completed) << r.error.to_string();
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+  }
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, SecondQuerySameSourceHitsTheCache) {
+  const graph::Csr g = toy_graph(9, 23);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2));
+  ShardRouter router(store, manual_cfg());
+
+  const serve::QueryResult cold = run_one(router, giant[0]);
+  ASSERT_EQ(cold.status, serve::QueryStatus::Completed);
+  EXPECT_FALSE(cold.cache_hit);
+
+  serve::Admission a = router.submit(giant[0]);
+  ASSERT_TRUE(a.accepted);
+  const serve::QueryResult hot = a.result.get();  // resolves without dispatch
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_EQ(hot.levels, cold.levels);  // same shared object, not a copy
+  EXPECT_EQ(hot.shards, 2u);
+  EXPECT_EQ(router.stats().cache_hits, 1u);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, ReshardChangesTheServingFingerprint) {
+  // The cache key is fingerprint ⊕ layout: the same graph sharded two ways
+  // must not share cached results, and a same-shaped rebuild must.
+  const graph::Csr g = toy_graph(9, 24);
+  ShardedStore s4(g, store_cfg(4));
+  ShardedStore s8(g, store_cfg(8));
+  ShardedStore s4b(g, store_cfg(4));
+  ShardRouter r4(s4, manual_cfg());
+  ShardRouter r8(s8, manual_cfg());
+  ShardRouter r4b(s4b, manual_cfg());
+  EXPECT_NE(r4.serving_fingerprint(), r8.serving_fingerprint());
+  EXPECT_EQ(r4.serving_fingerprint(), r4b.serving_fingerprint());
+  // And both differ from the bare graph fingerprint (the unsharded tier).
+  EXPECT_NE(r4.serving_fingerprint(), g.fingerprint());
+  r4.shutdown();
+  r8.shutdown();
+  r4b.shutdown();
+}
+
+TEST_F(ShardRouterTest, InvalidSourceAndBackpressureAreRejected) {
+  const graph::Csr g = toy_graph(8, 25);
+  ShardedStore store(g, store_cfg(2));
+  RouterConfig cfg = manual_cfg();
+  cfg.queue_capacity = 2;
+  cfg.cache_capacity = 0;  // no cache fast-path interference
+  ShardRouter router(store, cfg);
+
+  serve::Admission bad = router.submit(g.num_vertices() + 5);
+  EXPECT_FALSE(bad.accepted);
+  EXPECT_EQ(bad.status.code(), StatusCode::InvalidArgument);
+
+  ASSERT_TRUE(router.submit(0).accepted);
+  ASSERT_TRUE(router.submit(1).accepted);
+  serve::Admission full = router.submit(2);
+  EXPECT_FALSE(full.accepted);
+  EXPECT_EQ(full.status.code(), StatusCode::QueueFull);
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.rejected_invalid, 1u);
+  EXPECT_EQ(st.rejected_full, 1u);
+  router.dispatch_once();
+  router.shutdown();
+  EXPECT_FALSE(router.submit(0).accepted);
+  EXPECT_EQ(router.stats().rejected_shutdown, 1u);
+}
+
+TEST_F(ShardRouterTest, KilledReplicaReroutesWithoutFailing) {
+  const graph::Csr g = toy_graph(10, 26);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2, 2));
+  ShardRouter router(store, manual_cfg());
+
+  store.kill_replica(0, 0);  // preferred replica of shard 0 for even ids
+  for (std::size_t i = 0; i < 4; ++i) {
+    const serve::QueryResult r = run_one(router, giant[i]);
+    ASSERT_EQ(r.status, serve::QueryStatus::Completed) << r.error.to_string();
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+    EXPECT_FALSE(r.partial);
+  }
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.rerouted, 0u);
+  EXPECT_EQ(st.partial_queries, 0u);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, WholeReplicaGroupLostDegradesToPartial) {
+  const graph::Csr g = toy_graph(10, 27);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(4));
+  ShardRouter router(store, manual_cfg());
+
+  const graph::vid_t src = giant.front();
+  const unsigned owner = store.layout().owner(src);
+  const unsigned lost = owner == 3 ? 0 : 3;
+  store.kill_replica(lost, 0);  // replicas=1: the whole group is gone
+
+  serve::QueryOptions qo;
+  qo.bypass_cache = true;
+  const serve::QueryResult r = run_one(router, src, qo);
+  ASSERT_EQ(r.status, serve::QueryStatus::Completed) << r.error.to_string();
+  EXPECT_TRUE(r.partial);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.shards_lost, 1u);
+  EXPECT_FALSE(r.error.ok());  // Unavailable detail rides along
+  EXPECT_EQ(r.error.code(), StatusCode::Unavailable);
+  // Live ranges are exact; the lost range is all unreached.
+  const auto ref = graph::reference_bfs(g, src);
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (store.layout().owner(v) == lost) {
+      ASSERT_EQ((*r.levels)[v], -1);
+    }
+  }
+  ASSERT_EQ((*r.levels)[src], 0);
+
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.partial_queries, 1u);
+  EXPECT_GT(st.lost_shard_events, 0u);
+  EXPECT_EQ(st.failed, 0u);
+
+  // Partial results are never published: a resubmit after revival must
+  // produce the full result, not replay the degraded one.
+  store.revive_replica(lost, 0);
+  const serve::QueryResult full = run_one(router, src);
+  ASSERT_EQ(full.status, serve::QueryStatus::Completed);
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_FALSE(full.partial);
+  EXPECT_EQ(*full.levels, ref);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, PartialDisallowedFailsUnavailable) {
+  const graph::Csr g = toy_graph(9, 28);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(4));
+  RouterConfig cfg = manual_cfg();
+  cfg.allow_partial = false;
+  ShardRouter router(store, cfg);
+
+  const graph::vid_t src = giant.front();
+  const unsigned lost = store.layout().owner(src) == 3 ? 0 : 3;
+  store.kill_replica(lost, 0);
+
+  const serve::QueryResult r = run_one(router, src);
+  EXPECT_EQ(r.status, serve::QueryStatus::Failed);
+  EXPECT_EQ(r.error.code(), StatusCode::Unavailable);
+  EXPECT_EQ(router.stats().unavailable_failures, 1u);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, LostSourceShardFailsUnavailable) {
+  const graph::Csr g = toy_graph(9, 29);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(4));
+  ShardRouter router(store, manual_cfg());
+
+  const graph::vid_t src = giant.front();
+  store.kill_replica(store.layout().owner(src), 0);
+
+  const serve::QueryResult r = run_one(router, src);
+  EXPECT_EQ(r.status, serve::QueryStatus::Failed);
+  EXPECT_EQ(r.error.code(), StatusCode::Unavailable);
+  EXPECT_FALSE(r.levels);
+  router.shutdown();
+}
+
+TEST_F(ShardRouterTest, ExpiredQueriesResolveWithoutASweep) {
+  const graph::Csr g = toy_graph(8, 30);
+  ShardedStore store(g, store_cfg(2));
+  ShardRouter router(store, manual_cfg());
+
+  serve::QueryOptions qo;
+  qo.timeout_ms = 1e-6;  // already past the deadline by dispatch time
+  qo.bypass_cache = true;
+  serve::Admission a = router.submit(0, qo);
+  ASSERT_TRUE(a.accepted);
+  router.dispatch_once();
+  const serve::QueryResult r = a.result.get();
+  EXPECT_EQ(r.status, serve::QueryStatus::Expired);
+  EXPECT_FALSE(r.levels);
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.expired, 1u);
+  EXPECT_EQ(st.sweeps, 0u);
+  router.shutdown();
+}
+
+// --- chaos: injected faults against the sharded tier -------------------------
+
+class ShardChaos : public ShardRouterTest {
+ protected:
+  static void inject(double kernel, double memcpy, std::uint64_t seed) {
+    sim::FaultConfig fc;
+    fc.kernel_fault_rate = kernel;
+    fc.memcpy_corruption_rate = memcpy;
+    fc.seed = seed;
+    sim::FaultInjector::global().configure(fc);
+  }
+};
+
+TEST_F(ShardChaos, KernelFaultsRerouteToSiblingReplicasAndValidate) {
+  const graph::Csr g = toy_graph(9, 31);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2, 2));
+  RouterConfig cfg = manual_cfg();
+  // A sweep makes O(levels * shards) launches, so the per-launch rate must
+  // stay low for "most attempts succeed" to hold; 1% still faults roughly
+  // every other sweep here.
+  cfg.max_attempts = 6;
+  inject(/*kernel=*/0.01, /*memcpy=*/0.0, /*seed=*/51);
+  ShardRouter router(store, cfg);
+
+  std::vector<serve::Admission> pending;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      serve::QueryOptions qo;
+      qo.bypass_cache = true;  // fresh fault draws every cycle
+      serve::Admission a = router.submit(giant[i], qo);
+      ASSERT_TRUE(a.accepted);
+      pending.push_back(std::move(a));
+    }
+    router.dispatch_once();
+  }
+  for (auto& a : pending) {
+    const serve::QueryResult r = a.result.get();
+    ASSERT_EQ(r.status, serve::QueryStatus::Completed) << r.error.to_string();
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+    EXPECT_TRUE(
+        graph::validate_levels_graph500(g, r.source, *r.levels).empty());
+    EXPECT_TRUE(r.validated);  // Auto validation is active under injection
+    EXPECT_FALSE(r.partial);
+  }
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.faults_seen, 0u);
+  EXPECT_GT(st.retries, 0u);
+  router.shutdown();
+}
+
+TEST_F(ShardChaos, CorruptedTransfersAreCaughtByValidationAndRetried) {
+  const graph::Csr g = toy_graph(9, 32);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2, 2));
+  RouterConfig cfg = manual_cfg();
+  cfg.max_attempts = 8;
+  inject(/*kernel=*/0.0, /*memcpy=*/0.05, /*seed=*/52);
+  ShardRouter router(store, cfg);
+
+  unsigned completed = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    serve::QueryOptions qo;
+    qo.bypass_cache = true;
+    const serve::QueryResult r = run_one(router, giant[i], qo);
+    if (r.status != serve::QueryStatus::Completed) continue;  // exhausted
+    ++completed;
+    EXPECT_EQ(*r.levels, graph::reference_bfs(g, r.source));
+    EXPECT_TRUE(r.validated);
+  }
+  EXPECT_GT(completed, 0u);
+  const RouterStats st = router.stats();
+  // Either validation tripped (corruption surfaced on a shard copy) or no
+  // corrupting draw hit a levels transfer; the former is the interesting
+  // path and this seed/rate makes it overwhelmingly likely.
+  EXPECT_GT(st.validation_failures + st.faults_seen, 0u);
+  EXPECT_EQ(st.completed, completed);
+  router.shutdown();
+}
+
+TEST_F(ShardChaos, CertainFaultsExhaustAttemptsAndFailCleanly) {
+  const graph::Csr g = toy_graph(8, 33);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2));
+  RouterConfig cfg = manual_cfg();
+  cfg.max_attempts = 2;
+  inject(/*kernel=*/1.0, /*memcpy=*/0.0, /*seed=*/53);
+  ShardRouter router(store, cfg);
+
+  const serve::QueryResult r = run_one(router, giant[0]);
+  EXPECT_EQ(r.status, serve::QueryStatus::Failed);
+  const StatusCode c = r.error.code();
+  EXPECT_TRUE(c == StatusCode::FaultInjected || c == StatusCode::Unavailable)
+      << r.error.to_string();
+  const RouterStats st = router.stats();
+  EXPECT_EQ(st.failed, 1u);
+  EXPECT_GT(st.faults_seen, 0u);
+  router.shutdown();
+}
+
+TEST_F(ShardChaos, RepeatedFaultsOpenTheSlotBreaker) {
+  const graph::Csr g = toy_graph(8, 34);
+  const auto giant = graph::largest_component_vertices(g);
+  ShardedStore store(g, store_cfg(2, 2));
+  RouterConfig cfg = manual_cfg();
+  cfg.breaker_failure_threshold = 2;
+  cfg.breaker_cooldown_ms = 1e9;  // stays open for the whole test
+  cfg.max_attempts = 4;
+  inject(/*kernel=*/1.0, /*memcpy=*/0.0, /*seed=*/54);
+  ShardRouter router(store, cfg);
+
+  for (int i = 0; i < 4; ++i) {
+    serve::QueryOptions qo;
+    qo.bypass_cache = true;
+    (void)run_one(router, giant[0], qo);
+  }
+  const RouterStats st = router.stats();
+  EXPECT_GT(st.breaker_opens, 0u);
+  bool any_open = false;
+  for (unsigned s = 0; s < store.shards(); ++s) {
+    for (unsigned rep = 0; rep < store.replicas(); ++rep) {
+      any_open |= router.breaker_state(s, rep) == serve::BreakerState::Open;
+    }
+  }
+  EXPECT_TRUE(any_open);
+  router.shutdown();
+}
+
+}  // namespace
+}  // namespace xbfs::shard
