@@ -1,0 +1,364 @@
+// Mixed-workload serving harness: one Server admitting the whole algorithm
+// family concurrently — Zipf-skewed BFS traffic interleaved with SSSP,
+// connected-components, and k-core queries, each in its own QoS class.
+//
+// The family-serving claim quantified here: the generalized engine keeps
+// BFS's batched/cached throughput while serving the other kinds behind the
+// same admission queue, with (algo, params)-salted cache keys (two SSSP
+// weight seeds must never collide) and weighted round-robin drain across
+// classes.  The server's summary record plus this bench's per-class
+// p99/QPS comparison record land in XBFS_RUN_REPORT.
+//
+//   bench_workloads [--scale=12] [--edge-factor=8] [--queries=256]
+//                   [--zipf=1.0] [--candidates=32] [--clients=8]
+//                   [--gcds=1] [--timeout-ms=T] [--seed=1]
+//
+// Exits non-zero when query accounting doesn't balance, any query resolves
+// Failed, a served class completes nothing, or a spot-checked payload
+// diverges from its host oracle.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/algorithm_engine.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/sanitizer.h"
+#include "obs/run_report.h"
+#include "obs/slo.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+
+namespace {
+
+struct Options {
+  unsigned scale = 12;
+  unsigned edge_factor = 8;
+  std::size_t queries = 256;
+  double zipf = 1.0;
+  std::size_t candidates = 32;
+  unsigned clients = 8;
+  unsigned gcds = 1;
+  double timeout_ms = 0.0;
+  std::uint64_t seed = 1;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto num = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v;
+    if ((v = num("--scale"))) o.scale = std::atoi(v);
+    else if ((v = num("--edge-factor"))) o.edge_factor = std::atoi(v);
+    else if ((v = num("--queries"))) o.queries = std::atoll(v);
+    else if ((v = num("--zipf"))) o.zipf = std::atof(v);
+    else if ((v = num("--candidates"))) o.candidates = std::atoll(v);
+    else if ((v = num("--clients"))) o.clients = std::atoi(v);
+    else if ((v = num("--gcds"))) o.gcds = std::atoi(v);
+    else if ((v = num("--timeout-ms"))) o.timeout_ms = std::atof(v);
+    else if ((v = num("--seed"))) o.seed = std::atoll(v);
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// splitmix64 — deterministic kind/param mixing independent of the Zipf
+/// source stream.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xbfs;
+  const Options opt = parse(argc, argv);
+
+  if (!obs::SloEngine::global().enabled()) {
+    obs::SloEngine::global().configure("availability=0.99");
+  }
+
+  std::printf("bench_workloads: RMAT scale=%u ef=%u, %zu mixed queries, "
+              "Zipf(%.2f) over %zu sources, %u clients, %u GCD(s)\n",
+              opt.scale, opt.edge_factor, opt.queries, opt.zipf,
+              opt.candidates, opt.clients, opt.gcds);
+
+  graph::RmatParams rp;
+  rp.scale = opt.scale;
+  rp.edge_factor = opt.edge_factor;
+  rp.seed = opt.seed;
+  const graph::Csr g = graph::rmat_csr(rp);
+  const auto giant = graph::largest_component_vertices(g);
+  std::printf("graph: n=%llu m=%llu giant=%zu\n",
+              static_cast<unsigned long long>(g.num_vertices()),
+              static_cast<unsigned long long>(g.num_edges()), giant.size());
+
+  std::vector<graph::vid_t> candidates;
+  const std::size_t ncand = std::min(opt.candidates, giant.size());
+  for (std::size_t i = 0; i < ncand; ++i) {
+    candidates.push_back(giant[(i * giant.size()) / ncand]);
+  }
+  const auto sources =
+      serve::zipf_sources(candidates, opt.queries, opt.zipf, opt.seed);
+
+  // The mixed query stream: ~1/2 BFS, ~1/4 SSSP (two weight seeds, so the
+  // params-salted cache keys are actually exercised), ~1/8 CC, ~1/8 k-core
+  // (decomposition and k=2 membership).  Deterministic in --seed.
+  std::vector<core::AlgoQuery> stream(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    core::AlgoQuery& q = stream[i];
+    q.source = sources[i];
+    const std::uint64_t r = mix64(opt.seed * 0x51ull + i);
+    switch (r % 8) {
+      case 0: case 1: case 2: case 3:
+        q.algo = core::AlgoKind::Bfs;
+        break;
+      case 4: case 5:
+        q.algo = core::AlgoKind::Sssp;
+        q.params.weight_seed = 1 + (r >> 8) % 2;
+        break;
+      case 6:
+        q.algo = core::AlgoKind::Cc;
+        break;
+      default:
+        q.algo = core::AlgoKind::KCore;
+        q.params.k = (r >> 8) % 2 == 0 ? 0 : 2;
+        break;
+    }
+  }
+
+  obs::ReportSession& report = obs::ReportSession::global();
+  if (report.enabled()) {
+    report.set_context("bench", "workloads");
+    report.set_context("scale", std::to_string(opt.scale));
+    report.set_context("zipf", std::to_string(opt.zipf));
+  }
+
+  serve::ServeConfig scfg;
+  scfg.num_gcds = opt.gcds;
+  scfg.batch_window_ms = 0.5;
+  scfg.slo_scope = "serve-mixed";
+  scfg.algos = {core::AlgoKind::Bfs, core::AlgoKind::Sssp,
+                core::AlgoKind::Cc, core::AlgoKind::KCore};
+  // Interactive BFS gets the lion's share of each drain turn; the heavier
+  // analytics classes trail at lower weight.
+  scfg.qos_weights[static_cast<std::size_t>(core::AlgoKind::Bfs)] = 4;
+  scfg.qos_weights[static_cast<std::size_t>(core::AlgoKind::Sssp)] = 2;
+  scfg.qos_weights[static_cast<std::size_t>(core::AlgoKind::Cc)] = 1;
+  scfg.qos_weights[static_cast<std::size_t>(core::AlgoKind::KCore)] = 1;
+  if (opt.timeout_ms > 0.0) scfg.default_timeout_ms = opt.timeout_ms;
+  serve::Server server(g, scfg);
+
+  // Closed-loop mixed load: each client strides the stream, submit ->
+  // wait -> repeat (serve::run_closed_loop is BFS-shaped, so the typed
+  // stream drives its own clients here).
+  std::atomic<std::uint64_t> completed{0}, expired{0}, rejected{0},
+      failed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    const unsigned nclients = std::max<unsigned>(
+        1, static_cast<unsigned>(
+               std::min<std::size_t>(opt.clients, stream.size())));
+    for (unsigned c = 0; c < nclients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < stream.size(); i += nclients) {
+          serve::Admission a = server.submit(stream[i]);
+          if (!a.accepted) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const serve::QueryResult r = a.result.get();
+          switch (r.status) {
+            case serve::QueryStatus::Completed:
+              completed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case serve::QueryStatus::Expired:
+              expired.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case serve::QueryStatus::Failed:
+              failed.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const double qps =
+      wall_ms > 0.0 ? completed.load() / (wall_ms / 1000.0) : 0.0;
+
+  // Spot-check one served payload per kind against its host oracle.
+  {
+    const graph::vid_t probe = sources[0];
+    auto get = [&](core::AlgoQuery q) {
+      serve::Admission a = server.submit(q);
+      if (!a.accepted) {
+        std::fprintf(stderr, "probe rejected: %s\n",
+                     a.status.to_string().c_str());
+        std::exit(1);
+      }
+      return a.result.get();
+    };
+    const serve::QueryResult rb =
+        get({core::AlgoKind::Bfs, probe, {}});
+    if (rb.status != serve::QueryStatus::Completed ||
+        *rb.payload.levels != graph::reference_bfs(g, probe)) {
+      std::fprintf(stderr, "served BFS diverges from reference\n");
+      return 1;
+    }
+    core::AlgoQuery sq{core::AlgoKind::Sssp, probe, {}};
+    const serve::QueryResult rs = get(sq);
+    if (rs.status != serve::QueryStatus::Completed ||
+        *rs.payload.distances !=
+            graph::reference_sssp(g, probe, sq.params.weight_seed,
+                                  sq.params.max_weight)) {
+      std::fprintf(stderr, "served SSSP diverges from reference\n");
+      return 1;
+    }
+    const serve::QueryResult rc = get({core::AlgoKind::Cc, 0, {}});
+    if (rc.status != serve::QueryStatus::Completed ||
+        *rc.payload.components != graph::canonical_components(g)) {
+      std::fprintf(stderr, "served CC diverges from reference\n");
+      return 1;
+    }
+    const serve::QueryResult rk = get({core::AlgoKind::KCore, 0, {}});
+    if (rk.status != serve::QueryStatus::Completed ||
+        *rk.payload.cores != graph::reference_kcore(g, 0)) {
+      std::fprintf(stderr, "served k-core diverges from reference\n");
+      return 1;
+    }
+  }
+
+  server.shutdown();  // emits the family-serving summary record
+  const serve::ServerStats st = server.stats();
+
+  std::printf("mixed:  %llu completed (%llu expired, %llu rejected, %llu "
+              "failed) in %.1f ms -> %.1f QPS\n",
+              static_cast<unsigned long long>(completed.load()),
+              static_cast<unsigned long long>(expired.load()),
+              static_cast<unsigned long long>(rejected.load()),
+              static_cast<unsigned long long>(failed.load()), wall_ms, qps);
+  std::printf("        cache hit rate %.1f%%  sweeps %llu  algo dispatches "
+              "%llu  computed %llu\n",
+              st.cache_hit_rate * 100.0,
+              static_cast<unsigned long long>(st.sweeps),
+              static_cast<unsigned long long>(st.algo_dispatches),
+              static_cast<unsigned long long>(st.computed_sources));
+  std::printf("        class     submitted completed cache_hits   p50_ms   "
+              "p99_ms      qps\n");
+  for (const core::AlgoKind k : scfg.algos) {
+    const serve::AlgoClassStats& a = st.per_algo[static_cast<std::size_t>(k)];
+    std::printf("        %-8s %10llu %9llu %10llu %8.3f %8.3f %8.1f\n",
+                core::algo_kind_name(k),
+                static_cast<unsigned long long>(a.submitted),
+                static_cast<unsigned long long>(a.completed),
+                static_cast<unsigned long long>(a.cache_hits),
+                a.latency_p50_ms, a.latency_p99_ms, a.qps);
+  }
+
+  if (report.enabled()) {
+    obs::RunRecord rec;
+    rec.tool = "bench_workloads";
+    rec.algorithm = "family-serving-mix";
+    rec.n = g.num_vertices();
+    rec.m = g.num_edges();
+    rec.total_ms = wall_ms;
+    char buf[32];
+    auto f = [&](double v) {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return std::string(buf);
+    };
+    rec.config = {
+        {"queries", std::to_string(opt.queries)},
+        {"clients", std::to_string(opt.clients)},
+        {"gcds", std::to_string(opt.gcds)},
+        {"zipf", f(opt.zipf)},
+        {"completed", std::to_string(completed.load())},
+        {"expired", std::to_string(expired.load())},
+        {"rejected", std::to_string(rejected.load())},
+        {"failed", std::to_string(failed.load())},
+        {"mixed_qps", f(qps)},
+        {"cache_hit_rate", f(st.cache_hit_rate)},
+        {"algo_dispatches", std::to_string(st.algo_dispatches)},
+    };
+    for (const core::AlgoKind k : scfg.algos) {
+      const serve::AlgoClassStats& a =
+          st.per_algo[static_cast<std::size_t>(k)];
+      const std::string p = core::algo_kind_name(k);
+      rec.config.emplace_back(p + "_submitted",
+                              std::to_string(a.submitted));
+      rec.config.emplace_back(p + "_completed",
+                              std::to_string(a.completed));
+      rec.config.emplace_back(p + "_p99_ms", f(a.latency_p99_ms));
+      rec.config.emplace_back(p + "_qps", f(a.qps));
+      rec.config.emplace_back(
+          p + "_weight",
+          std::to_string(scfg.qos_weights[static_cast<std::size_t>(k)]));
+    }
+    report.add(std::move(rec));
+  }
+
+  // --- gates ----------------------------------------------------------------
+  if (completed.load() + expired.load() + rejected.load() + failed.load() !=
+      opt.queries) {
+    std::fprintf(stderr, "lost queries: %llu+%llu+%llu+%llu != %zu\n",
+                 static_cast<unsigned long long>(completed.load()),
+                 static_cast<unsigned long long>(expired.load()),
+                 static_cast<unsigned long long>(rejected.load()),
+                 static_cast<unsigned long long>(failed.load()), opt.queries);
+    return 1;
+  }
+  if (failed.load() != 0 || st.failed != 0) {
+    std::fprintf(stderr, "%llu queries resolved Failed\n",
+                 static_cast<unsigned long long>(st.failed));
+    return 1;
+  }
+  for (const core::AlgoKind k : scfg.algos) {
+    const serve::AlgoClassStats& a = st.per_algo[static_cast<std::size_t>(k)];
+    if (a.completed == 0) {
+      std::fprintf(stderr, "class %s completed no queries\n",
+                   core::algo_kind_name(k));
+      return 1;
+    }
+  }
+
+  // Under XBFS_SANITIZE the bench doubles as a SimSan gate for the whole
+  // engine family: BFS sweeps, delta-SSSP, LP-CC, and k-core kernels all
+  // ran above through checked accessors.
+  auto& san = sim::Sanitizer::global();
+  if (san.enabled()) {
+    san.summary(std::cout);
+    if (san.unannotated_count() > 0) {
+      std::printf("bench_workloads: FAIL — %llu unannotated sanitizer "
+                  "finding(s)\n",
+                  static_cast<unsigned long long>(san.unannotated_count()));
+      return 1;
+    }
+    std::printf("bench_workloads: sanitizer clean (%llu allowlisted)\n",
+                static_cast<unsigned long long>(san.allowlisted_count()));
+  }
+  return 0;
+}

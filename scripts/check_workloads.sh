@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# CI gate for family serving: run the mixed-workload harness (BFS + SSSP +
+# CC + k-core through one server, QoS-classed) at toy scale with
+# XBFS_SANITIZE=all and XBFS_RUN_REPORT active, then require
+#   - zero unannotated SimSan findings across the whole engine family (the
+#     bench itself exits non-zero otherwise),
+#   - the serving summary carrying the per-class columns
+#     (<kind>_submitted/_completed/_p99_ms/_qps) with every served class
+#     actually completing work, and
+#   - query accounting balancing with zero Failed terminals.
+#
+#   usage: check_workloads.sh <bench_workloads-binary> [workdir]
+set -euo pipefail
+
+BENCH=${1:?usage: check_workloads.sh <bench_workloads-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+
+REPORT="$WORKDIR/check_workloads.report.json"
+rm -f "$REPORT"
+
+# Toy scale keeps this in CI-seconds: 128 mixed Zipf(1.0) queries over 16
+# hot sources on a scale-10 RMAT graph.
+XBFS_RUN_REPORT="$REPORT" XBFS_SANITIZE=all \
+  "$BENCH" --scale=10 --edge-factor=8 --queries=128 --candidates=16 \
+           --clients=4 > "$WORKDIR/check_workloads.stdout" 2>&1 || {
+    echo "FAIL: bench_workloads exited non-zero"
+    cat "$WORKDIR/check_workloads.stdout"
+    exit 1
+  }
+
+[[ -s "$REPORT" ]] || { echo "FAIL: $REPORT was not written"; exit 1; }
+
+grep -q "SimSan" "$WORKDIR/check_workloads.stdout" || {
+  echo "FAIL: sanitizer summary missing from bench output"
+  cat "$WORKDIR/check_workloads.stdout"
+  exit 1
+}
+
+python3 - "$REPORT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema"] == "xbfs-run-report", report.get("schema")
+runs = report["runs"]
+
+KINDS = ("bfs", "sssp", "cc", "kcore")
+
+# --- family-serving summary (emitted by Server::shutdown) ------------------
+serve = next(r for r in runs if r["tool"] == "serve")
+assert serve["algorithm"] == "family-serving", serve["algorithm"]
+cfg = serve["config"]
+assert cfg["algos"] == "bfs,sssp,cc,kcore", cfg["algos"]
+for kind in KINDS:
+    for suffix in ("_submitted", "_completed", "_cache_hits", "_p50_ms",
+                   "_p99_ms", "_qps"):
+        assert kind + suffix in cfg, f"summary missing '{kind}{suffix}'"
+    # Per-class counters non-zero: every served class did real work.
+    assert int(cfg[kind + "_submitted"]) > 0, f"{kind} submitted nothing"
+    assert int(cfg[kind + "_completed"]) > 0, f"{kind} completed nothing"
+    assert float(cfg[kind + "_qps"]) > 0.0, f"{kind} qps is zero"
+    assert float(cfg[kind + "_p99_ms"]) >= float(cfg[kind + "_p50_ms"]) >= 0.0
+assert int(cfg["failed"]) == 0, cfg["failed"]
+assert int(cfg["algo_dispatches"]) > 0, "no non-BFS unit was dispatched"
+# Dedup/cache across the family: fewer engine runs than completions.
+assert int(cfg["completed"]) > 0
+assert (int(cfg["computed_sources"]) < int(cfg["completed"])), \
+    (cfg["computed_sources"], cfg["completed"])
+
+# --- per-class mix record (emitted by bench_workloads) ---------------------
+bench = next(r for r in runs if r["tool"] == "bench_workloads")
+bcfg = bench["config"]
+assert bench["algorithm"] == "family-serving-mix", bench["algorithm"]
+for kind in KINDS:
+    for suffix in ("_submitted", "_completed", "_p99_ms", "_qps", "_weight"):
+        assert kind + suffix in bcfg, f"bench record missing '{kind}{suffix}'"
+    assert int(bcfg[kind + "_completed"]) > 0
+assert int(bcfg["failed"]) == 0
+assert float(bcfg["mixed_qps"]) > 0.0
+# The QoS wheel is configured asymmetric: bfs must outweigh the others.
+assert int(bcfg["bfs_weight"]) > int(bcfg["cc_weight"])
+
+print("OK: " + " ".join(
+    f"{k}={bcfg[k + '_completed']}q@p99={float(bcfg[k + '_p99_ms']):.3f}ms"
+    for k in KINDS))
+EOF
+
+echo "check_workloads: PASS"

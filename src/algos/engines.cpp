@@ -1,0 +1,289 @@
+#include "algos/engines.h"
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "algos/cc_engine.h"
+#include "algos/kcore_engine.h"
+#include "algos/sssp_engine.h"
+#include "baseline/async_sssp.h"
+#include "baseline/cpu_bfs.h"
+#include "baseline/simple_scan.h"
+#include "core/engine_registry.h"
+#include "core/xbfs.h"
+#include "graph/builder.h"
+#include "graph/reference.h"
+
+namespace xbfs::algos {
+
+using core::AlgoKind;
+using core::AlgoQuery;
+using core::AlgoResult;
+using core::EngineContext;
+using graph::vid_t;
+
+BcEngine::BcEngine(sim::Device& dev, const graph::DeviceCsr& g, BcConfig cfg)
+    : dev_(dev), g_(g), cfg_(cfg) {}
+
+AlgoResult BcEngine::solve(const AlgoQuery& q) {
+  BcResult r = betweenness_centrality(dev_, g_, {q.source}, cfg_);
+  AlgoResult out;
+  out.payload.kind = AlgoKind::Bc;
+  out.payload.scores = std::make_shared<const std::vector<double>>(
+      std::move(r.centrality));
+  out.total_ms = r.total_ms;
+  return out;
+}
+
+SccEngine::SccEngine(sim::Device& dev, const graph::Csr& host_g,
+                     const graph::DeviceCsr& fwd, SccConfig cfg)
+    : dev_(dev), fwd_(fwd), cfg_(cfg) {
+  bwd_ = graph::DeviceCsr::upload(dev, graph::reverse_csr(host_g));
+}
+
+AlgoResult SccEngine::solve(const AlgoQuery&) {
+  SccResult r = scc_fw_bw(dev_, fwd_, bwd_, cfg_);
+  AlgoResult out;
+  out.payload.kind = AlgoKind::Scc;
+  out.payload.components = std::make_shared<const std::vector<vid_t>>(
+      std::move(r.component));
+  out.payload.depth = r.fwbw_rounds;
+  out.total_ms = r.total_ms;
+  out.work_items = r.trimmed;
+  return out;
+}
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One fault-immune host oracle per kind: thin engine shells over the
+/// graph/reference algorithms, registered as the host fallback rung the
+/// serving ladder degrades to when every device rung has failed.
+class HostSsspEngine final : public core::AlgorithmEngine {
+ public:
+  explicit HostSsspEngine(const graph::Csr& g) : g_(g) {}
+  AlgoKind kind() const override { return AlgoKind::Sssp; }
+  const char* name() const override { return "host-sssp"; }
+  core::EngineCapabilities capabilities() const override { return {}; }
+  AlgoResult solve(const AlgoQuery& q) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    AlgoResult out;
+    out.payload.kind = AlgoKind::Sssp;
+    out.payload.distances = std::make_shared<const std::vector<std::uint32_t>>(
+        graph::reference_sssp(g_, q.source, q.params.weight_seed,
+                              q.params.max_weight));
+    out.total_ms = wall_ms_since(t0);
+    return out;
+  }
+
+ private:
+  const graph::Csr& g_;
+};
+
+class HostCcEngine final : public core::AlgorithmEngine {
+ public:
+  explicit HostCcEngine(const graph::Csr& g) : g_(g) {}
+  AlgoKind kind() const override { return AlgoKind::Cc; }
+  const char* name() const override { return "host-cc"; }
+  core::EngineCapabilities capabilities() const override { return {}; }
+  AlgoResult solve(const AlgoQuery&) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    AlgoResult out;
+    out.payload.kind = AlgoKind::Cc;
+    out.payload.components = std::make_shared<const std::vector<vid_t>>(
+        graph::canonical_components(g_));
+    out.total_ms = wall_ms_since(t0);
+    return out;
+  }
+
+ private:
+  const graph::Csr& g_;
+};
+
+class HostKcoreEngine final : public core::AlgorithmEngine {
+ public:
+  explicit HostKcoreEngine(const graph::Csr& g) : g_(g) {}
+  AlgoKind kind() const override { return AlgoKind::KCore; }
+  const char* name() const override { return "host-kcore"; }
+  core::EngineCapabilities capabilities() const override { return {}; }
+  AlgoResult solve(const AlgoQuery& q) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    AlgoResult out;
+    out.payload.kind = AlgoKind::KCore;
+    out.payload.cores = std::make_shared<const std::vector<std::uint32_t>>(
+        graph::reference_kcore(g_, q.params.k));
+    out.total_ms = wall_ms_since(t0);
+    return out;
+  }
+
+ private:
+  const graph::Csr& g_;
+};
+
+class HostBcEngine final : public core::AlgorithmEngine {
+ public:
+  explicit HostBcEngine(const graph::Csr& g) : g_(g) {}
+  AlgoKind kind() const override { return AlgoKind::Bc; }
+  const char* name() const override { return "host-bc"; }
+  core::EngineCapabilities capabilities() const override { return {}; }
+  AlgoResult solve(const AlgoQuery& q) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    AlgoResult out;
+    out.payload.kind = AlgoKind::Bc;
+    out.payload.scores = std::make_shared<const std::vector<double>>(
+        betweenness_reference(g_, {q.source}));
+    out.total_ms = wall_ms_since(t0);
+    return out;
+  }
+
+ private:
+  const graph::Csr& g_;
+};
+
+class HostSccEngine final : public core::AlgorithmEngine {
+ public:
+  explicit HostSccEngine(const graph::Csr& g) : g_(g) {}
+  AlgoKind kind() const override { return AlgoKind::Scc; }
+  const char* name() const override { return "host-scc"; }
+  core::EngineCapabilities capabilities() const override { return {}; }
+  AlgoResult solve(const AlgoQuery&) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    AlgoResult out;
+    out.payload.kind = AlgoKind::Scc;
+    vid_t n_comp = 0;
+    out.payload.components = std::make_shared<const std::vector<vid_t>>(
+        scc_reference(g_, &n_comp));
+    out.payload.depth = n_comp;
+    out.total_ms = wall_ms_since(t0);
+    return out;
+  }
+
+ private:
+  const graph::Csr& g_;
+};
+
+bool device_ready(const EngineContext& ctx) {
+  return ctx.dev != nullptr && ctx.dg != nullptr;
+}
+
+void do_register() {
+  auto& reg = core::EngineRegistry::global();
+
+  // --- Bfs: the pre-PR 8 serving ladder, now expressed as registrations.
+  reg.register_engine(
+      AlgoKind::Bfs, "xbfs", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<core::Xbfs>(
+            *ctx.dev, *ctx.dg, ctx.config ? *ctx.config : core::XbfsConfig{});
+      });
+  reg.register_engine(
+      AlgoKind::Bfs, "simple-scan", 1, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<baseline::SimpleScanBfs>(*ctx.dev, *ctx.dg);
+      });
+  // Conformance/bench only (rung -1): the asynchronous SSSP-as-BFS
+  // baseline never serves — the paper's point is that it loses to the
+  // level-synchronous engines.
+  reg.register_engine(
+      AlgoKind::Bfs, "async-sssp", -1, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<baseline::AsyncSsspBfs>(*ctx.dev, *ctx.dg);
+      });
+  reg.register_engine(
+      AlgoKind::Bfs, "cpu-bfs", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<baseline::CpuBfsEngine>(*ctx.host_g);
+      });
+
+  // --- Sssp
+  reg.register_engine(
+      AlgoKind::Sssp, "delta-sssp", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        SsspEngineConfig cfg;
+        if (ctx.config) cfg.alpha = ctx.config->alpha;
+        return std::make_unique<DeltaSsspEngine>(*ctx.dev, *ctx.dg, cfg);
+      });
+  reg.register_engine(
+      AlgoKind::Sssp, "host-sssp", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<HostSsspEngine>(*ctx.host_g);
+      });
+
+  // --- Cc
+  reg.register_engine(
+      AlgoKind::Cc, "lp-cc", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<LpCcEngine>(*ctx.dev, *ctx.dg);
+      });
+  reg.register_engine(
+      AlgoKind::Cc, "host-cc", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<HostCcEngine>(*ctx.host_g);
+      });
+
+  // --- KCore
+  reg.register_engine(
+      AlgoKind::KCore, "kcore-pull", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<KCorePullEngine>(*ctx.dev, *ctx.dg);
+      });
+  reg.register_engine(
+      AlgoKind::KCore, "host-kcore", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<HostKcoreEngine>(*ctx.host_g);
+      });
+
+  // --- Bc
+  reg.register_engine(
+      AlgoKind::Bc, "brandes-bc", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx)) return nullptr;
+        return std::make_unique<BcEngine>(*ctx.dev, *ctx.dg);
+      });
+  reg.register_engine(
+      AlgoKind::Bc, "host-bc", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<HostBcEngine>(*ctx.host_g);
+      });
+
+  // --- Scc (needs the host topology for the transpose upload)
+  reg.register_engine(
+      AlgoKind::Scc, "fwbw-scc", 0, true,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!device_ready(ctx) || !ctx.host_g) return nullptr;
+        return std::make_unique<SccEngine>(*ctx.dev, *ctx.host_g, *ctx.dg);
+      });
+  reg.register_engine(
+      AlgoKind::Scc, "host-scc", 0, false,
+      [](const EngineContext& ctx) -> std::unique_ptr<core::AlgorithmEngine> {
+        if (!ctx.host_g) return nullptr;
+        return std::make_unique<HostSccEngine>(*ctx.host_g);
+      });
+}
+
+}  // namespace
+
+void register_builtin_engines() {
+  static std::once_flag once;
+  std::call_once(once, do_register);
+}
+
+}  // namespace xbfs::algos

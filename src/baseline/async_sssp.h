@@ -21,12 +21,16 @@ struct AsyncSsspConfig {
   unsigned block_threads = 256;
 };
 
-class AsyncSsspBfs {
+class AsyncSsspBfs final : public core::TraversalEngine {
  public:
   AsyncSsspBfs(sim::Device& dev, const graph::DeviceCsr& g,
                AsyncSsspConfig cfg = {});
 
-  core::BfsResult run(graph::vid_t src);
+  core::BfsResult run(graph::vid_t src) override;
+  const char* name() const override { return "async-sssp"; }
+  core::EngineCapabilities capabilities() const override {
+    return {.on_device = true};
+  }
 
   /// Edge relaxations performed by the last run (>= edges reached; the
   /// excess is the redundant work of the asynchronous formulation).

@@ -1,0 +1,81 @@
+#include "core/algorithm_engine.h"
+
+namespace xbfs::core {
+
+const char* algo_kind_name(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::Bfs: return "bfs";
+    case AlgoKind::Sssp: return "sssp";
+    case AlgoKind::Cc: return "cc";
+    case AlgoKind::KCore: return "kcore";
+    case AlgoKind::Bc: return "bc";
+    case AlgoKind::Scc: return "scc";
+  }
+  return "unknown";
+}
+
+bool algo_kind_parse(std::string_view name, AlgoKind& out) {
+  for (std::size_t i = 0; i < kNumAlgoKinds; ++i) {
+    const AlgoKind k = static_cast<AlgoKind>(i);
+    if (name == algo_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool algo_needs_source(AlgoKind k) {
+  switch (k) {
+    case AlgoKind::Bfs:
+    case AlgoKind::Sssp:
+    case AlgoKind::Bc:
+      return true;
+    case AlgoKind::Cc:
+    case AlgoKind::KCore:
+    case AlgoKind::Scc:
+      return false;
+  }
+  return true;
+}
+
+std::uint64_t AlgoParams::hash() const {
+  // FNV-1a, field order fixed forever: the hash participates in cache keys
+  // that may outlive one process (run reports compare them across runs).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(max_weight);
+  mix(weight_seed);
+  mix(delta);
+  mix(k);
+  return h;
+}
+
+std::size_t ResultPayload::size() const {
+  if (levels) return levels->size();
+  if (distances) return distances->size();
+  if (components) return components->size();
+  if (cores) return cores->size();
+  if (scores) return scores->size();
+  return 0;
+}
+
+AlgoResult TraversalEngine::solve(const AlgoQuery& q) {
+  BfsResult r = run(q.source);
+  AlgoResult out;
+  out.payload.kind = AlgoKind::Bfs;
+  out.payload.depth = r.depth;
+  out.payload.levels = std::make_shared<const std::vector<std::int32_t>>(
+      std::move(r.levels));
+  out.level_stats = std::move(r.level_stats);
+  out.total_ms = r.total_ms;
+  out.work_items = r.edges_traversed;
+  return out;
+}
+
+}  // namespace xbfs::core

@@ -1,0 +1,111 @@
+#include "core/engine_registry.h"
+
+#include <algorithm>
+
+namespace xbfs::core {
+
+EngineRegistry& EngineRegistry::global() {
+  static EngineRegistry r;
+  return r;
+}
+
+void EngineRegistry::register_engine(AlgoKind kind, std::string name, int rung,
+                                     bool on_device, EngineFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.info.kind == kind && e.info.name == name) {
+      e.info.rung = rung;
+      e.info.on_device = on_device;
+      e.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back(
+      Entry{EngineInfo{kind, std::move(name), rung, on_device},
+            std::move(factory)});
+}
+
+std::unique_ptr<AlgorithmEngine> EngineRegistry::build(
+    AlgoKind kind, const std::string& name, const EngineContext& ctx) const {
+  EngineFactory f;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.info.kind == kind && e.info.name == name) {
+        f = e.factory;
+        break;
+      }
+    }
+  }
+  return f ? f(ctx) : nullptr;
+}
+
+std::vector<std::unique_ptr<AlgorithmEngine>> EngineRegistry::build_ladder(
+    AlgoKind kind, const EngineContext& ctx) const {
+  std::vector<Entry> picks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.info.kind == kind && e.info.on_device && e.info.rung >= 0) {
+        picks.push_back(e);
+      }
+    }
+  }
+  std::stable_sort(picks.begin(), picks.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.info.rung < b.info.rung;
+                   });
+  std::vector<std::unique_ptr<AlgorithmEngine>> ladder;
+  for (const Entry& e : picks) {
+    if (auto engine = e.factory(ctx)) ladder.push_back(std::move(engine));
+  }
+  return ladder;
+}
+
+std::unique_ptr<AlgorithmEngine> EngineRegistry::build_host(
+    AlgoKind kind, const EngineContext& ctx) const {
+  std::vector<Entry> picks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.info.kind == kind && !e.info.on_device && e.info.rung >= 0) {
+        picks.push_back(e);
+      }
+    }
+  }
+  std::stable_sort(picks.begin(), picks.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.info.rung < b.info.rung;
+                   });
+  for (const Entry& e : picks) {
+    if (auto engine = e.factory(ctx)) return engine;
+  }
+  return nullptr;
+}
+
+bool EngineRegistry::supports(AlgoKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.info.kind == kind) return true;
+  }
+  return false;
+}
+
+std::vector<EngineInfo> EngineRegistry::list() const {
+  std::vector<EngineInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.info);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EngineInfo& a, const EngineInfo& b) {
+                     if (a.kind != b.kind) {
+                       return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                     }
+                     return a.rung < b.rung;
+                   });
+  return out;
+}
+
+}  // namespace xbfs::core

@@ -1,84 +1,9 @@
-// The engine vocabulary: every BFS runner in the repository — the adaptive
-// XBFS runner, the simulated-GPU baselines, the host CPU fallbacks —
-// implements one interface, so consumers (the serving engine's degradation
-// ladder, the conformance test suite, benches) hold an ordered
-// vector<unique_ptr<TraversalEngine>> instead of hard-coded types.
-//
-// The shared result/telemetry types (BfsResult, LevelStats, safe_gteps)
-// live here too; core/xbfs.h re-exports them, so existing includes keep
-// working.
+// Compatibility re-export (PR 8 API generalization): the engine
+// vocabulary moved to core/algorithm_engine.h, where TraversalEngine is
+// now the BFS adapter of the typed AlgorithmEngine family (AlgoKind,
+// AlgoQuery, ResultPayload).  BfsResult, LevelStats, EngineCapabilities,
+// and safe_gteps moved with it; existing includes of this header keep
+// working unchanged.  docs/api.md has the old -> new migration table.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-#include <vector>
-
-#include "core/config.h"
-#include "graph/csr.h"
-
-namespace xbfs::core {
-
-/// Telemetry for one BFS level.
-struct LevelStats {
-  std::uint32_t level = 0;
-  Strategy strategy = Strategy::ScanFree;
-  bool skipped_generation = false;   ///< NFG variant fired
-  std::uint64_t frontier_count = 0;  ///< vertices expanded this level
-  std::uint64_t frontier_edges = 0;  ///< their total degree
-  double ratio = 0.0;                ///< frontier_edges / |E|
-  double time_ms = 0.0;              ///< modelled level time (kernels+syncs)
-  double fetch_kb = 0.0;             ///< HBM fetch traffic this level
-  unsigned kernels = 0;              ///< kernel launches this level
-};
-
-/// GTEPS = edges traversed / (total_ms * 1e6), guarded so trivial runs
-/// (single-vertex graphs, zero modelled time) report 0 rather than inf/nan.
-/// Every runner — XBFS, baselines, dist — computes throughput through this.
-inline double safe_gteps(std::uint64_t edges_traversed, double total_ms) {
-  if (!std::isfinite(total_ms) || total_ms <= 0.0) return 0.0;
-  return static_cast<double>(edges_traversed) / (total_ms * 1e6);
-}
-
-struct BfsResult {
-  std::vector<std::int32_t> levels;  ///< -1 = unreached
-  std::vector<graph::vid_t> parent;  ///< empty unless engine builds parents
-  std::vector<LevelStats> level_stats;
-  double total_ms = 0.0;             ///< modelled (device) or wall (host) time
-  std::uint64_t edges_traversed = 0; ///< undirected edges in the traversal
-  double gteps = 0.0;                ///< edges_traversed / total_ms
-  std::uint32_t depth = 0;           ///< number of BFS levels run
-};
-
-/// What a caller may rely on without knowing the concrete engine type.  The
-/// serving ladder orders engines from fastest-but-faultable (adaptive, on
-/// the simulated device) to slowest-but-immune (host CPU).
-struct EngineCapabilities {
-  /// Runs on the simulated GPU — subject to injected device faults
-  /// (kernel failures, transfer corruption); host engines are immune.
-  bool on_device = false;
-  /// Picks a traversal strategy per level (XBFS's adaptive policy).
-  bool adaptive = false;
-  /// run() fills BfsResult::parent.
-  bool builds_parents = false;
-};
-
-/// One single-source BFS engine.  run() must produce canonical hop
-/// distances (-1 = unreached) — every implementation is interchangeable and
-/// bit-identical on levels, which is what lets the serving engine degrade
-/// between them without clients noticing anything but latency.
-class TraversalEngine {
- public:
-  virtual ~TraversalEngine() = default;
-
-  /// One traversal from `src`.  May be called repeatedly; implementations
-  /// reuse their buffers.  Throws (e.g. sim::FaultInjected) on simulated
-  /// device faults — callers on the resilient path catch and retry.
-  virtual BfsResult run(graph::vid_t src) = 0;
-
-  /// Stable short identifier ("xbfs", "simple-scan", "cpu-parallel", ...).
-  virtual const char* name() const = 0;
-
-  virtual EngineCapabilities capabilities() const = 0;
-};
-
-}  // namespace xbfs::core
+#include "core/algorithm_engine.h"

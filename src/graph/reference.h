@@ -1,6 +1,8 @@
-// Serial reference algorithms: the ground truth every simulated-GPU BFS is
-// validated against, plus connectivity helpers used by benches to pick
-// sources from the giant component (as Graph500 does).
+// Serial reference algorithms: the ground truth every simulated-GPU
+// engine is validated against — BFS plus the algorithm-family oracles
+// (SSSP, connected components, k-core) the cross-engine conformance suite
+// and the serving validators run, and connectivity helpers used by
+// benches to pick sources from the giant component (as Graph500 does).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,27 @@
 namespace xbfs::graph {
 
 inline constexpr std::int32_t kUnreached = -1;
+/// Unreached sentinel of the uint32 SSSP distance domain (the host-side
+/// twin of core::kUnreachedDist; graph sits below core in the layering).
+inline constexpr std::uint32_t kUnreachedW = 0xFFFFFFFFu;
+
+/// Deterministic synthetic edge weight in [1, max_weight], symmetric in
+/// (u, v).  The CSR stores no weights; SSSP engines and the Dijkstra
+/// oracle derive identical weights from (edge, seed), which is what makes
+/// device distances exactly comparable to the host's.
+inline std::uint32_t synth_weight(vid_t u, vid_t v, std::uint64_t seed,
+                                  std::uint32_t max_weight) {
+  if (max_weight <= 1) return 1;
+  const std::uint64_t a = u < v ? u : v;
+  const std::uint64_t b = u < v ? v : u;
+  std::uint64_t h = seed ^ 0x9E3779B97F4A7C15ull;
+  h ^= a + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return 1 + static_cast<std::uint32_t>(h % max_weight);
+}
 
 /// Serial queue BFS; levels[v] = hops from src, kUnreached if not reachable.
 std::vector<std::int32_t> reference_bfs(const Csr& g, vid_t src);
@@ -35,5 +58,49 @@ std::string validate_bfs_levels(const Csr& g, vid_t src,
 std::string validate_bfs_parents(const Csr& g, vid_t src,
                                  const std::vector<std::int32_t>& levels,
                                  const std::vector<vid_t>& parent);
+
+// --- algorithm-family oracles (PR 8) ---------------------------------------
+
+/// Serial Dijkstra over synth_weight(seed, max_weight) edge weights;
+/// dist[v] = shortest weighted distance from src, kUnreachedW if
+/// unreachable.  Shortest distances are unique, so any correct SSSP engine
+/// must match this exactly.
+std::vector<std::uint32_t> reference_sssp(const Csr& g, vid_t src,
+                                          std::uint64_t seed,
+                                          std::uint32_t max_weight);
+
+/// Canonical connected-component labels: comp[v] = smallest vertex id in
+/// v's component.  Engines that emit min-id labels (label propagation,
+/// incremental union-find) must match exactly; arbitrary-id labelings
+/// compare via validate_components.
+std::vector<vid_t> canonical_components(const Csr& g);
+
+/// Serial k-core by iterative peeling.  k == 0: cores[v] = coreness of v
+/// (the largest k such that v survives the k-core trim).  k > 0:
+/// cores[v] = 1 iff v is in the k-core, else 0.
+std::vector<std::uint32_t> reference_kcore(const Csr& g, std::uint32_t k);
+
+/// Validate an SSSP distance assignment without referencing any particular
+/// relaxation order: dist[src] == 0; no edge is relaxable (dist[w] <=
+/// dist[v] + w(v,w)); every reached non-source vertex has a tight
+/// predecessor; reachability matches BFS reachability.  Empty string if
+/// valid, else a diagnostic.
+std::string validate_sssp_distances(const Csr& g, vid_t src,
+                                    const std::vector<std::uint32_t>& dist,
+                                    std::uint64_t seed,
+                                    std::uint32_t max_weight);
+
+/// Validate a component labeling as a partition: both endpoints of every
+/// edge share a label, and vertices with equal labels are connected
+/// (checked against a reference labeling, O(V + E)).  Labels themselves
+/// may be arbitrary ids.  Empty string if valid, else a diagnostic.
+std::string validate_components(const Csr& g, const std::vector<vid_t>& comp);
+
+/// Validate a k-core answer.  k == 0 (decomposition): recomputes the
+/// peeling and requires exact coreness equality.  k > 0 (membership):
+/// checks the marked set is the maximal subgraph with min degree >= k.
+/// Empty string if valid, else a diagnostic.
+std::string validate_kcore(const Csr& g, const std::vector<std::uint32_t>& cores,
+                           std::uint32_t k);
 
 }  // namespace xbfs::graph

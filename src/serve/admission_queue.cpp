@@ -5,54 +5,78 @@
 
 namespace xbfs::serve {
 
-AdmissionQueue::AdmissionQueue(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)) {}
+AdmissionQueue::AdmissionQueue(std::size_t capacity,
+                               std::array<unsigned, core::kNumAlgoKinds> weights)
+    : capacity_(std::max<std::size_t>(1, capacity)), weights_(weights) {
+  for (unsigned& w : weights_) w = std::max(1u, w);
+}
 
 xbfs::Status AdmissionQueue::try_push(PendingQuery&& q) {
+  const std::size_t cls = static_cast<std::size_t>(q.query.algo);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) {
       return xbfs::Status::ShuttingDown("admission queue closed");
     }
-    if (q_.size() >= capacity_) {
+    if (total_ >= capacity_) {
       return xbfs::Status::QueueFull(
           "admission queue at capacity (" + std::to_string(capacity_) + ")");
     }
-    q_.push_back(std::move(q));
+    q_[cls].push_back(std::move(q));
+    ++pushed_[cls];
+    ++total_;
   }
   cv_.notify_all();
   return xbfs::Status::Ok();
+}
+
+std::size_t AdmissionQueue::drain_locked(std::vector<PendingQuery>& out,
+                                         std::size_t max_items) {
+  std::size_t popped = 0;
+  while (total_ != 0 && popped < max_items) {
+    // One turn of the wheel: each class yields up to its weight.  The
+    // cursor persists across calls so a class the previous drain stopped
+    // at does not get a fresh full share ahead of its peers.
+    for (std::size_t i = 0; i < core::kNumAlgoKinds && popped < max_items;
+         ++i) {
+      const std::size_t cls = wheel_;
+      std::deque<PendingQuery>& dq = q_[cls];
+      for (unsigned taken = 0;
+           taken < weights_[cls] && !dq.empty() && popped < max_items;
+           ++taken) {
+        out.push_back(std::move(dq.front()));
+        dq.pop_front();
+        ++popped_[cls];
+        --total_;
+        ++popped;
+      }
+      // Advance past the class unless it still holds un-yielded share (it
+      // only keeps the cursor when the batch filled mid-share).
+      if (dq.empty() || popped < max_items) {
+        wheel_ = (wheel_ + 1) % core::kNumAlgoKinds;
+      }
+    }
+  }
+  return popped;
 }
 
 std::size_t AdmissionQueue::pop_batch(std::vector<PendingQuery>& out,
                                       std::size_t max_items,
                                       double window_us) {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
-  if (window_us > 0.0 && q_.size() < max_items && !closed_) {
+  cv_.wait(lk, [&] { return closed_ || total_ != 0; });
+  if (window_us > 0.0 && total_ < max_items && !closed_) {
     // Batching window: give concurrent submitters a beat to fill the sweep.
     cv_.wait_for(lk, std::chrono::duration<double, std::micro>(window_us),
-                 [&] { return closed_ || q_.size() >= max_items; });
+                 [&] { return closed_ || total_ >= max_items; });
   }
-  std::size_t popped = 0;
-  while (!q_.empty() && popped < max_items) {
-    out.push_back(std::move(q_.front()));
-    q_.pop_front();
-    ++popped;
-  }
-  return popped;
+  return drain_locked(out, max_items);
 }
 
 std::size_t AdmissionQueue::try_pop_batch(std::vector<PendingQuery>& out,
                                           std::size_t max_items) {
   std::lock_guard<std::mutex> lk(mu_);
-  std::size_t popped = 0;
-  while (!q_.empty() && popped < max_items) {
-    out.push_back(std::move(q_.front()));
-    q_.pop_front();
-    ++popped;
-  }
-  return popped;
+  return drain_locked(out, max_items);
 }
 
 void AdmissionQueue::close() {
@@ -70,7 +94,18 @@ bool AdmissionQueue::closed() const {
 
 std::size_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return q_.size();
+  return total_;
+}
+
+AdmissionQueue::ClassCounters AdmissionQueue::class_counters(
+    core::AlgoKind k) const {
+  const std::size_t cls = static_cast<std::size_t>(k);
+  std::lock_guard<std::mutex> lk(mu_);
+  ClassCounters c;
+  c.pushed = pushed_[cls];
+  c.popped = popped_[cls];
+  c.depth = q_[cls].size();
+  return c;
 }
 
 }  // namespace xbfs::serve

@@ -3,14 +3,26 @@
 // reason when the queue is at capacity (backpressure) or closed; the
 // scheduler thread pops everything pending in one go, optionally waiting a
 // short batching window so concurrent submitters can fill a sweep.
+//
+// Since the AlgorithmEngine redesign the queue is QoS-classed: every
+// query belongs to the class of its algorithm kind (bfs, sssp, cc, ...),
+// each class has its own FIFO, and pop_batch drains them weighted
+// round-robin — a class with weight w is offered up to w slots per turn of
+// the wheel, so cheap point lookups (BFS) keep flowing while a burst of
+// whole-graph analytics (CC, k-core) is queued behind its share instead of
+// monopolizing the scheduler.  Capacity and backpressure stay global: the
+// queue rejects at `capacity` items total regardless of class mix.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
+#include "core/algorithm_engine.h"
 #include "obs/query_trace.h"
 #include "serve/query.h"
 
@@ -19,7 +31,12 @@ namespace xbfs::serve {
 /// One accepted-but-not-yet-dispatched query.
 struct PendingQuery {
   QueryId id = 0;
+  /// The full typed request; `source` below mirrors query.source (kept as
+  /// a named field because the BFS dedup/batching path is keyed on it).
+  core::AlgoQuery query;
   graph::vid_t source = 0;
+  /// query.params.hash(), computed once at admission (cache/dedup key).
+  std::uint64_t phash = 0;
   bool bypass_cache = false;
   double enqueue_us = 0.0;   ///< server wall clock at submit
   double deadline_us = -1.0; ///< absolute server wall clock; negative = none
@@ -31,7 +48,19 @@ struct PendingQuery {
 
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(std::size_t capacity);
+  /// Per-class admission/drain counters (class = core::AlgoKind index).
+  struct ClassCounters {
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    std::size_t depth = 0;  ///< currently queued
+  };
+
+  /// `weights[k]` is AlgoKind k's share of each drain wheel turn; an entry
+  /// of 0 means weight 1 (so a default-constructed array is fair
+  /// round-robin, the pre-QoS behavior for a single-kind server).
+  explicit AdmissionQueue(
+      std::size_t capacity,
+      std::array<unsigned, core::kNumAlgoKinds> weights = {});
 
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
@@ -40,11 +69,12 @@ class AdmissionQueue {
   /// capacity (backpressure), ShuttingDown after close().
   xbfs::Status try_push(PendingQuery&& q);
 
-  /// Move up to `max_items` pending queries into `out` (appended).  Blocks
-  /// until at least one item is available or the queue is closed; after the
-  /// first item arrives, waits up to `window_us` more for the backlog to
-  /// reach `max_items` before returning what is there.  Returns the number
-  /// of items popped (0 only when closed and empty).
+  /// Move up to `max_items` pending queries into `out` (appended), drained
+  /// weighted round-robin across the QoS classes.  Blocks until at least
+  /// one item is available or the queue is closed; after the first item
+  /// arrives, waits up to `window_us` more for the backlog to reach
+  /// `max_items` before returning what is there.  Returns the number of
+  /// items popped (0 only when closed and empty).
   std::size_t pop_batch(std::vector<PendingQuery>& out, std::size_t max_items,
                         double window_us);
 
@@ -58,12 +88,24 @@ class AdmissionQueue {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  ClassCounters class_counters(core::AlgoKind k) const;
 
  private:
+  /// Weighted round-robin drain under mu_: starting at the wheel cursor,
+  /// each class yields up to its weight, cycling until `max_items` or the
+  /// queue is empty.
+  std::size_t drain_locked(std::vector<PendingQuery>& out,
+                           std::size_t max_items);
+
   const std::size_t capacity_;
+  std::array<unsigned, core::kNumAlgoKinds> weights_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<PendingQuery> q_;
+  std::array<std::deque<PendingQuery>, core::kNumAlgoKinds> q_;
+  std::array<std::uint64_t, core::kNumAlgoKinds> pushed_{};
+  std::array<std::uint64_t, core::kNumAlgoKinds> popped_{};
+  std::size_t total_ = 0;
+  std::size_t wheel_ = 0;  ///< class the next drain turn starts at
   bool closed_ = false;
 };
 

@@ -16,8 +16,10 @@ ResultCache::ResultCache(std::size_t capacity, unsigned shards) {
   }
 }
 
-CachedResult ResultCache::get(std::uint64_t graph_fp, graph::vid_t source) {
-  const Key k{graph_fp, source};
+CachedResult ResultCache::get(std::uint64_t graph_fp, core::AlgoKind algo,
+                              std::uint64_t params_hash,
+                              graph::vid_t source) {
+  const Key k{graph_fp, params_hash, source, algo};
   Shard& s = shard_of(k);
   std::lock_guard<std::mutex> lk(s.mu);
   const auto it = s.map.find(k);
@@ -30,7 +32,7 @@ CachedResult ResultCache::get(std::uint64_t graph_fp, graph::vid_t source) {
         graph_fp == current_fp_.load(std::memory_order_relaxed)) {
       const std::uint64_t prev = prev_fp_.load(std::memory_order_relaxed);
       if (prev != graph_fp) {
-        const Key stale{prev, source};
+        const Key stale{prev, params_hash, source, algo};
         Shard& ss = shard_of(stale);
         // Same shard ⇒ the lock is already held; reap inline.
         auto reap = [&](Shard& sh) {
@@ -55,10 +57,11 @@ CachedResult ResultCache::get(std::uint64_t graph_fp, graph::vid_t source) {
   return it->second->second;
 }
 
-void ResultCache::put(std::uint64_t graph_fp, graph::vid_t source,
+void ResultCache::put(std::uint64_t graph_fp, core::AlgoKind algo,
+                      std::uint64_t params_hash, graph::vid_t source,
                       CachedResult v) {
   if (!enabled() || !v) return;
-  const Key k{graph_fp, source};
+  const Key k{graph_fp, params_hash, source, algo};
   Shard& s = shard_of(k);
   std::lock_guard<std::mutex> lk(s.mu);
   if (const auto it = s.map.find(k); it != s.map.end()) {

@@ -1,11 +1,16 @@
-// Sharded LRU result cache keyed by (graph fingerprint, source).
+// Sharded LRU result cache keyed by (graph fingerprint, algorithm kind,
+// parameter hash, source).
 //
 // Serving workloads are Zipf-skewed — a few hot sources absorb most
-// queries — so a small cache of immutable levels vectors turns the hot
+// queries — so a small cache of immutable payload vectors turns the hot
 // tail into refcount bumps.  Keys carry the graph's structural fingerprint
 // (graph::Csr::fingerprint) so a cache shared across graph reloads can
-// never serve a stale topology's result.  Shards (each its own mutex +
-// LRU list) keep submit-path lookups from serializing behind one lock.
+// never serve a stale topology's result, plus the algo kind and the
+// AlgoParams::hash() salt so distinct algorithms — or the same algorithm
+// under different parameters (SSSP weight seed, k-core k) — can never
+// collide on one entry.  Whole-graph kinds (CC, k-core, SCC) key source 0.
+// Shards (each its own mutex + LRU list) keep submit-path lookups from
+// serializing behind one lock.
 // Dynamic graphs (src/dyn) add epoch awareness: each update batch bumps
 // the graph fingerprint (Csr::fingerprint mixes the epoch), so entries
 // keyed under the previous fingerprint become unreachable garbage rather
@@ -23,9 +28,19 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/algorithm_engine.h"
 #include "serve/query.h"
 
 namespace xbfs::serve {
+
+/// The parameter-hash salt BFS entries are keyed under (BFS ignores
+/// AlgoParams, so submit paths normalize them to the default before
+/// hashing).  The two-argument get/put overloads — the pre-redesign API,
+/// still what the BFS-only ShardRouter uses — key through this.
+inline std::uint64_t bfs_params_hash() {
+  static const std::uint64_t h = core::AlgoParams{}.hash();
+  return h;
+}
 
 class ResultCache {
  public:
@@ -59,11 +74,23 @@ class ResultCache {
   bool enabled() const { return shard_capacity_ != 0; }
 
   /// Lookup; bumps the entry to most-recently-used and counts hit/miss.
-  /// A returned value with null levels is a miss.
-  CachedResult get(std::uint64_t graph_fp, graph::vid_t source);
+  /// A returned falsy payload (no vector set) is a miss.
+  CachedResult get(std::uint64_t graph_fp, core::AlgoKind algo,
+                   std::uint64_t params_hash, graph::vid_t source);
   /// Insert/overwrite; evicts the shard's least-recently-used entry when
   /// the shard is full.
-  void put(std::uint64_t graph_fp, graph::vid_t source, CachedResult v);
+  void put(std::uint64_t graph_fp, core::AlgoKind algo,
+           std::uint64_t params_hash, graph::vid_t source, CachedResult v);
+
+  /// BFS convenience overloads (kind Bfs, default-params salt) — the
+  /// pre-redesign two-key API, kept for BFS-only callers (ShardRouter).
+  CachedResult get(std::uint64_t graph_fp, graph::vid_t source) {
+    return get(graph_fp, core::AlgoKind::Bfs, bfs_params_hash(), source);
+  }
+  void put(std::uint64_t graph_fp, graph::vid_t source, CachedResult v) {
+    put(graph_fp, core::AlgoKind::Bfs, bfs_params_hash(), source,
+        std::move(v));
+  }
 
   /// Register the serving fingerprint without counting a bump — called once
   /// at dynamic-server startup so the first epoch_bump() has a "previous"
@@ -82,13 +109,19 @@ class ResultCache {
  private:
   struct Key {
     std::uint64_t fp;
+    std::uint64_t phash;
     graph::vid_t src;
-    bool operator==(const Key& o) const { return fp == o.fp && src == o.src; }
+    core::AlgoKind algo;
+    bool operator==(const Key& o) const {
+      return fp == o.fp && phash == o.phash && src == o.src && algo == o.algo;
+    }
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
       std::uint64_t h = k.fp ^ (static_cast<std::uint64_t>(k.src) *
                                 0x9E3779B97F4A7C15ull);
+      h ^= k.phash + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      h ^= static_cast<std::uint64_t>(k.algo) * 0xff51afd7ed558ccdull;
       h ^= h >> 33;
       h *= 0xff51afd7ed558ccdull;
       h ^= h >> 33;

@@ -6,12 +6,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "algos/engines.h"
 #include "algos/multi_bfs.h"
 #include "baseline/cpu_bfs.h"
-#include "baseline/simple_scan.h"
 #include "dyn/delta_ref.h"
 #include "dyn/incremental_bfs.h"
+#include "dyn/incremental_cc.h"
 #include "graph/g500_validate.h"
+#include "graph/reference.h"
 #include "hipsim/device.h"
 #include "hipsim/fault.h"
 #include "obs/flight_recorder.h"
@@ -36,6 +38,32 @@ const ServeConfig& checked(const ServeConfig& cfg) {
     throw std::invalid_argument("ServeConfig: " + s.to_string());
   }
   return cfg;
+}
+
+/// Canonicalize a query so equivalent requests dedup and share cache
+/// entries: whole-graph kinds pin source 0, and params irrelevant to the
+/// kind are zeroed so they cannot split the params-hash.
+core::AlgoQuery normalize_query(core::AlgoQuery q) {
+  if (!core::algo_needs_source(q.algo)) q.source = 0;
+  switch (q.algo) {
+    case core::AlgoKind::Bfs:
+    case core::AlgoKind::Bc:
+    case core::AlgoKind::Cc:
+    case core::AlgoKind::Scc:
+      // Parameterless kinds: every AlgoParams field is ignored.
+      q.params = core::AlgoParams{};
+      break;
+    case core::AlgoKind::KCore: {
+      core::AlgoParams p;
+      p.k = q.params.k;  // only k matters
+      q.params = p;
+      break;
+    }
+    case core::AlgoKind::Sssp:
+      q.params.k = 0;  // k-core's field; weights/delta are SSSP's own
+      break;
+  }
+  return q;
 }
 
 /// Fold one attempt's AttributionSink into a per-query rung record.
@@ -118,6 +146,23 @@ xbfs::Status ServeConfig::validate() const {
   if (breaker_cooldown_ms < 0.0) {
     return xbfs::Status::Invalid("breaker_cooldown_ms must be >= 0");
   }
+  if (algos.empty()) {
+    return xbfs::Status::Invalid("algos must list at least one kind");
+  }
+  {
+    bool seen[core::kNumAlgoKinds] = {};
+    for (const core::AlgoKind k : algos) {
+      const auto i = static_cast<std::size_t>(k);
+      if (i >= core::kNumAlgoKinds) {
+        return xbfs::Status::Invalid("algos contains an unknown kind");
+      }
+      if (seen[i]) {
+        return xbfs::Status::Invalid(
+            std::string("algos lists ") + core::algo_kind_name(k) + " twice");
+      }
+      seen[i] = true;
+    }
+  }
   return xbfs.validate();
 }
 
@@ -131,7 +176,7 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
     : host_g_(g),
       store_(store),
       cfg_((checked(cfg), std::move(cfg))),
-      queue_(cfg_.queue_capacity),
+      queue_(cfg_.queue_capacity, cfg_.qos_weights),
       cache_(cfg_.cache_capacity, cfg_.cache_shards),
       health_(cfg_.num_gcds,
               BreakerConfig{cfg_.breaker_failure_threshold,
@@ -141,7 +186,22 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
   // swamp XBFS_RUN_REPORT under load.
   cfg_.xbfs.report_runs = false;
 
+  algos::register_builtin_engines();
+  for (const core::AlgoKind k : cfg_.algos) {
+    enabled_[static_cast<std::size_t>(k)] = true;
+  }
+  bfs_phash_ = bfs_params_hash();
+
   if (store_) {
+    for (const core::AlgoKind k : cfg_.algos) {
+      if (k != core::AlgoKind::Bfs && k != core::AlgoKind::Cc) {
+        throw std::invalid_argument(
+            std::string("ServeConfig: dynamic serving supports bfs "
+                        "(incremental repair) and cc (incremental "
+                        "union-find) only, got ") +
+            core::algo_kind_name(k));
+      }
+    }
     const dyn::Snapshot snap = store_->snapshot();
     n_vertices_ = snap.graph->num_vertices();
     graph_fp_.store(snap.fingerprint, std::memory_order_release);
@@ -153,6 +213,7 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
     graph_fp_.store(host_g_->fingerprint(), std::memory_order_release);
   }
 
+  core::EngineRegistry& reg = core::EngineRegistry::global();
   gcds_.reserve(cfg_.num_gcds);
   for (unsigned i = 0; i < cfg_.num_gcds; ++i) {
     auto gcd = std::make_unique<Gcd>();
@@ -163,33 +224,73 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
     gcd->dev->set_trace_label("GCD " + std::to_string(i));
     gcd->dev->warmup();
     if (store_) {
-      // Dynamic ladder: one rung, the incremental-repair engine (it owns
-      // its own delta-aware device mirror; no static DeviceCsr upload).
-      auto inc =
-          std::make_unique<dyn::IncrementalBfs>(*gcd->dev, *store_, cfg_.xbfs);
-      gcd->inc = inc.get();
-      gcd->ladder.push_back(std::move(inc));
+      // Dynamic ladders: one rung per kind, the incremental-repair engines
+      // (they own their own delta-aware mirrors; no static CSR upload).
+      if (serves(core::AlgoKind::Bfs)) {
+        auto inc = std::make_unique<dyn::IncrementalBfs>(*gcd->dev, *store_,
+                                                         cfg_.xbfs);
+        gcd->inc = inc.get();
+        gcd->ladders[static_cast<std::size_t>(core::AlgoKind::Bfs)].push_back(
+            std::move(inc));
+      }
+      if (serves(core::AlgoKind::Cc)) {
+        auto inc_cc = std::make_unique<dyn::IncrementalCc>(*store_);
+        gcd->inc_cc = inc_cc.get();
+        gcd->ladders[static_cast<std::size_t>(core::AlgoKind::Cc)].push_back(
+            std::move(inc_cc));
+      }
     } else {
       gcd->dg = graph::DeviceCsr::upload(*gcd->dev, *host_g_);
-      // Degradation ladder, fastest first.  The simple-scan baseline is the
-      // second rung: far fewer kernel launches per traversal than adaptive
-      // XBFS, so under a high kernel-fault rate it has fewer chances to
-      // draw a fault while still running on the device.
-      gcd->ladder.push_back(
-          std::make_unique<core::Xbfs>(*gcd->dev, gcd->dg, cfg_.xbfs));
-      gcd->ladder.push_back(
-          std::make_unique<baseline::SimpleScanBfs>(*gcd->dev, gcd->dg));
+      // Per-kind degradation ladders from the registry, fastest rung first
+      // (for BFS: adaptive XBFS, then the simple-scan baseline — far fewer
+      // kernel launches per traversal, so under a high kernel-fault rate it
+      // has fewer chances to draw a fault while still on the device).
+      const core::EngineContext ctx{.dev = gcd->dev.get(),
+                                    .dg = &gcd->dg,
+                                    .host_g = host_g_,
+                                    .store = nullptr,
+                                    .config = &cfg_.xbfs};
+      for (const core::AlgoKind k : cfg_.algos) {
+        gcd->ladders[static_cast<std::size_t>(k)] = reg.build_ladder(k, ctx);
+      }
     }
     gcds_.push_back(std::move(gcd));
   }
+
+  // Terminal rungs: one fault-immune host engine per kind.
   if (store_) {
-    auto host = std::make_unique<dyn::HostDeltaBfs>(*store_);
-    host_dyn_ = host.get();
-    host_engine_ = std::move(host);
+    if (serves(core::AlgoKind::Bfs)) {
+      auto host = std::make_unique<dyn::HostDeltaBfs>(*store_);
+      host_dyn_ = host.get();
+      host_engines_[static_cast<std::size_t>(core::AlgoKind::Bfs)] =
+          std::move(host);
+    }
+    // Dynamic CC's only rung (IncrementalCc) is already host-side and
+    // fault-immune; no separate terminal rung needed.
   } else {
-    host_engine_ = std::make_unique<baseline::CpuBfsEngine>(
-        *host_g_, baseline::CpuBfsEngine::Mode::Serial);
+    const core::EngineContext hctx{.host_g = host_g_};
+    for (const core::AlgoKind k : cfg_.algos) {
+      if (k == core::AlgoKind::Bfs) {
+        // Serial mode: the serving fallback's historical engine (and the
+        // name — "cpu-serial" — resilience tests assert on); the registry's
+        // default cpu-bfs build is the parallel variant.
+        host_engines_[static_cast<std::size_t>(k)] =
+            std::make_unique<baseline::CpuBfsEngine>(
+                *host_g_, baseline::CpuBfsEngine::Mode::Serial);
+      } else {
+        host_engines_[static_cast<std::size_t>(k)] = reg.build_host(k, hctx);
+      }
+    }
   }
+  for (const core::AlgoKind k : cfg_.algos) {
+    const auto i = static_cast<std::size_t>(k);
+    if (gcds_[0]->ladders[i].empty() && host_engines_[i] == nullptr) {
+      throw std::invalid_argument(
+          std::string("ServeConfig: no engine registered for kind ") +
+          core::algo_kind_name(k));
+    }
+  }
+
   // One pool lane per GCD (the scheduler thread participates as lane 0),
   // reusing the simulator's chunked-cursor worker pool.
   pool_ = std::make_unique<sim::ThreadPool>(cfg_.num_gcds);
@@ -197,6 +298,12 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
   obs::SloEngine& slo_eng = obs::SloEngine::global();
   if (slo_eng.enabled()) {
     slo_ = &slo_eng.scope(cfg_.slo_scope, cfg_.num_gcds);
+    // Per-kind scopes so objectives can differ per algorithm (a whole-graph
+    // CC is allowed a slower p99 than a point BFS lookup).
+    for (const core::AlgoKind k : cfg_.algos) {
+      slo_by_algo_[static_cast<std::size_t>(k)] = &slo_eng.scope(
+          cfg_.slo_scope + ":" + core::algo_kind_name(k), cfg_.num_gcds);
+    }
   }
   flight_ctx_ = obs::FlightRecorder::global().register_context(
       "server[" + cfg_.slo_scope + "]",
@@ -216,48 +323,76 @@ double Server::wall_us() const {
 }
 
 Admission Server::submit(graph::vid_t source, QueryOptions opt) {
+  core::AlgoQuery q;
+  q.algo = core::AlgoKind::Bfs;
+  q.source = source;
+  return submit(std::move(q), std::move(opt));
+}
+
+Admission Server::submit(core::AlgoQuery q, QueryOptions opt) {
+  q = normalize_query(q);
+  const auto kidx = static_cast<std::size_t>(q.algo);
+
   Admission a;
   a.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (kidx < core::kNumAlgoKinds) {
+    submitted_by_algo_[kidx].fetch_add(1, std::memory_order_relaxed);
+  }
 
   if (shut_down_.load(std::memory_order_acquire)) {
     a.status = xbfs::Status::ShuttingDown("server is shutting down");
     rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
-  if (source >= n_vertices_) {
+  if (kidx >= core::kNumAlgoKinds || !enabled_[kidx]) {
     a.status = xbfs::Status::Invalid(
-        "source " + std::to_string(source) + " >= |V| = " +
+        std::string("algorithm kind ") +
+        (kidx < core::kNumAlgoKinds ? core::algo_kind_name(q.algo) : "?") +
+        " is not served (see ServeConfig::algos)");
+    rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  if (core::algo_needs_source(q.algo) && q.source >= n_vertices_) {
+    a.status = xbfs::Status::Invalid(
+        "source " + std::to_string(q.source) + " >= |V| = " +
         std::to_string(n_vertices_));
     rejected_invalid_.fetch_add(1, std::memory_order_relaxed);
     return a;
   }
 
   const double now = wall_us();
+  const std::uint64_t phash = q.params.hash();
 
   // Cache fast path: resolve without ever touching the queue.
   if (cache_.enabled() && !opt.bypass_cache) {
     if (CachedResult hit =
-            cache_.get(graph_fp_.load(std::memory_order_acquire), source)) {
+            cache_.get(graph_fp_.load(std::memory_order_acquire), q.algo,
+                       phash, q.source)) {
       accepted_.fetch_add(1, std::memory_order_relaxed);
       std::promise<QueryResult> pr;
       a.result = pr.get_future();
       a.accepted = true;
       QueryResult r;
       r.id = a.id;
-      r.source = source;
+      r.algo = q.algo;
+      r.source = q.source;
       r.status = QueryStatus::Completed;
-      r.levels = std::move(hit.levels);
       r.depth = hit.depth;
+      r.levels = hit.levels;
+      r.payload = std::move(hit);
       r.cache_hit = true;
       r.total_ms = (wall_us() - now) / 1000.0;
       if (cfg_.query_tracing) {
-        r.trace = std::make_shared<obs::QueryTrace>(a.id, source);
-        r.trace->event(now, "admitted", "source=" + std::to_string(source));
+        r.trace = std::make_shared<obs::QueryTrace>(a.id, q.source);
+        r.trace->event(now, "admitted",
+                       std::string("algo=") + core::algo_kind_name(q.algo) +
+                           " source=" + std::to_string(q.source));
         r.trace->event(wall_us(), "cache_hit",
                        "depth=" + std::to_string(r.depth));
       }
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_by_algo_[kidx].fetch_add(1, std::memory_order_relaxed);
       completed_.fetch_add(1, std::memory_order_relaxed);
       record_latency(r);
       note_terminal(r);
@@ -269,17 +404,19 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
 
   PendingQuery p;
   p.id = a.id;
-  p.source = source;
+  p.query = q;
+  p.source = q.source;
+  p.phash = phash;
   p.bypass_cache = opt.bypass_cache;
   p.enqueue_us = now;
-  const double timeout_ms =
-      opt.timeout_ms != 0.0 ? opt.timeout_ms : cfg_.default_timeout_ms;
-  p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
+  p.deadline_us = resolve_deadline_us(opt.timeout_ms, cfg_.default_timeout_ms,
+                                      now);
   if (cfg_.query_tracing) {
-    p.trace = std::make_shared<obs::QueryTrace>(a.id, source);
-    std::string detail = "source=" + std::to_string(source);
+    p.trace = std::make_shared<obs::QueryTrace>(a.id, q.source);
+    std::string detail = std::string("algo=") + core::algo_kind_name(q.algo) +
+                         " source=" + std::to_string(q.source);
     if (p.deadline_us >= 0.0) {
-      detail += " deadline_ms=" + fmt_double(timeout_ms);
+      detail += " deadline_ms=" + fmt_double((p.deadline_us - now) / 1000.0);
     }
     p.trace->event(now, "admitted", std::move(detail));
   }
@@ -305,7 +442,8 @@ Admission Server::submit(graph::vid_t source, QueryOptions opt) {
   return a;
 }
 
-UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch) {
+UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch,
+                                      UpdateOptions opt) {
   UpdateAdmission a;
   updates_submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!store_) {
@@ -317,11 +455,27 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch) {
     a.status = xbfs::Status::ShuttingDown("server is shutting down");
     return a;
   }
+  // The update lane has no default deadline: the query-side
+  // default_timeout_ms is deliberately not inherited (dropping a write
+  // because reads are slow is never what a caller means).
+  const double deadline_us = resolve_deadline_us(opt.timeout_ms, -1.0,
+                                                 wall_us());
 
   // Writes serialized per graph; reads are never blocked — the store
   // publishes a new snapshot while in-flight queries keep theirs, and the
   // fingerprint/cache flip below makes new submissions see the new epoch.
   std::lock_guard<std::mutex> lk(update_mu_);
+  if (deadline_us >= 0.0 && wall_us() > deadline_us) {
+    // The lane was contended past the caller's budget; reject *before*
+    // applying so the graph does not move under a caller that gave up.
+    updates_expired_.fetch_add(1, std::memory_order_relaxed);
+    a.status = xbfs::Status::DeadlineExceeded(
+        "update waited past its " + fmt_double(opt.timeout_ms) +
+        " ms budget on the write lane");
+    obs::FlightRecorder::global().record("dyn", "update_expired", {}, 0, 0,
+                                         batch.size());
+    return a;
+  }
   if (cfg_.query_tracing) {
     a.trace = std::make_shared<obs::QueryTrace>(0, 0);
     a.trace->event(wall_us(), "update_submitted",
@@ -401,7 +555,7 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
   const std::size_t cycle_queries = pending.size();
 
   // Triage: expire past-deadline queries (reported, never dropped) and
-  // serve queries whose source landed in the cache while they queued.
+  // serve queries whose key landed in the cache while they queued.
   std::vector<PendingQuery> work;
   work.reserve(pending.size());
   for (PendingQuery& p : pending) {
@@ -410,8 +564,9 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
       continue;
     }
     if (cache_.enabled() && !p.bypass_cache) {
-      if (CachedResult hit = cache_.get(
-              graph_fp_.load(std::memory_order_acquire), p.source)) {
+      if (CachedResult hit =
+              cache_.get(graph_fp_.load(std::memory_order_acquire),
+                         p.query.algo, p.phash, p.source)) {
         complete_from_cache(std::move(p), std::move(hit), dispatch_us);
         continue;
       }
@@ -425,12 +580,22 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
   pending.clear();
 
   if (!work.empty()) {
-    // Deduplicate: all queries for one source share one traversal.
-    SourceMap by_src;
-    std::vector<graph::vid_t> uniq;
+    // Deduplicate: all queries agreeing on (algo, params, source) share one
+    // engine run.  BFS keys additionally feed the batch/sweep machinery;
+    // every other kind dispatches as its own unit.
+    QueryMap by_key;
+    std::vector<graph::vid_t> uniq;  // distinct BFS sources
+    std::vector<DispatchKey> units;  // non-BFS dispatch units
     for (PendingQuery& p : work) {
-      auto& waiters = by_src[p.source];
-      if (waiters.empty()) uniq.push_back(p.source);
+      const DispatchKey key{p.query.algo, p.phash, p.source};
+      auto& waiters = by_key[key];
+      if (waiters.empty()) {
+        if (p.query.algo == core::AlgoKind::Bfs) {
+          uniq.push_back(p.source);
+        } else {
+          units.push_back(key);
+        }
+      }
       waiters.push_back(std::move(p));
     }
 
@@ -456,9 +621,16 @@ std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
       for (const graph::vid_t s : uniq) batches.push_back({s});
     }
 
-    pool_->parallel_for(batches.size(),
+    const std::size_t n_bfs = batches.size();
+    pool_->parallel_for(n_bfs + units.size(),
                         [&](unsigned worker, std::uint64_t bi) {
-                          run_batch(worker, batches[bi], by_src, dispatch_us);
+                          if (bi < n_bfs) {
+                            run_batch(worker, batches[bi], by_key,
+                                      dispatch_us);
+                          } else {
+                            run_algo(worker, units[bi - n_bfs], by_key,
+                                     dispatch_us);
+                          }
                         });
   }
 
@@ -531,22 +703,71 @@ bool Server::note_dispatch_time(unsigned gcd, double dispatch_us) {
   return true;
 }
 
-Server::Resolution Server::resolve_single(unsigned preferred,
-                                          graph::vid_t src,
-                                          unsigned attempts_so_far,
-                                          double dispatch_us,
-                                          QueryId primary) {
+std::string Server::validate_payload(const core::AlgoQuery& q,
+                                     const CachedResult& res,
+                                     const dyn::Snapshot& snap) const {
+  switch (q.algo) {
+    case core::AlgoKind::Bfs:
+      if (!res.levels) return "bfs payload has no levels vector";
+      return snap ? dyn::validate_levels(*snap.graph, q.source, *res.levels)
+                  : graph::validate_levels_graph500(*host_g_, q.source,
+                                                    *res.levels);
+    case core::AlgoKind::Sssp:
+      if (!res.distances) return "sssp payload has no distances vector";
+      return host_g_ ? graph::validate_sssp_distances(
+                           *host_g_, q.source, *res.distances,
+                           q.params.weight_seed, q.params.max_weight)
+                     : std::string();
+    case core::AlgoKind::Cc:
+      if (!res.components) return "cc payload has no components vector";
+      return host_g_ ? graph::validate_components(*host_g_, *res.components)
+                     : std::string();
+    case core::AlgoKind::KCore:
+      if (!res.cores) return "kcore payload has no cores vector";
+      return host_g_ ? graph::validate_kcore(*host_g_, *res.cores,
+                                             q.params.k)
+                     : std::string();
+    case core::AlgoKind::Bc:
+    case core::AlgoKind::Scc:
+      // No partition/relaxation-style validator exists for these kinds;
+      // payload_validatable() keeps them off the validation path.
+      return {};
+  }
+  return {};
+}
+
+bool Server::payload_validatable(core::AlgoKind k) const {
+  switch (k) {
+    case core::AlgoKind::Bfs:
+      return true;  // static and dynamic validators both exist
+    case core::AlgoKind::Sssp:
+    case core::AlgoKind::Cc:
+    case core::AlgoKind::KCore:
+      return host_g_ != nullptr;  // validators need the static topology
+    case core::AlgoKind::Bc:
+    case core::AlgoKind::Scc:
+      return false;
+  }
+  return false;
+}
+
+Server::Resolution Server::resolve_query(unsigned preferred,
+                                         const core::AlgoQuery& q,
+                                         unsigned attempts_so_far,
+                                         double dispatch_us,
+                                         QueryId primary) {
+  const auto kidx = static_cast<std::size_t>(q.algo);
   Resolution out;
   out.attempts = attempts_so_far;
   out.gcd = preferred;
   if (cfg_.query_tracing) {
-    out.log = std::make_shared<obs::QueryTrace>(primary, src);
+    out.log = std::make_shared<obs::QueryTrace>(primary, q.source);
   }
   obs::QueryTrace* log = out.log.get();
-  const bool validate = validation_active();
+  const bool validate = validation_active() && payload_validatable(q.algo);
   xbfs::Status last = xbfs::Status::Unavailable("no device attempt made");
   unsigned budget = cfg_.max_attempts;
-  const std::size_t rungs = gcds_[0]->ladder.size();
+  const std::size_t rungs = gcds_[0]->ladders[kidx].size();
 
   // SLO-aware proactive degrade: when the error budget is exhausted (or
   // the window burn runs past burn_fast), start on the cheaper rung
@@ -574,35 +795,37 @@ Server::Resolution Server::resolve_single(unsigned preferred,
       ++out.attempts;
       --budget;
       Gcd& gcd = *gcds_[g];
+      core::AlgorithmEngine& eng = *gcd.ladders[kidx][rung];
       const double attempt_us = wall_us();
       if (log) {
         log->event(attempt_us, "attempt",
-                   "engine=" + std::string(gcd.ladder[rung]->name()) +
-                       " gcd=" + std::to_string(g) + " rung=" +
-                       std::to_string(rung) + " attempt=" +
-                       std::to_string(out.attempts));
+                   "engine=" + std::string(eng.name()) + " gcd=" +
+                       std::to_string(g) + " rung=" + std::to_string(rung) +
+                       " attempt=" + std::to_string(out.attempts));
       }
       // Declared outside the try: a faulted run keeps the partial counters
       // it accumulated before the fault (the faulted launch itself
       // attributes nothing — hipsim throws before executing it).
       sim::AttributionSink sink;
       try {
-        core::BfsResult br;
+        core::AlgoResult ar;
         bool corrupted = false;
         dyn::Snapshot dsnap;
         dyn::IncrementalBfs::LastRun dlr;
         {
           std::lock_guard<std::mutex> lk(gcd.mu);
           sim::ScopedAttribution attr(*gcd.dev, sink);
-          br = gcd.ladder[rung]->run(src);
+          ar = eng.solve(q);
           corrupted = gcd.dev->take_pending_corruption();
-          // Dynamic: pin the exact snapshot this run traversed (still under
-          // the GCD lock — served() follows run()'s serialization) so
+          // Dynamic: pin the exact snapshot this run used (still under the
+          // GCD lock — served() follows solve()'s serialization) so
           // validation and the cache key match the graph that was served,
           // not whatever epoch the store is on by now.
-          if (gcd.inc) {
+          if (gcd.inc && q.algo == core::AlgoKind::Bfs) {
             dsnap = gcd.inc->served();
             dlr = gcd.inc->last_run();
+          } else if (gcd.inc_cc && q.algo == core::AlgoKind::Cc) {
+            dsnap = gcd.inc_cc->served();
           }
         }
         if (log && dlr.valid) {
@@ -614,21 +837,46 @@ Server::Resolution Server::resolve_single(unsigned preferred,
                               ? std::string(" fallback=") + dlr.fallback
                               : std::string()));
         }
-        if (corrupted) sim::FaultInjector::global().corrupt_levels(br.levels);
+        if (corrupted) {
+          if (q.algo == core::AlgoKind::Bfs && ar.payload.levels) {
+            // The modelled copy moved no real bytes; realize the corruption
+            // on the levels so validation (when active) sees it — the
+            // pre-redesign behavior.
+            std::vector<std::int32_t> lv = *ar.payload.levels;
+            sim::FaultInjector::global().corrupt_levels(lv);
+            ar.payload.levels =
+                std::make_shared<const std::vector<std::int32_t>>(
+                    std::move(lv));
+          } else {
+            // Non-BFS payloads have no realization hook; treat the pending
+            // transfer corruption as a failed attempt rather than serving
+            // a payload the detector can't check.
+            last = note_attempt_failure(
+                g,
+                xbfs::Status::Corruption("transfer corruption pending on " +
+                                         std::string(eng.name())),
+                primary);
+            if (log) {
+              log->event(wall_us(), "corrupted", eng.name());
+              log->rung(make_rung(sink, eng.name(), "corrupt", g,
+                                  out.attempts, static_cast<unsigned>(rung),
+                                  1, attempt_us, wall_us()));
+            }
+            obs::FlightRecorder::global().trigger("validation_failure");
+            backoff(out.attempts);
+            continue;
+          }
+        }
         if (validate) {
-          const std::string verr =
-              dsnap ? dyn::validate_levels(*dsnap.graph, src, br.levels)
-                    : graph::validate_levels_graph500(*host_g_, src,
-                                                      br.levels);
+          const std::string verr = validate_payload(q, ar.payload, dsnap);
           if (!verr.empty()) {
             last = note_attempt_failure(g, xbfs::Status::Corruption(verr),
                                         primary);
             if (log) {
               log->event(wall_us(), "validation_failed", verr);
-              log->rung(make_rung(sink, gcd.ladder[rung]->name(), "corrupt",
-                                  g, out.attempts,
-                                  static_cast<unsigned>(rung), 1, attempt_us,
-                                  wall_us()));
+              log->rung(make_rung(sink, eng.name(), "corrupt", g,
+                                  out.attempts, static_cast<unsigned>(rung),
+                                  1, attempt_us, wall_us()));
             }
             obs::FlightRecorder::global().trigger("validation_failure");
             backoff(out.attempts);
@@ -640,11 +888,9 @@ Server::Resolution Server::resolve_single(unsigned preferred,
         // A straggler keeps its result but eats a breaker failure instead
         // of a success (which would reset the failure streak).
         if (!note_dispatch_time(g, dispatch_us)) health_.record_success(g);
-        out.res.levels = std::make_shared<const std::vector<std::int32_t>>(
-            std::move(br.levels));
-        out.res.depth = br.depth;
-        out.modelled_ms = br.total_ms;
-        out.engine = gcd.ladder[rung]->name();
+        out.res = std::move(ar.payload);
+        out.modelled_ms = ar.total_ms;
+        out.engine = eng.name();
         out.gcd = g;
         out.fp = dsnap ? dsnap.fingerprint
                        : graph_fp_.load(std::memory_order_acquire);
@@ -665,9 +911,9 @@ Server::Resolution Server::resolve_single(unsigned preferred,
                                     primary);
         if (log) {
           log->event(wall_us(), "fault", e.what());
-          log->rung(make_rung(sink, gcd.ladder[rung]->name(), "fault", g,
-                              out.attempts, static_cast<unsigned>(rung), 1,
-                              attempt_us, wall_us()));
+          log->rung(make_rung(sink, eng.name(), "fault", g, out.attempts,
+                              static_cast<unsigned>(rung), 1, attempt_us,
+                              wall_us()));
         }
         backoff(out.attempts);
       } catch (const std::exception& e) {
@@ -675,16 +921,17 @@ Server::Resolution Server::resolve_single(unsigned preferred,
                                     primary);
         if (log) {
           log->event(wall_us(), "error", e.what());
-          log->rung(make_rung(sink, gcd.ladder[rung]->name(), "error", g,
-                              out.attempts, static_cast<unsigned>(rung), 1,
-                              attempt_us, wall_us()));
+          log->rung(make_rung(sink, eng.name(), "error", g, out.attempts,
+                              static_cast<unsigned>(rung), 1, attempt_us,
+                              wall_us()));
         }
         backoff(out.attempts);
       }
     }
   }
 
-  if (cfg_.host_fallback) {
+  core::AlgorithmEngine* host = host_engines_[kidx].get();
+  if (cfg_.host_fallback && host != nullptr) {
     // Terminal rung: the host CPU engine never touches the simulated
     // device, so no injected fault can reach it.  Dynamic servers pin one
     // snapshot so the traversal, validation and cache key agree even if an
@@ -692,36 +939,37 @@ Server::Resolution Server::resolve_single(unsigned preferred,
     const double host_us = wall_us();
     if (log) {
       log->event(host_us, "host_fallback",
-                 "engine=" + std::string(host_engine_->name()));
+                 "engine=" + std::string(host->name()));
     }
     dyn::Snapshot hsnap;
-    core::BfsResult br;
-    if (host_dyn_) {
+    core::ResultPayload payload;
+    if (host_dyn_ != nullptr && q.algo == core::AlgoKind::Bfs) {
       hsnap = store_->snapshot();
-      br = host_dyn_->run_on(hsnap, src);
+      core::BfsResult br = host_dyn_->run_on(hsnap, q.source);
+      payload.kind = core::AlgoKind::Bfs;
+      payload.levels = std::make_shared<const std::vector<std::int32_t>>(
+          std::move(br.levels));
+      payload.depth = br.depth;
     } else {
-      br = host_engine_->run(src);
+      payload = host->solve(q).payload;
     }
     host_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
     if (mx.enabled()) mx.counter("serve.host_fallbacks").add();
     if (validate) {
-      const std::string verr =
-          hsnap ? dyn::validate_levels(*hsnap.graph, src, br.levels)
-                : graph::validate_levels_graph500(*host_g_, src, br.levels);
+      const std::string verr = validate_payload(q, payload, hsnap);
       if (!verr.empty()) {
         // Cannot happen short of a bug in the host engine itself; report
         // rather than serve a wrong answer.
-        out.status = xbfs::Status::Internal("host fallback failed validation: " + verr);
+        out.status = xbfs::Status::Internal(
+            "host fallback failed validation: " + verr);
         if (log) log->event(wall_us(), "validation_failed", verr);
         return out;
       }
       validated_results_.fetch_add(1, std::memory_order_relaxed);
     }
-    out.res.levels = std::make_shared<const std::vector<std::int32_t>>(
-        std::move(br.levels));
-    out.res.depth = br.depth;
-    out.engine = host_engine_->name();
+    out.res = std::move(payload);
+    out.engine = host->name();
     out.degraded = true;
     out.validated = validate;
     out.status = xbfs::Status::Ok();
@@ -751,13 +999,14 @@ Server::Resolution Server::resolve_single(unsigned preferred,
   return out;
 }
 
-void Server::deliver_source(graph::vid_t src, const Resolution& res,
-                            SourceMap& by_src, double dispatch_us,
-                            unsigned batch_size,
-                            const obs::QueryTrace* batch_log) {
-  auto waiters = by_src.find(src);
-  if (waiters == by_src.end()) return;
+void Server::deliver_unit(const DispatchKey& key, const Resolution& res,
+                          QueryMap& by_key, double dispatch_us,
+                          unsigned batch_size,
+                          const obs::QueryTrace* batch_log) {
+  auto waiters = by_key.find(key);
+  if (waiters == by_key.end()) return;
   const double complete_us = wall_us();
+  const auto kidx = static_cast<std::size_t>(key.algo);
 
   bool published = false;
   if (res.res) {
@@ -773,14 +1022,14 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
     // which case the entry is unreachable (and purged on the next bump)
     // rather than served stale.
     if (publish && wanted) {
-      cache_.put(res.fp, src, res.res);
+      cache_.put(res.fp, key.algo, key.phash, key.source, res.res);
       published = true;
     }
   }
 
   for (PendingQuery& p : waiters->second) {
     if (p.trace) {
-      // Batch-shared work first (sweep attempts), then this source's own
+      // Batch-shared work first (sweep attempts), then this unit's own
       // resolution log; wall clocks keep the merged record ordered.
       if (batch_log != nullptr) p.trace->absorb(*batch_log);
       if (res.log != nullptr) p.trace->absorb(*res.log);
@@ -791,6 +1040,7 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
     }
     QueryResult r;
     r.id = p.id;
+    r.algo = key.algo;
     r.source = p.source;
     r.batch_size = batch_size;
     r.gcd = res.gcd;
@@ -803,6 +1053,7 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
     r.total_ms = (complete_us - p.enqueue_us) / 1000.0;
     if (res.res) {
       r.status = QueryStatus::Completed;
+      r.payload = res.res;
       r.levels = res.res.levels;
       r.depth = res.res.depth;
       if (res.degraded) {
@@ -816,6 +1067,7 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
       failed_.fetch_add(1, std::memory_order_relaxed);
       obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
       if (mx.enabled()) mx.counter("serve.failed").add();
+      (void)kidx;
     }
     finish_query(std::move(p), std::move(r));
   }
@@ -823,7 +1075,7 @@ void Server::deliver_source(graph::vid_t src, const Resolution& res,
 
 void Server::run_batch(unsigned worker,
                        const std::vector<graph::vid_t>& batch,
-                       SourceMap& by_src, double dispatch_us) {
+                       QueryMap& by_key, double dispatch_us) {
   const bool singleton = batch.size() == 1;
   sweeps_.fetch_add(1, std::memory_order_relaxed);
   if (singleton) singleton_sweeps_.fetch_add(1, std::memory_order_relaxed);
@@ -914,6 +1166,7 @@ void Server::run_batch(unsigned worker,
             max_level = std::max(max_level, lv);
           }
           Resolution& o = outcomes[i];
+          o.res.kind = core::AlgoKind::Bfs;
           o.res.levels = std::make_shared<const std::vector<std::int32_t>>(
               std::move(r.levels[i]));
           // Same convention as every TraversalEngine: number of BFS levels
@@ -961,23 +1214,28 @@ void Server::run_batch(unsigned worker,
   }
 
   if (!solved) {
-    // Stage 2: per-source resolution through the engine ladder (also the
-    // normal path for singleton batches, where ladder[0] is exactly the
-    // pre-resilience adaptive Xbfs run).
+    // Stage 2: per-source resolution through the BFS engine ladder (also
+    // the normal path for singleton batches, where ladder[0] is exactly
+    // the pre-resilience adaptive Xbfs run).
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      const auto w = by_src.find(batch[i]);
+      const DispatchKey key{core::AlgoKind::Bfs, bfs_phash_, batch[i]};
+      const auto w = by_key.find(key);
       const QueryId primary =
-          (w != by_src.end() && !w->second.empty()) ? w->second.front().id
+          (w != by_key.end() && !w->second.empty()) ? w->second.front().id
                                                     : 0;
-      outcomes[i] = resolve_single(worker, batch[i], sweep_attempts,
-                                   dispatch_us, primary);
+      core::AlgoQuery q;
+      q.algo = core::AlgoKind::Bfs;
+      q.source = batch[i];
+      outcomes[i] = resolve_query(worker, q, sweep_attempts, dispatch_us,
+                                  primary);
       modelled_ms += outcomes[i].modelled_ms;
     }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    deliver_source(batch[i], outcomes[i], by_src, dispatch_us,
-                   static_cast<unsigned>(batch.size()), batch_log.get());
+    deliver_unit(DispatchKey{core::AlgoKind::Bfs, bfs_phash_, batch[i]},
+                 outcomes[i], by_key, dispatch_us,
+                 static_cast<unsigned>(batch.size()), batch_log.get());
   }
 
   {
@@ -994,9 +1252,30 @@ void Server::run_batch(unsigned worker,
   }
 }
 
+void Server::run_algo(unsigned worker, const DispatchKey& key,
+                      QueryMap& by_key, double dispatch_us) {
+  algo_dispatches_.fetch_add(1, std::memory_order_relaxed);
+  const auto w = by_key.find(key);
+  if (w == by_key.end() || w->second.empty()) return;
+  // The dedup representative: every waiter under this key agrees on
+  // (algo, params-hash, source), so the front query stands for all.
+  const core::AlgoQuery q = w->second.front().query;
+  const QueryId primary = w->second.front().id;
+
+  Resolution res = resolve_query(worker, q, 0, dispatch_us, primary);
+  {
+    std::lock_guard<std::mutex> lk(agg_mu_);
+    modelled_busy_ms_ += res.modelled_ms;
+  }
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("serve.algo_dispatches").add();
+  deliver_unit(key, res, by_key, dispatch_us, /*batch_size=*/1, nullptr);
+}
+
 void Server::complete_expired(PendingQuery&& p, double now_us) {
   QueryResult r;
   r.id = p.id;
+  r.algo = p.query.algo;
   r.source = p.source;
   r.status = QueryStatus::Expired;
   r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
@@ -1011,10 +1290,12 @@ void Server::complete_from_cache(PendingQuery&& p, CachedResult hit,
                                  double now_us) {
   QueryResult r;
   r.id = p.id;
+  r.algo = p.query.algo;
   r.source = p.source;
   r.status = QueryStatus::Completed;
-  r.levels = std::move(hit.levels);
   r.depth = hit.depth;
+  r.levels = hit.levels;
+  r.payload = std::move(hit);
   r.cache_hit = true;
   r.queue_ms = (now_us - p.enqueue_us) / 1000.0;
   r.total_ms = r.queue_ms;
@@ -1022,6 +1303,8 @@ void Server::complete_from_cache(PendingQuery&& p, CachedResult hit,
     p.trace->event(now_us, "cache_hit", "depth=" + std::to_string(r.depth));
   }
   cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  cache_hits_by_algo_[static_cast<std::size_t>(p.query.algo)].fetch_add(
+      1, std::memory_order_relaxed);
   completed_.fetch_add(1, std::memory_order_relaxed);
   record_latency(r);
   finish_query(std::move(p), std::move(r));
@@ -1040,12 +1323,15 @@ void Server::finish_query(PendingQuery&& p, QueryResult&& r) {
 
 void Server::note_terminal(QueryResult& r) {
   const bool ok = r.status == QueryStatus::Completed;
+  // Cache hits and expiries never touched a device lane: r.batch_size is
+  // 0 exactly when no traversal ran, and an out-of-range lane attributes
+  // to the scope aggregate only.
+  const unsigned lane = r.batch_size > 0 ? r.gcd : cfg_.num_gcds;
   if (slo_ != nullptr) {
-    // Cache hits and expiries never touched a device lane: r.batch_size is
-    // 0 exactly when no traversal ran, and an out-of-range lane attributes
-    // to the scope aggregate only.
-    const unsigned lane = r.batch_size > 0 ? r.gcd : cfg_.num_gcds;
     slo_->record(lane, ok, r.total_ms, obs::slo_now_ms());
+  }
+  if (obs::SloScope* ks = slo_by_algo_[static_cast<std::size_t>(r.algo)]) {
+    ks->record(lane, ok, r.total_ms, obs::slo_now_ms());
   }
   const char* status = query_status_name(r.status);
   if (r.trace != nullptr) {
@@ -1113,6 +1399,11 @@ void Server::retire_one() {
 void Server::record_latency(const QueryResult& r) {
   latency_ms_.observe(r.total_ms);
   queue_ms_.observe(r.queue_ms);
+  const auto kidx = static_cast<std::size_t>(r.algo);
+  if (kidx < core::kNumAlgoKinds) {
+    latency_by_algo_[kidx].observe(r.total_ms);
+    completed_by_algo_[kidx].fetch_add(1, std::memory_order_relaxed);
+  }
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
   if (mx.enabled()) {
     mx.histogram("serve.latency_ms").observe(r.total_ms);
@@ -1169,6 +1460,7 @@ ServerStats Server::stats() const {
   s.dispatch_cycles = dispatch_cycles_.load(std::memory_order_relaxed);
   s.sweeps = sweeps_.load(std::memory_order_relaxed);
   s.singleton_sweeps = singleton_sweeps_.load(std::memory_order_relaxed);
+  s.algo_dispatches = algo_dispatches_.load(std::memory_order_relaxed);
   s.computed_sources = computed_sources_.load(std::memory_order_relaxed);
 
   s.failed = failed_.load(std::memory_order_relaxed);
@@ -1188,6 +1480,7 @@ ServerStats Server::stats() const {
 
   s.updates_submitted = updates_submitted_.load(std::memory_order_relaxed);
   s.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  s.updates_expired = updates_expired_.load(std::memory_order_relaxed);
   s.update_edges_applied =
       update_edges_applied_.load(std::memory_order_relaxed);
   s.update_noops = update_noops_.load(std::memory_order_relaxed);
@@ -1195,11 +1488,18 @@ ServerStats Server::stats() const {
     s.graph_epoch = store_->epoch();
     s.compactions = store_->stats().compactions;
     for (const auto& gp : gcds_) {
-      if (!gp->inc) continue;
-      const dyn::DynEngineStats es = gp->inc->stats();
-      s.repairs += es.repairs;
-      s.recomputes += es.recomputes;
-      s.repair_fallbacks += es.fallbacks_ratio + es.fallbacks_log;
+      if (gp->inc) {
+        const dyn::DynEngineStats es = gp->inc->stats();
+        s.repairs += es.repairs;
+        s.recomputes += es.recomputes;
+        s.repair_fallbacks += es.fallbacks_ratio + es.fallbacks_log;
+      }
+      if (gp->inc_cc) {
+        const dyn::IncCcStats cs = gp->inc_cc->stats();
+        s.repairs += cs.repairs;
+        s.recomputes += cs.recomputes;
+        s.repair_fallbacks += cs.fallbacks_delete + cs.fallbacks_log;
+      }
     }
   }
 
@@ -1232,6 +1532,21 @@ ServerStats Server::stats() const {
               ? 0.0
               : static_cast<double>(s.completed) / (s.wall_elapsed_ms / 1000.0);
 
+  for (std::size_t k = 0; k < core::kNumAlgoKinds; ++k) {
+    AlgoClassStats& a = s.per_algo[k];
+    a.submitted = submitted_by_algo_[k].load(std::memory_order_relaxed);
+    a.completed = completed_by_algo_[k].load(std::memory_order_relaxed);
+    a.cache_hits = cache_hits_by_algo_[k].load(std::memory_order_relaxed);
+    a.queued =
+        queue_.class_counters(static_cast<core::AlgoKind>(k)).depth;
+    a.latency_p50_ms = latency_by_algo_[k].percentile(0.50);
+    a.latency_p99_ms = latency_by_algo_[k].percentile(0.99);
+    a.qps = s.wall_elapsed_ms <= 0.0
+                ? 0.0
+                : static_cast<double>(a.completed) /
+                      (s.wall_elapsed_ms / 1000.0);
+  }
+
   s.latency_p50_ms = latency_ms_.percentile(0.50);
   s.latency_p95_ms = latency_ms_.percentile(0.95);
   s.latency_p99_ms = latency_ms_.percentile(0.99);
@@ -1249,6 +1564,11 @@ void Server::emit_summary() {
     if (!slo_gcd_burns.empty()) slo_gcd_burns += ",";
     slo_gcd_burns += fmt_double(wnd.burn_rate);
   }
+  std::string algo_list;
+  for (const core::AlgoKind k : cfg_.algos) {
+    if (!algo_list.empty()) algo_list += ",";
+    algo_list += core::algo_kind_name(k);
+  }
 
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
   if (mx.enabled()) {
@@ -1263,7 +1583,12 @@ void Server::emit_summary() {
   if (!rs.enabled()) return;
   obs::RunRecord r;
   r.tool = "serve";
-  r.algorithm = "bfs-serving";
+  // The historical record name for BFS-only servers; mixed-family servers
+  // say so (run-report consumers key off `tool` either way).
+  r.algorithm =
+      cfg_.algos.size() == 1 && cfg_.algos[0] == core::AlgoKind::Bfs
+          ? "bfs-serving"
+          : "family-serving";
   if (store_) {
     const dyn::Snapshot snap = store_->snapshot();
     r.n = snap.graph->num_vertices();
@@ -1280,6 +1605,7 @@ void Server::emit_summary() {
       {"queue_capacity", std::to_string(cfg_.queue_capacity)},
       {"cache_capacity", std::to_string(cfg_.cache_capacity)},
       {"batching", cfg_.batching ? "1" : "0"},
+      {"algos", algo_list},
       {"submitted", std::to_string(st.submitted)},
       {"accepted", std::to_string(st.accepted)},
       {"completed", std::to_string(st.completed)},
@@ -1292,6 +1618,7 @@ void Server::emit_summary() {
       {"cache_evictions", std::to_string(st.cache_evictions)},
       {"sweeps", std::to_string(st.sweeps)},
       {"singleton_sweeps", std::to_string(st.singleton_sweeps)},
+      {"algo_dispatches", std::to_string(st.algo_dispatches)},
       {"computed_sources", std::to_string(st.computed_sources)},
       {"batch_occupancy", fmt_double(st.mean_batch_occupancy)},
       {"sources_per_sweep", fmt_double(st.mean_sources_per_sweep)},
@@ -1321,6 +1648,7 @@ void Server::emit_summary() {
       {"host_fallback", cfg_.host_fallback ? "1" : "0"},
       {"dynamic", dynamic() ? "1" : "0"},
       {"updates_applied", std::to_string(st.updates_applied)},
+      {"updates_expired", std::to_string(st.updates_expired)},
       {"update_edges_applied", std::to_string(st.update_edges_applied)},
       {"update_noops", std::to_string(st.update_noops)},
       {"graph_epoch", std::to_string(st.graph_epoch)},
@@ -1348,6 +1676,17 @@ void Server::emit_summary() {
       {"flight_dumps",
        std::to_string(obs::FlightRecorder::global().dumps())},
   };
+  // Per-kind serving columns, one block per served algorithm.
+  for (const core::AlgoKind k : cfg_.algos) {
+    const AlgoClassStats& a = st.per_algo[static_cast<std::size_t>(k)];
+    const std::string p = core::algo_kind_name(k);
+    r.config.emplace_back(p + "_submitted", std::to_string(a.submitted));
+    r.config.emplace_back(p + "_completed", std::to_string(a.completed));
+    r.config.emplace_back(p + "_cache_hits", std::to_string(a.cache_hits));
+    r.config.emplace_back(p + "_p50_ms", fmt_double(a.latency_p50_ms));
+    r.config.emplace_back(p + "_p99_ms", fmt_double(a.latency_p99_ms));
+    r.config.emplace_back(p + "_qps", fmt_double(a.qps));
+  }
   rs.add(std::move(r));
 }
 

@@ -1,33 +1,43 @@
 // The query-serving engine: turns the offline XBFS reproduction into a
-// traffic-handling system.
+// traffic-handling system for the whole algorithm family.
 //
 //   clients --submit()--> AdmissionQueue --(scheduler thread)--> batches
-//                              |                                    |
+//                              |  (QoS-classed, weighted drain)      |
 //                        backpressure                    sim::ThreadPool, one
 //                       (reject w/ reason)               simulated GCD/worker
 //                                                                   |
-//                  ResultCache <--publish-- multi_source_bfs (<=64-way sweep)
-//                       |                   or core::Xbfs (singleton batch)
-//                  hits resolve
+//                  ResultCache <--publish-- multi_source_bfs (<=64-way sweep),
+//                       |                   per-kind AlgorithmEngine ladders
+//                  hits resolve             (core::EngineRegistry)
 //                  at submit()
 //
-// The scheduler drains the queue, expires queries past their deadline
-// (reported through their futures, never dropped), deduplicates repeated
-// sources, orders the rest with algos::group_sources so one 64-bit sweep
-// shares as much traversal as possible, and dispatches batches across the
-// GCD worker pool (reusing sim::ThreadPool, the same pool machinery that
-// executes simulated blocks).  Every query's end-to-end latency
-// (enqueue -> dispatch -> complete) feeds p50/p95/p99 histograms exposed
-// through XBFS_METRICS, and shutdown() emits one summary record (QPS,
-// batch occupancy, cache hit rate, latency percentiles) into
-// XBFS_RUN_REPORT.
+// One server admits core::AlgoQuery of every kind listed in
+// ServeConfig::algos.  BFS keeps its historical fast path — dedup by
+// source, neighborhood grouping, the 64-way bit-parallel sweep.  Every
+// other kind dispatches as its own unit, deduplicated by
+// (algo, params-hash, source): concurrent identical SSSP queries share one
+// delta-stepping run exactly like repeated BFS sources share a sweep, and
+// whole-graph kinds (CC, k-core, SCC) dedup per graph.  Each kind resolves
+// through its own degradation ladder built from the EngineRegistry
+// (device rungs in rung order, then the registered host oracle as the
+// fault-immune terminal rung), so the resilience machinery — retries,
+// breakers, validation, SLO-aware degrades — is shared by all kinds.
 //
-// Served levels are bit-identical to a fresh single-source core::Xbfs::run:
-// both the multi-source sweep and the singleton fallback compute canonical
-// BFS hop distances, and cache hits alias the very vector a cold run
-// produced.
+// The scheduler drains the queue weighted round-robin across QoS classes
+// (one class per algorithm kind; ServeConfig::qos_weights), expires
+// queries past their deadline (reported through their futures, never
+// dropped), and dispatches units across the GCD worker pool.  Every
+// query's end-to-end latency feeds both the aggregate and a per-kind
+// p50/p95/p99 histogram; shutdown() emits one summary record with
+// per-kind completed/p99/QPS columns into XBFS_RUN_REPORT.
+//
+// Served payloads are bit-identical to a fresh engine run: every
+// registered engine of a kind is conformant with its host oracle (the
+// cross-engine conformance suite enforces it), and cache hits alias the
+// very vectors a cold run produced.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -39,7 +49,8 @@
 #include <unordered_set>
 #include <vector>
 
-#include "core/traversal_engine.h"
+#include "core/algorithm_engine.h"
+#include "core/engine_registry.h"
 #include "core/xbfs.h"
 #include "dyn/graph_store.h"
 #include "graph/device_csr.h"
@@ -54,12 +65,14 @@
 namespace xbfs::dyn {
 class HostDeltaBfs;
 class IncrementalBfs;
+class IncrementalCc;
 }  // namespace xbfs::dyn
 
 namespace xbfs::serve {
 
-/// When the serving engine re-validates computed levels (Graph500 level
-/// rules, graph::validate_levels_graph500) before delivering/caching them.
+/// When the serving engine re-validates computed payloads (per-kind host
+/// validators: Graph500 level rules for BFS, relaxed-edge/partition/peeling
+/// checks for SSSP/CC/k-core) before delivering/caching them.
 enum class ValidateResults {
   Auto,    ///< validate iff fault injection is active (sim::FaultInjector)
   Always,
@@ -89,15 +102,18 @@ struct ServeConfig {
   std::size_t cache_capacity = 4096;
   unsigned cache_shards = 8;
   /// Deadline applied to queries that don't set their own (ms from
-  /// enqueue); negative = none.
+  /// enqueue); non-positive = none.  (A default of exactly 0 historically
+  /// expired every inheriting query at dispatch; resolve_deadline_us is
+  /// the fixed shared implementation.)
   double default_timeout_ms = -1.0;
   /// How long the scheduler waits for the backlog to fill a full cycle
   /// before dispatching what is there (0 = dispatch immediately).
   double batch_window_ms = 1.0;
   /// false = naive mode: one core::Xbfs::run per query, no sharing (the
-  /// serving bench's baseline).
+  /// serving bench's baseline).  BFS only; other kinds always dispatch as
+  /// deduplicated per-unit runs.
   bool batching = true;
-  /// Order each cycle's distinct sources with algos::group_sources.
+  /// Order each cycle's distinct BFS sources with algos::group_sources.
   bool group_by_neighborhood = true;
   /// Tests: no scheduler thread; call dispatch_once() explicitly.
   bool manual_dispatch = false;
@@ -108,6 +124,17 @@ struct ServeConfig {
   /// server emits one summary record instead of one record per query.
   core::XbfsConfig xbfs;
   sim::DeviceProfile profile = sim::DeviceProfile::mi250x_gcd();
+
+  // --- algorithm family ----------------------------------------------------
+  /// Kinds this server builds engine ladders for; queries of any other
+  /// kind are rejected Invalid at submit.  Static servers may list any
+  /// registered kind; dynamic servers support Bfs (incremental repair) and
+  /// Cc (incremental union-find) — the constructor throws on others.
+  std::vector<core::AlgoKind> algos = {core::AlgoKind::Bfs};
+  /// QoS drain weights, indexed by AlgoKind: class k is offered up to
+  /// qos_weights[k] queue slots per turn of the scheduler's round-robin
+  /// wheel.  0 entries mean weight 1 (fair share).
+  std::array<unsigned, core::kNumAlgoKinds> qos_weights{};
 
   // --- resilience ----------------------------------------------------------
   /// Device attempts per dispatch unit (sweep or per-source run) before
@@ -126,8 +153,8 @@ struct ServeConfig {
   double breaker_cooldown_ms = 25.0;
   /// Result validation on the serving path (corruption detector).
   ValidateResults validate_results = ValidateResults::Auto;
-  /// Terminal ladder rung: serve from the host CPU engine when every
-  /// device attempt failed.  false = such queries resolve as Failed.
+  /// Terminal ladder rung: serve from the registered host engine when
+  /// every device attempt failed.  false = such queries resolve as Failed.
   bool host_fallback = true;
 
   // --- observability --------------------------------------------------------
@@ -136,13 +163,28 @@ struct ServeConfig {
   bool query_tracing = true;
   /// SLO scope this server records outcomes into (obs::SloEngine; active
   /// only when XBFS_SLO / configure() enabled the engine).  Distinct
-  /// servers may share a scope name to aggregate, or use their own.
+  /// servers may share a scope name to aggregate, or use their own.  Each
+  /// served kind additionally records into "<slo_scope>:<kind>" so
+  /// per-algorithm objectives can be set independently.
   std::string slo_scope = "serve";
 
   /// Reject nonsense configurations (counts >= 1, batch widths within the
-  /// 64-bit sweep mask, non-negative windows/backoffs, xbfs.validate()).
-  /// Checked by the Server constructor, which throws std::invalid_argument.
+  /// 64-bit sweep mask, non-negative windows/backoffs, non-empty
+  /// duplicate-free algos, xbfs.validate()).  Checked by the Server
+  /// constructor, which throws std::invalid_argument.
   xbfs::Status validate() const;
+};
+
+/// Per-algorithm-kind serving counters + latency snapshot; zero for kinds
+/// the server does not serve.
+struct AlgoClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t queued = 0;       ///< currently in the admission queue
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double qps = 0.0;               ///< completed / server wall elapsed
 };
 
 /// Monotonic counters + latency snapshot; see docs/serving.md for the
@@ -150,7 +192,7 @@ struct ServeConfig {
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;   ///< entered the queue or hit the cache
-  std::uint64_t completed = 0;  ///< futures resolved with levels
+  std::uint64_t completed = 0;  ///< futures resolved with a payload
   std::uint64_t expired = 0;    ///< futures resolved past-deadline
   std::uint64_t rejected_full = 0;
   std::uint64_t rejected_invalid = 0;
@@ -162,11 +204,16 @@ struct ServerStats {
   double cache_hit_rate = 0.0;     ///< cache_hits / completed
 
   std::uint64_t dispatch_cycles = 0;
-  std::uint64_t sweeps = 0;            ///< multi-source + singleton dispatches
+  std::uint64_t sweeps = 0;            ///< BFS multi-source + singleton dispatches
   std::uint64_t singleton_sweeps = 0;  ///< served by the core::Xbfs fallback
-  std::uint64_t computed_sources = 0;  ///< distinct traversals actually run
+  std::uint64_t algo_dispatches = 0;   ///< non-BFS dispatch units resolved
+  std::uint64_t computed_sources = 0;  ///< distinct units actually run
   double mean_sources_per_sweep = 0.0;
   double mean_batch_occupancy = 0.0;   ///< mean(batch size / max_batch)
+
+  /// Per-kind submitted/completed/cache-hit counts and latency
+  /// percentiles, indexed by AlgoKind.
+  std::array<AlgoClassStats, core::kNumAlgoKinds> per_algo{};
 
   // --- resilience ----------------------------------------------------------
   std::uint64_t failed = 0;               ///< futures resolved Failed
@@ -175,7 +222,7 @@ struct ServerStats {
   std::uint64_t validation_failures = 0;  ///< results rejected by validation
   std::uint64_t validated_results = 0;    ///< results that passed validation
   std::uint64_t degraded_queries = 0;     ///< served below the preferred rung
-  std::uint64_t host_fallbacks = 0;       ///< sources served by the host CPU
+  std::uint64_t host_fallbacks = 0;       ///< units served by the host rung
   std::uint64_t dispatch_timeouts = 0;    ///< straggler budget exceeded
   std::uint64_t rerouted = 0;             ///< attempts on a non-home GCD
   std::uint64_t breaker_opens = 0;
@@ -185,6 +232,7 @@ struct ServerStats {
   // --- dynamic graph (all zero on a static server; docs/dynamic.md) --------
   std::uint64_t updates_submitted = 0;
   std::uint64_t updates_applied = 0;       ///< batches through the store
+  std::uint64_t updates_expired = 0;       ///< update deadline passed pre-apply
   std::uint64_t update_edges_applied = 0;  ///< undirected insert+delete ops
   std::uint64_t update_noops = 0;          ///< ops the graph already satisfied
   std::uint64_t graph_epoch = 0;           ///< store epoch at stats() time
@@ -215,6 +263,17 @@ struct ServerStats {
   double queue_p99_ms = 0.0;
 };
 
+/// Options for the update-admission lane (Server::submit_update).
+struct UpdateOptions {
+  /// Deadline budget from submission, in wall milliseconds: if the batch
+  /// is still waiting on the (serialized) write lane past it, the update
+  /// is rejected DeadlineExceeded without being applied.  Non-positive =
+  /// no deadline (the lane default; the query-side default_timeout_ms is
+  /// deliberately not inherited — dropping a write because reads are slow
+  /// is never what a caller means).
+  double timeout_ms = 0.0;
+};
+
 /// Outcome of submit_update(): whether the batch was applied, the epoch and
 /// fingerprint the graph moved to, per-op apply accounting, and how many
 /// cache entries the epoch bump purged.
@@ -233,33 +292,46 @@ struct UpdateAdmission {
 class Server {
  public:
   /// Static serving: `g` must outlive the server (it backs group_sources
-  /// ordering and the per-GCD device uploads).  submit_update() rejects.
+  /// ordering, the per-GCD device uploads, and the host oracles).
+  /// submit_update() rejects.
   explicit Server(const graph::Csr& g, ServeConfig cfg = {});
-  /// Dynamic serving over a mutable graph store: queries run on
-  /// dyn::IncrementalBfs engines against refcounted snapshots, updates
-  /// enter through submit_update().  The store must outlive the server.
-  /// Batched sweeps and neighborhood grouping need the static CSR, so
-  /// dynamic dispatch is always per-source.
+  /// Dynamic serving over a mutable graph store: BFS queries run on
+  /// dyn::IncrementalBfs engines (and CC on dyn::IncrementalCc) against
+  /// refcounted snapshots, updates enter through submit_update().  The
+  /// store must outlive the server.  Batched sweeps and neighborhood
+  /// grouping need the static CSR, so dynamic dispatch is always per-unit.
   explicit Server(dyn::GraphStore& store, ServeConfig cfg = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admit a query.  Cache hits resolve immediately; otherwise the query
-  /// enters the admission queue, or is rejected with a reason when the
-  /// queue is full / the server is shutting down / the source is invalid.
+  /// Admit one typed query.  Cache hits resolve immediately; otherwise the
+  /// query enters the admission queue, or is rejected with a reason when
+  /// the queue is full / the server is shutting down / the source is
+  /// invalid / the kind is not in ServeConfig::algos.  Sources and params
+  /// irrelevant to the kind are normalized (whole-graph kinds to source 0,
+  /// parameterless kinds to default params) so equivalent queries dedup
+  /// and share cache entries.
+  Admission submit(core::AlgoQuery q, QueryOptions opt = {});
+  /// BFS shorthand — the pre-redesign signature.
   Admission submit(graph::vid_t source, QueryOptions opt = {});
 
   /// The update-admission lane (dynamic servers only): apply one edge batch
   /// to the graph store, advance the serving fingerprint, and purge cache
   /// entries keyed under retired epochs.  Writes are serialized per graph;
   /// readers are never blocked — in-flight queries finish on the snapshot
-  /// they started with.  Rejected with InvalidArgument on a static server
-  /// and ShuttingDown after shutdown() began.
-  UpdateAdmission submit_update(const dyn::EdgeBatch& batch);
+  /// they started with.  Rejected with InvalidArgument on a static server,
+  /// ShuttingDown after shutdown() began, and DeadlineExceeded when
+  /// opt.timeout_ms elapsed before the lane could apply the batch.
+  UpdateAdmission submit_update(const dyn::EdgeBatch& batch,
+                                UpdateOptions opt = {});
 
   bool dynamic() const { return store_ != nullptr; }
+  /// Whether queries of kind `k` are admitted (k is in ServeConfig::algos).
+  bool serves(core::AlgoKind k) const {
+    return enabled_[static_cast<std::size_t>(k)];
+  }
 
   /// One scheduler cycle over whatever is pending right now (manual mode,
   /// but safe in threaded mode too for tests that want to force progress).
@@ -287,24 +359,52 @@ class Server {
   struct Gcd {
     std::unique_ptr<sim::Device> dev;
     graph::DeviceCsr dg;  ///< static servers only (dynamic mirrors DeltaCsr)
-    /// Degradation ladder, fastest first.  Static: [0] the adaptive
-    /// core::Xbfs, [1] the simple-scan baseline (fewer kernels, fewer fault
-    /// draws).  Dynamic: [0] dyn::IncrementalBfs.
-    std::vector<std::unique_ptr<core::TraversalEngine>> ladder;
-    /// Non-owning view of ladder[0] on a dynamic server (for stats() and
-    /// served-snapshot reads); null on static servers.
+    /// Per-kind degradation ladders, fastest rung first, built from the
+    /// EngineRegistry (static servers) or the incremental engines
+    /// (dynamic: Bfs -> IncrementalBfs, Cc -> IncrementalCc).  Empty for
+    /// kinds outside ServeConfig::algos.
+    std::array<std::vector<std::unique_ptr<core::AlgorithmEngine>>,
+               core::kNumAlgoKinds>
+        ladders;
+    /// Non-owning views of the dynamic incremental engines (for stats()
+    /// and served-snapshot reads); null on static servers.
     dyn::IncrementalBfs* inc = nullptr;
+    dyn::IncrementalCc* inc_cc = nullptr;
     /// With rerouting, lanes other than this GCD's home lane may dispatch
     /// here; the device's modelled clocks are not thread-safe.
     std::mutex mu;
   };
-  using SourceMap =
-      std::unordered_map<graph::vid_t, std::vector<PendingQuery>>;
+
+  /// Dedup/delivery key of one dispatch unit: all queued queries agreeing
+  /// on it share one engine run (for BFS, all with one source share a
+  /// sweep lane; whole-graph kinds collapse to source 0).
+  struct DispatchKey {
+    core::AlgoKind algo = core::AlgoKind::Bfs;
+    std::uint64_t phash = 0;
+    graph::vid_t source = 0;
+    bool operator==(const DispatchKey& o) const {
+      return algo == o.algo && phash == o.phash && source == o.source;
+    }
+  };
+  struct DispatchKeyHash {
+    std::size_t operator()(const DispatchKey& k) const {
+      std::uint64_t h = k.phash ^ (static_cast<std::uint64_t>(k.source) *
+                                   0x9E3779B97F4A7C15ull);
+      h ^= static_cast<std::uint64_t>(k.algo) + (h << 6) + (h >> 2);
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  using QueryMap =
+      std::unordered_map<DispatchKey, std::vector<PendingQuery>,
+                         DispatchKeyHash>;
 
   /// Outcome of resolving one dispatch unit through the resilience ladder.
   struct Resolution {
-    CachedResult res;           ///< null levels = failed
-    xbfs::Status status;        ///< terminal failure when res is null
+    CachedResult res;           ///< falsy payload = failed
+    xbfs::Status status;        ///< terminal failure when res is falsy
     std::string engine;         ///< engine (or "sweep") that produced res
     unsigned attempts = 0;
     unsigned gcd = 0;
@@ -330,8 +430,12 @@ class Server {
   bool validation_active() const;
   void scheduler_loop();
   std::size_t process_cycle(std::vector<PendingQuery>& pending);
+  /// BFS dispatch unit: the (possibly 64-way-swept) batch of sources.
   void run_batch(unsigned worker, const std::vector<graph::vid_t>& batch,
-                 SourceMap& by_src, double dispatch_us);
+                 QueryMap& by_key, double dispatch_us);
+  /// Non-BFS dispatch unit: one deduplicated (algo, params, source) run.
+  void run_algo(unsigned worker, const DispatchKey& key, QueryMap& by_key,
+                double dispatch_us);
   /// One device attempt bookkeeping: fault/validation counters, health
   /// report, trace instant, flight-recorder event (`primary` tags it with
   /// the query/trace id when known).  Returns the recorded Status.
@@ -342,24 +446,31 @@ class Server {
   /// its record_success, which would reset the breaker's failure streak
   /// and erase the penalty.
   bool note_dispatch_time(unsigned gcd, double dispatch_us);
-  /// Resolve one source through the per-GCD engine ladder, then the host
-  /// fallback.  `attempts_so_far` carries sweep attempts already burned
-  /// (reporting only; the ladder gets its own max_attempts budget).
-  Resolution resolve_single(unsigned preferred, graph::vid_t src,
-                            unsigned attempts_so_far, double dispatch_us,
-                            QueryId primary);
-  void deliver_source(graph::vid_t src, const Resolution& r,
-                      SourceMap& by_src, double dispatch_us,
-                      unsigned batch_size, const obs::QueryTrace* batch_log);
+  /// Resolve one query through its kind's per-GCD engine ladder, then the
+  /// host fallback.  `attempts_so_far` carries sweep attempts already
+  /// burned (reporting only; the ladder gets its own max_attempts budget).
+  Resolution resolve_query(unsigned preferred, const core::AlgoQuery& q,
+                           unsigned attempts_so_far, double dispatch_us,
+                           QueryId primary);
+  /// Per-kind host validation of a computed payload: empty string = valid
+  /// (or no validator exists for the kind — see payload_validatable).
+  std::string validate_payload(const core::AlgoQuery& q,
+                               const CachedResult& res,
+                               const dyn::Snapshot& snap) const;
+  bool payload_validatable(core::AlgoKind k) const;
+  void deliver_unit(const DispatchKey& key, const Resolution& r,
+                    QueryMap& by_key, double dispatch_us,
+                    unsigned batch_size, const obs::QueryTrace* batch_log);
   void backoff(unsigned attempt);
   void complete_expired(PendingQuery&& p, double now_us);
   void complete_from_cache(PendingQuery&& p, CachedResult hit, double now_us);
   void finish_query(PendingQuery&& p, QueryResult&& r);
   void retire_one();
   void record_latency(const QueryResult& r);
-  /// Terminal bookkeeping common to every resolution path: SLO outcome,
-  /// trace terminal event + Chrome-trace emission, flight-recorder event
-  /// (and dump trigger on Failed / Expired terminals).
+  /// Terminal bookkeeping common to every resolution path: SLO outcome
+  /// (aggregate + per-kind scope), trace terminal event + Chrome-trace
+  /// emission, flight-recorder event (and dump trigger on Failed /
+  /// Expired terminals).
   void note_terminal(QueryResult& r);
   /// Live-state JSON fragment sampled by the flight recorder at dump time
   /// (queue depth, breaker states, in-flight trace ids).
@@ -371,6 +482,10 @@ class Server {
   dyn::GraphStore* store_ = nullptr;
   graph::vid_t n_vertices_ = 0;
   ServeConfig cfg_;
+  /// enabled_[k] <=> AlgoKind k is in cfg_.algos.
+  std::array<bool, core::kNumAlgoKinds> enabled_{};
+  /// The BFS dedup/cache phash (default AlgoParams, computed once).
+  std::uint64_t bfs_phash_ = 0;
   std::atomic<std::uint64_t> graph_fp_{0};
 
   AdmissionQueue queue_;
@@ -378,10 +493,13 @@ class Server {
   std::vector<std::unique_ptr<Gcd>> gcds_;
   std::unique_ptr<sim::ThreadPool> pool_;  ///< one lane per GCD
   HealthTracker health_;
-  /// Terminal rung: host CPU BFS, immune to simulated-device faults.
-  std::unique_ptr<core::TraversalEngine> host_engine_;
-  /// Non-owning view of host_engine_ on a dynamic server (run_on pins the
-  /// validated snapshot); null on static servers.
+  /// Terminal rungs, one per kind: host engines from the registry (static)
+  /// or dyn::HostDeltaBfs (dynamic BFS), immune to simulated-device
+  /// faults.  Null for kinds without a registered host engine.
+  std::array<std::unique_ptr<core::AlgorithmEngine>, core::kNumAlgoKinds>
+      host_engines_;
+  /// Non-owning view of host_engines_[Bfs] on a dynamic server (run_on
+  /// pins the validated snapshot); null on static servers.
   dyn::HostDeltaBfs* host_dyn_ = nullptr;
 
   std::chrono::steady_clock::time_point epoch_;
@@ -400,6 +518,7 @@ class Server {
   std::atomic<std::uint64_t> dispatch_cycles_{0};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> singleton_sweeps_{0};
+  std::atomic<std::uint64_t> algo_dispatches_{0};
   std::atomic<std::uint64_t> computed_sources_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> faults_seen_{0};
@@ -412,14 +531,25 @@ class Server {
   std::atomic<std::uint64_t> rerouted_{0};
   std::atomic<std::uint64_t> updates_submitted_{0};
   std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> updates_expired_{0};
   std::atomic<std::uint64_t> update_edges_applied_{0};
   std::atomic<std::uint64_t> update_noops_{0};
   std::atomic<std::uint64_t> traced_{0};
   std::atomic<std::uint64_t> slo_proactive_degrades_{0};
+  // Per-kind counters, indexed by AlgoKind.
+  std::array<std::atomic<std::uint64_t>, core::kNumAlgoKinds>
+      submitted_by_algo_{};
+  std::array<std::atomic<std::uint64_t>, core::kNumAlgoKinds>
+      completed_by_algo_{};
+  std::array<std::atomic<std::uint64_t>, core::kNumAlgoKinds>
+      cache_hits_by_algo_{};
 
   /// This server's SLO scope (stable SloEngine reference); null when the
   /// engine is disabled at construction.
   obs::SloScope* slo_ = nullptr;
+  /// Per-kind SLO scopes ("<slo_scope>:<kind>"), registered for served
+  /// kinds only; null elsewhere.
+  std::array<obs::SloScope*, core::kNumAlgoKinds> slo_by_algo_{};
   /// Flight-recorder context-provider token (0 = none registered).
   std::uint64_t flight_ctx_ = 0;
   /// Queries admitted to the queue and not yet terminal, for the flight
@@ -438,6 +568,8 @@ class Server {
 
   obs::Histogram latency_ms_;  ///< enqueue -> complete
   obs::Histogram queue_ms_;    ///< enqueue -> dispatch
+  /// Per-kind enqueue -> complete latency (indexed by AlgoKind).
+  std::array<obs::Histogram, core::kNumAlgoKinds> latency_by_algo_;
 
   mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;

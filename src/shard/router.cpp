@@ -135,8 +135,9 @@ serve::Admission ShardRouter::submit(graph::vid_t source,
       r.id = a.id;
       r.source = source;
       r.status = serve::QueryStatus::Completed;
-      r.levels = std::move(hit.levels);
       r.depth = hit.depth;
+      r.levels = hit.levels;
+      r.payload = std::move(hit);
       r.cache_hit = true;
       r.shards = store_.shards();
       r.total_ms = (wall_us() - now) / 1000.0;
@@ -161,9 +162,11 @@ serve::Admission ShardRouter::submit(graph::vid_t source,
   p.source = source;
   p.bypass_cache = opt.bypass_cache;
   p.enqueue_us = now;
-  const double timeout_ms =
-      opt.timeout_ms != 0.0 ? opt.timeout_ms : cfg_.default_timeout_ms;
-  p.deadline_us = timeout_ms >= 0.0 ? now + timeout_ms * 1000.0 : -1.0;
+  // Shared deadline arithmetic: 0 inherits the router default, and only a
+  // strictly positive resolved budget creates a deadline (a default of
+  // exactly 0 used to expire every inheriting query at dispatch).
+  p.deadline_us =
+      serve::resolve_deadline_us(opt.timeout_ms, cfg_.default_timeout_ms, now);
   if (cfg_.query_tracing) {
     p.trace = std::make_shared<obs::QueryTrace>(a.id, source);
     p.trace->event(now, "admitted", "source=" + std::to_string(source));
@@ -419,16 +422,20 @@ void ShardRouter::process_query(serve::PendingQuery&& p) {
       }
       const bool publish = !sw.partial && !p.bypass_cache &&
                            (!validate || r.validated);
-      auto levels = std::make_shared<const std::vector<std::int32_t>>(
+      serve::CachedResult payload;
+      payload.kind = core::AlgoKind::Bfs;
+      payload.levels = std::make_shared<const std::vector<std::int32_t>>(
           std::move(sw.levels));
+      payload.depth = sw.depth;
       if (publish && cache_.enabled()) {
-        cache_.put(fp_, p.source, serve::CachedResult{levels, sw.depth});
+        cache_.put(fp_, p.source, payload);
         if (log) {
           log->event(complete_us, "cache_publish",
                      "fp=" + std::to_string(fp_));
         }
       }
-      r.levels = std::move(levels);
+      r.levels = payload.levels;
+      r.payload = std::move(payload);
       if (r.degraded) {
         degraded_queries_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -505,8 +512,9 @@ void ShardRouter::complete_from_cache(serve::PendingQuery&& p,
   r.id = p.id;
   r.source = p.source;
   r.status = serve::QueryStatus::Completed;
-  r.levels = std::move(hit.levels);
   r.depth = hit.depth;
+  r.levels = hit.levels;
+  r.payload = std::move(hit);
   r.cache_hit = true;
   r.shards = store_.shards();
   r.queue_ms = (now_us - p.enqueue_us) / 1000.0;

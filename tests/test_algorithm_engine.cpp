@@ -1,0 +1,380 @@
+// AlgorithmEngine vocabulary + EngineRegistry tests, and the cross-engine
+// conformance suite: every engine registered for a kind — device rungs,
+// negative-rung baselines, and host oracles alike — must produce the
+// canonical answer for that kind on a shared graph, which is the property
+// that lets the serving ladder degrade between rungs without clients
+// seeing anything but latency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algos/engines.h"
+#include "core/algorithm_engine.h"
+#include "core/engine_registry.h"
+#include "graph/device_csr.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/device.h"
+
+namespace xbfs {
+namespace {
+
+using core::AlgoKind;
+using core::AlgoParams;
+using core::AlgoQuery;
+using core::AlgoResult;
+using core::EngineContext;
+using core::EngineInfo;
+using core::EngineRegistry;
+
+graph::Csr toy_graph(unsigned scale, std::uint64_t seed) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 8;
+  p.seed = seed;
+  return graph::rmat_csr(p);
+}
+
+// --- vocabulary -------------------------------------------------------------
+
+TEST(AlgoKind_, NamesRoundTripThroughParse) {
+  for (std::size_t i = 0; i < core::kNumAlgoKinds; ++i) {
+    const AlgoKind k = static_cast<AlgoKind>(i);
+    const char* name = core::algo_kind_name(k);
+    ASSERT_NE(name, nullptr);
+    AlgoKind back = AlgoKind::Bfs;
+    EXPECT_TRUE(core::algo_kind_parse(name, back)) << name;
+    EXPECT_EQ(back, k) << name;
+  }
+  AlgoKind sink = AlgoKind::Sssp;
+  EXPECT_FALSE(core::algo_kind_parse("pagerank", sink));
+  EXPECT_EQ(sink, AlgoKind::Sssp);  // failed parse leaves out untouched
+}
+
+TEST(AlgoKind_, SourceRootedKinds) {
+  EXPECT_TRUE(core::algo_needs_source(AlgoKind::Bfs));
+  EXPECT_TRUE(core::algo_needs_source(AlgoKind::Sssp));
+  EXPECT_TRUE(core::algo_needs_source(AlgoKind::Bc));
+  EXPECT_FALSE(core::algo_needs_source(AlgoKind::Cc));
+  EXPECT_FALSE(core::algo_needs_source(AlgoKind::KCore));
+  EXPECT_FALSE(core::algo_needs_source(AlgoKind::Scc));
+}
+
+TEST(AlgoParams_, HashSaltsEveryAnswerAffectingField) {
+  const AlgoParams base;
+  std::set<std::uint64_t> hashes{base.hash()};
+  AlgoParams p = base;
+  p.max_weight = 16;
+  EXPECT_TRUE(hashes.insert(p.hash()).second) << "max_weight not mixed";
+  p = base;
+  p.weight_seed = 2;
+  EXPECT_TRUE(hashes.insert(p.hash()).second) << "weight_seed not mixed";
+  p = base;
+  p.delta = 4;
+  EXPECT_TRUE(hashes.insert(p.hash()).second) << "delta not mixed";
+  p = base;
+  p.k = 3;
+  EXPECT_TRUE(hashes.insert(p.hash()).second) << "k not mixed";
+}
+
+TEST(AlgoParams_, HashIsStableAndEqualityConsistent) {
+  AlgoParams a, b;
+  a.weight_seed = b.weight_seed = 7;
+  a.k = b.k = 2;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), a.hash());  // stable across calls
+}
+
+TEST(ResultPayload_, BoolAndSizeFollowTheSetVector) {
+  core::ResultPayload p;
+  EXPECT_FALSE(static_cast<bool>(p));
+  EXPECT_EQ(p.size(), 0u);
+
+  p.kind = AlgoKind::Sssp;
+  p.distances = std::make_shared<const std::vector<std::uint32_t>>(
+      std::vector<std::uint32_t>{0, 3, 7});
+  EXPECT_TRUE(static_cast<bool>(p));
+  EXPECT_EQ(p.size(), 3u);
+
+  core::ResultPayload c;
+  c.kind = AlgoKind::Cc;
+  c.components = std::make_shared<const std::vector<graph::vid_t>>(
+      std::vector<graph::vid_t>{0, 0});
+  EXPECT_TRUE(static_cast<bool>(c));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(EngineRegistry_, BuiltinsCoverEveryKind) {
+  algos::register_builtin_engines();
+  EngineRegistry& reg = EngineRegistry::global();
+  for (std::size_t i = 0; i < core::kNumAlgoKinds; ++i) {
+    EXPECT_TRUE(reg.supports(static_cast<AlgoKind>(i)))
+        << core::algo_kind_name(static_cast<AlgoKind>(i));
+  }
+  // Idempotent: re-registering does not duplicate rows.
+  const std::size_t rows = reg.list().size();
+  algos::register_builtin_engines();
+  EXPECT_EQ(reg.list().size(), rows);
+}
+
+TEST(EngineRegistry_, UnknownNameBuildsNull) {
+  algos::register_builtin_engines();
+  const EngineContext empty;
+  EXPECT_EQ(EngineRegistry::global().build(AlgoKind::Bfs, "no-such-engine",
+                                           empty),
+            nullptr);
+}
+
+TEST(EngineRegistry_, DeviceFactoriesDeclineHostOnlyContext) {
+  algos::register_builtin_engines();
+  const graph::Csr g = toy_graph(8, 5);
+  EngineContext host_only;
+  host_only.host_g = &g;
+
+  EngineRegistry& reg = EngineRegistry::global();
+  for (std::size_t i = 0; i < core::kNumAlgoKinds; ++i) {
+    const AlgoKind k = static_cast<AlgoKind>(i);
+    // No device => no device ladder...
+    EXPECT_TRUE(reg.build_ladder(k, host_only).empty())
+        << core::algo_kind_name(k);
+    // ...but the host oracle still builds, and is really host-side.
+    auto host = reg.build_host(k, host_only);
+    ASSERT_NE(host, nullptr) << core::algo_kind_name(k);
+    EXPECT_EQ(host->kind(), k);
+    EXPECT_FALSE(host->capabilities().on_device) << host->name();
+  }
+}
+
+TEST(EngineRegistry_, LaddersAreOnDeviceAndRungOrdered) {
+  algos::register_builtin_engines();
+  const graph::Csr g = toy_graph(8, 5);
+  sim::Device dev(sim::DeviceProfile::mi250x_gcd());
+  auto dg = graph::DeviceCsr::upload(dev, g);
+  EngineContext ctx;
+  ctx.dev = &dev;
+  ctx.dg = &dg;
+  ctx.host_g = &g;
+
+  EngineRegistry& reg = EngineRegistry::global();
+  for (std::size_t i = 0; i < core::kNumAlgoKinds; ++i) {
+    const AlgoKind k = static_cast<AlgoKind>(i);
+    const auto ladder = reg.build_ladder(k, ctx);
+    ASSERT_FALSE(ladder.empty()) << core::algo_kind_name(k);
+    for (const auto& eng : ladder) {
+      EXPECT_EQ(eng->kind(), k);
+      EXPECT_TRUE(eng->capabilities().on_device) << eng->name();
+    }
+  }
+  // list() is kind-major, rung-ordered within a kind, and never includes
+  // a negative rung in any ladder (those are conformance/direct-build only).
+  const std::vector<EngineInfo> rows = reg.list();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i - 1].kind == rows[i].kind) {
+      EXPECT_LE(rows[i - 1].rung, rows[i].rung);
+    }
+  }
+}
+
+TEST(EngineRegistry_, RegisterReplacesSameKindAndName) {
+  // A private registry: same (kind, name) re-registration wins latest.
+  class Stub final : public core::AlgorithmEngine {
+   public:
+    explicit Stub(std::uint32_t depth) : depth_(depth) {}
+    AlgoKind kind() const override { return AlgoKind::Bfs; }
+    AlgoResult solve(const AlgoQuery&) override {
+      AlgoResult r;
+      r.payload.kind = AlgoKind::Bfs;
+      r.payload.levels = std::make_shared<const std::vector<std::int32_t>>(
+          std::vector<std::int32_t>{0});
+      r.payload.depth = depth_;
+      return r;
+    }
+    const char* name() const override { return "stub"; }
+    core::EngineCapabilities capabilities() const override { return {}; }
+
+   private:
+    std::uint32_t depth_;
+  };
+
+  EngineRegistry reg;
+  reg.register_engine(AlgoKind::Bfs, "stub", 0, false,
+                      [](const EngineContext&) {
+                        return std::make_unique<Stub>(1);
+                      });
+  reg.register_engine(AlgoKind::Bfs, "stub", 0, false,
+                      [](const EngineContext&) {
+                        return std::make_unique<Stub>(2);
+                      });
+  ASSERT_EQ(reg.list().size(), 1u);
+  auto eng = reg.build(AlgoKind::Bfs, "stub", {});
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->solve({}).payload.depth, 2u);
+}
+
+// --- cross-engine conformance ----------------------------------------------
+
+/// Builds every registered engine of `kind` the full context can satisfy
+/// (device rungs, negative-rung baselines, host oracles) and runs `check`
+/// on each; at least one device and one host engine must participate.
+class ConformanceTest : public ::testing::Test {
+ protected:
+  ConformanceTest()
+      : g_(toy_graph(9, 11)),
+        dev_(sim::DeviceProfile::mi250x_gcd()),
+        dg_(graph::DeviceCsr::upload(dev_, g_)) {
+    algos::register_builtin_engines();
+    ctx_.dev = &dev_;
+    ctx_.dg = &dg_;
+    ctx_.host_g = &g_;
+    src_ = graph::largest_component_vertices(g_)[0];
+  }
+
+  template <typename Check>
+  void for_each_engine(AlgoKind kind, Check check) {
+    EngineRegistry& reg = EngineRegistry::global();
+    unsigned device_engines = 0, host_engines = 0;
+    for (const EngineInfo& info : reg.list()) {
+      if (info.kind != kind) continue;
+      auto eng = reg.build(kind, info.name, ctx_);
+      if (!eng) continue;  // factory declined (e.g. needs a dyn store)
+      // Registration names may differ from the built engine's self-report
+      // (e.g. "cpu-bfs" builds a mode-named "cpu-parallel"); the kind is
+      // the contract.
+      SCOPED_TRACE(info.name);
+      ASSERT_EQ(eng->kind(), kind);
+      (eng->capabilities().on_device ? device_engines : host_engines)++;
+      check(*eng);
+    }
+    EXPECT_GT(device_engines, 0u) << "no device engine was conformance-run";
+    EXPECT_GT(host_engines, 0u) << "no host oracle was conformance-run";
+  }
+
+  graph::Csr g_;
+  sim::Device dev_;
+  graph::DeviceCsr dg_;
+  EngineContext ctx_;
+  graph::vid_t src_ = 0;
+};
+
+TEST_F(ConformanceTest, BfsEnginesMatchReferenceLevels) {
+  const auto ref = graph::reference_bfs(g_, src_);
+  for_each_engine(AlgoKind::Bfs, [&](core::AlgorithmEngine& eng) {
+    AlgoQuery q;
+    q.algo = AlgoKind::Bfs;
+    q.source = src_;
+    const AlgoResult r = eng.solve(q);
+    ASSERT_TRUE(r.payload.levels);
+    EXPECT_EQ(r.payload.kind, AlgoKind::Bfs);
+    EXPECT_EQ(*r.payload.levels, ref);
+  });
+}
+
+TEST_F(ConformanceTest, SsspEnginesMatchDijkstraAcrossParams) {
+  AlgoParams variants[2];
+  variants[1].weight_seed = 9;
+  variants[1].max_weight = 17;
+  for (const AlgoParams& params : variants) {
+    const auto ref = graph::reference_sssp(g_, src_, params.weight_seed,
+                                           params.max_weight);
+    for_each_engine(AlgoKind::Sssp, [&](core::AlgorithmEngine& eng) {
+      AlgoQuery q;
+      q.algo = AlgoKind::Sssp;
+      q.source = src_;
+      q.params = params;
+      const AlgoResult r = eng.solve(q);
+      ASSERT_TRUE(r.payload.distances);
+      EXPECT_EQ(r.payload.kind, AlgoKind::Sssp);
+      EXPECT_EQ(*r.payload.distances, ref)
+          << "seed=" << params.weight_seed << " max=" << params.max_weight;
+    });
+  }
+}
+
+TEST_F(ConformanceTest, CcEnginesProduceAValidPartition) {
+  const auto canonical = graph::canonical_components(g_);
+  for_each_engine(AlgoKind::Cc, [&](core::AlgorithmEngine& eng) {
+    AlgoQuery q;
+    q.algo = AlgoKind::Cc;
+    const AlgoResult r = eng.solve(q);
+    ASSERT_TRUE(r.payload.components);
+    EXPECT_EQ(r.payload.kind, AlgoKind::Cc);
+    // Partition-equivalent to the reference; builtin engines additionally
+    // emit the canonical min-vertex-id labels.
+    EXPECT_EQ(graph::validate_components(g_, *r.payload.components), "");
+    EXPECT_EQ(*r.payload.components, canonical);
+  });
+}
+
+TEST_F(ConformanceTest, KcoreEnginesMatchPeelingForDecompositionAndMembership) {
+  for (const std::uint32_t k : {0u, 2u}) {
+    const auto ref = graph::reference_kcore(g_, k);
+    for_each_engine(AlgoKind::KCore, [&](core::AlgorithmEngine& eng) {
+      AlgoQuery q;
+      q.algo = AlgoKind::KCore;
+      q.params.k = k;
+      const AlgoResult r = eng.solve(q);
+      ASSERT_TRUE(r.payload.cores);
+      EXPECT_EQ(r.payload.kind, AlgoKind::KCore);
+      EXPECT_EQ(*r.payload.cores, ref) << "k=" << k;
+      EXPECT_EQ(graph::validate_kcore(g_, *r.payload.cores, k), "");
+    });
+  }
+}
+
+TEST_F(ConformanceTest, BcEnginesMatchBrandesReference) {
+  const auto ref = algos::betweenness_reference(g_, {src_});
+  for_each_engine(AlgoKind::Bc, [&](core::AlgorithmEngine& eng) {
+    AlgoQuery q;
+    q.algo = AlgoKind::Bc;
+    q.source = src_;
+    const AlgoResult r = eng.solve(q);
+    ASSERT_TRUE(r.payload.scores);
+    EXPECT_EQ(r.payload.kind, AlgoKind::Bc);
+    ASSERT_EQ(r.payload.scores->size(), ref.size());
+    for (std::size_t v = 0; v < ref.size(); ++v) {
+      EXPECT_NEAR((*r.payload.scores)[v], ref[v], 1e-9) << "vertex " << v;
+    }
+  });
+}
+
+TEST_F(ConformanceTest, SccEnginesPartitionLikeCcOnSymmetricGraphs) {
+  // The RMAT CSR is symmetric, so strongly connected components coincide
+  // with connected components.  SCC engines label by discovery order (not
+  // min-vertex-id), so the oracle here is partition equivalence.
+  for_each_engine(AlgoKind::Scc, [&](core::AlgorithmEngine& eng) {
+    AlgoQuery q;
+    q.algo = AlgoKind::Scc;
+    const AlgoResult r = eng.solve(q);
+    ASSERT_TRUE(r.payload.components);
+    EXPECT_EQ(r.payload.kind, AlgoKind::Scc);
+    EXPECT_EQ(graph::validate_components(g_, *r.payload.components), "");
+  });
+}
+
+TEST_F(ConformanceTest, TraversalEngineAdapterWrapsRunIntoTypedPayload) {
+  // Any engine resolved for kind Bfs goes through the TraversalEngine
+  // adapter or a native solve; either way the payload must carry the
+  // fixpoint depth (levels run = deepest level + 1).
+  auto eng = EngineRegistry::global().build(AlgoKind::Bfs, "xbfs", ctx_);
+  ASSERT_NE(eng, nullptr);
+  AlgoQuery q;
+  q.source = src_;
+  const AlgoResult r = eng->solve(q);
+  ASSERT_TRUE(r.payload.levels);
+  std::int32_t deepest = 0;
+  for (const std::int32_t l : *r.payload.levels) {
+    deepest = std::max(deepest, l);
+  }
+  EXPECT_EQ(r.payload.depth, static_cast<std::uint32_t>(deepest) + 1);
+}
+
+}  // namespace
+}  // namespace xbfs
