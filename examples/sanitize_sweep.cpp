@@ -154,7 +154,29 @@ int main(int argc, char** argv) {
                  "detector appears inactive\n";
     return 1;
   }
+
+  // Allowlist hygiene: every racy_ok annotation that executed must have
+  // covered at least one logged access.  An annotation that runs but
+  // covers nothing is *stale* — the racy code it documented has moved and
+  // the allowlist entry would silently excuse a future, different race.
+  const auto ann = san.annotation_stats();
+  std::cout << "racy_ok annotations (" << ann.size() << "):\n";
+  for (const auto& a : ann) {
+    std::cout << "  scopes=" << a.scopes_entered
+              << " accesses=" << a.annotated_accesses
+              << " findings=" << a.allowlisted_findings << " : \"" << a.why
+              << "\"\n";
+  }
+  const auto stale = san.stale_annotations();
+  if (!stale.empty()) {
+    std::cout << "sanitize_sweep: FAIL — " << stale.size()
+              << " stale racy_ok annotation(s) (scope entered, but no "
+                 "logged access was covered); delete or re-scope them:\n";
+    for (const auto& why : stale) std::cout << "  - \"" << why << "\"\n";
+    return 1;
+  }
   std::cout << "sanitize_sweep: PASS (0 unannotated, " << allowlisted
-            << " allowlisted benign-race findings)\n";
+            << " allowlisted benign-race findings, " << ann.size()
+            << " live annotations, 0 stale)\n";
   return 0;
 }

@@ -5,9 +5,12 @@
 #   - zero unannotated findings (out-of-bounds / use-after-free / uninit /
 #     stale host reads / undocumented cross-block races), and
 #   - at least one allowlisted benign-race finding (the paper's bottom-up
-#     look-ahead race must stay detected-and-annotated, not invisible).
-# The binary already enforces both and prints PASS/FAIL; this wrapper pins
-# the env contract and keeps the output for triage.
+#     look-ahead race must stay detected-and-annotated, not invisible), and
+#   - zero STALE racy_ok annotations: every annotation scope that executed
+#     must have covered at least one logged access, otherwise the allowlist
+#     entry outlived the racy code it documented (docs/modelcheck.md).
+# The binary already enforces all three and prints PASS/FAIL; this wrapper
+# pins the env contract and keeps the output for triage.
 #
 #   usage: check_sanitize.sh <sanitize_sweep-binary> [workdir]
 set -euo pipefail

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate for SchedCheck, the hipsim schedule-exploring model checker
+# (docs/modelcheck.md): run the two-part sweep and require
+#   - the XBFS core's racy_ok-annotated races verify BENIGN — every explored
+#     block interleaving reaches the same final BFS labeling with zero
+#     unannotated findings, and
+#   - a planted unsynchronized kernel (non-atomic RMW counter) is caught
+#     within the schedule budget, exhibits its lost update, and the printed
+#     seed replays the divergent state bit-for-bit.
+# The binary already enforces all of it and prints PASS/FAIL; this wrapper
+# pins the env contract (faults off — the chaos job exports XBFS_FAULTS,
+# which would make kernel bodies nondeterministic and break replay) and
+# keeps the output for triage.
+#
+#   usage: check_schedcheck.sh <schedcheck_sweep-binary> [workdir]
+set -euo pipefail
+
+SWEEP=${1:?usage: check_schedcheck.sh <schedcheck_sweep-binary> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+OUT="$WORKDIR/check_schedcheck.stdout"
+
+if ! XBFS_FAULTS="" "$SWEEP" 8 8 1 > "$OUT" 2>&1; then
+  echo "FAIL: schedcheck_sweep exited non-zero"
+  cat "$OUT"
+  exit 1
+fi
+
+grep -q "schedcheck_sweep: PASS" "$OUT" || {
+  echo "FAIL: PASS line missing from schedcheck_sweep output"
+  cat "$OUT"
+  exit 1
+}
+
+# Surface the checker's own summary lines for the CI log.
+grep -E "SchedCheck\[|benign:|planted:|replay:|schedcheck_sweep: PASS" "$OUT" || true
+echo "check_schedcheck: PASS"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Enforced clang-tidy gate (docs/modelcheck.md).
+#
+# Runs the *curated* check subset — bugprone-*, concurrency-*, and
+# performance-move-* — over every first-party translation unit and fails on
+# any (file, check) pair that is not in the committed baseline
+# (scripts/tidy_baseline.txt).  The full .clang-tidy profile stays advisory;
+# this gate is the slice where a new warning is overwhelmingly likely to be
+# a real defect in a codebase built on std::atomic_ref and shared_ptr
+# lifetimes, so it is allowed to break the build.
+#
+#   usage: check_tidy.sh <source-dir> <build-dir-with-compile-commands> [--update]
+#
+# --update regenerates the baseline in place (run after deliberately
+# accepting a finding; the diff then documents the acceptance in review).
+# When clang-tidy is not installed the gate SKIPs with exit 0 so local
+# builds and minimal containers are not blocked — CI installs it.
+set -euo pipefail
+
+SRC=${1:?usage: check_tidy.sh <source-dir> <build-dir> [--update]}
+BUILD=${2:?usage: check_tidy.sh <source-dir> <build-dir> [--update]}
+MODE=${3:-check}
+BASELINE="$SRC/scripts/tidy_baseline.txt"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "check_tidy: SKIP (clang-tidy not installed)"
+  exit 0
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "check_tidy: SKIP (no compile_commands.json in $BUILD — configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  exit 0
+fi
+
+CHECKS='-*,bugprone-*,-bugprone-easily-swappable-parameters,-bugprone-narrowing-conversions,concurrency-*,performance-move-*'
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+cd "$SRC"
+git ls-files 'src/*.cpp' 'examples/*.cpp' 'bench/*.cpp' > "$WORK/files"
+xargs -a "$WORK/files" -P "$(nproc)" -n 4 \
+  clang-tidy -p "$BUILD" --quiet --checks="$CHECKS" \
+  > "$WORK/raw" 2> /dev/null || true
+
+# One line per (file, check) pair, paths relative to the repo root so the
+# baseline is machine-independent.  A pair, not a line number: line drift
+# from unrelated edits must not churn the baseline.
+sed -nE 's|^'"$PWD"'/||; s|^([^:]+):[0-9]+:[0-9]+: warning: .* \[([A-Za-z0-9.,-]+)\]$|\1 \2|p' \
+  "$WORK/raw" | sort -u > "$WORK/pairs"
+
+if [ "$MODE" = "--update" ]; then
+  {
+    echo "# clang-tidy baseline: accepted (file, check) pairs for the enforced"
+    echo "# gate (scripts/check_tidy.sh).  Regenerate with:"
+    echo "#   bash scripts/check_tidy.sh . <build-dir> --update"
+    cat "$WORK/pairs"
+  } > "$BASELINE"
+  echo "check_tidy: baseline updated ($(wc -l < "$WORK/pairs") pair(s))"
+  exit 0
+fi
+
+grep -v '^#' "$BASELINE" 2> /dev/null | sed '/^$/d' | sort -u > "$WORK/base" || true
+comm -13 "$WORK/base" "$WORK/pairs" > "$WORK/new"
+comm -23 "$WORK/base" "$WORK/pairs" > "$WORK/stale"
+
+if [ -s "$WORK/stale" ]; then
+  echo "check_tidy: NOTE — $(wc -l < "$WORK/stale") baseline entr(y/ies) no longer fire (stale; prune with --update):"
+  sed 's/^/  /' "$WORK/stale"
+fi
+if [ -s "$WORK/new" ]; then
+  echo "check_tidy: FAIL — $(wc -l < "$WORK/new") new clang-tidy finding(s) outside the baseline:"
+  sed 's/^/  /' "$WORK/new"
+  echo "Fix them, or accept deliberately with: bash scripts/check_tidy.sh . <build-dir> --update"
+  grep -F -f <(awk '{print $1}' "$WORK/new" | sort -u) "$WORK/raw" | head -40 || true
+  exit 1
+fi
+echo "check_tidy: PASS ($(wc -l < "$WORK/pairs") finding(s), all baselined)"

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "hipsim/chk_point.h"
+
 namespace xbfs::dyn {
 
 GraphStore::GraphStore(graph::Csr base, core::XbfsConfig cfg,
@@ -14,28 +16,33 @@ GraphStore::GraphStore(graph::Csr base, core::XbfsConfig cfg,
 }
 
 Snapshot GraphStore::snapshot() const {
+  // SchedCheck yield point before the pointer copy: the checker interleaves
+  // readers against apply()'s publish, proving every snapshot carries a
+  // (graph, epoch, fingerprint) triple from one version, never a mix.
+  sim::chk_point("dyn.store.snapshot");
   std::shared_ptr<const DeltaCsr> g;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::RankedMutex> lk(mu_);
     g = current_;
   }
   return Snapshot{g, g->epoch(), g->fingerprint()};
 }
 
 std::uint64_t GraphStore::epoch() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::RankedMutex> lk(mu_);
   return current_->epoch();
 }
 
 std::uint64_t GraphStore::fingerprint() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::RankedMutex> lk(mu_);
   return current_->fingerprint();
 }
 
 ApplyStats GraphStore::apply(const EdgeBatch& batch) {
+  sim::chk_point("dyn.store.apply");
   // One writer at a time; the copy-on-write build happens outside mu_ so
   // snapshot() readers only ever wait for a pointer copy.
-  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::lock_guard<sim::RankedMutex> writer(writer_mu_);
   auto next = std::make_shared<DeltaCsr>(*current_);  // clones overlays only
   const ApplyStats st = next->apply(batch);
   bool compacted = false;
@@ -43,8 +50,14 @@ ApplyStats GraphStore::apply(const EdgeBatch& batch) {
     next->compact();
     compacted = true;
   }
+  // Yield between the COW build and publication — the widest window in
+  // which concurrent readers must keep seeing the *old* version whole.
+  // Legal under the chk_point discipline despite writer_mu_ being held:
+  // writer_mu_ only excludes other apply() calls, and concurrent-writer
+  // harnesses place at most one writer task (docs/modelcheck.md).
+  sim::chk_point("dyn.store.publish");
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<sim::RankedMutex> lk(mu_);
     current_ = std::move(next);
     log_.emplace_back(current_->epoch(), batch);
     while (log_.size() > log_capacity_) log_.pop_front();
@@ -62,7 +75,7 @@ std::optional<EdgeBatch> GraphStore::ops_between(std::uint64_t from_epoch,
   if (from_epoch > to_epoch) return std::nullopt;
   EdgeBatch out;
   if (from_epoch == to_epoch) return out;
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::RankedMutex> lk(mu_);
   // Epochs in the log are contiguous; the gap is covered iff the oldest
   // retained entry is at or before from_epoch + 1.
   if (log_.empty() || log_.front().first > from_epoch + 1 ||
@@ -76,7 +89,7 @@ std::optional<EdgeBatch> GraphStore::ops_between(std::uint64_t from_epoch,
 }
 
 StoreStats GraphStore::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<sim::RankedMutex> lk(mu_);
   return stats_;
 }
 

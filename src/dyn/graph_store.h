@@ -27,6 +27,7 @@
 #include "core/config.h"
 #include "dyn/delta_csr.h"
 #include "dyn/edge_batch.h"
+#include "hipsim/lock_rank.h"
 
 namespace xbfs::dyn {
 
@@ -77,8 +78,12 @@ class GraphStore {
   const core::XbfsConfig cfg_;
   const std::size_t log_capacity_;
 
-  std::mutex writer_mu_;  ///< serializes apply() (writes per graph)
-  mutable std::mutex mu_;  ///< guards current_, log_, stats_ (pointer swap)
+  /// Ranked (writer=50 before publish=52): leaf-ward of the serving
+  /// cycle/update/GCD locks — the dispatch path snapshots the store while
+  /// holding a GCD lock — and below the pool lock (docs/modelcheck.md).
+  sim::RankedMutex writer_mu_{50, "dyn.store.writer"};  ///< serializes apply()
+  /// Guards current_, log_, stats_ (pointer swap).
+  mutable sim::RankedMutex mu_{52, "dyn.store.publish"};
   std::shared_ptr<const DeltaCsr> current_;
   /// (epoch the batch produced, the batch); epochs are contiguous.
   std::deque<std::pair<std::uint64_t, EdgeBatch>> log_;

@@ -1,0 +1,51 @@
+// sim::chk_point — the injectable yield-point shim of the SchedCheck model
+// checker (hipsim/schedcheck.h, docs/modelcheck.md).
+//
+// Host-side concurrent structures (the flight-recorder seqlock, the
+// admission queue, breaker transitions, graph-store snapshot publication)
+// mark their interesting interleaving points with
+//
+//   sim::chk_point("flight.record.payload", slot);
+//
+// In production this is one relaxed atomic load and a not-taken branch.
+// While a SchedCheck exploration is running, the checker installs a hook
+// here and every controlled task that crosses a chk_point becomes
+// preemptible: the scheduler may deterministically switch to another task,
+// exploring interleavings that a wall-clock run would need luck to hit.
+//
+// Discipline: a chk_point must never be placed where the calling thread
+// holds a lock that another controlled task can acquire — a task suspended
+// at a yield point must hold no shared locks, or the serialized scheduler
+// deadlocks (see docs/modelcheck.md "writing harnesses").  Lock-free code
+// (the seqlock) may yield anywhere; lock-based code yields only outside
+// its critical sections.
+//
+// This header is deliberately dependency-free so every layer (obs, serve,
+// dyn) can include it without linking against hipsim; the hook storage is
+// an inline function-local static shared across translation units.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace xbfs::sim {
+
+/// Hook signature: `site` is the static yield-point label, `key` refines
+/// the conflict relation (slot index, epoch, ...; 0 when the site alone
+/// identifies the data touched).
+using ChkHook = void (*)(const char* site, std::uint64_t key);
+
+inline std::atomic<ChkHook>& chk_hook_slot() {
+  static std::atomic<ChkHook> hook{nullptr};
+  return hook;
+}
+
+/// Yield point.  No-op (one relaxed load) unless a SchedCheck exploration
+/// installed a hook; then controlled tasks may be preempted here.
+inline void chk_point(const char* site, std::uint64_t key = 0) {
+  if (ChkHook h = chk_hook_slot().load(std::memory_order_relaxed)) {
+    h(site, key);
+  }
+}
+
+}  // namespace xbfs::sim

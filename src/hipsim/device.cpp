@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 
+#include "hipsim/chk_point.h"
 #include "hipsim/fault.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -76,6 +77,10 @@ void Device::maybe_corrupt_copy(const char* name) {
 }
 
 double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
+  // SchedCheck yield point: a controlled task may be preempted between a
+  // peer's kernel and the copy that publishes its data — the window a
+  // missing synchronize() leaves open.
+  chk_point("sim.memcpy.h2d", bytes);
   const double t = profile_.memcpy_overhead_us +
                    static_cast<double>(bytes) / profile_.h2d_bytes_per_us;
   const double begin = stream_begin(s);
@@ -90,6 +95,7 @@ double Device::memcpy_h2d(Stream& s, std::uint64_t bytes) {
 }
 
 double Device::memcpy_d2h(Stream& s, std::uint64_t bytes) {
+  chk_point("sim.memcpy.d2h", bytes);
   const double t = profile_.memcpy_overhead_us +
                    static_cast<double>(bytes) / profile_.d2h_bytes_per_us;
   const double begin = stream_begin(s);

@@ -151,6 +151,11 @@ class ExecCtx {
   void set_lane(unsigned lane) { lane_ = static_cast<std::uint16_t>(lane); }
   const char* racy_reason() const { return racy_why_; }
   void set_racy_reason(const char* why) { racy_why_ = why; }
+  /// Allowlist-hygiene hook (racy_ok ctor): count the scope entry so the
+  /// sanitizer can flag annotations that run but never cover an access.
+  void note_annotation(const char* why) {
+    if (rec_ != nullptr && rec_->log_races) rec_->ann_entered.push_back(why);
+  }
 
  private:
   /// Relaxed atomic access keeps the simulator itself free of C++ data
@@ -206,6 +211,7 @@ class racy_ok {
   racy_ok(ExecCtx& ctx, const char* why)
       : ctx_(ctx), prev_(ctx.racy_reason()) {
     ctx_.set_racy_reason(why);
+    ctx_.note_annotation(why);
   }
   ~racy_ok() { ctx_.set_racy_reason(prev_); }
   racy_ok(const racy_ok&) = delete;

@@ -9,6 +9,7 @@
 #include "hipsim/device.h"
 #include "hipsim/fault.h"
 #include "hipsim/sanitizer.h"
+#include "hipsim/schedcheck.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,23 +95,68 @@ LaunchResult Device::launch(Stream& s, std::string_view name,
   std::vector<std::atomic<double>> vcu_busy(n_vcus);
   for (auto& v : vcu_busy) v.store(0.0, std::memory_order_relaxed);
 
-  pool_->parallel_for(
-      cfg.grid_blocks, [&](unsigned worker, std::uint64_t block_id) {
-        ExecCtx ctx(&probes[worker], &profile_,
-                    sanitize ? &san_recs[worker] : nullptr,
+  Schedule* sched = sanitize ? SchedCheck::current() : nullptr;
+  if (sched != nullptr) {
+    // SchedCheck-controlled execution: the launching thread is inside an
+    // exploration, so the grid's blocks run as controlled tasks (one
+    // runnable at a time, preemptible at every sanitized access) instead
+    // of free-running pool workers.  Each task gets its own counters,
+    // probe, recorder and LDS arena — the pool's per-worker state is
+    // untouched, so controlled and pooled launches can interleave freely
+    // across schedules.
+    const unsigned n_lanes = static_cast<unsigned>(std::min<std::uint64_t>(
+        cfg.grid_blocks, SchedCheck::kMaxTasks));
+    std::vector<KernelCounters> lane_counters(n_lanes);
+    std::vector<MemProbe> lane_probes;
+    lane_probes.reserve(n_lanes);
+    for (unsigned l = 0; l < n_lanes; ++l) {
+      lane_probes.emplace_back(l2_.get(), &lane_counters[l]);
+    }
+    std::vector<SanRecorder> lane_recs(n_lanes);
+    for (SanRecorder& r : lane_recs) san.init_recorder(r, name);
+    std::vector<std::unique_ptr<ShMem>> lane_shmem;
+    lane_shmem.reserve(n_lanes);
+    for (unsigned l = 0; l < n_lanes; ++l) {
+      lane_shmem.push_back(std::make_unique<ShMem>(options_.lds_bytes));
+    }
+    sched->run_tasks(n_lanes, [&](std::size_t lane) {
+      for (std::uint64_t block_id = lane; block_id < cfg.grid_blocks;
+           block_id += n_lanes) {
+        ExecCtx ctx(&lane_probes[lane], &profile_, &lane_recs[lane],
                     static_cast<unsigned>(block_id));
-        ShMem& shmem = *worker_shmem_[worker];
+        ShMem& shmem = *lane_shmem[lane];
         shmem.reset();
-        const KernelCounters before = worker_counters[worker];
+        const KernelCounters before = lane_counters[lane];
         BlockCtx blk(&ctx, &shmem, static_cast<unsigned>(block_id),
                      cfg.grid_blocks, cfg.block_threads);
         body(blk);
         const double dt =
-            block_micro_time(profile_, before, worker_counters[worker]);
+            block_micro_time(profile_, before, lane_counters[lane]);
         vcu_busy[block_id % n_vcus].fetch_add(dt, std::memory_order_relaxed);
-      });
+      }
+    });
+    san.analyze_launch(name, lane_recs);
+    for (const KernelCounters& lc : lane_counters) worker_counters[0] += lc;
+  } else {
+    pool_->parallel_for(
+        cfg.grid_blocks, [&](unsigned worker, std::uint64_t block_id) {
+          ExecCtx ctx(&probes[worker], &profile_,
+                      sanitize ? &san_recs[worker] : nullptr,
+                      static_cast<unsigned>(block_id));
+          ShMem& shmem = *worker_shmem_[worker];
+          shmem.reset();
+          const KernelCounters before = worker_counters[worker];
+          BlockCtx blk(&ctx, &shmem, static_cast<unsigned>(block_id),
+                       cfg.grid_blocks, cfg.block_threads);
+          body(blk);
+          const double dt =
+              block_micro_time(profile_, before, worker_counters[worker]);
+          vcu_busy[block_id % n_vcus].fetch_add(dt,
+                                                std::memory_order_relaxed);
+        });
 
-  if (sanitize) san.analyze_launch(name, san_recs);
+    if (sanitize) san.analyze_launch(name, san_recs);
+  }
 
   LaunchResult result;
   for (const KernelCounters& wc : worker_counters) result.counters += wc;

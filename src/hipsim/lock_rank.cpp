@@ -1,0 +1,121 @@
+#include "hipsim/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace xbfs::sim {
+
+namespace {
+
+struct Held {
+  const RankedMutex* mu = nullptr;
+  unsigned rank = 0;
+  const char* name = nullptr;
+};
+
+struct ThreadLocks {
+  static constexpr int kMax = RankedMutex::HolderSnap::kMax;
+  Held held[kMax];
+  int depth = 0;
+};
+
+ThreadLocks& tls() {
+  static thread_local ThreadLocks t;
+  return t;
+}
+
+std::atomic<bool> g_abort{true};
+
+std::string format_stack(const Held* held, int depth) {
+  if (depth == 0) return "<none>";
+  std::ostringstream os;
+  for (int i = 0; i < depth; ++i) {
+    if (i != 0) os << " -> ";
+    os << held[i].name << "(" << held[i].rank << ")";
+  }
+  return os.str();
+}
+
+std::string format_snap(const RankedMutex::HolderSnap& s) {
+  if (s.depth == 0) return "<none>";
+  std::ostringstream os;
+  for (int i = 0; i < s.depth; ++i) {
+    if (i != 0) os << " -> ";
+    os << s.names[i] << "(" << s.ranks[i] << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void LockRank::set_abort(bool abort_on_violation) {
+  g_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+std::string LockRank::current_stack() {
+  const ThreadLocks& t = tls();
+  return format_stack(t.held, t.depth);
+}
+
+void LockRank::check_acquire(const RankedMutex& mu) {
+  const ThreadLocks& t = tls();
+  if (t.depth == 0) return;
+  const Held& top = t.held[t.depth - 1];
+  if (mu.rank() > top.rank) return;
+
+  // Violation.  Copy the contended mutex's last holder stack (the "other"
+  // side) under its snapshot spinlock — we do not hold mu_, by design.
+  auto& m = const_cast<RankedMutex&>(mu);
+  while (m.snap_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  const std::string other = format_snap(m.snap_);
+  m.snap_lock_.clear(std::memory_order_release);
+
+  std::ostringstream os;
+  os << "lock-order violation: acquiring " << mu.name() << "(" << mu.rank()
+     << ") while holding " << format_stack(t.held, t.depth)
+     << "; last holder of " << mu.name() << " held " << other;
+  if (g_abort.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[lockrank] %s\n", os.str().c_str());
+    std::abort();
+  }
+  throw LockOrderViolation(os.str());
+}
+
+void LockRank::note_locked(RankedMutex& mu) {
+  ThreadLocks& t = tls();
+  if (t.depth < ThreadLocks::kMax) {
+    t.held[t.depth] = Held{&mu, mu.rank(), mu.name()};
+  }
+  ++t.depth;
+
+  while (mu.snap_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  const int n = t.depth < ThreadLocks::kMax ? t.depth : ThreadLocks::kMax;
+  mu.snap_.depth = n;
+  for (int i = 0; i < n; ++i) {
+    mu.snap_.names[i] = t.held[i].name;
+    mu.snap_.ranks[i] = t.held[i].rank;
+  }
+  mu.snap_lock_.clear(std::memory_order_release);
+}
+
+void LockRank::note_unlocked(RankedMutex& mu) {
+  ThreadLocks& t = tls();
+  // Locks almost always release LIFO; tolerate out-of-order unlocks (e.g.
+  // std::unique_lock juggling) by removing the matching entry wherever it
+  // sits in the stack.
+  for (int i = t.depth - 1; i >= 0; --i) {
+    if (i < ThreadLocks::kMax && t.held[i].mu == &mu) {
+      for (int j = i; j + 1 < t.depth && j + 1 < ThreadLocks::kMax; ++j) {
+        t.held[j] = t.held[j + 1];
+      }
+      --t.depth;
+      return;
+    }
+  }
+  if (t.depth > 0) --t.depth;  // overflowed entry beyond kMax
+}
+
+}  // namespace xbfs::sim

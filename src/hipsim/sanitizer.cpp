@@ -8,6 +8,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "hipsim/schedcheck.h"
 #include "obs/metrics.h"
 
 namespace xbfs::sim {
@@ -85,6 +86,7 @@ void Sanitizer::reset() {
   registry_.clear();
   findings_.clear();
   finding_index_.clear();
+  ann_stats_.clear();
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
 }
 
@@ -113,6 +115,7 @@ void Sanitizer::init_recorder(SanRecorder& rec, std::string_view kernel) {
   rec.chk_free = cfg_.free;
   rec.log_races = cfg_.races;
   rec.log.clear();
+  rec.ann_entered.clear();
 }
 
 void Sanitizer::report(DefectKind kind, std::string_view kernel,
@@ -155,6 +158,11 @@ bool san_check(SanRecorder& rec, const BufferShadow* shadow,
                std::uint32_t wavefront, std::uint16_t lane,
                const char* racy_why) {
   const bool is_write = kind == AccKind::Write || kind == AccKind::AtomicRmw;
+  // SchedCheck preemption point: when this access runs on a controlled task
+  // the model checker may deterministically switch to another block here —
+  // *before* the access executes — turning the instrumented access set into
+  // the interleaving-exploration alphabet.  No-op otherwise.
+  if (rec.log_races) schedcheck_access_yield(addr, is_write);
   if (index >= span_size) {
     // Unsafe either way: never perform the raw access.  Only *report* when
     // bounds checking is on, so single-mode runs stay focused.
@@ -275,8 +283,15 @@ void Sanitizer::analyze_launch(std::string_view kernel,
   if (total == 0) return;
   addrs.reserve(total / 2);
 
+  // Per-annotation hygiene counters (scope entries from the workers'
+  // ann_entered lists, covered accesses from the log) accumulate locally,
+  // keyed by the static reason pointer, then merge under the lock by string
+  // content — the same reason used from several call sites is one row.
+  std::unordered_map<const char*, AnnCounters> ann_local;
   for (const SanRecorder& r : recs) {
+    for (const char* why : r.ann_entered) ++ann_local[why].scopes;
     for (const AccessRecord& ar : r.log) {
+      if (ar.why != nullptr) ++ann_local[ar.why].accesses;
       CatState& cs = addrs[ar.addr].cat[cat_of(ar.flags)];
       if (!cs.seen) {
         cs.seen = true;
@@ -316,14 +331,46 @@ void Sanitizer::analyze_launch(std::string_view kernel,
     } else if (ok != nullptr) {
       report(DefectKind::DataRaceAllowlisted, kernel, ok->shadow,
              ok->addr - ok->shadow->base_addr(), ok->why);
+      if (ok->why != nullptr) ++ann_local[ok->why].findings;
     }
   }
-  for (SanRecorder& r : recs) r.log.clear();
+  if (!ann_local.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [why, c] : ann_local) {
+      AnnCounters& g = ann_stats_[why];
+      g.scopes += c.scopes;
+      g.accesses += c.accesses;
+      g.findings += c.findings;
+    }
+  }
+  for (SanRecorder& r : recs) {
+    r.log.clear();
+    r.ann_entered.clear();
+  }
 }
 
 std::vector<Finding> Sanitizer::findings() const {
   std::lock_guard<std::mutex> lk(mu_);
   return findings_;
+}
+
+std::vector<Sanitizer::AnnotationStats> Sanitizer::annotation_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<AnnotationStats> out;
+  out.reserve(ann_stats_.size());
+  for (const auto& [why, c] : ann_stats_) {
+    out.push_back(AnnotationStats{why, c.scopes, c.accesses, c.findings});
+  }
+  return out;
+}
+
+std::vector<std::string> Sanitizer::stale_annotations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [why, c] : ann_stats_) {
+    if (c.scopes > 0 && c.accesses == 0) out.push_back(why);
+  }
+  return out;
 }
 
 std::uint64_t Sanitizer::unannotated_count() const {

@@ -103,6 +103,9 @@ struct SanRecorder {
   bool chk_free = false;
   bool log_races = false;
   std::vector<AccessRecord> log;
+  /// racy_ok scopes entered on this worker (static reason strings), merged
+  /// into the per-annotation hit counters by analyze_launch.
+  std::vector<const char*> ann_entered;
 };
 
 /// Per-access check + log hook, called by ExecCtx only when a recorder is
@@ -173,7 +176,27 @@ class Sanitizer {
   /// Human-readable triage table (one line per aggregated finding).
   void summary(std::ostream& os) const;
 
+  /// Per-racy_ok-annotation hygiene counters, keyed by the reason string.
+  /// An annotation whose scope runs but which never covers a logged access
+  /// is *stale*: the code it excused has moved and the allowlist entry
+  /// silently rots (scripts/check_sanitize.sh fails on these).
+  struct AnnotationStats {
+    std::string why;
+    std::uint64_t scopes_entered = 0;      ///< racy_ok constructions seen
+    std::uint64_t annotated_accesses = 0;  ///< logged accesses it covered
+    std::uint64_t allowlisted_findings = 0;  ///< race findings it excused
+  };
+  std::vector<AnnotationStats> annotation_stats() const;
+  /// Reasons with scopes_entered > 0 but annotated_accesses == 0.
+  std::vector<std::string> stale_annotations() const;
+
  private:
+  struct AnnCounters {
+    std::uint64_t scopes = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t findings = 0;
+  };
+
   mutable std::mutex mu_;
   SanitizeConfig cfg_;
   std::atomic<bool> enabled_{false};
@@ -182,6 +205,7 @@ class Sanitizer {
   std::vector<std::shared_ptr<BufferShadow>> registry_;
   std::vector<Finding> findings_;
   std::map<std::string, std::size_t> finding_index_;
+  std::map<std::string, AnnCounters> ann_stats_;
   std::atomic<std::uint64_t> counts_[kNumDefectKinds] = {};
 };
 

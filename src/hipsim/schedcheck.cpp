@@ -1,0 +1,420 @@
+#include "hipsim/schedcheck.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "hipsim/sanitizer.h"
+
+namespace xbfs::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Conflict key for a host-side chk_point: hash the site *contents* (string
+// addresses are not stable across processes, which would break replay) and
+// set the high bit so host sites never collide with device addresses.
+std::uint64_t chk_site_key(const char* site, std::uint64_t key) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001B3ull;
+  }
+  return (h ^ (key * 0x9E3779B97F4A7C15ull)) | 0x8000000000000000ull;
+}
+
+// Hook installed into chk_point() while an exploration runs.  chk_points
+// are treated as writes: the structures that carry them are by definition
+// mutating shared state, so every multi-task site is conflict-eligible.
+void chk_trampoline(const char* site, std::uint64_t key) {
+  if (schedcheck_detail::tl_task != nullptr) {
+    schedcheck_detail::yield(schedcheck_detail::tl_task,
+                             chk_site_key(site, key), /*write=*/true);
+  }
+}
+
+thread_local Schedule* tl_schedule = nullptr;
+
+}  // namespace
+
+namespace schedcheck_detail {
+
+struct Task {
+  Schedule* sched = nullptr;
+  std::size_t id = 0;
+};
+
+thread_local Task* tl_task = nullptr;
+
+void yield(Task* task, std::uint64_t key, bool write) {
+  Schedule* s = task->sched;
+  std::unique_lock<std::mutex> lk(s->mu_);
+  s->yield_locked(task->id, key, write, lk);
+}
+
+}  // namespace schedcheck_detail
+
+// ---------------------------------------------------------------------------
+// SchedCheckConfig
+
+SchedCheckConfig SchedCheckConfig::from_env_string(const std::string& spec) {
+  SchedCheckConfig cfg;
+  std::stringstream ss(spec);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto eq = tok.find('=');
+    const std::string key = tok.substr(0, eq);
+    const std::string val = eq == std::string::npos ? "" : tok.substr(eq + 1);
+    std::uint64_t num = 0;
+    bool num_ok = false;
+    if (!val.empty()) {
+      try {
+        num = std::stoull(val, nullptr, 0);  // base 0: accepts 0x hex
+        num_ok = true;
+      } catch (const std::exception&) {
+        num_ok = false;
+      }
+    }
+    if (key == "schedules" && num_ok) {
+      cfg.schedules = static_cast<unsigned>(num);
+    } else if (key == "preemptions" && num_ok) {
+      cfg.preemptions = static_cast<unsigned>(num);
+    } else if (key == "seed" && num_ok) {
+      cfg.seed = num;
+    } else if (key == "replay" && num_ok) {
+      cfg.has_replay = true;
+      cfg.replay_seed = num;
+    } else {
+      std::cerr << "[schedcheck] ignoring unknown/malformed XBFS_SCHEDCHECK "
+                << "token: \"" << tok << "\"\n";
+    }
+  }
+  if (cfg.schedules == 0) cfg.schedules = 1;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// ExploreResult
+
+void ExploreResult::summary(std::ostream& os) const {
+  os << "SchedCheck[" << name << "]: " << schedules_run << " schedule(s), "
+     << schedules_pruned << " duplicate interleaving(s), " << preemptions
+     << " preemption(s) over " << yield_points << " yield point(s), "
+     << conflict_keys << " conflict key(s)\n";
+  if (state_diverged) {
+    os << "  state DIVERGED: baseline hash 0x" << std::hex << baseline_hash
+       << ", schedule seed 0x" << first_divergent_seed << " reached 0x"
+       << first_divergent_hash << std::dec << "\n"
+       << "  replay with XBFS_SCHEDCHECK=replay=0x" << std::hex
+       << first_divergent_seed << std::dec << "\n";
+  }
+  for (const ScheduleFailure& f : failures) {
+    os << "  FAIL (seed 0x" << std::hex << f.seed << std::dec
+       << "): " << f.what << "\n"
+       << "    replay with XBFS_SCHEDCHECK=replay=0x" << std::hex << f.seed
+       << std::dec << "\n";
+  }
+  if (ok()) os << "  all interleavings agree; no findings\n";
+}
+
+// ---------------------------------------------------------------------------
+// Schedule
+
+void Schedule::ConflictSet::freeze() {
+  hot.clear();
+  for (const auto& [key, info] : seen) {
+    if (info.multi_task && info.any_write) hot.insert(key);
+  }
+}
+
+std::uint64_t Schedule::next_rand() {
+  prng_ = splitmix64(prng_);
+  return prng_;
+}
+
+void Schedule::fail(std::string what) {
+  std::lock_guard<std::mutex> g(mu_);
+  failures_.push_back(std::move(what));
+}
+
+bool Schedule::failed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return !failures_.empty();
+}
+
+void Schedule::yield_locked(std::size_t id, std::uint64_t key, bool write,
+                            std::unique_lock<std::mutex>& lk) {
+  ++yield_count_;
+  if (baseline_) {
+    // Conflict collection only: a key is "hot" when more than one task
+    // touches it and at least one touch is a write.  Never preempts, never
+    // draws from the PRNG — the baseline decision stream is fixed, so every
+    // seed's conflict relation is identical and replayable in isolation.
+    auto [it, inserted] = conflicts_->seen.try_emplace(key);
+    Schedule::ConflictSet::Info& info = it->second;
+    if (inserted) {
+      info.first_task = static_cast<std::uint32_t>(id);
+    } else if (info.first_task != id) {
+      info.multi_task = true;
+    }
+    info.any_write = info.any_write || write;
+    return;
+  }
+  if (conflicts_->hot.find(key) == conflicts_->hot.end()) return;
+  ++eligible_count_;
+  if (budget_ == 0) return;
+  if (n_tasks_ - n_finished_ <= 1) return;
+  // 1-in-4 preemption chance at each conflict-eligible point keeps the
+  // budget spread across the execution instead of burning it at the start.
+  const std::uint64_t r = next_rand();
+  if ((r & 3u) != 0) return;
+  std::size_t pick = static_cast<std::size_t>(next_rand() %
+                                              (n_tasks_ - n_finished_ - 1));
+  std::size_t target = id;
+  for (std::size_t i = 0; i < n_tasks_; ++i) {
+    if (finished_[i] || i == id) continue;
+    if (pick-- == 0) {
+      target = i;
+      break;
+    }
+  }
+  if (target == id) return;
+  --budget_;
+  ++preempt_count_;
+  // The trace hash records *decisions* (where we switched, to whom), not
+  // PRNG draws, so two seeds producing the same interleaving hash equal.
+  trace_hash_ = state_hash_mix(trace_hash_, eligible_count_);
+  trace_hash_ = state_hash_mix(trace_hash_, key);
+  trace_hash_ = state_hash_mix(trace_hash_, target);
+  active_ = target;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == id; });
+}
+
+void Schedule::choose_next_locked() {
+  if (n_finished_ >= n_tasks_) {
+    cv_.notify_all();
+    return;
+  }
+  std::size_t next = 0;
+  if (baseline_) {
+    for (std::size_t i = 0; i < n_tasks_; ++i) {
+      if (!finished_[i]) {
+        next = i;
+        break;
+      }
+    }
+  } else {
+    std::size_t pick =
+        static_cast<std::size_t>(next_rand() % (n_tasks_ - n_finished_));
+    for (std::size_t i = 0; i < n_tasks_; ++i) {
+      if (finished_[i]) continue;
+      if (pick-- == 0) {
+        next = i;
+        break;
+      }
+    }
+  }
+  active_ = next;
+  trace_hash_ = state_hash_mix(trace_hash_, 0xF1FAull);
+  trace_hash_ = state_hash_mix(trace_hash_, next);
+  cv_.notify_all();
+}
+
+void Schedule::task_entry(std::size_t id,
+                          const std::function<void(std::size_t)>& task) {
+  schedcheck_detail::Task self{this, id};
+  schedcheck_detail::tl_task = &self;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return active_ == id; });
+  }
+  try {
+    task(id);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> g(mu_);
+    failures_.push_back("task " + std::to_string(id) +
+                        " threw: " + e.what());
+  } catch (...) {
+    std::lock_guard<std::mutex> g(mu_);
+    failures_.push_back("task " + std::to_string(id) +
+                        " threw a non-std exception");
+  }
+  schedcheck_detail::tl_task = nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  finished_[id] = true;
+  ++n_finished_;
+  choose_next_locked();
+}
+
+void Schedule::run_tasks(std::size_t n,
+                         const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (n == 1) {
+    task(0);  // nothing to interleave
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (in_session_) {
+      throw std::logic_error(
+          "sim::Schedule::run_tasks: nested sessions are not supported");
+    }
+    in_session_ = true;
+    n_tasks_ = n;
+    n_finished_ = 0;
+    finished_.assign(n, false);
+    if (baseline_) {
+      active_ = 0;
+    } else {
+      active_ = static_cast<std::size_t>(next_rand() % n);
+      trace_hash_ = state_hash_mix(trace_hash_, 0x57A7ull);
+      trace_hash_ = state_hash_mix(trace_hash_, active_);
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back(&Schedule::task_entry, this, i, std::cref(task));
+  }
+  for (std::thread& t : threads) t.join();
+  std::lock_guard<std::mutex> g(mu_);
+  in_session_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// SchedCheck
+
+SchedCheck& SchedCheck::global() {
+  static SchedCheck* inst = [] {
+    auto* s = new SchedCheck();
+    if (const char* env = std::getenv("XBFS_SCHEDCHECK");
+        env != nullptr && *env != '\0') {
+      s->configure(SchedCheckConfig::from_env_string(env));
+    }
+    return s;
+  }();
+  return *inst;
+}
+
+void SchedCheck::configure(const SchedCheckConfig& cfg) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    cfg_ = cfg;
+  }
+  // The kernel-side preemption points live in the SimSan access hook; the
+  // checker is blind without race instrumentation.
+  Sanitizer& san = Sanitizer::global();
+  if (!san.enabled() || !san.config().races) {
+    SanitizeConfig sc = san.config();
+    sc.races = true;
+    san.configure(sc);
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SchedCheck::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+SchedCheckConfig SchedCheck::config() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return cfg_;
+}
+
+Schedule* SchedCheck::current() { return tl_schedule; }
+
+ExploreResult SchedCheck::explore(
+    const std::string& name,
+    const std::function<std::uint64_t(Schedule&)>& body) {
+  return explore_with(config(), name, body);
+}
+
+ExploreResult SchedCheck::explore_with(
+    const SchedCheckConfig& cfg, const std::string& name,
+    const std::function<std::uint64_t(Schedule&)>& body) {
+  // One exploration at a time: the chk_point hook and the sanitizer's
+  // finding counters are process-wide.
+  static std::mutex explore_mu;
+  std::lock_guard<std::mutex> eg(explore_mu);
+
+  Sanitizer& san = Sanitizer::global();
+  if (!san.enabled() || !san.config().races) {
+    SanitizeConfig sc = san.config();
+    sc.races = true;
+    san.configure(sc);
+  }
+
+  ExploreResult res;
+  res.name = name;
+  Schedule::ConflictSet conflicts;
+  const ChkHook prev_hook = chk_hook_slot().exchange(&chk_trampoline);
+  std::uint64_t last_trace = 0;
+
+  auto run_one = [&](std::uint64_t seed, bool baseline) -> std::uint64_t {
+    Schedule s(seed, baseline, baseline ? 0u : cfg.preemptions, &conflicts);
+    const std::uint64_t san_before = san.unannotated_count();
+    tl_schedule = &s;
+    std::uint64_t hash = 0;
+    try {
+      hash = body(s);
+    } catch (const std::exception& e) {
+      s.failures_.push_back(std::string("exploration body threw: ") +
+                            e.what());
+    } catch (...) {
+      s.failures_.push_back("exploration body threw a non-std exception");
+    }
+    tl_schedule = nullptr;
+    const std::uint64_t san_delta = san.unannotated_count() - san_before;
+    if (san_delta > 0) {
+      s.failures_.push_back("sanitizer reported " +
+                            std::to_string(san_delta) +
+                            " new unannotated finding(s)");
+    }
+    ++res.schedules_run;
+    res.preemptions += s.preempt_count_;
+    res.yield_points += s.yield_count_;
+    for (std::string& f : s.failures_) {
+      res.failures.push_back(ScheduleFailure{seed, std::move(f), hash});
+    }
+    if (!baseline && hash != 0 && res.baseline_hash != 0 &&
+        hash != res.baseline_hash && !res.state_diverged) {
+      res.state_diverged = true;
+      res.first_divergent_seed = seed;
+      res.first_divergent_hash = hash;
+    }
+    last_trace = s.trace_hash_;
+    return hash;
+  };
+
+  // Round 0: deterministic conflict collection.  Runs in replay mode too —
+  // replay must rebuild the identical conflict relation before the replayed
+  // seed's decision stream can mean the same thing.
+  res.baseline_hash = run_one(cfg.seed, /*baseline=*/true);
+  conflicts.freeze();
+  res.conflict_keys = conflicts.hot.size();
+
+  std::unordered_set<std::uint64_t> seen_traces;
+  seen_traces.insert(last_trace);
+  if (cfg.has_replay) {
+    run_one(cfg.replay_seed, /*baseline=*/false);
+  } else {
+    for (unsigned i = 1; i < cfg.schedules; ++i) {
+      run_one(splitmix64(cfg.seed + i), /*baseline=*/false);
+      if (!seen_traces.insert(last_trace).second) ++res.schedules_pruned;
+    }
+  }
+
+  chk_hook_slot().store(prev_hook);
+  return res;
+}
+
+}  // namespace xbfs::sim

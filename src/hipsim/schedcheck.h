@@ -1,0 +1,260 @@
+// SchedCheck: a CHESS-style schedule-exploring model checker for the
+// simulated GPU's kernels and the serving stack's concurrent structures
+// (docs/modelcheck.md).
+//
+// SimSan (hipsim/sanitizer.h) analyzes the access log of whatever
+// interleaving the worker pool happened to produce; TSan CI stumbles into
+// whatever schedules the OS serves up.  SchedCheck turns both from
+// probabilistic checks into a bounded-exhaustive tool: it serializes the
+// workload onto one runnable task at a time and *chooses* the interleaving,
+// exploring a seeded set of schedules with a bounded number of preemptions,
+// pruned DPOR-lite style so only schedules that reorder *conflicting*
+// accesses are generated.
+//
+//   - Kernel domain: while a Schedule is current on the launching thread,
+//     Device::launch runs grid blocks as controlled tasks instead of pool
+//     workers.  Preemption points are the SimSan-instrumented access points
+//     (every ExecCtx load/store/atomic — wavefront and block boundaries
+//     included), so the checker needs XBFS_SANITIZE races mode; configure()
+//     turns it on if it is off.
+//   - Host domain: Schedule::run_tasks runs harness closures as controlled
+//     tasks; preemption points are the sim::chk_point() yield shims wired
+//     through the flight-recorder seqlock, the admission queue, breaker
+//     transitions and graph-store snapshot publication.  Invariant
+//     callbacks run at the end of every explored interleaving via
+//     Schedule::fail().
+//
+// Determinism and replay: every schedule is identified by a 64-bit seed;
+// all scheduling decisions derive from that seed plus a conflict relation
+// collected on a fixed baseline round, so a failure's printed seed replays
+// the interleaving bit-for-bit:
+//
+//   XBFS_SCHEDCHECK="schedules=64,preemptions=2,seed=7"   # explore
+//   XBFS_SCHEDCHECK="replay=0x1b5ed..."                   # reproduce
+//
+// Detection channels per schedule: SimSan unannotated-finding deltas,
+// exceptions escaping tasks, Schedule::fail() invariant violations, and
+// final-state divergence (a `racy_ok`-annotated race is verified *benign*
+// only if every explored interleaving reaches the same state hash).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hipsim/chk_point.h"
+
+namespace xbfs::sim {
+
+struct SchedCheckConfig {
+  unsigned schedules = 32;   ///< explored schedules, baseline round included
+  unsigned preemptions = 2;  ///< max injected preemptions per schedule
+  std::uint64_t seed = 0x5C4EDBA5Eull;  ///< base seed; schedule i mixes in i
+  bool has_replay = false;
+  std::uint64_t replay_seed = 0;  ///< run exactly this schedule
+
+  /// Parse the XBFS_SCHEDCHECK spec:
+  ///   "schedules=64,preemptions=3,seed=7"  or  "replay=0x1B5ED"
+  /// Unknown keys warn to stderr and are ignored; numbers accept 0x hex.
+  static SchedCheckConfig from_env_string(const std::string& spec);
+};
+
+/// One failing schedule: the seed replays it deterministically.
+struct ScheduleFailure {
+  std::uint64_t seed = 0;
+  std::string what;             ///< invariant / exception / sanitizer delta
+  std::uint64_t state_hash = 0; ///< body-reported final state (0 if none)
+};
+
+struct ExploreResult {
+  std::string name;                    ///< exploration label (reports)
+  std::uint64_t schedules_run = 0;
+  std::uint64_t schedules_pruned = 0;  ///< decision-trace duplicates
+  std::uint64_t preemptions = 0;       ///< injected context switches, total
+  std::uint64_t yield_points = 0;      ///< yields crossed, total
+  std::uint64_t conflict_keys = 0;     ///< DPOR-lite conflict relation size
+  std::vector<ScheduleFailure> failures;
+  bool state_diverged = false;         ///< some schedule reached a new state
+  std::uint64_t baseline_hash = 0;
+  std::uint64_t first_divergent_seed = 0;
+  std::uint64_t first_divergent_hash = 0;
+
+  bool ok() const { return failures.empty() && !state_diverged; }
+  /// Human-readable triage summary; every failure line carries the
+  /// `XBFS_SCHEDCHECK=replay=<seed>` incantation that reproduces it.
+  void summary(std::ostream& os) const;
+};
+
+class SchedCheck;
+
+namespace schedcheck_detail {
+struct Task;
+/// The controlled task running on this thread, if any (set by the
+/// scheduler around task bodies; null on every other thread).
+extern thread_local Task* tl_task;
+void yield(Task* task, std::uint64_t key, bool write);
+}  // namespace schedcheck_detail
+
+/// Preemption point for simulated-kernel accesses; called by the SimSan
+/// access hook with the modelled address.  No-op unless the calling thread
+/// is a controlled task.
+inline void schedcheck_access_yield(std::uint64_t addr, bool write) {
+  if (schedcheck_detail::tl_task != nullptr) {
+    schedcheck_detail::yield(schedcheck_detail::tl_task, addr, write);
+  }
+}
+
+/// One controlled execution of the workload under a fixed schedule seed.
+/// Created by SchedCheck::explore; the exploration body receives it and
+/// may run host tasks through it directly.  Kernel launches made on the
+/// body's thread route through it automatically.
+class Schedule {
+ public:
+  std::uint64_t seed() const { return seed_; }
+  /// True on the conflict-collection round (deterministic round-robin, no
+  /// preemption); harnesses can use it to size work up or down.
+  bool baseline() const { return baseline_; }
+
+  /// Run `task`(0..n-1) to completion under this schedule: one task
+  /// runnable at a time, preemptible at conflict-eligible yield points.
+  /// Tasks must not nest run_tasks sessions.  With n <= 1 the task runs
+  /// inline, uncontrolled (nothing to interleave).
+  void run_tasks(std::size_t n, const std::function<void(std::size_t)>& task);
+
+  /// Record an invariant violation for this schedule (checked by the
+  /// harness at any point; typically after run_tasks).
+  void fail(std::string what);
+  bool failed() const;
+
+  std::uint64_t preemptions() const { return preempt_count_; }
+  std::uint64_t yields() const { return yield_count_; }
+  /// Hash of every scheduling decision this schedule made; two schedules
+  /// with equal trace hashes explored the same interleaving (pruning).
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+ private:
+  friend class SchedCheck;
+  friend void schedcheck_detail::yield(schedcheck_detail::Task*,
+                                       std::uint64_t, bool);
+
+  /// Conflict relation shared across one exploration: keys (addresses /
+  /// chk_point sites) touched by more than one task with at least one
+  /// write, collected on the baseline round and frozen afterwards so every
+  /// seed's decision stream is reproducible in isolation.
+  struct ConflictSet {
+    struct Info {
+      std::uint32_t first_task = 0;
+      bool multi_task = false;
+      bool any_write = false;
+    };
+    std::unordered_map<std::uint64_t, Info> seen;
+    std::unordered_set<std::uint64_t> hot;
+    void freeze();
+  };
+
+  Schedule(std::uint64_t seed, bool baseline, unsigned preemption_budget,
+           ConflictSet* conflicts)
+      : seed_(seed),
+        baseline_(baseline),
+        budget_(preemption_budget),
+        conflicts_(conflicts),
+        prng_(seed ^ 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next_rand();
+  void yield_locked(std::size_t id, std::uint64_t key, bool write,
+                    std::unique_lock<std::mutex>& lk);
+  void choose_next_locked();
+  void task_entry(std::size_t id,
+                  const std::function<void(std::size_t)>& task);
+
+  const std::uint64_t seed_;
+  const bool baseline_;
+  unsigned budget_;
+  ConflictSet* conflicts_;
+  std::uint64_t prng_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<bool> finished_;
+  std::size_t n_tasks_ = 0;
+  std::size_t n_finished_ = 0;
+  std::size_t active_ = 0;
+  bool in_session_ = false;
+
+  std::uint64_t preempt_count_ = 0;
+  std::uint64_t yield_count_ = 0;
+  std::uint64_t eligible_count_ = 0;
+  std::uint64_t trace_hash_ = 0;
+  std::vector<std::string> failures_;
+};
+
+class SchedCheck {
+ public:
+  /// Process-wide instance; first use reads XBFS_SCHEDCHECK so any binary
+  /// can be explored unmodified (the sweep/driver calls explore()).
+  static SchedCheck& global();
+
+  SchedCheck() = default;
+  SchedCheck(const SchedCheck&) = delete;
+  SchedCheck& operator=(const SchedCheck&) = delete;
+
+  /// Also enables the sanitizer's race instrumentation if it is off —
+  /// kernel preemption points live in the SimSan access hook.
+  void configure(const SchedCheckConfig& cfg);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  SchedCheckConfig config() const;
+
+  /// Run one bounded exploration of `body` under the instance's config.
+  /// The body is invoked once per schedule; it must construct its workload
+  /// from scratch (state resets between schedules), run it, and return a
+  /// hash of the final state (0 to opt out of divergence checking).
+  /// Schedule 0 is the deterministic baseline round that collects the
+  /// conflict relation.  In replay mode the baseline runs silently to
+  /// rebuild the relation, then exactly the replayed seed is reported.
+  ExploreResult explore(const std::string& name,
+                        const std::function<std::uint64_t(Schedule&)>& body);
+  /// explore() under an explicit config (tests), ignoring enabled().
+  ExploreResult explore_with(
+      const SchedCheckConfig& cfg, const std::string& name,
+      const std::function<std::uint64_t(Schedule&)>& body);
+
+  /// The schedule currently exploring on this thread (set around the body;
+  /// Device::launch routes blocks through it), or null.
+  static Schedule* current();
+
+  /// Grid blocks are folded onto at most this many controlled tasks; a
+  /// bigger grid still executes fully, block b on task b % kMaxTasks.
+  static constexpr unsigned kMaxTasks = 128;
+
+ private:
+  mutable std::mutex mu_;
+  SchedCheckConfig cfg_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// FNV-1a over a span of trivially hashable values — the canonical state
+/// hash for explore bodies (levels vectors, counters, ...).
+inline std::uint64_t state_hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001B3ull;
+  return h;
+}
+template <typename T>
+std::uint64_t state_hash(const std::vector<T>& v) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const T& x : v) {
+    h = state_hash_mix(h, static_cast<std::uint64_t>(x));
+  }
+  return h;
+}
+
+}  // namespace xbfs::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "hipsim/chk_point.h"
 #include "hipsim/fault.h"
 
 namespace xbfs::sim {
@@ -20,7 +21,7 @@ ThreadPool::ThreadPool(unsigned num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     stopping_ = true;
   }
   cv_start_.notify_all();
@@ -36,6 +37,9 @@ void ThreadPool::drain(unsigned worker_id) {
   // caller, never dies) steal its chunks; a "stalled" worker sleeps while
   // registered, turning itself into a straggler the serving layer's
   // dispatch timeout must detect.
+  // Yield point for SchedCheck harnesses that model the drain protocol
+  // (no-op on real pool workers: they are not controlled tasks).
+  chk_point("sim.pool.drain", worker_id);
   FaultInjector& faults = FaultInjector::global();
   if (faults.enabled() && worker_id != 0) {
     if (faults.should_inject(FaultKind::WorkerDeath)) {
@@ -62,7 +66,7 @@ void ThreadPool::drain(unsigned worker_id) {
   if (processed != 0 &&
       job_.done.fetch_add(processed, std::memory_order_acq_rel) + processed ==
           count) {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<RankedMutex> lk(mu_);
     cv_done_.notify_all();
   }
   job_.in_flight.fetch_sub(1, std::memory_order_acq_rel);
@@ -72,7 +76,7 @@ void ThreadPool::worker_loop(unsigned worker_id) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      std::unique_lock<RankedMutex> lk(mu_);
       cv_start_.wait(lk, [&] { return stopping_ || epoch_ != seen_epoch; });
       if (stopping_) return;
       seen_epoch = epoch_;
@@ -94,8 +98,12 @@ void ThreadPool::parallel_for(
     for (std::uint64_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
+  // Yield point before the job-reset critical section (outside mu_, per the
+  // chk_point discipline): this is where PR 3's stalled-worker race lived —
+  // resetting job_ while a stale drain was still registered.
+  chk_point("sim.pool.reset");
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<RankedMutex> lk(mu_);
     // A worker woken late for a *previous* epoch may have registered just
     // before this call locked mu_ (its drain exits immediately — that
     // job's cursor is spent — but it still reads job_'s fields).  Let it
@@ -119,7 +127,7 @@ void ThreadPool::parallel_for(
   cv_start_.notify_all();
   drain(/*worker_id=*/0);
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<RankedMutex> lk(mu_);
     cv_done_.wait(lk, [&] {
       return job_.done.load(std::memory_order_acquire) == job_.count;
     });

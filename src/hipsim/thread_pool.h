@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "hipsim/lock_rank.h"
+
 namespace xbfs::sim {
 
 class ThreadPool {
@@ -44,9 +46,12 @@ class ThreadPool {
     std::atomic<int> in_flight{0};  ///< registered drain()s (taken under mu_)
   };
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  // Ranked (sim.pool=90, the innermost lock in the stack: serving-cycle and
+  // graph-store locks are always outside a kernel launch) so any future
+  // nesting inversion aborts with both stacks instead of deadlocking.
+  RankedMutex mu_{90, "sim.pool"};
+  std::condition_variable_any cv_start_;
+  std::condition_variable_any cv_done_;
   Job job_;
   std::uint64_t epoch_ = 0;  // guarded by mu_; bumped per parallel_for
   bool stopping_ = false;

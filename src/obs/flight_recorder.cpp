@@ -7,6 +7,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "hipsim/chk_point.h"
 #include "obs/json_writer.h"
 #include "obs/signal_flush.h"
 
@@ -91,11 +92,19 @@ void FlightRecorder::record(const char* cat, const char* name,
                             std::string_view detail, std::uint64_t a,
                             std::uint64_t b, std::uint64_t c) {
   if (!enabled() || slots_.empty()) return;
+  // SchedCheck yield points (sim::chk_point) bracket every phase of the
+  // seqlock write: claim, invalidate, payload, publish.  The protocol is
+  // lock-free, so a writer may legally be suspended at any of them — the
+  // model checker uses exactly that to drive readers through the
+  // mid-overwrite windows the ready-word re-check must survive.
+  sim::chk_point("flight.record.claim");
   const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot& s = slots_[(seq - 1) & mask_];
   // Invalidate before writing so a concurrent reader can't accept a
   // half-overwritten payload; release on the final store publishes it.
+  sim::chk_point("flight.record.invalidate", seq & mask_);
   s.ready.store(0, std::memory_order_release);
+  sim::chk_point("flight.record.payload", seq & mask_);
   s.ev.seq = seq;
   s.ev.wall_us = wall_now_us();
   s.ev.a = a;
@@ -104,6 +113,7 @@ void FlightRecorder::record(const char* cat, const char* name,
   copy_trunc(s.ev.cat, sizeof(s.ev.cat), cat ? cat : "");
   copy_trunc(s.ev.name, sizeof(s.ev.name), name ? name : "");
   copy_trunc(s.ev.detail, sizeof(s.ev.detail), detail);
+  sim::chk_point("flight.record.publish", seq & mask_);
   s.ready.store(seq, std::memory_order_release);
 }
 
@@ -117,10 +127,13 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
   out.reserve(static_cast<std::size_t>(head - lo + 1));
   for (std::uint64_t seq = lo; seq <= head; ++seq) {
     const Slot& s = slots_[(seq - 1) & mask_];
+    sim::chk_point("flight.snapshot.check", (seq - 1) & mask_);
     if (s.ready.load(std::memory_order_acquire) != seq) continue;
+    sim::chk_point("flight.snapshot.copy", (seq - 1) & mask_);
     FlightEvent ev = s.ev;
     // Seqlock re-check: if a lapping writer touched the slot while we
     // copied, the payload may be torn — discard it.
+    sim::chk_point("flight.snapshot.recheck", (seq - 1) & mask_);
     if (s.ready.load(std::memory_order_acquire) != seq) continue;
     out.push_back(ev);
   }

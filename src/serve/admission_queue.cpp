@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "hipsim/chk_point.h"
+
 namespace xbfs::serve {
 
 AdmissionQueue::AdmissionQueue(std::size_t capacity,
@@ -13,6 +15,11 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity,
 
 xbfs::Status AdmissionQueue::try_push(PendingQuery&& q) {
   const std::size_t cls = static_cast<std::size_t>(q.query.algo);
+  // SchedCheck yield point, deliberately *outside* the critical section
+  // (chk_point discipline: a suspended task must hold no shared locks):
+  // the checker interleaves producers against consumers right where the
+  // admit/ full / closed decision races.
+  sim::chk_point("serve.admission.push", cls);
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) {
@@ -75,6 +82,7 @@ std::size_t AdmissionQueue::pop_batch(std::vector<PendingQuery>& out,
 
 std::size_t AdmissionQueue::try_pop_batch(std::vector<PendingQuery>& out,
                                           std::size_t max_items) {
+  sim::chk_point("serve.admission.pop", max_items);
   std::lock_guard<std::mutex> lk(mu_);
   return drain_locked(out, max_items);
 }

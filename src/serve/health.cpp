@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hipsim/chk_point.h"
 #include "obs/flight_recorder.h"
 
 namespace xbfs::serve {
@@ -22,6 +23,11 @@ HealthTracker::HealthTracker(unsigned num_slots, BreakerConfig cfg)
 
 bool HealthTracker::allow(unsigned slot, double now_us) {
   if (slot >= slots_.size()) return false;
+  // SchedCheck yield points sit before each transition's critical section
+  // (never inside — chk_point discipline) so explored interleavings hit
+  // the allow/success/failure decision races: e.g. two callers racing for
+  // the single half-open probe token.
+  sim::chk_point("serve.health.allow", slot);
   Slot& s = slots_[slot];
   std::lock_guard<std::mutex> lk(s.mu);
   switch (s.state) {
@@ -49,6 +55,7 @@ bool HealthTracker::allow(unsigned slot, double now_us) {
 
 void HealthTracker::record_success(unsigned slot) {
   if (slot >= slots_.size()) return;
+  sim::chk_point("serve.health.success", slot);
   Slot& s = slots_[slot];
   bool closed = false;
   {
@@ -71,6 +78,7 @@ void HealthTracker::record_success(unsigned slot) {
 
 void HealthTracker::record_failure(unsigned slot, double now_us) {
   if (slot >= slots_.size()) return;
+  sim::chk_point("serve.health.failure", slot);
   Slot& s = slots_[slot];
   bool opened = false;
   {

@@ -434,7 +434,7 @@ Admission Server::submit(core::AlgoQuery q, QueryOptions opt) {
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(inflight_mu_);
+    std::lock_guard<sim::RankedMutex> lk(inflight_mu_);
     inflight_.insert(a.id);
   }
   a.accepted = true;
@@ -464,7 +464,7 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch,
   // Writes serialized per graph; reads are never blocked — the store
   // publishes a new snapshot while in-flight queries keep theirs, and the
   // fingerprint/cache flip below makes new submissions see the new epoch.
-  std::lock_guard<std::mutex> lk(update_mu_);
+  std::lock_guard<sim::RankedMutex> lk(update_mu_);
   if (deadline_us >= 0.0 && wall_us() > deadline_us) {
     // The lane was contended past the caller's budget; reject *before*
     // applying so the graph does not move under a caller that gave up.
@@ -546,7 +546,7 @@ std::size_t Server::dispatch_once() {
 }
 
 std::size_t Server::process_cycle(std::vector<PendingQuery>& pending) {
-  std::lock_guard<std::mutex> cycle_lock(cycle_mu_);
+  std::lock_guard<sim::RankedMutex> cycle_lock(cycle_mu_);
   obs::TraceSession& tr = obs::TraceSession::global();
   const std::uint64_t span = tr.begin("serve.cycle", "serve", "serve");
   const std::uint64_t cycle =
@@ -813,7 +813,7 @@ Server::Resolution Server::resolve_query(unsigned preferred,
         dyn::Snapshot dsnap;
         dyn::IncrementalBfs::LastRun dlr;
         {
-          std::lock_guard<std::mutex> lk(gcd.mu);
+          std::lock_guard<sim::RankedMutex> lk(gcd.mu);
           sim::ScopedAttribution attr(*gcd.dev, sink);
           ar = eng.solve(q);
           corrupted = gcd.dev->take_pending_corruption();
@@ -1120,7 +1120,7 @@ void Server::run_batch(unsigned worker,
         bool corrupted = false;
         std::uint64_t corrupt_pick = 0;
         {
-          std::lock_guard<std::mutex> lk(gcd.mu);
+          std::lock_guard<sim::RankedMutex> lk(gcd.mu);
           sim::ScopedAttribution attr(*gcd.dev, sink);
           r = algos::multi_source_bfs(*gcd.dev, gcd.dg, batch);
           corrupted = gcd.dev->take_pending_corruption();
@@ -1239,7 +1239,7 @@ void Server::run_batch(unsigned worker,
   }
 
   {
-    std::lock_guard<std::mutex> lk(agg_mu_);
+    std::lock_guard<sim::RankedMutex> lk(agg_mu_);
     occupancy_sum_ += static_cast<double>(batch.size()) / cfg_.max_batch;
     sources_per_sweep_sum_ += static_cast<double>(batch.size());
     modelled_busy_ms_ += modelled_ms;
@@ -1264,7 +1264,7 @@ void Server::run_algo(unsigned worker, const DispatchKey& key,
 
   Resolution res = resolve_query(worker, q, 0, dispatch_us, primary);
   {
-    std::lock_guard<std::mutex> lk(agg_mu_);
+    std::lock_guard<sim::RankedMutex> lk(agg_mu_);
     modelled_busy_ms_ += res.modelled_ms;
   }
   obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
@@ -1314,7 +1314,7 @@ void Server::finish_query(PendingQuery&& p, QueryResult&& r) {
   if (p.trace != nullptr) r.trace = p.trace;
   note_terminal(r);
   {
-    std::lock_guard<std::mutex> lk(inflight_mu_);
+    std::lock_guard<sim::RankedMutex> lk(inflight_mu_);
     inflight_.erase(p.id);
   }
   p.promise.set_value(std::move(r));
@@ -1375,7 +1375,7 @@ std::string Server::flight_context_json() const {
   w.end_array();
   w.key("inflight").begin_array();
   {
-    std::lock_guard<std::mutex> lk(inflight_mu_);
+    std::lock_guard<sim::RankedMutex> lk(inflight_mu_);
     std::size_t emitted = 0;
     for (const QueryId id : inflight_) {
       if (++emitted > 64) break;  // cap the dump; the depth is above
@@ -1392,7 +1392,7 @@ void Server::retire_one() {
   // predicate check, so the final retirement can't slip between a
   // drainer's check and its wait (lost wakeup).
   retired_.fetch_add(1, std::memory_order_release);
-  { std::lock_guard<std::mutex> lk(drain_mu_); }
+  { std::lock_guard<sim::RankedMutex> lk(drain_mu_); }
   drain_cv_.notify_all();
 }
 
@@ -1421,7 +1421,7 @@ void Server::drain() {
     }
     return;
   }
-  std::unique_lock<std::mutex> lk(drain_mu_);
+  std::unique_lock<sim::RankedMutex> lk(drain_mu_);
   drain_cv_.wait(lk, [&] {
     return retired_.load(std::memory_order_acquire) >=
            accepted_.load(std::memory_order_acquire);
@@ -1515,7 +1515,7 @@ ServerStats Server::stats() const {
           : static_cast<double>(s.cache_hits) / static_cast<double>(s.completed);
 
   {
-    std::lock_guard<std::mutex> lk(agg_mu_);
+    std::lock_guard<sim::RankedMutex> lk(agg_mu_);
     s.mean_batch_occupancy = s.sweeps == 0 ? 0.0 : occupancy_sum_ / s.sweeps;
     s.mean_sources_per_sweep =
         s.sweeps == 0 ? 0.0 : sources_per_sweep_sum_ / s.sweeps;

@@ -54,6 +54,7 @@
 #include "core/xbfs.h"
 #include "dyn/graph_store.h"
 #include "graph/device_csr.h"
+#include "hipsim/lock_rank.h"
 #include "hipsim/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
@@ -371,8 +372,10 @@ class Server {
     dyn::IncrementalBfs* inc = nullptr;
     dyn::IncrementalCc* inc_cc = nullptr;
     /// With rerouting, lanes other than this GCD's home lane may dispatch
-    /// here; the device's modelled clocks are not thread-safe.
-    std::mutex mu;
+    /// here; the device's modelled clocks are not thread-safe.  Ranked
+    /// (serve.gcd=40): taken inside the cycle lock, outside the device's
+    /// pool lock (docs/modelcheck.md lock ranks).
+    sim::RankedMutex mu{40, "serve.gcd"};
   };
 
   /// Dedup/delivery key of one dispatch unit: all queued queries agreeing
@@ -554,14 +557,19 @@ class Server {
   std::uint64_t flight_ctx_ = 0;
   /// Queries admitted to the queue and not yet terminal, for the flight
   /// recorder's dump context.
-  mutable std::mutex inflight_mu_;
+  mutable sim::RankedMutex inflight_mu_{64, "serve.inflight"};
   std::unordered_set<QueryId> inflight_;
 
-  std::mutex update_mu_;  ///< writes serialized per graph (update lane)
+  /// Writes serialized per graph (update lane); taken before the store's
+  /// writer/publish locks (ranks 30/32).
+  sim::RankedMutex update_mu_{12, "serve.update"};
 
-  std::mutex cycle_mu_;  ///< one dispatch cycle at a time (pool_ is shared)
+  /// One dispatch cycle at a time (pool_ is shared).  The outermost lock
+  /// of the serving stack: everything else nests inside a cycle.
+  sim::RankedMutex cycle_mu_{10, "serve.cycle"};
 
-  mutable std::mutex agg_mu_;  ///< guards the non-atomic aggregates below
+  /// Guards the non-atomic aggregates below.
+  mutable sim::RankedMutex agg_mu_{60, "serve.agg"};
   double occupancy_sum_ = 0.0;
   double sources_per_sweep_sum_ = 0.0;
   double modelled_busy_ms_ = 0.0;
@@ -571,8 +579,8 @@ class Server {
   /// Per-kind enqueue -> complete latency (indexed by AlgoKind).
   std::array<obs::Histogram, core::kNumAlgoKinds> latency_by_algo_;
 
-  mutable std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  mutable sim::RankedMutex drain_mu_{68, "serve.drain"};
+  std::condition_variable_any drain_cv_;
 
   std::thread scheduler_;
   std::atomic<bool> shut_down_{false};

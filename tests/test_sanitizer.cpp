@@ -404,5 +404,85 @@ TEST(SanitizerTest, BottomUpLookAheadRaceIsAnnotatedNotSuppressed) {
   EXPECT_EQ(d_counters.h_read(core::kNextTail), kN - 1);
 }
 
+// Allowlist hygiene: an annotation whose scope runs AND covers logged
+// accesses is live; one whose scope runs but covers nothing is stale (the
+// racy code it documented has moved, and the entry would silently excuse a
+// future, different race).  check_sanitize fails the build on stale
+// entries via Sanitizer::stale_annotations().
+TEST(SanitizerTest, AnnotationStatsSeparateLiveFromStale) {
+  SanScope guard;
+  sim::Device dev = make_device();
+  sim::Stream& s = dev.stream(0);
+
+  auto buf = dev.alloc<std::uint32_t>(4, "t.annstats");
+  buf.h_fill(0);
+  dev.memcpy_h2d(s, buf);
+
+  auto buf_s = buf.span();
+  sim::LaunchConfig lc{.grid_blocks = 2, .block_threads = 64};
+  dev.launch(s, "ann_stats_kernel", lc, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      if (t != 0) return;
+      {
+        sim::racy_ok live(ctx, "test: live annotation covers this store");
+        ctx.store(buf_s, 0, std::uint32_t{1});
+      }
+      {
+        // Scope entered, zero accesses inside: the stale pattern.
+        sim::racy_ok stale(ctx, "test: stale annotation covers nothing");
+      }
+    });
+  });
+  s.synchronize();
+
+  const auto stats = Sanitizer::global().annotation_stats();
+  const sim::Sanitizer::AnnotationStats* live = nullptr;
+  const sim::Sanitizer::AnnotationStats* stale = nullptr;
+  for (const auto& a : stats) {
+    if (a.why.find("live annotation") != std::string::npos) live = &a;
+    if (a.why.find("stale annotation") != std::string::npos) stale = &a;
+  }
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_GT(live->scopes_entered, 0u);
+  EXPECT_GT(live->annotated_accesses, 0u);
+  EXPECT_GT(stale->scopes_entered, 0u);
+  EXPECT_EQ(stale->annotated_accesses, 0u);
+
+  const auto stale_list = Sanitizer::global().stale_annotations();
+  bool flagged = false;
+  for (const auto& why : stale_list) {
+    EXPECT_EQ(why.find("live annotation"), std::string::npos)
+        << "a covering annotation must never be flagged stale";
+    if (why.find("stale annotation") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+// reset() drops the accumulated annotation statistics with the findings.
+TEST(SanitizerTest, ResetClearsAnnotationStats) {
+  SanScope guard;
+  sim::Device dev = make_device();
+  sim::Stream& s = dev.stream(0);
+  auto buf = dev.alloc<std::uint32_t>(1, "t.annreset");
+  buf.h_fill(0);
+  dev.memcpy_h2d(s, buf);
+  auto buf_s = buf.span();
+  sim::LaunchConfig lc{.grid_blocks = 2, .block_threads = 64};
+  dev.launch(s, "ann_reset_kernel", lc, [=](sim::BlockCtx& blk) {
+    auto& ctx = blk.ctx();
+    blk.threads([&](unsigned t) {
+      if (t != 0) return;
+      sim::racy_ok allow(ctx, "test: reset drops me");
+      ctx.store(buf_s, 0, std::uint32_t{1});
+    });
+  });
+  s.synchronize();
+  EXPECT_FALSE(Sanitizer::global().annotation_stats().empty());
+  Sanitizer::global().reset();
+  EXPECT_TRUE(Sanitizer::global().annotation_stats().empty());
+}
+
 }  // namespace
 }  // namespace xbfs

@@ -1,0 +1,488 @@
+// SchedCheck unit tests (docs/modelcheck.md): env-spec parsing, planted
+// kernel races caught-and-replayed by seed, benign annotated races verified
+// benign, deterministic replay, the host-side harnesses over the flight
+// recorder's seqlock / admission queue / breaker probe token / graph-store
+// publication, a protocol model pinning the historical stalled-worker
+// thread-pool race (caught in the buggy variant, clean in the shipped one),
+// and lock-rank inversion detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dyn/edge_batch.h"
+#include "dyn/graph_store.h"
+#include "graph/rmat.h"
+#include "hipsim/hipsim.h"
+#include "hipsim/lock_rank.h"
+#include "hipsim/sanitizer.h"
+#include "hipsim/schedcheck.h"
+#include "obs/flight_recorder.h"
+#include "serve/admission_queue.h"
+#include "serve/health.h"
+
+namespace xbfs {
+namespace {
+
+using sim::SchedCheck;
+using sim::SchedCheckConfig;
+using sim::Schedule;
+
+/// Configure the global sanitizer for one test; on scope exit drop the
+/// findings/registry and disable.  Declare FIRST in a test body so device
+/// buffers die before reset() releases their shadows (same discipline as
+/// test_sanitizer.cpp).
+struct SanScope {
+  explicit SanScope(
+      sim::SanitizeConfig cfg = sim::SanitizeConfig::all_on()) {
+    sim::Sanitizer::global().configure(cfg);
+  }
+  ~SanScope() {
+    sim::Sanitizer::global().reset();
+    sim::Sanitizer::global().disable();
+  }
+};
+
+sim::Device make_device() {
+  return sim::Device(sim::DeviceProfile::mi250x_gcd(),
+                     sim::SimOptions{.num_workers = 1});
+}
+
+SchedCheckConfig small_cfg(unsigned schedules = 12, unsigned preemptions = 3,
+                           std::uint64_t seed = 0xC0FFEEull) {
+  SchedCheckConfig cfg;
+  cfg.schedules = schedules;
+  cfg.preemptions = preemptions;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(SchedCheckTest, EnvSpecParsing) {
+  const auto cfg =
+      SchedCheckConfig::from_env_string("schedules=64,preemptions=5,seed=7");
+  EXPECT_EQ(cfg.schedules, 64u);
+  EXPECT_EQ(cfg.preemptions, 5u);
+  EXPECT_EQ(cfg.seed, 7ull);
+  EXPECT_FALSE(cfg.has_replay);
+
+  const auto rep = SchedCheckConfig::from_env_string("replay=0x1B5ED");
+  EXPECT_TRUE(rep.has_replay);
+  EXPECT_EQ(rep.replay_seed, 0x1B5EDull);
+
+  // Unknown/malformed tokens warn and are ignored; schedules clamps to 1.
+  const auto junk =
+      SchedCheckConfig::from_env_string("schedules=0,bogus=3,seed=nope");
+  EXPECT_EQ(junk.schedules, 1u);
+  EXPECT_EQ(junk.seed, SchedCheckConfig{}.seed);
+}
+
+// The headline promise, at unit scale: an unsynchronized cross-block RMW
+// is reported on every schedule, diverges within the budget, and the
+// divergent seed replays to the identical state hash.
+TEST(SchedCheckTest, PlantedKernelRaceCaughtAndReplaysBySeed) {
+  SanScope san;
+  SchedCheck chk;
+  auto planted = [&](Schedule&) -> std::uint64_t {
+    sim::Device dev = make_device();
+    sim::Stream& s = dev.stream(0);
+    auto counter = dev.alloc<std::uint32_t>(1, "chk.counter");
+    counter.h_fill(0);
+    dev.memcpy_h2d(s, counter);
+    auto cs = counter.span();
+    sim::LaunchConfig lc{.grid_blocks = 4, .block_threads = 1};
+    dev.launch(s, "racy_rmw", lc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.threads([&](unsigned t) {
+        if (t != 0) return;
+        for (int it = 0; it < 3; ++it) {
+          const std::uint32_t v = ctx.load(cs, 0);
+          ctx.store(cs, 0, v + 1);
+        }
+      });
+    });
+    dev.memcpy_d2h(s, counter);
+    return 0x1000ull + counter.h_read(0);
+  };
+
+  const auto res = chk.explore_with(small_cfg(), "planted", planted);
+  ASSERT_FALSE(res.failures.empty())
+      << "the sanitizer must flag the unannotated race on every schedule";
+  ASSERT_TRUE(res.state_diverged)
+      << "some schedule must exhibit the lost update within the budget";
+  EXPECT_NE(res.first_divergent_hash, res.baseline_hash);
+
+  SchedCheckConfig replay = small_cfg();
+  replay.has_replay = true;
+  replay.replay_seed = res.first_divergent_seed;
+  sim::Sanitizer::global().reset();
+  const auto rep = chk.explore_with(replay, "planted-replay", planted);
+  ASSERT_TRUE(rep.state_diverged);
+  EXPECT_EQ(rep.first_divergent_seed, res.first_divergent_seed);
+  EXPECT_EQ(rep.first_divergent_hash, res.first_divergent_hash)
+      << "replay must reproduce the divergent state bit-for-bit";
+}
+
+// A racy_ok-annotated same-value store is the benign-race pattern the
+// paper's bottom-up look-ahead relies on: every interleaving must converge
+// to the same state with zero findings — that is what "verified benign"
+// means.
+TEST(SchedCheckTest, AnnotatedSameValueRaceVerifiesBenign) {
+  SanScope san;
+  SchedCheck chk;
+  const auto res = chk.explore_with(
+      small_cfg(), "benign", [&](Schedule&) -> std::uint64_t {
+        sim::Device dev = make_device();
+        sim::Stream& s = dev.stream(0);
+        auto flag = dev.alloc<std::uint32_t>(4, "chk.flag");
+        flag.h_fill(0);
+        dev.memcpy_h2d(s, flag);
+        auto fs = flag.span();
+        sim::LaunchConfig lc{.grid_blocks = 4, .block_threads = 1};
+        dev.launch(s, "same_value_claim", lc, [=](sim::BlockCtx& blk) {
+          auto& ctx = blk.ctx();
+          blk.threads([&](unsigned t) {
+            if (t != 0) return;
+            sim::racy_ok allow(ctx, "test: same-value claim from every block");
+            for (std::size_t i = 0; i < 4; ++i) {
+              if (ctx.load(fs, i) == 0) ctx.store(fs, i, 7u);
+            }
+          });
+        });
+        dev.memcpy_d2h(s, flag);
+        std::vector<std::uint32_t> out(4);
+        for (std::size_t i = 0; i < 4; ++i) out[i] = flag.h_read(i);
+        return sim::state_hash(out);
+      });
+  EXPECT_TRUE(res.ok()) << "same-value stores must converge on every "
+                           "schedule with zero findings";
+  EXPECT_GT(res.conflict_keys, 0u);
+}
+
+// Two explorations from the same config must make identical decisions:
+// same preemption count, same failures, same divergence.  This is the
+// property the replay workflow stands on.
+TEST(SchedCheckTest, ExplorationIsDeterministicAcrossRuns) {
+  SanScope san;
+  SchedCheck chk;
+  auto body = [&](Schedule&) -> std::uint64_t {
+    sim::Device dev = make_device();
+    sim::Stream& s = dev.stream(0);
+    auto counter = dev.alloc<std::uint32_t>(1, "chk.det");
+    counter.h_fill(0);
+    dev.memcpy_h2d(s, counter);
+    auto cs = counter.span();
+    sim::LaunchConfig lc{.grid_blocks = 3, .block_threads = 1};
+    dev.launch(s, "det_rmw", lc, [=](sim::BlockCtx& blk) {
+      auto& ctx = blk.ctx();
+      blk.threads([&](unsigned t) {
+        if (t != 0) return;
+        const std::uint32_t v = ctx.load(cs, 0);
+        ctx.store(cs, 0, v + 1);
+      });
+    });
+    dev.memcpy_d2h(s, counter);
+    return 0x1000ull + counter.h_read(0);
+  };
+  const auto a = chk.explore_with(small_cfg(), "det-a", body);
+  sim::Sanitizer::global().reset();
+  const auto b = chk.explore_with(small_cfg(), "det-b", body);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.yield_points, b.yield_points);
+  EXPECT_EQ(a.conflict_keys, b.conflict_keys);
+  EXPECT_EQ(a.state_diverged, b.state_diverged);
+  EXPECT_EQ(a.first_divergent_seed, b.first_divergent_seed);
+  EXPECT_EQ(a.first_divergent_hash, b.first_divergent_hash);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].seed, b.failures[i].seed);
+    EXPECT_EQ(a.failures[i].what, b.failures[i].what);
+  }
+}
+
+// Host domain: the flight recorder's seqlock under controlled writer /
+// reader interleavings.  Every snapshot a preempted reader takes must be
+// internally consistent — the payload always matches the slot's seq claim.
+TEST(SchedCheckTest, FlightRecorderSeqlockSnapshotsStayCoherent) {
+  SanScope san;
+  SchedCheck chk;
+  const auto res = chk.explore_with(
+      small_cfg(16, 4), "flight-seqlock", [&](Schedule& s) -> std::uint64_t {
+        obs::FlightRecorder fr;
+        fr.enable("", /*capacity=*/8);  // tiny ring: writers lap readers
+        std::uint64_t reader_hash = 0;
+        s.run_tasks(3, [&](std::size_t task) {
+          if (task < 2) {
+            for (int i = 0; i < 6; ++i) {
+              fr.record("chk", "evt", {}, task, static_cast<std::uint64_t>(i));
+            }
+            return;
+          }
+          for (int round = 0; round < 4; ++round) {
+            const auto events = fr.snapshot();
+            std::uint64_t prev = 0;
+            for (const auto& e : events) {
+              if (e.seq <= prev) {
+                s.fail("snapshot out of order / duplicated seq");
+              }
+              prev = e.seq;
+              if (std::string(e.cat) != "chk" ||
+                  std::string(e.name) != "evt" || e.a > 1) {
+                s.fail("torn slot escaped the seqlock re-check");
+              }
+              reader_hash = sim::state_hash_mix(reader_hash, e.seq);
+            }
+          }
+        });
+        // The final ring contents are schedule-dependent (readers race
+        // writers); coherence, not equality, is the invariant here.
+        (void)reader_hash;
+        return 0;
+      });
+  EXPECT_TRUE(res.ok()) << "seqlock coherence must hold on every schedule";
+  EXPECT_GT(res.preemptions, 0u) << "the harness should actually interleave";
+}
+
+// Host domain: admission-queue conservation.  However producers and the
+// consumer interleave, every admitted query is either popped or still
+// queued — nothing is lost or duplicated.
+TEST(SchedCheckTest, AdmissionQueueConservesQueriesUnderInterleaving) {
+  SanScope san;
+  SchedCheck chk;
+  const auto res = chk.explore_with(
+      small_cfg(16, 4), "admission", [&](Schedule& s) -> std::uint64_t {
+        serve::AdmissionQueue q(/*capacity=*/64);
+        std::atomic<std::uint64_t> pushed{0};
+        std::atomic<std::uint64_t> popped{0};
+        s.run_tasks(3, [&](std::size_t task) {
+          if (task < 2) {
+            for (int i = 0; i < 5; ++i) {
+              // A shared step point makes producer/consumer turns
+              // conflict-eligible (their internal chk_points use
+              // distinct sites).
+              sim::chk_point("test.admission.step");
+              serve::PendingQuery pq;
+              pq.id = static_cast<serve::QueryId>(task * 100 + i);
+              if (q.try_push(std::move(pq)).ok()) {
+                pushed.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            return;
+          }
+          std::vector<serve::PendingQuery> out;
+          for (int round = 0; round < 6; ++round) {
+            sim::chk_point("test.admission.step");
+            popped.fetch_add(q.try_pop_batch(out, 3),
+                             std::memory_order_relaxed);
+          }
+        });
+        const std::uint64_t in_flight = q.size();
+        if (pushed.load() != popped.load() + in_flight) {
+          s.fail("conservation broken: pushed " +
+                 std::to_string(pushed.load()) + " != popped " +
+                 std::to_string(popped.load()) + " + queued " +
+                 std::to_string(in_flight));
+        }
+        return sim::state_hash_mix(0x11ull, pushed.load());
+      });
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.preemptions, 0u);
+}
+
+// Host domain: the breaker's half-open probe token.  When an Open slot
+// cools down and two callers race allow(), exactly one may win the probe —
+// under every interleaving.
+TEST(SchedCheckTest, BreakerHandsOutExactlyOneProbeToken) {
+  SanScope san;
+  SchedCheck chk;
+  const auto res = chk.explore_with(
+      small_cfg(16, 4), "breaker-probe", [&](Schedule& s) -> std::uint64_t {
+        serve::BreakerConfig bc;
+        bc.failure_threshold = 1;
+        bc.cooldown_ms = 1.0;
+        serve::HealthTracker health(/*num_slots=*/1, bc);
+        health.record_failure(0, /*now_us=*/0.0);  // trip the breaker
+        int granted[2] = {0, 0};
+        s.run_tasks(2, [&](std::size_t task) {
+          sim::chk_point("test.breaker.step");
+          // Past cooldown: both callers see Open-and-expired and race the
+          // HalfOpen transition.
+          if (health.allow(0, /*now_us=*/5000.0)) granted[task] = 1;
+        });
+        const int total = granted[0] + granted[1];
+        if (total != 1) {
+          s.fail("probe token violated: " + std::to_string(total) +
+                 " callers admitted");
+        }
+        // WHICH caller wins is legitimately schedule-dependent; hash only
+        // the invariant (token count), not the winner.
+        return sim::state_hash_mix(0x22ull, static_cast<std::uint64_t>(total));
+      });
+  EXPECT_TRUE(res.ok()) << "exactly one caller may hold the half-open probe";
+}
+
+// Host domain: graph-store publication.  A reader snapshotting while a
+// writer applies batches must always get a matched (graph, epoch,
+// fingerprint) triple — never the new epoch with the old graph.
+TEST(SchedCheckTest, GraphStoreSnapshotsAreNeverTorn) {
+  SanScope san;
+  SchedCheck chk;
+  graph::RmatParams p;
+  p.scale = 6;
+  p.edge_factor = 4;
+  p.seed = 9;
+  const graph::Csr base = graph::rmat_csr(p);
+  const auto res = chk.explore_with(
+      small_cfg(16, 4), "store-publish", [&](Schedule& s) -> std::uint64_t {
+        dyn::GraphStore store(base);
+        s.run_tasks(2, [&](std::size_t task) {
+          if (task == 0) {
+            for (int i = 0; i < 3; ++i) {
+              // Shared step point: the store's own chk_points use
+              // writer-only sites (apply/publish) and a reader-only site
+              // (snapshot), which never conflict under DPOR-lite; the
+              // harness supplies the common key both tasks touch.
+              sim::chk_point("test.store.step");
+              dyn::EdgeBatch b;
+              b.insert(static_cast<graph::vid_t>(i),
+                       static_cast<graph::vid_t>(i + 20));
+              store.apply(b);
+            }
+            return;
+          }
+          for (int round = 0; round < 5; ++round) {
+            sim::chk_point("test.store.step");
+            const dyn::Snapshot snap = store.snapshot();
+            if (!snap) {
+              s.fail("null snapshot");
+              continue;
+            }
+            if (snap.epoch != snap.graph->epoch() ||
+                snap.fingerprint != snap.graph->fingerprint()) {
+              s.fail("torn snapshot: triple mixes two versions (epoch " +
+                     std::to_string(snap.epoch) + " vs graph " +
+                     std::to_string(snap.graph->epoch()) + ")");
+            }
+          }
+        });
+        return sim::state_hash_mix(0x33ull, store.epoch());
+      });
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.preemptions, 0u);
+}
+
+// Protocol model of the historical thread-pool stalled-worker race: a
+// late-woken worker registers and reads the job descriptor while
+// parallel_for resets it for the next epoch.  The buggy variant (reset
+// without waiting for registered drains) must be caught by some schedule
+// and replay from its seed; the shipped protocol (reset only while no
+// drain is registered — mutually exclusive with registration) must verify
+// clean.  Mirrors src/hipsim/thread_pool.cpp's in_flight handshake.
+struct PoolModel {
+  std::atomic<int> in_flight{0};
+  std::uint64_t job_count = 400;
+  std::uint64_t job_chunk = 100;  // invariant: chunk * 4 == count
+};
+
+std::uint64_t pool_model_round(Schedule& s, bool buggy) {
+  PoolModel m;
+  std::atomic<int> torn{0};
+  s.run_tasks(2, [&](std::size_t task) {
+    if (task == 0) {
+      // parallel_for: publish the next epoch's job.
+      for (int tries = 0; tries < 6; ++tries) {
+        sim::chk_point("pool.model.step");
+        if (buggy) {
+          // Reset unconditionally — a registered drain may be mid-read.
+          m.job_count = 800;
+          sim::chk_point("pool.model.step");  // the torn-write window
+          m.job_chunk = 200;
+          return;
+        }
+        // Shipped protocol: reset only while nothing is registered; the
+        // check and both writes sit between yield points, modelling the
+        // mu_-protected critical section (no chk_point inside — the
+        // scheduler cannot interpose, exactly like a lock).
+        if (m.in_flight.load(std::memory_order_acquire) == 0) {
+          m.job_count = 800;
+          m.job_chunk = 200;
+          return;
+        }
+      }
+      return;
+    }
+    // Late-woken worker: register, then read the descriptor (outside the
+    // lock, as drain() does) — yields between the reads are the race.
+    sim::chk_point("pool.model.step");
+    m.in_flight.fetch_add(1, std::memory_order_acq_rel);
+    sim::chk_point("pool.model.step");
+    const std::uint64_t c = m.job_count;
+    sim::chk_point("pool.model.step");
+    const std::uint64_t k = m.job_chunk;
+    if (k * 4 != c) torn.store(1, std::memory_order_relaxed);
+    m.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  if (torn.load() != 0) s.fail("worker read a torn job descriptor");
+  return sim::state_hash_mix(0x44ull, m.job_count + m.job_chunk);
+}
+
+TEST(SchedCheckTest, StalledWorkerProtocolModelRegression) {
+  SanScope san;
+  SchedCheck chk;
+  const auto buggy = chk.explore_with(
+      small_cfg(24, 4, 0xBADull), "pool-model-buggy",
+      [&](Schedule& s) { return pool_model_round(s, /*buggy=*/true); });
+  ASSERT_FALSE(buggy.failures.empty())
+      << "the unguarded reset must be caught within the budget";
+
+  // The failure seed alone reproduces the torn read.
+  SchedCheckConfig replay = small_cfg(24, 4, 0xBADull);
+  replay.has_replay = true;
+  replay.replay_seed = buggy.failures.front().seed;
+  const auto rep = chk.explore_with(
+      replay, "pool-model-replay",
+      [&](Schedule& s) { return pool_model_round(s, /*buggy=*/true); });
+  ASSERT_FALSE(rep.failures.empty());
+  EXPECT_EQ(rep.failures.front().seed, buggy.failures.front().seed);
+  EXPECT_EQ(rep.failures.front().what, buggy.failures.front().what);
+
+  const auto fixed = chk.explore_with(
+      small_cfg(24, 4, 0xBADull), "pool-model-fixed",
+      [&](Schedule& s) { return pool_model_round(s, /*buggy=*/false); });
+  EXPECT_TRUE(fixed.ok()) << "the shipped handshake must verify clean";
+}
+
+// Lock-rank assertions: acquiring a lower-ranked mutex while holding a
+// higher-ranked one is a potential deadlock cycle and must be reported
+// with both stacks, before the lock is taken.
+TEST(SchedCheckTest, LockRankInversionIsCaughtWithBothStacks) {
+  sim::LockRank::set_abort(false);  // throw instead of abort, for the test
+  sim::RankedMutex low{10, "test.low"};
+  sim::RankedMutex high{20, "test.high"};
+
+  {  // ascending order is legal
+    std::lock_guard<sim::RankedMutex> a(low);
+    std::lock_guard<sim::RankedMutex> b(high);
+  }
+
+  bool caught = false;
+  std::string msg;
+  {
+    std::lock_guard<sim::RankedMutex> b(high);
+    try {
+      low.lock();
+      low.unlock();  // unreachable
+    } catch (const sim::LockOrderViolation& e) {
+      caught = true;
+      msg = e.what();
+    }
+  }
+  ASSERT_TRUE(caught);
+  EXPECT_NE(msg.find("test.low"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("test.high"), std::string::npos) << msg;
+  sim::LockRank::set_abort(true);
+}
+
+}  // namespace
+}  // namespace xbfs

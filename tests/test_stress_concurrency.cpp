@@ -12,6 +12,8 @@
 #include "graph/device_csr.h"
 #include "graph/reference.h"
 #include "graph/rmat.h"
+#include "hipsim/sanitizer.h"
+#include "hipsim/schedcheck.h"
 
 namespace xbfs {
 namespace {
@@ -106,6 +108,47 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CrossImplementation,
                          [](const ::testing::TestParamInfo<std::uint64_t>& i) {
                            return "seed" + std::to_string(i.param);
                          });
+
+// SchedCheck fixed-seed matrix (docs/modelcheck.md): the full XBFS
+// traversal explored under a bounded set of *chosen* block interleavings
+// per seed, not whatever the pool happened to produce.  Every schedule
+// must reach the reference labeling with zero findings — the model-checked
+// counterpart of the free-running stress runs above.
+TEST(StressConcurrency, XbfsVerifiesUnderScheduleExplorationSeedMatrix) {
+  sim::Sanitizer::global().configure(sim::SanitizeConfig::all_on());
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  p.seed = 53;
+  const graph::Csr g = graph::rmat_csr(p);
+  const graph::vid_t src = graph::largest_component_vertices(g).front();
+  const auto ref = graph::reference_bfs(g, src);
+  const std::uint64_t ref_hash = sim::state_hash(ref);
+
+  sim::SchedCheck chk;
+  for (const std::uint64_t seed : {0x51ull, 0x52ull, 0x53ull}) {
+    sim::SchedCheckConfig cfg;
+    cfg.schedules = 8;
+    cfg.preemptions = 3;
+    cfg.seed = seed;
+    const auto res = chk.explore_with(
+        cfg, "stress-xbfs", [&](sim::Schedule&) -> std::uint64_t {
+          sim::Device dev(sim::DeviceProfile::mi250x_gcd(),
+                          sim::SimOptions{.num_workers = 1});
+          auto dg = graph::DeviceCsr::upload(dev, g);
+          core::XbfsConfig c;
+          c.report_runs = false;
+          c.block_threads = 64;  // multi-block grids at toy scale
+          core::Xbfs bfs(dev, dg, c);
+          return sim::state_hash(bfs.run(src).levels);
+        });
+    EXPECT_TRUE(res.ok()) << "seed 0x" << std::hex << seed;
+    EXPECT_EQ(res.baseline_hash, ref_hash)
+        << "explored runs must still compute the reference BFS";
+  }
+  sim::Sanitizer::global().reset();
+  sim::Sanitizer::global().disable();
+}
 
 }  // namespace
 }  // namespace xbfs
