@@ -1,0 +1,488 @@
+// Kill-and-recover chaos harness — the `check_durability` CI gate
+// (docs/durability.md).
+//
+// Proves the durable write path's headline property: a process SIGKILLed at
+// ANY physical disk operation recovers to a state that is byte-equivalent
+// (fingerprint chain) and traversal-equivalent (Graph500-validated BFS) to
+// a twin that was never killed, with torn final WAL records detected by CRC
+// and truncated, never replayed.
+//
+// Phases:
+//   0  env-armed probe: one forked child with XBFS_DURABLE_CRASH in the
+//      environment must vanish by SIGKILL at exactly that disk op;
+//   1  never-killed twin: the full Zipf-churn batch stream through a
+//      durable store, recording the expected fingerprint at every epoch;
+//   2  kill sweep: for each disk op N until a run completes, fork a writer
+//      child armed to crash at its Nth op (torn-write fractions cycling
+//      0.5/0.25/0.75), then recover the directory in the parent and check
+//      the recovered (epoch, fingerprint) against the twin's table, the
+//      durable-then-ack invariant against the child's side-channel ack
+//      file, and (sampled) BFS levels against an in-memory replay;
+//   3  probabilistic disk faults: torn/short writes and failed fsyncs
+//      injected while applying a batch stream in-process — every rejected
+//      batch must leave the store unmoved, and a final close + recover must
+//      land exactly on the live fingerprint;
+//   4  serving: a Server over a crash-recovered store (require_durability)
+//      must report recovery stats, REFUSE the pre-crash fingerprint a
+//      client carried across the kill (recovery_stale_rejected), serve
+//      Graph500-validated BFS, and purge cached results on epoch bumps;
+//   5  SimSan: when XBFS_SANITIZE is on, zero unannotated findings.
+//
+//   usage: durability_crash [scale] [batches] [seed]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dyn/delta_csr.h"
+#include "dyn/delta_ref.h"
+#include "dyn/graph_store.h"
+#include "graph/g500_validate.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/fault.h"
+#include "hipsim/sanitizer.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+#include "store/durability.h"
+#include "store/file.h"
+#include "store/manifest.h"
+
+using namespace xbfs;
+
+namespace {
+
+constexpr std::uint64_t kSnapshotEvery = 5;
+
+int g_failures = 0;
+
+#define CHECK(cond, msg)                                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FAILED: %s (%s:%d)\n", msg, __FILE__,      \
+                   __LINE__);                                          \
+      ++g_failures;                                                    \
+    }                                                                  \
+  } while (0)
+
+std::string workdir(const char* name) {
+  const auto p = std::filesystem::temp_directory_path() /
+                 (std::string("xbfs_durability_crash_") + name + "_" +
+                  std::to_string(::getpid()));
+  std::filesystem::remove_all(p);
+  return p.string();
+}
+
+/// Zipf-skewed churn: hot vertices gain and lose edges far more often than
+/// the tail, like a real mutating graph.
+std::vector<dyn::EdgeBatch> make_stream(graph::vid_t n, std::size_t batches,
+                                        std::uint64_t seed) {
+  serve::ZipfGenerator zipf(n, 0.9, seed);
+  std::mt19937_64 rng(seed * 977 + 1);
+  std::vector<dyn::EdgeBatch> out;
+  out.reserve(batches);
+  for (std::size_t i = 0; i < batches; ++i) {
+    dyn::EdgeBatch b;
+    const std::size_t ops = 3 + rng() % 6;
+    for (std::size_t k = 0; k < ops; ++k) {
+      const auto u = static_cast<graph::vid_t>(zipf.next());
+      const auto v = static_cast<graph::vid_t>(rng() % n);
+      if (rng() % 3 == 0) {
+        b.erase(u, v);
+      } else {
+        b.insert(u, v);
+      }
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+/// Writer child body: open the durable store, apply the stream in order,
+/// and append "epoch fingerprint" to the ack file after every accepted
+/// batch — the side channel a client would persist results under.  Runs
+/// until the armed crash kills the process or the stream completes.
+int run_writer(const std::string& dir, const graph::Csr& base,
+               const std::vector<dyn::EdgeBatch>& stream) {
+  store::DurableStore ds;
+  if (!store::open_durable({dir, kSnapshotEvery}, base, {}, 256, &ds).ok()) {
+    return 2;
+  }
+  std::FILE* acks = std::fopen((dir + "/ACKS").c_str(), "a");
+  if (acks == nullptr) return 2;
+  for (const dyn::EdgeBatch& b : stream) {
+    if (!ds.store->try_apply(b, nullptr).ok()) {
+      std::fclose(acks);
+      return 3;  // no faults are armed in the sweep: any rejection is a bug
+    }
+    std::fprintf(acks, "%llu %llx\n",
+                 static_cast<unsigned long long>(ds.store->epoch()),
+                 static_cast<unsigned long long>(ds.store->fingerprint()));
+    std::fflush(acks);
+  }
+  std::fclose(acks);
+  return 0;
+}
+
+struct Ack {
+  std::uint64_t epoch = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Last complete line of the child's ack file ({0,fp0} if it never acked).
+Ack last_ack(const std::string& dir, std::uint64_t fp0) {
+  Ack a;
+  a.fingerprint = fp0;
+  std::ifstream in(dir + "/ACKS");
+  std::uint64_t e = 0;
+  std::string fp_hex;
+  while (in >> e >> fp_hex) {
+    a.epoch = e;
+    a.fingerprint = std::strtoull(fp_hex.c_str(), nullptr, 16);
+  }
+  return a;
+}
+
+/// In-memory replay of the first `upto` batches (no durability, no forced
+/// compaction): same edge content as the durable runs, independent code
+/// path for the BFS ground truth.
+graph::Csr replay_prefix(const graph::Csr& base,
+                         const std::vector<dyn::EdgeBatch>& stream,
+                         std::uint64_t upto) {
+  dyn::DeltaCsr g(base);
+  for (std::uint64_t i = 0; i < upto; ++i) g.apply(stream[i]);
+  return g.materialize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned scale = argc > 1 ? std::atoi(argv[1]) : 7;
+  const std::size_t batches =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 36;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 11;
+
+  // Shadows attach at device-allocation time; configure before phase 4's
+  // server devices exist.  XBFS_SANITIZE=all is honored on first use.
+  auto& san = sim::Sanitizer::global();
+  const bool san_on = san.enabled();
+
+  // The sweep's twin comparison needs fault-free disk ops; phase 3 turns
+  // the probabilistic knobs on explicitly.
+  sim::FaultInjector::global().disable();
+
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edge_factor = 6;
+  p.seed = seed;
+  const graph::Csr base = graph::rmat_csr(p);
+  const auto n = static_cast<graph::vid_t>(base.num_vertices());
+  const std::vector<dyn::EdgeBatch> stream = make_stream(n, batches, seed);
+  std::printf("durability_crash: scale %u (%u vertices), %zu Zipf-churn "
+              "batches, snapshot every %llu epochs\n",
+              scale, n, batches,
+              static_cast<unsigned long long>(kSnapshotEvery));
+
+  // --- phase 0: XBFS_DURABLE_CRASH env knob, before any parent disk op ----
+  {
+    const std::string dir = workdir("envprobe");
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::setenv("XBFS_DURABLE_CRASH", "at=3,frac=0.5", 1);
+      run_writer(dir, base, stream);
+      ::_exit(4);  // must not survive: op 3 is inside fresh-init
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+          "env-armed child must die by SIGKILL at the armed disk op");
+    std::filesystem::remove_all(dir);
+    std::printf("phase 0: XBFS_DURABLE_CRASH probe killed as armed\n");
+  }
+
+  // --- phase 1: the never-killed twin --------------------------------------
+  const std::string twin_dir = workdir("twin");
+  std::vector<std::uint64_t> fp_at_epoch;  // [0..batches], durable policy
+  std::uint64_t twin_final_fp = 0;
+  {
+    store::DurableStore twin;
+    CHECK(store::open_durable({twin_dir, kSnapshotEvery}, base, {}, 256,
+                              &twin)
+              .ok(),
+          "twin open_durable");
+    fp_at_epoch.push_back(twin.store->fingerprint());
+    for (const dyn::EdgeBatch& b : stream) {
+      CHECK(twin.store->try_apply(b, nullptr).ok(), "twin apply");
+      fp_at_epoch.push_back(twin.store->fingerprint());
+    }
+    const dyn::DurabilityStats ts = twin.durability->stats();
+    CHECK(ts.wal_appends == batches, "twin WAL covers every batch");
+    CHECK(ts.snapshots_spilled >= batches / kSnapshotEvery,
+          "twin spilled periodic snapshots");
+    CHECK(ts.wal_rotations >= 1, "twin rotated WAL segments");
+    twin_final_fp = twin.store->fingerprint();
+    std::printf("phase 1: twin applied %zu batches, %llu snapshots, %llu "
+                "rotations, final fp %016llx\n",
+                batches,
+                static_cast<unsigned long long>(ts.snapshots_spilled),
+                static_cast<unsigned long long>(ts.wal_rotations),
+                static_cast<unsigned long long>(twin_final_fp));
+  }
+
+  // --- phase 2: SIGKILL at every disk op -----------------------------------
+  const std::string crash_dir = workdir("crash");
+  const std::string stale_keep = workdir("stalekeep");
+  const std::string clean_keep = workdir("cleankeep");
+  std::uint64_t kills = 0, torn_tails = 0, stale_handouts = 0;
+  Ack stale_ack, clean_ack;
+  bool have_stale = false, have_clean = false, completed = false;
+  std::uint64_t bfs_checks = 0;
+  const double fracs[3] = {0.5, 0.25, 0.75};
+
+  for (std::uint64_t op = 1; op <= 4000 && !completed; ++op) {
+    std::filesystem::remove_all(crash_dir);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Crash at the op-th disk op of THIS child's writer run: the counter
+      // is process-wide and inherited, so arm relative to it.
+      store::arm_crash_at_op(store::disk_ops() + op, fracs[op % 3]);
+      ::_exit(run_writer(crash_dir, base, stream));
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      completed = true;  // op lies beyond the run; sweep is exhaustive
+    } else if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+      CHECK(false, "writer child neither completed nor died by SIGKILL");
+      break;
+    } else {
+      ++kills;
+    }
+
+    if (!store::file_exists(crash_dir + "/" + store::kManifestName)) {
+      // The crash predates the first manifest publish: nothing was ever
+      // promised durable, and no batch can have been acked.
+      CHECK(last_ack(crash_dir, 0).epoch == 0,
+            "client acked before a manifest existed");
+      continue;
+    }
+
+    store::DurableStore rec;
+    CHECK(store::open_durable({crash_dir, kSnapshotEvery}, graph::Csr{}, {},
+                              256, &rec)
+              .ok(),
+          "every crash point must recover");
+    if (!rec.store) break;
+    const dyn::DurabilityStats rs = rec.durability->stats();
+    const std::uint64_t r = rec.store->epoch();
+    CHECK(rs.recovered, "recovery stats flag");
+    CHECK(r <= batches, "recovered epoch in range");
+    CHECK(rec.store->fingerprint() == fp_at_epoch[r],
+          "recovered fingerprint matches the never-killed twin's chain");
+    if (rs.torn_tail_detected) ++torn_tails;
+
+    // Durable-then-ack: nothing the client was told is lost...
+    const Ack ack = last_ack(crash_dir, fp_at_epoch[0]);
+    CHECK(ack.epoch <= r, "acked batch lost by recovery");
+    // ...but durable-not-yet-acked epochs make the client's fingerprint
+    // stale — those are the handouts phase 4 must refuse.
+    if (ack.epoch < r && !have_stale) {
+      have_stale = true;
+      stale_ack = ack;
+      std::filesystem::copy(crash_dir, stale_keep,
+                            std::filesystem::copy_options::recursive);
+    } else if (ack.epoch == r && !have_clean && kills > 0) {
+      have_clean = true;
+      clean_ack = ack;
+      std::filesystem::copy(crash_dir, clean_keep,
+                            std::filesystem::copy_options::recursive);
+    }
+    if (ack.epoch == r) {
+      CHECK(ack.fingerprint == rec.store->fingerprint(),
+            "clean ack agrees with the recovered fingerprint");
+    }
+
+    // Sampled structural proof: recovered graph == independent in-memory
+    // replay, by Graph500-validated BFS levels.
+    if (op % 16 == 1 || completed) {
+      const graph::Csr expect = replay_prefix(base, stream, r);
+      const dyn::Snapshot snap = rec.store->snapshot();
+      const graph::vid_t src = serve::zipf_sources(
+          graph::largest_component_vertices(expect), 1, 1.0, seed + op)[0];
+      const std::vector<std::int32_t> got = dyn::reference_bfs(*snap.graph,
+                                                               src);
+      CHECK(graph::validate_levels_graph500(expect, src, got).empty(),
+            "recovered BFS fails Graph500 validation");
+      CHECK(got == graph::reference_bfs(expect, src),
+            "recovered BFS diverges from the in-memory replay");
+      ++bfs_checks;
+    }
+  }
+  CHECK(completed, "kill sweep never reached a crash-free run");
+  CHECK(kills > 0, "kill sweep never killed a child");
+  CHECK(torn_tails > 0, "no crash point produced a torn WAL tail");
+  CHECK(have_stale, "no crash point landed between fsync and client ack");
+  CHECK(fp_at_epoch[batches] == twin_final_fp, "twin table self-consistent");
+  {
+    // The crash-free final run must equal the twin exactly.
+    store::DurableStore fin;
+    CHECK(store::open_durable({crash_dir, kSnapshotEvery}, graph::Csr{}, {},
+                              256, &fin)
+              .ok() &&
+              fin.store->epoch() == batches &&
+              fin.store->fingerprint() == twin_final_fp,
+          "completed run diverges from the twin");
+  }
+  std::printf("phase 2: %llu SIGKILLs swept, %llu torn tails truncated, "
+              "%llu BFS validations, stale handout found at epoch %llu\n",
+              static_cast<unsigned long long>(kills),
+              static_cast<unsigned long long>(torn_tails),
+              static_cast<unsigned long long>(bfs_checks),
+              static_cast<unsigned long long>(stale_ack.epoch));
+
+  // --- phase 3: probabilistic disk faults ----------------------------------
+  {
+    const std::string dir = workdir("faults");
+    sim::FaultConfig fc;
+    fc.disk_torn_rate = 0.04;
+    fc.disk_short_rate = 0.04;
+    fc.fsync_fail_rate = 0.04;
+    fc.seed = seed;
+    const std::vector<dyn::EdgeBatch> churn =
+        make_stream(n, 160, seed + 1000);
+    store::DurableStore ds;
+    CHECK(store::open_durable({dir, kSnapshotEvery}, base, {}, 256, &ds).ok(),
+          "fault-phase open");
+    sim::FaultInjector::global().configure(fc);
+    std::uint64_t accepted = 0, rejected = 0;
+    for (const dyn::EdgeBatch& b : churn) {
+      const std::uint64_t before_epoch = ds.store->epoch();
+      const std::uint64_t before_fp = ds.store->fingerprint();
+      if (ds.store->try_apply(b, nullptr).ok()) {
+        ++accepted;
+      } else {
+        ++rejected;
+        CHECK(ds.store->epoch() == before_epoch &&
+                  ds.store->fingerprint() == before_fp,
+              "rejected batch moved the store");
+      }
+    }
+    sim::FaultInjector::global().disable();
+    const dyn::DurabilityStats fs = ds.durability->stats();
+    CHECK(rejected > 0, "fault rates injected nothing");
+    CHECK(fs.wal_append_failures + fs.fsync_failures == rejected,
+          "every rejection is a counted disk fault");
+    CHECK(ds.store->epoch() == accepted, "epoch == accepted batches");
+    const std::uint64_t live_fp = ds.store->fingerprint();
+    ds.store.reset();
+    ds.durability.reset();
+    store::DurableStore rec;
+    CHECK(store::open_durable({dir, kSnapshotEvery}, graph::Csr{}, {}, 256,
+                              &rec)
+              .ok() &&
+              rec.store->fingerprint() == live_fp &&
+              rec.store->epoch() == accepted,
+          "fault-phase recovery lost accepted state");
+    std::printf("phase 3: %llu accepted / %llu rejected under disk faults, "
+                "recovery landed on the live fingerprint\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(rejected));
+    std::filesystem::remove_all(dir);
+  }
+
+  // --- phase 4: serving over a crash-recovered store -----------------------
+  {
+    store::DurableStore rec;
+    CHECK(store::open_durable({stale_keep, kSnapshotEvery}, graph::Csr{}, {},
+                              256, &rec)
+              .ok(),
+          "stale-keep recovery");
+    serve::ServeConfig cfg;
+    cfg.num_gcds = 1;
+    cfg.require_durability = true;
+    cfg.batch_window_ms = 0.0;
+    serve::Server server(*rec.store, cfg);
+    serve::ServerStats st = server.stats();
+    CHECK(st.durable && st.recovered, "server missing recovery stats");
+
+    // The fingerprint a client persisted before the kill predates the
+    // recovered epoch: serving it would resurrect lost history.
+    CHECK(server.result_still_valid(server.graph_fingerprint()),
+          "current fingerprint rejected");
+    CHECK(!server.result_still_valid(stale_ack.fingerprint),
+          "stale pre-crash fingerprint accepted");
+
+    // Serve Graph500-validated BFS from the recovered graph, filling the
+    // cache...
+    const graph::Csr materialized = rec.store->snapshot().graph->materialize();
+    const auto giant = graph::largest_component_vertices(materialized);
+    const auto sources = serve::zipf_sources(giant, 24, 1.0, seed + 5);
+    std::uint64_t served = 0;
+    for (const graph::vid_t src : sources) {
+      serve::Admission a = server.submit(src);
+      if (!a.accepted) continue;
+      const serve::QueryResult r = a.result.get();
+      if (r.status != serve::QueryStatus::Completed) continue;
+      CHECK(graph::validate_levels_graph500(materialized, src, *r.levels)
+                .empty(),
+            "served BFS fails Graph500 validation");
+      ++served;
+    }
+    CHECK(served > 0, "no queries served after recovery");
+
+    // ...then move the epoch: the update must be WAL-appended and the
+    // cached results keyed under the retired fingerprint purged.
+    const serve::UpdateAdmission up = server.submit_update(stream[0]);
+    CHECK(up.accepted, "post-recovery update rejected");
+    CHECK(up.cache_purged > 0, "epoch bump purged nothing");
+    server.shutdown();
+    st = server.stats();
+    CHECK(st.recovery_stale_rejected == 1, "stale rejection not counted");
+    CHECK(st.wal_appends >= 1, "post-recovery update not WAL-appended");
+    CHECK(st.cache_epoch_bumps >= 1 && st.cache_purged_stale > 0,
+          "stale-cache purge counters not asserted");
+    std::printf("phase 4: served %llu validated queries, stale handout "
+                "refused, %llu cached results purged on epoch bump\n",
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned long long>(st.cache_purged_stale));
+  }
+  if (have_clean) {
+    // The flip side of the stale fence: a fingerprint the client was acked
+    // AT the recovered epoch survives the crash and must stay servable.
+    store::DurableStore rec;
+    CHECK(store::open_durable({clean_keep, kSnapshotEvery}, graph::Csr{}, {},
+                              256, &rec)
+              .ok(),
+          "clean-keep recovery");
+    serve::ServeConfig cfg;
+    cfg.num_gcds = 1;
+    cfg.require_durability = true;
+    serve::Server server(*rec.store, cfg);
+    CHECK(server.result_still_valid(clean_ack.fingerprint),
+          "acked pre-crash fingerprint refused after clean recovery");
+    CHECK(server.stats().recovery_stale_rejected == 0,
+          "clean handout counted as stale");
+    server.shutdown();
+  }
+
+  // --- phase 5: sanitizer ---------------------------------------------------
+  if (san_on) {
+    san.summary(std::cout);
+    CHECK(san.unannotated_count() == 0, "unannotated sanitizer findings");
+  }
+
+  for (const std::string& d :
+       {twin_dir, crash_dir, stale_keep, clean_keep}) {
+    std::filesystem::remove_all(d);
+  }
+  std::printf("durability_crash: %s\n", g_failures == 0 ? "PASS" : "FAIL");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -12,6 +12,27 @@ DIVISOR_ARG="${1:-}"
 cmake -B build -G Ninja
 cmake --build build
 
+# Parity gate: every gate script in scripts/ must be registered as a ctest,
+# so a check added to one side but not the other can't be silently skipped
+# by this driver (it only runs what ctest knows about).  check_tidy is the
+# one deliberate exception — it needs clang-tidy and a committed baseline,
+# and is run explicitly by the tidy CI job rather than through ctest.
+PARITY_EXEMPT="check_tidy"
+REGISTERED=$(ctest --test-dir build -N)
+MISSING=""
+for s in scripts/check_*.sh scripts/lint_*.sh; do
+  name=$(basename "$s" .sh)
+  case " ${PARITY_EXEMPT} " in *" ${name} "*) continue ;; esac
+  if ! grep -q "Test[[:space:]]*#[0-9]*: ${name}\$" <<<"$REGISTERED"; then
+    MISSING="${MISSING} ${name}"
+  fi
+done
+if [ -n "$MISSING" ]; then
+  echo "ERROR: gate script(s) not registered with ctest:${MISSING}" >&2
+  echo "       (add the add_test() wiring or extend PARITY_EXEMPT)" >&2
+  exit 1
+fi
+
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 {

@@ -43,6 +43,14 @@ class DeltaCsr {
   explicit DeltaCsr(graph::Csr base)
       : DeltaCsr(std::make_shared<const graph::Csr>(std::move(base))) {}
   explicit DeltaCsr(std::shared_ptr<const graph::Csr> base);
+  /// Recovery constructor (src/store/recovery): resume a freshly-compacted
+  /// state — base = the spilled snapshot, overlays empty — at the epoch the
+  /// snapshot was taken, so replaying the WAL tail reproduces the exact
+  /// epoch/fingerprint sequence the pre-crash store published.
+  DeltaCsr(std::shared_ptr<const graph::Csr> base, std::uint64_t epoch)
+      : DeltaCsr(std::move(base)) {
+    epoch_ = epoch;
+  }
 
   const graph::Csr& base() const { return *base_; }
   const std::shared_ptr<const graph::Csr>& base_ptr() const { return base_; }

@@ -1,0 +1,80 @@
+// DurabilityHook: the seam between dyn::GraphStore's serialized writer
+// lane and the durable write path in src/store (docs/durability.md).
+//
+// The store layer implements this interface (store::DurabilityManager);
+// dyn only sees the abstract hook, so the dependency points store -> dyn
+// and a GraphStore without a hook pays nothing.  The contract mirrors the
+// classic WAL discipline, durable-then-visible:
+//
+//   1. want_compact() lets the hook add compaction pressure (the periodic
+//      "compacted snapshot spill" policy) on top of the overlay-density
+//      trigger — compaction points are exactly where snapshots are taken,
+//      so a recovered store and a never-killed twin share the same
+//      base/overlay split and therefore the same fingerprints.
+//   2. append() runs BEFORE publication, still under the writer lock: the
+//      hook must make the batch durable (WAL record + fsync) or return a
+//      non-ok Status, in which case the store aborts the apply and the
+//      epoch never becomes visible.  `compacted` is recorded in the WAL so
+//      recovery replays the exact same compaction schedule.
+//   3. published() runs AFTER publication, still on the writer lane; on a
+//      compaction the hook spills the snapshot and rotates the WAL there.
+#pragma once
+
+#include <cstdint>
+
+#include "core/status_code.h"
+#include "dyn/edge_batch.h"
+
+namespace xbfs::dyn {
+
+struct Snapshot;
+
+/// Durable write-path and recovery counters, surfaced through
+/// GraphStore::durability() into serve::ServerStats.  The recovery block
+/// is all-zero on a store that was initialized fresh.
+struct DurabilityStats {
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_append_failures = 0;  ///< torn/short writes (rolled back)
+  std::uint64_t fsyncs = 0;
+  std::uint64_t fsync_failures = 0;  ///< fsync faults (record rolled back)
+  std::uint64_t wal_bytes = 0;       ///< live bytes in the current segment
+  std::uint64_t snapshots_spilled = 0;
+  std::uint64_t wal_rotations = 0;
+  std::uint64_t last_durable_epoch = 0;
+  std::uint64_t last_durable_fingerprint = 0;
+  // --- recovery (how this store came back; docs/durability.md) -----------
+  bool recovered = false;            ///< store was opened from durable state
+  bool torn_tail_detected = false;   ///< final WAL record failed CRC, truncated
+  std::uint64_t recovered_epoch = 0;
+  std::uint64_t recovered_fingerprint = 0;
+  std::uint64_t wal_records_replayed = 0;
+  std::uint64_t wal_bytes_truncated = 0;  ///< torn tail dropped on recovery
+};
+
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+
+  /// Extra compaction pressure beyond the density trigger
+  /// (`density_wants`).  `next_epoch` is the epoch the in-flight batch
+  /// will publish as.  Returning true forces compact() before append().
+  virtual bool want_compact(std::uint64_t next_epoch, double density,
+                            bool density_wants) = 0;
+
+  /// Make the batch durable before it becomes visible.  Called on the
+  /// serialized writer lane; a non-ok return aborts the apply (the store
+  /// publishes nothing and surfaces the status to the caller).
+  virtual xbfs::Status append(const EdgeBatch& batch, std::uint64_t epoch,
+                              std::uint64_t fingerprint,
+                              std::uint64_t prev_fingerprint,
+                              bool compacted) = 0;
+
+  /// The batch is now visible.  On `compacted`, spill the content-addressed
+  /// snapshot and rotate the WAL.  Still on the writer lane — snapshot
+  /// readers are unaffected.
+  virtual void published(const Snapshot& snap, bool compacted) = 0;
+
+  virtual DurabilityStats stats() const = 0;
+};
+
+}  // namespace xbfs::dyn

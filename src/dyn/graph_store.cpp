@@ -15,6 +15,18 @@ GraphStore::GraphStore(graph::Csr base, core::XbfsConfig cfg,
   current_ = std::make_shared<const DeltaCsr>(std::move(base));
 }
 
+GraphStore::GraphStore(std::shared_ptr<const DeltaCsr> restored,
+                       core::XbfsConfig cfg, std::size_t log_capacity)
+    : cfg_(cfg), log_capacity_(log_capacity) {
+  if (const xbfs::Status s = cfg_.validate(); !s.ok()) {
+    throw std::invalid_argument("GraphStore: " + s.to_string());
+  }
+  if (!restored) {
+    throw std::invalid_argument("GraphStore: null restored DeltaCsr");
+  }
+  current_ = std::move(restored);
+}
+
 Snapshot GraphStore::snapshot() const {
   // SchedCheck yield point before the pointer copy: the checker interleaves
   // readers against apply()'s publish, proving every snapshot carries a
@@ -39,6 +51,14 @@ std::uint64_t GraphStore::fingerprint() const {
 }
 
 ApplyStats GraphStore::apply(const EdgeBatch& batch) {
+  ApplyStats st;
+  if (const xbfs::Status s = try_apply(batch, &st); !s.ok()) {
+    throw std::runtime_error("GraphStore::apply: " + s.to_string());
+  }
+  return st;
+}
+
+xbfs::Status GraphStore::try_apply(const EdgeBatch& batch, ApplyStats* out) {
   sim::chk_point("dyn.store.apply");
   // One writer at a time; the copy-on-write build happens outside mu_ so
   // snapshot() readers only ever wait for a pointer copy.
@@ -46,9 +66,27 @@ ApplyStats GraphStore::apply(const EdgeBatch& batch) {
   auto next = std::make_shared<DeltaCsr>(*current_);  // clones overlays only
   const ApplyStats st = next->apply(batch);
   bool compacted = false;
-  if (next->overlay_density() > cfg_.dyn_compact_threshold) {
+  const double density = next->overlay_density();
+  bool want_compact = density > cfg_.dyn_compact_threshold;
+  if (hook_ != nullptr) {
+    // The hook adds the periodic snapshot-spill pressure: snapshots are
+    // only taken at compaction points so a recovered store and a
+    // never-killed twin share the same base/overlay split.
+    want_compact = hook_->want_compact(next->epoch(), density, want_compact);
+  }
+  if (want_compact) {
     next->compact();
     compacted = true;
+  }
+  if (hook_ != nullptr) {
+    // Durable-then-visible: the WAL record (epoch, post-apply fingerprint,
+    // chain link to the previous fingerprint) must be fsync'd before any
+    // reader can observe the epoch.  A refused append aborts the apply —
+    // the batch never happened, durably or visibly.
+    const xbfs::Status s =
+        hook_->append(batch, next->epoch(), next->fingerprint(),
+                      current_->fingerprint(), compacted);
+    if (!s.ok()) return s;
   }
   // Yield between the COW build and publication — the widest window in
   // which concurrent readers must keep seeing the *old* version whole.
@@ -56,6 +94,29 @@ ApplyStats GraphStore::apply(const EdgeBatch& batch) {
   // writer_mu_ only excludes other apply() calls, and concurrent-writer
   // harnesses place at most one writer task (docs/modelcheck.md).
   sim::chk_point("dyn.store.publish");
+  Snapshot published;
+  {
+    std::lock_guard<sim::RankedMutex> lk(mu_);
+    current_ = std::move(next);
+    log_.emplace_back(current_->epoch(), batch);
+    while (log_.size() > log_capacity_) log_.pop_front();
+    stats_.batches_applied += 1;
+    stats_.inserts_applied += st.inserts_applied;
+    stats_.deletes_applied += st.deletes_applied;
+    stats_.noops += st.noops;
+    if (compacted) stats_.compactions += 1;
+    published = Snapshot{current_, current_->epoch(), current_->fingerprint()};
+  }
+  if (hook_ != nullptr) hook_->published(published, compacted);
+  if (out != nullptr) *out = st;
+  return xbfs::Status::Ok();
+}
+
+ApplyStats GraphStore::apply_replayed(const EdgeBatch& batch, bool compacted) {
+  std::lock_guard<sim::RankedMutex> writer(writer_mu_);
+  auto next = std::make_shared<DeltaCsr>(*current_);
+  const ApplyStats st = next->apply(batch);
+  if (compacted) next->compact();
   {
     std::lock_guard<sim::RankedMutex> lk(mu_);
     current_ = std::move(next);
@@ -71,15 +132,24 @@ ApplyStats GraphStore::apply(const EdgeBatch& batch) {
 }
 
 std::optional<EdgeBatch> GraphStore::ops_between(std::uint64_t from_epoch,
-                                                std::uint64_t to_epoch) const {
-  if (from_epoch > to_epoch) return std::nullopt;
+                                                 std::uint64_t to_epoch,
+                                                 bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  std::lock_guard<sim::RankedMutex> lk(mu_);
+  // Range validity first (even for empty spans): a to_epoch the store has
+  // never reached is a caller error, not "no ops".
+  if (from_epoch > to_epoch || to_epoch > current_->epoch()) {
+    return std::nullopt;
+  }
   EdgeBatch out;
   if (from_epoch == to_epoch) return out;
-  std::lock_guard<sim::RankedMutex> lk(mu_);
-  // Epochs in the log are contiguous; the gap is covered iff the oldest
-  // retained entry is at or before from_epoch + 1.
-  if (log_.empty() || log_.front().first > from_epoch + 1 ||
-      log_.back().first < to_epoch) {
+  // Epochs in the log are contiguous and end at the current epoch; the gap
+  // is covered iff the oldest retained entry is at or before from_epoch+1.
+  // Anything else means the bounded log wrapped past the request — report
+  // truncation explicitly so callers can't mistake discarded history for
+  // an empty delta (recovery and IncrementalBfs both depend on this).
+  if (log_.empty() || log_.front().first > from_epoch + 1) {
+    if (truncated != nullptr) *truncated = true;
     return std::nullopt;
   }
   for (const auto& [epoch, batch] : log_) {

@@ -14,7 +14,12 @@
 // The store also keeps a bounded log of applied batches so IncrementalBfs
 // can replay "what changed between my prior epoch and now" and seed a
 // repair; when the gap has fallen off the log, ops_between returns nullopt
-// and the engine recomputes from scratch.
+// with *truncated set and the engine recomputes from scratch.
+//
+// An optional DurabilityHook (src/store) rides the serialized writer lane:
+// append() must fsync a WAL record before publish (a failure aborts the
+// apply — durable-then-visible), published() spills content-addressed
+// snapshots at compaction points (docs/durability.md).
 #pragma once
 
 #include <cstdint>
@@ -25,7 +30,9 @@
 #include <utility>
 
 #include "core/config.h"
+#include "core/status_code.h"
 #include "dyn/delta_csr.h"
+#include "dyn/durability_hook.h"
 #include "dyn/edge_batch.h"
 #include "hipsim/lock_rank.h"
 
@@ -55,6 +62,12 @@ class GraphStore {
   /// log (batches); older gaps force engines into full recompute.
   explicit GraphStore(graph::Csr base, core::XbfsConfig cfg = {},
                       std::size_t log_capacity = 256);
+  /// Recovery constructor (src/store/recovery): resume from a restored
+  /// DeltaCsr (spilled snapshot base at its recorded epoch).  The replay
+  /// log starts empty, so pre-recovery epochs report as truncated.
+  explicit GraphStore(std::shared_ptr<const DeltaCsr> restored,
+                      core::XbfsConfig cfg = {},
+                      std::size_t log_capacity = 256);
 
   GraphStore(const GraphStore&) = delete;
   GraphStore& operator=(const GraphStore&) = delete;
@@ -63,20 +76,42 @@ class GraphStore {
   std::uint64_t epoch() const;
   std::uint64_t fingerprint() const;
 
-  /// Serialized writer lane: COW-apply the batch, maybe compact, publish.
+  /// Attach the durable write path (non-owning; the hook must outlive the
+  /// store).  Must happen before writer traffic — the pointer is read
+  /// unsynchronized on the apply lane.
+  void attach_durability(DurabilityHook* hook) { hook_ = hook; }
+  DurabilityHook* durability() const { return hook_; }
+
+  /// Serialized writer lane: COW-apply the batch, maybe compact, make it
+  /// durable (when a hook is attached), publish.  Throws std::runtime_error
+  /// if the durability hook refuses — use try_apply to handle that as a
+  /// status.
   ApplyStats apply(const EdgeBatch& batch);
+  /// apply() with the durability failure surfaced as a Status instead of a
+  /// throw.  On non-ok nothing was published: the epoch did not move.
+  xbfs::Status try_apply(const EdgeBatch& batch, ApplyStats* out = nullptr);
+  /// Recovery replay (src/store/recovery): re-apply a WAL-recorded batch,
+  /// compacting exactly when the record says the pre-crash apply did — the
+  /// policy is not re-derived, so the rebuilt epoch/fingerprint chain is
+  /// identical to the one the WAL recorded.  Never consults the hook.
+  ApplyStats apply_replayed(const EdgeBatch& batch, bool compacted);
 
   /// Concatenated ops of the batches that moved the graph from
   /// `from_epoch` to `to_epoch` (exclusive/inclusive).  nullopt when the
-  /// bounded log no longer covers the gap.
+  /// request is unanswerable, with the reason split by `truncated` (when
+  /// non-null): true = the bounded log wrapped past `from_epoch` (history
+  /// discarded; engines must recompute), false = invalid range
+  /// (from > to, or to beyond the current epoch).
   std::optional<EdgeBatch> ops_between(std::uint64_t from_epoch,
-                                       std::uint64_t to_epoch) const;
+                                       std::uint64_t to_epoch,
+                                       bool* truncated = nullptr) const;
 
   StoreStats stats() const;
 
  private:
   const core::XbfsConfig cfg_;
   const std::size_t log_capacity_;
+  DurabilityHook* hook_ = nullptr;  ///< set once before traffic; non-owning
 
   /// Ranked (writer=50 before publish=52): leaf-ward of the serving
   /// cycle/update/GCD locks — the dispatch path snapshots the store while

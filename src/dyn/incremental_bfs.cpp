@@ -751,11 +751,15 @@ core::BfsResult IncrementalBfs::run(vid_t src) {
   lr.fallback = "no-history";
   const auto hit = history_.find(src);
   if (hit != history_.end()) {
+    bool truncated = false;
     const std::optional<EdgeBatch> ops =
-        store_.ops_between(hit->second.epoch, snap.epoch);
+        store_.ops_between(hit->second.epoch, snap.epoch, &truncated);
     if (!ops) {
       fallbacks_log_.fetch_add(1, std::memory_order_relaxed);
-      lr.fallback = "log-gap";
+      // Distinguish discarded history (the bounded log wrapped) from a
+      // stale/bogus remembered epoch — both recompute, but only the former
+      // is capacity pressure an operator can size away.
+      lr.fallback = truncated ? "log-gap" : "epoch-range";
     } else {
       plan = plan_repair(g, hit->second.levels, *ops, src);
       lr.dirty = plan.dirty.size();

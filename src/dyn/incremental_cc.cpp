@@ -46,8 +46,12 @@ core::AlgoResult IncrementalCc::solve(const core::AlgoQuery&) {
   } else {
     bool repaired = false;
     if (valid_) {
-      const std::optional<EdgeBatch> ops = store_.ops_between(epoch_, snap.epoch);
+      bool truncated = false;
+      const std::optional<EdgeBatch> ops =
+          store_.ops_between(epoch_, snap.epoch, &truncated);
       if (!ops) {
+        // Truncated or out-of-range both invalidate the remembered labels;
+        // the flag keeps the wrap case from masquerading as "no ops".
         fallbacks_log_.fetch_add(1, std::memory_order_relaxed);
       } else {
         bool has_delete = false;

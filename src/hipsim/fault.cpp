@@ -31,6 +31,9 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::WorkerStall: return "worker-stall";
     case FaultKind::WorkerDeath: return "worker-death";
     case FaultKind::LatencySpike: return "latency-spike";
+    case FaultKind::DiskTornWrite: return "disk-torn-write";
+    case FaultKind::DiskShortWrite: return "disk-short-write";
+    case FaultKind::FsyncFail: return "fsync-fail";
   }
   return "unknown";
 }
@@ -42,6 +45,9 @@ double FaultConfig::rate(FaultKind k) const {
     case FaultKind::WorkerStall: return worker_stall_rate;
     case FaultKind::WorkerDeath: return worker_death_rate;
     case FaultKind::LatencySpike: return latency_spike_rate;
+    case FaultKind::DiskTornWrite: return disk_torn_rate;
+    case FaultKind::DiskShortWrite: return disk_short_rate;
+    case FaultKind::FsyncFail: return fsync_fail_rate;
   }
   return 0.0;
 }
@@ -75,6 +81,9 @@ FaultConfig FaultConfig::from_env_string(const std::string& spec) {
     else if (key == "stall") cfg.worker_stall_rate = num;
     else if (key == "death") cfg.worker_death_rate = num;
     else if (key == "spike") cfg.latency_spike_rate = num;
+    else if (key == "disk_torn") cfg.disk_torn_rate = num;
+    else if (key == "disk_short") cfg.disk_short_rate = num;
+    else if (key == "fsync_fail") cfg.fsync_fail_rate = num;
     else if (key == "stall_ms") cfg.stall_ms = num;
     else if (key == "spike_us") cfg.latency_spike_us = num;
     else if (key == "seed") cfg.seed = static_cast<std::uint64_t>(num);

@@ -7,7 +7,8 @@
 // or from the environment:
 //
 //   XBFS_FAULTS="kernel=0.05,memcpy=0.02,stall=0.01,stall_ms=2,death=0.001,
-//                spike=0.01,spike_us=500,seed=42"
+//                spike=0.01,spike_us=500,disk_torn=0.02,disk_short=0.02,
+//                fsync_fail=0.01,seed=42"
 //
 // Rates are per-event probabilities in [0,1].  Everything is off by default;
 // the hot-path cost when disabled is one relaxed atomic load.
@@ -28,8 +29,11 @@ enum class FaultKind : unsigned {
   WorkerStall,        ///< pool worker sleeps stall_ms before its chunks
   WorkerDeath,        ///< pool worker skips this job entirely (work is stolen)
   LatencySpike,       ///< launch time inflated by latency_spike_us
+  DiskTornWrite,      ///< store::File::append lands a prefix, then errors
+  DiskShortWrite,     ///< store::File::append lands n-k bytes, then errors
+  FsyncFail,          ///< store::File::sync returns an error, data not durable
 };
-inline constexpr unsigned kNumFaultKinds = 5;
+inline constexpr unsigned kNumFaultKinds = 8;
 
 const char* fault_kind_name(FaultKind k);
 
@@ -39,6 +43,9 @@ struct FaultConfig {
   double worker_stall_rate = 0.0;
   double worker_death_rate = 0.0;
   double latency_spike_rate = 0.0;
+  double disk_torn_rate = 0.0;   ///< torn write: prefix persisted, op fails
+  double disk_short_rate = 0.0;  ///< short write: n-k bytes persisted, op fails
+  double fsync_fail_rate = 0.0;  ///< fsync reports failure, nothing guaranteed
   double stall_ms = 1.0;          ///< sleep length of an injected stall
   double latency_spike_us = 200;  ///< added modelled time of a spike
   std::uint64_t seed = 0xC0FFEEull;
@@ -46,7 +53,8 @@ struct FaultConfig {
   bool any() const {
     return kernel_fault_rate > 0 || memcpy_corruption_rate > 0 ||
            worker_stall_rate > 0 || worker_death_rate > 0 ||
-           latency_spike_rate > 0;
+           latency_spike_rate > 0 || disk_torn_rate > 0 ||
+           disk_short_rate > 0 || fsync_fail_rate > 0;
   }
   double rate(FaultKind k) const;
 

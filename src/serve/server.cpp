@@ -202,13 +202,35 @@ Server::Server(const graph::Csr* g, dyn::GraphStore* store, ServeConfig cfg)
             core::algo_kind_name(k));
       }
     }
+    if (cfg_.require_durability && store_->durability() == nullptr) {
+      throw std::invalid_argument(
+          "ServeConfig: require_durability set but the GraphStore has no "
+          "durability hook (use store::open_durable / recover_store)");
+    }
     const dyn::Snapshot snap = store_->snapshot();
     n_vertices_ = snap.graph->num_vertices();
     graph_fp_.store(snap.fingerprint, std::memory_order_release);
     // Registers the serving fingerprint so the first epoch bump already
-    // has a previous epoch to retire lazily.
+    // has a previous epoch to retire lazily.  On a recovered store this is
+    // also the stale-result fence: every result the pre-crash process
+    // handed out is keyed by a fingerprint that can no longer match.
     cache_.prime(snap.fingerprint);
+    if (const dyn::DurabilityHook* hook = store_->durability()) {
+      const dyn::DurabilityStats ds = hook->stats();
+      if (ds.recovered) {
+        obs::FlightRecorder::global().record(
+            "serve", "recovered_store",
+            ds.torn_tail_detected ? "torn tail truncated" : "clean tail",
+            ds.recovered_epoch, ds.recovered_fingerprint,
+            ds.wal_records_replayed);
+      }
+    }
   } else {
+    if (cfg_.require_durability) {
+      throw std::invalid_argument(
+          "ServeConfig: require_durability is meaningless on a static "
+          "server (no update lane, nothing to make durable)");
+    }
     n_vertices_ = host_g_->num_vertices();
     graph_fp_.store(host_g_->fingerprint(), std::memory_order_release);
   }
@@ -481,7 +503,19 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch,
     a.trace->event(wall_us(), "update_submitted",
                    "ops=" + std::to_string(batch.size()));
   }
-  a.applied = store_->apply(batch);
+  // try_apply so a durability failure (torn WAL write, failed fsync) rejects
+  // the batch with the fault status instead of throwing through the lane:
+  // not-durable => not-visible, and the caller learns which it was.
+  if (const xbfs::Status s = store_->try_apply(batch, &a.applied); !s.ok()) {
+    updates_rejected_durability_.fetch_add(1, std::memory_order_relaxed);
+    a.status = s;
+    if (a.trace) a.trace->event(wall_us(), "update_rejected", s.to_string());
+    obs::FlightRecorder::global().record("dyn", "update_rejected", s.detail(),
+                                         0, 0, batch.size());
+    obs::MetricsRegistry& mxr = obs::MetricsRegistry::global();
+    if (mxr.enabled()) mxr.counter("serve.updates_rejected").add();
+    return a;
+  }
   const dyn::Snapshot snap = store_->snapshot();
   a.epoch = snap.epoch;
   a.fingerprint = snap.fingerprint;
@@ -519,6 +553,14 @@ UpdateAdmission Server::submit_update(const dyn::EdgeBatch& batch,
                 {"purged", std::to_string(a.cache_purged), true}});
   }
   return a;
+}
+
+bool Server::result_still_valid(std::uint64_t fingerprint) const {
+  if (fingerprint == graph_fp_.load(std::memory_order_acquire)) return true;
+  recovery_stale_rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry& mx = obs::MetricsRegistry::global();
+  if (mx.enabled()) mx.counter("serve.stale_rejected").add();
+  return false;
 }
 
 void Server::scheduler_loop() {
@@ -1484,9 +1526,29 @@ ServerStats Server::stats() const {
   s.update_edges_applied =
       update_edges_applied_.load(std::memory_order_relaxed);
   s.update_noops = update_noops_.load(std::memory_order_relaxed);
+  s.updates_rejected_durability =
+      updates_rejected_durability_.load(std::memory_order_relaxed);
+  s.recovery_stale_rejected =
+      recovery_stale_rejected_.load(std::memory_order_relaxed);
   if (store_) {
     s.graph_epoch = store_->epoch();
     s.compactions = store_->stats().compactions;
+    if (const dyn::DurabilityHook* hook = store_->durability()) {
+      const dyn::DurabilityStats ds = hook->stats();
+      s.durable = true;
+      s.wal_appends = ds.wal_appends;
+      s.wal_append_failures = ds.wal_append_failures;
+      s.wal_fsync_failures = ds.fsync_failures;
+      s.wal_bytes = ds.wal_bytes;
+      s.snapshots_spilled = ds.snapshots_spilled;
+      s.wal_rotations = ds.wal_rotations;
+      s.last_durable_epoch = ds.last_durable_epoch;
+      s.recovered = ds.recovered;
+      s.recovery_torn_tail = ds.torn_tail_detected;
+      s.recovered_epoch = ds.recovered_epoch;
+      s.recovery_replayed = ds.wal_records_replayed;
+      s.recovery_truncated_bytes = ds.wal_bytes_truncated;
+    }
     for (const auto& gp : gcds_) {
       if (gp->inc) {
         const dyn::DynEngineStats es = gp->inc->stats();
@@ -1660,6 +1722,23 @@ void Server::emit_summary() {
       {"repairs", std::to_string(st.repairs)},
       {"recomputes", std::to_string(st.recomputes)},
       {"repair_fallbacks", std::to_string(st.repair_fallbacks)},
+      {"durable", st.durable ? "1" : "0"},
+      {"wal_appends", std::to_string(st.wal_appends)},
+      {"wal_append_failures", std::to_string(st.wal_append_failures)},
+      {"wal_fsync_failures", std::to_string(st.wal_fsync_failures)},
+      {"snapshots_spilled", std::to_string(st.snapshots_spilled)},
+      {"wal_rotations", std::to_string(st.wal_rotations)},
+      {"last_durable_epoch", std::to_string(st.last_durable_epoch)},
+      {"updates_rejected_durability",
+       std::to_string(st.updates_rejected_durability)},
+      {"recovered", st.recovered ? "1" : "0"},
+      {"recovery_torn_tail", st.recovery_torn_tail ? "1" : "0"},
+      {"recovered_epoch", std::to_string(st.recovered_epoch)},
+      {"recovery_replayed", std::to_string(st.recovery_replayed)},
+      {"recovery_truncated_bytes",
+       std::to_string(st.recovery_truncated_bytes)},
+      {"recovery_stale_rejected",
+       std::to_string(st.recovery_stale_rejected)},
       {"query_tracing", cfg_.query_tracing ? "1" : "0"},
       {"traced_queries", std::to_string(st.traced_queries)},
       {"slo_scope", cfg_.slo_scope},

@@ -158,6 +158,14 @@ struct ServeConfig {
   /// every device attempt failed.  false = such queries resolve as Failed.
   bool host_fallback = true;
 
+  // --- durability (dynamic servers; docs/durability.md) --------------------
+  /// Require the GraphStore to carry a durability hook (store::open_durable
+  /// / store::recover_store): the constructor throws std::invalid_argument
+  /// for a dynamic server whose store has no WAL behind it, so a deployment
+  /// that promises durability cannot silently serve from a volatile store.
+  /// Ignored (must stay false) for static servers.
+  bool require_durability = false;
+
   // --- observability --------------------------------------------------------
   /// Allocate a QueryTrace per admitted query: the causal event record
   /// plus per-rung kernel-counter attribution returned on QueryResult.
@@ -244,6 +252,23 @@ struct ServerStats {
   std::uint64_t repairs = 0;               ///< runs served by incremental repair
   std::uint64_t recomputes = 0;            ///< full recomputes (incl. fallbacks)
   std::uint64_t repair_fallbacks = 0;      ///< ratio-bound + log-gap fallbacks
+
+  // --- durability (zero unless the store carries a WAL; docs/durability.md)
+  bool durable = false;                    ///< store has a durability hook
+  std::uint64_t wal_appends = 0;           ///< records made durable
+  std::uint64_t wal_append_failures = 0;   ///< torn/short writes (update rejected)
+  std::uint64_t wal_fsync_failures = 0;    ///< syncs that failed (update rejected)
+  std::uint64_t wal_bytes = 0;             ///< current WAL segment size
+  std::uint64_t snapshots_spilled = 0;     ///< compacted bases written to disk
+  std::uint64_t wal_rotations = 0;         ///< segment switches after a spill
+  std::uint64_t last_durable_epoch = 0;    ///< newest fsync'd epoch
+  std::uint64_t updates_rejected_durability = 0;  ///< batches refused pre-publish
+  bool recovered = false;                  ///< this store came from recovery
+  bool recovery_torn_tail = false;         ///< CRC cut a partial tail record
+  std::uint64_t recovered_epoch = 0;       ///< epoch proven at startup
+  std::uint64_t recovery_replayed = 0;     ///< WAL records replayed at startup
+  std::uint64_t recovery_truncated_bytes = 0;  ///< torn-tail bytes discarded
+  std::uint64_t recovery_stale_rejected = 0;   ///< result_still_valid refusals
 
   // --- observability --------------------------------------------------------
   std::uint64_t traced_queries = 0;         ///< terminals carrying a trace
@@ -354,6 +379,13 @@ class Server {
   std::uint64_t graph_fingerprint() const {
     return graph_fp_.load(std::memory_order_acquire);
   }
+  /// Content-addressed result validity: true iff `fingerprint` is the state
+  /// this server currently serves.  After crash recovery this is the proof
+  /// obligation for results handed out before the crash — epochs lost to a
+  /// torn WAL tail can never reproduce the recovered fingerprint, so a
+  /// stale cached result is refused here rather than served.  Refusals are
+  /// counted in ServerStats::recovery_stale_rejected.
+  bool result_still_valid(std::uint64_t fingerprint) const;
   const ResultCache& cache() const { return cache_; }
 
  private:
@@ -537,6 +569,10 @@ class Server {
   std::atomic<std::uint64_t> updates_expired_{0};
   std::atomic<std::uint64_t> update_edges_applied_{0};
   std::atomic<std::uint64_t> update_noops_{0};
+  std::atomic<std::uint64_t> updates_rejected_durability_{0};
+  /// result_still_valid() refusals; mutable because validity checks are
+  /// logically const reads of the serving fingerprint.
+  mutable std::atomic<std::uint64_t> recovery_stale_rejected_{0};
   std::atomic<std::uint64_t> traced_{0};
   std::atomic<std::uint64_t> slo_proactive_degrades_{0};
   // Per-kind counters, indexed by AlgoKind.

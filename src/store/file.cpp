@@ -1,0 +1,263 @@
+#include "store/file.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "hipsim/fault.h"
+
+namespace xbfs::store {
+
+namespace {
+
+std::atomic<std::uint64_t> g_disk_ops{0};
+std::atomic<std::uint64_t> g_crash_at{0};  // 0 = disarmed
+std::atomic<double> g_crash_frac{0.5};
+
+/// Parse XBFS_DURABLE_CRASH ("at=N[,frac=F]") once, before the first op.
+void load_crash_env() {
+  static const bool loaded = [] {
+    if (const char* env = std::getenv("XBFS_DURABLE_CRASH")) {
+      std::uint64_t at = 0;
+      double frac = 0.5;
+      const std::string spec(env);
+      std::size_t pos = 0;
+      while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos) end = spec.size();
+        const std::string item = spec.substr(pos, end - pos);
+        pos = end + 1;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos) continue;
+        const std::string key = item.substr(0, eq);
+        const char* val = item.c_str() + eq + 1;
+        if (key == "at") at = std::strtoull(val, nullptr, 10);
+        else if (key == "frac") frac = std::strtod(val, nullptr);
+      }
+      if (at != 0) arm_crash_at_op(at, frac);
+    }
+    return true;
+  }();
+  (void)loaded;
+}
+
+/// Count one physical op; returns the fraction to persist before dying, or
+/// a negative value when this op does not crash.
+double next_op_crash_fraction() {
+  load_crash_env();
+  const std::uint64_t op = g_disk_ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t at = g_crash_at.load(std::memory_order_relaxed);
+  if (at != 0 && op == at) {
+    return g_crash_frac.load(std::memory_order_relaxed);
+  }
+  return -1.0;
+}
+
+[[noreturn]] void die_now() {
+  // SIGKILL, not abort(): no handlers, no atexit flushes — the process
+  // vanishes exactly like an OOM kill or power loss would take it.
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable; keeps [[noreturn]] honest
+}
+
+xbfs::Status errno_status(const char* op, const std::string& path) {
+  return xbfs::Status::Internal(std::string(op) + " failed for '" + path +
+                                "': " + std::strerror(errno));
+}
+
+/// Loop a full write of [data, data+n) at the current offset.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t disk_ops() { return g_disk_ops.load(std::memory_order_relaxed); }
+
+void arm_crash_at_op(std::uint64_t op_index, double write_fraction) {
+  if (write_fraction < 0.0) write_fraction = 0.0;
+  if (write_fraction > 1.0) write_fraction = 1.0;
+  g_crash_frac.store(write_fraction, std::memory_order_relaxed);
+  g_crash_at.store(op_index, std::memory_order_relaxed);
+}
+
+File::~File() { close(); }
+
+File::File(File&& o) noexcept
+    : fd_(o.fd_), size_(o.size_), path_(std::move(o.path_)) {
+  o.fd_ = -1;
+  o.size_ = 0;
+}
+
+File& File::operator=(File&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    size_ = o.size_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+xbfs::Status File::open_append(const std::string& path, File* out) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_status("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const xbfs::Status s = errno_status("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  out->close();
+  out->fd_ = fd;
+  out->size_ = static_cast<std::uint64_t>(st.st_size);
+  out->path_ = path;
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status File::append(const void* data, std::size_t n) {
+  if (fd_ < 0) return xbfs::Status::Internal("File::append: not open");
+  if (n == 0) return xbfs::Status::Ok();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+
+  const double crash_frac = next_op_crash_fraction();
+  if (crash_frac >= 0.0) {
+    // Armed crash: persist a prefix, then vanish — the torn-write the
+    // recovery path must detect via CRC and truncate, never replay.
+    const std::size_t keep =
+        static_cast<std::size_t>(static_cast<double>(n) * crash_frac);
+    if (keep > 0) (void)write_all(fd_, bytes, keep);
+    die_now();
+  }
+
+  auto& fi = sim::FaultInjector::global();
+  if (fi.enabled()) {
+    if (fi.should_inject(sim::FaultKind::DiskTornWrite)) {
+      const std::size_t keep = n / 2;
+      if (keep > 0 && write_all(fd_, bytes, keep)) size_ += keep;
+      return xbfs::Status::Fault("disk-torn-write: " + std::to_string(keep) +
+                                 "/" + std::to_string(n) + " bytes of '" +
+                                 path_ + "'");
+    }
+    if (fi.should_inject(sim::FaultKind::DiskShortWrite)) {
+      const std::size_t keep = n - 1;
+      if (keep > 0 && write_all(fd_, bytes, keep)) size_ += keep;
+      return xbfs::Status::Fault("disk-short-write: " + std::to_string(keep) +
+                                 "/" + std::to_string(n) + " bytes of '" +
+                                 path_ + "'");
+    }
+  }
+
+  if (!write_all(fd_, bytes, n)) return errno_status("write", path_);
+  size_ += n;
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status File::sync() {
+  if (fd_ < 0) return xbfs::Status::Internal("File::sync: not open");
+  if (next_op_crash_fraction() >= 0.0) die_now();
+  auto& fi = sim::FaultInjector::global();
+  if (fi.enabled() && fi.should_inject(sim::FaultKind::FsyncFail)) {
+    return xbfs::Status::Fault("fsync-fail: '" + path_ + "'");
+  }
+  if (::fsync(fd_) != 0) return errno_status("fsync", path_);
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status File::truncate_to(std::uint64_t new_size) {
+  if (fd_ < 0) return xbfs::Status::Internal("File::truncate_to: not open");
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return errno_status("ftruncate", path_);
+  }
+  size_ = new_size;
+  return xbfs::Status::Ok();
+}
+
+void File::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+xbfs::Status read_file(const std::string& path,
+                       std::vector<std::uint8_t>* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_status("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const xbfs::Status s = errno_status("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  out->resize(static_cast<std::size_t>(st.st_size));
+  std::size_t off = 0;
+  while (off < out->size()) {
+    const ssize_t r = ::read(fd, out->data() + off, out->size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const xbfs::Status s = errno_status("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;  // shrank underneath us; keep what we got
+    off += static_cast<std::size_t>(r);
+  }
+  out->resize(off);
+  ::close(fd);
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status atomic_publish(const std::string& tmp_path,
+                            const std::string& final_path) {
+  if (next_op_crash_fraction() >= 0.0) die_now();
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return errno_status("rename", final_path);
+  }
+  // fsync the directory so the rename itself survives power loss.
+  std::string dir = final_path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? std::string(".") : dir.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return xbfs::Status::Ok();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void remove_file(const std::string& path) { ::unlink(path.c_str()); }
+
+xbfs::Status ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return xbfs::Status::Ok();
+  }
+  return errno_status("mkdir", path);
+}
+
+}  // namespace xbfs::store

@@ -1,0 +1,96 @@
+// store::File — the single chokepoint between the durability layer and the
+// filesystem (docs/durability.md).
+//
+// Every physical disk operation of the durable write path (WAL appends,
+// fsyncs, snapshot spills, manifest renames) goes through this shim, which
+// buys two things:
+//
+//   * Deterministic disk faults.  sim::FaultInjector's disk knobs
+//     (XBFS_FAULTS=disk_torn=…,disk_short=…,fsync_fail=…) are realized
+//     here: a torn write persists a prefix of the buffer and fails, a
+//     short write persists all but the final bytes and fails, a failed
+//     fsync reports failure without guaranteeing anything reached media.
+//     Decisions are seeded and counter-based, so chaos runs replay.
+//
+//   * Crash-at-op chaos.  arm_crash_at_op(n, frac) — or the environment,
+//     XBFS_DURABLE_CRASH="at=N[,frac=F]" — SIGKILLs the process at the
+//     n-th physical disk op, after persisting only `frac` of that op's
+//     buffer.  This is how the kill-and-recover harness lands a SIGKILL
+//     mid-write and manufactures a torn final WAL record
+//     (examples/durability_crash.cpp).
+//
+// POSIX-only (open/write/fsync/rename), like the rest of the Linux-hosted
+// simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status_code.h"
+
+namespace xbfs::store {
+
+/// Physical disk ops performed so far process-wide (appends, fsyncs,
+/// renames) — the coordinate system of the crash-at-op knob.
+std::uint64_t disk_ops();
+
+/// Arm a deterministic crash: at the `op_index`-th physical disk op
+/// (1-based, counted across the process), persist `write_fraction` of the
+/// op's buffer (appends only; fsync/rename crash before acting) and raise
+/// SIGKILL.  0 disarms.  Also armed from XBFS_DURABLE_CRASH on first use.
+void arm_crash_at_op(std::uint64_t op_index, double write_fraction = 0.5);
+
+/// Append-only fd wrapper with fault injection.  Move-only; closes on
+/// destruction (without fsync — durability is always an explicit sync()).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& o) noexcept;
+  File& operator=(File&& o) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Open (creating if absent) for appending.  The write offset is always
+  /// the end of file, including after truncate_to().
+  static xbfs::Status open_append(const std::string& path, File* out);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Current file size (bytes persisted + buffered); tracked, not stat'ed.
+  std::uint64_t size() const { return size_; }
+
+  /// Append `n` bytes.  An injected torn/short write persists a strict
+  /// prefix and returns FaultInjected — callers roll back with
+  /// truncate_to().  An armed crash SIGKILLs mid-write.
+  xbfs::Status append(const void* data, std::size_t n);
+  /// fsync.  An injected fsync failure returns FaultInjected and
+  /// guarantees nothing about what reached media.
+  xbfs::Status sync();
+  /// Shrink to `new_size` (drops a torn tail / rolls back a failed append).
+  xbfs::Status truncate_to(std::uint64_t new_size);
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string path_;
+};
+
+/// Whole-file read (no fault injection — reads don't tear).
+xbfs::Status read_file(const std::string& path, std::vector<std::uint8_t>* out);
+
+/// rename(tmp, final) + fsync of the containing directory: the atomic
+/// publish step of snapshot spills and manifest updates.  After an ok
+/// return the final path durably names the new content; after a crash at
+/// any prior point the final path is either absent or the old content.
+xbfs::Status atomic_publish(const std::string& tmp_path,
+                            const std::string& final_path);
+
+bool file_exists(const std::string& path);
+void remove_file(const std::string& path);  ///< best-effort
+xbfs::Status ensure_dir(const std::string& path);
+
+}  // namespace xbfs::store

@@ -1,0 +1,95 @@
+#include "store/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "store/file.h"
+#include "store/wal.h"  // crc32
+
+namespace xbfs::store {
+
+namespace {
+
+std::string render_body(const Manifest& m) {
+  char line[256];
+  std::string body = "xbfs-manifest v1\n";
+  std::snprintf(line, sizeof(line), "snapshot %s %" PRIu64 " %016" PRIx64 "\n",
+                m.snapshot_file.c_str(), m.snapshot_epoch,
+                m.snapshot_fingerprint);
+  body += line;
+  body += "wal " + m.wal_file + "\n";
+  return body;
+}
+
+}  // namespace
+
+xbfs::Status read_manifest(const std::string& dir, Manifest* out) {
+  const std::string path = dir + "/" + kManifestName;
+  if (!file_exists(path)) {
+    return xbfs::Status::Unavailable("no manifest at '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes;
+  if (const xbfs::Status s = read_file(path, &bytes); !s.ok()) return s;
+  const std::string text(bytes.begin(), bytes.end());
+
+  // Split off the trailing "crc <hex>\n" line and verify it seals the body.
+  const std::size_t crc_at = text.rfind("crc ");
+  if (crc_at == std::string::npos || crc_at == 0 || text[crc_at - 1] != '\n') {
+    return xbfs::Status::Corruption("manifest '" + path + "': missing crc");
+  }
+  const std::string body = text.substr(0, crc_at);
+  unsigned long long want = 0;
+  if (std::sscanf(text.c_str() + crc_at, "crc %llx", &want) != 1 ||
+      crc32(body.data(), body.size()) != static_cast<std::uint32_t>(want)) {
+    return xbfs::Status::Corruption("manifest '" + path + "': CRC mismatch");
+  }
+
+  Manifest m;
+  char snap[128] = {0};
+  char wal[128] = {0};
+  std::uint64_t epoch = 0;
+  unsigned long long fp = 0;
+  if (std::sscanf(body.c_str(),
+                  "xbfs-manifest v1\nsnapshot %127s %" SCNu64 " %llx\nwal %127s",
+                  snap, &epoch, &fp, wal) != 4) {
+    return xbfs::Status::Corruption("manifest '" + path + "': parse error");
+  }
+  m.snapshot_file = snap;
+  m.snapshot_epoch = epoch;
+  m.snapshot_fingerprint = static_cast<std::uint64_t>(fp);
+  m.wal_file = wal;
+  *out = m;
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status write_manifest(const std::string& dir, const Manifest& m) {
+  std::string text = render_body(m);
+  char line[32];
+  std::snprintf(line, sizeof(line), "crc %08x\n",
+                crc32(text.data(), text.size()));
+  text += line;
+
+  const std::string tmp = dir + "/tmp-manifest";
+  const std::string final_path = dir + "/" + kManifestName;
+  File f;
+  if (const xbfs::Status s = File::open_append(tmp, &f); !s.ok()) return s;
+  if (f.size() != 0) {
+    if (const xbfs::Status s = f.truncate_to(0); !s.ok()) return s;
+  }
+  xbfs::Status s = f.append(text.data(), text.size());
+  if (s.ok()) s = f.sync();
+  f.close();
+  if (!s.ok()) {
+    remove_file(tmp);
+    return s;
+  }
+  if (s = atomic_publish(tmp, final_path); !s.ok()) {
+    remove_file(tmp);
+    return s;
+  }
+  return xbfs::Status::Ok();
+}
+
+}  // namespace xbfs::store

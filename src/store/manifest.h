@@ -1,0 +1,41 @@
+// The durability manifest: one tiny file that names the newest snapshot
+// and the WAL tail that continues it (docs/durability.md).
+//
+// Text, line-oriented, CRC-sealed:
+//
+//   xbfs-manifest v1
+//   snapshot <file> <epoch> <fingerprint-hex>
+//   wal <file>
+//   crc <hex over the lines above>
+//
+// The manifest is always written tmp-then-atomic-rename, and only AFTER
+// the snapshot and the fresh WAL segment it names are durably in place —
+// so at every instant, the manifest on disk names a complete, replayable
+// (snapshot, WAL) pair.  Rotation garbage (the previous pair) is deleted
+// only after the new manifest is published.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/status_code.h"
+
+namespace xbfs::store {
+
+inline constexpr const char* kManifestName = "MANIFEST";
+
+struct Manifest {
+  std::string snapshot_file;  ///< relative to the store dir
+  std::uint64_t snapshot_epoch = 0;
+  std::uint64_t snapshot_fingerprint = 0;
+  std::string wal_file;  ///< relative to the store dir
+};
+
+/// Parse + CRC-verify dir/MANIFEST.  A missing file is Unavailable (fresh
+/// dir); a garbled one is Corruption.
+xbfs::Status read_manifest(const std::string& dir, Manifest* out);
+
+/// Serialize + atomically publish dir/MANIFEST (tmp + rename + dir fsync).
+xbfs::Status write_manifest(const std::string& dir, const Manifest& m);
+
+}  // namespace xbfs::store

@@ -1,0 +1,130 @@
+#include "store/snapshot_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "store/file.h"
+#include "store/wal.h"  // crc32
+
+namespace xbfs::store {
+
+namespace {
+
+constexpr std::uint32_t kSnapMagic = 0x314E5358;  // "XSN1"
+constexpr std::uint32_t kSnapVersion = 1;
+
+template <typename T>
+void put(std::vector<std::uint8_t>* out, T v) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::string snapshot_filename(std::uint64_t fingerprint) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%016llx.xsnap",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+xbfs::Status write_snapshot(const std::string& dir, const graph::Csr& base,
+                            std::uint64_t epoch, std::uint64_t fingerprint,
+                            std::string* filename_out) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t n = base.num_vertices();
+  const std::uint64_t m = base.num_edges();
+  buf.reserve(40 + base.offsets().size() * sizeof(graph::eid_t) +
+              base.cols().size() * sizeof(graph::vid_t) + 4);
+  put<std::uint32_t>(&buf, kSnapMagic);
+  put<std::uint32_t>(&buf, kSnapVersion);
+  put<std::uint64_t>(&buf, epoch);
+  put<std::uint64_t>(&buf, fingerprint);
+  put<std::uint64_t>(&buf, n);
+  put<std::uint64_t>(&buf, m);
+  {
+    const std::size_t at = buf.size();
+    const std::size_t bytes = base.offsets().size() * sizeof(graph::eid_t);
+    buf.resize(at + bytes);
+    std::memcpy(buf.data() + at, base.offsets().data(), bytes);
+  }
+  {
+    const std::size_t at = buf.size();
+    const std::size_t bytes = base.cols().size() * sizeof(graph::vid_t);
+    buf.resize(at + bytes);
+    std::memcpy(buf.data() + at, base.cols().data(), bytes);
+  }
+  put<std::uint32_t>(&buf, crc32(buf.data(), buf.size()));
+
+  const std::string name = snapshot_filename(fingerprint);
+  const std::string tmp = dir + "/tmp-" + name;
+  const std::string final_path = dir + "/" + name;
+  File f;
+  if (const xbfs::Status s = File::open_append(tmp, &f); !s.ok()) return s;
+  if (f.size() != 0) {
+    // A stale tmp from a crashed spill: start it over.
+    if (const xbfs::Status s = f.truncate_to(0); !s.ok()) return s;
+  }
+  xbfs::Status s = f.append(buf.data(), buf.size());
+  if (s.ok()) s = f.sync();
+  f.close();
+  if (!s.ok()) {
+    remove_file(tmp);
+    return s;
+  }
+  if (s = atomic_publish(tmp, final_path); !s.ok()) {
+    remove_file(tmp);
+    return s;
+  }
+  *filename_out = name;
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status read_snapshot(const std::string& path, graph::Csr* base,
+                           std::uint64_t* epoch, std::uint64_t* fingerprint) {
+  std::vector<std::uint8_t> buf;
+  if (const xbfs::Status s = read_file(path, &buf); !s.ok()) return s;
+  constexpr std::size_t kFixed = 4 + 4 + 8 + 8 + 8 + 8;
+  if (buf.size() < kFixed + 4) {
+    return xbfs::Status::Corruption("snapshot '" + path + "': short file");
+  }
+  if (get<std::uint32_t>(buf.data()) != kSnapMagic ||
+      get<std::uint32_t>(buf.data() + 4) != kSnapVersion) {
+    return xbfs::Status::Corruption("snapshot '" + path +
+                                    "': bad magic/version");
+  }
+  const std::uint32_t want_crc = get<std::uint32_t>(buf.data() + buf.size() - 4);
+  if (crc32(buf.data(), buf.size() - 4) != want_crc) {
+    return xbfs::Status::Corruption("snapshot '" + path + "': CRC mismatch");
+  }
+  *epoch = get<std::uint64_t>(buf.data() + 8);
+  *fingerprint = get<std::uint64_t>(buf.data() + 16);
+  const std::uint64_t n = get<std::uint64_t>(buf.data() + 24);
+  const std::uint64_t m = get<std::uint64_t>(buf.data() + 32);
+  const std::size_t want =
+      kFixed + (n + 1) * sizeof(graph::eid_t) + m * sizeof(graph::vid_t) + 4;
+  if (buf.size() != want) {
+    return xbfs::Status::Corruption("snapshot '" + path +
+                                    "': size disagrees with header");
+  }
+  std::vector<graph::eid_t> offsets(n + 1);
+  std::memcpy(offsets.data(), buf.data() + kFixed,
+              offsets.size() * sizeof(graph::eid_t));
+  std::vector<graph::vid_t> cols(m);
+  std::memcpy(cols.data(),
+              buf.data() + kFixed + offsets.size() * sizeof(graph::eid_t),
+              cols.size() * sizeof(graph::vid_t));
+  *base = graph::Csr(std::move(offsets), std::move(cols));
+  return xbfs::Status::Ok();
+}
+
+}  // namespace xbfs::store

@@ -1,0 +1,42 @@
+// Content-addressed snapshot spill files (docs/durability.md).
+//
+// A snapshot is the flat, freshly-compacted base of the store at one epoch
+// — DeltaCsr overlays are empty at every spill point, so the file is just
+// the graph::Csr arrays plus the identity that makes recovery provable:
+//
+//   u32 magic "XSN1", u32 version
+//   u64 epoch            (the epoch the store published this state as)
+//   u64 fingerprint      (DeltaCsr::fingerprint at that epoch — the chain
+//                         anchor recovery verifies before replaying)
+//   u64 n, u64 m
+//   n+1 × u64 offsets, m × u32 cols
+//   u32 CRC-32 over everything above
+//
+// Files are content-addressed — named snap-<fingerprint>.xsnap — and
+// written tmp-then-atomic-rename, so a crash mid-spill can never alias a
+// committed snapshot: the name exists iff the full content does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/status_code.h"
+#include "graph/csr.h"
+
+namespace xbfs::store {
+
+/// "snap-<fingerprint hex>.xsnap"
+std::string snapshot_filename(std::uint64_t fingerprint);
+
+/// Serialize + fsync `base` under dir, content-addressed by `fingerprint`,
+/// via tmp + atomic rename.  On ok, *filename_out is the relative name the
+/// manifest should point at.
+xbfs::Status write_snapshot(const std::string& dir, const graph::Csr& base,
+                            std::uint64_t epoch, std::uint64_t fingerprint,
+                            std::string* filename_out);
+
+/// Load + CRC-verify a snapshot file (absolute/relative path).
+xbfs::Status read_snapshot(const std::string& path, graph::Csr* base,
+                           std::uint64_t* epoch, std::uint64_t* fingerprint);
+
+}  // namespace xbfs::store

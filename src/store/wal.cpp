@@ -1,0 +1,228 @@
+#include "store/wal.h"
+
+#include <array>
+#include <chrono>
+#include <cstring>
+
+#include "hipsim/chk_point.h"
+#include "obs/metrics.h"
+
+namespace xbfs::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+template <typename T>
+void put(std::vector<std::uint8_t>* out, T v) {
+  const std::size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+double elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+constexpr std::size_t kOpBytes = 2 * sizeof(std::uint32_t) + 1;
+constexpr std::size_t kPayloadFixed =
+    3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + 1;
+constexpr std::size_t kFrameBytes = 3 * sizeof(std::uint32_t);
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_record(const WalRecord& rec, std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kPayloadFixed + rec.batch.size() * kOpBytes);
+  put<std::uint64_t>(&payload, rec.epoch);
+  put<std::uint64_t>(&payload, rec.fingerprint);
+  put<std::uint64_t>(&payload, rec.prev_fingerprint);
+  put<std::uint32_t>(&payload, static_cast<std::uint32_t>(rec.batch.size()));
+  put<std::uint8_t>(&payload, rec.flags);
+  for (const dyn::EdgeOp& op : rec.batch.ops) {
+    put<std::uint32_t>(&payload, op.u);
+    put<std::uint32_t>(&payload, op.v);
+    put<std::uint8_t>(&payload, op.insert ? 1 : 0);
+  }
+  put<std::uint32_t>(out, kWalRecordMagic);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  put<std::uint32_t>(out, crc32(payload.data(), payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+DecodeResult decode_record(const std::uint8_t* data, std::size_t n,
+                           WalRecord* rec, std::size_t* consumed) {
+  if (n < kFrameBytes) return DecodeResult::NeedMore;
+  if (get<std::uint32_t>(data) != kWalRecordMagic) return DecodeResult::Corrupt;
+  const std::uint32_t len = get<std::uint32_t>(data + 4);
+  const std::uint32_t want_crc = get<std::uint32_t>(data + 8);
+  if (len < kPayloadFixed || len > kWalMaxPayload) return DecodeResult::Corrupt;
+  if (n < kFrameBytes + len) return DecodeResult::NeedMore;
+  const std::uint8_t* payload = data + kFrameBytes;
+  if (crc32(payload, len) != want_crc) return DecodeResult::Corrupt;
+  rec->epoch = get<std::uint64_t>(payload);
+  rec->fingerprint = get<std::uint64_t>(payload + 8);
+  rec->prev_fingerprint = get<std::uint64_t>(payload + 16);
+  const std::uint32_t ops = get<std::uint32_t>(payload + 24);
+  rec->flags = payload[28];
+  if (len != kPayloadFixed + static_cast<std::size_t>(ops) * kOpBytes) {
+    // CRC passed but the op count disagrees with the length: structurally
+    // corrupt (a CRC collision on garbage), refuse it.
+    return DecodeResult::Corrupt;
+  }
+  rec->batch.ops.clear();
+  rec->batch.ops.reserve(ops);
+  const std::uint8_t* p = payload + kPayloadFixed;
+  for (std::uint32_t i = 0; i < ops; ++i, p += kOpBytes) {
+    rec->batch.ops.push_back({get<std::uint32_t>(p), get<std::uint32_t>(p + 4),
+                              p[8] != 0});
+  }
+  *consumed = kFrameBytes + len;
+  return DecodeResult::Ok;
+}
+
+xbfs::Status read_wal(const std::string& path, WalReadResult* out) {
+  *out = WalReadResult{};
+  std::vector<std::uint8_t> bytes;
+  if (const xbfs::Status s = read_file(path, &bytes); !s.ok()) return s;
+  out->total_bytes = bytes.size();
+  if (bytes.size() < kWalHeaderBytes) {
+    return xbfs::Status::Corruption("WAL '" + path + "': short header (" +
+                                    std::to_string(bytes.size()) + " bytes)");
+  }
+  if (get<std::uint32_t>(bytes.data()) != kWalFileMagic ||
+      get<std::uint32_t>(bytes.data() + 4) != kWalFileVersion) {
+    return xbfs::Status::Corruption("WAL '" + path +
+                                    "': bad magic/version header");
+  }
+  std::size_t off = kWalHeaderBytes;
+  while (off < bytes.size()) {
+    WalRecord rec;
+    std::size_t consumed = 0;
+    const DecodeResult r =
+        decode_record(bytes.data() + off, bytes.size() - off, &rec, &consumed);
+    if (r != DecodeResult::Ok) {
+      // Longest valid prefix: the first short/garbled record is the torn
+      // tail — report it and stop, never replay past it.
+      out->torn_tail = true;
+      break;
+    }
+    out->records.push_back(std::move(rec));
+    off += consumed;
+  }
+  out->valid_bytes = off;
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status WalWriter::create(const std::string& path, WalWriter* out) {
+  remove_file(path);
+  WalWriter w;
+  if (const xbfs::Status s = File::open_append(path, &w.file_); !s.ok()) {
+    return s;
+  }
+  std::vector<std::uint8_t> header;
+  put<std::uint32_t>(&header, kWalFileMagic);
+  put<std::uint32_t>(&header, kWalFileVersion);
+  if (const xbfs::Status s = w.file_.append(header.data(), header.size());
+      !s.ok()) {
+    return s;
+  }
+  if (const xbfs::Status s = w.file_.sync(); !s.ok()) return s;
+  *out = std::move(w);
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status WalWriter::open_existing(const std::string& path,
+                                      std::uint64_t valid_bytes,
+                                      WalWriter* out) {
+  WalWriter w;
+  if (const xbfs::Status s = File::open_append(path, &w.file_); !s.ok()) {
+    return s;
+  }
+  if (w.file_.size() < kWalHeaderBytes || valid_bytes < kWalHeaderBytes) {
+    return xbfs::Status::Corruption("WAL '" + path +
+                                    "': cannot continue a headerless segment");
+  }
+  if (valid_bytes < w.file_.size()) {
+    // Drop the torn tail before the first new append lands after it.
+    if (const xbfs::Status s = w.file_.truncate_to(valid_bytes); !s.ok()) {
+      return s;
+    }
+    if (const xbfs::Status s = w.file_.sync(); !s.ok()) return s;
+  }
+  *out = std::move(w);
+  return xbfs::Status::Ok();
+}
+
+xbfs::Status WalWriter::append(const WalRecord& rec) {
+  if (!file_.is_open()) {
+    return xbfs::Status::Internal("WalWriter::append: no open segment");
+  }
+  // Yield points for SchedCheck: the append/fsync/publish handshake is
+  // where a crash or an interleaved reader is interesting.  Legal under
+  // writer_mu_ for the same reason as dyn.store.publish — harnesses place
+  // at most one writer task (docs/modelcheck.md).
+  sim::chk_point("store.wal.append", rec.epoch);
+  std::vector<std::uint8_t> buf;
+  encode_record(rec, &buf);
+  const std::uint64_t rollback = file_.size();
+  auto& metrics = obs::MetricsRegistry::global();
+
+  const auto t_append = std::chrono::steady_clock::now();
+  xbfs::Status s = file_.append(buf.data(), buf.size());
+  if (metrics.enabled()) {
+    metrics.histogram("store.wal.append_us").observe(elapsed_us(t_append));
+  }
+  if (!s.ok()) {
+    // Torn/short write: the prefix on disk is not a record — cut it off so
+    // the segment stays a sequence of whole, valid records.
+    (void)file_.truncate_to(rollback);
+    return s;
+  }
+
+  sim::chk_point("store.wal.fsync", rec.epoch);
+  const auto t_sync = std::chrono::steady_clock::now();
+  s = file_.sync();
+  if (metrics.enabled()) {
+    metrics.histogram("store.wal.fsync_us").observe(elapsed_us(t_sync));
+  }
+  if (!s.ok()) {
+    // The record may or may not have reached media; either way it is not
+    // durable, so it must not become visible.  Roll the file back.
+    (void)file_.truncate_to(rollback);
+    (void)file_.sync();
+    return s;
+  }
+  return xbfs::Status::Ok();
+}
+
+}  // namespace xbfs::store

@@ -1,0 +1,124 @@
+// Write-ahead log for dyn::GraphStore edge batches (docs/durability.md).
+//
+// A WAL segment is an 8-byte header (magic + version) followed by
+// self-delimiting records, one per applied EdgeBatch:
+//
+//   u32 record magic   "1CER"          (detects seek-into-garbage)
+//   u32 payload length                 (ops only bound the allocation)
+//   u32 CRC-32 of the payload          (IEEE 802.3, table-driven)
+//   payload:
+//     u64 epoch                        (the epoch this batch published)
+//     u64 fingerprint                  (post-apply DeltaCsr::fingerprint)
+//     u64 prev_fingerprint             (chain link to the prior epoch)
+//     u32 op count
+//     u8  flags                        (bit 0: apply compacted the store)
+//     ops × { u32 u, u32 v, u8 insert }
+//
+// The CRC plus the length prefix give longest-valid-prefix recovery: a
+// reader scans records until the bytes run out (clean tail), a record is
+// shorter than its length prefix claims (torn tail), or a CRC/magic check
+// fails (torn or corrupt tail).  Everything after the first bad byte is
+// truncated, never replayed — a half-written final record from a crash
+// mid-append rolls the store back to the last record that was fully
+// fsync'd, which is exactly the durable-then-visible contract.
+//
+// The fingerprint chain (prev_fingerprint -> fingerprint per record) is
+// what recovery verifies while replaying: any divergence between the
+// recorded chain and the recomputed store state refuses recovery rather
+// than serving a silently-wrong graph.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status_code.h"
+#include "dyn/edge_batch.h"
+#include "store/file.h"
+
+namespace xbfs::store {
+
+inline constexpr std::uint32_t kWalFileMagic = 0x314C5758;    // "XWL1"
+inline constexpr std::uint32_t kWalFileVersion = 1;
+inline constexpr std::uint32_t kWalRecordMagic = 0x52454331;  // "1CER"
+inline constexpr std::size_t kWalHeaderBytes = 8;
+/// Sanity bound on one record's payload (ops are ~9 bytes each; a batch
+/// this large is garbage, not data — refuse the allocation).
+inline constexpr std::uint32_t kWalMaxPayload = 1u << 28;
+
+struct WalRecord {
+  std::uint64_t epoch = 0;
+  std::uint64_t fingerprint = 0;       ///< post-apply DeltaCsr::fingerprint
+  std::uint64_t prev_fingerprint = 0;  ///< fingerprint chain link
+  std::uint8_t flags = 0;
+  dyn::EdgeBatch batch;
+
+  static constexpr std::uint8_t kFlagCompacted = 1;
+  bool compacted() const { return (flags & kFlagCompacted) != 0; }
+};
+
+/// CRC-32 (IEEE 802.3, reflected, table-driven).  `seed` chains calls.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Append the framed encoding of `rec` to `out`.
+void encode_record(const WalRecord& rec, std::vector<std::uint8_t>* out);
+
+enum class DecodeResult {
+  Ok,        ///< one record decoded; *consumed bytes eaten
+  NeedMore,  ///< data ends mid-record (torn tail / still being written)
+  Corrupt,   ///< magic or CRC mismatch, or absurd length — not a record
+};
+
+/// Decode one record from data[0..n).  On Ok, *consumed is the framed
+/// record size.  Never reads past n, never throws on garbage.
+DecodeResult decode_record(const std::uint8_t* data, std::size_t n,
+                           WalRecord* rec, std::size_t* consumed);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes = 0;  ///< header + fully-valid records
+  std::uint64_t total_bytes = 0;  ///< file size as read
+  bool torn_tail = false;         ///< trailing bytes failed framing/CRC
+};
+
+/// Longest-valid-prefix scan of a WAL segment.  A missing file, short
+/// header, or wrong magic/version is Corruption (the segment itself is not
+/// trustworthy); torn/corrupt *records* are not an error — the scan stops
+/// there, reports torn_tail, and valid_bytes marks the truncation point.
+xbfs::Status read_wal(const std::string& path, WalReadResult* out);
+
+/// Appending writer over one WAL segment.  Every append is write + fsync;
+/// a failed write or fsync rolls the file back to the pre-record size so
+/// the on-disk prefix is always a sequence of whole, valid records.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Start a fresh segment at `path` (truncating any prior content):
+  /// writes + fsyncs the header.
+  static xbfs::Status create(const std::string& path, WalWriter* out);
+  /// Continue a recovered segment: drops everything past `valid_bytes`
+  /// (the torn tail) and appends after it.
+  static xbfs::Status open_existing(const std::string& path,
+                                    std::uint64_t valid_bytes, WalWriter* out);
+
+  /// Encode, append, fsync.  On any failure the segment is rolled back to
+  /// its pre-call size and the fault status is returned: the record is
+  /// durable iff this returns ok.  Yields at "store.wal.append" /
+  /// "store.wal.fsync" for SchedCheck and observes append/fsync latency
+  /// histograms (store.wal.append_us / store.wal.fsync_us).
+  xbfs::Status append(const WalRecord& rec);
+
+  bool is_open() const { return file_.is_open(); }
+  const std::string& path() const { return file_.path(); }
+  std::uint64_t bytes() const { return file_.size(); }
+  void close() { file_.close(); }
+
+ private:
+  File file_;
+};
+
+}  // namespace xbfs::store

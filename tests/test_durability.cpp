@@ -1,0 +1,444 @@
+// Durable write path integration tests (docs/durability.md): fresh
+// initialization, recover-vs-twin fingerprint equality across snapshot
+// spills and WAL rotations, torn-tail truncation, fingerprint-chain and
+// snapshot corruption refusal, injected disk faults rejecting updates
+// without publishing, and the serve layer's recovery stats + stale-result
+// fence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dyn/graph_store.h"
+#include "graph/builder.h"
+#include "graph/reference.h"
+#include "graph/rmat.h"
+#include "hipsim/fault.h"
+#include "serve/server.h"
+#include "store/durability.h"
+#include "store/manifest.h"
+#include "store/recovery.h"
+#include "store/wal.h"
+
+namespace xbfs::store {
+namespace {
+
+using dyn::EdgeBatch;
+
+graph::Csr small_rmat() {
+  graph::RmatParams p;
+  p.scale = 7;
+  p.edge_factor = 6;
+  p.seed = 99;
+  return graph::rmat_csr(p);
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  std::string dir(const char* name) {
+    const auto p = std::filesystem::temp_directory_path() /
+                   (std::string("xbfs_durability_") + name + "_" +
+                    std::to_string(::getpid()));
+    std::filesystem::remove_all(p);
+    created_.push_back(p.string());
+    return p.string();
+  }
+  void TearDown() override {
+    sim::FaultInjector::global().disable();
+    for (const auto& p : created_) std::filesystem::remove_all(p);
+  }
+  std::vector<std::string> created_;
+};
+
+EdgeBatch random_batch(std::mt19937_64& rng, graph::vid_t n,
+                       std::size_t ops = 6) {
+  EdgeBatch b;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto u = static_cast<graph::vid_t>(rng() % n);
+    const auto v = static_cast<graph::vid_t>(rng() % n);
+    if (rng() % 3 == 0) {
+      b.erase(u, v);
+    } else {
+      b.insert(u, v);
+    }
+  }
+  return b;
+}
+
+std::string find_snapshot(const std::string& dir) {
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("snap-", 0) == 0) return e.path().string();
+  }
+  return {};
+}
+
+TEST_F(DurabilityTest, FreshOpenLaysDownAFullPair) {
+  const std::string d = dir("fresh");
+  DurableStore ds;
+  ASSERT_TRUE(open_durable({d, 8}, small_rmat(), {}, 256, &ds).ok());
+  ASSERT_NE(ds.store, nullptr);
+  EXPECT_NE(ds.store->durability(), nullptr);
+
+  // Epoch-0 snapshot + WAL + manifest exist before any update.
+  EXPECT_TRUE(file_exists(d + "/" + kManifestName));
+  EXPECT_FALSE(find_snapshot(d).empty());
+  Manifest m;
+  ASSERT_TRUE(read_manifest(d, &m).ok());
+  EXPECT_EQ(m.snapshot_epoch, 0u);
+  EXPECT_EQ(m.snapshot_fingerprint, ds.store->fingerprint());
+  EXPECT_TRUE(file_exists(d + "/" + m.wal_file));
+
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 5; ++i) {
+    dyn::ApplyStats st;
+    ASSERT_TRUE(ds.store->try_apply(random_batch(rng, 128), &st).ok());
+  }
+  const dyn::DurabilityStats s = ds.durability->stats();
+  EXPECT_EQ(s.wal_appends, 5u);
+  EXPECT_EQ(s.wal_append_failures, 0u);
+  EXPECT_EQ(s.last_durable_epoch, ds.store->epoch());
+  EXPECT_EQ(s.last_durable_fingerprint, ds.store->fingerprint());
+  EXPECT_GE(s.wal_bytes, kWalHeaderBytes);
+}
+
+TEST_F(DurabilityTest, RecoverMatchesNeverClosedTwin) {
+  // Same batch stream through two durable stores; one is closed and
+  // recovered mid-stream.  Snapshot_every=4 forces spills + rotations in
+  // the middle of the stream, so recovery starts from a rotated pair.
+  const std::string d1 = dir("recover");
+  const std::string d2 = dir("twin");
+  DurableStore a, twin;
+  ASSERT_TRUE(open_durable({d1, 4}, small_rmat(), {}, 256, &a).ok());
+  ASSERT_TRUE(open_durable({d2, 4}, small_rmat(), {}, 256, &twin).ok());
+
+  std::mt19937_64 rng(2);
+  std::vector<EdgeBatch> stream;
+  for (int i = 0; i < 19; ++i) stream.push_back(random_batch(rng, 128));
+
+  for (int i = 0; i < 11; ++i) {
+    ASSERT_TRUE(a.store->try_apply(stream[i], nullptr).ok());
+  }
+  for (const EdgeBatch& b : stream) {
+    ASSERT_TRUE(twin.store->try_apply(b, nullptr).ok());
+  }
+  EXPECT_GE(a.durability->stats().snapshots_spilled, 2u);
+
+  // "Close" the first store (drop it) and recover from its directory.
+  a.store.reset();
+  a.durability.reset();
+  DurableStore r;
+  ASSERT_TRUE(open_durable({d1, 4}, graph::Csr{}, {}, 256, &r).ok());
+  const dyn::DurabilityStats rs = r.durability->stats();
+  EXPECT_TRUE(rs.recovered);
+  EXPECT_FALSE(rs.torn_tail_detected);
+  EXPECT_EQ(rs.recovered_epoch, 11u);
+
+  // Resume the stream on the recovered store; every epoch/fingerprint pair
+  // must now match the twin that never restarted.
+  for (std::size_t i = 11; i < stream.size(); ++i) {
+    ASSERT_TRUE(r.store->try_apply(stream[i], nullptr).ok());
+  }
+  EXPECT_EQ(r.store->epoch(), twin.store->epoch());
+  EXPECT_EQ(r.store->fingerprint(), twin.store->fingerprint());
+
+  // The graphs agree structurally, not just by hash: reference BFS levels
+  // from a handful of sources are identical.
+  const dyn::Snapshot sr = r.store->snapshot();
+  const dyn::Snapshot st = twin.store->snapshot();
+  for (graph::vid_t src : {0u, 17u, 63u, 127u}) {
+    EXPECT_EQ(graph::reference_bfs(sr.graph->materialize(), src),
+              graph::reference_bfs(st.graph->materialize(), src))
+        << "source " << src;
+  }
+}
+
+TEST_F(DurabilityTest, TornTailIsTruncatedAndOverwritten) {
+  const std::string d = dir("torn");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  }
+  const std::uint64_t full_epoch = a.store->epoch();
+  Manifest m;
+  ASSERT_TRUE(read_manifest(d, &m).ok());
+  a.store.reset();
+  a.durability.reset();
+
+  // Simulate a crash mid-append: a half-record of plausible bytes at the
+  // tail (valid magic + length, payload cut short).
+  {
+    std::FILE* f = std::fopen((d + "/" + m.wal_file).c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = kWalRecordMagic;
+    const std::uint32_t len = 1000;
+    std::fwrite(&magic, 1, sizeof(magic), f);
+    std::fwrite(&len, 1, sizeof(len), f);
+    const char junk[] = "partial";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+
+  DurableStore r;
+  ASSERT_TRUE(open_durable({d, 0}, graph::Csr{}, {}, 256, &r).ok());
+  const dyn::DurabilityStats rs = r.durability->stats();
+  EXPECT_TRUE(rs.recovered);
+  EXPECT_TRUE(rs.torn_tail_detected);
+  EXPECT_GT(rs.wal_bytes_truncated, 0u);
+  EXPECT_EQ(r.store->epoch(), full_epoch);
+
+  // The truncation point is durable: a new append lands where the torn
+  // bytes were and the segment reads back clean.
+  ASSERT_TRUE(r.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  WalReadResult wr;
+  ASSERT_TRUE(read_wal(d + "/" + m.wal_file, &wr).ok());
+  EXPECT_FALSE(wr.torn_tail);
+  EXPECT_EQ(wr.records.back().epoch, full_epoch + 1);
+}
+
+TEST_F(DurabilityTest, BrokenFingerprintChainRefusesRecovery) {
+  const std::string d = dir("chain");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  }
+  const std::uint64_t epoch = a.store->epoch();
+  Manifest m;
+  ASSERT_TRUE(read_manifest(d, &m).ok());
+  a.store.reset();
+  a.durability.reset();
+
+  // Append a CRC-valid record whose chain link lies about history.
+  WalReadResult wr;
+  ASSERT_TRUE(read_wal(d + "/" + m.wal_file, &wr).ok());
+  WalWriter w;
+  ASSERT_TRUE(
+      WalWriter::open_existing(d + "/" + m.wal_file, wr.valid_bytes, &w).ok());
+  WalRecord bogus;
+  bogus.epoch = epoch + 1;
+  bogus.prev_fingerprint = 0xDEADBEEFu;  // not the store's fingerprint
+  bogus.fingerprint = 0xFEEDFACEu;
+  bogus.batch.insert(0, 1);
+  ASSERT_TRUE(w.append(bogus).ok());
+  w.close();
+
+  DurableStore r;
+  const xbfs::Status s = open_durable({d, 0}, graph::Csr{}, {}, 256, &r);
+  EXPECT_TRUE(s == xbfs::StatusCode::DataCorruption) << s.to_string();
+}
+
+TEST_F(DurabilityTest, CorruptSnapshotRefusesRecovery) {
+  const std::string d = dir("snapcorrupt");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  a.store.reset();
+  a.durability.reset();
+
+  const std::string snap = find_snapshot(d);
+  ASSERT_FALSE(snap.empty());
+  {
+    // Flip one byte in the middle of the column data.
+    std::FILE* f = std::fopen(snap.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 64);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+
+  DurableStore r;
+  const xbfs::Status s = open_durable({d, 0}, graph::Csr{}, {}, 256, &r);
+  EXPECT_TRUE(s == xbfs::StatusCode::DataCorruption) << s.to_string();
+}
+
+TEST_F(DurabilityTest, GarbledManifestRefusesRecovery) {
+  const std::string d = dir("manifest");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  a.store.reset();
+  a.durability.reset();
+  {
+    std::FILE* f = std::fopen((d + "/" + kManifestName).c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "xbfs-manifest v1\nsnapshot nope 0 zz\n";
+    std::fwrite(junk, 1, sizeof(junk) - 1, f);
+    std::fclose(f);
+  }
+  DurableStore r;
+  const xbfs::Status s = open_durable({d, 0}, graph::Csr{}, {}, 256, &r);
+  EXPECT_TRUE(s == xbfs::StatusCode::DataCorruption) << s.to_string();
+}
+
+TEST_F(DurabilityTest, FsyncFailureRejectsWithoutPublishing) {
+  const std::string d = dir("fsyncfail");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  std::mt19937_64 rng(5);
+  ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  const std::uint64_t epoch = a.store->epoch();
+  const std::uint64_t fp = a.store->fingerprint();
+
+  sim::FaultConfig fc;
+  fc.fsync_fail_rate = 1.0;
+  sim::FaultInjector::global().configure(fc);
+  const xbfs::Status s = a.store->try_apply(random_batch(rng, 128), nullptr);
+  EXPECT_FALSE(s.ok());
+  sim::FaultInjector::global().disable();
+
+  // Not durable => not visible: the store never moved.
+  EXPECT_EQ(a.store->epoch(), epoch);
+  EXPECT_EQ(a.store->fingerprint(), fp);
+  EXPECT_GE(a.durability->stats().fsync_failures, 1u);
+
+  // The rolled-back segment still accepts appends and recovers cleanly.
+  ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  const std::uint64_t final_fp = a.store->fingerprint();
+  a.store.reset();
+  a.durability.reset();
+  DurableStore r;
+  ASSERT_TRUE(open_durable({d, 0}, graph::Csr{}, {}, 256, &r).ok());
+  EXPECT_EQ(r.store->fingerprint(), final_fp);
+}
+
+TEST_F(DurabilityTest, TornWriteRollsBackAndRejects) {
+  const std::string d = dir("tornwrite");
+  DurableStore a;
+  ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &a).ok());
+  std::mt19937_64 rng(6);
+  ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  const std::uint64_t fp = a.store->fingerprint();
+
+  sim::FaultConfig fc;
+  fc.disk_torn_rate = 1.0;
+  sim::FaultInjector::global().configure(fc);
+  EXPECT_FALSE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+  sim::FaultInjector::global().disable();
+
+  EXPECT_EQ(a.store->fingerprint(), fp);
+  EXPECT_GE(a.durability->stats().wal_append_failures, 1u);
+  ASSERT_TRUE(a.store->try_apply(random_batch(rng, 128), nullptr).ok());
+
+  Manifest m;
+  ASSERT_TRUE(read_manifest(d, &m).ok());
+  WalReadResult wr;
+  ASSERT_TRUE(read_wal(d + "/" + m.wal_file, &wr).ok());
+  EXPECT_FALSE(wr.torn_tail);  // rollback kept the segment whole
+}
+
+// --- serve-layer wiring ----------------------------------------------------
+
+serve::ServeConfig manual_config() {
+  serve::ServeConfig cfg;
+  cfg.manual_dispatch = true;
+  cfg.batch_window_ms = 0.0;
+  cfg.xbfs.report_runs = false;
+  return cfg;
+}
+
+TEST_F(DurabilityTest, ServerRequireDurabilityIsEnforced) {
+  dyn::GraphStore volatile_store(small_rmat());
+  serve::ServeConfig cfg = manual_config();
+  cfg.require_durability = true;
+  EXPECT_THROW(serve::Server(volatile_store, cfg), std::invalid_argument);
+
+  const graph::Csr g = small_rmat();
+  EXPECT_THROW(serve::Server(g, cfg), std::invalid_argument);
+
+  DurableStore ds;
+  ASSERT_TRUE(
+      open_durable({dir("servedur"), 8}, small_rmat(), {}, 256, &ds).ok());
+  serve::Server srv(*ds.store, cfg);
+  const serve::ServerStats st = srv.stats();
+  EXPECT_TRUE(st.durable);
+  EXPECT_FALSE(st.recovered);
+  srv.shutdown();
+}
+
+TEST_F(DurabilityTest, ServerRejectsStaleResultsAfterRecovery) {
+  const std::string d = dir("servestale");
+  std::uint64_t pre_crash_fp = 0;
+  std::uint64_t durable_fp = 0;
+  {
+    DurableStore ds;
+    ASSERT_TRUE(open_durable({d, 0}, small_rmat(), {}, 256, &ds).ok());
+    serve::Server srv(*ds.store, manual_config());
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 3; ++i) {
+      const serve::UpdateAdmission a =
+          srv.submit_update(random_batch(rng, 128));
+      ASSERT_TRUE(a.accepted) << a.status.to_string();
+    }
+    durable_fp = srv.graph_fingerprint();
+    const serve::ServerStats st = srv.stats();
+    EXPECT_EQ(st.wal_appends, 3u);
+    EXPECT_EQ(st.last_durable_epoch, 3u);
+    srv.shutdown();
+
+    // An update the WAL refused: the caller's result fingerprint for it
+    // never existed durably.
+    sim::FaultConfig fc;
+    fc.fsync_fail_rate = 1.0;
+    sim::FaultInjector::global().configure(fc);
+    dyn::ApplyStats ignored;
+    EXPECT_FALSE(ds.store->try_apply(random_batch(rng, 128), &ignored).ok());
+    sim::FaultInjector::global().disable();
+    pre_crash_fp = 0x1234567890ABCDEFull;  // a fingerprint from lost history
+  }
+
+  DurableStore r;
+  ASSERT_TRUE(open_durable({d, 0}, graph::Csr{}, {}, 256, &r).ok());
+  serve::Server srv(*r.store, manual_config());
+  const serve::ServerStats st = srv.stats();
+  EXPECT_TRUE(st.durable);
+  EXPECT_TRUE(st.recovered);
+  EXPECT_EQ(st.recovery_replayed, 3u);
+
+  // The recovered fingerprint is served; anything else is provably stale.
+  EXPECT_EQ(srv.graph_fingerprint(), durable_fp);
+  EXPECT_TRUE(srv.result_still_valid(durable_fp));
+  EXPECT_FALSE(srv.result_still_valid(pre_crash_fp));
+  EXPECT_EQ(srv.stats().recovery_stale_rejected, 1u);
+  srv.shutdown();
+}
+
+TEST_F(DurabilityTest, ServerSurfacesDurabilityRejections) {
+  DurableStore ds;
+  ASSERT_TRUE(
+      open_durable({dir("servereject"), 0}, small_rmat(), {}, 256, &ds).ok());
+  serve::Server srv(*ds.store, manual_config());
+  std::mt19937_64 rng(8);
+
+  sim::FaultConfig fc;
+  fc.fsync_fail_rate = 1.0;
+  sim::FaultInjector::global().configure(fc);
+  const serve::UpdateAdmission a = srv.submit_update(random_batch(rng, 128));
+  sim::FaultInjector::global().disable();
+  EXPECT_FALSE(a.accepted);
+  EXPECT_FALSE(a.status.ok());
+
+  const serve::UpdateAdmission ok = srv.submit_update(random_batch(rng, 128));
+  EXPECT_TRUE(ok.accepted) << ok.status.to_string();
+
+  const serve::ServerStats st = srv.stats();
+  EXPECT_EQ(st.updates_rejected_durability, 1u);
+  EXPECT_GE(st.wal_fsync_failures, 1u);
+  EXPECT_EQ(st.updates_applied, 1u);
+  srv.shutdown();
+}
+
+}  // namespace
+}  // namespace xbfs::store

@@ -184,6 +184,25 @@ TEST(GraphStore, OpsBetweenReplaysTheGap) {
   EXPECT_FALSE(store.ops_between(3, 2).has_value());  // backwards
 }
 
+TEST(GraphStore, OpsBetweenDistinguishesBadRangeFromTruncation) {
+  GraphStore store(path5());
+  EdgeBatch b;
+  b.insert(0, 3);
+  store.apply(b);
+
+  // Invalid ranges are caller errors, not log truncation.
+  bool truncated = true;
+  EXPECT_FALSE(store.ops_between(2, 1, &truncated).has_value());
+  EXPECT_FALSE(truncated);
+  truncated = true;
+  EXPECT_FALSE(store.ops_between(0, 99, &truncated).has_value());
+  EXPECT_FALSE(truncated);
+  // A satisfiable range leaves the flag false as well.
+  truncated = true;
+  EXPECT_TRUE(store.ops_between(0, 1, &truncated).has_value());
+  EXPECT_FALSE(truncated);
+}
+
 TEST(GraphStore, TrimmedLogRefusesToReplay) {
   GraphStore store(path5(), {}, /*log_capacity=*/2);
   for (int i = 0; i < 4; ++i) {
@@ -192,9 +211,14 @@ TEST(GraphStore, TrimmedLogRefusesToReplay) {
     b.erase(0, 3);
     store.apply(b);
   }
-  // Epochs 1..2 fell off the two-entry log.
-  EXPECT_FALSE(store.ops_between(0, 4).has_value());
-  EXPECT_TRUE(store.ops_between(2, 4).has_value());
+  // Epochs 1..2 fell off the two-entry log: the nullopt is reported as
+  // truncation, distinct from a caller-error range.
+  bool truncated = false;
+  EXPECT_FALSE(store.ops_between(0, 4, &truncated).has_value());
+  EXPECT_TRUE(truncated);
+  truncated = true;
+  EXPECT_TRUE(store.ops_between(2, 4, &truncated).has_value());
+  EXPECT_FALSE(truncated);
 }
 
 TEST(GraphStore, CompactsPastDensityThreshold) {

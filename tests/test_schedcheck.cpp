@@ -9,8 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "dyn/edge_batch.h"
 #include "dyn/graph_store.h"
@@ -22,6 +25,7 @@
 #include "obs/flight_recorder.h"
 #include "serve/admission_queue.h"
 #include "serve/health.h"
+#include "store/durability.h"
 
 namespace xbfs {
 namespace {
@@ -451,6 +455,69 @@ TEST(SchedCheckTest, StalledWorkerProtocolModelRegression) {
       small_cfg(24, 4, 0xBADull), "pool-model-fixed",
       [&](Schedule& s) { return pool_model_round(s, /*buggy=*/false); });
   EXPECT_TRUE(fixed.ok()) << "the shipped handshake must verify clean";
+}
+
+// Durable-writer handshake: the WAL append/fsync/publish sequence yields
+// at "store.wal.append", "store.wal.fsync" and "dyn.store.publish", so
+// SchedCheck can interpose a reader between the record becoming durable
+// and the epoch becoming visible.  The invariant under every schedule is
+// durable-then-visible: a snapshot a reader can observe is never ahead of
+// the durability hook's last fsync'd epoch/fingerprint.
+TEST(SchedCheckTest, DurableWriterNeverPublishesBeforeFsync) {
+  SanScope san;
+  SchedCheck chk;
+  graph::RmatParams p;
+  p.scale = 6;
+  p.edge_factor = 4;
+  p.seed = 21;
+  const graph::Csr base = graph::rmat_csr(p);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("xbfs_schedcheck_wal_" + std::to_string(::getpid()));
+
+  const auto res = chk.explore_with(
+      small_cfg(16, 4), "durable-writer", [&](Schedule& s) -> std::uint64_t {
+        std::filesystem::remove_all(dir);
+        store::DurableStore ds;
+        if (!store::open_durable({dir.string(), 0}, base, {}, 64, &ds).ok()) {
+          s.fail("open_durable failed");
+          return 0;
+        }
+        s.run_tasks(2, [&](std::size_t task) {
+          if (task == 0) {
+            for (int i = 0; i < 3; ++i) {
+              sim::chk_point("test.store.step");
+              dyn::EdgeBatch b;
+              b.insert(static_cast<graph::vid_t>(i),
+                       static_cast<graph::vid_t>(i + 20));
+              ds.store->apply(b);
+            }
+            return;
+          }
+          for (int round = 0; round < 5; ++round) {
+            sim::chk_point("test.store.step");
+            const dyn::Snapshot snap = ds.store->snapshot();
+            // Stats are read after the snapshot and the durable epoch only
+            // grows, so durable >= visible must hold at this point under
+            // every interleaving.
+            const dyn::DurabilityStats st = ds.durability->stats();
+            if (st.last_durable_epoch < snap.epoch) {
+              s.fail("epoch " + std::to_string(snap.epoch) +
+                     " visible before durable (last fsync'd " +
+                     std::to_string(st.last_durable_epoch) + ")");
+            }
+            if (snap.epoch == st.last_durable_epoch &&
+                snap.fingerprint != st.last_durable_fingerprint) {
+              s.fail("visible fingerprint disagrees with the durable one at "
+                     "epoch " +
+                     std::to_string(snap.epoch));
+            }
+          }
+        });
+        return sim::state_hash_mix(0x55ull, ds.store->fingerprint());
+      });
+  std::filesystem::remove_all(dir);
+  EXPECT_TRUE(res.ok());
+  EXPECT_GT(res.preemptions, 0u);
 }
 
 // Lock-rank assertions: acquiring a lower-ranked mutex while holding a
